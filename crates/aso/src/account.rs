@@ -1,0 +1,91 @@
+//! Silicon accounting for ASO speculation state (paper §3.3).
+//!
+//! Per the paper: each scalable store-buffer entry is 16 B; each
+//! checkpoint needs a map table of 32 logical-to-physical mappings at
+//! 8–10 bits each (we charge 10) plus up to 32 preserved physical
+//! registers (256 B); and the caches carry per-word valid + Speculatively
+//! Written bits in L1D and Speculatively Read bits in both L1D and L2.
+
+use ise_types::addr::LINE_SIZE;
+use ise_types::config::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per scalable store-buffer entry.
+pub const SB_ENTRY_BYTES: usize = 16;
+/// Bytes of preserved physical registers per checkpoint (32 regs × 8 B).
+pub const CHECKPOINT_REGS_BYTES: usize = 256;
+/// Bytes per checkpoint map table (32 mappings × 10 bits, rounded up).
+pub const MAP_TABLE_BYTES: usize = 40;
+/// Total bytes per checkpoint.
+pub const CHECKPOINT_BYTES: usize = CHECKPOINT_REGS_BYTES + MAP_TABLE_BYTES;
+
+/// Prices the speculation state of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeculationAccounting {
+    /// Fixed cache-overlay bits (SR/SW/valid), in bytes.
+    pub cache_overlay_bytes: usize,
+}
+
+impl SpeculationAccounting {
+    /// Derives the fixed overlay cost from the cache geometry:
+    /// * L1D: 8 per-word valid bits + 8 per-word SW bits per line, plus
+    ///   1 SR bit per line;
+    /// * L2: 1 SR bit per line.
+    pub fn for_system(cfg: &SystemConfig) -> Self {
+        let l1_lines = cfg.l1d.capacity_bytes / LINE_SIZE as usize;
+        let l2_lines = cfg.l2.capacity_bytes / LINE_SIZE as usize;
+        let l1_word_bits = l1_lines * 16; // 8 valid + 8 SW per 64B line
+        let sr_bits = l1_lines + l2_lines;
+        SpeculationAccounting {
+            cache_overlay_bytes: (l1_word_bits + sr_bits).div_ceil(8),
+        }
+    }
+
+    /// Total per-core speculation state, in bytes, for a budget of
+    /// `checkpoints` and a scalable store buffer sized for `sb_entries`.
+    pub fn state_bytes(&self, checkpoints: usize, sb_entries: usize) -> usize {
+        self.cache_overlay_bytes + checkpoints * CHECKPOINT_BYTES + sb_entries * SB_ENTRY_BYTES
+    }
+
+    /// Same, in KB (rounded to the nearest KB, as Table 3 reports).
+    pub fn state_kb(&self, checkpoints: usize, sb_entries: usize) -> f64 {
+        self.state_bytes(checkpoints, sb_entries) as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_cost_matches_paper() {
+        // "each checkpoint can require up to 32 extra physical registers
+        // (256B)" plus a 32x10-bit map table.
+        assert_eq!(CHECKPOINT_BYTES, 296);
+        assert_eq!(SB_ENTRY_BYTES, 16);
+    }
+
+    #[test]
+    fn overlay_for_table2_geometry() {
+        let acc = SpeculationAccounting::for_system(&SystemConfig::isca23());
+        // L1D: 1024 lines -> 16384 word bits + 1024 SR; L2: 16384 SR.
+        assert_eq!(acc.cache_overlay_bytes, (1024 * 16 + 1024 + 16384) / 8);
+    }
+
+    #[test]
+    fn state_lands_in_table3_range_for_plausible_budgets() {
+        let acc = SpeculationAccounting::for_system(&SystemConfig::isca23());
+        // Table 3 reports 14-25 KB per core.
+        let low = acc.state_kb(16, 128);
+        let high = acc.state_kb(48, 384);
+        assert!(low > 8.0 && low < 16.0, "low budget {low:.1} KB");
+        assert!(high > 20.0 && high < 30.0, "high budget {high:.1} KB");
+    }
+
+    #[test]
+    fn state_is_monotone_in_both_budgets() {
+        let acc = SpeculationAccounting::for_system(&SystemConfig::isca23());
+        assert!(acc.state_bytes(2, 10) < acc.state_bytes(3, 10));
+        assert!(acc.state_bytes(2, 10) < acc.state_bytes(2, 11));
+    }
+}

@@ -1,0 +1,129 @@
+//! Criterion benches for the substrates: NoC routing, cache arrays,
+//! directory transitions, hierarchy accesses, FSB, and the OS handler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ise_core::{EInject, Fsb, Fsbc};
+use ise_mem::cache::CacheArray;
+use ise_mem::hierarchy::{Access, MemoryHierarchy};
+use ise_mem::mesi::Directory;
+use ise_mem::FlatMemory;
+use ise_noc::{Mesh, NodeId};
+use ise_os::OsKernel;
+use ise_types::addr::{Addr, ByteMask, PAGE_SIZE};
+use ise_types::config::{CacheConfig, NocConfig, SystemConfig};
+use ise_types::exception::ErrorCode;
+use ise_types::{CoreId, FaultingStoreEntry};
+
+fn bench_noc(c: &mut Criterion) {
+    let mesh = Mesh::new(NocConfig::isca23());
+    c.bench_function("substrate/noc_latency", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for s in 0..16 {
+                for d in 0..16 {
+                    sum += mesh.latency(NodeId(s), NodeId(d), 64);
+                }
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("substrate/l1_lookup_insert", |b| {
+        let mut cache = CacheArray::new(&CacheConfig::l1d_isca23());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let line = Addr::new((i % 4096) * 64);
+            if !cache.lookup(line) {
+                cache.insert(line, i % 2 == 0);
+            }
+        })
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    c.bench_function("substrate/directory_rw", |b| {
+        let mut dir = Directory::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let line = Addr::new((i % 1024) * 64);
+            dir.read(line, CoreId((i % 4) as usize));
+            if i % 3 == 0 {
+                dir.write(line, CoreId(((i + 1) % 4) as usize));
+            }
+        })
+    });
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut cfg = SystemConfig::isca23();
+    cfg.cores = 4;
+    cfg.noc.mesh_x = 2;
+    cfg.noc.mesh_y = 2;
+    c.bench_function("substrate/hierarchy_access", |b| {
+        let mut h = MemoryHierarchy::new(cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let acc = if i % 4 == 0 {
+                Access::store(CoreId((i % 4) as usize), Addr::new((i % 65_536) * 64))
+            } else {
+                Access::load(CoreId((i % 4) as usize), Addr::new((i % 65_536) * 64))
+            };
+            black_box(h.access(acc, i))
+        })
+    });
+}
+
+fn bench_fsb_path(c: &mut Criterion) {
+    let cfg = SystemConfig::isca23();
+    c.bench_function("substrate/fsbc_drain_32", |b| {
+        let entries: Vec<FaultingStoreEntry> = (0..32)
+            .map(|i| FaultingStoreEntry::new(Addr::new(i * 8), i, ByteMask::FULL, ErrorCode(1)))
+            .collect();
+        b.iter(|| {
+            let mut fsb = Fsb::new(Addr::new(0x2000_0000), 32);
+            let mut fsbc = Fsbc::new(CoreId(0), &cfg.os);
+            fsbc.drain(&mut fsb, &entries, 0).expect("fits");
+            black_box(fsb.len())
+        })
+    });
+}
+
+fn bench_os_handler(c: &mut Criterion) {
+    let cfg = SystemConfig::isca23();
+    c.bench_function("substrate/os_handle_32", |b| {
+        let einject = EInject::new(Addr::new(0x4000_0000), 64 * PAGE_SIZE);
+        b.iter(|| {
+            let mut os = OsKernel::new(cfg.os);
+            let mut fsb = Fsb::new(Addr::new(0x2000_0000), 32);
+            for i in 0..32u64 {
+                let a = Addr::new(0x4000_0000 + i * 8);
+                einject.set_faulting(a);
+                fsb.push(FaultingStoreEntry::new(
+                    a,
+                    i,
+                    ByteMask::FULL,
+                    ErrorCode(2),
+                ))
+                .expect("fits");
+            }
+            let mut mem = FlatMemory::new();
+            black_box(os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_noc,
+    bench_cache,
+    bench_directory,
+    bench_hierarchy,
+    bench_fsb_path,
+    bench_os_handler
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Each paper table/figure has a binary (`cargo run -p ise-bench --bin
+//! tableN|figN`) that prints the regenerated rows in the paper's layout,
+//! and most have a Criterion bench measuring the cost of regenerating
+//! them. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! recorded paper-vs-measured results.
+
+#![deny(missing_docs)]
+
+use ise_sim::report::render_table;
+
+/// Prints a titled table to stdout.
+pub fn print_table(title: &str, rows: &[Vec<String>]) {
+    println!("== {title}");
+    println!("{}", render_table(rows));
+}
+
+/// Prints a JSON appendix for machine consumption.
+pub fn print_json<T: serde::Serialize>(label: &str, value: &T) {
+    match serde_json::to_string(value) {
+        Ok(s) => println!("JSON {label}: {s}"),
+        Err(e) => eprintln!("JSON {label}: serialization failed: {e}"),
+    }
+}
+
+/// Formats an `Option<f64>` KB value.
+pub fn kb(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.0}"),
+        None => "-".into(),
+    }
+}

@@ -1,0 +1,31 @@
+//! Memory-consistency formalism (paper §4).
+//!
+//! This crate mechanizes the paper's formal machinery:
+//!
+//! * [`program`] — small litmus programs over symbolic locations, with
+//!   address/data/control dependencies, fences and atomics (the event
+//!   vocabulary of Table 4);
+//! * [`axiom`] — an axiomatic checker in the herding-cats style: it
+//!   enumerates candidate executions (reads-from and coherence-order
+//!   assignments), filters them through per-model axioms (SC, PC/TSO,
+//!   WC/RVWMO-fragment), and returns the set of **allowed outcomes** a
+//!   program may produce;
+//! * [`proofs`] — a mechanization of Proof 1 (the store-store rule of PC
+//!   under the same-stream design): for every faulting combination of two
+//!   program-ordered stores, the effective memory-order of their writes
+//!   is shown to preserve program order.
+//!
+//! The operational machine in `ise-litmus` explores real interleavings of
+//! the store buffer + FSB + OS pipeline and checks its observed outcomes
+//! against [`axiom::allowed_outcomes`] — reproducing the paper's litmus
+//! campaign (§6.3) with exhaustive schedules instead of FPGA sampling.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod axiom;
+pub mod program;
+pub mod proofs;
+
+pub use axiom::allowed_outcomes;
+pub use program::{LitmusProgram, Loc, Outcome, Stmt, StmtOp};

@@ -1,0 +1,261 @@
+//! The Faulting Store Buffer: a per-core ring buffer in main memory.
+//!
+//! Paper §5.2: "The FSB is a per-core ring buffer located in the main
+//! memory with a head and tail pointer. [...] The order among faulting
+//! stores is encoded in their relative positions in the FSB." The FSBC
+//! writes at the tail; the OS reads at the head and increments it. Once
+//! head catches tail, every faulting store has been retrieved.
+
+use ise_types::addr::{Addr, PAGE_SIZE};
+use ise_types::{FaultingStoreEntry, PageId};
+use std::fmt;
+
+/// Error returned when pushing to a full FSB.
+///
+/// A correctly sized FSB (at least the store-buffer capacity, §5.2) can
+/// never fill, because one drain episode moves at most one store buffer's
+/// worth of entries and the OS must empty the FSB before the program
+/// resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsbFullError;
+
+impl fmt::Display for FsbFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "faulting store buffer is full")
+    }
+}
+
+impl std::error::Error for FsbFullError {}
+
+/// The four per-core system registers exposing the FSB to the OS
+/// (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsbRegisters {
+    /// Physical base address of the ring (written by the OS at setup).
+    pub base: Addr,
+    /// Capacity mask: `capacity - 1` (capacity is a power of two).
+    pub mask: u64,
+    /// Head pointer (entry index; written by the OS, read by the FSBC).
+    pub head: u64,
+    /// Tail pointer (entry index; written by the FSBC, read by the OS).
+    pub tail: u64,
+}
+
+/// A per-core Faulting Store Buffer.
+///
+/// ```
+/// use ise_core::Fsb;
+/// use ise_types::{FaultingStoreEntry, addr::{Addr, ByteMask}};
+/// use ise_types::exception::ErrorCode;
+///
+/// let mut fsb = Fsb::new(Addr::new(0x8000_0000), 32);
+/// fsb.push(FaultingStoreEntry::new(Addr::new(0x100), 7, ByteMask::FULL, ErrorCode(1)))?;
+/// let e = fsb.pop_head().expect("one entry");
+/// assert_eq!(e.data, 7);
+/// assert!(fsb.is_empty());
+/// # Ok::<(), ise_core::FsbFullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fsb {
+    base: Addr,
+    capacity: usize,
+    head: u64,
+    tail: u64,
+    slots: Vec<Option<FaultingStoreEntry>>,
+}
+
+impl Fsb {
+    /// Allocates an FSB of `capacity` entries (rounded up to a power of
+    /// two) backed by ring storage at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(base: Addr, capacity: usize) -> Self {
+        assert!(capacity > 0, "FSB needs capacity");
+        let capacity = capacity.next_power_of_two();
+        Fsb {
+            base,
+            capacity,
+            head: 0,
+            tail: 0,
+            slots: vec![None; capacity],
+        }
+    }
+
+    /// The register view the ISA exposes.
+    pub fn registers(&self) -> FsbRegisters {
+        FsbRegisters {
+            base: self.base,
+            mask: (self.capacity - 1) as u64,
+            head: self.head,
+            tail: self.tail,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// Whether head has caught up with tail (all faulting stores
+    /// retrieved).
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Whether another entry fits.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity
+    }
+
+    /// The 4 KiB pages backing the ring; the OS must pin these (paper
+    /// §5.4: "the OS should always pin the data pages allocated to FSBs").
+    pub fn backing_pages(&self) -> Vec<PageId> {
+        let bytes = (self.capacity * FaultingStoreEntry::WIRE_BYTES) as u64;
+        let first = self.base.page().index();
+        let last = (self.base.raw() + bytes - 1) / PAGE_SIZE;
+        (first..=last).map(PageId::new).collect()
+    }
+
+    /// FSBC side: appends one drained store at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsbFullError`] when the ring is full.
+    pub fn push(&mut self, entry: FaultingStoreEntry) -> Result<(), FsbFullError> {
+        if self.is_full() {
+            return Err(FsbFullError);
+        }
+        let idx = (self.tail as usize) & (self.capacity - 1);
+        self.slots[idx] = Some(entry);
+        self.tail += 1;
+        Ok(())
+    }
+
+    /// OS side: reads the entry at the head pointer without consuming it.
+    pub fn read_head(&self) -> Option<FaultingStoreEntry> {
+        if self.is_empty() {
+            return None;
+        }
+        let idx = (self.head as usize) & (self.capacity - 1);
+        self.slots[idx]
+    }
+
+    /// OS side: reads the head entry and increments the head pointer,
+    /// marking it retrieved (the formalism's GET).
+    pub fn pop_head(&mut self) -> Option<FaultingStoreEntry> {
+        let e = self.read_head()?;
+        let idx = (self.head as usize) & (self.capacity - 1);
+        self.slots[idx] = None;
+        self.head += 1;
+        Some(e)
+    }
+
+    /// Iterates the queued entries head-to-tail without consuming them.
+    pub fn iter(&self) -> impl Iterator<Item = FaultingStoreEntry> + '_ {
+        (self.head..self.tail).map(move |i| {
+            self.slots[(i as usize) & (self.capacity - 1)]
+                .expect("queued slots are populated")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::addr::ByteMask;
+    use ise_types::exception::ErrorCode;
+
+    fn entry(i: u64) -> FaultingStoreEntry {
+        FaultingStoreEntry::new(Addr::new(i * 8), i, ByteMask::FULL, ErrorCode(1))
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = Fsb::new(Addr::new(0x1000), 8);
+        for i in 0..5 {
+            f.push(entry(i)).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(f.pop_head().unwrap().data, i);
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let f = Fsb::new(Addr::new(0), 33);
+        assert_eq!(f.capacity(), 64);
+        assert_eq!(f.registers().mask, 63);
+    }
+
+    #[test]
+    fn full_ring_rejects_push() {
+        let mut f = Fsb::new(Addr::new(0), 2);
+        f.push(entry(0)).unwrap();
+        f.push(entry(1)).unwrap();
+        assert_eq!(f.push(entry(2)), Err(FsbFullError));
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn wraparound_works() {
+        let mut f = Fsb::new(Addr::new(0), 4);
+        for round in 0..10u64 {
+            f.push(entry(round)).unwrap();
+            assert_eq!(f.pop_head().unwrap().data, round);
+        }
+        let regs = f.registers();
+        assert_eq!(regs.head, 10);
+        assert_eq!(regs.tail, 10);
+    }
+
+    #[test]
+    fn registers_track_pointers() {
+        let mut f = Fsb::new(Addr::new(0x2000), 8);
+        f.push(entry(0)).unwrap();
+        f.push(entry(1)).unwrap();
+        let r = f.registers();
+        assert_eq!(r.base, Addr::new(0x2000));
+        assert_eq!((r.head, r.tail), (0, 2));
+        f.pop_head();
+        assert_eq!(f.registers().head, 1);
+    }
+
+    #[test]
+    fn read_head_does_not_consume() {
+        let mut f = Fsb::new(Addr::new(0), 4);
+        f.push(entry(9)).unwrap();
+        assert_eq!(f.read_head().unwrap().data, 9);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop_head().unwrap().data, 9);
+    }
+
+    #[test]
+    fn backing_pages_cover_ring() {
+        // 32 entries x 16B = 512B -> one page.
+        let f = Fsb::new(Addr::new(0x3000), 32);
+        assert_eq!(f.backing_pages().len(), 1);
+        // 512 entries x 16B = 8KB spanning a page boundary -> 3 pages
+        // when the base is mid-page.
+        let f2 = Fsb::new(Addr::new(0x3800), 512);
+        assert_eq!(f2.backing_pages().len(), 3);
+    }
+
+    #[test]
+    fn iter_walks_head_to_tail() {
+        let mut f = Fsb::new(Addr::new(0), 8);
+        for i in 0..3 {
+            f.push(entry(i)).unwrap();
+        }
+        f.pop_head();
+        let data: Vec<u64> = f.iter().map(|e| e.data).collect();
+        assert_eq!(data, vec![1, 2]);
+    }
+}

@@ -1,0 +1,345 @@
+//! The architectural interface's ordering contract (Table 5), checked at
+//! runtime.
+//!
+//! The formalism (§4.2) introduces five operations with a mandated global
+//! order per faulting store:
+//!
+//! ```text
+//! DETECT <m PUT(S(A)) <m GET <m S_OS(A) <m RESOLVE
+//! ```
+//!
+//! and Table 5 adds the contract: the core PUTs in store-buffer order, the
+//! interface GETs in PUT order, and the OS (1) resumes the program only
+//! after handling, (2) applies *all* retrieved stores, (3) applies them in
+//! the retrieved order (PC only). [`ContractMonitor`] records these events
+//! as the system produces them and [`ContractMonitor::check`] verifies
+//! every rule, turning Table 5 into executable assertions.
+
+use ise_types::addr::Addr;
+use ise_types::model::ConsistencyModel;
+use ise_types::{CoreId, FaultingStoreEntry};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One interface-ordering event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderEvent {
+    /// The store buffer detected an imprecise store exception.
+    Detect {
+        /// Core that detected it.
+        core: CoreId,
+    },
+    /// The core supplied one store to the interface (FSBC→FSB write).
+    Put {
+        /// Supplying core.
+        core: CoreId,
+        /// The supplied store.
+        entry: FaultingStoreEntry,
+    },
+    /// The OS retrieved one store from the interface (FSB head read).
+    Get {
+        /// Core whose FSB was read.
+        core: CoreId,
+        /// The retrieved store.
+        entry: FaultingStoreEntry,
+    },
+    /// The OS applied one store to memory (`S_OS`).
+    Sos {
+        /// Core on whose behalf the store is applied.
+        core: CoreId,
+        /// Applied address.
+        addr: Addr,
+    },
+    /// The OS finished handling and is ready to resume the program.
+    Resolve {
+        /// Core being resolved.
+        core: CoreId,
+    },
+    /// The program resumed execution.
+    Resume {
+        /// Resumed core.
+        core: CoreId,
+    },
+}
+
+impl OrderEvent {
+    fn core(&self) -> CoreId {
+        match *self {
+            OrderEvent::Detect { core }
+            | OrderEvent::Put { core, .. }
+            | OrderEvent::Get { core, .. }
+            | OrderEvent::Sos { core, .. }
+            | OrderEvent::Resolve { core }
+            | OrderEvent::Resume { core } => core,
+        }
+    }
+}
+
+/// A violation of the Table 5 contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractViolation {
+    /// A GET observed an entry that was never PUT, or out of PUT order.
+    GetOrderMismatch {
+        /// Offending core.
+        core: CoreId,
+        /// Position of the mismatching GET in that core's GET sequence.
+        position: usize,
+    },
+    /// An `S_OS` was applied out of GET order (PC rule 3).
+    ApplyOrderMismatch {
+        /// Offending core.
+        core: CoreId,
+        /// Position of the mismatching apply.
+        position: usize,
+    },
+    /// A RESOLVE happened with retrieved-but-unapplied stores (rule 2).
+    UnappliedStores {
+        /// Offending core.
+        core: CoreId,
+        /// Stores retrieved but not applied at RESOLVE time.
+        pending: usize,
+    },
+    /// The program resumed before its exception was resolved (rule 1).
+    ResumeBeforeResolve {
+        /// Offending core.
+        core: CoreId,
+    },
+}
+
+impl fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractViolation::GetOrderMismatch { core, position } => {
+                write!(f, "{core}: GET #{position} does not match PUT order")
+            }
+            ContractViolation::ApplyOrderMismatch { core, position } => {
+                write!(f, "{core}: S_OS #{position} applied out of GET order")
+            }
+            ContractViolation::UnappliedStores { core, pending } => {
+                write!(f, "{core}: RESOLVE with {pending} retrieved stores unapplied")
+            }
+            ContractViolation::ResumeBeforeResolve { core } => {
+                write!(f, "{core}: program resumed before RESOLVE")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContractViolation {}
+
+/// Records interface events and checks the Table 5 contract.
+#[derive(Debug, Clone, Default)]
+pub struct ContractMonitor {
+    log: Vec<OrderEvent>,
+}
+
+impl ContractMonitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&mut self, ev: OrderEvent) {
+        self.log.push(ev);
+    }
+
+    /// The raw event log.
+    pub fn log(&self) -> &[OrderEvent] {
+        &self.log
+    }
+
+    /// Events recorded.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Verifies the contract under `model`.
+    ///
+    /// Per-core rules checked:
+    /// * GETs return entries in PUT order (interface FIFO; PC and WC —
+    ///   WC's FSB is still a FIFO even though the *model* would tolerate
+    ///   less);
+    /// * every GET before a RESOLVE has a matching `S_OS` before that
+    ///   RESOLVE (rule 2);
+    /// * under PC, `S_OS` addresses appear in GET order (rule 3);
+    /// * a RESUME only follows a RESOLVE for the most recent DETECT
+    ///   (rule 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check(&self, model: ConsistencyModel) -> Result<(), ContractViolation> {
+        let mut cores: HashMap<CoreId, CoreLog> = HashMap::new();
+        for ev in &self.log {
+            let cl = cores.entry(ev.core()).or_default();
+            match *ev {
+                OrderEvent::Detect { .. } => cl.outstanding_detect = true,
+                OrderEvent::Put { entry, .. } => cl.puts.push(entry),
+                OrderEvent::Get { core, entry } => {
+                    let pos = cl.gets.len();
+                    if cl.puts.get(pos).copied() != Some(entry) {
+                        return Err(ContractViolation::GetOrderMismatch { core, position: pos });
+                    }
+                    cl.gets.push(entry);
+                }
+                OrderEvent::Sos { core, addr } => {
+                    let pos = cl.applied;
+                    if model.requires_fifo_drain() {
+                        match cl.gets.get(pos) {
+                            Some(e) if e.addr == addr => {}
+                            _ => {
+                                return Err(ContractViolation::ApplyOrderMismatch {
+                                    core,
+                                    position: pos,
+                                })
+                            }
+                        }
+                    }
+                    cl.applied += 1;
+                }
+                OrderEvent::Resolve { core } => {
+                    if cl.applied < cl.gets.len() {
+                        return Err(ContractViolation::UnappliedStores {
+                            core,
+                            pending: cl.gets.len() - cl.applied,
+                        });
+                    }
+                    cl.outstanding_detect = false;
+                    cl.resolved = true;
+                }
+                OrderEvent::Resume { core } => {
+                    if cl.outstanding_detect || !cl.resolved {
+                        return Err(ContractViolation::ResumeBeforeResolve { core });
+                    }
+                    cl.resolved = false;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct CoreLog {
+    puts: Vec<FaultingStoreEntry>,
+    gets: Vec<FaultingStoreEntry>,
+    applied: usize,
+    outstanding_detect: bool,
+    resolved: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::addr::ByteMask;
+    use ise_types::exception::ErrorCode;
+
+    fn e(i: u64) -> FaultingStoreEntry {
+        FaultingStoreEntry::new(Addr::new(i * 8), i, ByteMask::FULL, ErrorCode(1))
+    }
+
+    fn c() -> CoreId {
+        CoreId(0)
+    }
+
+    fn happy_path() -> ContractMonitor {
+        let mut m = ContractMonitor::new();
+        m.record(OrderEvent::Detect { core: c() });
+        m.record(OrderEvent::Put { core: c(), entry: e(0) });
+        m.record(OrderEvent::Put { core: c(), entry: e(1) });
+        m.record(OrderEvent::Get { core: c(), entry: e(0) });
+        m.record(OrderEvent::Sos { core: c(), addr: e(0).addr });
+        m.record(OrderEvent::Get { core: c(), entry: e(1) });
+        m.record(OrderEvent::Sos { core: c(), addr: e(1).addr });
+        m.record(OrderEvent::Resolve { core: c() });
+        m.record(OrderEvent::Resume { core: c() });
+        m
+    }
+
+    #[test]
+    fn conforming_log_passes_both_models() {
+        let m = happy_path();
+        assert_eq!(m.check(ConsistencyModel::Pc), Ok(()));
+        assert_eq!(m.check(ConsistencyModel::Wc), Ok(()));
+        assert_eq!(m.len(), 9);
+    }
+
+    #[test]
+    fn get_out_of_put_order_is_caught() {
+        let mut m = ContractMonitor::new();
+        m.record(OrderEvent::Put { core: c(), entry: e(0) });
+        m.record(OrderEvent::Put { core: c(), entry: e(1) });
+        m.record(OrderEvent::Get { core: c(), entry: e(1) });
+        assert_eq!(
+            m.check(ConsistencyModel::Pc),
+            Err(ContractViolation::GetOrderMismatch { core: c(), position: 0 })
+        );
+    }
+
+    #[test]
+    fn out_of_order_apply_violates_pc_but_not_wc() {
+        let mut m = ContractMonitor::new();
+        m.record(OrderEvent::Put { core: c(), entry: e(0) });
+        m.record(OrderEvent::Put { core: c(), entry: e(1) });
+        m.record(OrderEvent::Get { core: c(), entry: e(0) });
+        m.record(OrderEvent::Get { core: c(), entry: e(1) });
+        m.record(OrderEvent::Sos { core: c(), addr: e(1).addr });
+        m.record(OrderEvent::Sos { core: c(), addr: e(0).addr });
+        m.record(OrderEvent::Resolve { core: c() });
+        assert!(matches!(
+            m.check(ConsistencyModel::Pc),
+            Err(ContractViolation::ApplyOrderMismatch { .. })
+        ));
+        // WC does not mandate inter-store order (paper §4.4).
+        assert_eq!(m.check(ConsistencyModel::Wc), Ok(()));
+    }
+
+    #[test]
+    fn resolve_with_unapplied_stores_is_caught() {
+        let mut m = ContractMonitor::new();
+        m.record(OrderEvent::Put { core: c(), entry: e(0) });
+        m.record(OrderEvent::Get { core: c(), entry: e(0) });
+        m.record(OrderEvent::Resolve { core: c() });
+        assert_eq!(
+            m.check(ConsistencyModel::Pc),
+            Err(ContractViolation::UnappliedStores { core: c(), pending: 1 })
+        );
+    }
+
+    #[test]
+    fn resume_before_resolve_is_caught() {
+        let mut m = ContractMonitor::new();
+        m.record(OrderEvent::Detect { core: c() });
+        m.record(OrderEvent::Resume { core: c() });
+        assert_eq!(
+            m.check(ConsistencyModel::Pc),
+            Err(ContractViolation::ResumeBeforeResolve { core: c() })
+        );
+    }
+
+    #[test]
+    fn cores_are_checked_independently() {
+        let mut m = happy_path();
+        // Interleave a second core's conforming episode.
+        let c1 = CoreId(1);
+        m.record(OrderEvent::Detect { core: c1 });
+        m.record(OrderEvent::Put { core: c1, entry: e(7) });
+        m.record(OrderEvent::Get { core: c1, entry: e(7) });
+        m.record(OrderEvent::Sos { core: c1, addr: e(7).addr });
+        m.record(OrderEvent::Resolve { core: c1 });
+        m.record(OrderEvent::Resume { core: c1 });
+        assert_eq!(m.check(ConsistencyModel::Pc), Ok(()));
+    }
+
+    #[test]
+    fn violations_display_meaningfully() {
+        let v = ContractViolation::UnappliedStores { core: c(), pending: 3 };
+        assert!(v.to_string().contains("3 retrieved stores unapplied"));
+    }
+}

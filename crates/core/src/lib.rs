@@ -1,0 +1,47 @@
+//! The paper's contribution: hardware support for imprecise store
+//! exceptions.
+//!
+//! Three hardware pieces live here, mirroring §5 of the paper:
+//!
+//! * [`fsb::Fsb`] — the **Faulting Store Buffer**, a per-core in-memory
+//!   ring buffer holding drained faulting stores, exposed to the OS
+//!   through four system registers (base, mask, head, tail);
+//! * [`fsbc::Fsbc`] — the **FSB Controller**, co-located with the store
+//!   buffer, which writes drained entries to the FSB tail in the order
+//!   the memory model mandates and triggers the imprecise exception;
+//! * [`einject::EInject`] — the error-injection device of §6.2, which
+//!   watches the LLC↔memory boundary and denies transactions to pages
+//!   marked faulting in its bitmap (it implements
+//!   [`ise_mem::FaultOracle`], the seam `ise-mem` provides for exactly
+//!   this purpose).
+//!
+//! [`interface::ContractMonitor`] records the formalism's operations
+//! (DETECT, PUT, GET, S_OS, RESOLVE — Table 4) as they happen and checks
+//! the Table 5 contract between cores, interface and OS at runtime.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+//!
+//! Two additional fault *sources* model the paper's motivating systems
+//! (§2.2): [`tako::Tako`], a near-cache accelerator whose callbacks can
+//! page-fault or trap while servicing plain loads/stores, and
+//! [`midgard::MidgardMmu`], an intermediate-address-space MMU whose
+//! heavyweight page-level translation runs only on LLC misses — both
+//! plug into the same [`ise_mem::FaultOracle`] seam as EInject.
+
+pub mod einject;
+pub mod fsb;
+pub mod fsbc;
+pub mod interface;
+pub mod midgard;
+pub mod resolver;
+pub mod tako;
+
+pub use einject::EInject;
+pub use fsb::{Fsb, FsbFullError, FsbRegisters};
+pub use fsbc::{DrainReceipt, Fsbc};
+pub use interface::{ContractMonitor, ContractViolation, OrderEvent};
+pub use midgard::MidgardMmu;
+pub use resolver::{CompositeResolver, FaultResolver};
+pub use tako::Tako;

@@ -1,0 +1,222 @@
+//! A Midgard-style intermediate-address-space MMU model (paper §2.2,
+//! Example 2).
+//!
+//! Midgard [Gupta et al., ISCA '21] splits address translation in two:
+//! a lightweight VMA-level translation (virtual → Midgard) performed for
+//! *every* access before it enters the cache hierarchy, and a heavyweight
+//! page-level translation (Midgard → physical) performed **only on an LLC
+//! miss**. A store can therefore pass its front-side translation, retire,
+//! miss in the cache hierarchy, and *then* take a page fault in the
+//! back-side translation — the delayed-detection scenario that motivates
+//! imprecise store exceptions.
+//!
+//! [`MidgardMmu`] models both halves. The front side is a VMA check used
+//! by the core before issuing (a failure there is an ordinary precise
+//! segmentation fault). The back side implements [`FaultOracle`] at the
+//! LLC↔memory boundary: accesses to Midgard pages without a physical
+//! mapping raise [`ExceptionKind::PageFault`] post-retirement; the OS
+//! maps the page and applies the faulting stores.
+
+use ise_mem::FaultOracle;
+use ise_types::addr::{Addr, PAGE_SIZE};
+use ise_types::exception::ExceptionKind;
+use ise_types::PageId;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// One virtual memory area in the Midgard space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vma {
+    /// Covered Midgard-address range.
+    pub range: Range<u64>,
+    /// Whether stores are permitted.
+    pub writable: bool,
+}
+
+/// The two-level MMU.
+#[derive(Debug, Default)]
+pub struct MidgardMmu {
+    vmas: RefCell<Vec<Vma>>,
+    /// Midgard pages with a valid physical mapping; everything else
+    /// faults at the back-side translation.
+    mapped: RefCell<HashSet<PageId>>,
+    front_faults: RefCell<u64>,
+    back_faults: RefCell<u64>,
+}
+
+/// Outcome of the front-side (VMA) translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontSide {
+    /// Translation succeeded; the access may enter the cache hierarchy.
+    Ok,
+    /// No VMA covers the address: precise segmentation fault at the core.
+    NoVma,
+    /// A store targeted a read-only VMA: precise protection fault.
+    ReadOnly,
+}
+
+impl MidgardMmu {
+    /// An MMU with no VMAs and no mappings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a VMA (an `mmap`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not page-aligned.
+    pub fn map_vma(&self, base: Addr, bytes: u64, writable: bool) {
+        assert!(bytes > 0, "VMA must be non-empty");
+        assert_eq!(base.page_offset(), 0, "VMA must be page-aligned");
+        assert_eq!(bytes % PAGE_SIZE, 0, "VMA must be whole pages");
+        self.vmas.borrow_mut().push(Vma {
+            range: base.raw()..base.raw() + bytes,
+            writable,
+        });
+    }
+
+    /// The front-side, VMA-level translation every access performs
+    /// before entering the hierarchy.
+    pub fn front_translate(&self, addr: Addr, is_store: bool) -> FrontSide {
+        let vmas = self.vmas.borrow();
+        match vmas.iter().find(|v| v.range.contains(&addr.raw())) {
+            None => {
+                *self.front_faults.borrow_mut() += 1;
+                FrontSide::NoVma
+            }
+            Some(v) if is_store && !v.writable => {
+                *self.front_faults.borrow_mut() += 1;
+                FrontSide::ReadOnly
+            }
+            Some(_) => FrontSide::Ok,
+        }
+    }
+
+    /// OS: installs the Midgard→physical mapping for `addr`'s page
+    /// (resolving the back-side fault).
+    pub fn map_page(&self, addr: Addr) {
+        self.mapped.borrow_mut().insert(addr.page());
+    }
+
+    /// OS: revokes a mapping (reclaim / swap-out); subsequent LLC misses
+    /// to the page fault again.
+    pub fn unmap_page(&self, addr: Addr) {
+        self.mapped.borrow_mut().remove(&addr.page());
+    }
+
+    /// Whether the page has a physical mapping.
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        self.mapped.borrow().contains(&addr.page())
+    }
+
+    /// Pure probe: whether a hierarchy access to `addr` would fault at
+    /// the back-side translation, without counting a fault.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let in_vma = self
+            .vmas
+            .borrow()
+            .iter()
+            .any(|v| v.range.contains(&addr.raw()));
+        in_vma && !self.mapped.borrow().contains(&addr.page())
+    }
+
+    /// Front-side faults observed (precise).
+    pub fn front_faults(&self) -> u64 {
+        *self.front_faults.borrow()
+    }
+
+    /// Back-side faults observed (imprecise for stores).
+    pub fn back_faults(&self) -> u64 {
+        *self.back_faults.borrow()
+    }
+}
+
+impl FaultOracle for MidgardMmu {
+    /// The back-side, page-level translation: consulted only when the
+    /// request crosses the LLC↔memory boundary (an LLC miss). Addresses
+    /// inside a VMA but without a physical mapping page-fault *here* —
+    /// after the store has retired.
+    fn check(&self, addr: Addr, _is_store: bool) -> Option<ExceptionKind> {
+        let in_vma = self
+            .vmas
+            .borrow()
+            .iter()
+            .any(|v| v.range.contains(&addr.raw()));
+        if in_vma && !self.mapped.borrow().contains(&addr.page()) {
+            *self.back_faults.borrow_mut() += 1;
+            Some(ExceptionKind::PageFault)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmu() -> MidgardMmu {
+        let m = MidgardMmu::new();
+        m.map_vma(Addr::new(0x10_0000), 16 * PAGE_SIZE, true);
+        m.map_vma(Addr::new(0x20_0000), 4 * PAGE_SIZE, false);
+        m
+    }
+
+    #[test]
+    fn front_side_checks_vma_and_permissions() {
+        let m = mmu();
+        assert_eq!(m.front_translate(Addr::new(0x10_0000), true), FrontSide::Ok);
+        assert_eq!(m.front_translate(Addr::new(0x20_0000), false), FrontSide::Ok);
+        assert_eq!(m.front_translate(Addr::new(0x20_0000), true), FrontSide::ReadOnly);
+        assert_eq!(m.front_translate(Addr::new(0x90_0000), false), FrontSide::NoVma);
+        assert_eq!(m.front_faults(), 2);
+    }
+
+    #[test]
+    fn back_side_faults_only_on_unmapped_vma_pages() {
+        let m = mmu();
+        let a = Addr::new(0x10_0000);
+        // VMA-covered but unmapped: back-side page fault.
+        assert_eq!(m.check(a, true), Some(ExceptionKind::PageFault));
+        m.map_page(a);
+        assert_eq!(m.check(a, true), None);
+        // Outside any VMA: never reaches the hierarchy legitimately; the
+        // back side lets it pass (the front side already faulted).
+        assert_eq!(m.check(Addr::new(0x90_0000), true), None);
+        assert_eq!(m.back_faults(), 1);
+    }
+
+    #[test]
+    fn unmap_revives_the_fault() {
+        let m = mmu();
+        let a = Addr::new(0x10_0000 + PAGE_SIZE);
+        m.map_page(a);
+        assert_eq!(m.check(a, false), None);
+        m.unmap_page(a);
+        assert_eq!(m.check(a, false), Some(ExceptionKind::PageFault));
+    }
+
+    #[test]
+    fn the_paper_scenario_store_passes_front_faults_back() {
+        // §2.2 Example 2: "the core can execute a store instruction that
+        // passes virtual-to-Midgard address translation, misses in the
+        // cache hierarchy, detects a page fault during the
+        // Midgard-to-physical address translation".
+        let m = mmu();
+        let a = Addr::new(0x10_0000 + 2 * PAGE_SIZE);
+        assert_eq!(m.front_translate(a, true), FrontSide::Ok, "store retires");
+        assert_eq!(
+            m.check(a, true),
+            Some(ExceptionKind::PageFault),
+            "...and faults post-retirement at the back side"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn unaligned_vma_rejected() {
+        MidgardMmu::new().map_vma(Addr::new(0x10), PAGE_SIZE, true);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fault sources the OS can *resolve*.
+//!
+//! [`ise_mem::FaultOracle`] is the hardware-side seam: deny or allow a
+//! transaction at the LLC↔memory boundary. The OS handler needs one more
+//! verb — *resolve the cause* for an address so the re-issued (or
+//! OS-applied) store succeeds. EInject resolves by clearing the page
+//! bit; täkō by faulting in callback metadata and repairing poisoned
+//! data; Midgard by installing the Midgard→physical mapping.
+//!
+//! [`CompositeResolver`] chains several sources in priority order, so a
+//! system can run EInject *and* an accelerator *and* late translation at
+//! once — each denial resolved by whichever source raised it.
+
+use crate::einject::EInject;
+use crate::midgard::MidgardMmu;
+use crate::tako::Tako;
+use ise_mem::FaultOracle;
+use ise_types::addr::Addr;
+use ise_types::exception::ExceptionKind;
+use std::rc::Rc;
+
+/// A fault source whose causes the OS knows how to resolve.
+pub trait FaultResolver: FaultOracle {
+    /// Whether an access to `addr` would currently be denied (a pure
+    /// probe: unlike [`FaultOracle::check`], never counts as a denial).
+    fn is_faulting(&self, addr: Addr) -> bool;
+
+    /// Resolves whatever cause this source has for `addr` (page-in,
+    /// repair, mapping install). Idempotent; a no-op if the source has
+    /// no cause there.
+    fn resolve(&self, addr: Addr);
+}
+
+impl FaultResolver for EInject {
+    fn is_faulting(&self, addr: Addr) -> bool {
+        EInject::is_faulting(self, addr)
+    }
+
+    fn resolve(&self, addr: Addr) {
+        self.clear_faulting(addr);
+    }
+}
+
+impl FaultResolver for Tako {
+    fn is_faulting(&self, addr: Addr) -> bool {
+        self.probe(addr)
+    }
+
+    fn resolve(&self, addr: Addr) {
+        self.resolve_page(addr);
+        self.repair(addr);
+    }
+}
+
+impl FaultResolver for MidgardMmu {
+    fn is_faulting(&self, addr: Addr) -> bool {
+        self.probe(addr)
+    }
+
+    fn resolve(&self, addr: Addr) {
+        self.map_page(addr);
+    }
+}
+
+/// Chains fault sources: the first denial wins; resolution goes to every
+/// source that currently has a cause for the address.
+pub struct CompositeResolver {
+    sources: Vec<Rc<dyn FaultResolver>>,
+}
+
+impl std::fmt::Debug for CompositeResolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeResolver")
+            .field("sources", &self.sources.len())
+            .finish()
+    }
+}
+
+impl CompositeResolver {
+    /// Chains `sources` in priority order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty.
+    pub fn new(sources: Vec<Rc<dyn FaultResolver>>) -> Self {
+        assert!(!sources.is_empty(), "composite needs at least one source");
+        CompositeResolver { sources }
+    }
+
+    /// Number of chained sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the composite has no sources (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+impl FaultOracle for CompositeResolver {
+    fn check(&self, addr: Addr, is_store: bool) -> Option<ExceptionKind> {
+        self.sources.iter().find_map(|s| s.check(addr, is_store))
+    }
+}
+
+impl FaultResolver for CompositeResolver {
+    fn is_faulting(&self, addr: Addr) -> bool {
+        self.sources.iter().any(|s| s.is_faulting(addr))
+    }
+
+    fn resolve(&self, addr: Addr) {
+        for s in &self.sources {
+            if s.is_faulting(addr) {
+                s.resolve(addr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tako::Callback;
+    use ise_types::addr::PAGE_SIZE;
+
+    #[test]
+    fn einject_resolver_clears_pages() {
+        let e = EInject::new(Addr::new(0x10_0000), 4 * PAGE_SIZE);
+        let a = Addr::new(0x10_0000);
+        e.set_faulting(a);
+        assert!(FaultResolver::is_faulting(&e, a));
+        FaultResolver::resolve(&e, a);
+        assert!(!FaultResolver::is_faulting(&e, a));
+    }
+
+    #[test]
+    fn tako_resolver_repairs_and_pages_in() {
+        let t = Tako::new(Addr::new(0x20_0000), 4 * PAGE_SIZE, Callback::Encryption);
+        let a = Addr::new(0x20_0000);
+        t.make_cold(a);
+        t.poison(a.offset(PAGE_SIZE));
+        assert!(t.is_faulting(a));
+        assert!(t.is_faulting(a.offset(PAGE_SIZE)));
+        t.resolve(a);
+        t.resolve(a.offset(PAGE_SIZE));
+        assert!(!t.is_faulting(a));
+        assert!(!t.is_faulting(a.offset(PAGE_SIZE)));
+    }
+
+    #[test]
+    fn midgard_resolver_maps_pages() {
+        let m = MidgardMmu::new();
+        m.map_vma(Addr::new(0x30_0000), 4 * PAGE_SIZE, true);
+        let a = Addr::new(0x30_0000);
+        assert!(m.is_faulting(a));
+        FaultResolver::resolve(&m, a);
+        assert!(!FaultResolver::is_faulting(&m, a));
+    }
+
+    #[test]
+    fn composite_chains_and_resolves_the_right_source() {
+        let e = Rc::new(EInject::new(Addr::new(0x10_0000), 4 * PAGE_SIZE));
+        let t = Rc::new(Tako::new(Addr::new(0x20_0000), 4 * PAGE_SIZE, Callback::Scatter));
+        let c = CompositeResolver::new(vec![e.clone(), t.clone()]);
+        assert_eq!(c.len(), 2);
+        let in_e = Addr::new(0x10_0000);
+        let in_t = Addr::new(0x20_0000);
+        e.set_faulting(in_e);
+        t.poison(in_t);
+        assert!(c.check(in_e, true).is_some());
+        assert!(matches!(
+            c.check(in_t, true),
+            Some(ExceptionKind::AcceleratorFault(_))
+        ));
+        c.resolve(in_e);
+        c.resolve(in_t);
+        assert_eq!(c.check(in_e, true), None);
+        assert_eq!(c.check(in_t, true), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_composite_rejected() {
+        let _ = CompositeResolver::new(vec![]);
+    }
+}

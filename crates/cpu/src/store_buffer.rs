@@ -1,0 +1,422 @@
+//! The store buffer: retired-but-incomplete stores.
+//!
+//! Under PC the buffer drains strictly in FIFO order, one store at a time
+//! (the order the architectural interface must preserve, Table 5). Under
+//! WC any idle entry may issue, several drains proceed concurrently, and
+//! stores to the same 8-byte word coalesce on insert — the paper's
+//! "already coalesced" same-address case (§4.4).
+//!
+//! A drain whose response comes back denied is an **imprecise store
+//! exception**: [`StoreBuffer::pump`] reports it as a [`DrainFault`] and
+//! the core takes over (stop fetch, drain everything to the FSB, flush).
+
+use ise_engine::Cycle;
+use ise_mem::hierarchy::{Access, MemoryHierarchy};
+use ise_types::addr::{Addr, ByteMask};
+use ise_types::exception::ExceptionKind;
+use ise_types::model::ConsistencyModel;
+use ise_types::{CoreId, FaultingStoreEntry};
+use std::collections::VecDeque;
+
+/// Drain status of one store-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DrainState {
+    /// Not yet issued to the hierarchy.
+    Idle,
+    /// Issued; the response arrives at `complete_at`.
+    InFlight {
+        /// Completion time.
+        complete_at: Cycle,
+        /// Fault embedded in the response, if the transaction was denied.
+        fault: Option<ExceptionKind>,
+    },
+}
+
+/// One retired store awaiting completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbEntry {
+    /// Store target address.
+    pub addr: Addr,
+    /// Store data.
+    pub value: u64,
+    /// Bytes written.
+    pub mask: ByteMask,
+    state: DrainState,
+}
+
+impl SbEntry {
+    fn word(&self) -> u64 {
+        self.addr.raw() >> 3
+    }
+}
+
+/// A detected imprecise store exception: which entry faulted and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainFault {
+    /// Index of the faulting entry in buffer (FIFO) order.
+    pub index: usize,
+    /// The embedded exception.
+    pub kind: ExceptionKind,
+}
+
+/// The store buffer of one core.
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    core: CoreId,
+    capacity: usize,
+    model: ConsistencyModel,
+    entries: VecDeque<SbEntry>,
+    /// Per-cycle issue ports for WC drains.
+    drain_width: usize,
+    /// Cap on concurrently in-flight drains (ASO checkpoint budget).
+    max_in_flight: usize,
+    coalesced: u64,
+    drained: u64,
+}
+
+impl StoreBuffer {
+    /// Creates a store buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (SC cores simply never push).
+    pub fn new(core: CoreId, capacity: usize, model: ConsistencyModel) -> Self {
+        assert!(capacity > 0, "store buffer needs capacity");
+        StoreBuffer {
+            core,
+            capacity,
+            model,
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            drain_width: 2,
+            max_in_flight: usize::MAX,
+            coalesced: 0,
+            drained: 0,
+        }
+    }
+
+    /// Caps the number of concurrently in-flight drains. The ASO baseline
+    /// uses this to model a finite checkpoint budget (each outstanding
+    /// store miss holds one checkpoint, paper §3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn set_max_in_flight(&mut self, cap: usize) {
+        assert!(cap > 0, "in-flight cap must be positive");
+        self.max_in_flight = cap;
+    }
+
+    /// Whether another retired store fits.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Whether the buffer is empty (fences and atomics wait for this).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Entries whose drain is currently in flight (the quantity ASO maps
+    /// to checkpoints).
+    pub fn in_flight(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.state, DrainState::InFlight { .. }))
+            .count()
+    }
+
+    /// Total stores coalesced away (WC only).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Total stores drained to the hierarchy.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Accepts a retired store.
+    ///
+    /// Under WC a store to a word already buffered (and not yet issued)
+    /// coalesces into the existing entry, preserving the same-address
+    /// ordering WC requires without a new slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — callers must check
+    /// [`StoreBuffer::has_space`] first.
+    pub fn push(&mut self, addr: Addr, value: u64, mask: ByteMask) {
+        if self.model == ConsistencyModel::Wc {
+            let word = addr.raw() >> 3;
+            if let Some(e) = self
+                .entries
+                .iter_mut()
+                .rev()
+                .find(|e| e.word() == word && e.state == DrainState::Idle)
+            {
+                e.value = mask.merge(e.value, value);
+                e.mask = e.mask | mask;
+                self.coalesced += 1;
+                return;
+            }
+        }
+        assert!(self.has_space(), "store buffer overflow");
+        self.entries.push_back(SbEntry {
+            addr,
+            value,
+            mask,
+            state: DrainState::Idle,
+        });
+    }
+
+    /// Whether a load to `addr`'s word can forward from the buffer.
+    pub fn forwards(&self, addr: Addr) -> bool {
+        let word = addr.raw() >> 3;
+        self.entries.iter().any(|e| e.word() == word)
+    }
+
+    /// Advances drains by one cycle: completes finished drains, reports a
+    /// fault if one came back denied, and issues new drains according to
+    /// the model's ordering rules.
+    pub fn pump(&mut self, now: Cycle, hier: &mut MemoryHierarchy) -> Option<DrainFault> {
+        // Complete finished drains.
+        match self.model {
+            ConsistencyModel::Sc => {}
+            ConsistencyModel::Pc => {
+                // Ownership requests pipeline, but stores become globally
+                // visible strictly in FIFO order: only the front entry may
+                // leave the buffer.
+                while let Some(front) = self.entries.front() {
+                    match front.state {
+                        DrainState::InFlight { complete_at, fault } if complete_at <= now => {
+                            if let Some(kind) = fault {
+                                return Some(DrainFault { index: 0, kind });
+                            }
+                            self.entries.pop_front();
+                            self.drained += 1;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            ConsistencyModel::Wc => loop {
+                let mut acted = false;
+                for i in 0..self.entries.len() {
+                    if let DrainState::InFlight { complete_at, fault } = self.entries[i].state {
+                        if complete_at <= now {
+                            if let Some(kind) = fault {
+                                return Some(DrainFault { index: i, kind });
+                            }
+                            self.entries.remove(i);
+                            self.drained += 1;
+                            acted = true;
+                            break;
+                        }
+                    }
+                }
+                if !acted {
+                    break;
+                }
+            },
+        }
+
+        // Issue new drains.
+        match self.model {
+            ConsistencyModel::Sc => {}
+            ConsistencyModel::Pc | ConsistencyModel::Wc => {
+                let mut issued = 0;
+                let mut in_flight = self.in_flight();
+                for i in 0..self.entries.len() {
+                    if issued >= self.drain_width || in_flight >= self.max_in_flight {
+                        break;
+                    }
+                    if self.entries[i].state == DrainState::Idle {
+                        let acc = Access::store(self.core, self.entries[i].addr);
+                        let r = hier.access(acc, now);
+                        self.entries[i].state = DrainState::InFlight {
+                            complete_at: now + r.latency,
+                            fault: r.fault,
+                        };
+                        issued += 1;
+                        in_flight += 1;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Drains the entire buffer into FSB records in buffer (FIFO) order —
+    /// the same-stream policy of §4.6. The entry at `fault_index` carries
+    /// the fault's error code; every other entry (drained without its own
+    /// memory access, or still in flight) carries code 0.
+    ///
+    /// The buffer is left empty.
+    pub fn drain_to_fsb(&mut self, fault: DrainFault) -> Vec<FaultingStoreEntry> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for (i, e) in self.entries.iter().enumerate() {
+            if i == fault.index {
+                out.push(FaultingStoreEntry::new(
+                    e.addr,
+                    e.value,
+                    e.mask,
+                    fault.kind.error_code(),
+                ));
+            } else {
+                out.push(FaultingStoreEntry::non_faulting(e.addr, e.value, e.mask));
+            }
+        }
+        self.entries.clear();
+        out
+    }
+
+    /// Split-stream drain (§4.5 ablation): removes and returns *only* the
+    /// faulting entry as an FSB record; younger non-faulting stores stay
+    /// in the buffer and keep draining to memory. The paper shows this
+    /// policy needs an extra HW/SW barrier to be PC-correct — the timing
+    /// pipeline supports it so the ablation can measure its cost, while
+    /// the operational machine demonstrates its race (Fig. 2a).
+    pub fn extract_faulting(&mut self, fault: DrainFault) -> Vec<FaultingStoreEntry> {
+        let e = self.entries.remove(fault.index).expect("fault index in range");
+        vec![FaultingStoreEntry::new(
+            e.addr,
+            e.value,
+            e.mask,
+            fault.kind.error_code(),
+        )]
+    }
+
+    /// Abandons all buffered stores (process teardown in tests).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::config::SystemConfig;
+
+    fn hier() -> MemoryHierarchy {
+        let mut cfg = SystemConfig::isca23();
+        cfg.cores = 2;
+        cfg.noc.mesh_x = 2;
+        cfg.noc.mesh_y = 1;
+        MemoryHierarchy::new(cfg)
+    }
+
+    fn sb(model: ConsistencyModel) -> StoreBuffer {
+        StoreBuffer::new(CoreId(0), 4, model)
+    }
+
+    #[test]
+    fn push_and_space_accounting() {
+        let mut b = sb(ConsistencyModel::Pc);
+        for i in 0..4 {
+            assert!(b.has_space());
+            b.push(Addr::new(i * 64), i, ByteMask::FULL);
+        }
+        assert!(!b.has_space());
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut b = sb(ConsistencyModel::Pc);
+        for i in 0..5 {
+            b.push(Addr::new(i * 64), i, ByteMask::FULL);
+        }
+    }
+
+    #[test]
+    fn pc_pipelines_drains_but_completes_in_order() {
+        let mut b = sb(ConsistencyModel::Pc);
+        let mut h = hier();
+        b.push(Addr::new(0), 1, ByteMask::FULL);
+        b.push(Addr::new(64), 2, ByteMask::FULL);
+        b.pump(0, &mut h);
+        assert_eq!(b.in_flight(), 2, "PC pipelines ownership requests");
+        // Run forward until both drained; the front must always leave
+        // first (FIFO order), which `pump` enforces structurally.
+        let mut t = 0;
+        while !b.is_empty() && t < 10_000 {
+            t += 1;
+            assert!(b.pump(t, &mut h).is_none());
+        }
+        assert!(b.is_empty());
+        assert_eq!(b.drained(), 2);
+    }
+
+    #[test]
+    fn wc_drains_concurrently() {
+        let mut b = sb(ConsistencyModel::Wc);
+        let mut h = hier();
+        b.push(Addr::new(0), 1, ByteMask::FULL);
+        b.push(Addr::new(64), 2, ByteMask::FULL);
+        b.pump(0, &mut h);
+        assert_eq!(b.in_flight(), 2, "WC issues multiple drains");
+    }
+
+    #[test]
+    fn wc_coalesces_same_word() {
+        let mut b = sb(ConsistencyModel::Wc);
+        b.push(Addr::new(8), 0xff, ByteMask::span(0, 1));
+        b.push(Addr::new(8), 0xaa00, ByteMask::span(1, 1));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.coalesced(), 1);
+        let mut h = hier();
+        let entries = b.drain_to_fsb(DrainFault {
+            index: 0,
+            kind: ExceptionKind::BusError,
+        });
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].mask.bits(), 0b11);
+        assert_eq!(entries[0].data & 0xffff, 0xaaff);
+        let _ = &mut h;
+    }
+
+    #[test]
+    fn pc_does_not_coalesce() {
+        let mut b = sb(ConsistencyModel::Pc);
+        b.push(Addr::new(8), 1, ByteMask::FULL);
+        b.push(Addr::new(8), 2, ByteMask::FULL);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.coalesced(), 0);
+    }
+
+    #[test]
+    fn forwarding_sees_buffered_words() {
+        let mut b = sb(ConsistencyModel::Wc);
+        b.push(Addr::new(0x100), 7, ByteMask::FULL);
+        assert!(b.forwards(Addr::new(0x100)));
+        assert!(b.forwards(Addr::new(0x104))); // same word
+        assert!(!b.forwards(Addr::new(0x108)));
+    }
+
+    #[test]
+    fn drain_to_fsb_preserves_order_and_marks_fault() {
+        let mut b = sb(ConsistencyModel::Pc);
+        b.push(Addr::new(0), 1, ByteMask::FULL);
+        b.push(Addr::new(64), 2, ByteMask::FULL);
+        b.push(Addr::new(128), 3, ByteMask::FULL);
+        let entries = b.drain_to_fsb(DrainFault {
+            index: 1,
+            kind: ExceptionKind::BusError,
+        });
+        assert_eq!(entries.len(), 3);
+        assert_eq!(
+            entries.iter().map(|e| e.addr.raw()).collect::<Vec<_>>(),
+            vec![0, 64, 128]
+        );
+        assert!(!entries[0].is_faulting());
+        assert!(entries[1].is_faulting());
+        assert!(!entries[2].is_faulting());
+        assert!(b.is_empty());
+    }
+}

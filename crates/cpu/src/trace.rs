@@ -1,0 +1,122 @@
+//! Instruction trace sources.
+
+use ise_types::Instruction;
+
+/// A pull-based source of instructions for one core.
+///
+/// Implementations may synthesize instructions lazily; the core keeps
+/// uncommitted instructions in its ROB, so sources never need to rewind.
+pub trait TraceSource {
+    /// The next instruction in program order, or `None` when the program
+    /// has ended.
+    fn next_instr(&mut self) -> Option<Instruction>;
+
+    /// A hint of how many instructions remain, when cheaply known.
+    fn remaining_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A trace backed by a vector of instructions.
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    instrs: Vec<Instruction>,
+    pos: usize,
+}
+
+impl VecTrace {
+    /// Wraps a complete instruction sequence.
+    pub fn new(instrs: Vec<Instruction>) -> Self {
+        VecTrace { instrs, pos: 0 }
+    }
+
+    /// Total instructions in the trace.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_instr(&mut self) -> Option<Instruction> {
+        let i = self.instrs.get(self.pos).copied();
+        if i.is_some() {
+            self.pos += 1;
+        }
+        i
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.instrs.len() - self.pos)
+    }
+}
+
+impl FromIterator<Instruction> for VecTrace {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        VecTrace::new(iter.into_iter().collect())
+    }
+}
+
+/// A trace synthesized on demand from a closure, for generators too large
+/// to materialize.
+pub struct FnTrace<F> {
+    f: F,
+}
+
+impl<F: FnMut() -> Option<Instruction>> FnTrace<F> {
+    /// Wraps a generator closure.
+    pub fn new(f: F) -> Self {
+        FnTrace { f }
+    }
+}
+
+impl<F: FnMut() -> Option<Instruction>> TraceSource for FnTrace<F> {
+    fn next_instr(&mut self) -> Option<Instruction> {
+        (self.f)()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::addr::Addr;
+
+    #[test]
+    fn vec_trace_yields_in_order_then_ends() {
+        let mut t = VecTrace::new(vec![
+            Instruction::store(Addr::new(0), 1),
+            Instruction::other(),
+        ]);
+        assert_eq!(t.remaining_hint(), Some(2));
+        assert_eq!(t.next_instr(), Some(Instruction::store(Addr::new(0), 1)));
+        assert_eq!(t.next_instr(), Some(Instruction::other()));
+        assert_eq!(t.next_instr(), None);
+        assert_eq!(t.next_instr(), None);
+        assert_eq!(t.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn fn_trace_synthesizes() {
+        let mut n = 0;
+        let mut t = FnTrace::new(move || {
+            n += 1;
+            (n <= 3).then(Instruction::other)
+        });
+        let mut count = 0;
+        while t.next_instr().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn collect_into_vec_trace() {
+        let t: VecTrace = (0..5).map(|_| Instruction::other()).collect();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+}

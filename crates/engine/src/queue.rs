@@ -1,0 +1,154 @@
+//! A deterministic time-ordered event queue.
+
+use crate::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of `(time, payload)` pairs with deterministic FIFO tie
+/// breaking: two events scheduled for the same cycle pop in the order they
+/// were scheduled, regardless of payload.
+///
+/// This is the backbone of the memory system: every in-flight request is an
+/// event whose payload describes what completes when the clock reaches it.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    key: Reverse<(Cycle, u64)>,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute cycle `time`.
+    pub fn schedule(&mut self, time: Cycle, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            key: Reverse((time, seq)),
+            payload,
+        });
+    }
+
+    /// The firing time of the earliest event, if any.
+    pub fn next_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Pops the earliest event if it fires at or before `now`.
+    pub fn pop_at_or_before(&mut self, now: Cycle) -> Option<(Cycle, T)> {
+        match self.heap.peek() {
+            Some(e) if e.key.0 .0 <= now => {
+                let e = self.heap.pop().expect("peeked entry must pop");
+                Some((e.key.0 .0, e.payload))
+            }
+            _ => None,
+        }
+    }
+
+    /// Pops the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        assert_eq!(q.pop_at_or_before(9), None);
+        assert_eq!(q.pop_at_or_before(10), Some((10, ())));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_time_peeks() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.schedule(7, ());
+        assert_eq!(q.next_time(), Some(7));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "x");
+        q.schedule(2, "y");
+        assert_eq!(q.pop(), Some((2, "y")));
+        q.schedule(5, "z");
+        assert_eq!(q.pop(), Some((5, "z")));
+        assert_eq!(q.pop(), Some((10, "x")));
+    }
+}

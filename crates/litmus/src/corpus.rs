@@ -1,0 +1,723 @@
+//! The generated litmus corpus, organized by the eight ordering-relation
+//! families of Table 6.
+//!
+//! Each test is a small multi-threaded program; the runner checks that
+//! every outcome the operational machine can reach — with and without
+//! EInject faults on every location — is allowed by the axiomatic model.
+//! The classic named shapes (MP, SB/Dekker, LB, S, R, WRC, IRIW, CoRR,
+//! 2+2W, ...) appear with systematic fence/dependency/atomic variants.
+
+use ise_consistency::program::{LitmusProgram, Loc, Stmt};
+use ise_types::instr::{FenceKind, Reg};
+use std::fmt;
+
+const A: Loc = Loc(0);
+const B: Loc = Loc(1);
+const C: Loc = Loc(2);
+const R0: Reg = Reg(0);
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+
+/// Table 6's ordering-relation families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// Register dependencies for addr, data, and ctrl.
+    Dependencies,
+    /// Rd-Rd / Wr-Wr to the same address from the same core.
+    PoSameLocation,
+    /// Instruction pairs maintained in program order (atomics, LR/SC).
+    PreservedPo,
+    /// Wr-Rd to the same address from different cores.
+    ExternalReadFrom,
+    /// Wr-Rd to the same address from the same core.
+    InternalReadFrom,
+    /// Wr-Wr total order to the same address.
+    CoherenceOrder,
+    /// Rd-Wr to the same address.
+    FromRead,
+    /// Ordering imposed by barriers.
+    Barriers,
+}
+
+impl Family {
+    /// All families, in Table 6 order.
+    pub const ALL: [Family; 8] = [
+        Family::Dependencies,
+        Family::PoSameLocation,
+        Family::PreservedPo,
+        Family::ExternalReadFrom,
+        Family::InternalReadFrom,
+        Family::CoherenceOrder,
+        Family::FromRead,
+        Family::Barriers,
+    ];
+
+    /// The Table 6 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Dependencies => "Dependencies",
+            Family::PoSameLocation => "Program order (same location)",
+            Family::PreservedPo => "Preserved program order",
+            Family::ExternalReadFrom => "External read-from order",
+            Family::InternalReadFrom => "Internal read-from order",
+            Family::CoherenceOrder => "Coherence order",
+            Family::FromRead => "From-read order",
+            Family::Barriers => "Barriers",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One corpus entry.
+#[derive(Debug, Clone)]
+pub struct LitmusTest {
+    /// Unique test name (`family/shape+variant`).
+    pub name: String,
+    /// Table 6 family.
+    pub family: Family,
+    /// The program.
+    pub program: LitmusProgram,
+}
+
+fn t(family: Family, name: impl Into<String>, threads: Vec<Vec<Stmt>>) -> LitmusTest {
+    LitmusTest {
+        name: name.into(),
+        family,
+        program: LitmusProgram::new(threads),
+    }
+}
+
+fn maybe_fence(kind: Option<FenceKind>) -> Vec<Stmt> {
+    kind.map(Stmt::fence).into_iter().collect()
+}
+
+fn fence_name(kind: Option<FenceKind>) -> &'static str {
+    match kind {
+        None => "po",
+        Some(FenceKind::Full) => "fence",
+        Some(FenceKind::StoreStore) => "fence.ww",
+        Some(FenceKind::LoadLoad) => "fence.rr",
+    }
+}
+
+/// Message passing: T0 publishes B then flags A; T1 polls A then reads B.
+fn mp(f0: Option<FenceKind>, f1: Option<FenceKind>) -> Vec<Vec<Stmt>> {
+    let mut t0 = vec![Stmt::write(B, 1)];
+    t0.extend(maybe_fence(f0));
+    t0.push(Stmt::write(A, 1));
+    let mut t1 = vec![Stmt::read(A, R0)];
+    t1.extend(maybe_fence(f1));
+    t1.push(Stmt::read(B, R1));
+    vec![t0, t1]
+}
+
+/// Store buffering (Dekker).
+fn sb(f0: Option<FenceKind>, f1: Option<FenceKind>) -> Vec<Vec<Stmt>> {
+    let mut t0 = vec![Stmt::write(A, 1)];
+    t0.extend(maybe_fence(f0));
+    t0.push(Stmt::read(B, R0));
+    let mut t1 = vec![Stmt::write(B, 1)];
+    t1.extend(maybe_fence(f1));
+    t1.push(Stmt::read(A, R1));
+    vec![t0, t1]
+}
+
+/// The S shape: Wr-Wr vs Rd-Wr.
+fn s_shape(f0: Option<FenceKind>) -> Vec<Vec<Stmt>> {
+    let mut t0 = vec![Stmt::write(A, 2)];
+    t0.extend(maybe_fence(f0));
+    t0.push(Stmt::write(B, 1));
+    let t1 = vec![Stmt::read(B, R0), Stmt::write(A, 1)];
+    vec![t0, t1]
+}
+
+/// The R shape: Wr-Wr vs Wr-Rd.
+fn r_shape(f0: Option<FenceKind>) -> Vec<Vec<Stmt>> {
+    let mut t0 = vec![Stmt::write(A, 1)];
+    t0.extend(maybe_fence(f0));
+    t0.push(Stmt::write(B, 1));
+    let t1 = vec![Stmt::write(B, 2), Stmt::read(A, R0)];
+    vec![t0, t1]
+}
+
+/// Load buffering with dependencies on both sides: forbidden under every
+/// model with dependency order (no out-of-thin-air).
+fn lb_deps() -> Vec<Vec<Stmt>> {
+    vec![
+        vec![Stmt::read(A, R0), Stmt::write(B, 1).depending_on(R0)],
+        vec![Stmt::read(B, R1), Stmt::write(A, 1).depending_on(R1)],
+    ]
+}
+
+fn external_read_from() -> Vec<LitmusTest> {
+    let mut out = Vec::new();
+    let fences = [None, Some(FenceKind::Full)];
+    for f0 in fences {
+        for f1 in fences {
+            out.push(t(
+                Family::ExternalReadFrom,
+                format!("erf/MP+{}+{}", fence_name(f0), fence_name(f1)),
+                mp(f0, f1),
+            ));
+        }
+    }
+    // WRC: write-to-read causality across three threads.
+    out.push(t(
+        Family::ExternalReadFrom,
+        "erf/WRC",
+        vec![
+            vec![Stmt::write(A, 1)],
+            vec![
+                Stmt::read(A, R0),
+                Stmt::fence(FenceKind::Full),
+                Stmt::write(B, 1),
+            ],
+            vec![
+                Stmt::read(B, R1),
+                Stmt::fence(FenceKind::Full),
+                Stmt::read(A, R2),
+            ],
+        ],
+    ));
+    // IRIW: independent reads of independent writes.
+    out.push(t(
+        Family::ExternalReadFrom,
+        "erf/IRIW+fences",
+        vec![
+            vec![Stmt::write(A, 1)],
+            vec![Stmt::write(B, 1)],
+            vec![
+                Stmt::read(A, R0),
+                Stmt::fence(FenceKind::Full),
+                Stmt::read(B, R1),
+            ],
+            vec![
+                Stmt::read(B, R2),
+                Stmt::fence(FenceKind::Full),
+                Stmt::read(A, R3),
+            ],
+        ],
+    ));
+    // LB: load buffering (our in-order machine never produces it, but the
+    // axiomatic set must contain whatever it observes).
+    out.push(t(
+        Family::ExternalReadFrom,
+        "erf/LB",
+        vec![
+            vec![Stmt::read(A, R0), Stmt::write(B, 1)],
+            vec![Stmt::read(B, R1), Stmt::write(A, 1)],
+        ],
+    ));
+    // ISA2: transitive message passing across three threads.
+    out.push(t(
+        Family::ExternalReadFrom,
+        "erf/ISA2",
+        vec![
+            vec![
+                Stmt::write(A, 1),
+                Stmt::fence(FenceKind::Full),
+                Stmt::write(B, 1),
+            ],
+            vec![
+                Stmt::read(B, R0),
+                Stmt::fence(FenceKind::Full),
+                Stmt::write(C, 1),
+            ],
+            vec![
+                Stmt::read(C, R1),
+                Stmt::fence(FenceKind::Full),
+                Stmt::read(A, R2),
+            ],
+        ],
+    ));
+    // W+RWC: a write racing a read-write-chain.
+    out.push(t(
+        Family::ExternalReadFrom,
+        "erf/W+RWC",
+        vec![
+            vec![Stmt::write(A, 2)],
+            vec![
+                Stmt::read(A, R0),
+                Stmt::fence(FenceKind::Full),
+                Stmt::read(B, R1),
+            ],
+            vec![Stmt::write(B, 1), Stmt::fence(FenceKind::Full), Stmt::write(A, 1)],
+        ],
+    ));
+    out
+}
+
+fn internal_read_from() -> Vec<LitmusTest> {
+    vec![
+        t(
+            Family::InternalReadFrom,
+            "irf/forward",
+            vec![vec![Stmt::write(A, 1), Stmt::read(A, R0)]],
+        ),
+        t(
+            Family::InternalReadFrom,
+            "irf/forward-twice",
+            vec![vec![Stmt::write(A, 1), Stmt::read(A, R0), Stmt::read(A, R1)]],
+        ),
+        t(
+            Family::InternalReadFrom,
+            "irf/forward-latest",
+            vec![vec![
+                Stmt::write(A, 1),
+                Stmt::write(A, 2),
+                Stmt::read(A, R0),
+            ]],
+        ),
+        t(
+            Family::InternalReadFrom,
+            "irf/forward-vs-remote",
+            vec![
+                vec![Stmt::write(A, 1), Stmt::read(A, R0), Stmt::read(B, R1)],
+                vec![Stmt::write(B, 1), Stmt::read(B, R2), Stmt::read(A, R3)],
+            ],
+        ),
+        t(
+            Family::InternalReadFrom,
+            "irf/SB+forwards",
+            vec![
+                vec![Stmt::write(A, 1), Stmt::read(A, R0), Stmt::read(B, R1)],
+                vec![Stmt::write(B, 1), Stmt::read(A, R2)],
+            ],
+        ),
+    ]
+}
+
+fn po_same_location() -> Vec<LitmusTest> {
+    vec![
+        t(
+            Family::PoSameLocation,
+            "poloc/CoRR",
+            vec![
+                vec![Stmt::write(A, 1)],
+                vec![Stmt::read(A, R0), Stmt::read(A, R1)],
+            ],
+        ),
+        t(
+            Family::PoSameLocation,
+            "poloc/CoRR2",
+            vec![
+                vec![Stmt::write(A, 1)],
+                vec![Stmt::read(A, R0), Stmt::read(A, R1)],
+                vec![Stmt::read(A, R2), Stmt::read(A, R3)],
+            ],
+        ),
+        t(
+            Family::PoSameLocation,
+            "poloc/CoWW",
+            vec![
+                vec![Stmt::write(A, 1), Stmt::write(A, 2)],
+                vec![Stmt::read(A, R0), Stmt::read(A, R1)],
+            ],
+        ),
+        t(
+            Family::PoSameLocation,
+            "poloc/CoWR",
+            vec![
+                vec![Stmt::write(A, 1), Stmt::read(A, R0)],
+                vec![Stmt::write(A, 2)],
+            ],
+        ),
+        t(
+            Family::PoSameLocation,
+            "poloc/CoRW",
+            vec![
+                vec![Stmt::read(A, R0), Stmt::write(A, 1)],
+                vec![Stmt::write(A, 2)],
+            ],
+        ),
+        t(
+            Family::PoSameLocation,
+            "poloc/CoRW2",
+            vec![
+                vec![Stmt::read(A, R0), Stmt::write(A, 1)],
+                vec![Stmt::read(A, R1), Stmt::write(A, 2)],
+            ],
+        ),
+        t(
+            Family::PoSameLocation,
+            "poloc/CoWR-other-writer",
+            vec![
+                vec![Stmt::write(A, 1), Stmt::read(A, R0), Stmt::read(A, R1)],
+                vec![Stmt::write(A, 2), Stmt::read(A, R2)],
+            ],
+        ),
+        t(
+            Family::PoSameLocation,
+            "poloc/CoWW-third-observer",
+            vec![
+                vec![Stmt::write(A, 1), Stmt::write(A, 2), Stmt::write(B, 1)],
+                vec![Stmt::read(B, R0), Stmt::read(A, R1)],
+            ],
+        ),
+    ]
+}
+
+fn coherence_order() -> Vec<LitmusTest> {
+    let mut out = Vec::new();
+    for f in [None, Some(FenceKind::StoreStore), Some(FenceKind::Full)] {
+        let mut t0 = vec![Stmt::write(A, 1)];
+        t0.extend(maybe_fence(f));
+        t0.push(Stmt::write(B, 1));
+        let mut t1 = vec![Stmt::write(B, 2)];
+        t1.extend(maybe_fence(f));
+        t1.push(Stmt::write(A, 2));
+        out.push(t(
+            Family::CoherenceOrder,
+            format!("co/2+2W+{}", fence_name(f)),
+            vec![
+                t0,
+                t1,
+                vec![Stmt::read(A, R0), Stmt::read(B, R1)],
+            ],
+        ));
+    }
+    out.push(t(
+        Family::CoherenceOrder,
+        "co/WW-race-two-observers",
+        vec![
+            vec![Stmt::write(A, 1)],
+            vec![Stmt::write(A, 2)],
+            vec![Stmt::read(A, R0), Stmt::read(A, R1)],
+            vec![Stmt::read(A, R2), Stmt::read(A, R3)],
+        ],
+    ));
+    out.push(t(
+        Family::CoherenceOrder,
+        "co/2+2W+amo",
+        vec![
+            vec![Stmt::amo(A, 1, R0), Stmt::write(B, 1)],
+            vec![Stmt::amo(B, 2, R1), Stmt::write(A, 2)],
+            vec![Stmt::read(A, R2), Stmt::read(B, R3)],
+        ],
+    ));
+    out.push(t(
+        Family::CoherenceOrder,
+        "co/three-writes",
+        vec![
+            vec![Stmt::write(A, 1), Stmt::write(A, 2)],
+            vec![Stmt::write(A, 3)],
+            vec![Stmt::read(A, R0), Stmt::read(A, R1)],
+        ],
+    ));
+    out
+}
+
+fn from_read() -> Vec<LitmusTest> {
+    let mut out = Vec::new();
+    for f in [None, Some(FenceKind::Full)] {
+        out.push(t(
+            Family::FromRead,
+            format!("fr/S+{}", fence_name(f)),
+            s_shape(f),
+        ));
+        out.push(t(
+            Family::FromRead,
+            format!("fr/R+{}", fence_name(f)),
+            r_shape(f),
+        ));
+    }
+    out.push(t(
+        Family::FromRead,
+        "fr/read-then-overwrite",
+        vec![
+            vec![Stmt::read(A, R0), Stmt::write(A, 1)],
+            vec![Stmt::read(A, R1)],
+        ],
+    ));
+    // SB shape seen from the from-read side: each thread's read
+    // fr-precedes the other's write.
+    out.push(t(
+        Family::FromRead,
+        "fr/SB-as-fr",
+        vec![
+            vec![Stmt::read(B, R0), Stmt::write(A, 1)],
+            vec![Stmt::read(A, R1), Stmt::write(B, 1)],
+        ],
+    ));
+    // fr through an AMO.
+    out.push(t(
+        Family::FromRead,
+        "fr/amo-observes-then-writes",
+        vec![
+            vec![Stmt::amo(A, 10, R0), Stmt::write(B, 1)],
+            vec![Stmt::read(B, R1), Stmt::write(A, 1)],
+        ],
+    ));
+    out
+}
+
+fn dependencies() -> Vec<LitmusTest> {
+    let mut out = Vec::new();
+    // MP with a consumer-side address dependency: the canonical use.
+    for f0 in [Some(FenceKind::StoreStore), Some(FenceKind::Full)] {
+        let mut t0 = vec![Stmt::write(B, 1)];
+        t0.extend(maybe_fence(f0));
+        t0.push(Stmt::write(A, 1));
+        out.push(t(
+            Family::Dependencies,
+            format!("dep/MP+{}+addr-dep", fence_name(f0)),
+            vec![
+                t0,
+                vec![Stmt::read(A, R0), Stmt::read(B, R1).depending_on(R0)],
+            ],
+        ));
+    }
+    // Data dependency into a store.
+    out.push(t(
+        Family::Dependencies,
+        "dep/MP+data-dep-store",
+        vec![
+            vec![
+                Stmt::write(B, 1),
+                Stmt::fence(FenceKind::Full),
+                Stmt::write(A, 1),
+            ],
+            vec![
+                Stmt::read(A, R0),
+                Stmt::write(C, 1).depending_on(R0),
+            ],
+            vec![
+                Stmt::read(C, R1),
+                Stmt::fence(FenceKind::Full),
+                Stmt::read(B, R2),
+            ],
+        ],
+    ));
+    // Control dependency into a second load.
+    out.push(t(
+        Family::Dependencies,
+        "dep/ctrl-dep-chain",
+        vec![
+            vec![Stmt::write(A, 1)],
+            vec![
+                Stmt::read(A, R0),
+                Stmt::read(B, R1).depending_on(R0),
+                Stmt::read(A, R2).depending_on(R1),
+            ],
+        ],
+    ));
+    // LB with dependencies on both sides: no out-of-thin-air values.
+    out.push(t(Family::Dependencies, "dep/LB+deps", lb_deps()));
+    // Dependency through an AMO's result.
+    out.push(t(
+        Family::Dependencies,
+        "dep/amo-result-dep",
+        vec![
+            vec![
+                Stmt::write(B, 1),
+                Stmt::fence(FenceKind::Full),
+                Stmt::write(A, 1),
+            ],
+            vec![
+                Stmt::amo(A, 0, R0),
+                Stmt::read(B, R1).depending_on(R0),
+            ],
+        ],
+    ));
+    out
+}
+
+fn preserved_po() -> Vec<LitmusTest> {
+    vec![
+        t(
+            Family::PreservedPo,
+            "ppo/amo-lost-update",
+            vec![vec![Stmt::amo(A, 1, R0)], vec![Stmt::amo(A, 1, R1)]],
+        ),
+        t(
+            Family::PreservedPo,
+            "ppo/MP+amo-publish",
+            vec![
+                vec![Stmt::write(B, 1), Stmt::amo(A, 1, R2)],
+                vec![Stmt::read(A, R0), Stmt::read(B, R1)],
+            ],
+        ),
+        t(
+            Family::PreservedPo,
+            "ppo/amo-consumer",
+            vec![
+                vec![
+                    Stmt::write(B, 1),
+                    Stmt::fence(FenceKind::Full),
+                    Stmt::write(A, 1),
+                ],
+                vec![Stmt::amo(A, 0, R0), Stmt::read(B, R1)],
+            ],
+        ),
+        t(
+            Family::PreservedPo,
+            "ppo/amo-as-fence",
+            // An AMO between two stores orders them like a fence would.
+            vec![
+                vec![
+                    Stmt::write(B, 1),
+                    Stmt::amo(C, 1, R2),
+                    Stmt::write(A, 1),
+                ],
+                vec![Stmt::read(A, R0), Stmt::read(B, R1)],
+            ],
+        ),
+        t(
+            Family::PreservedPo,
+            "ppo/amo-three-way-count",
+            vec![
+                vec![Stmt::amo(A, 1, R0)],
+                vec![Stmt::amo(A, 1, R1)],
+                vec![Stmt::amo(A, 1, R2)],
+            ],
+        ),
+        t(
+            Family::PreservedPo,
+            "ppo/amo-chain",
+            vec![
+                vec![Stmt::amo(A, 1, R0), Stmt::amo(B, 1, R1)],
+                vec![Stmt::amo(B, 1, R2), Stmt::amo(A, 1, R3)],
+            ],
+        ),
+    ]
+}
+
+fn barriers() -> Vec<LitmusTest> {
+    let mut out = Vec::new();
+    for (f0, f1) in [
+        (Some(FenceKind::StoreStore), Some(FenceKind::LoadLoad)),
+        (Some(FenceKind::StoreStore), Some(FenceKind::Full)),
+        (Some(FenceKind::Full), Some(FenceKind::LoadLoad)),
+        (Some(FenceKind::LoadLoad), Some(FenceKind::StoreStore)),
+    ] {
+        out.push(t(
+            Family::Barriers,
+            format!("barrier/MP+{}+{}", fence_name(f0), fence_name(f1)),
+            mp(f0, f1),
+        ));
+    }
+    for f in [
+        Some(FenceKind::Full),
+        Some(FenceKind::StoreStore),
+        Some(FenceKind::LoadLoad),
+    ] {
+        out.push(t(
+            Family::Barriers,
+            format!("barrier/SB+{}+{}", fence_name(f), fence_name(f)),
+            sb(f, f),
+        ));
+    }
+    // A fence with an empty store buffer is a no-op that must not deadlock.
+    out.push(t(
+        Family::Barriers,
+        "barrier/leading-fence",
+        vec![vec![
+            Stmt::fence(FenceKind::Full),
+            Stmt::write(A, 1),
+            Stmt::fence(FenceKind::Full),
+        ]],
+    ));
+    // 2+2W fully fenced: writes to each location globally ordered.
+    out.push(t(
+        Family::Barriers,
+        "barrier/2+2W+fences",
+        vec![
+            vec![
+                Stmt::write(A, 1),
+                Stmt::fence(FenceKind::Full),
+                Stmt::write(B, 1),
+            ],
+            vec![
+                Stmt::write(B, 2),
+                Stmt::fence(FenceKind::Full),
+                Stmt::write(A, 2),
+            ],
+            vec![Stmt::read(A, R0), Stmt::read(B, R1)],
+        ],
+    ));
+    // Back-to-back fences collapse to one.
+    out.push(t(
+        Family::Barriers,
+        "barrier/double-fence",
+        mp(Some(FenceKind::Full), Some(FenceKind::Full))
+            .into_iter()
+            .map(|mut thread| {
+                // Duplicate every fence.
+                let mut out = Vec::new();
+                for s in thread.drain(..) {
+                    let is_fence = matches!(s.op, ise_consistency::program::StmtOp::Fence(_));
+                    out.push(s);
+                    if is_fence {
+                        out.push(s);
+                    }
+                }
+                out
+            })
+            .collect(),
+    ));
+    out
+}
+
+/// The full corpus, every family represented.
+pub fn corpus() -> Vec<LitmusTest> {
+    let mut all = Vec::new();
+    all.extend(dependencies());
+    all.extend(po_same_location());
+    all.extend(preserved_po());
+    all.extend(external_read_from());
+    all.extend(internal_read_from());
+    all.extend(coherence_order());
+    all.extend(from_read());
+    all.extend(barriers());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn every_family_is_represented() {
+        let mut counts: BTreeMap<Family, usize> = BTreeMap::new();
+        for t in corpus() {
+            *counts.entry(t.family).or_insert(0) += 1;
+        }
+        for fam in Family::ALL {
+            assert!(
+                counts.get(&fam).copied().unwrap_or(0) >= 3,
+                "family {fam} under-represented: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let tests = corpus();
+        let mut names: Vec<&str> = tests.iter().map(|t| t.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate test names");
+    }
+
+    #[test]
+    fn corpus_is_reasonably_sized() {
+        let n = corpus().len();
+        assert!(n >= 35, "corpus too small: {n}");
+    }
+
+    #[test]
+    fn programs_are_well_formed() {
+        for t in corpus() {
+            assert!(!t.program.is_empty(), "{} is empty", t.name);
+            assert!(t.program.threads.len() <= 4, "{} too wide", t.name);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Litmus infrastructure: the paper's correctness campaign (§6.3),
+//! reproduced with exhaustive schedules.
+//!
+//! * [`machine`] — an operational model of the whole co-design: per-core
+//!   in-order execution with a store buffer (FIFO drains under PC,
+//!   relaxed under WC), EInject-style page faulting at the memory
+//!   boundary, same-stream or split-stream FSB drains on detection, and a
+//!   step-by-step OS handler applying retrieved stores in order. A DFS
+//!   with state memoization enumerates **every** interleaving — strictly
+//!   stronger coverage than the FPGA prototype's sampled runs.
+//! * [`corpus`] — generated litmus tests covering the eight ordering
+//!   relations of Table 6.
+//! * [`runner`] — runs a test on the machine (with and without injected
+//!   faults) and checks `observed ⊆ allowed`, where the allowed set comes
+//!   from the axiomatic checker in `ise-consistency`.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+//! * [`parse`] — a plain-text litmus dialect, so corpora can live as
+//!   files and run through `cargo run -p ise-bench --bin litmus`.
+
+pub mod corpus;
+pub mod machine;
+pub mod parse;
+pub mod runner;
+
+pub use corpus::{corpus, Family, LitmusTest};
+pub use machine::{explore, ExplorationResult, MachineConfig};
+pub use parse::{parse_litmus, ParseError, ParsedLitmus};
+pub use runner::{run_corpus, run_test, CorpusSummary, LitmusReport};

@@ -1,0 +1,583 @@
+//! The operational machine: exhaustive interleaving exploration of the
+//! store-buffer + FSB + EInject + OS pipeline.
+
+use ise_consistency::program::{LitmusProgram, Loc, Outcome, StmtOp};
+use ise_types::instr::{FenceKind, Reg};
+use ise_types::model::{ConsistencyModel, DrainPolicy};
+use std::collections::{BTreeSet, HashSet};
+
+/// How the machine is configured for one exploration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Consistency model the cores implement (SC disables the store
+    /// buffer entirely).
+    pub model: ConsistencyModel,
+    /// Same-stream (§4.6) or split-stream (§4.5) FSB drain policy.
+    pub policy: DrainPolicy,
+    /// Locations whose backing pages start out marked faulting in
+    /// EInject.
+    pub faulting: BTreeSet<Loc>,
+    /// Safety valve on the state-space size.
+    pub max_states: usize,
+}
+
+impl MachineConfig {
+    /// The paper's design under `model`: same-stream drains, no faults.
+    pub fn baseline(model: ConsistencyModel) -> Self {
+        MachineConfig {
+            model,
+            policy: DrainPolicy::SameStream,
+            faulting: BTreeSet::new(),
+            max_states: 1 << 22,
+        }
+    }
+
+    /// Marks every location the program touches as initially faulting —
+    /// how the litmus campaign runs (§6.3: "mark the allocated memory as
+    /// faulting ... to inject bus errors on all load, store, and atomic
+    /// instructions").
+    pub fn with_all_faulting(mut self, prog: &LitmusProgram) -> Self {
+        self.faulting = prog.locations().into_iter().collect();
+        self
+    }
+
+    /// Switches to the split-stream ablation.
+    pub fn with_policy(mut self, policy: DrainPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// What one exploration produced.
+#[derive(Debug, Clone)]
+pub struct ExplorationResult {
+    /// Every reachable final outcome.
+    pub outcomes: BTreeSet<Outcome>,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Imprecise store exceptions taken across all explored paths.
+    pub imprecise_detections: u64,
+    /// Precise (load/atomic/SC-store) exceptions taken across all paths.
+    pub precise_exceptions: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    W { loc: u8, val: u64 },
+    R { loc: u8, dst: u8 },
+    F(FenceKind),
+    A { loc: u8, add: u64, dst: u8 },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CoreSt {
+    pc: u16,
+    regs: Vec<u64>,
+    /// Retired-but-incomplete stores, oldest first.
+    sb: Vec<(u8, u64)>,
+    /// Faulting Store Buffer contents, oldest first.
+    fsb: Vec<(u8, u64)>,
+    /// Whether an imprecise exception is pending (fetch stopped).
+    faulted: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    cores: Vec<CoreSt>,
+    mem: Vec<u64>,
+    faulting: Vec<bool>,
+}
+
+struct Compiled {
+    threads: Vec<Vec<Op>>,
+    locs: Vec<Loc>,
+    read_regs: Vec<(usize, Reg)>,
+}
+
+fn compile(prog: &LitmusProgram) -> Compiled {
+    let locs = prog.locations();
+    let loc_idx = |l: Loc| locs.iter().position(|&x| x == l).expect("known loc") as u8;
+    let mut read_regs = Vec::new();
+    let threads = prog
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(t, stmts)| {
+            stmts
+                .iter()
+                .map(|s| match s.op {
+                    StmtOp::Write { loc, value } => Op::W {
+                        loc: loc_idx(loc),
+                        val: value,
+                    },
+                    StmtOp::Read { loc, dst } => {
+                        read_regs.push((t, dst));
+                        Op::R {
+                            loc: loc_idx(loc),
+                            dst: dst.0,
+                        }
+                    }
+                    StmtOp::Fence(k) => Op::F(k),
+                    StmtOp::Amo { loc, add, dst } => {
+                        read_regs.push((t, dst));
+                        Op::A {
+                            loc: loc_idx(loc),
+                            add,
+                            dst: dst.0,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    read_regs.sort_unstable_by_key(|&(t, r)| (t, r.0));
+    read_regs.dedup();
+    Compiled {
+        threads,
+        locs,
+        read_regs,
+    }
+}
+
+struct Explorer<'a> {
+    compiled: &'a Compiled,
+    cfg: &'a MachineConfig,
+    visited: HashSet<State>,
+    outcomes: BTreeSet<Outcome>,
+    imprecise: u64,
+    precise: u64,
+}
+
+impl<'a> Explorer<'a> {
+    fn terminal(&self, s: &State) -> bool {
+        s.cores.iter().enumerate().all(|(i, c)| {
+            c.pc as usize == self.compiled.threads[i].len()
+                && c.sb.is_empty()
+                && c.fsb.is_empty()
+                && !c.faulted
+        })
+    }
+
+    fn record_outcome(&mut self, s: &State) {
+        let mut o = Outcome::new();
+        for &(t, r) in &self.compiled.read_regs {
+            o.insert((t, r), s.cores[t].regs[r.0 as usize]);
+        }
+        self.outcomes.insert(o);
+    }
+
+    /// Indices of store-buffer entries eligible to drain: the head under
+    /// PC (FIFO visibility), any entry with no older same-location entry
+    /// under WC (same-address order is always kept).
+    fn drainable(&self, sb: &[(u8, u64)]) -> Vec<usize> {
+        if sb.is_empty() {
+            return Vec::new();
+        }
+        match self.cfg.model {
+            ConsistencyModel::Sc => Vec::new(),
+            ConsistencyModel::Pc => vec![0],
+            ConsistencyModel::Wc => (0..sb.len())
+                .filter(|&j| sb[..j].iter().all(|&(l, _)| l != sb[j].0))
+                .collect(),
+        }
+    }
+
+    fn successors(&mut self, s: &State) -> Vec<State> {
+        let mut out = Vec::new();
+        for i in 0..s.cores.len() {
+            let core = &s.cores[i];
+
+            // --- Drain transitions (enabled in both phases). ---
+            for j in self.drainable(&core.sb) {
+                let (loc, val) = core.sb[j];
+                let mut n = s.clone();
+                if n.faulting[loc as usize] {
+                    // DETECT: imprecise store exception.
+                    self.imprecise += 1;
+                    let c = &mut n.cores[i];
+                    match self.cfg.policy {
+                        DrainPolicy::SameStream => {
+                            // The whole buffer, faulting and younger
+                            // non-faulting alike, moves to the FSB in
+                            // order (§4.6).
+                            let drained: Vec<_> = c.sb.drain(..).collect();
+                            c.fsb.extend(drained);
+                        }
+                        DrainPolicy::SplitStream => {
+                            // Only the faulting store is supplied to the
+                            // interface; the rest keep draining to
+                            // memory (§4.5).
+                            let e = c.sb.remove(j);
+                            c.fsb.push(e);
+                        }
+                    }
+                    c.faulted = true;
+                } else {
+                    n.mem[loc as usize] = val;
+                    n.cores[i].sb.remove(j);
+                }
+                out.push(n);
+            }
+
+            if core.faulted {
+                // --- OS handler micro-steps (only once the SB has fully
+                //     drained: the handler is entered after the drain
+                //     completes, §5.3). ---
+                if core.sb.is_empty() {
+                    if let Some(&(loc, val)) = core.fsb.first() {
+                        // GET + resolve-cause + S_OS for one entry.
+                        let mut n = s.clone();
+                        n.faulting[loc as usize] = false;
+                        n.mem[loc as usize] = val;
+                        n.cores[i].fsb.remove(0);
+                        out.push(n);
+                    } else {
+                        // RESOLVE: resume the program.
+                        let mut n = s.clone();
+                        n.cores[i].faulted = false;
+                        out.push(n);
+                    }
+                }
+                continue; // fetch is stopped while faulted
+            }
+
+            // --- Program-order execution. ---
+            let ops = &self.compiled.threads[i];
+            if (core.pc as usize) < ops.len() {
+                match ops[core.pc as usize] {
+                    Op::W { loc, val } => {
+                        if self.cfg.model.has_store_buffer() {
+                            let mut n = s.clone();
+                            let c = &mut n.cores[i];
+                            c.sb.push((loc, val));
+                            c.pc += 1;
+                            out.push(n);
+                        } else {
+                            // SC: write-through; a faulting page raises a
+                            // precise exception, resolved before the
+                            // store re-executes.
+                            let mut n = s.clone();
+                            if n.faulting[loc as usize] {
+                                self.precise += 1;
+                                n.faulting[loc as usize] = false;
+                            }
+                            n.mem[loc as usize] = val;
+                            n.cores[i].pc += 1;
+                            out.push(n);
+                        }
+                    }
+                    Op::R { loc, dst } => {
+                        // Store-to-load forwarding from the newest
+                        // same-location SB entry never reaches memory.
+                        let fwd = core.sb.iter().rev().find(|&&(l, _)| l == loc).map(|&(_, v)| v);
+                        match fwd {
+                            Some(v) => {
+                                let mut n = s.clone();
+                                let c = &mut n.cores[i];
+                                c.regs[dst as usize] = v;
+                                c.pc += 1;
+                                out.push(n);
+                            }
+                            None => {
+                                if s.faulting[loc as usize] {
+                                    // Precise exception: the store buffer
+                                    // must drain first (§5.3); until then
+                                    // this transition is not enabled.
+                                    if core.sb.is_empty() {
+                                        self.precise += 1;
+                                        let mut n = s.clone();
+                                        n.faulting[loc as usize] = false;
+                                        let v = n.mem[loc as usize];
+                                        let c = &mut n.cores[i];
+                                        c.regs[dst as usize] = v;
+                                        c.pc += 1;
+                                        out.push(n);
+                                    }
+                                } else {
+                                    let mut n = s.clone();
+                                    let v = n.mem[loc as usize];
+                                    let c = &mut n.cores[i];
+                                    c.regs[dst as usize] = v;
+                                    c.pc += 1;
+                                    out.push(n);
+                                }
+                            }
+                        }
+                    }
+                    Op::F(kind) => {
+                        let needs_empty = match kind {
+                            FenceKind::Full | FenceKind::StoreStore => !core.sb.is_empty(),
+                            FenceKind::LoadLoad => false,
+                        };
+                        if !needs_empty {
+                            let mut n = s.clone();
+                            n.cores[i].pc += 1;
+                            out.push(n);
+                        }
+                    }
+                    Op::A { loc, add, dst } => {
+                        // Atomics drain the SB first, then execute
+                        // non-speculatively; a fault is precise.
+                        if core.sb.is_empty() {
+                            let mut n = s.clone();
+                            if n.faulting[loc as usize] {
+                                self.precise += 1;
+                                n.faulting[loc as usize] = false;
+                            }
+                            let old = n.mem[loc as usize];
+                            n.mem[loc as usize] = old.wrapping_add(add);
+                            let c = &mut n.cores[i];
+                            c.regs[dst as usize] = old;
+                            c.pc += 1;
+                            out.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn run(&mut self, init: State) {
+        let mut stack = vec![init];
+        while let Some(s) = stack.pop() {
+            if !self.visited.insert(s.clone()) {
+                continue;
+            }
+            assert!(
+                self.visited.len() <= self.cfg.max_states,
+                "state space exceeded {} states",
+                self.cfg.max_states
+            );
+            if self.terminal(&s) {
+                self.record_outcome(&s);
+                continue;
+            }
+            let succ = self.successors(&s);
+            debug_assert!(
+                !succ.is_empty() || self.terminal(&s),
+                "non-terminal state with no successors (deadlock): {s:?}"
+            );
+            stack.extend(succ);
+        }
+    }
+}
+
+/// Exhaustively explores every interleaving of `prog` on the configured
+/// machine and returns all reachable outcomes.
+///
+/// # Panics
+///
+/// Panics if the state space exceeds `cfg.max_states`.
+pub fn explore(prog: &LitmusProgram, cfg: &MachineConfig) -> ExplorationResult {
+    let compiled = compile(prog);
+    let max_reg = prog
+        .threads
+        .iter()
+        .flatten()
+        .filter_map(|s| match s.op {
+            StmtOp::Read { dst, .. } | StmtOp::Amo { dst, .. } => Some(dst.0),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let init = State {
+        cores: (0..prog.threads.len())
+            .map(|_| CoreSt {
+                pc: 0,
+                regs: vec![0; max_reg as usize + 1],
+                sb: Vec::new(),
+                fsb: Vec::new(),
+                faulted: false,
+            })
+            .collect(),
+        mem: vec![0; compiled.locs.len()],
+        faulting: compiled
+            .locs
+            .iter()
+            .map(|l| cfg.faulting.contains(l))
+            .collect(),
+    };
+    let mut ex = Explorer {
+        compiled: &compiled,
+        cfg,
+        visited: HashSet::new(),
+        outcomes: BTreeSet::new(),
+        imprecise: 0,
+        precise: 0,
+    };
+    ex.run(init);
+    ExplorationResult {
+        outcomes: ex.outcomes,
+        states: ex.visited.len(),
+        imprecise_detections: ex.imprecise,
+        precise_exceptions: ex.precise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_consistency::program::Stmt;
+
+    const A: Loc = Loc(0);
+    const B: Loc = Loc(1);
+    const R0: Reg = Reg(0);
+    const R1: Reg = Reg(1);
+
+    fn outcome(pairs: &[(usize, Reg, u64)]) -> Outcome {
+        pairs.iter().map(|&(t, r, v)| ((t, r), v)).collect()
+    }
+
+    fn mp() -> LitmusProgram {
+        LitmusProgram::new(vec![
+            vec![Stmt::write(B, 1), Stmt::write(A, 1)],
+            vec![Stmt::read(A, R0), Stmt::read(B, R1)],
+        ])
+    }
+
+    #[test]
+    fn pc_machine_preserves_mp_without_faults() {
+        let r = explore(&mp(), &MachineConfig::baseline(ConsistencyModel::Pc));
+        let bad = outcome(&[(1, R0, 1), (1, R1, 0)]);
+        assert!(!r.outcomes.contains(&bad), "PC machine must not reorder stores");
+        assert!(r.outcomes.contains(&outcome(&[(1, R0, 1), (1, R1, 1)])));
+        assert!(r.outcomes.contains(&outcome(&[(1, R0, 0), (1, R1, 0)])));
+        assert_eq!(r.imprecise_detections, 0);
+    }
+
+    #[test]
+    fn wc_machine_can_reorder_stores() {
+        let r = explore(&mp(), &MachineConfig::baseline(ConsistencyModel::Wc));
+        let reordered = outcome(&[(1, R0, 1), (1, R1, 0)]);
+        assert!(
+            r.outcomes.contains(&reordered),
+            "WC drains out of order: the relaxed outcome must be reachable"
+        );
+    }
+
+    #[test]
+    fn pc_machine_with_faults_still_preserves_mp() {
+        let cfg = MachineConfig::baseline(ConsistencyModel::Pc).with_all_faulting(&mp());
+        let r = explore(&mp(), &cfg);
+        let bad = outcome(&[(1, R0, 1), (1, R1, 0)]);
+        assert!(
+            !r.outcomes.contains(&bad),
+            "same-stream imprecise handling must not break PC (Proof 1)"
+        );
+        assert!(r.imprecise_detections > 0, "faults must actually fire");
+        assert!(r.precise_exceptions > 0, "loads fault precisely too");
+    }
+
+    #[test]
+    fn split_stream_exhibits_fig2a_violation() {
+        // Only A faulting, B clean: §4.5's race.
+        let mut cfg = MachineConfig::baseline(ConsistencyModel::Pc)
+            .with_policy(DrainPolicy::SplitStream);
+        cfg.faulting = [A].into_iter().collect();
+        // Program: T0 stores A then B; T1 reads B then A (observer order
+        // chosen to witness S(B) <m S_OS(A)).
+        let prog = LitmusProgram::new(vec![
+            vec![Stmt::write(A, 1), Stmt::write(B, 1)],
+            vec![Stmt::read(B, R0), Stmt::read(A, R1)],
+        ]);
+        let r = explore(&prog, &cfg);
+        let violation = outcome(&[(1, R0, 1), (1, R1, 0)]);
+        assert!(
+            r.outcomes.contains(&violation),
+            "split-stream must expose the PC violation of Fig. 2a; got {:?}",
+            r.outcomes
+        );
+        // Same-stream on the identical program forbids it.
+        let cfg2 = MachineConfig {
+            policy: DrainPolicy::SameStream,
+            ..cfg
+        };
+        let r2 = explore(&prog, &cfg2);
+        assert!(
+            !r2.outcomes.contains(&violation),
+            "same-stream must hide the violation (Fig. 2b)"
+        );
+    }
+
+    #[test]
+    fn sc_machine_is_sequentially_consistent() {
+        // Dekker: r0 = r1 = 0 must be unreachable under SC.
+        let prog = LitmusProgram::new(vec![
+            vec![Stmt::write(A, 1), Stmt::read(B, R0)],
+            vec![Stmt::write(B, 1), Stmt::read(A, R1)],
+        ]);
+        let r = explore(&prog, &MachineConfig::baseline(ConsistencyModel::Sc));
+        assert!(!r.outcomes.contains(&outcome(&[(0, R0, 0), (1, R1, 0)])));
+    }
+
+    #[test]
+    fn pc_machine_allows_dekker_relaxation() {
+        let prog = LitmusProgram::new(vec![
+            vec![Stmt::write(A, 1), Stmt::read(B, R0)],
+            vec![Stmt::write(B, 1), Stmt::read(A, R1)],
+        ]);
+        let r = explore(&prog, &MachineConfig::baseline(ConsistencyModel::Pc));
+        assert!(r.outcomes.contains(&outcome(&[(0, R0, 0), (1, R1, 0)])));
+    }
+
+    #[test]
+    fn forwarding_works_even_on_faulting_pages() {
+        // The core reads its own buffered store without touching memory,
+        // so no exception fires for the forwarded load.
+        let prog = LitmusProgram::new(vec![vec![Stmt::write(A, 7), Stmt::read(A, R0)]]);
+        let cfg = MachineConfig::baseline(ConsistencyModel::Wc).with_all_faulting(&prog);
+        let r = explore(&prog, &cfg);
+        assert_eq!(r.outcomes.len(), 1);
+        assert!(r.outcomes.contains(&outcome(&[(0, R0, 7)])));
+    }
+
+    #[test]
+    fn fence_blocks_until_drain() {
+        let prog = LitmusProgram::new(vec![
+            vec![
+                Stmt::write(B, 1),
+                Stmt::fence(FenceKind::Full),
+                Stmt::write(A, 1),
+            ],
+            vec![
+                Stmt::read(A, R0),
+                Stmt::fence(FenceKind::Full),
+                Stmt::read(B, R1),
+            ],
+        ]);
+        for model in [ConsistencyModel::Pc, ConsistencyModel::Wc] {
+            for faults in [false, true] {
+                let mut cfg = MachineConfig::baseline(model);
+                if faults {
+                    cfg = cfg.with_all_faulting(&prog);
+                }
+                let r = explore(&prog, &cfg);
+                assert!(
+                    !r.outcomes.contains(&outcome(&[(1, R0, 1), (1, R1, 0)])),
+                    "{model} faults={faults}: fenced MP must hold"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn atomics_are_atomic_under_faults() {
+        let prog = LitmusProgram::new(vec![
+            vec![Stmt::amo(A, 1, R0)],
+            vec![Stmt::amo(A, 1, R1)],
+        ]);
+        let cfg = MachineConfig::baseline(ConsistencyModel::Wc).with_all_faulting(&prog);
+        let r = explore(&prog, &cfg);
+        assert!(!r.outcomes.contains(&outcome(&[(0, R0, 0), (1, R1, 0)])));
+        assert_eq!(r.outcomes.len(), 2);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = explore(&mp(), &MachineConfig::baseline(ConsistencyModel::Wc));
+        let b = explore(&mp(), &MachineConfig::baseline(ConsistencyModel::Wc));
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.states, b.states);
+    }
+}

@@ -1,0 +1,295 @@
+//! A text format for litmus tests (a compact, herd-inspired dialect).
+//!
+//! ```text
+//! # comment
+//! name: MP+fence+fence
+//! family: barriers
+//! P0: W B 1 ; F ; W A 1
+//! P1: R A r0 ; F ; R B r1
+//! forbid: 1:r0=1 & 1:r1=0
+//! ```
+//!
+//! * Locations are single letters `A`..`Z`; registers are `r0`..`r31`.
+//! * Statements: `W <loc> <value>`, `R <loc> <reg>`,
+//!   `AMO <loc> <add> <reg>`, `F` (full fence), `F.ww`, `F.rr`.
+//!   Append `@<reg>` to make a statement dependency-ordered after the
+//!   load producing `<reg>` (e.g. `R B r1 @r0`).
+//! * `forbid:` lines (zero or more) list outcomes the author expects the
+//!   model to forbid; the runner additionally checks them against the
+//!   axiomatic allowed set.
+//!
+//! The parser exists so users can keep corpora as plain files and run
+//! them with `cargo run -p ise-bench --bin litmus -- <file>`.
+
+use crate::corpus::{Family, LitmusTest};
+use ise_consistency::program::{LitmusProgram, Loc, Outcome, Stmt};
+use ise_types::instr::{FenceKind, Reg};
+use std::fmt;
+
+/// A parse failure, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed test: the program plus author-declared forbidden outcomes.
+#[derive(Debug, Clone)]
+pub struct ParsedLitmus {
+    /// The test (name, family, program).
+    pub test: LitmusTest,
+    /// Outcomes the author expects to be forbidden.
+    pub forbidden: Vec<Outcome>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_loc(tok: &str, line: usize) -> Result<Loc, ParseError> {
+    let mut chars = tok.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) if c.is_ascii_uppercase() => Ok(Loc(c as u8 - b'A')),
+        _ => Err(err(line, format!("expected a location A..Z, got `{tok}`"))),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    tok.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .map(Reg)
+        .ok_or_else(|| err(line, format!("expected a register r0..r31, got `{tok}`")))
+}
+
+fn parse_value(tok: &str, line: usize) -> Result<u64, ParseError> {
+    tok.parse::<u64>()
+        .map_err(|_| err(line, format!("expected a value, got `{tok}`")))
+}
+
+fn parse_stmt(text: &str, line: usize) -> Result<Stmt, ParseError> {
+    // Split off a trailing dependency annotation `@rN`.
+    let (body, dep) = match text.rsplit_once('@') {
+        Some((body, dep_tok)) => (body.trim(), Some(parse_reg(dep_tok.trim(), line)?)),
+        None => (text.trim(), None),
+    };
+    let toks: Vec<&str> = body.split_whitespace().collect();
+    let mut stmt = match toks.as_slice() {
+        ["W", loc, value] => Stmt::write(parse_loc(loc, line)?, parse_value(value, line)?),
+        ["R", loc, reg] => Stmt::read(parse_loc(loc, line)?, parse_reg(reg, line)?),
+        ["AMO", loc, add, reg] => Stmt::amo(
+            parse_loc(loc, line)?,
+            parse_value(add, line)?,
+            parse_reg(reg, line)?,
+        ),
+        ["F"] => Stmt::fence(FenceKind::Full),
+        ["F.ww"] => Stmt::fence(FenceKind::StoreStore),
+        ["F.rr"] => Stmt::fence(FenceKind::LoadLoad),
+        _ => return Err(err(line, format!("unrecognized statement `{body}`"))),
+    };
+    if let Some(r) = dep {
+        stmt = stmt.depending_on(r);
+    }
+    Ok(stmt)
+}
+
+fn parse_family(tok: &str, line: usize) -> Result<Family, ParseError> {
+    match tok.trim().to_ascii_lowercase().as_str() {
+        "dependencies" | "dep" => Ok(Family::Dependencies),
+        "po-same-location" | "poloc" => Ok(Family::PoSameLocation),
+        "preserved-po" | "ppo" => Ok(Family::PreservedPo),
+        "external-read-from" | "erf" => Ok(Family::ExternalReadFrom),
+        "internal-read-from" | "irf" => Ok(Family::InternalReadFrom),
+        "coherence" | "co" => Ok(Family::CoherenceOrder),
+        "from-read" | "fr" => Ok(Family::FromRead),
+        "barriers" | "barrier" => Ok(Family::Barriers),
+        other => Err(err(line, format!("unknown family `{other}`"))),
+    }
+}
+
+fn parse_outcome(text: &str, line: usize) -> Result<Outcome, ParseError> {
+    let mut outcome = Outcome::new();
+    for clause in text.split('&') {
+        let clause = clause.trim();
+        let (lhs, value) = clause
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("expected `<t>:<reg>=<v>`, got `{clause}`")))?;
+        let (thread, reg) = lhs
+            .split_once(':')
+            .ok_or_else(|| err(line, format!("expected `<t>:<reg>`, got `{lhs}`")))?;
+        let t: usize = thread
+            .trim()
+            .parse()
+            .map_err(|_| err(line, format!("bad thread id `{thread}`")))?;
+        let r = parse_reg(reg.trim(), line)?;
+        let v = parse_value(value.trim(), line)?;
+        outcome.insert((t, r), v);
+    }
+    if outcome.is_empty() {
+        return Err(err(line, "empty outcome"));
+    }
+    Ok(outcome)
+}
+
+/// Parses one litmus test from its text form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_litmus(src: &str) -> Result<ParsedLitmus, ParseError> {
+    let mut name: Option<String> = None;
+    let mut family = Family::ExternalReadFrom;
+    let mut threads: Vec<(usize, Vec<Stmt>)> = Vec::new();
+    let mut forbidden = Vec::new();
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, rest) = line
+            .split_once(':')
+            .ok_or_else(|| err(lineno, "expected `key: value`"))?;
+        let key = key.trim();
+        let rest = rest.trim();
+        match key {
+            "name" => name = Some(rest.to_string()),
+            "family" => family = parse_family(rest, lineno)?,
+            "forbid" => forbidden.push(parse_outcome(rest, lineno)?),
+            k if k.starts_with('P') => {
+                let tid: usize = k[1..]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad thread label `{k}`")))?;
+                let stmts = rest
+                    .split(';')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| parse_stmt(s, lineno))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if stmts.is_empty() {
+                    return Err(err(lineno, "thread with no statements"));
+                }
+                threads.push((tid, stmts));
+            }
+            other => return Err(err(lineno, format!("unknown key `{other}`"))),
+        }
+    }
+
+    if threads.is_empty() {
+        return Err(err(0, "no threads (P0:, P1:, ...) found"));
+    }
+    threads.sort_by_key(|&(tid, _)| tid);
+    for (expect, &(tid, _)) in threads.iter().enumerate().map(|(i, t)| (i, t)) {
+        if tid != expect {
+            return Err(err(0, format!("thread ids must be dense from P0; missing P{expect}")));
+        }
+    }
+    let program = LitmusProgram::new(threads.into_iter().map(|(_, s)| s).collect());
+    Ok(ParsedLitmus {
+        test: LitmusTest {
+            name: name.unwrap_or_else(|| "anonymous".into()),
+            family,
+            program,
+        },
+        forbidden,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_test;
+    use ise_types::ConsistencyModel;
+
+    const MP: &str = r#"
+# Fig. 1 of the paper.
+name: MP+fence+fence
+family: barriers
+P0: W B 1 ; F ; W A 1
+P1: R A r0 ; F ; R B r1
+forbid: 1:r0=1 & 1:r1=0
+"#;
+
+    #[test]
+    fn parses_the_mp_test() {
+        let p = parse_litmus(MP).expect("parses");
+        assert_eq!(p.test.name, "MP+fence+fence");
+        assert_eq!(p.test.family, Family::Barriers);
+        assert_eq!(p.test.program.threads.len(), 2);
+        assert_eq!(p.test.program.threads[0].len(), 3);
+        assert_eq!(p.forbidden.len(), 1);
+        let f = &p.forbidden[0];
+        assert_eq!(f.get(&(1, Reg(0))), Some(&1));
+        assert_eq!(f.get(&(1, Reg(1))), Some(&0));
+    }
+
+    #[test]
+    fn parsed_test_runs_and_respects_forbid() {
+        let p = parse_litmus(MP).unwrap();
+        for inject in [false, true] {
+            let report = run_test(&p.test, ConsistencyModel::Pc, inject);
+            assert!(report.passed());
+            for f in &p.forbidden {
+                assert!(!report.observed.contains(f), "forbidden outcome observed");
+                assert!(!report.allowed.contains(f), "model should forbid it too");
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_annotation_parses() {
+        let src = "P0: R A r0 ; R B r1 @r0";
+        let p = parse_litmus(src).unwrap();
+        assert_eq!(p.test.program.threads[0][1].dep, Some(Reg(0)));
+    }
+
+    #[test]
+    fn amo_and_fence_variants_parse() {
+        let src = "P0: AMO A 1 r0 ; F.ww ; F.rr ; W B 2";
+        let p = parse_litmus(src).unwrap();
+        assert_eq!(p.test.program.threads[0].len(), 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "name: x\nP0: W A\n";
+        let e = parse_litmus(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unrecognized statement"));
+
+        let bad2 = "P0: W A 1\nforbid: nonsense\n";
+        assert_eq!(parse_litmus(bad2).unwrap_err().line, 2);
+    }
+
+    #[test]
+    fn sparse_thread_ids_rejected() {
+        let bad = "P0: W A 1\nP2: R A r0\n";
+        let e = parse_litmus(bad).unwrap_err();
+        assert!(e.message.contains("missing P1"));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_litmus("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n# c1\nname: t\n\n# c2\nP0: W A 1\n";
+        assert!(parse_litmus(src).is_ok());
+    }
+}

@@ -1,0 +1,145 @@
+//! Memory backends and the fault-oracle hook.
+//!
+//! The paper's EInject device "monitors each non-coherent TileLink-UL
+//! transaction between the LLC and memory" and can deny it (§6.2). We
+//! reproduce that boundary: the hierarchy consults a [`FaultOracle`]
+//! exactly when a request crosses from the LLC toward memory, and a denied
+//! transaction returns an error response instead of data. EInject itself
+//! lives in `ise-core`; this crate only defines the seam.
+
+use ise_engine::Cycle;
+use ise_types::addr::Addr;
+use ise_types::config::MemoryConfig;
+use ise_types::exception::ExceptionKind;
+use ise_types::CoreId;
+
+/// One request reaching the LLC↔memory boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Requesting core.
+    pub core: CoreId,
+    /// Line-aligned address.
+    pub addr: Addr,
+    /// Whether this is a store (write-allocate fetch for ownership).
+    pub is_store: bool,
+}
+
+/// The memory's answer: a latency, and — if a fault oracle denied the
+/// transaction — the exception embedded in the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// Service latency in cycles.
+    pub latency: Cycle,
+    /// `Some` if the transaction was denied.
+    pub fault: Option<ExceptionKind>,
+}
+
+/// A main-memory timing model.
+pub trait MemBackend {
+    /// Services `req` at time `now`, returning its latency.
+    fn access(&mut self, req: &MemRequest, now: Cycle) -> Cycle;
+}
+
+/// Fixed-latency DRAM with the §3.3 store-latency skew knob.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: MemoryConfig,
+    reads: u64,
+    writes: u64,
+}
+
+impl Dram {
+    /// Builds DRAM from its configuration.
+    pub fn new(cfg: MemoryConfig) -> Self {
+        Dram {
+            cfg,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Read accesses served.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Write (ownership-fetch) accesses served.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl MemBackend for Dram {
+    fn access(&mut self, req: &MemRequest, _now: Cycle) -> Cycle {
+        if req.is_store {
+            self.writes += 1;
+            self.cfg.access_latency * self.cfg.store_latency_skew
+        } else {
+            self.reads += 1;
+            self.cfg.access_latency
+        }
+    }
+}
+
+/// Decides whether a transaction crossing the LLC↔memory boundary is
+/// denied. Implemented by EInject (`ise-core`) and by accelerator models.
+pub trait FaultOracle {
+    /// Returns the exception to embed in the response, or `None` to let
+    /// the transaction through.
+    fn check(&self, addr: Addr, is_store: bool) -> Option<ExceptionKind>;
+}
+
+/// An oracle that never faults (the Baseline configuration of §6.5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultOracle for NoFaults {
+    fn check(&self, _addr: Addr, _is_store: bool) -> Option<ExceptionKind> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_charges_flat_latency() {
+        let mut d = Dram::new(MemoryConfig::isca23());
+        let req = MemRequest {
+            core: CoreId(0),
+            addr: Addr::new(0),
+            is_store: false,
+        };
+        assert_eq!(d.access(&req, 0), 80);
+        assert_eq!(d.reads(), 1);
+    }
+
+    #[test]
+    fn store_skew_multiplies_store_latency_only() {
+        let mut d = Dram::new(MemoryConfig::isca23().into());
+        let mut skewed = Dram::new({
+            let mut c = MemoryConfig::isca23();
+            c.store_latency_skew = 4;
+            c
+        });
+        let ld = MemRequest {
+            core: CoreId(0),
+            addr: Addr::new(0),
+            is_store: false,
+        };
+        let st = MemRequest {
+            is_store: true,
+            ..ld
+        };
+        assert_eq!(skewed.access(&ld, 0), d.access(&ld, 0));
+        assert_eq!(skewed.access(&st, 0), 320);
+        assert_eq!(skewed.writes(), 1);
+    }
+
+    #[test]
+    fn no_faults_oracle_always_allows() {
+        assert_eq!(NoFaults.check(Addr::new(0xdead), true), None);
+        assert_eq!(NoFaults.check(Addr::new(0xdead), false), None);
+    }
+}

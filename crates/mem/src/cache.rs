@@ -1,0 +1,242 @@
+//! Set-associative cache tag arrays with LRU replacement.
+
+use ise_types::addr::{Addr, LINE_SIZE};
+use ise_types::config::CacheConfig;
+
+/// One way of one set.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A set-associative tag array (no data — the hierarchy is
+/// timing-directed; see the crate docs).
+///
+/// Lines are identified by their line-aligned address.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: Vec<Vec<Slot>>,
+    ways: usize,
+    set_count: usize,
+    tick: u64,
+}
+
+/// The result of inserting a line: what had to leave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// An invalid way was used; nothing evicted.
+    None,
+    /// A clean line was silently dropped.
+    Clean(Addr),
+    /// A dirty line must be written back.
+    Dirty(Addr),
+}
+
+impl CacheArray {
+    /// Builds an array from a cache configuration and the global 64 B
+    /// block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets or zero ways.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let set_count = cfg.sets(LINE_SIZE as usize);
+        assert!(set_count > 0 && cfg.ways > 0, "degenerate cache geometry");
+        CacheArray {
+            sets: vec![vec![Slot::default(); cfg.ways]; set_count],
+            ways: cfg.ways,
+            set_count,
+            tick: 0,
+        }
+    }
+
+    fn index_tag(&self, line: Addr) -> (usize, u64) {
+        let block = line.raw() / LINE_SIZE;
+        ((block % self.set_count as u64) as usize, block / self.set_count as u64)
+    }
+
+    /// Probes for `line` (line-aligned address), refreshing LRU on hit.
+    pub fn lookup(&mut self, line: Addr) -> bool {
+        debug_assert_eq!(line, line.line(), "lookup requires a line-aligned address");
+        let (set, tag) = self.index_tag(line);
+        self.tick += 1;
+        for slot in &mut self.sets[set] {
+            if slot.valid && slot.tag == tag {
+                slot.lru = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Probes without touching LRU state (used by coherence forwards).
+    pub fn contains(&self, line: Addr) -> bool {
+        let (set, tag) = self.index_tag(line);
+        self.sets[set].iter().any(|s| s.valid && s.tag == tag)
+    }
+
+    /// Marks a resident line dirty (stores). No-op if absent.
+    pub fn mark_dirty(&mut self, line: Addr) {
+        let (set, tag) = self.index_tag(line);
+        for slot in &mut self.sets[set] {
+            if slot.valid && slot.tag == tag {
+                slot.dirty = true;
+            }
+        }
+    }
+
+    /// Installs `line`, evicting the LRU way if the set is full.
+    /// Installing an already-resident line just refreshes it.
+    pub fn insert(&mut self, line: Addr, dirty: bool) -> Eviction {
+        debug_assert_eq!(line, line.line(), "insert requires a line-aligned address");
+        let (set, tag) = self.index_tag(line);
+        self.tick += 1;
+        let tick = self.tick;
+        let slots = &mut self.sets[set];
+        // Already present: refresh.
+        if let Some(slot) = slots.iter_mut().find(|s| s.valid && s.tag == tag) {
+            slot.lru = tick;
+            slot.dirty |= dirty;
+            return Eviction::None;
+        }
+        // Free way.
+        if let Some(slot) = slots.iter_mut().find(|s| !s.valid) {
+            *slot = Slot { tag, valid: true, dirty, lru: tick };
+            return Eviction::None;
+        }
+        // LRU victim.
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|s| s.lru)
+            .expect("non-empty set");
+        let victim_block = victim.tag * self.set_count as u64 + set as u64;
+        let evicted = Addr::new(victim_block * LINE_SIZE);
+        let was_dirty = victim.dirty;
+        *victim = Slot { tag, valid: true, dirty, lru: tick };
+        if was_dirty {
+            Eviction::Dirty(evicted)
+        } else {
+            Eviction::Clean(evicted)
+        }
+    }
+
+    /// Invalidates `line` if present; returns whether it was dirty.
+    pub fn invalidate(&mut self, line: Addr) -> Option<bool> {
+        let (set, tag) = self.index_tag(line);
+        for slot in &mut self.sets[set] {
+            if slot.valid && slot.tag == tag {
+                slot.valid = false;
+                return Some(slot.dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of resident lines (for tests and occupancy stats).
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|w| w.valid).count())
+            .sum()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.set_count * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray {
+        // 2 sets x 2 ways of 64B lines = 256B.
+        CacheArray::new(&CacheConfig {
+            capacity_bytes: 256,
+            ways: 2,
+            latency: 1,
+            mshrs: 4,
+        })
+    }
+
+    fn line(i: u64) -> Addr {
+        Addr::new(i * LINE_SIZE)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.lookup(line(0)));
+        c.insert(line(0), false);
+        assert!(c.lookup(line(0)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0 (even line numbers with 2 sets).
+        c.insert(line(0), false);
+        c.insert(line(2), false);
+        // Touch 0 so 2 is LRU.
+        assert!(c.lookup(line(0)));
+        let ev = c.insert(line(4), false);
+        assert_eq!(ev, Eviction::Clean(line(2)));
+        assert!(c.contains(line(0)));
+        assert!(!c.contains(line(2)));
+        assert!(c.contains(line(4)));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.insert(line(0), true);
+        c.insert(line(2), false);
+        c.lookup(line(2));
+        let ev = c.insert(line(4), false);
+        assert_eq!(ev, Eviction::Dirty(line(0)));
+    }
+
+    #[test]
+    fn reinsert_refreshes_not_duplicates() {
+        let mut c = tiny();
+        c.insert(line(0), false);
+        assert_eq!(c.insert(line(0), true), Eviction::None);
+        assert_eq!(c.occupancy(), 1);
+        // And the dirty bit stuck.
+        c.insert(line(2), false);
+        c.lookup(line(2));
+        assert_eq!(c.insert(line(4), false), Eviction::Dirty(line(0)));
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = tiny();
+        c.insert(line(0), false);
+        c.mark_dirty(line(0));
+        assert_eq!(c.invalidate(line(0)), Some(true));
+        assert_eq!(c.invalidate(line(0)), None);
+        assert!(!c.contains(line(0)));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.insert(line(0), false);
+        c.insert(line(1), false); // odd line -> set 1
+        c.insert(line(2), false);
+        assert_eq!(c.occupancy(), 3);
+        assert!(c.contains(line(0)));
+    }
+
+    #[test]
+    fn geometry_matches_table2() {
+        let l1 = CacheArray::new(&CacheConfig::l1d_isca23());
+        assert_eq!(l1.capacity_lines(), 64 * 1024 / 64);
+        let l2 = CacheArray::new(&CacheConfig::l2_isca23());
+        assert_eq!(l2.capacity_lines(), 1024 * 1024 / 64);
+    }
+}

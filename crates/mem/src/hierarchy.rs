@@ -1,0 +1,612 @@
+//! The assembled memory hierarchy: per-core L1D + TLB + MSHRs, distributed
+//! L2 tiles with a MESI directory, a mesh interconnect, DRAM, and the
+//! EInject fault-oracle seam at the LLC↔memory boundary.
+//!
+//! [`MemoryHierarchy::access`] prices one load/store end to end and
+//! reports whether the transaction was denied by the oracle — the event
+//! that, for a store, becomes an *imprecise store exception* once the
+//! response backtracks to the store buffer (paper §5.1).
+
+use crate::backend::{Dram, FaultOracle, MemBackend, MemRequest, NoFaults};
+use crate::cache::{CacheArray, Eviction};
+use crate::mesi::{Directory, ReadAction};
+use crate::mshr::MshrFile;
+use crate::tlb::Tlb;
+use ise_engine::Cycle;
+use ise_noc::{Mesh, NodeId, TrafficMeter};
+use ise_types::addr::{Addr, LINE_SIZE};
+use ise_types::config::SystemConfig;
+use ise_types::exception::ExceptionKind;
+use ise_types::CoreId;
+use std::rc::Rc;
+
+/// Size of a coherence control message in bytes.
+const CTRL_BYTES: usize = 8;
+/// Size of a data message (one cache line plus header) in bytes.
+const DATA_BYTES: usize = LINE_SIZE as usize + 8;
+/// Traffic-meter accounting window in cycles.
+const TRAFFIC_WINDOW: u64 = 1024;
+
+/// One memory access as issued by a core's load/store unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Issuing core.
+    pub core: CoreId,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Whether the access needs write permission.
+    pub is_store: bool,
+}
+
+impl Access {
+    /// A load by `core` at `addr`.
+    pub fn load(core: CoreId, addr: Addr) -> Self {
+        Access {
+            core,
+            addr,
+            is_store: false,
+        }
+    }
+
+    /// A store by `core` at `addr`.
+    pub fn store(core: CoreId, addr: Addr) -> Self {
+        Access {
+            core,
+            addr,
+            is_store: true,
+        }
+    }
+}
+
+/// Where an access was ultimately serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicedBy {
+    /// Hit in the requester's L1D.
+    L1,
+    /// Supplied by the home L2 tile.
+    L2,
+    /// Forwarded from another core's cache.
+    Peer,
+    /// Fetched from main memory.
+    Memory,
+    /// Denied at the LLC↔memory boundary by the fault oracle.
+    Denied,
+}
+
+/// The priced outcome of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Total latency in cycles, from issue to response at the core.
+    pub latency: Cycle,
+    /// The exception embedded in the response, if the transaction was
+    /// denied.
+    pub fault: Option<ExceptionKind>,
+    /// Which agent supplied the data.
+    pub serviced_by: ServicedBy,
+}
+
+/// Aggregate hierarchy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1D hits.
+    pub l1_hits: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// Accesses served by an L2 tile.
+    pub l2_hits: u64,
+    /// Accesses served by a peer cache forward.
+    pub peer_forwards: u64,
+    /// Accesses that reached memory.
+    pub mem_accesses: u64,
+    /// Transactions denied by the fault oracle.
+    pub denied: u64,
+}
+
+/// The full Table 2 memory system for one simulated machine.
+pub struct MemoryHierarchy {
+    cfg: SystemConfig,
+    mesh: Mesh,
+    traffic: TrafficMeter,
+    l1d: Vec<CacheArray>,
+    tlbs: Vec<Tlb>,
+    mshrs: Vec<MshrFile>,
+    l2: Vec<CacheArray>,
+    dir: Directory,
+    dram: Dram,
+    oracle: Rc<dyn FaultOracle>,
+    stats: HierarchyStats,
+}
+
+impl std::fmt::Debug for MemoryHierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryHierarchy")
+            .field("cores", &self.cfg.cores)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy with no fault injection (the Baseline system).
+    pub fn new(cfg: SystemConfig) -> Self {
+        Self::with_oracle(cfg, Rc::new(NoFaults))
+    }
+
+    /// Builds the hierarchy with a fault oracle watching the LLC↔memory
+    /// boundary (EInject, an accelerator model, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh has fewer nodes than there are cores.
+    pub fn with_oracle(cfg: SystemConfig, oracle: Rc<dyn FaultOracle>) -> Self {
+        let mesh = Mesh::new(cfg.noc);
+        assert!(
+            mesh.nodes() >= cfg.cores,
+            "mesh must have at least one tile per core"
+        );
+        MemoryHierarchy {
+            mesh,
+            traffic: TrafficMeter::new(TRAFFIC_WINDOW, cfg.noc.link_bytes as u64),
+            l1d: (0..cfg.cores).map(|_| CacheArray::new(&cfg.l1d)).collect(),
+            tlbs: (0..cfg.cores).map(|_| Tlb::new(cfg.tlb)).collect(),
+            mshrs: (0..cfg.cores).map(|_| MshrFile::new(cfg.l1d.mshrs)).collect(),
+            l2: (0..mesh_nodes(&cfg)).map(|_| CacheArray::new(&cfg.l2)).collect(),
+            dir: Directory::new(),
+            dram: Dram::new(cfg.memory),
+            oracle,
+            cfg,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// The home L2 tile of a line (address-interleaved).
+    pub fn home_of(&self, line: Addr) -> NodeId {
+        NodeId(((line.raw() / LINE_SIZE) % self.mesh.nodes() as u64) as usize)
+    }
+
+    /// The mesh tile a core sits on (core *i* on tile *i*).
+    pub fn tile_of(&self, core: CoreId) -> NodeId {
+        NodeId(core.index())
+    }
+
+    fn noc(&mut self, src: NodeId, dst: NodeId, bytes: usize, now: Cycle) -> Cycle {
+        let route = self.mesh.route(src, dst);
+        let base = self.mesh.latency(src, dst, bytes);
+        let surcharge = self.traffic.record(&self.mesh, &route, bytes as u64, now);
+        base + surcharge
+    }
+
+    /// Prices one access issued at `now`.
+    ///
+    /// The sequence mirrors §5.1's detection flow: TLB, L1D, home L2 tile
+    /// via the mesh, directory action (peer forward / invalidations), and
+    /// — only on an LLC miss — the memory access guarded by the fault
+    /// oracle. A denied transaction pays the full round trip and returns
+    /// the embedded error; no state is installed for it.
+    pub fn access(&mut self, acc: Access, now: Cycle) -> AccessResult {
+        let core = acc.core;
+        assert!(core.index() < self.cfg.cores, "core {} out of range", core.index());
+        let line = acc.addr.line();
+        let mut latency: Cycle = self.tlbs[core.index()].access(acc.addr.page());
+
+        // L1D probe.
+        latency += self.cfg.l1d.latency;
+        if self.l1d[core.index()].lookup(line) {
+            if acc.is_store {
+                // Need write permission: consult the directory for an
+                // upgrade if others share the line.
+                let entry = self.dir.entry(line);
+                if entry.sharer_count() > 1 {
+                    latency += self.upgrade_cost(line, core, now + latency);
+                    self.invalidate_peers(line, core);
+                }
+                // Sole owner (or just upgraded): silent M transition.
+                let _ = self.dir.write(line, core);
+                self.l1d[core.index()].mark_dirty(line);
+            }
+            self.stats.l1_hits += 1;
+            return AccessResult {
+                latency,
+                fault: None,
+                serviced_by: ServicedBy::L1,
+            };
+        }
+
+        // L1 miss path.
+        self.stats.l1_misses += 1;
+        let home = self.home_of(line);
+        let my_tile = self.tile_of(core);
+
+        // Request to the home tile.
+        latency += self.noc(my_tile, home, CTRL_BYTES, now + latency);
+        latency += self.cfg.l2.latency;
+
+        let (serviced_by, fault) = if acc.is_store {
+            self.store_miss(line, core, home, my_tile, now, &mut latency)
+        } else {
+            self.load_miss(line, core, home, my_tile, now, &mut latency)
+        };
+
+        if fault.is_none() {
+            // MSHR occupancy for the whole miss.
+            let stall = self.mshrs[core.index()].allocate(now, latency);
+            latency += stall;
+            // Fill the requester's L1.
+            let ev = self.l1d[core.index()].insert(line, acc.is_store);
+            self.handle_l1_eviction(core, ev);
+        } else {
+            self.stats.denied += 1;
+            // The response backtracks, freeing resources (paper §5.1):
+            // nothing is installed, the directory entry for this line is
+            // rolled back to not include the requester.
+            self.dir.evict(line, core);
+        }
+
+        AccessResult {
+            latency,
+            fault,
+            serviced_by: if fault.is_some() {
+                ServicedBy::Denied
+            } else {
+                serviced_by
+            },
+        }
+    }
+
+    fn load_miss(
+        &mut self,
+        line: Addr,
+        core: CoreId,
+        home: NodeId,
+        my_tile: NodeId,
+        now: Cycle,
+        latency: &mut Cycle,
+    ) -> (ServicedBy, Option<ExceptionKind>) {
+        match self.dir.read(line, core) {
+            ReadAction::ForwardFrom(owner) => {
+                // 3-hop: home -> owner (ctrl), owner -> requester (data).
+                let owner_tile = self.tile_of(owner);
+                *latency += self.noc(home, owner_tile, CTRL_BYTES, now + *latency);
+                *latency += self.cfg.l1d.latency;
+                *latency += self.noc(owner_tile, my_tile, DATA_BYTES, now + *latency);
+                // Owner's line is now shared; home L2 gets a copy.
+                self.l2[home.index()].insert(line, false);
+                self.stats.peer_forwards += 1;
+                (ServicedBy::Peer, None)
+            }
+            ReadAction::FromHome | ReadAction::FromMemory
+                if self.l2[home.index()].lookup(line) =>
+            {
+                *latency += self.noc(home, my_tile, DATA_BYTES, now + *latency);
+                self.stats.l2_hits += 1;
+                (ServicedBy::L2, None)
+            }
+            _ => {
+                // LLC miss: cross the LLC<->memory boundary.
+                if let Some(kind) = self.oracle.check(line, false) {
+                    // Denied: error response straight back to requester.
+                    *latency += self.noc(home, my_tile, CTRL_BYTES, now + *latency);
+                    return (ServicedBy::Memory, Some(kind));
+                }
+                let req = MemRequest {
+                    core,
+                    addr: line,
+                    is_store: false,
+                };
+                *latency += self.dram.access(&req, now + *latency);
+                self.stats.mem_accesses += 1;
+                self.l2[home.index()].insert(line, false);
+                *latency += self.noc(home, my_tile, DATA_BYTES, now + *latency);
+                (ServicedBy::Memory, None)
+            }
+        }
+    }
+
+    fn store_miss(
+        &mut self,
+        line: Addr,
+        core: CoreId,
+        home: NodeId,
+        my_tile: NodeId,
+        now: Cycle,
+        latency: &mut Cycle,
+    ) -> (ServicedBy, Option<ExceptionKind>) {
+        // Peek at the directory to know the current holders before
+        // transitioning (write() mutates).
+        let entry = self.dir.entry(line);
+        let in_l2 = self.l2[home.index()].contains(line);
+        let anywhere_cached = entry.sharer_count() > 0 || in_l2;
+
+        if !anywhere_cached {
+            // Fetch-for-ownership from memory, guarded by the oracle.
+            if let Some(kind) = self.oracle.check(line, true) {
+                *latency += self.noc(home, my_tile, CTRL_BYTES, now + *latency);
+                return (ServicedBy::Memory, Some(kind));
+            }
+            let _ = self.dir.write(line, core);
+            let req = MemRequest {
+                core,
+                addr: line,
+                is_store: true,
+            };
+            *latency += self.dram.access(&req, now + *latency);
+            self.stats.mem_accesses += 1;
+            self.l2[home.index()].insert(line, false);
+            *latency += self.noc(home, my_tile, DATA_BYTES, now + *latency);
+            return (ServicedBy::Memory, None);
+        }
+
+        let action = self.dir.write(line, core);
+        let mut serviced = ServicedBy::L2;
+
+        if let Some(owner) = action.pull_dirty_from {
+            // Pull the dirty copy: home -> owner -> requester.
+            let owner_tile = self.tile_of(owner);
+            *latency += self.noc(home, owner_tile, CTRL_BYTES, now + *latency);
+            *latency += self.cfg.l1d.latency;
+            *latency += self.noc(owner_tile, my_tile, DATA_BYTES, now + *latency);
+            self.l1d[owner.index()].invalidate(line);
+            self.stats.peer_forwards += 1;
+            serviced = ServicedBy::Peer;
+        } else {
+            // Invalidation fan-out: pay the farthest sharer's round trip
+            // (invalidations go in parallel; acks gate completion).
+            let mut worst: Cycle = 0;
+            for victim in &action.invalidate {
+                let vt = self.tile_of(*victim);
+                let rt = self.mesh.round_trip(home, vt, CTRL_BYTES, CTRL_BYTES);
+                worst = worst.max(rt);
+                self.l1d[victim.index()].invalidate(line);
+            }
+            *latency += worst;
+            // Data comes from the home L2 if resident, else the requester
+            // already had it (upgrade) — price the L2 data return when the
+            // line was not in the requester's L1 (we are on the miss path,
+            // so it was not).
+            if in_l2 {
+                self.l2[home.index()].lookup(line);
+                self.stats.l2_hits += 1;
+            }
+            *latency += self.noc(home, my_tile, DATA_BYTES, now + *latency);
+        }
+        (serviced, None)
+    }
+
+    /// Cost of a store upgrade when the line is already in the
+    /// requester's L1 but shared by others.
+    fn upgrade_cost(&mut self, line: Addr, core: CoreId, now: Cycle) -> Cycle {
+        let home = self.home_of(line);
+        let my_tile = self.tile_of(core);
+        let mut cost = self.noc(my_tile, home, CTRL_BYTES, now);
+        let entry = self.dir.entry(line);
+        let mut worst = 0;
+        for victim in entry.sharer_list() {
+            if victim == core {
+                continue;
+            }
+            let rt = self
+                .mesh
+                .round_trip(home, self.tile_of(victim), CTRL_BYTES, CTRL_BYTES);
+            worst = worst.max(rt);
+        }
+        cost += worst;
+        cost += self.mesh.latency(home, my_tile, CTRL_BYTES); // ack
+        cost
+    }
+
+    fn invalidate_peers(&mut self, line: Addr, core: CoreId) {
+        for victim in self.dir.entry(line).sharer_list() {
+            if victim != core {
+                self.l1d[victim.index()].invalidate(line);
+            }
+        }
+    }
+
+    fn handle_l1_eviction(&mut self, core: CoreId, ev: Eviction) {
+        match ev {
+            Eviction::None => {}
+            Eviction::Clean(victim) | Eviction::Dirty(victim) => {
+                // PutS/PutM to the directory; dirty data folds into the L2
+                // home copy (timing impact of the writeback is off the
+                // critical path).
+                self.dir.evict(victim, core);
+                if matches!(ev, Eviction::Dirty(_)) {
+                    let home = self.home_of(victim);
+                    self.l2[home.index()].insert(victim, true);
+                }
+            }
+        }
+    }
+
+    /// Total NoC messages priced so far.
+    pub fn noc_messages(&self) -> u64 {
+        self.traffic.total_messages()
+    }
+
+    /// Invalidations the directory has ordered.
+    pub fn invalidations(&self) -> u64 {
+        self.dir.invalidations_sent()
+    }
+}
+
+fn mesh_nodes(cfg: &SystemConfig) -> usize {
+    cfg.noc.nodes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MemoryHierarchy {
+        let mut cfg = SystemConfig::isca23();
+        cfg.cores = 4;
+        cfg.noc.mesh_x = 2;
+        cfg.noc.mesh_y = 2;
+        MemoryHierarchy::new(cfg)
+    }
+
+    #[test]
+    fn cold_miss_pays_memory_latency() {
+        let mut h = small();
+        let r = h.access(Access::load(CoreId(0), Addr::new(0x1_0000)), 0);
+        assert_eq!(r.serviced_by, ServicedBy::Memory);
+        assert!(r.latency >= 80, "got {}", r.latency);
+        assert_eq!(h.stats().mem_accesses, 1);
+    }
+
+    #[test]
+    fn warm_hit_is_l1_fast() {
+        let mut h = small();
+        let a = Addr::new(0x2_0000);
+        let miss = h.access(Access::load(CoreId(0), a), 0);
+        let hit = h.access(Access::load(CoreId(0), a), miss.latency);
+        assert_eq!(hit.serviced_by, ServicedBy::L1);
+        assert!(hit.latency <= h.config().l1d.latency + 1);
+        assert!(hit.latency < miss.latency);
+    }
+
+    #[test]
+    fn peer_forward_cheaper_than_memory() {
+        let mut h = small();
+        let a = Addr::new(0x3_0000);
+        let cold = h.access(Access::load(CoreId(0), a), 0);
+        let fwd = h.access(Access::load(CoreId(1), a), 1000);
+        assert_eq!(fwd.serviced_by, ServicedBy::Peer);
+        assert!(fwd.latency < cold.latency, "{} vs {}", fwd.latency, cold.latency);
+        assert_eq!(h.stats().peer_forwards, 1);
+    }
+
+    #[test]
+    fn store_to_shared_line_invalidates_readers() {
+        let mut h = small();
+        let a = Addr::new(0x4_0000);
+        h.access(Access::load(CoreId(0), a), 0);
+        h.access(Access::load(CoreId(1), a), 1000);
+        h.access(Access::load(CoreId(2), a), 2000);
+        // Core 3 writes: all three readers must be invalidated.
+        let before = h.invalidations();
+        let w = h.access(Access::store(CoreId(3), a), 3000);
+        assert!(h.invalidations() > before);
+        assert!(w.fault.is_none());
+        // Reader's next load misses again.
+        let reread = h.access(Access::load(CoreId(0), a), 4000);
+        assert_ne!(reread.serviced_by, ServicedBy::L1);
+    }
+
+    #[test]
+    fn store_skew_makes_store_misses_slower() {
+        let cfg = {
+            let mut c = SystemConfig::isca23();
+            c.cores = 4;
+            c.noc.mesh_x = 2;
+            c.noc.mesh_y = 2;
+            c.memory.store_latency_skew = 4;
+            c
+        };
+        let mut h = MemoryHierarchy::new(cfg);
+        let ld = h.access(Access::load(CoreId(0), Addr::new(0x10_0000)), 0);
+        let st = h.access(Access::store(CoreId(0), Addr::new(0x20_0000)), 0);
+        assert!(
+            st.latency > ld.latency + 200,
+            "store {} vs load {}",
+            st.latency,
+            ld.latency
+        );
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction_pressure() {
+        let mut h = small();
+        // Load a line, then blow the L1 set with conflicting lines.
+        let a = Addr::new(0);
+        h.access(Access::load(CoreId(0), a), 0);
+        let l1_lines = 64 * 1024 / 64; // way beyond L1 capacity
+        for i in 1..=l1_lines as u64 + 8 {
+            h.access(Access::load(CoreId(0), Addr::new(i * 64)), i * 10);
+        }
+        let again = h.access(Access::load(CoreId(0), a), 10_000_000);
+        // Should come from an L2 tile or memory, not L1.
+        assert_ne!(again.serviced_by, ServicedBy::L1);
+    }
+
+    struct AlwaysDeny;
+    impl FaultOracle for AlwaysDeny {
+        fn check(&self, _addr: Addr, _is_store: bool) -> Option<ExceptionKind> {
+            Some(ExceptionKind::BusError)
+        }
+    }
+
+    #[test]
+    fn denied_transaction_reports_fault_and_installs_nothing() {
+        let mut cfg = SystemConfig::isca23();
+        cfg.cores = 4;
+        cfg.noc.mesh_x = 2;
+        cfg.noc.mesh_y = 2;
+        let mut h = MemoryHierarchy::with_oracle(cfg, Rc::new(AlwaysDeny));
+        let a = Addr::new(0x5_0000);
+        let r = h.access(Access::store(CoreId(0), a), 0);
+        assert_eq!(r.fault, Some(ExceptionKind::BusError));
+        assert_eq!(r.serviced_by, ServicedBy::Denied);
+        // Nothing was installed: the next access misses and faults again.
+        let r2 = h.access(Access::load(CoreId(0), a), 1000);
+        assert_eq!(r2.fault, Some(ExceptionKind::BusError));
+        assert_eq!(h.stats().denied, 2);
+    }
+
+    #[test]
+    fn cached_lines_do_not_consult_oracle() {
+        // Oracle that denies only while armed.
+        use std::cell::Cell;
+        struct Toggle(Cell<bool>);
+        impl FaultOracle for Toggle {
+            fn check(&self, _a: Addr, _s: bool) -> Option<ExceptionKind> {
+                if self.0.get() {
+                    Some(ExceptionKind::BusError)
+                } else {
+                    None
+                }
+            }
+        }
+        let mut cfg = SystemConfig::isca23();
+        cfg.cores = 4;
+        cfg.noc.mesh_x = 2;
+        cfg.noc.mesh_y = 2;
+        let toggle = Rc::new(Toggle(Cell::new(false)));
+        let mut h = MemoryHierarchy::with_oracle(cfg, toggle.clone());
+        let a = Addr::new(0x6_0000);
+        // Warm the line while the oracle allows.
+        assert!(h.access(Access::load(CoreId(0), a), 0).fault.is_none());
+        // Arm the oracle: the cached line must still hit without faulting
+        // (EInject only watches the LLC<->memory boundary, paper §6.2).
+        toggle.0.set(true);
+        let r = h.access(Access::load(CoreId(0), a), 1000);
+        assert_eq!(r.fault, None);
+        assert_eq!(r.serviced_by, ServicedBy::L1);
+    }
+
+    #[test]
+    fn home_mapping_is_interleaved_and_stable() {
+        let h = small();
+        let homes: Vec<_> = (0..8)
+            .map(|i| h.home_of(Addr::new(i * 64)).index())
+            .collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let mut h = small();
+        h.access(Access::load(CoreId(9), Addr::new(0)), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Directory-based MESI coherence (Table 2: "Directory-based MESI").
+//!
+//! The directory tracks, per cache line, which cores hold the line and in
+//! what state. The hierarchy consults it on every L1 miss (and on store
+//! upgrades) to learn *who must be contacted* — the owner to forward from,
+//! or the sharers to invalidate — and prices those messages on the mesh.
+//! Stores pay more than loads under sharing because invalidations fan out;
+//! this asymmetry is exactly the store-to-load latency skew that §3.3 of
+//! the paper studies.
+
+use ise_types::addr::Addr;
+use ise_types::CoreId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable MESI state of a line as recorded at the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// One core holds the only, dirty copy.
+    Modified,
+    /// One core holds the only, clean copy.
+    Exclusive,
+    /// One or more cores hold read-only copies.
+    Shared,
+    /// No core holds the line.
+    Invalid,
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MesiState::Modified => "M",
+            MesiState::Exclusive => "E",
+            MesiState::Shared => "S",
+            MesiState::Invalid => "I",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One directory entry: state plus a sharer bit-vector (supports up to 64
+/// cores; Table 2 uses 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Current stable state.
+    pub state: MesiState,
+    /// Bit *i* set means core *i* holds a copy.
+    pub sharers: u64,
+}
+
+impl DirEntry {
+    fn empty() -> Self {
+        DirEntry {
+            state: MesiState::Invalid,
+            sharers: 0,
+        }
+    }
+
+    /// Cores currently holding the line, in ascending id order.
+    pub fn sharer_list(&self) -> Vec<CoreId> {
+        (0..64)
+            .filter(|i| self.sharers & (1u64 << i) != 0)
+            .map(CoreId)
+            .collect()
+    }
+
+    /// Number of sharers.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    fn has(&self, core: CoreId) -> bool {
+        self.sharers & (1u64 << core.index()) != 0
+    }
+}
+
+/// What the requesting core must do to complete a read miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadAction {
+    /// Line uncached anywhere: fetch from L2/memory; requester becomes
+    /// Exclusive.
+    FromMemory,
+    /// A clean copy exists at the L2/home or other sharers: deliver from
+    /// home; requester joins the sharer set.
+    FromHome,
+    /// `owner` holds an M (or E) copy: forward from the owner's cache
+    /// (3-hop miss); both end Shared.
+    ForwardFrom(CoreId),
+}
+
+/// What the requesting core must do to complete a write (GetM/upgrade).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteAction {
+    /// Cores whose copies must be invalidated (excludes the requester).
+    pub invalidate: Vec<CoreId>,
+    /// If some other core held M, its dirty data must be pulled first.
+    pub pull_dirty_from: Option<CoreId>,
+    /// Whether the line must be fetched from memory (no cached copy
+    /// anywhere).
+    pub from_memory: bool,
+}
+
+/// The full-map directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+    /// Counters for stats: (read_forwards, invalidations_sent).
+    invalidations: u64,
+    forwards: u64,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(line: Addr) -> u64 {
+        debug_assert_eq!(line, line.line());
+        line.raw()
+    }
+
+    /// Current entry for a line (Invalid if never seen).
+    pub fn entry(&self, line: Addr) -> DirEntry {
+        self.entries
+            .get(&Self::key(line))
+            .copied()
+            .unwrap_or_else(DirEntry::empty)
+    }
+
+    /// Handles a read miss by `core`: returns the action the hierarchy
+    /// must price, and transitions the directory.
+    pub fn read(&mut self, line: Addr, core: CoreId) -> ReadAction {
+        let e = self.entries.entry(Self::key(line)).or_insert_with(DirEntry::empty);
+        let bit = 1u64 << core.index();
+        match e.state {
+            MesiState::Invalid => {
+                e.state = MesiState::Exclusive;
+                e.sharers = bit;
+                ReadAction::FromMemory
+            }
+            MesiState::Shared => {
+                e.sharers |= bit;
+                ReadAction::FromHome
+            }
+            MesiState::Exclusive | MesiState::Modified => {
+                if e.has(core) {
+                    // Silent re-read by the owner.
+                    return ReadAction::FromHome;
+                }
+                let owner = CoreId(e.sharers.trailing_zeros() as usize);
+                e.state = MesiState::Shared;
+                e.sharers |= bit;
+                self.forwards += 1;
+                ReadAction::ForwardFrom(owner)
+            }
+        }
+    }
+
+    /// Handles a write (GetM or upgrade) by `core`: returns the action and
+    /// transitions the line to Modified owned by `core`.
+    pub fn write(&mut self, line: Addr, core: CoreId) -> WriteAction {
+        let e = self.entries.entry(Self::key(line)).or_insert_with(DirEntry::empty);
+        let bit = 1u64 << core.index();
+        let action = match e.state {
+            MesiState::Invalid => WriteAction {
+                invalidate: Vec::new(),
+                pull_dirty_from: None,
+                from_memory: true,
+            },
+            MesiState::Exclusive | MesiState::Modified if e.sharers == bit => {
+                // Silent upgrade by the sole owner.
+                WriteAction {
+                    invalidate: Vec::new(),
+                    pull_dirty_from: None,
+                    from_memory: false,
+                }
+            }
+            MesiState::Modified => {
+                let owner = CoreId(e.sharers.trailing_zeros() as usize);
+                self.invalidations += 1;
+                WriteAction {
+                    invalidate: vec![owner],
+                    pull_dirty_from: Some(owner),
+                    from_memory: false,
+                }
+            }
+            MesiState::Exclusive | MesiState::Shared => {
+                let victims: Vec<CoreId> = (0..64)
+                    .filter(|i| e.sharers & (1u64 << i) != 0 && *i != core.index())
+                    .map(CoreId)
+                    .collect();
+                self.invalidations += victims.len() as u64;
+                WriteAction {
+                    invalidate: victims,
+                    pull_dirty_from: None,
+                    // If the requester already shared it, data is local;
+                    // otherwise the home supplies it (not memory).
+                    from_memory: false,
+                }
+            }
+        };
+        e.state = MesiState::Modified;
+        e.sharers = bit;
+        action
+    }
+
+    /// Records that `core` evicted its copy of `line` (PutS/PutM).
+    pub fn evict(&mut self, line: Addr, core: CoreId) {
+        if let Some(e) = self.entries.get_mut(&Self::key(line)) {
+            e.sharers &= !(1u64 << core.index());
+            if e.sharers == 0 {
+                e.state = MesiState::Invalid;
+            } else if e.sharer_count() >= 1 && e.state == MesiState::Modified {
+                // Owner left; remaining copies are clean shared.
+                e.state = MesiState::Shared;
+            }
+        }
+    }
+
+    /// Total invalidation messages the directory has ordered.
+    pub fn invalidations_sent(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Total owner-forwards the directory has ordered.
+    pub fn forwards_ordered(&self) -> u64 {
+        self.forwards
+    }
+
+    /// Number of tracked (non-invalid) lines.
+    pub fn tracked_lines(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.state != MesiState::Invalid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> Addr {
+        Addr::new(i * 64)
+    }
+
+    #[test]
+    fn first_read_is_exclusive_from_memory() {
+        let mut d = Directory::new();
+        assert_eq!(d.read(line(1), CoreId(0)), ReadAction::FromMemory);
+        let e = d.entry(line(1));
+        assert_eq!(e.state, MesiState::Exclusive);
+        assert_eq!(e.sharer_list(), vec![CoreId(0)]);
+    }
+
+    #[test]
+    fn second_reader_forwards_from_owner_and_shares() {
+        let mut d = Directory::new();
+        d.read(line(1), CoreId(0));
+        assert_eq!(d.read(line(1), CoreId(1)), ReadAction::ForwardFrom(CoreId(0)));
+        let e = d.entry(line(1));
+        assert_eq!(e.state, MesiState::Shared);
+        assert_eq!(e.sharer_count(), 2);
+    }
+
+    #[test]
+    fn third_reader_hits_home() {
+        let mut d = Directory::new();
+        d.read(line(1), CoreId(0));
+        d.read(line(1), CoreId(1));
+        assert_eq!(d.read(line(1), CoreId(2)), ReadAction::FromHome);
+    }
+
+    #[test]
+    fn write_to_uncached_goes_to_memory() {
+        let mut d = Directory::new();
+        let a = d.write(line(2), CoreId(3));
+        assert!(a.from_memory);
+        assert!(a.invalidate.is_empty());
+        assert_eq!(d.entry(line(2)).state, MesiState::Modified);
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut d = Directory::new();
+        d.read(line(1), CoreId(0));
+        d.read(line(1), CoreId(1));
+        d.read(line(1), CoreId(2));
+        let a = d.write(line(1), CoreId(2));
+        assert_eq!(a.invalidate, vec![CoreId(0), CoreId(1)]);
+        assert!(!a.from_memory);
+        assert_eq!(d.entry(line(1)).sharers, 1 << 2);
+        assert_eq!(d.invalidations_sent(), 2);
+    }
+
+    #[test]
+    fn write_to_modified_pulls_dirty_copy() {
+        let mut d = Directory::new();
+        d.write(line(1), CoreId(0));
+        let a = d.write(line(1), CoreId(1));
+        assert_eq!(a.pull_dirty_from, Some(CoreId(0)));
+        assert_eq!(a.invalidate, vec![CoreId(0)]);
+        assert_eq!(d.entry(line(1)).sharer_list(), vec![CoreId(1)]);
+    }
+
+    #[test]
+    fn silent_upgrade_for_sole_owner() {
+        let mut d = Directory::new();
+        d.read(line(1), CoreId(0)); // E
+        let a = d.write(line(1), CoreId(0));
+        assert!(a.invalidate.is_empty() && a.pull_dirty_from.is_none() && !a.from_memory);
+        assert_eq!(d.entry(line(1)).state, MesiState::Modified);
+    }
+
+    #[test]
+    fn owner_reread_is_local() {
+        let mut d = Directory::new();
+        d.write(line(1), CoreId(0));
+        assert_eq!(d.read(line(1), CoreId(0)), ReadAction::FromHome);
+        assert_eq!(d.entry(line(1)).state, MesiState::Modified);
+    }
+
+    #[test]
+    fn eviction_clears_sharer_and_state() {
+        let mut d = Directory::new();
+        d.read(line(1), CoreId(0));
+        d.read(line(1), CoreId(1));
+        d.evict(line(1), CoreId(0));
+        assert_eq!(d.entry(line(1)).sharer_list(), vec![CoreId(1)]);
+        d.evict(line(1), CoreId(1));
+        assert_eq!(d.entry(line(1)).state, MesiState::Invalid);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn modified_owner_eviction_leaves_clean_state() {
+        let mut d = Directory::new();
+        d.write(line(1), CoreId(0));
+        d.evict(line(1), CoreId(0));
+        assert_eq!(d.entry(line(1)).state, MesiState::Invalid);
+    }
+}

@@ -1,0 +1,159 @@
+//! Two-level TLB model (Table 2: L1 48 entries, L2 1024 entries).
+
+use ise_engine::Cycle;
+use ise_types::addr::PageId;
+use ise_types::config::TlbConfig;
+use std::collections::HashMap;
+
+/// A single fully-associative LRU TLB level.
+#[derive(Debug, Clone)]
+struct TlbLevel {
+    capacity: usize,
+    entries: HashMap<PageId, u64>,
+    tick: u64,
+}
+
+impl TlbLevel {
+    fn new(capacity: usize) -> Self {
+        TlbLevel {
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn lookup(&mut self, page: PageId) -> bool {
+        self.tick += 1;
+        if let Some(lru) = self.entries.get_mut(&page) {
+            *lru = self.tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, page: PageId) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&page) {
+            // Evict the LRU entry. Ties cannot occur: ticks are unique.
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &lru)| lru) {
+                self.entries.remove(&victim);
+            }
+        }
+        let tick = self.tick;
+        self.entries.insert(page, tick);
+    }
+
+    fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A per-core two-level data TLB.
+///
+/// [`Tlb::access`] returns the extra translation latency an access pays:
+/// zero on an L1 hit, the L2 latency on an L1 miss that hits L2, and the
+/// full page-walk latency on a double miss (with both levels refilled).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    l1: TlbLevel,
+    l2: TlbLevel,
+    cfg: TlbConfig,
+    l1_misses: u64,
+    walks: u64,
+}
+
+impl Tlb {
+    /// Builds a TLB from its configuration.
+    pub fn new(cfg: TlbConfig) -> Self {
+        Tlb {
+            l1: TlbLevel::new(cfg.l1_entries),
+            l2: TlbLevel::new(cfg.l2_entries),
+            cfg,
+            l1_misses: 0,
+            walks: 0,
+        }
+    }
+
+    /// Translates an access to `page`, returning extra latency in cycles.
+    pub fn access(&mut self, page: PageId) -> Cycle {
+        if self.l1.lookup(page) {
+            return 0;
+        }
+        self.l1_misses += 1;
+        if self.l2.lookup(page) {
+            self.l1.insert(page);
+            return self.cfg.l2_latency;
+        }
+        self.walks += 1;
+        self.l2.insert(page);
+        self.l1.insert(page);
+        self.cfg.walk_latency
+    }
+
+    /// Invalidates all entries (TLB shootdown / context switch).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+    }
+
+    /// L1 TLB misses observed.
+    pub fn l1_misses(&self) -> u64 {
+        self.l1_misses
+    }
+
+    /// Page walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb() -> Tlb {
+        Tlb::new(TlbConfig::isca23())
+    }
+
+    #[test]
+    fn first_access_walks_then_hits() {
+        let mut t = tlb();
+        let p = PageId::new(7);
+        assert_eq!(t.access(p), TlbConfig::isca23().walk_latency);
+        assert_eq!(t.access(p), 0);
+        assert_eq!(t.walks(), 1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut t = tlb();
+        // Fill L1 beyond capacity.
+        for i in 0..49 {
+            t.access(PageId::new(i));
+        }
+        // Page 0 was LRU-evicted from the 48-entry L1 but still sits in L2.
+        assert_eq!(t.access(PageId::new(0)), TlbConfig::isca23().l2_latency);
+    }
+
+    #[test]
+    fn flush_forces_rewalk() {
+        let mut t = tlb();
+        let p = PageId::new(3);
+        t.access(p);
+        t.flush();
+        assert_eq!(t.access(p), TlbConfig::isca23().walk_latency);
+        assert_eq!(t.walks(), 2);
+    }
+
+    #[test]
+    fn l2_capacity_much_larger_than_l1() {
+        let mut t = tlb();
+        for i in 0..1024 {
+            t.access(PageId::new(i));
+        }
+        // A page well within L2 reach but outside L1 hits L2.
+        let lat = t.access(PageId::new(500));
+        assert_eq!(lat, TlbConfig::isca23().l2_latency);
+    }
+}

@@ -1,0 +1,31 @@
+//! 2D-mesh network-on-chip model (Table 2: 4×4 mesh, 16 B links,
+//! 3 cycles/hop).
+//!
+//! The model is analytic: a message from tile *s* to tile *d* takes the XY
+//! route, paying the per-hop router latency plus link serialization for its
+//! payload, with an optional congestion surcharge tracked per link. This is
+//! the level of fidelity the paper's Table 3 study needs — coherence and
+//! memory round trips whose cost grows with mesh distance — without
+//! simulating flits.
+//!
+//! # Example
+//!
+//! ```
+//! use ise_noc::{Mesh, NodeId};
+//! use ise_types::config::NocConfig;
+//!
+//! let mesh = Mesh::new(NocConfig::isca23());
+//! // Corner to corner on a 4x4 mesh: 6 hops.
+//! assert_eq!(mesh.hops(NodeId(0), NodeId(15)), 6);
+//! // A 64-byte data message serializes over 16-byte links.
+//! assert_eq!(mesh.latency(NodeId(0), NodeId(15), 64), 6 * 3 + 4);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod mesh;
+pub mod traffic;
+
+pub use mesh::{Mesh, NodeId};
+pub use traffic::TrafficMeter;

@@ -1,0 +1,225 @@
+//! Mesh topology, XY routing, and message latency.
+
+use ise_types::config::NocConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a mesh node (tile). Tiles are numbered row-major:
+/// node `y * mesh_x + x`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tile{}", self.0)
+    }
+}
+
+/// A 2D mesh with XY (dimension-ordered) routing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mesh {
+    cfg: NocConfig,
+}
+
+impl Mesh {
+    /// Builds a mesh from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mesh dimension or the link width is zero.
+    pub fn new(cfg: NocConfig) -> Self {
+        assert!(cfg.mesh_x > 0 && cfg.mesh_y > 0, "mesh dimensions must be positive");
+        assert!(cfg.link_bytes > 0, "link width must be positive");
+        Mesh { cfg }
+    }
+
+    /// The configuration this mesh was built from.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Number of tiles.
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes()
+    }
+
+    /// (x, y) coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn coords(&self, n: NodeId) -> (usize, usize) {
+        assert!(n.0 < self.nodes(), "node {} out of range", n.0);
+        (n.0 % self.cfg.mesh_x, n.0 / self.cfg.mesh_x)
+    }
+
+    /// Node at (x, y).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        assert!(x < self.cfg.mesh_x && y < self.cfg.mesh_y, "coords out of range");
+        NodeId(y * self.cfg.mesh_x + x)
+    }
+
+    /// Manhattan hop count between two nodes (XY routing is minimal).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u64 {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        (sx.abs_diff(dx) + sy.abs_diff(dy)) as u64
+    }
+
+    /// The XY route from `src` to `dst`, inclusive of both endpoints.
+    /// X is routed first, then Y — the deadlock-free dimension order.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = vec![self.node_at(x, y)];
+        while x != dx {
+            x = if dx > x { x + 1 } else { x - 1 };
+            path.push(self.node_at(x, y));
+        }
+        while y != dy {
+            y = if dy > y { y + 1 } else { y - 1 };
+            path.push(self.node_at(x, y));
+        }
+        path
+    }
+
+    /// Serialization delay for a `bytes`-sized payload over the link width
+    /// (header flit rides for free; zero-byte control messages take one
+    /// flit).
+    pub fn serialization(&self, bytes: usize) -> u64 {
+        (bytes as u64).div_ceil(self.cfg.link_bytes as u64).max(1)
+    }
+
+    /// End-to-end uncontended latency of one message: per-hop router cost
+    /// plus payload serialization. A self-message (src == dst) costs only
+    /// serialization.
+    pub fn latency(&self, src: NodeId, dst: NodeId, bytes: usize) -> u64 {
+        self.hops(src, dst) * self.cfg.hop_latency + self.serialization(bytes)
+    }
+
+    /// Round-trip latency: a `req_bytes` request followed by a
+    /// `resp_bytes` response over the reverse route.
+    pub fn round_trip(&self, src: NodeId, dst: NodeId, req_bytes: usize, resp_bytes: usize) -> u64 {
+        self.latency(src, dst, req_bytes) + self.latency(dst, src, resp_bytes)
+    }
+
+    /// Worst-case hop count in this mesh (corner to corner).
+    pub fn diameter(&self) -> u64 {
+        (self.cfg.mesh_x - 1 + self.cfg.mesh_y - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh4() -> Mesh {
+        Mesh::new(NocConfig::isca23())
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = mesh4();
+        for n in 0..16 {
+            let (x, y) = m.coords(NodeId(n));
+            assert_eq!(m.node_at(x, y), NodeId(n));
+        }
+    }
+
+    #[test]
+    fn hops_is_manhattan() {
+        let m = mesh4();
+        assert_eq!(m.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(m.hops(NodeId(0), NodeId(3)), 3);
+        assert_eq!(m.hops(NodeId(0), NodeId(12)), 3);
+        assert_eq!(m.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(m.hops(NodeId(5), NodeId(10)), 2);
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let m = mesh4();
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(m.hops(NodeId(a), NodeId(b)), m.hops(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_minimal_and_contiguous() {
+        let m = mesh4();
+        for a in 0..16 {
+            for b in 0..16 {
+                let r = m.route(NodeId(a), NodeId(b));
+                assert_eq!(r.len() as u64, m.hops(NodeId(a), NodeId(b)) + 1);
+                assert_eq!(*r.first().unwrap(), NodeId(a));
+                assert_eq!(*r.last().unwrap(), NodeId(b));
+                for w in r.windows(2) {
+                    assert_eq!(m.hops(w[0], w[1]), 1, "route must step one hop at a time");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_xy_ordered() {
+        let m = mesh4();
+        // 0 -> 15 must go along row 0 first: 0,1,2,3 then down 7,11,15.
+        let r = m.route(NodeId(0), NodeId(15));
+        assert_eq!(
+            r,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(7), NodeId(11), NodeId(15)]
+        );
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        let m = mesh4();
+        assert_eq!(m.serialization(0), 1);
+        assert_eq!(m.serialization(1), 1);
+        assert_eq!(m.serialization(16), 1);
+        assert_eq!(m.serialization(17), 2);
+        assert_eq!(m.serialization(64), 4);
+    }
+
+    #[test]
+    fn table2_latency_example() {
+        let m = mesh4();
+        // Control message one hop: 3 + 1.
+        assert_eq!(m.latency(NodeId(0), NodeId(1), 8), 4);
+        // 64B data corner-to-corner: 6*3 + 4.
+        assert_eq!(m.latency(NodeId(0), NodeId(15), 64), 22);
+    }
+
+    #[test]
+    fn round_trip_adds_both_directions() {
+        let m = mesh4();
+        let rt = m.round_trip(NodeId(0), NodeId(15), 8, 64);
+        assert_eq!(rt, m.latency(NodeId(0), NodeId(15), 8) + m.latency(NodeId(15), NodeId(0), 64));
+    }
+
+    #[test]
+    fn diameter_of_4x4_is_6() {
+        assert_eq!(mesh4().diameter(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_panics() {
+        mesh4().coords(NodeId(16));
+    }
+}

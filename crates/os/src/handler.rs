@@ -1,0 +1,478 @@
+//! The imprecise store exception handler.
+
+use crate::paging::IoScheduler;
+use ise_core::{ContractMonitor, FaultResolver, Fsb, OrderEvent};
+use ise_engine::Cycle;
+use ise_mem::FlatMemory;
+use ise_types::config::OsCostConfig;
+use ise_types::exception::{ErrorCode, ExceptionKind};
+use ise_types::{CoreId, PageId};
+use std::collections::HashSet;
+
+/// The Fig. 5 cost decomposition of one handler invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverheadBreakdown {
+    /// Microarchitectural cycles (FSB drain + pipeline flush) — charged
+    /// by the FSBC, folded in here by the caller for reporting.
+    pub uarch: Cycle,
+    /// Cycles spent applying faulting stores (`S_OS`).
+    pub apply: Cycle,
+    /// Everything else the OS does: dispatch, context switch, cause
+    /// resolution.
+    pub other_os: Cycle,
+}
+
+impl OverheadBreakdown {
+    /// Total cycles.
+    pub fn total(&self) -> Cycle {
+        self.uarch + self.apply + self.other_os
+    }
+
+    /// Per-store average over `n` faulting stores.
+    pub fn per_store(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.total() as f64 / n as f64
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &OverheadBreakdown) {
+        self.uarch += other.uarch;
+        self.apply += other.apply;
+        self.other_os += other.other_os;
+    }
+}
+
+/// The result of one handler invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandlerOutcome {
+    /// Cycle at which the interrupted program may resume.
+    pub resume_at: Cycle,
+    /// Stores applied to memory.
+    pub applied: usize,
+    /// Distinct faulting pages resolved.
+    pub pages_resolved: usize,
+    /// Cost decomposition (OS parts only; add the FSBC receipt's µarch
+    /// cycles for the full Fig. 5 bar).
+    pub breakdown: OverheadBreakdown,
+    /// Whether the exception was irrecoverable and the process was
+    /// terminated (remaining faulting stores discarded, §5.3).
+    pub terminated: bool,
+    /// Demand-paging IO cycles overlapped within this invocation (zero
+    /// unless [`OsKernel::with_demand_paging_io`] is enabled).
+    pub io_cycles: Cycle,
+}
+
+/// The OS kernel model.
+#[derive(Debug, Clone)]
+pub struct OsKernel {
+    costs: OsCostConfig,
+    /// When set, each resolved page schedules a demand-paging IO of this
+    /// latency; IOs within one invocation overlap (§5.3 batching).
+    demand_io: Option<IoScheduler>,
+    invocations: u64,
+    stores_applied: u64,
+    faulting_applied: u64,
+    pages_resolved: u64,
+    processes_killed: u64,
+}
+
+impl OsKernel {
+    /// Creates a kernel with the given cost parameters.
+    pub fn new(costs: OsCostConfig) -> Self {
+        OsKernel {
+            costs,
+            demand_io: None,
+            invocations: 0,
+            stores_applied: 0,
+            faulting_applied: 0,
+            pages_resolved: 0,
+            processes_killed: 0,
+        }
+    }
+
+    /// Enables demand-paging IO: resolving a faulting page schedules a
+    /// page-in of `io_latency` cycles on the backing device. All page-ins
+    /// of one handler invocation are submitted back to back and overlap —
+    /// the paper's §5.3 batching argument ("the OS can schedule multiple
+    /// IO requests for all the faulting stores covered by the exception").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io_latency` is zero.
+    pub fn with_demand_paging_io(mut self, io_latency: Cycle) -> Self {
+        self.demand_io = Some(IoScheduler::new(io_latency));
+        self
+    }
+
+    /// Demand-paging IOs issued so far (zero unless enabled).
+    pub fn ios_issued(&self) -> u64 {
+        self.demand_io.as_ref().map_or(0, |s| s.ios_issued())
+    }
+
+    /// Handler invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Stores applied so far (faulting + same-stream companions).
+    pub fn stores_applied(&self) -> u64 {
+        self.stores_applied
+    }
+
+    /// Applied stores that were actually faulting: a nonzero error code,
+    /// or a target page still marked faulting when applied (a same-stream
+    /// companion whose own drain would also have been denied).
+    pub fn faulting_applied(&self) -> u64 {
+        self.faulting_applied
+    }
+
+    /// Pages resolved so far.
+    pub fn pages_resolved(&self) -> u64 {
+        self.pages_resolved
+    }
+
+    /// Processes terminated on irrecoverable exceptions.
+    pub fn processes_killed(&self) -> u64 {
+        self.processes_killed
+    }
+
+    /// Handles one imprecise store exception for `core`, starting at
+    /// `now` (which should already include the FSBC drain receipt's
+    /// `ready_at`).
+    ///
+    /// Implements §6.2's minimal handler: for each FSB entry, mark the
+    /// corresponding EInject page non-faulting, perform the store with a
+    /// normal store instruction (functionally: write `mem`), and
+    /// increment the head pointer; repeat until head catches tail.
+    /// Entries whose error code is [`irrecoverable`](ExceptionKind) kill
+    /// the process: remaining stores are discarded.
+    ///
+    /// Events are recorded into `monitor` (GET, S_OS, RESOLVE) when one is
+    /// supplied, so the Table 5 contract can be audited after the run.
+    pub fn handle_imprecise(
+        &mut self,
+        core: CoreId,
+        fsb: &mut Fsb,
+        resolver: &dyn FaultResolver,
+        mem: &mut FlatMemory,
+        now: Cycle,
+        mut monitor: Option<&mut ContractMonitor>,
+    ) -> HandlerOutcome {
+        self.invocations += 1;
+        let mut t = now + self.costs.dispatch_overhead;
+        let mut breakdown = OverheadBreakdown {
+            uarch: 0,
+            apply: 0,
+            other_os: self.costs.dispatch_overhead,
+        };
+        let mut applied = 0usize;
+        let mut resolved_pages: HashSet<PageId> = HashSet::new();
+        let mut terminated = false;
+
+        while let Some(entry) = fsb.pop_head() {
+            if let Some(m) = monitor.as_deref_mut() {
+                m.record(OrderEvent::Get { core, entry });
+            }
+            if entry.error == ExceptionKind::SegmentationFault.error_code()
+                || entry.error == ExceptionKind::MachineCheck.error_code()
+            {
+                // Irrecoverable: terminate; discard the rest (§5.3).
+                terminated = true;
+                self.processes_killed += 1;
+                while fsb.pop_head().is_some() {}
+                break;
+            }
+            // Resolve the cause once per distinct page. Entries with a
+            // zero error code were drained alongside a faulting store
+            // (same-stream) — their target page may nonetheless be
+            // faulting, and applying them with a normal kernel store
+            // would fault precisely, so the kernel resolves first.
+            let page = entry.addr.page();
+            let was_faulting = entry.error != ErrorCode(0) || resolver.is_faulting(entry.addr);
+            if was_faulting {
+                self.faulting_applied += 1;
+                if resolved_pages.insert(page) {
+                    resolver.resolve(entry.addr);
+                    t += self.costs.resolve_per_page;
+                    breakdown.other_os += self.costs.resolve_per_page;
+                }
+            }
+            // Apply the store in retrieved order (Table 5 rule 3).
+            mem.write(entry.addr, entry.data, entry.mask);
+            t += self.costs.apply_per_store;
+            breakdown.apply += self.costs.apply_per_store;
+            applied += 1;
+            self.stores_applied += 1;
+            if let Some(m) = monitor.as_deref_mut() {
+                m.record(OrderEvent::Sos { core, addr: entry.addr });
+            }
+        }
+        self.pages_resolved += resolved_pages.len() as u64;
+        // Demand-paging: one batched IO submission for every resolved
+        // page; the program resumes only when the slowest page-in lands.
+        let mut io_cycles = 0;
+        if let Some(io) = self.demand_io.as_mut() {
+            if !resolved_pages.is_empty() {
+                let done = io.batched(resolved_pages.len(), t);
+                io_cycles = done - t;
+                t = done;
+            }
+        }
+        if let Some(m) = monitor.as_deref_mut() {
+            m.record(OrderEvent::Resolve { core });
+        }
+        HandlerOutcome {
+            resume_at: t,
+            applied,
+            pages_resolved: resolved_pages.len(),
+            breakdown,
+            terminated,
+            io_cycles,
+        }
+    }
+
+    /// Handles a *precise* exception (faulting load/atomic): resolve the
+    /// cause and return the resume time. No stores to apply.
+    pub fn handle_precise(
+        &mut self,
+        _core: CoreId,
+        addr: ise_types::addr::Addr,
+        kind: ExceptionKind,
+        resolver: &dyn FaultResolver,
+        now: Cycle,
+    ) -> HandlerOutcome {
+        self.invocations += 1;
+        let mut t = now + self.costs.dispatch_overhead;
+        let mut terminated = false;
+        if kind.is_recoverable() {
+            resolver.resolve(addr);
+            self.pages_resolved += 1;
+            t += self.costs.resolve_per_page;
+        } else {
+            terminated = true;
+            self.processes_killed += 1;
+        }
+        let mut io_cycles = 0;
+        if kind.is_recoverable() {
+            if let Some(io) = self.demand_io.as_mut() {
+                let done = io.serial(1, t);
+                io_cycles = done - t;
+                t = done;
+            }
+        }
+        HandlerOutcome {
+            resume_at: t,
+            applied: 0,
+            pages_resolved: usize::from(kind.is_recoverable()),
+            breakdown: OverheadBreakdown {
+                uarch: 0,
+                apply: 0,
+                other_os: t - now - io_cycles,
+            },
+            terminated,
+            io_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_core::EInject;
+    use ise_types::addr::{Addr, ByteMask, PAGE_SIZE};
+    use ise_types::FaultingStoreEntry;
+
+    fn setup() -> (OsKernel, Fsb, EInject, FlatMemory) {
+        (
+            OsKernel::new(OsCostConfig::isca23()),
+            Fsb::new(Addr::new(0x8000_0000), 32),
+            EInject::new(Addr::new(0x10_0000), 64 * PAGE_SIZE),
+            FlatMemory::new(),
+        )
+    }
+
+    fn faulting_entry(addr: Addr, data: u64) -> FaultingStoreEntry {
+        FaultingStoreEntry::new(
+            addr,
+            data,
+            ByteMask::FULL,
+            ExceptionKind::BusError.error_code(),
+        )
+    }
+
+    #[test]
+    fn handler_applies_all_stores_in_order_and_clears_pages() {
+        let (mut os, mut fsb, einject, mut mem) = setup();
+        let a0 = Addr::new(0x10_0000);
+        let a1 = Addr::new(0x10_0000 + PAGE_SIZE);
+        einject.set_faulting(a0);
+        einject.set_faulting(a1);
+        fsb.push(faulting_entry(a0, 11)).unwrap();
+        fsb.push(FaultingStoreEntry::non_faulting(a1, 22, ByteMask::FULL))
+            .unwrap();
+        let mut mon = ContractMonitor::new();
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, Some(&mut mon));
+        assert_eq!(out.applied, 2);
+        assert_eq!(out.pages_resolved, 2, "non-faulting entry on a faulting page resolves too");
+        assert!(!out.terminated);
+        assert_eq!(mem.read(a0), 11);
+        assert_eq!(mem.read(a1), 22);
+        assert!(!einject.is_faulting(a0));
+        assert!(!einject.is_faulting(a1));
+        assert!(fsb.is_empty());
+        // The recorded GET/S_OS/RESOLVE sequence satisfies the PC
+        // contract (PUTs added here to complete the log).
+        let mut full = ContractMonitor::new();
+        full.record(OrderEvent::Put { core: CoreId(0), entry: faulting_entry(a0, 11) });
+        full.record(OrderEvent::Put {
+            core: CoreId(0),
+            entry: FaultingStoreEntry::non_faulting(a1, 22, ByteMask::FULL),
+        });
+        for e in mon.log() {
+            full.record(*e);
+        }
+        assert_eq!(full.check(ise_types::ConsistencyModel::Pc), Ok(()));
+    }
+
+    #[test]
+    fn resume_only_after_all_work() {
+        let (mut os, mut fsb, einject, mut mem) = setup();
+        let a = Addr::new(0x10_0000);
+        einject.set_faulting(a);
+        fsb.push(faulting_entry(a, 1)).unwrap();
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 100, None);
+        let c = OsCostConfig::isca23();
+        assert_eq!(
+            out.resume_at,
+            100 + c.dispatch_overhead + c.resolve_per_page + c.apply_per_store
+        );
+    }
+
+    #[test]
+    fn batching_amortizes_dispatch() {
+        let (mut os, mut fsb, einject, mut mem) = setup();
+        // 8 faulting stores to the same page: resolved once, applied 8x,
+        // dispatched once.
+        let base = Addr::new(0x10_0000);
+        einject.set_faulting(base);
+        for i in 0..8 {
+            fsb.push(faulting_entry(base.offset(i * 8), i)).unwrap();
+        }
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None);
+        let c = OsCostConfig::isca23();
+        assert_eq!(out.pages_resolved, 1);
+        assert_eq!(out.breakdown.other_os, c.dispatch_overhead + c.resolve_per_page);
+        assert_eq!(out.breakdown.apply, 8 * c.apply_per_store);
+        // Per-store cost well under the unbatched ~600 cycles.
+        assert!(out.breakdown.per_store(8) < 150.0);
+    }
+
+    #[test]
+    fn unbatched_per_store_cost_near_600_cycles() {
+        // One store per invocation, as in Fig. 5's "without batching".
+        let (mut os, mut fsb, einject, mut mem) = setup();
+        let a = Addr::new(0x10_0000);
+        einject.set_faulting(a);
+        fsb.push(faulting_entry(a, 1)).unwrap();
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None);
+        let total = out.breakdown.total();
+        assert!(
+            (450..=700).contains(&total),
+            "unbatched per-store OS cost should be ≈600 cycles, got {total}"
+        );
+    }
+
+    #[test]
+    fn irrecoverable_kills_and_discards() {
+        let (mut os, mut fsb, einject, mut mem) = setup();
+        let a = Addr::new(0x10_0000);
+        fsb.push(FaultingStoreEntry::new(
+            a,
+            1,
+            ByteMask::FULL,
+            ExceptionKind::SegmentationFault.error_code(),
+        ))
+        .unwrap();
+        fsb.push(faulting_entry(a.offset(8), 2)).unwrap();
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None);
+        assert!(out.terminated);
+        assert_eq!(out.applied, 0);
+        assert!(fsb.is_empty(), "remaining stores are discarded");
+        assert_eq!(mem.read(a), 0, "discarded stores never reach memory");
+        assert_eq!(os.processes_killed(), 1);
+    }
+
+    #[test]
+    fn precise_handler_resolves_recoverable() {
+        let (mut os, _fsb, einject, _mem) = setup();
+        let a = Addr::new(0x10_0000);
+        einject.set_faulting(a);
+        let out = os.handle_precise(CoreId(0), a, ExceptionKind::BusError, &einject, 50);
+        assert!(!out.terminated);
+        assert!(!einject.is_faulting(a));
+        assert!(out.resume_at > 50);
+    }
+
+    #[test]
+    fn precise_handler_kills_on_segfault() {
+        let (mut os, _fsb, einject, _mem) = setup();
+        let out = os.handle_precise(
+            CoreId(0),
+            Addr::new(0),
+            ExceptionKind::SegmentationFault,
+            &einject,
+            0,
+        );
+        assert!(out.terminated);
+    }
+
+    #[test]
+    fn demand_paging_ios_overlap_within_one_invocation() {
+        let (mut os0, _, _, _) = setup();
+        let mut os = os0.clone().with_demand_paging_io(20_000);
+        let _ = &mut os0;
+        let mut fsb = Fsb::new(Addr::new(0x8000_0000), 32);
+        let einject = EInject::new(Addr::new(0x10_0000), 64 * PAGE_SIZE);
+        let mut mem = FlatMemory::new();
+        // 8 faulting stores on 8 distinct pages -> 8 page-ins, batched.
+        for i in 0..8u64 {
+            let a = Addr::new(0x10_0000 + i * PAGE_SIZE);
+            einject.set_faulting(a);
+            fsb.push(faulting_entry(a, i)).unwrap();
+        }
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None);
+        assert_eq!(out.pages_resolved, 8);
+        assert_eq!(os.ios_issued(), 8);
+        // Batched: far less than 8 serial IOs.
+        assert!(out.io_cycles >= 20_000);
+        assert!(out.io_cycles < 8 * 20_000 / 2, "io {} not overlapped", out.io_cycles);
+        assert!(out.resume_at >= out.io_cycles);
+    }
+
+    #[test]
+    fn precise_demand_paging_is_serial() {
+        let (os0, _, einject, _) = setup();
+        let mut os = os0.clone().with_demand_paging_io(20_000);
+        let a = Addr::new(0x10_0000);
+        einject.set_faulting(a);
+        let out = os.handle_precise(CoreId(0), a, ExceptionKind::PageFault, &einject, 0);
+        assert_eq!(out.io_cycles, 20_000, "one precise fault = one full IO");
+        assert_eq!(os.ios_issued(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut os, mut fsb, einject, mut mem) = setup();
+        let a = Addr::new(0x10_0000);
+        einject.set_faulting(a);
+        fsb.push(faulting_entry(a, 1)).unwrap();
+        os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None);
+        fsb.push(faulting_entry(a.offset(8), 2)).unwrap();
+        os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None);
+        assert_eq!(os.invocations(), 2);
+        assert_eq!(os.stores_applied(), 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Kernel-side imprecise exceptions and fence containment (paper §5.4).
+//!
+//! When the OS itself stores into accelerator-backed memory (the paper's
+//! example: `copy_to_user` where the user buffer is allocated from the
+//! accelerator), the *kernel* can generate imprecise store exceptions.
+//! The paper's discipline: enhance each such function with a trailing
+//! fence so that "any potential OS imprecise exceptions are properly
+//! reported and handled" before the function returns — fully containing
+//! them — and issue a fence before returning to user mode so no kernel
+//! exception can leak into the application.
+//!
+//! [`ContainedKernelCopy`] models an enhanced `copy_to_user`: kernel
+//! stores are buffered; the closing fence drains them, detects any
+//! imprecise exceptions against the fault oracle, routes them through the
+//! kernel's own FSB and handler, and only then returns. The outcome
+//! proves containment: no pending faulting stores survive the call.
+
+use crate::handler::OsKernel;
+use ise_core::{FaultResolver, Fsb};
+use ise_engine::Cycle;
+use ise_mem::FlatMemory;
+use ise_types::addr::{Addr, ByteMask};
+use ise_types::{CoreId, FaultingStoreEntry};
+
+/// The result of one contained kernel copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCopyOutcome {
+    /// Cycle at which the copy (including the containment fence and any
+    /// exception handling) completed.
+    pub done_at: Cycle,
+    /// Imprecise exceptions the kernel took and contained.
+    pub contained_exceptions: u64,
+    /// Words written.
+    pub words: usize,
+}
+
+/// An enhanced, self-containing kernel copy primitive.
+pub struct ContainedKernelCopy<'a> {
+    os: &'a mut OsKernel,
+    fsb: &'a mut Fsb,
+    resolver: &'a dyn FaultResolver,
+    core: CoreId,
+}
+
+impl std::fmt::Debug for ContainedKernelCopy<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContainedKernelCopy")
+            .field("core", &self.core)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ContainedKernelCopy<'a> {
+    /// Prepares a contained copy executing on `core`, using the kernel's
+    /// FSB and the system's fault oracle.
+    pub fn new(
+        os: &'a mut OsKernel,
+        fsb: &'a mut Fsb,
+        resolver: &'a dyn FaultResolver,
+        core: CoreId,
+    ) -> Self {
+        ContainedKernelCopy {
+            os,
+            fsb,
+            resolver,
+            core,
+        }
+    }
+
+    /// `copy_to_user(dst, data)` followed by the §5.4 containment fence.
+    ///
+    /// Kernel stores that hit faulting pages are detected at the fence,
+    /// drained (same-stream) into the kernel FSB, and handled *before*
+    /// this function returns; the words are guaranteed visible in `mem`
+    /// on return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel handler terminates (kernel copies never
+    /// target irrecoverable regions by construction).
+    pub fn copy_to_user(
+        &mut self,
+        dst: Addr,
+        data: &[u64],
+        mem: &mut FlatMemory,
+        now: Cycle,
+    ) -> KernelCopyOutcome {
+        // Kernel store buffer: stores retire, drains detect faults.
+        let mut t = now;
+        let mut pending: Vec<FaultingStoreEntry> = Vec::new();
+        let mut fault_seen = false;
+        for (i, &word) in data.iter().enumerate() {
+            let addr = dst.offset(i as u64 * 8);
+            t += 1; // one store per cycle through the kernel SB
+            if let Some(kind) = self.resolver.check(addr, true) {
+                debug_assert!(kind.is_recoverable(), "kernel copy hit irrecoverable fault");
+                fault_seen = true;
+                pending.push(FaultingStoreEntry::new(
+                    addr,
+                    word,
+                    ByteMask::FULL,
+                    kind.error_code(),
+                ));
+            } else if fault_seen {
+                // Same-stream: younger kernel stores follow the faulting
+                // one through the interface.
+                pending.push(FaultingStoreEntry::non_faulting(addr, word, ByteMask::FULL));
+            } else {
+                mem.write(addr, word, ByteMask::FULL);
+            }
+        }
+
+        // The §5.4 containment fence: report and handle everything now.
+        let mut contained = 0;
+        if !pending.is_empty() {
+            for e in &pending {
+                self.fsb.push(*e).expect("kernel FSB sized for the copy");
+            }
+            let out = self
+                .os
+                .handle_imprecise(self.core, self.fsb, self.resolver, mem, t, None);
+            assert!(!out.terminated, "kernel containment cannot kill the kernel");
+            t = out.resume_at;
+            contained = 1;
+        }
+        debug_assert!(self.fsb.is_empty(), "containment fence leaves nothing pending");
+        KernelCopyOutcome {
+            done_at: t,
+            contained_exceptions: contained,
+            words: data.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_core::EInject;
+    use ise_types::addr::PAGE_SIZE;
+    use ise_types::config::OsCostConfig;
+
+    fn setup() -> (OsKernel, Fsb, EInject) {
+        (
+            OsKernel::new(OsCostConfig::isca23()),
+            Fsb::new(Addr::new(0x2000_0000), 64),
+            EInject::new(Addr::new(0x4000_0000), 16 * PAGE_SIZE),
+        )
+    }
+
+    #[test]
+    fn clean_copy_is_plain_stores() {
+        let (mut os, mut fsb, einject) = setup();
+        let mut mem = FlatMemory::new();
+        let mut k = ContainedKernelCopy::new(&mut os, &mut fsb, &einject, CoreId(0));
+        let out = k.copy_to_user(Addr::new(0x4000_0000), &[1, 2, 3], &mut mem, 100);
+        assert_eq!(out.contained_exceptions, 0);
+        assert_eq!(out.words, 3);
+        assert_eq!(out.done_at, 103);
+        assert_eq!(mem.read(Addr::new(0x4000_0010)), 3);
+    }
+
+    #[test]
+    fn faulting_copy_is_contained_by_the_fence() {
+        let (mut os, mut fsb, einject) = setup();
+        let dst = Addr::new(0x4000_0000);
+        einject.set_faulting(dst);
+        let mut mem = FlatMemory::new();
+        let mut k = ContainedKernelCopy::new(&mut os, &mut fsb, &einject, CoreId(0));
+        let out = k.copy_to_user(dst, &[7, 8, 9], &mut mem, 0);
+        assert_eq!(out.contained_exceptions, 1);
+        // All words visible on return: the handler applied them in order.
+        assert_eq!(mem.read(dst), 7);
+        assert_eq!(mem.read(dst.offset(8)), 8);
+        assert_eq!(mem.read(dst.offset(16)), 9);
+        // And the cause is resolved: a second copy is clean.
+        let out2 = k.copy_to_user(dst, &[10], &mut mem, out.done_at);
+        assert_eq!(out2.contained_exceptions, 0);
+        assert!(!einject.is_faulting(dst));
+    }
+
+    #[test]
+    fn containment_pays_handler_latency() {
+        let (mut os, mut fsb, einject) = setup();
+        let dst = Addr::new(0x4000_0000);
+        let mut mem = FlatMemory::new();
+        let clean = ContainedKernelCopy::new(&mut os, &mut fsb, &einject, CoreId(0))
+            .copy_to_user(dst, &[1; 8], &mut mem, 0)
+            .done_at;
+        einject.set_faulting(dst);
+        let faulting = ContainedKernelCopy::new(&mut os, &mut fsb, &einject, CoreId(0))
+            .copy_to_user(dst, &[1; 8], &mut mem, 0)
+            .done_at;
+        assert!(
+            faulting > clean + OsCostConfig::isca23().dispatch_overhead / 2,
+            "containment must cost handler time: {faulting} vs {clean}"
+        );
+    }
+
+    #[test]
+    fn same_stream_order_holds_across_the_fault() {
+        // Words before the fault go straight to memory; the faulting word
+        // and everything after it flow through the FSB — and the final
+        // memory image is still exactly the copied data.
+        let (mut os, mut fsb, einject) = setup();
+        let dst = Addr::new(0x4000_0000);
+        // Only the second page faults.
+        einject.set_faulting(dst.offset(PAGE_SIZE));
+        let data: Vec<u64> = (0..PAGE_SIZE / 8 + 4).collect();
+        let mut mem = FlatMemory::new();
+        let mut k = ContainedKernelCopy::new(&mut os, &mut fsb, &einject, CoreId(0));
+        let out = k.copy_to_user(dst, &data, &mut mem, 0);
+        assert_eq!(out.contained_exceptions, 1);
+        for (i, &w) in data.iter().enumerate() {
+            assert_eq!(mem.read(dst.offset(i as u64 * 8)), w, "word {i}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Process lifecycle and interrupt/exception serialization.
+//!
+//! Paper §5.3: interrupts and imprecise store exceptions are serialized
+//! through the Interrupt Enable (IE) bit — set automatically when a
+//! handler is entered and by the OS around critical sections, and
+//! **hard-wired to zero in user mode**, so pending imprecise store
+//! exceptions can never be masked from user code.
+
+use ise_types::CoreId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lifecycle state of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessState {
+    /// Scheduled and executing.
+    Running,
+    /// Blocked in an exception handler.
+    Blocked,
+    /// Terminated by an irrecoverable exception.
+    Killed,
+}
+
+impl fmt::Display for ProcessState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProcessState::Running => "running",
+            ProcessState::Blocked => "blocked",
+            ProcessState::Killed => "killed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One simulated process, pinned to one core (the evaluation runs one
+/// workload process per core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Process {
+    /// Process id.
+    pub pid: u32,
+    /// Core the process runs on.
+    pub core: CoreId,
+    /// Current state.
+    pub state: ProcessState,
+}
+
+impl Process {
+    /// Spawns a running process.
+    pub fn spawn(pid: u32, core: CoreId) -> Self {
+        Process {
+            pid,
+            core,
+            state: ProcessState::Running,
+        }
+    }
+
+    /// Blocks the process for exception handling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is not running.
+    pub fn block(&mut self) {
+        assert_eq!(self.state, ProcessState::Running, "only running processes block");
+        self.state = ProcessState::Blocked;
+    }
+
+    /// Resumes a blocked process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is not blocked.
+    pub fn resume(&mut self) {
+        assert_eq!(self.state, ProcessState::Blocked, "only blocked processes resume");
+        self.state = ProcessState::Running;
+    }
+
+    /// Terminates the process (irrecoverable exception).
+    pub fn kill(&mut self) {
+        self.state = ProcessState::Killed;
+    }
+}
+
+/// The per-core IE-bit state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InterruptControl {
+    ie_masked: bool,
+    in_handler: bool,
+}
+
+impl InterruptControl {
+    /// Fresh state: exceptions deliverable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether an imprecise store exception (or interrupt) may be
+    /// delivered now. `user_mode` reflects the privilege level: the IE
+    /// bit is hard-wired to zero in user mode, so masking is ineffective
+    /// there (paper §5.3).
+    pub fn can_deliver(&self, user_mode: bool) -> bool {
+        user_mode || !self.ie_masked
+    }
+
+    /// Hardware sets the IE bit on handler entry, serializing further
+    /// exceptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on re-entry: recursive imprecise exception handling is
+    /// unsupported by design (paper §5.4).
+    pub fn enter_handler(&mut self) {
+        assert!(!self.in_handler, "recursive imprecise exception handlers are not supported");
+        self.in_handler = true;
+        self.ie_masked = true;
+    }
+
+    /// OS clears the IE bit when leaving the handler.
+    pub fn exit_handler(&mut self) {
+        self.in_handler = false;
+        self.ie_masked = false;
+    }
+
+    /// OS enters a non-interruptible critical section.
+    pub fn enter_critical(&mut self) {
+        self.ie_masked = true;
+    }
+
+    /// OS leaves the critical section.
+    pub fn exit_critical(&mut self) {
+        if !self.in_handler {
+            self.ie_masked = false;
+        }
+    }
+
+    /// Whether a handler is currently executing.
+    pub fn in_handler(&self) -> bool {
+        self.in_handler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_lifecycle() {
+        let mut p = Process::spawn(1, CoreId(0));
+        assert_eq!(p.state, ProcessState::Running);
+        p.block();
+        assert_eq!(p.state, ProcessState::Blocked);
+        p.resume();
+        assert_eq!(p.state, ProcessState::Running);
+        p.kill();
+        assert_eq!(p.state, ProcessState::Killed);
+    }
+
+    #[test]
+    #[should_panic(expected = "only running processes block")]
+    fn double_block_panics() {
+        let mut p = Process::spawn(1, CoreId(0));
+        p.block();
+        p.block();
+    }
+
+    #[test]
+    fn ie_bit_serializes_handlers() {
+        let mut ic = InterruptControl::new();
+        assert!(ic.can_deliver(false));
+        ic.enter_handler();
+        assert!(!ic.can_deliver(false), "kernel exceptions masked in handler");
+        ic.exit_handler();
+        assert!(ic.can_deliver(false));
+    }
+
+    #[test]
+    fn ie_bit_ineffective_in_user_mode() {
+        let mut ic = InterruptControl::new();
+        ic.enter_critical();
+        // Masked for the kernel, but user mode cannot mask.
+        assert!(!ic.can_deliver(false));
+        assert!(ic.can_deliver(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "recursive")]
+    fn recursive_handler_rejected() {
+        let mut ic = InterruptControl::new();
+        ic.enter_handler();
+        ic.enter_handler();
+    }
+
+    #[test]
+    fn critical_section_inside_handler_keeps_mask() {
+        let mut ic = InterruptControl::new();
+        ic.enter_handler();
+        ic.enter_critical();
+        ic.exit_critical();
+        assert!(!ic.can_deliver(false), "still in handler: stays masked");
+        ic.exit_handler();
+        assert!(ic.can_deliver(false));
+    }
+}

@@ -1,0 +1,20 @@
+//! Full-system simulation: the Fig. 4 machine, assembled.
+//!
+//! [`system::System`] wires together everything the other crates provide —
+//! out-of-order cores with store buffers (`ise-cpu`), the MESI/NoC memory
+//! hierarchy (`ise-mem`), the per-core FSB + FSBC and the EInject device
+//! (`ise-core`), and the OS handler (`ise-os`) — and runs workload traces
+//! through it, handling precise and imprecise exceptions exactly as §5.3
+//! prescribes (drain → FSB → flush → handler → apply-in-order → resume).
+//!
+//! [`experiments`] contains one driver per paper table/figure; the
+//! `ise-bench` crate's binaries print their results in the paper's format.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod experiments;
+pub mod report;
+pub mod system;
+
+pub use system::{System, SystemStats};

@@ -1,0 +1,136 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Renders rows as an aligned plain-text table. The first row is the
+/// header.
+///
+/// ```
+/// use ise_sim::report::render_table;
+/// let s = render_table(&[
+///     vec!["name".into(), "value".into()],
+///     vec!["alpha".into(), "1".into()],
+/// ]);
+/// assert!(s.contains("alpha"));
+/// ```
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            line.push_str(&format!("{:<width$}", cell, width = widths[i] + 2));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().map(|w| w + 2).sum();
+            out.push_str(&"-".repeat(total.saturating_sub(2)));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders labeled values as a horizontal ASCII bar chart, scaled to
+/// `width` characters at the maximum value.
+///
+/// ```
+/// use ise_sim::report::render_bars;
+/// let s = render_bars(&[("BFS".into(), 0.956), ("BC".into(), 0.978)], 40, "");
+/// assert!(s.contains("BFS"));
+/// assert!(s.contains('#'));
+/// ```
+pub fn render_bars(rows: &[(String, f64)], width: usize, unit: &str) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let max = rows
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{label:<label_w$}  {:<width$}  {v:.3}{unit}\n",
+            "#".repeat(n.min(width)),
+        ));
+    }
+    out
+}
+
+/// Formats a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = render_table(&[
+            vec!["a".into(), "bb".into()],
+            vec!["cccc".into(), "d".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with('-'));
+        // Column 2 starts at the same offset in both content lines.
+        let off0 = lines[0].find("bb").unwrap();
+        let off2 = lines[2].find('d').unwrap();
+        assert_eq!(off0, off2);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.965), "96.5%");
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = render_bars(
+            &[("a".into(), 1.0), ("bb".into(), 0.5)],
+            10,
+            "x",
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].matches('#').count(), 10);
+        assert_eq!(lines[1].matches('#').count(), 5);
+        assert!(lines[0].ends_with("1.000x"));
+    }
+
+    #[test]
+    fn bars_empty_input() {
+        assert_eq!(render_bars(&[], 10, ""), "");
+    }
+
+    #[test]
+    fn bars_handle_zero_values() {
+        let s = render_bars(&[("z".into(), 0.0)], 10, "");
+        assert!(s.contains("0.000"));
+    }
+}

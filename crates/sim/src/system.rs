@@ -1,0 +1,566 @@
+//! The assembled multicore system of Fig. 4.
+
+use ise_core::{CompositeResolver, ContractMonitor, EInject, FaultResolver, Fsb, Fsbc, OrderEvent};
+use ise_cpu::{Core, StepOutcome, VecTrace};
+use ise_engine::Cycle;
+use ise_mem::{FlatMemory, MemoryHierarchy};
+use ise_os::handler::OverheadBreakdown;
+use ise_os::{InterruptControl, OsKernel, Process, ProcessState};
+use ise_types::addr::Addr;
+use ise_types::config::SystemConfig;
+use ise_types::model::ConsistencyModel;
+use ise_types::stats::CoreStats;
+use ise_types::CoreId;
+use ise_workloads::layout::{EINJECT_BASE, EINJECT_SIZE};
+use ise_workloads::Workload;
+use std::rc::Rc;
+
+/// Physical base of the OS-pinned FSB rings (outside the EInject region).
+const FSB_REGION_BASE: u64 = 0x2000_0000;
+
+/// Aggregate results of one system run.
+#[derive(Debug, Clone)]
+pub struct SystemStats {
+    /// Per-core pipeline statistics.
+    pub cores: Vec<CoreStats>,
+    /// Total cycles until the last core finished.
+    pub cycles: Cycle,
+    /// Imprecise store exceptions handled.
+    pub imprecise_exceptions: u64,
+    /// Precise exceptions handled.
+    pub precise_exceptions: u64,
+    /// Stores applied by the OS (faulting + same-stream companions).
+    pub stores_applied: u64,
+    /// Stores whose drain actually faulted (FSB entries with a nonzero
+    /// error code).
+    pub faulting_stores: u64,
+    /// Aggregate handler-cost breakdown (µarch / apply / other-OS).
+    pub breakdown: OverheadBreakdown,
+    /// Transactions EInject denied.
+    pub denied: u64,
+    /// Processes killed by irrecoverable exceptions.
+    pub killed: u64,
+    /// Timer interrupts delivered.
+    pub interrupts_delivered: u64,
+    /// Timer interrupts deferred because an exception handler held the
+    /// IE bit (the §5.3 serialization).
+    pub interrupts_deferred: u64,
+    /// Demand-paging IO wait cycles accumulated across handler
+    /// invocations (zero unless enabled).
+    pub io_cycles: Cycle,
+    /// Distinct faulting pages the OS resolved.
+    pub pages_resolved: u64,
+}
+
+impl SystemStats {
+    /// Total instructions retired across cores.
+    pub fn retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired).sum()
+    }
+
+    /// Aggregate IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean *faulting* stores handled per imprecise exception (the
+    /// batching factor of §5.3).
+    pub fn batch_factor(&self) -> f64 {
+        if self.imprecise_exceptions == 0 {
+            0.0
+        } else {
+            self.faulting_stores as f64 / self.imprecise_exceptions as f64
+        }
+    }
+}
+
+/// The full system: cores, hierarchy, FSBs, EInject, OS.
+pub struct System {
+    cfg: SystemConfig,
+    hier: MemoryHierarchy,
+    cores: Vec<Core<VecTrace>>,
+    fsbs: Vec<Fsb>,
+    fsbcs: Vec<Fsbc>,
+    einject: Rc<EInject>,
+    resolver: Rc<dyn FaultResolver>,
+    os: OsKernel,
+    mem: FlatMemory,
+    processes: Vec<Process>,
+    ictl: Vec<InterruptControl>,
+    monitor: Option<ContractMonitor>,
+    breakdown: OverheadBreakdown,
+    /// Per-core cycle until which an exception handler is executing (the
+    /// IE bit is set in this window; interrupts are deferred).
+    handler_busy_until: Vec<Cycle>,
+    interrupt_interval: Option<Cycle>,
+    interrupt_cost: Cycle,
+    interrupts_delivered: u64,
+    interrupts_deferred: u64,
+    io_cycles: Cycle,
+    now: Cycle,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Builds a system running `workload` (one trace per core; the core
+    /// count is taken from the workload, capped by the configuration).
+    ///
+    /// The EInject device covers the standard region; the workload's
+    /// `einject_pages` are marked faulting before the run, reproducing
+    /// the §6.5 setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no traces or more traces than the
+    /// configuration has cores/mesh tiles.
+    pub fn new(cfg: SystemConfig, workload: &Workload) -> Self {
+        Self::with_fault_sources(cfg, workload, Vec::new())
+    }
+
+    /// Builds a system with additional fault sources chained behind
+    /// EInject — a täkō accelerator, a Midgard MMU, or any other
+    /// [`FaultResolver`]. All sources watch the LLC↔memory boundary; the
+    /// OS handler resolves whichever source raised each fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no traces or more traces than the
+    /// configuration has cores/mesh tiles.
+    pub fn with_fault_sources(
+        mut cfg: SystemConfig,
+        workload: &Workload,
+        extra: Vec<Rc<dyn FaultResolver>>,
+    ) -> Self {
+        assert!(!workload.traces.is_empty(), "workload needs traces");
+        assert!(
+            workload.traces.len() <= cfg.noc.nodes(),
+            "more traces than mesh tiles"
+        );
+        cfg.cores = workload.traces.len();
+        let einject = Rc::new(EInject::new(Addr::new(EINJECT_BASE), EINJECT_SIZE));
+        for page in &workload.einject_pages {
+            einject.set_faulting(page.base());
+        }
+        let mut sources: Vec<Rc<dyn FaultResolver>> = vec![einject.clone()];
+        sources.extend(extra);
+        let resolver: Rc<CompositeResolver> = Rc::new(CompositeResolver::new(sources));
+        let hier = MemoryHierarchy::with_oracle(cfg, resolver.clone());
+        let cores: Vec<Core<VecTrace>> = workload
+            .traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Core::new(CoreId(i), cfg.core, VecTrace::new(t.clone())))
+            .collect();
+        let fsbs: Vec<Fsb> = (0..cfg.cores)
+            .map(|i| {
+                let fsb = Fsb::new(
+                    Addr::new(FSB_REGION_BASE + (i as u64) * 0x1000),
+                    cfg.core.sb_entries,
+                );
+                // §5.4: FSB pages are pinned and must be outside any
+                // faulting region.
+                for p in fsb.backing_pages() {
+                    debug_assert!(!einject.covers(p.base()), "FSB pages must not fault");
+                }
+                fsb
+            })
+            .collect();
+        let fsbcs = (0..cfg.cores).map(|i| Fsbc::new(CoreId(i), &cfg.os)).collect();
+        System {
+            hier,
+            cores,
+            fsbs,
+            fsbcs,
+            einject,
+            resolver,
+            os: OsKernel::new(cfg.os),
+            mem: FlatMemory::new(),
+            processes: (0..cfg.cores).map(|i| Process::spawn(i as u32, CoreId(i))).collect(),
+            ictl: vec![InterruptControl::new(); cfg.cores],
+            monitor: None,
+            breakdown: OverheadBreakdown::default(),
+            handler_busy_until: vec![0; cfg.cores],
+            interrupt_interval: None,
+            interrupt_cost: cfg.os.dispatch_overhead / 4,
+            interrupts_delivered: 0,
+            interrupts_deferred: 0,
+            io_cycles: 0,
+            now: 0,
+            cfg,
+        }
+    }
+
+    /// Enables demand-paging IO in the OS handler: each resolved page
+    /// schedules a page-in of `io_latency` cycles; page-ins within one
+    /// imprecise-exception invocation overlap (§5.3 batching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io_latency` is zero.
+    pub fn with_demand_paging_io(mut self, io_latency: Cycle) -> Self {
+        self.os = self.os.clone().with_demand_paging_io(io_latency);
+        self
+    }
+
+    /// Enables periodic timer interrupts every `interval` cycles.
+    /// Interrupts are delivered concurrently with normal execution but
+    /// serialized against exception handlers through the IE bit (§5.3):
+    /// an interrupt arriving while a handler runs is deferred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_timer_interrupts(mut self, interval: Cycle) -> Self {
+        assert!(interval > 0, "interrupt interval must be positive");
+        self.interrupt_interval = Some(interval);
+        self
+    }
+
+    /// Enables Table 5 contract auditing (records PUT/GET/S_OS/... events
+    /// during the run; check with [`System::check_contract`]).
+    pub fn with_contract_monitor(mut self) -> Self {
+        self.monitor = Some(ContractMonitor::new());
+        self
+    }
+
+    /// The EInject device (for tests that toggle faults mid-run).
+    pub fn einject(&self) -> &Rc<EInject> {
+        &self.einject
+    }
+
+    /// The functional memory image (stores applied by the OS land here).
+    pub fn memory(&self) -> &FlatMemory {
+        &self.mem
+    }
+
+    /// The recorded Table 5 event log, if the monitor is enabled.
+    pub fn contract_log(&self) -> Option<&[OrderEvent]> {
+        self.monitor.as_ref().map(|m| m.log())
+    }
+
+    /// Verifies the Table 5 contract over the recorded event log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor was not enabled.
+    pub fn check_contract(&self) -> Result<(), ise_core::ContractViolation> {
+        self.monitor
+            .as_ref()
+            .expect("enable with_contract_monitor() first")
+            .check(self.cfg.core.model)
+    }
+
+    fn handle_imprecise(&mut self, i: usize, entries: Vec<ise_types::FaultingStoreEntry>) {
+        let core_id = CoreId(i);
+        if let Some(m) = self.monitor.as_mut() {
+            m.record(OrderEvent::Detect { core: core_id });
+        }
+        self.ictl[i].enter_handler();
+        let receipt = self.fsbcs[i]
+            .drain(&mut self.fsbs[i], &entries, self.now)
+            .expect("FSB sized for the store buffer never fills");
+        if let Some(m) = self.monitor.as_mut() {
+            for e in &entries {
+                m.record(OrderEvent::Put { core: core_id, entry: *e });
+            }
+        }
+        self.breakdown.uarch += receipt.uarch_cycles;
+        let resolver = self.resolver.clone();
+        let outcome = self.os.handle_imprecise(
+            core_id,
+            &mut self.fsbs[i],
+            resolver.as_ref(),
+            &mut self.mem,
+            receipt.ready_at,
+            self.monitor.as_mut(),
+        );
+        self.breakdown.merge(&outcome.breakdown);
+        self.io_cycles += outcome.io_cycles;
+        self.handler_busy_until[i] = outcome.resume_at;
+        if outcome.terminated {
+            self.processes[i].kill();
+            self.ictl[i].exit_handler();
+            return;
+        }
+        self.cores[i].resume_at(outcome.resume_at);
+        self.ictl[i].exit_handler();
+        if let Some(m) = self.monitor.as_mut() {
+            m.record(OrderEvent::Resume { core: core_id });
+        }
+    }
+
+    fn handle_precise(&mut self, i: usize, addr: Addr, kind: ise_types::ExceptionKind) {
+        self.ictl[i].enter_handler();
+        let resolver = self.resolver.clone();
+        let outcome = self
+            .os
+            .handle_precise(CoreId(i), addr, kind, resolver.as_ref(), self.now);
+        self.breakdown.merge(&outcome.breakdown);
+        self.io_cycles += outcome.io_cycles;
+        self.handler_busy_until[i] = outcome.resume_at;
+        if outcome.terminated {
+            self.processes[i].kill();
+        } else {
+            self.cores[i].resume_at(outcome.resume_at);
+        }
+        self.ictl[i].exit_handler();
+    }
+
+    /// Runs until every live core finishes (or is killed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cycles` elapses first.
+    pub fn run(&mut self, max_cycles: Cycle) -> SystemStats {
+        loop {
+            // Timer interrupts (delivered unless an exception handler
+            // currently holds the IE bit).
+            if let Some(interval) = self.interrupt_interval {
+                if self.now > 0 && self.now % interval == 0 {
+                    for i in 0..self.cores.len() {
+                        if self.processes[i].state == ProcessState::Killed {
+                            continue;
+                        }
+                        if self.now >= self.handler_busy_until[i] {
+                            self.cores[i].stall_until(self.now + self.interrupt_cost);
+                            self.interrupts_delivered += 1;
+                        } else {
+                            self.interrupts_deferred += 1;
+                        }
+                    }
+                }
+            }
+            let mut all_done = true;
+            for i in 0..self.cores.len() {
+                if self.processes[i].state == ProcessState::Killed {
+                    continue;
+                }
+                match self.cores[i].step(self.now, &mut self.hier) {
+                    StepOutcome::Finished => {}
+                    StepOutcome::Progress | StepOutcome::Waiting => all_done = false,
+                    StepOutcome::Imprecise(entries) => {
+                        self.handle_imprecise(i, entries);
+                        all_done = false;
+                    }
+                    StepOutcome::Precise { addr, kind } => {
+                        self.handle_precise(i, addr, kind);
+                        all_done = false;
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            self.now += 1;
+            assert!(self.now < max_cycles, "exceeded cycle budget at {}", self.now);
+        }
+        self.stats()
+    }
+
+    /// Statistics as of now.
+    pub fn stats(&self) -> SystemStats {
+        let cores: Vec<CoreStats> = self.cores.iter().map(|c| c.stats()).collect();
+        SystemStats {
+            cycles: cores.iter().map(|c| c.cycles).max().unwrap_or(0),
+            imprecise_exceptions: cores.iter().map(|c| c.imprecise_exceptions).sum(),
+            precise_exceptions: cores.iter().map(|c| c.precise_exceptions).sum(),
+            stores_applied: self.os.stores_applied(),
+            faulting_stores: self.os.faulting_applied(),
+            breakdown: self.breakdown,
+            denied: self.einject.denied_count(),
+            killed: self
+                .processes
+                .iter()
+                .filter(|p| p.state == ProcessState::Killed)
+                .count() as u64,
+            interrupts_delivered: self.interrupts_delivered,
+            interrupts_deferred: self.interrupts_deferred,
+            io_cycles: self.io_cycles,
+            pages_resolved: self.os.pages_resolved(),
+            cores,
+        }
+    }
+}
+
+/// Convenience: run `workload` on `cfg` and return the stats.
+pub fn run_workload(cfg: SystemConfig, workload: &Workload, max_cycles: Cycle) -> SystemStats {
+    System::new(cfg, workload).run(max_cycles)
+}
+
+/// Convenience: run the same workload under a different model.
+pub fn run_workload_with_model(
+    cfg: SystemConfig,
+    model: ConsistencyModel,
+    workload: &Workload,
+    max_cycles: Cycle,
+) -> SystemStats {
+    run_workload(cfg.with_model(model), workload, max_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::addr::PAGE_SIZE;
+    use ise_types::Instruction;
+    use ise_workloads::microbench::{microbench, MicrobenchConfig};
+
+    fn small_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::isca23();
+        cfg.noc.mesh_x = 2;
+        cfg.noc.mesh_y = 1;
+        cfg.cores = 2;
+        cfg
+    }
+
+    fn store_workload(faulting: bool) -> Workload {
+        let base = Addr::new(EINJECT_BASE);
+        let mut trace = Vec::new();
+        for i in 0..50u64 {
+            trace.push(Instruction::store(base.offset(i * 8), i + 1));
+            trace.push(Instruction::other());
+        }
+        Workload {
+            name: "stores".into(),
+            traces: vec![trace],
+            einject_pages: if faulting { vec![base.page()] } else { vec![] },
+        }
+    }
+
+    #[test]
+    fn clean_run_takes_no_exceptions() {
+        let stats = run_workload(small_cfg(), &store_workload(false), 1_000_000);
+        assert_eq!(stats.imprecise_exceptions, 0);
+        assert_eq!(stats.denied, 0);
+        assert_eq!(stats.retired(), 100);
+    }
+
+    #[test]
+    fn faulting_run_handles_imprecise_and_applies_stores() {
+        let mut sys = System::new(small_cfg(), &store_workload(true)).with_contract_monitor();
+        let stats = sys.run(10_000_000);
+        assert!(stats.imprecise_exceptions >= 1);
+        assert!(stats.stores_applied >= 1);
+        assert_eq!(stats.killed, 0);
+        assert_eq!(stats.retired(), 100, "all instructions retire despite faults");
+        // The OS applied the faulting stores to memory in order; the
+        // values must be visible.
+        let base = Addr::new(EINJECT_BASE);
+        assert_eq!(sys.memory().read(base), 1);
+        // The page was cleared, so EInject shows no residual faults.
+        assert!(!sys.einject().is_faulting(base));
+        // The Table 5 contract held.
+        sys.check_contract().expect("contract must hold");
+    }
+
+    #[test]
+    fn faulting_costs_cycles_but_not_much_user_work() {
+        let clean = run_workload(small_cfg(), &store_workload(false), 10_000_000);
+        let faulty = run_workload(small_cfg(), &store_workload(true), 10_000_000);
+        assert!(faulty.cycles > clean.cycles);
+        assert_eq!(clean.retired(), faulty.retired());
+    }
+
+    #[test]
+    fn sc_system_takes_precise_exceptions_instead() {
+        let cfg = small_cfg().with_model(ConsistencyModel::Sc);
+        let stats = run_workload(cfg, &store_workload(true), 10_000_000);
+        assert_eq!(stats.imprecise_exceptions, 0);
+        assert!(stats.precise_exceptions >= 1);
+        assert_eq!(stats.retired(), 100);
+    }
+
+    #[test]
+    fn microbenchmark_runs_end_to_end() {
+        let mb = microbench(&MicrobenchConfig::small(8));
+        let workload = Workload {
+            name: "mbench".into(),
+            traces: vec![mb.iterations[0].trace.clone()],
+            einject_pages: mb.iterations[0].faulting_pages.clone(),
+        };
+        let stats = run_workload(small_cfg(), &workload, 100_000_000);
+        assert!(stats.imprecise_exceptions > 0);
+        assert!(stats.batch_factor() >= 1.0);
+    }
+
+    #[test]
+    fn split_stream_timing_applies_fewer_stores_through_the_os() {
+        // The §4.5 ablation in the timing pipeline: only faulting entries
+        // travel through the FSB; companions drain to memory directly.
+        let w = store_workload(true);
+        let same = run_workload(small_cfg(), &w, 10_000_000);
+        let mut split_cfg = small_cfg();
+        split_cfg.core.drain_policy = ise_types::DrainPolicy::SplitStream;
+        let split = run_workload(split_cfg, &w, 10_000_000);
+        assert_eq!(same.retired(), split.retired(), "same user work");
+        assert!(
+            split.stores_applied < same.stores_applied,
+            "split-stream must not route companions through the OS: {} vs {}",
+            split.stores_applied,
+            same.stores_applied
+        );
+        assert!(split.imprecise_exceptions >= 1);
+    }
+
+    #[test]
+    fn timer_interrupts_coexist_with_imprecise_exceptions() {
+        // Interrupts slow the run but never break it; interrupts arriving
+        // while an exception handler runs are deferred (IE bit, §5.3).
+        let w = store_workload(true);
+        let plain = System::new(small_cfg(), &w).run(10_000_000);
+        let mut sys = System::new(small_cfg(), &w).with_timer_interrupts(200);
+        let stats = sys.run(10_000_000);
+        assert_eq!(stats.retired(), plain.retired());
+        assert!(stats.interrupts_delivered > 0, "interrupts must fire");
+        assert!(
+            stats.interrupts_deferred > 0,
+            "some interrupts must land inside the long handler window \
+             (delivered {}, deferred {})",
+            stats.interrupts_delivered,
+            stats.interrupts_deferred
+        );
+        assert!(stats.imprecise_exceptions >= 1);
+        assert!(stats.cycles > plain.cycles, "interrupt handlers cost time");
+    }
+
+    #[test]
+    fn interrupt_free_system_reports_zero_interrupts() {
+        let stats = run_workload(small_cfg(), &store_workload(false), 1_000_000);
+        assert_eq!(stats.interrupts_delivered, 0);
+        assert_eq!(stats.interrupts_deferred, 0);
+    }
+
+    #[test]
+    fn multi_core_workload_shares_the_hierarchy() {
+        let base = Addr::new(EINJECT_BASE + PAGE_SIZE * 64);
+        let mk = |seed: u64| {
+            (0..40u64)
+                .flat_map(|i| {
+                    [
+                        Instruction::store(base.offset((seed * 1000 + i) * 8), i),
+                        Instruction::other(),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        };
+        let w = Workload {
+            name: "two-core".into(),
+            traces: vec![mk(0), mk(1)],
+            einject_pages: vec![],
+        };
+        let stats = run_workload(small_cfg(), &w, 10_000_000);
+        assert_eq!(stats.cores.len(), 2);
+        assert_eq!(stats.retired(), 160);
+    }
+}

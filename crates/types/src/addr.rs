@@ -1,0 +1,301 @@
+//! Addresses, pages, cache lines, byte masks, and core identifiers.
+//!
+//! All address arithmetic in the workspace funnels through the newtypes in
+//! this module so that page/line granularity conversions are explicit and
+//! cannot be confused with raw integers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of a virtual-memory page in bytes (4 KiB, as assumed throughout the
+/// paper: EInject's bitmap, FSB page pinning, and demand paging are all
+/// 4 KiB-granular).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Size of a cache block in bytes (64 B, Table 2).
+pub const LINE_SIZE: u64 = 64;
+
+/// A physical memory address.
+///
+/// `Addr` is ordered and hashable so it can key directories, store buffers
+/// and page bitmaps directly.
+///
+/// ```
+/// use ise_types::addr::Addr;
+/// let a = Addr::new(0x1_2345);
+/// assert_eq!(a.page().index(), 0x12);
+/// assert_eq!(a.line_offset(), 0x1_2345 % 64);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Wraps a raw 64-bit physical address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The 4 KiB page containing this address.
+    pub const fn page(self) -> PageId {
+        PageId(self.0 / PAGE_SIZE)
+    }
+
+    /// The address of the first byte of the cache line containing this
+    /// address.
+    pub const fn line(self) -> Addr {
+        Addr(self.0 & !(LINE_SIZE - 1))
+    }
+
+    /// Byte offset of this address within its cache line.
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_SIZE - 1)
+    }
+
+    /// Byte offset of this address within its page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on 64-bit overflow in debug builds (standard integer
+    /// semantics).
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+/// Identifier of a 4 KiB physical page.
+///
+/// This is the granularity at which EInject marks memory as faulting
+/// (paper §6.2) and at which the OS resolves demand-paging exceptions.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Wraps a raw page index (address divided by [`PAGE_SIZE`]).
+    pub const fn new(index: u64) -> Self {
+        PageId(index)
+    }
+
+    /// The raw page index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The address of the first byte of this page.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * PAGE_SIZE)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page:{:#x}", self.0)
+    }
+}
+
+/// A byte-enable mask for a store of up to 8 bytes, as recorded in each
+/// Faulting Store Buffer entry (paper §4.1: "address, data, byte mask, and
+/// the accelerator-specific exception code").
+///
+/// Bit *i* set means byte *i* of the 8-byte datum is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ByteMask(u8);
+
+impl ByteMask {
+    /// All eight bytes enabled — a full 64-bit store.
+    pub const FULL: ByteMask = ByteMask(0xff);
+
+    /// Creates a mask from raw bits.
+    pub const fn from_bits(bits: u8) -> Self {
+        ByteMask(bits)
+    }
+
+    /// Mask enabling `len` bytes starting at byte offset `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len > 8` or `len == 0`.
+    pub fn span(offset: u8, len: u8) -> Self {
+        assert!(len > 0 && offset + len <= 8, "byte span out of range");
+        ByteMask((((1u16 << len) - 1) as u8) << offset)
+    }
+
+    /// The raw bit pattern.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether byte `i` is enabled.
+    pub const fn covers(self, i: u8) -> bool {
+        self.0 & (1 << i) != 0
+    }
+
+    /// Number of enabled bytes.
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether no byte is enabled.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Merges the bytes of `new` over `old` according to this mask:
+    /// enabled bytes come from `new`, others from `old`. This is the
+    /// coalescing rule used by store buffers and by the OS when applying
+    /// faulting stores.
+    pub fn merge(self, old: u64, new: u64) -> u64 {
+        let mut out = old;
+        for i in 0..8 {
+            if self.covers(i) {
+                let shift = i * 8;
+                out = (out & !(0xffu64 << shift)) | (new & (0xffu64 << shift));
+            }
+        }
+        out
+    }
+}
+
+impl Default for ByteMask {
+    fn default() -> Self {
+        ByteMask::FULL
+    }
+}
+
+impl std::ops::BitOr for ByteMask {
+    type Output = ByteMask;
+    fn bitor(self, rhs: ByteMask) -> ByteMask {
+        ByteMask(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for ByteMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010b}", self.0)
+    }
+}
+
+/// Identifier of a core in the simulated multicore (0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(i: usize) -> Self {
+        CoreId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_page_and_line_math() {
+        let a = Addr::new(PAGE_SIZE * 3 + 70);
+        assert_eq!(a.page(), PageId::new(3));
+        assert_eq!(a.page_offset(), 70);
+        assert_eq!(a.line(), Addr::new(PAGE_SIZE * 3 + 64));
+        assert_eq!(a.line_offset(), 6);
+        assert_eq!(a.offset(2).raw(), a.raw() + 2);
+    }
+
+    #[test]
+    fn page_roundtrip() {
+        let p = PageId::new(42);
+        assert_eq!(p.base().page(), p);
+        assert_eq!(p.base().page_offset(), 0);
+    }
+
+    #[test]
+    fn mask_span_and_covers() {
+        let m = ByteMask::span(2, 3);
+        assert_eq!(m.len(), 3);
+        assert!(!m.covers(1));
+        assert!(m.covers(2));
+        assert!(m.covers(4));
+        assert!(!m.covers(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "byte span out of range")]
+    fn mask_span_rejects_overflow() {
+        let _ = ByteMask::span(6, 3);
+    }
+
+    #[test]
+    fn mask_merge_selects_bytes() {
+        let m = ByteMask::span(0, 4);
+        let merged = m.merge(0xaaaa_bbbb_cccc_ddddu64, 0x1111_2222_3333_4444u64);
+        assert_eq!(merged, 0xaaaa_bbbb_3333_4444u64);
+    }
+
+    #[test]
+    fn mask_merge_full_replaces_all() {
+        assert_eq!(ByteMask::FULL.merge(u64::MAX, 7), 7);
+    }
+
+    #[test]
+    fn mask_or_unions() {
+        let m = ByteMask::span(0, 2) | ByteMask::span(6, 2);
+        assert_eq!(m.bits(), 0b1100_0011);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x40");
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(PageId::new(1).to_string(), "page:0x1");
+    }
+}

@@ -1,0 +1,112 @@
+//! Faulting-store records.
+//!
+//! When a store buffer detects an imprecise store exception it drains its
+//! entries into the per-core Faulting Store Buffer (FSB). Each drained entry
+//! carries exactly what §4.1 of the paper specifies: "their address, data,
+//! byte mask, and the accelerator-specific exception code". This module
+//! defines that record; the ring buffer itself lives in `ise-core`.
+
+use crate::addr::{Addr, ByteMask};
+use crate::exception::ErrorCode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One entry of the Faulting Store Buffer.
+///
+/// The paper sizes scalable-store-buffer entries at 16 B (§3.3) and the FSB
+/// entry carries the same payload: 8 B of data, ~6 B of address bits, a byte
+/// mask and an error code. [`FaultingStoreEntry::WIRE_BYTES`] records the
+/// modelled footprint used in silicon-cost accounting.
+///
+/// ```
+/// use ise_types::faulting::FaultingStoreEntry;
+/// use ise_types::addr::{Addr, ByteMask};
+/// use ise_types::exception::ErrorCode;
+///
+/// let e = FaultingStoreEntry::new(Addr::new(0x1000), 0xdead, ByteMask::FULL, ErrorCode(2));
+/// assert_eq!(e.apply_to(0), 0xdead);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultingStoreEntry {
+    /// The store's target address.
+    pub addr: Addr,
+    /// The store's data (up to 8 bytes, selected by `mask`).
+    pub data: u64,
+    /// Which bytes of `data` the store writes.
+    pub mask: ByteMask,
+    /// The accelerator-specific error code from the faulting response.
+    /// Entries for *non-faulting* younger stores drained in the same-stream
+    /// design carry [`ErrorCode`]`(0)`.
+    pub error: ErrorCode,
+}
+
+impl FaultingStoreEntry {
+    /// Modelled wire/RAM footprint of one entry, in bytes.
+    pub const WIRE_BYTES: usize = 16;
+
+    /// Creates an entry.
+    pub fn new(addr: Addr, data: u64, mask: ByteMask, error: ErrorCode) -> Self {
+        FaultingStoreEntry {
+            addr,
+            data,
+            mask,
+            error,
+        }
+    }
+
+    /// Creates an entry for a non-faulting store drained alongside a
+    /// faulting one (same-stream design, paper §4.6).
+    pub fn non_faulting(addr: Addr, data: u64, mask: ByteMask) -> Self {
+        Self::new(addr, data, mask, ErrorCode(0))
+    }
+
+    /// Whether this entry recorded an actual exception.
+    pub fn is_faulting(&self) -> bool {
+        self.error != ErrorCode(0)
+    }
+
+    /// Applies this store over an existing 8-byte memory value, honouring
+    /// the byte mask. This is the `S_OS(A)` operation of the formalism.
+    pub fn apply_to(&self, old: u64) -> u64 {
+        self.mask.merge(old, self.data)
+    }
+}
+
+impl fmt::Display for FaultingStoreEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fsb{{[{}] <- {:#x} mask {} {}}}",
+            self.addr, self.data, self.mask, self.error
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulting_flag_tracks_error_code() {
+        let f = FaultingStoreEntry::new(Addr::new(0), 1, ByteMask::FULL, ErrorCode(5));
+        assert!(f.is_faulting());
+        let nf = FaultingStoreEntry::non_faulting(Addr::new(0), 1, ByteMask::FULL);
+        assert!(!nf.is_faulting());
+    }
+
+    #[test]
+    fn apply_honours_mask() {
+        let e = FaultingStoreEntry::new(
+            Addr::new(0),
+            0x0000_0000_0000_00ff,
+            ByteMask::span(0, 1),
+            ErrorCode(1),
+        );
+        assert_eq!(e.apply_to(0x1111_1111_1111_1100), 0x1111_1111_1111_11ff);
+    }
+
+    #[test]
+    fn wire_footprint_matches_paper_entry_size() {
+        assert_eq!(FaultingStoreEntry::WIRE_BYTES, 16);
+    }
+}

@@ -1,0 +1,267 @@
+//! Statistics containers used by the simulator and the experiment harness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A streaming mean/min/max accumulator for cycle counts and similar
+/// quantities.
+///
+/// ```
+/// use ise_types::stats::Summary;
+/// let mut s = Summary::new();
+/// for v in [2.0, 4.0, 6.0] { s.record(v); }
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.max(), Some(6.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "n=0")
+        } else {
+            write!(
+                f,
+                "n={} mean={:.2} min={:.2} max={:.2}",
+                self.count, self.mean(), self.min, self.max
+            )
+        }
+    }
+}
+
+/// A fixed-bucket histogram with power-of-two bucket boundaries, used for
+/// latency distributions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram covering values up to `2^(buckets-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            buckets: vec![0; buckets],
+        }
+    }
+
+    /// Records a value; values beyond the last boundary land in the last
+    /// bucket.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        };
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Raw bucket counts; bucket *i* covers `[2^(i-1), 2^i)` (bucket 0 is
+    /// the value 0).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(24)
+    }
+}
+
+/// Core-level timing statistics produced by one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Cycles the retire stage was blocked by a store awaiting completion
+    /// (SC) or a full store buffer (PC/WC).
+    pub store_stall_cycles: u64,
+    /// Cycles stalled on fences/atomics draining the store buffer.
+    pub sync_stall_cycles: u64,
+    /// L1D misses observed.
+    pub l1d_misses: u64,
+    /// Imprecise store exceptions taken.
+    pub imprecise_exceptions: u64,
+    /// Faulting stores drained to the FSB.
+    pub faulting_stores: u64,
+    /// Precise exceptions taken.
+    pub precise_exceptions: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle (0.0 when no cycles elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Merges per-core stats into an aggregate.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.retired += other.retired;
+        self.cycles = self.cycles.max(other.cycles);
+        self.store_stall_cycles += other.store_stall_cycles;
+        self.sync_stall_cycles += other.sync_stall_cycles;
+        self.l1d_misses += other.l1d_misses;
+        self.imprecise_exceptions += other.imprecise_exceptions;
+        self.faulting_stores += other.faulting_stores;
+        self.precise_exceptions += other.precise_exceptions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        assert_eq!(s.min(), None);
+        s.record(5.0);
+        s.record(1.0);
+        s.record(9.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.mean(), 5.0);
+    }
+
+    #[test]
+    fn summary_merge_is_concat() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        let mut b = Summary::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(8);
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1 << 20); // clamped to last bucket
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[7], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_rejects_zero_buckets() {
+        let _ = Histogram::new(0);
+    }
+
+    #[test]
+    fn ipc_math() {
+        let s = CoreStats {
+            retired: 100,
+            cycles: 50,
+            ..Default::default()
+        };
+        assert_eq!(s.ipc(), 2.0);
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn core_stats_merge_takes_max_cycles() {
+        let mut a = CoreStats {
+            retired: 10,
+            cycles: 100,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            retired: 20,
+            cycles: 80,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retired, 30);
+        assert_eq!(a.cycles, 100);
+    }
+}

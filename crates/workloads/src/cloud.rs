@@ -1,0 +1,179 @@
+//! Cloudsuite-like service loops: Data Caching, Media Streaming, and
+//! Data Serving (the remaining Table 3 rows).
+
+use crate::layout::MemoryLayout;
+use crate::recorder::TraceRecorder;
+use crate::Workload;
+use ise_engine::SimRng;
+
+/// Which Cloudsuite-like service to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloudService {
+    /// Memcached-style hash table with a GET-heavy mix.
+    DataCaching,
+    /// Sequential chunked streaming with per-chunk bookkeeping.
+    MediaStreaming,
+    /// Cassandra-style log-structured store: appends + index updates +
+    /// random reads.
+    DataServing,
+}
+
+impl CloudService {
+    /// Paper row name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CloudService::DataCaching => "Data Caching",
+            CloudService::MediaStreaming => "Media Streaming",
+            CloudService::DataServing => "Data Serving",
+        }
+    }
+}
+
+/// Configuration for a cloud-service workload.
+#[derive(Debug, Clone, Copy)]
+pub struct CloudConfig {
+    /// Requests per core.
+    pub requests_per_core: usize,
+    /// Cores.
+    pub cores: usize,
+    /// Working-set size in bytes.
+    pub working_set: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Allocate from the EInject region.
+    pub in_einject: bool,
+}
+
+impl CloudConfig {
+    /// A small, test-friendly configuration.
+    pub fn small(cores: usize) -> Self {
+        CloudConfig {
+            requests_per_core: 400,
+            cores,
+            working_set: 1 << 20,
+            seed: 11,
+            in_einject: false,
+        }
+    }
+}
+
+/// Builds a cloud-service workload.
+pub fn cloud_workload(service: CloudService, cfg: &CloudConfig) -> Workload {
+    let mut layout = MemoryLayout::new();
+    let base = if cfg.in_einject {
+        layout.alloc_einject(cfg.working_set)
+    } else {
+        layout.alloc(cfg.working_set)
+    };
+    let elems = cfg.working_set / 8;
+    let mut rng = SimRng::seed_from(cfg.seed);
+    let mut traces = Vec::with_capacity(cfg.cores);
+    for _core in 0..cfg.cores {
+        let mut rec = TraceRecorder::new();
+        let mut stream_pos: u64 = rng.range(0, elems);
+        let mut log_head: u64 = 0;
+        for req in 0..cfg.requests_per_core {
+            match service {
+                CloudService::DataCaching => {
+                    // Hash probe: bucket header + entry + value reads;
+                    // 10 % SETs update the entry and LRU list (Table 3:
+                    // 11 % stores, 24 % loads).
+                    let bucket = rng.range(0, elems / 4);
+                    rec.load_elem(base, bucket * 4);
+                    rec.load_elem(base, bucket * 4 + 1);
+                    rec.alu(3);
+                    rec.load_elem(base, bucket * 4 + 2);
+                    if rng.chance(0.10) {
+                        rec.store_elem(base, bucket * 4 + 2, req as u64);
+                        rec.store_elem(base, bucket * 4 + 3, req as u64);
+                    }
+                    // LRU touch.
+                    if rng.chance(0.5) {
+                        rec.store_elem(base, bucket * 4 + 3, req as u64);
+                    }
+                    rec.alu(4);
+                }
+                CloudService::MediaStreaming => {
+                    // Stream 8 sequential chunks, then bookkeeping
+                    // (Table 3: 9 % stores, 13 % loads, ALU-heavy
+                    // encode/packetize work).
+                    for _ in 0..8 {
+                        rec.load_elem(base, stream_pos % elems);
+                        stream_pos += 1;
+                        rec.alu(5);
+                    }
+                    rec.store_elem(base, (stream_pos / 8) % elems, stream_pos);
+                    rec.store_elem(base, elems - 1 - (req as u64 % 64), req as u64);
+                    rec.alu(14);
+                }
+                CloudService::DataServing => {
+                    // Log append (2 stores) + index update (1 store) +
+                    // 3 random reads (Table 3: 9 % stores, 24 % loads).
+                    rec.store_elem(base, log_head % elems, req as u64);
+                    rec.store_elem(base, (log_head + 1) % elems, req as u64);
+                    log_head += 2;
+                    rec.store_elem(base, elems / 2 + rng.range(0, elems / 4), log_head);
+                    for _ in 0..3 {
+                        rec.load_elem(base, rng.range(0, elems));
+                    }
+                    rec.load_elem(base, elems / 2 + rng.range(0, elems / 4));
+                    rec.alu(9);
+                }
+            }
+        }
+        traces.push(rec.into_trace());
+    }
+    Workload {
+        name: service.name().to_string(),
+        traces,
+        einject_pages: if cfg.in_einject {
+            MemoryLayout::pages_of(base, cfg.working_set)
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::instr::InstructionMix;
+
+    #[test]
+    fn mixes_are_in_character() {
+        let caching = cloud_workload(CloudService::DataCaching, &CloudConfig::small(1));
+        let streaming = cloud_workload(CloudService::MediaStreaming, &CloudConfig::small(1));
+        let serving = cloud_workload(CloudService::DataServing, &CloudConfig::small(1));
+        let mc = InstructionMix::measure(&caching.traces[0]);
+        let ms = InstructionMix::measure(&streaming.traces[0]);
+        let mv = InstructionMix::measure(&serving.traces[0]);
+        // Caching and serving are load-heavier than streaming
+        // (Table 3: 24 % vs 13 % loads).
+        assert!(mc.load_pct > ms.load_pct, "caching {mc} vs streaming {ms}");
+        assert!(mv.load_pct > ms.load_pct, "serving {mv} vs streaming {ms}");
+        // Everything has stores but is other-dominated.
+        for m in [mc, ms, mv] {
+            assert!(m.store_pct > 3.0 && m.store_pct < 30.0, "{m}");
+            assert!(m.other_pct > 40.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn per_core_traces_and_pages() {
+        let mut cfg = CloudConfig::small(3);
+        cfg.in_einject = true;
+        let w = cloud_workload(CloudService::DataServing, &cfg);
+        assert_eq!(w.traces.len(), 3);
+        assert_eq!(
+            w.einject_pages.len() as u64,
+            cfg.working_set / 4096,
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = cloud_workload(CloudService::MediaStreaming, &CloudConfig::small(2));
+        let b = cloud_workload(CloudService::MediaStreaming, &CloudConfig::small(2));
+        assert_eq!(a.traces, b.traces);
+    }
+}

@@ -1,0 +1,427 @@
+//! Tailbench-like key-value engines: a real arena-allocated B+tree with
+//! Silo-style transactions and a Masstree-style read-mostly index.
+//!
+//! The tree actually stores and retrieves data; every node visited during
+//! a lookup or split is recorded as memory traffic at the node's arena
+//! address, so the traces carry the pointer-chasing behaviour of the real
+//! workloads (Table 3: Silo 7 % stores / 13 % loads, Masstree 14 % / 13 %).
+
+use crate::layout::MemoryLayout;
+use crate::recorder::TraceRecorder;
+use crate::Workload;
+use ise_engine::SimRng;
+use ise_types::addr::Addr;
+
+const FANOUT: usize = 16;
+/// Bytes charged per tree node in the arena (keys + children/values).
+const NODE_BYTES: u64 = 256;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal { keys: Vec<u64>, children: Vec<usize> },
+    Leaf { keys: Vec<u64>, values: Vec<u64> },
+}
+
+/// An arena-allocated B+tree recording its memory traffic.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    arena: Vec<Node>,
+    root: usize,
+    base: Addr,
+    len: usize,
+}
+
+impl BPlusTree {
+    /// Creates an empty tree whose arena starts at `base`.
+    pub fn new(base: Addr) -> Self {
+        BPlusTree {
+            arena: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            }],
+            root: 0,
+            base,
+            len: 0,
+        }
+    }
+
+    /// Number of key-value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The arena footprint in bytes (for page marking).
+    pub fn footprint(&self) -> u64 {
+        (self.arena.len() as u64).max(1) * NODE_BYTES
+    }
+
+    fn node_addr(&self, id: usize) -> Addr {
+        self.base.offset(id as u64 * NODE_BYTES)
+    }
+
+    fn touch_node(&self, id: usize, rec: &mut TraceRecorder, write: bool) {
+        // A node visit reads its header and key array (2 loads); a
+        // mutation dirties one line.
+        rec.load_elem(self.node_addr(id), 0);
+        rec.load_elem(self.node_addr(id), 2);
+        if write {
+            rec.store_elem(self.node_addr(id), 1, 0);
+        }
+        rec.alu(3);
+    }
+
+    /// A freshly created node (split sibling / new root) is initialized
+    /// with stores only — its first memory touch is a store, which is
+    /// exactly what generates *imprecise* exceptions on faulting pages.
+    fn init_node(&self, id: usize, rec: &mut TraceRecorder) {
+        rec.store_elem(self.node_addr(id), 0, 0);
+        rec.store_elem(self.node_addr(id), 2, 0);
+        rec.store_elem(self.node_addr(id), 4, 0);
+        rec.alu(2);
+    }
+
+    /// Looks `key` up, recording the root-to-leaf traversal.
+    pub fn get(&self, key: u64, rec: &mut TraceRecorder) -> Option<u64> {
+        let mut id = self.root;
+        loop {
+            self.touch_node(id, rec, false);
+            match &self.arena[id] {
+                Node::Internal { keys, children } => {
+                    let slot = keys.partition_point(|&k| k <= key);
+                    id = children[slot];
+                }
+                Node::Leaf { keys, values } => {
+                    return keys
+                        .binary_search(&key)
+                        .ok()
+                        .map(|i| values[i]);
+                }
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) `key`, recording traversal and splits.
+    pub fn put(&mut self, key: u64, value: u64, rec: &mut TraceRecorder) {
+        // Descend, remembering the path.
+        let mut path = Vec::new();
+        let mut id = self.root;
+        loop {
+            self.touch_node(id, rec, false);
+            match &self.arena[id] {
+                Node::Internal { keys, children } => {
+                    let slot = keys.partition_point(|&k| k <= key);
+                    path.push((id, slot));
+                    id = children[slot];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        // Insert into the leaf.
+        let Node::Leaf { keys, values } = &mut self.arena[id] else {
+            unreachable!("descent ends at a leaf");
+        };
+        match keys.binary_search(&key) {
+            Ok(i) => values[i] = value,
+            Err(i) => {
+                keys.insert(i, key);
+                values.insert(i, value);
+                self.len += 1;
+            }
+        }
+        self.touch_node(id, rec, true);
+
+        // Split up the path while nodes overflow.
+        let mut child = id;
+        loop {
+            let (sep, sibling) = match &mut self.arena[child] {
+                Node::Leaf { keys, values } if keys.len() > FANOUT => {
+                    let mid = keys.len() / 2;
+                    let rk = keys.split_off(mid);
+                    let rv = values.split_off(mid);
+                    let sep = rk[0];
+                    (sep, Node::Leaf { keys: rk, values: rv })
+                }
+                Node::Internal { keys, children } if keys.len() > FANOUT => {
+                    let mid = keys.len() / 2;
+                    let sep = keys[mid];
+                    let rk = keys.split_off(mid + 1);
+                    let rc = children.split_off(mid + 1);
+                    keys.pop();
+                    (sep, Node::Internal { keys: rk, children: rc })
+                }
+                _ => break,
+            };
+            let new_id = self.arena.len();
+            self.arena.push(sibling);
+            self.touch_node(child, rec, true);
+            self.init_node(new_id, rec);
+            match path.pop() {
+                Some((parent, slot)) => {
+                    let Node::Internal { keys, children } = &mut self.arena[parent] else {
+                        unreachable!("path holds internals");
+                    };
+                    keys.insert(slot, sep);
+                    children.insert(slot + 1, new_id);
+                    self.touch_node(parent, rec, true);
+                    child = parent;
+                }
+                None => {
+                    let new_root = self.arena.len();
+                    self.arena.push(Node::Internal {
+                        keys: vec![sep],
+                        children: vec![child, new_id],
+                    });
+                    self.root = new_root;
+                    self.init_node(new_root, rec);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Which Tailbench-like engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvEngine {
+    /// Silo-like: OLTP transactions (reads + writes + commit fence +
+    /// TID atomic).
+    Silo,
+    /// Masstree-like: read-mostly index with occasional inserts.
+    Masstree,
+}
+
+impl KvEngine {
+    /// Paper row name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KvEngine::Silo => "Silo",
+            KvEngine::Masstree => "Masstree",
+        }
+    }
+}
+
+/// Configuration for a key-value workload.
+#[derive(Debug, Clone, Copy)]
+pub struct KvConfig {
+    /// Keys pre-loaded before the measured phase.
+    pub preload: usize,
+    /// Operations (transactions for Silo, lookups for Masstree) per core.
+    pub ops_per_core: usize,
+    /// Cores.
+    pub cores: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Place the tree arena in the EInject region (the §6.5 Imprecise
+    /// configuration: "the request packets ... from the EInject region").
+    pub in_einject: bool,
+}
+
+impl KvConfig {
+    /// A small, test-friendly configuration.
+    pub fn small(cores: usize) -> Self {
+        KvConfig {
+            preload: 2000,
+            ops_per_core: 300,
+            cores,
+            seed: 7,
+            in_einject: false,
+        }
+    }
+}
+
+/// Builds a Silo- or Masstree-like workload.
+pub fn kv_workload(engine: KvEngine, cfg: &KvConfig) -> Workload {
+    let mut layout = MemoryLayout::new();
+    // Reserve a generous arena up front so pages are known.
+    let arena_bytes = ((cfg.preload + cfg.cores * cfg.ops_per_core) as u64 * 2 + 64) * NODE_BYTES;
+    let base = if cfg.in_einject {
+        layout.alloc_einject(arena_bytes)
+    } else {
+        layout.alloc(arena_bytes)
+    };
+    let tid_base = if cfg.in_einject {
+        layout.alloc_einject(4096)
+    } else {
+        layout.alloc(4096)
+    };
+    let log_bytes = (cfg.ops_per_core as u64 * 32).max(4096);
+    let log_base = if cfg.in_einject {
+        layout.alloc_einject(log_bytes)
+    } else {
+        layout.alloc(log_bytes)
+    };
+    let mut rng = SimRng::seed_from(cfg.seed);
+    let mut tree = BPlusTree::new(base);
+    let mut preload_rec = TraceRecorder::new();
+    for i in 0..cfg.preload {
+        tree.put(
+            rng.range(0, cfg.preload as u64 * 4),
+            i as u64,
+            &mut preload_rec,
+        );
+    }
+    drop(preload_rec); // warm-up is not part of the measured trace
+
+    let key_space = cfg.preload as u64 * 4;
+    let mut traces = Vec::with_capacity(cfg.cores);
+    for _core in 0..cfg.cores {
+        let mut rec = TraceRecorder::new();
+        let mut tree_view = tree.clone();
+        for op in 0..cfg.ops_per_core {
+            match engine {
+                KvEngine::Silo => {
+                    // A transaction: 2 reads, 1 write, validation ALU,
+                    // TID fetch-add, commit fence.
+                    let k1 = rng.range(0, key_space);
+                    let k2 = rng.range(0, key_space);
+                    tree_view.get(k1, &mut rec);
+                    tree_view.get(k2, &mut rec);
+                    rec.alu(8);
+                    tree_view.put(rng.range(0, key_space), op as u64, &mut rec);
+                    // Redo-log record: TID, key, value, epoch.
+                    for field in 0..3u64 {
+                        rec.store_elem(log_base, (op as u64 * 4 + field) % (log_bytes / 8), op as u64);
+                    }
+                    rec.atomic_elem(tid_base, 0, 1);
+                    rec.fence();
+                    rec.alu(12);
+                }
+                KvEngine::Masstree => {
+                    // Masstree descends a trie of B+trees: long keys take
+                    // a second-layer lookup. Read-mostly (~75 % lookups)
+                    // with little ALU padding — the most memory-intense
+                    // Tailbench row (Table 3: 14 % stores + 13 % loads).
+                    let k = rng.range(0, key_space);
+                    if rng.chance(0.25) {
+                        tree_view.put(k, op as u64, &mut rec);
+                        tree_view.put(k ^ 1, op as u64, &mut rec);
+                    } else {
+                        tree_view.get(k, &mut rec);
+                        if rng.chance(0.5) {
+                            // Second trie layer for long keys.
+                            tree_view.get(k ^ 0x55, &mut rec);
+                        }
+                    }
+                    rec.alu(3);
+                }
+            }
+        }
+        traces.push(rec.into_trace());
+    }
+
+    let einject_pages = if cfg.in_einject {
+        let mut pages = MemoryLayout::pages_of(base, arena_bytes);
+        pages.extend(MemoryLayout::pages_of(tid_base, 4096));
+        pages.extend(MemoryLayout::pages_of(log_base, log_bytes));
+        pages
+    } else {
+        Vec::new()
+    };
+    Workload {
+        name: engine.name().to_string(),
+        traces,
+        einject_pages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::instr::InstructionMix;
+
+    #[test]
+    fn tree_stores_and_retrieves() {
+        let mut rec = TraceRecorder::new();
+        let mut t = BPlusTree::new(Addr::new(0x10_0000));
+        for i in 0..500u64 {
+            t.put(i * 3, i, &mut rec);
+        }
+        assert_eq!(t.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(t.get(i * 3, &mut rec), Some(i), "key {}", i * 3);
+        }
+        assert_eq!(t.get(1, &mut rec), None);
+    }
+
+    #[test]
+    fn tree_overwrites_in_place() {
+        let mut rec = TraceRecorder::new();
+        let mut t = BPlusTree::new(Addr::new(0x10_0000));
+        t.put(5, 1, &mut rec);
+        t.put(5, 2, &mut rec);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5, &mut rec), Some(2));
+    }
+
+    #[test]
+    fn tree_splits_keep_order() {
+        let mut rec = TraceRecorder::new();
+        let mut t = BPlusTree::new(Addr::new(0x10_0000));
+        // Descending inserts force left-edge splits.
+        for i in (0..300u64).rev() {
+            t.put(i, i, &mut rec);
+        }
+        for i in 0..300u64 {
+            assert_eq!(t.get(i, &mut rec), Some(i));
+        }
+        assert!(t.footprint() > NODE_BYTES * 10, "tree must have split");
+    }
+
+    #[test]
+    fn lookup_depth_grows_logarithmically() {
+        let mut t = BPlusTree::new(Addr::new(0x10_0000));
+        let mut rec = TraceRecorder::new();
+        for i in 0..2000u64 {
+            t.put(i, i, &mut rec);
+        }
+        let mut probe = TraceRecorder::new();
+        t.get(1000, &mut probe);
+        // Depth ~ log_16(2000/16) + 1: a handful of node visits, each 2
+        // loads + 3 ALU.
+        assert!(probe.len() < 40, "lookup touched too much: {}", probe.len());
+    }
+
+    #[test]
+    fn silo_has_sync_and_stores() {
+        let w = kv_workload(KvEngine::Silo, &KvConfig::small(1));
+        let mix = InstructionMix::measure(&w.traces[0]);
+        assert!(mix.sync_pct > 0.5, "Silo transactions carry sync: {mix}");
+        assert!(mix.store_pct > 2.0, "{mix}");
+        assert!(mix.load_pct > mix.store_pct, "{mix}");
+    }
+
+    #[test]
+    fn masstree_is_read_mostly_but_store_heavier_than_silo_per_memory_op() {
+        let silo = kv_workload(KvEngine::Silo, &KvConfig::small(1));
+        let mt = kv_workload(KvEngine::Masstree, &KvConfig::small(1));
+        let m_silo = InstructionMix::measure(&silo.traces[0]);
+        let m_mt = InstructionMix::measure(&mt.traces[0]);
+        // Masstree's trace is denser in memory operations (Table 3 shows
+        // 14+13 vs 7+13).
+        assert!(
+            m_mt.store_pct + m_mt.load_pct > m_silo.store_pct + m_silo.load_pct,
+            "masstree {m_mt} vs silo {m_silo}"
+        );
+    }
+
+    #[test]
+    fn einject_configuration_lists_pages() {
+        let mut cfg = KvConfig::small(2);
+        cfg.in_einject = true;
+        let w = kv_workload(KvEngine::Masstree, &cfg);
+        assert!(!w.einject_pages.is_empty());
+        assert_eq!(w.traces.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = kv_workload(KvEngine::Silo, &KvConfig::small(1));
+        let b = kv_workload(KvEngine::Silo, &KvConfig::small(1));
+        assert_eq!(a.traces, b.traces);
+    }
+}

@@ -1,0 +1,138 @@
+//! Address-space layout for generated workloads.
+
+use ise_types::addr::{Addr, PAGE_SIZE};
+use ise_types::PageId;
+
+/// Base of the EInject-reserved physical region (well above normal
+/// allocations).
+pub const EINJECT_BASE: u64 = 0x4000_0000; // 1 GiB
+/// Size of the EInject-reserved region (1 GiB: large enough for the
+/// 512 MB microbenchmark array plus graph/kv data).
+pub const EINJECT_SIZE: u64 = 0x4000_0000;
+
+/// A bump allocator over the simulated physical address space, with a
+/// separate cursor inside the EInject region.
+///
+/// ```
+/// use ise_workloads::MemoryLayout;
+/// let mut l = MemoryLayout::new();
+/// let a = l.alloc(4096);
+/// let b = l.alloc(64);
+/// assert!(b.raw() >= a.raw() + 4096);
+/// let e = l.alloc_einject(4096);
+/// assert!(l.in_einject(e));
+/// assert!(!l.in_einject(a));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryLayout {
+    next: u64,
+    next_einject: u64,
+}
+
+impl MemoryLayout {
+    /// A fresh layout: normal allocations start at 1 MiB, EInject
+    /// allocations at [`EINJECT_BASE`].
+    pub fn new() -> Self {
+        MemoryLayout {
+            next: 0x10_0000,
+            next_einject: EINJECT_BASE,
+        }
+    }
+
+    fn bump(cursor: &mut u64, bytes: u64, limit: Option<u64>) -> Addr {
+        assert!(bytes > 0, "allocation must be non-empty");
+        // Page-align every allocation: workloads reason in pages.
+        let base = (*cursor).next_multiple_of(PAGE_SIZE);
+        let end = base + bytes.next_multiple_of(PAGE_SIZE);
+        if let Some(limit) = limit {
+            assert!(end <= limit, "EInject region exhausted");
+        }
+        *cursor = end;
+        Addr::new(base)
+    }
+
+    /// Allocates `bytes` (page-granular) of ordinary memory.
+    pub fn alloc(&mut self, bytes: u64) -> Addr {
+        Self::bump(&mut self.next, bytes, Some(EINJECT_BASE))
+    }
+
+    /// Allocates `bytes` inside the EInject region (the paper's modified
+    /// workloads allocate their data here, §6.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is exhausted.
+    pub fn alloc_einject(&mut self, bytes: u64) -> Addr {
+        Self::bump(
+            &mut self.next_einject,
+            bytes,
+            Some(EINJECT_BASE + EINJECT_SIZE),
+        )
+    }
+
+    /// Whether `addr` lies inside the EInject region.
+    pub fn in_einject(&self, addr: Addr) -> bool {
+        (EINJECT_BASE..EINJECT_BASE + EINJECT_SIZE).contains(&addr.raw())
+    }
+
+    /// The pages of an allocation `[base, base + bytes)`.
+    pub fn pages_of(base: Addr, bytes: u64) -> Vec<PageId> {
+        assert!(bytes > 0, "empty range has no pages");
+        let first = base.page().index();
+        let last = (base.raw() + bytes - 1) / PAGE_SIZE;
+        (first..=last).map(PageId::new).collect()
+    }
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_page_aligned_and_disjoint() {
+        let mut l = MemoryLayout::new();
+        let a = l.alloc(100);
+        let b = l.alloc(100);
+        assert_eq!(a.page_offset(), 0);
+        assert_eq!(b.page_offset(), 0);
+        assert!(b.raw() >= a.raw() + PAGE_SIZE);
+    }
+
+    #[test]
+    fn einject_allocations_live_in_region() {
+        let mut l = MemoryLayout::new();
+        let e = l.alloc_einject(1 << 20);
+        assert!(l.in_einject(e));
+        assert!(l.in_einject(Addr::new(e.raw() + (1 << 20) - 1)));
+    }
+
+    #[test]
+    fn normal_allocations_never_reach_einject() {
+        let mut l = MemoryLayout::new();
+        for _ in 0..100 {
+            let a = l.alloc(1 << 20);
+            assert!(!l.in_einject(a));
+        }
+    }
+
+    #[test]
+    fn pages_of_counts_correctly() {
+        let pages = MemoryLayout::pages_of(Addr::new(PAGE_SIZE * 2), PAGE_SIZE * 3);
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0], PageId::new(2));
+        // Sub-page range still occupies its page.
+        assert_eq!(MemoryLayout::pages_of(Addr::new(0), 1).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_alloc_rejected() {
+        MemoryLayout::new().alloc(0);
+    }
+}

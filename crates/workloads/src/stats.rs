@@ -1,0 +1,184 @@
+//! Trace analysis: footprint, locality, and mix statistics for generated
+//! workloads.
+//!
+//! The experiment drivers use these to sanity-check that a generated
+//! trace has the shape its spec promises (Table 3 mixes, EInject
+//! footprints for Fig. 6) — and they are handy when writing new
+//! workloads against this library.
+
+use ise_types::addr::{Addr, LINE_SIZE, PAGE_SIZE};
+use ise_types::instr::{InstrKind, InstructionMix};
+use ise_types::Instruction;
+use std::collections::{HashMap, HashSet};
+
+/// Summary statistics of one instruction trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Instruction-class percentages.
+    pub mix: InstructionMix,
+    /// Total instructions.
+    pub instructions: usize,
+    /// Memory operations (loads + stores + atomics).
+    pub memory_ops: usize,
+    /// Distinct 64 B cache lines touched.
+    pub distinct_lines: usize,
+    /// Distinct 4 KiB pages touched.
+    pub distinct_pages: usize,
+    /// Span of the touched address range in bytes (max − min + 8).
+    pub address_span: u64,
+    /// Fraction of memory ops that re-touch one of the last 16 lines
+    /// accessed (a cheap locality proxy).
+    pub hot_reuse_fraction: f64,
+    /// Mean distinct memory ops per touched page — how much work each
+    /// first-touch fault is amortized over (the quantity that governs
+    /// Fig. 6's overhead).
+    pub ops_per_page: f64,
+}
+
+/// Analyzes a trace.
+pub fn analyze(trace: &[Instruction]) -> TraceStats {
+    let mut lines: HashSet<u64> = HashSet::new();
+    let mut pages: HashMap<u64, u64> = HashMap::new();
+    let mut memory_ops = 0usize;
+    let (mut min_a, mut max_a) = (u64::MAX, 0u64);
+    let mut recent: Vec<u64> = Vec::with_capacity(16);
+    let mut hot_hits = 0usize;
+    for i in trace {
+        let addr = match i.kind {
+            InstrKind::Load { addr, .. }
+            | InstrKind::Store { addr, .. }
+            | InstrKind::Atomic { addr, .. } => addr,
+            _ => continue,
+        };
+        memory_ops += 1;
+        let line = addr.raw() / LINE_SIZE;
+        if recent.contains(&line) {
+            hot_hits += 1;
+        }
+        if recent.len() == 16 {
+            recent.remove(0);
+        }
+        recent.push(line);
+        lines.insert(line);
+        *pages.entry(addr.raw() / PAGE_SIZE).or_insert(0) += 1;
+        min_a = min_a.min(addr.raw());
+        max_a = max_a.max(addr.raw());
+    }
+    TraceStats {
+        mix: InstructionMix::measure(trace),
+        instructions: trace.len(),
+        memory_ops,
+        distinct_lines: lines.len(),
+        distinct_pages: pages.len(),
+        address_span: if memory_ops == 0 { 0 } else { max_a - min_a + 8 },
+        hot_reuse_fraction: if memory_ops == 0 {
+            0.0
+        } else {
+            hot_hits as f64 / memory_ops as f64
+        },
+        ops_per_page: if pages.is_empty() {
+            0.0
+        } else {
+            memory_ops as f64 / pages.len() as f64
+        },
+    }
+}
+
+/// The pages a trace touches, ascending — useful for marking exactly the
+/// touched footprint faulting instead of a whole region.
+pub fn touched_pages(trace: &[Instruction]) -> Vec<ise_types::PageId> {
+    let mut pages: Vec<u64> = trace
+        .iter()
+        .filter_map(|i| i.kind.addr())
+        .map(|a: Addr| a.raw() / PAGE_SIZE)
+        .collect();
+    pages.sort_unstable();
+    pages.dedup();
+    pages.into_iter().map(ise_types::PageId::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{gap_workload, GapConfig, GapKernel};
+    use crate::mixes::{synthesize, table3_mixes};
+    use ise_types::instr::Reg;
+
+    #[test]
+    fn analyze_counts_the_basics() {
+        let base = Addr::new(0x1000);
+        let trace = vec![
+            Instruction::store(base, 1),
+            Instruction::load(base, Reg(0)),      // same line: hot reuse
+            Instruction::load(base.offset(4096 * 3), Reg(1)),
+            Instruction::other(),
+        ];
+        let s = analyze(&trace);
+        assert_eq!(s.instructions, 4);
+        assert_eq!(s.memory_ops, 3);
+        assert_eq!(s.distinct_lines, 2);
+        assert_eq!(s.distinct_pages, 2);
+        assert!(s.hot_reuse_fraction > 0.3);
+        assert_eq!(s.address_span, 4096 * 3 + 8);
+    }
+
+    #[test]
+    fn empty_trace_is_zeroes() {
+        let s = analyze(&[]);
+        assert_eq!(s.memory_ops, 0);
+        assert_eq!(s.address_span, 0);
+        assert_eq!(s.ops_per_page, 0.0);
+    }
+
+    #[test]
+    fn touched_pages_sorted_and_deduped() {
+        let base = Addr::new(0x10_000);
+        let trace = vec![
+            Instruction::store(base.offset(4096), 1),
+            Instruction::store(base, 2),
+            Instruction::store(base.offset(4), 3),
+        ];
+        let p = touched_pages(&trace);
+        assert_eq!(p.len(), 2);
+        assert!(p[0] < p[1]);
+    }
+
+    #[test]
+    fn synthesized_mixes_have_promised_locality_ordering() {
+        // BC's store stream is the coldest of the GAP rows: it must show
+        // the lowest hot-reuse among them.
+        let specs = table3_mixes();
+        let stats: Vec<(String, TraceStats)> = specs
+            .iter()
+            .filter(|s| s.suite == "GAP")
+            .map(|s| (s.name.to_string(), analyze(&synthesize(s, 10_000, 1, 3).traces[0])))
+            .collect();
+        for (name, s) in &stats {
+            assert!(s.memory_ops > 1000, "{name}: too few memory ops");
+            assert!(s.distinct_pages > 10, "{name}");
+        }
+    }
+
+    #[test]
+    fn gap_traces_amortize_pages_well() {
+        let mut cfg = GapConfig::small(1);
+        cfg.trials = 4;
+        let w = gap_workload(GapKernel::Bfs, &cfg);
+        let s = analyze(&w.traces[0]);
+        // Multi-trial runs re-touch the same pages: high ops/page is what
+        // keeps Fig. 6 overhead low.
+        assert!(s.ops_per_page > 100.0, "ops/page {:.1}", s.ops_per_page);
+    }
+
+    #[test]
+    fn touched_pages_subset_of_declared_einject_pages() {
+        let mut cfg = GapConfig::small(1);
+        cfg.in_einject = true;
+        let w = gap_workload(GapKernel::Sssp, &cfg);
+        let declared: std::collections::HashSet<_> =
+            w.einject_pages.iter().copied().collect();
+        for p in touched_pages(&w.traces[0]) {
+            assert!(declared.contains(&p), "{p} touched but not declared");
+        }
+    }
+}

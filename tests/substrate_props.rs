@@ -1,0 +1,141 @@
+//! Property-based tests over the timing substrates: the mesh, the cache
+//! arrays, the TLB, the MSHR file, and the assembled hierarchy.
+
+use imprecise_store_exceptions::mem::cache::CacheArray;
+use imprecise_store_exceptions::mem::hierarchy::{Access, MemoryHierarchy};
+use imprecise_store_exceptions::mem::mshr::MshrFile;
+use imprecise_store_exceptions::mem::tlb::Tlb;
+use imprecise_store_exceptions::noc::{Mesh, NodeId};
+use ise_types::addr::Addr;
+use ise_types::config::{CacheConfig, NocConfig, SystemConfig, TlbConfig};
+use ise_types::CoreId;
+use proptest::prelude::*;
+
+fn small_system() -> SystemConfig {
+    let mut cfg = SystemConfig::isca23();
+    cfg.cores = 4;
+    cfg.noc.mesh_x = 2;
+    cfg.noc.mesh_y = 2;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Triangle inequality on the mesh: routing via any waypoint is never
+    /// shorter than the direct XY route.
+    #[test]
+    fn mesh_hops_triangle_inequality(a in 0usize..16, b in 0usize..16, w in 0usize..16) {
+        let mesh = Mesh::new(NocConfig::isca23());
+        let direct = mesh.hops(NodeId(a), NodeId(b));
+        let via = mesh.hops(NodeId(a), NodeId(w)) + mesh.hops(NodeId(w), NodeId(b));
+        prop_assert!(direct <= via);
+    }
+
+    /// Cache arrays never exceed capacity and always hit right after an
+    /// insert.
+    #[test]
+    fn cache_occupancy_bounded(lines in prop::collection::vec(0u64..512, 1..200)) {
+        let mut c = CacheArray::new(&CacheConfig {
+            capacity_bytes: 4096, // 64 lines
+            ways: 4,
+            latency: 1,
+            mshrs: 4,
+        });
+        for l in lines {
+            let line = Addr::new(l * 64);
+            c.insert(line, false);
+            prop_assert!(c.contains(line), "just-inserted line must be resident");
+            prop_assert!(c.occupancy() <= c.capacity_lines());
+        }
+    }
+
+    /// TLB: a just-accessed page always hits on re-access, and the walk
+    /// count never exceeds the access count.
+    #[test]
+    fn tlb_hits_after_access(pages in prop::collection::vec(0u64..4096, 1..300)) {
+        let mut t = Tlb::new(TlbConfig::isca23());
+        let mut accesses = 0u64;
+        for p in pages {
+            t.access(ise_types::PageId::new(p));
+            accesses += 1;
+            prop_assert_eq!(t.access(ise_types::PageId::new(p)), 0, "immediate re-access hits L1 TLB");
+            accesses += 1;
+        }
+        prop_assert!(t.walks() <= accesses);
+    }
+
+    /// MSHRs: filling the file to capacity at one instant never stalls,
+    /// and the next allocation stalls by exactly the earliest completion.
+    #[test]
+    fn mshr_capacity_semantics(
+        services in prop::collection::vec(1u64..500, 8..=8),
+        extra in 1u64..500,
+    ) {
+        let mut m = MshrFile::new(8);
+        for &s in &services {
+            prop_assert_eq!(m.allocate(0, s), 0, "within capacity: no stall");
+        }
+        let min = *services.iter().min().expect("non-empty");
+        prop_assert_eq!(m.allocate(0, extra), min, "over capacity: wait for the earliest miss");
+    }
+
+    /// Hierarchy latencies are always at least the L1 latency and a hit
+    /// after a miss is cheaper than the miss.
+    #[test]
+    fn hierarchy_latency_sane(addrs in prop::collection::vec(0u64..(1u64<<20), 1..100)) {
+        let mut h = MemoryHierarchy::new(small_system());
+        let mut now = 0;
+        for raw in addrs {
+            let a = Addr::new(raw & !7);
+            let miss = h.access(Access::load(CoreId(0), a), now);
+            prop_assert!(miss.latency >= h.config().l1d.latency);
+            now += miss.latency;
+            let hit = h.access(Access::load(CoreId(0), a), now);
+            prop_assert!(hit.latency <= miss.latency, "re-access must not be slower");
+            now += hit.latency + 1;
+        }
+    }
+
+    /// Store-buffer coalescing under WC never changes the final merged
+    /// value: pushing two stores to the same word and draining equals
+    /// applying them in order.
+    #[test]
+    fn sb_coalescing_preserves_value(v1: u64, v2: u64, off in 0u8..7, len in 1u8..2) {
+        use imprecise_store_exceptions::cpu::StoreBuffer;
+        use ise_types::addr::ByteMask;
+        use ise_types::exception::ExceptionKind;
+        use imprecise_store_exceptions::cpu::DrainFault;
+        let mut sb = StoreBuffer::new(CoreId(0), 8, ise_types::ConsistencyModel::Wc);
+        let a = Addr::new(0x100);
+        sb.push(a, v1, ByteMask::FULL);
+        let m2 = ByteMask::span(off, len);
+        sb.push(a, v2, m2);
+        // Reference: apply in order to a zero word.
+        let expected = m2.merge(v1, v2);
+        let entries = sb.drain_to_fsb(DrainFault { index: 0, kind: ExceptionKind::BusError });
+        prop_assert_eq!(entries.len(), 1, "same word coalesces");
+        prop_assert_eq!(entries[0].apply_to(0), expected);
+    }
+}
+
+#[test]
+fn hierarchy_is_deterministic_across_reconstruction() {
+    let run = || {
+        let mut h = MemoryHierarchy::new(small_system());
+        let mut sum = 0u64;
+        let mut now = 0;
+        for i in 0..500u64 {
+            let acc = if i % 3 == 0 {
+                Access::store(CoreId((i % 4) as usize), Addr::new((i * 811) % (1 << 22)))
+            } else {
+                Access::load(CoreId((i % 4) as usize), Addr::new((i * 389) % (1 << 22)))
+            };
+            let r = h.access(acc, now);
+            sum += r.latency;
+            now += 2;
+        }
+        (sum, h.stats())
+    };
+    assert_eq!(run(), run());
+}
