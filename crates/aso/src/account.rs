@@ -8,7 +8,6 @@
 
 use ise_types::addr::LINE_SIZE;
 use ise_types::config::SystemConfig;
-use serde::{Deserialize, Serialize};
 
 /// Bytes per scalable store-buffer entry.
 pub const SB_ENTRY_BYTES: usize = 16;
@@ -20,7 +19,7 @@ pub const MAP_TABLE_BYTES: usize = 40;
 pub const CHECKPOINT_BYTES: usize = CHECKPOINT_REGS_BYTES + MAP_TABLE_BYTES;
 
 /// Prices the speculation state of one core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpeculationAccounting {
     /// Fixed cache-overlay bits (SR/SW/valid), in bytes.
     pub cache_overlay_bytes: usize,

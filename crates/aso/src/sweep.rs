@@ -21,7 +21,6 @@ use ise_mem::MemoryHierarchy;
 use ise_types::config::SystemConfig;
 use ise_types::model::ConsistencyModel;
 use ise_types::{CoreId, Instruction};
-use serde::{Deserialize, Serialize};
 
 /// Fraction of WC IPC that counts as "achieving the full WC performance
 /// benefits".
@@ -36,7 +35,7 @@ const SCALABLE_SB_CAP: usize = 8192;
 pub const DEFAULT_BUDGETS: &[usize] = &[1, 2, 4, 8, 12, 16, 24, 32, 48, 64];
 
 /// One sweep sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// Checkpoint budget.
     pub checkpoints: usize,
@@ -49,7 +48,7 @@ pub struct SweepPoint {
 }
 
 /// The result of one workload's sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
     /// SC (forced-precise) aggregate IPC.
     pub sc_ipc: f64,
@@ -105,11 +104,7 @@ fn aggregate_ipc(cores: &[Core<VecTrace>]) -> f64 {
 
 /// Runs `cores` to completion on a fresh hierarchy, tracking the peak
 /// store-buffer occupancy across all cores.
-fn run_tracking_peak(
-    cfg: &SystemConfig,
-    cores: &mut [Core<VecTrace>],
-    max_cycles: Cycle,
-) -> usize {
+fn run_tracking_peak(cfg: &SystemConfig, cores: &mut [Core<VecTrace>], max_cycles: Cycle) -> usize {
     let mut hier = MemoryHierarchy::new(*cfg);
     let mut peak = 0usize;
     let mut now = 0;

@@ -6,12 +6,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ise_consistency::program::{LitmusProgram, Loc, Stmt};
 use ise_litmus::machine::{explore, MachineConfig};
 use ise_sim::system::run_workload;
+use ise_types::addr::Addr;
 use ise_types::config::SystemConfig;
 use ise_types::instr::Reg;
 use ise_types::{ConsistencyModel, DrainPolicy, Instruction};
 use ise_workloads::layout::EINJECT_BASE;
 use ise_workloads::Workload;
-use ise_types::addr::Addr;
 
 /// Split-stream vs same-stream: exploration cost of the Fig. 2 program
 /// under each drain policy (the correctness difference is asserted by
@@ -37,7 +37,12 @@ fn ablation_split_stream(c: &mut Criterion) {
 fn faulting_store_workload(stores: u64) -> Workload {
     let base = Addr::new(EINJECT_BASE);
     let trace: Vec<Instruction> = (0..stores)
-        .flat_map(|i| [Instruction::store(base.offset(i * 8), i), Instruction::other()])
+        .flat_map(|i| {
+            [
+                Instruction::store(base.offset(i * 8), i),
+                Instruction::other(),
+            ]
+        })
         .collect();
     Workload {
         name: "ablation".into(),

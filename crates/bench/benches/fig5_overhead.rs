@@ -28,11 +28,9 @@ fn bench_microbench_run(c: &mut Criterion) {
         cfg.noc.mesh_x = 2;
         cfg.noc.mesh_y = 1;
         cfg.cores = 1;
-        group.bench_with_input(
-            BenchmarkId::new("pages", pages),
-            &workload,
-            |b, w| b.iter(|| run_workload(cfg, w, u64::MAX / 4)),
-        );
+        group.bench_with_input(BenchmarkId::new("pages", pages), &workload, |b, w| {
+            b.iter(|| run_workload(cfg, w, u64::MAX / 4))
+        });
     }
     group.finish();
 }

@@ -37,7 +37,7 @@ fn bench_cache(c: &mut Criterion) {
             i += 1;
             let line = Addr::new((i % 4096) * 64);
             if !cache.lookup(line) {
-                cache.insert(line, i % 2 == 0);
+                cache.insert(line, i.is_multiple_of(2));
             }
         })
     });
@@ -51,7 +51,7 @@ fn bench_directory(c: &mut Criterion) {
             i += 1;
             let line = Addr::new((i % 1024) * 64);
             dir.read(line, CoreId((i % 4) as usize));
-            if i % 3 == 0 {
+            if i.is_multiple_of(3) {
                 dir.write(line, CoreId(((i + 1) % 4) as usize));
             }
         })
@@ -68,7 +68,7 @@ fn bench_hierarchy(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let acc = if i % 4 == 0 {
+            let acc = if i.is_multiple_of(4) {
                 Access::store(CoreId((i % 4) as usize), Addr::new((i % 65_536) * 64))
             } else {
                 Access::load(CoreId((i % 4) as usize), Addr::new((i % 65_536) * 64))
@@ -103,13 +103,8 @@ fn bench_os_handler(c: &mut Criterion) {
             for i in 0..32u64 {
                 let a = Addr::new(0x4000_0000 + i * 8);
                 einject.set_faulting(a);
-                fsb.push(FaultingStoreEntry::new(
-                    a,
-                    i,
-                    ByteMask::FULL,
-                    ErrorCode(2),
-                ))
-                .expect("fits");
+                fsb.push(FaultingStoreEntry::new(a, i, ByteMask::FULL, ErrorCode(2)))
+                    .expect("fits");
             }
             let mut mem = FlatMemory::new();
             black_box(os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None))

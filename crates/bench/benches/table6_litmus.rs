@@ -41,5 +41,10 @@ fn bench_whole_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_axiomatic, bench_operational, bench_whole_campaign);
+criterion_group!(
+    benches,
+    bench_axiomatic,
+    bench_operational,
+    bench_whole_campaign
+);
 criterion_main!(benches);

@@ -15,7 +15,12 @@ fn main() {
         for o in &report.observed {
             rows.push(vec![
                 format_outcome(o),
-                if report.allowed.contains(o) { "yes" } else { "NO" }.into(),
+                if report.allowed.contains(o) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .into(),
             ]);
         }
         print_table(

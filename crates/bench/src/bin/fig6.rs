@@ -9,7 +9,11 @@ use ise_sim::report::render_bars;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { Fig6Scale::quick() } else { Fig6Scale::full() };
+    let scale = if quick {
+        Fig6Scale::quick()
+    } else {
+        Fig6Scale::full()
+    };
     let rows = fig6(&scale);
     let mut out = vec![vec![
         "workload".into(),

@@ -20,7 +20,9 @@ forbid: 1:r0=1 & 1:r1=0
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sources: Vec<(String, String)> = if args.is_empty() {
-        println!("(no files given; running the built-in demo — pass .litmus files to run your own)\n");
+        println!(
+            "(no files given; running the built-in demo — pass .litmus files to run your own)\n"
+        );
         vec![("<demo>".into(), DEMO.into())]
     } else {
         args.iter()
@@ -42,7 +44,10 @@ fn main() {
                 continue;
             }
         };
-        println!("== {} ({}, family {})", parsed.test.name, path, parsed.test.family);
+        println!(
+            "== {} ({}, family {})",
+            parsed.test.name, path, parsed.test.family
+        );
         for model in [ConsistencyModel::Pc, ConsistencyModel::Wc] {
             for inject in [false, true] {
                 let report = run_test(&parsed.test, model, inject);

@@ -16,7 +16,10 @@ fn main() {
         ],
         vec![
             "TLB".into(),
-            format!("L1(I,D): {} entries, L2: {} entries", c.tlb.l1_entries, c.tlb.l2_entries),
+            format!(
+                "L1(I,D): {} entries, L2: {} entries",
+                c.tlb.l1_entries, c.tlb.l2_entries
+            ),
         ],
         vec![
             "L1 caches".into(),

@@ -5,7 +5,11 @@ use ise_bench::print_table;
 
 fn main() {
     let rows = vec![
-        vec!["notation".into(), "definition".into(), "implementation".into()],
+        vec![
+            "notation".into(),
+            "definition".into(),
+            "implementation".into(),
+        ],
         vec![
             "L(A)".into(),
             "Load latest value from address A".into(),

@@ -14,7 +14,11 @@ use ise_workloads::Workload;
 
 fn main() {
     let rows = vec![
-        vec!["component".into(), "requirement (PC)".into(), "checked by".into()],
+        vec![
+            "component".into(),
+            "requirement (PC)".into(),
+            "checked by".into(),
+        ],
         vec![
             "Cores".into(),
             "Supply faulting stores to the interface in store-buffer order".into(),
@@ -76,23 +80,38 @@ fn main() {
     let mut m = ContractMonitor::new();
     m.record(OrderEvent::Detect { core: c });
     m.record(OrderEvent::Resume { core: c });
-    println!("rule 1 violation detected: {:?}", m.check(ConsistencyModel::Pc).unwrap_err());
+    println!(
+        "rule 1 violation detected: {:?}",
+        m.check(ConsistencyModel::Pc).unwrap_err()
+    );
 
     let mut m = ContractMonitor::new();
     m.record(OrderEvent::Put { core: c, entry: e0 });
     m.record(OrderEvent::Get { core: c, entry: e0 });
     m.record(OrderEvent::Resolve { core: c });
-    println!("rule 2 violation detected: {:?}", m.check(ConsistencyModel::Pc).unwrap_err());
+    println!(
+        "rule 2 violation detected: {:?}",
+        m.check(ConsistencyModel::Pc).unwrap_err()
+    );
 
     let mut m = ContractMonitor::new();
     m.record(OrderEvent::Put { core: c, entry: e0 });
     m.record(OrderEvent::Put { core: c, entry: e1 });
     m.record(OrderEvent::Get { core: c, entry: e0 });
     m.record(OrderEvent::Get { core: c, entry: e1 });
-    m.record(OrderEvent::Sos { core: c, addr: e1.addr });
-    m.record(OrderEvent::Sos { core: c, addr: e0.addr });
+    m.record(OrderEvent::Sos {
+        core: c,
+        addr: e1.addr,
+    });
+    m.record(OrderEvent::Sos {
+        core: c,
+        addr: e0.addr,
+    });
     m.record(OrderEvent::Resolve { core: c });
-    println!("rule 3 violation detected: {:?}", m.check(ConsistencyModel::Pc).unwrap_err());
+    println!(
+        "rule 3 violation detected: {:?}",
+        m.check(ConsistencyModel::Pc).unwrap_err()
+    );
     println!(
         "rule 3 under WC (no inter-store order mandated): {:?}",
         m.check(ConsistencyModel::Wc)

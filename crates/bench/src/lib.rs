@@ -17,11 +17,8 @@ pub fn print_table(title: &str, rows: &[Vec<String>]) {
 }
 
 /// Prints a JSON appendix for machine consumption.
-pub fn print_json<T: serde::Serialize>(label: &str, value: &T) {
-    match serde_json::to_string(value) {
-        Ok(s) => println!("JSON {label}: {s}"),
-        Err(e) => eprintln!("JSON {label}: serialization failed: {e}"),
-    }
+pub fn print_json<T: ise_types::ToJson>(label: &str, value: &T) {
+    println!("JSON {label}: {}", value.to_json().render());
 }
 
 /// Formats an `Option<f64>` KB value.

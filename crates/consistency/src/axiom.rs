@@ -25,11 +25,21 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EvKind {
-    Write { loc: Loc, value: u64 },
-    Read { loc: Loc, dst: Reg },
+    Write {
+        loc: Loc,
+        value: u64,
+    },
+    Read {
+        loc: Loc,
+        dst: Reg,
+    },
     Fence(FenceKind),
     /// Atomic fetch-add: both a read and a write.
-    Amo { loc: Loc, add: u64, dst: Reg },
+    Amo {
+        loc: Loc,
+        add: u64,
+        dst: Reg,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -261,7 +271,9 @@ fn acyclic(n: usize, edges: &[(usize, usize)]) -> bool {
 fn fence_edges(evs: &[Ev]) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for f in evs.iter().filter(|e| matches!(e.kind, EvKind::Fence(_))) {
-        let EvKind::Fence(kind) = f.kind else { unreachable!() };
+        let EvKind::Fence(kind) = f.kind else {
+            unreachable!()
+        };
         let before: Vec<&Ev> = evs
             .iter()
             .filter(|e| e.thread == f.thread && e.idx < f.idx && e.is_mem())
@@ -329,11 +341,10 @@ fn ppo(evs: &[Ev], model: ConsistencyModel) -> Vec<(usize, usize)> {
             }
             ConsistencyModel::Wc => {
                 let same_loc = a.loc().is_some() && a.loc() == b.loc();
-                let amo_order = matches!(a.kind, EvKind::Amo { .. })
-                    || matches!(b.kind, EvKind::Amo { .. });
+                let amo_order =
+                    matches!(a.kind, EvKind::Amo { .. }) || matches!(b.kind, EvKind::Amo { .. });
                 // Same-location order holds except forwardable W->R.
-                let loc_order =
-                    same_loc && !(a.is_write() && !a.is_read() && b.is_plain_read());
+                let loc_order = same_loc && !(a.is_write() && !a.is_read() && b.is_plain_read());
                 loc_order || amo_order
             }
         };
@@ -660,10 +671,7 @@ mod tests {
                 Stmt::fence(FenceKind::StoreStore),
                 Stmt::write(A, 1),
             ],
-            vec![
-                Stmt::read(A, R0),
-                Stmt::read(B, R1).depending_on(R0),
-            ],
+            vec![Stmt::read(A, R0), Stmt::read(B, R1).depending_on(R0)],
         ]);
         let bad = outcome(&[(1, R0, 1), (1, R1, 0)]);
         assert!(
@@ -686,10 +694,7 @@ mod tests {
     fn amo_is_atomic() {
         // Two increments of A: final read must be able to see 2 and must
         // never lose an update.
-        let p = LitmusProgram::new(vec![
-            vec![Stmt::amo(A, 1, R0)],
-            vec![Stmt::amo(A, 1, R1)],
-        ]);
+        let p = LitmusProgram::new(vec![vec![Stmt::amo(A, 1, R0)], vec![Stmt::amo(A, 1, R1)]]);
         for model in ConsistencyModel::ALL {
             let allowed = allowed_outcomes(&p, model);
             // One of the AMOs must observe the other: (0,1) or (1,0),

@@ -2,14 +2,11 @@
 //! machine.
 
 use ise_types::instr::{FenceKind, Reg};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A symbolic memory location (litmus tests use a handful: A, B, C...).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Loc(pub u8);
 
 impl Loc {
@@ -30,7 +27,7 @@ impl fmt::Display for Loc {
 }
 
 /// One statement's operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StmtOp {
     /// Store `value` to `loc`.
     Write {
@@ -63,7 +60,7 @@ pub enum StmtOp {
 /// One statement: an operation plus an optional dependency on an earlier
 /// load's destination register (models RVWMO's address/data/control
 /// dependencies — the "Dependencies" family of Table 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Stmt {
     /// The operation.
     pub op: StmtOp,
@@ -128,7 +125,7 @@ impl fmt::Display for Stmt {
 }
 
 /// A multi-threaded litmus program. Memory is zero-initialized.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LitmusProgram {
     /// One statement list per thread.
     pub threads: Vec<Vec<Stmt>>,
@@ -168,9 +165,9 @@ impl LitmusProgram {
             .iter()
             .flatten()
             .filter_map(|s| match s.op {
-                StmtOp::Write { loc, .. }
-                | StmtOp::Read { loc, .. }
-                | StmtOp::Amo { loc, .. } => Some(loc),
+                StmtOp::Write { loc, .. } | StmtOp::Read { loc, .. } | StmtOp::Amo { loc, .. } => {
+                    Some(loc)
+                }
                 StmtOp::Fence(_) => None,
             })
             .collect();

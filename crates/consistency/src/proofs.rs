@@ -12,11 +12,10 @@
 //! same-stream design.
 
 use ise_types::model::DrainPolicy;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One operation in the derived global memory order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProofOp {
     /// `S(A)` or `S(B)` drained from the store buffer to memory.
     Drain(char),
@@ -137,7 +136,14 @@ pub fn store_store_order_preserved(fault_a: bool, fault_b: bool, policy: DrainPo
 pub fn derive_load_store_order(fault_b: bool) -> Vec<ProofOp> {
     use ProofOp::*;
     if fault_b {
-        vec![Load('A'), Detect('B'), Put('B'), Get('B'), Sos('B'), Resolve]
+        vec![
+            Load('A'),
+            Detect('B'),
+            Put('B'),
+            Get('B'),
+            Sos('B'),
+            Resolve,
+        ]
     } else {
         vec![Load('A'), Drain('B')]
     }
@@ -179,7 +185,7 @@ pub fn derive_fence_order(fault_a: bool) -> Vec<ProofOp> {
 /// precedes B's, and — when A faulted — RESOLVE precedes the fence.
 pub fn fence_order_preserved(fault_a: bool) -> bool {
     let order = derive_fence_order(fault_a);
-    let pos = |pred: &dyn Fn(&ProofOp) -> bool| order.iter().position(|op| pred(op));
+    let pos = |pred: &dyn Fn(&ProofOp) -> bool| order.iter().position(pred);
     let a = pos(&|op| op.effective_write_of('A'));
     let f = pos(&|op| matches!(op, ProofOp::Fence));
     let b = pos(&|op| op.effective_write_of('B'));
@@ -205,9 +211,23 @@ pub fn derive_value_rule_orders() -> [Vec<ProofOp>; 2] {
     [
         // Forwarding: the load reads the SB entry; memory order of the
         // load is before the OS apply, but the *value* is D already.
-        vec![Load('A'), Detect('A'), Put('A'), Get('A'), Sos('A'), Resolve],
+        vec![
+            Load('A'),
+            Detect('A'),
+            Put('A'),
+            Get('A'),
+            Sos('A'),
+            Resolve,
+        ],
         // Stall-and-replay: the load re-executes after RESOLVE.
-        vec![Detect('A'), Put('A'), Get('A'), Sos('A'), Resolve, Load('A')],
+        vec![
+            Detect('A'),
+            Put('A'),
+            Get('A'),
+            Sos('A'),
+            Resolve,
+            Load('A'),
+        ],
     ]
 }
 
@@ -264,16 +284,32 @@ mod tests {
     fn split_stream_case4_violates_store_store_order() {
         // Only S(A) faulting: the younger S(B) reaches memory before
         // S_OS(A) — exactly the §4.5 violation.
-        assert!(!store_store_order_preserved(true, false, DrainPolicy::SplitStream));
+        assert!(!store_store_order_preserved(
+            true,
+            false,
+            DrainPolicy::SplitStream
+        ));
     }
 
     #[test]
     fn split_stream_other_cases_are_fine() {
         // The violation needs a faulting older store and a non-faulting
         // younger one; the remaining cases happen to preserve order.
-        assert!(store_store_order_preserved(false, false, DrainPolicy::SplitStream));
-        assert!(store_store_order_preserved(false, true, DrainPolicy::SplitStream));
-        assert!(store_store_order_preserved(true, true, DrainPolicy::SplitStream));
+        assert!(store_store_order_preserved(
+            false,
+            false,
+            DrainPolicy::SplitStream
+        ));
+        assert!(store_store_order_preserved(
+            false,
+            true,
+            DrainPolicy::SplitStream
+        ));
+        assert!(store_store_order_preserved(
+            true,
+            true,
+            DrainPolicy::SplitStream
+        ));
     }
 
     #[test]
@@ -302,8 +338,14 @@ mod tests {
         assert!(fence_order_preserved(true));
         // The faulting derivation really contains RESOLVE <m F.
         let order = derive_fence_order(true);
-        let r = order.iter().position(|o| matches!(o, ProofOp::Resolve)).unwrap();
-        let f = order.iter().position(|o| matches!(o, ProofOp::Fence)).unwrap();
+        let r = order
+            .iter()
+            .position(|o| matches!(o, ProofOp::Resolve))
+            .unwrap();
+        let f = order
+            .iter()
+            .position(|o| matches!(o, ProofOp::Fence))
+            .unwrap();
         assert!(r < f);
     }
 
@@ -312,9 +354,18 @@ mod tests {
         for order in derive_value_rule_orders() {
             assert!(interface_order_respected(&order), "{order:?}");
             // If the load executes after RESOLVE, S_OS precedes it.
-            let l = order.iter().position(|o| matches!(o, ProofOp::Load('A'))).unwrap();
-            let r = order.iter().position(|o| matches!(o, ProofOp::Resolve)).unwrap();
-            let s = order.iter().position(|o| matches!(o, ProofOp::Sos('A'))).unwrap();
+            let l = order
+                .iter()
+                .position(|o| matches!(o, ProofOp::Load('A')))
+                .unwrap();
+            let r = order
+                .iter()
+                .position(|o| matches!(o, ProofOp::Resolve))
+                .unwrap();
+            let s = order
+                .iter()
+                .position(|o| matches!(o, ProofOp::Sos('A')))
+                .unwrap();
             if l > r {
                 assert!(s < l, "replayed load must see S_OS(A): {order:?}");
             }

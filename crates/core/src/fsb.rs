@@ -160,8 +160,7 @@ impl Fsb {
     /// Iterates the queued entries head-to-tail without consuming them.
     pub fn iter(&self) -> impl Iterator<Item = FaultingStoreEntry> + '_ {
         (self.head..self.tail).map(move |i| {
-            self.slots[(i as usize) & (self.capacity - 1)]
-                .expect("queued slots are populated")
+            self.slots[(i as usize) & (self.capacity - 1)].expect("queued slots are populated")
         })
     }
 }

@@ -11,10 +11,10 @@
 //! handler may start — the microarchitectural slice of Fig. 5's overhead
 //! breakdown.
 
-use crate::fsb::{Fsb, FsbFullError};
+use crate::fsb::Fsb;
 use ise_engine::Cycle;
 use ise_types::config::OsCostConfig;
-use ise_types::{CoreId, FaultingStoreEntry};
+use ise_types::{CoreId, FaultingStoreEntry, SimError};
 
 /// The FSBC's answer to one drain episode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +37,7 @@ pub struct Fsbc {
     flush_cost: Cycle,
     episodes: u64,
     entries_drained: u64,
+    high_water_mark: usize,
 }
 
 impl Fsbc {
@@ -49,6 +50,7 @@ impl Fsbc {
             flush_cost: costs.pipeline_flush,
             episodes: 0,
             entries_drained: 0,
+            high_water_mark: 0,
         }
     }
 
@@ -67,25 +69,39 @@ impl Fsbc {
         self.entries_drained
     }
 
+    /// Deepest FSB occupancy observed after any drain — how close the
+    /// ring came to forcing an early-drain interrupt.
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water_mark
+    }
+
     /// Writes `entries` (already in memory-model order — the store buffer
     /// guarantees it) to the FSB and triggers the imprecise exception.
     ///
     /// # Errors
     ///
-    /// Returns [`FsbFullError`] if the FSB cannot hold the batch; a
-    /// correctly provisioned FSB (≥ store-buffer capacity) never errors.
+    /// Returns [`SimError::FsbFull`] if the FSB cannot hold the batch
+    /// atomically; a correctly provisioned FSB (≥ store-buffer capacity)
+    /// never errors, and the system layer chunks drains to ring capacity
+    /// before calling in.
     pub fn drain(
         &mut self,
         fsb: &mut Fsb,
         entries: &[FaultingStoreEntry],
         now: Cycle,
-    ) -> Result<DrainReceipt, FsbFullError> {
+    ) -> Result<DrainReceipt, SimError> {
+        let full = SimError::FsbFull {
+            core: self.core,
+            capacity: fsb.capacity(),
+            needed: entries.len(),
+        };
         if fsb.capacity() - fsb.len() < entries.len() {
-            return Err(FsbFullError);
+            return Err(full);
         }
         for e in entries {
-            fsb.push(*e).expect("capacity checked above");
+            fsb.push(*e).map_err(|_| full)?;
         }
+        self.high_water_mark = self.high_water_mark.max(fsb.len());
         self.episodes += 1;
         self.entries_drained += entries.len() as u64;
         let uarch = self.drain_per_store * entries.len() as Cycle + self.flush_cost;
@@ -136,9 +152,28 @@ mod tests {
         let mut fsb = Fsb::new(Addr::new(0), 4);
         let mut fsbc = Fsbc::new(CoreId(0), &costs());
         let r = fsbc.drain(&mut fsb, &entries(5), 0);
-        assert_eq!(r.unwrap_err(), FsbFullError);
+        assert_eq!(
+            r.unwrap_err(),
+            SimError::FsbFull {
+                core: CoreId(0),
+                capacity: 4,
+                needed: 5
+            }
+        );
         assert!(fsb.is_empty(), "failed drain must not partially write");
         assert_eq!(fsbc.episodes(), 0);
+        assert_eq!(fsbc.high_water_mark(), 0);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_deepest_occupancy() {
+        let mut fsb = Fsb::new(Addr::new(0), 8);
+        let mut fsbc = Fsbc::new(CoreId(0), &costs());
+        fsbc.drain(&mut fsb, &entries(6), 0).unwrap();
+        assert_eq!(fsbc.high_water_mark(), 6);
+        while fsb.pop_head().is_some() {}
+        fsbc.drain(&mut fsb, &entries(2), 0).unwrap();
+        assert_eq!(fsbc.high_water_mark(), 6, "mark is a running maximum");
     }
 
     #[test]

@@ -116,7 +116,10 @@ impl fmt::Display for ContractViolation {
                 write!(f, "{core}: S_OS #{position} applied out of GET order")
             }
             ContractViolation::UnappliedStores { core, pending } => {
-                write!(f, "{core}: RESOLVE with {pending} retrieved stores unapplied")
+                write!(
+                    f,
+                    "{core}: RESOLVE with {pending} retrieved stores unapplied"
+                )
             }
             ContractViolation::ResumeBeforeResolve { core } => {
                 write!(f, "{core}: program resumed before RESOLVE")
@@ -184,7 +187,10 @@ impl ContractMonitor {
                 OrderEvent::Get { core, entry } => {
                     let pos = cl.gets.len();
                     if cl.puts.get(pos).copied() != Some(entry) {
-                        return Err(ContractViolation::GetOrderMismatch { core, position: pos });
+                        return Err(ContractViolation::GetOrderMismatch {
+                            core,
+                            position: pos,
+                        });
                     }
                     cl.gets.push(entry);
                 }
@@ -251,12 +257,30 @@ mod tests {
     fn happy_path() -> ContractMonitor {
         let mut m = ContractMonitor::new();
         m.record(OrderEvent::Detect { core: c() });
-        m.record(OrderEvent::Put { core: c(), entry: e(0) });
-        m.record(OrderEvent::Put { core: c(), entry: e(1) });
-        m.record(OrderEvent::Get { core: c(), entry: e(0) });
-        m.record(OrderEvent::Sos { core: c(), addr: e(0).addr });
-        m.record(OrderEvent::Get { core: c(), entry: e(1) });
-        m.record(OrderEvent::Sos { core: c(), addr: e(1).addr });
+        m.record(OrderEvent::Put {
+            core: c(),
+            entry: e(0),
+        });
+        m.record(OrderEvent::Put {
+            core: c(),
+            entry: e(1),
+        });
+        m.record(OrderEvent::Get {
+            core: c(),
+            entry: e(0),
+        });
+        m.record(OrderEvent::Sos {
+            core: c(),
+            addr: e(0).addr,
+        });
+        m.record(OrderEvent::Get {
+            core: c(),
+            entry: e(1),
+        });
+        m.record(OrderEvent::Sos {
+            core: c(),
+            addr: e(1).addr,
+        });
         m.record(OrderEvent::Resolve { core: c() });
         m.record(OrderEvent::Resume { core: c() });
         m
@@ -273,24 +297,54 @@ mod tests {
     #[test]
     fn get_out_of_put_order_is_caught() {
         let mut m = ContractMonitor::new();
-        m.record(OrderEvent::Put { core: c(), entry: e(0) });
-        m.record(OrderEvent::Put { core: c(), entry: e(1) });
-        m.record(OrderEvent::Get { core: c(), entry: e(1) });
+        m.record(OrderEvent::Put {
+            core: c(),
+            entry: e(0),
+        });
+        m.record(OrderEvent::Put {
+            core: c(),
+            entry: e(1),
+        });
+        m.record(OrderEvent::Get {
+            core: c(),
+            entry: e(1),
+        });
         assert_eq!(
             m.check(ConsistencyModel::Pc),
-            Err(ContractViolation::GetOrderMismatch { core: c(), position: 0 })
+            Err(ContractViolation::GetOrderMismatch {
+                core: c(),
+                position: 0
+            })
         );
     }
 
     #[test]
     fn out_of_order_apply_violates_pc_but_not_wc() {
         let mut m = ContractMonitor::new();
-        m.record(OrderEvent::Put { core: c(), entry: e(0) });
-        m.record(OrderEvent::Put { core: c(), entry: e(1) });
-        m.record(OrderEvent::Get { core: c(), entry: e(0) });
-        m.record(OrderEvent::Get { core: c(), entry: e(1) });
-        m.record(OrderEvent::Sos { core: c(), addr: e(1).addr });
-        m.record(OrderEvent::Sos { core: c(), addr: e(0).addr });
+        m.record(OrderEvent::Put {
+            core: c(),
+            entry: e(0),
+        });
+        m.record(OrderEvent::Put {
+            core: c(),
+            entry: e(1),
+        });
+        m.record(OrderEvent::Get {
+            core: c(),
+            entry: e(0),
+        });
+        m.record(OrderEvent::Get {
+            core: c(),
+            entry: e(1),
+        });
+        m.record(OrderEvent::Sos {
+            core: c(),
+            addr: e(1).addr,
+        });
+        m.record(OrderEvent::Sos {
+            core: c(),
+            addr: e(0).addr,
+        });
         m.record(OrderEvent::Resolve { core: c() });
         assert!(matches!(
             m.check(ConsistencyModel::Pc),
@@ -303,12 +357,21 @@ mod tests {
     #[test]
     fn resolve_with_unapplied_stores_is_caught() {
         let mut m = ContractMonitor::new();
-        m.record(OrderEvent::Put { core: c(), entry: e(0) });
-        m.record(OrderEvent::Get { core: c(), entry: e(0) });
+        m.record(OrderEvent::Put {
+            core: c(),
+            entry: e(0),
+        });
+        m.record(OrderEvent::Get {
+            core: c(),
+            entry: e(0),
+        });
         m.record(OrderEvent::Resolve { core: c() });
         assert_eq!(
             m.check(ConsistencyModel::Pc),
-            Err(ContractViolation::UnappliedStores { core: c(), pending: 1 })
+            Err(ContractViolation::UnappliedStores {
+                core: c(),
+                pending: 1
+            })
         );
     }
 
@@ -329,9 +392,18 @@ mod tests {
         // Interleave a second core's conforming episode.
         let c1 = CoreId(1);
         m.record(OrderEvent::Detect { core: c1 });
-        m.record(OrderEvent::Put { core: c1, entry: e(7) });
-        m.record(OrderEvent::Get { core: c1, entry: e(7) });
-        m.record(OrderEvent::Sos { core: c1, addr: e(7).addr });
+        m.record(OrderEvent::Put {
+            core: c1,
+            entry: e(7),
+        });
+        m.record(OrderEvent::Get {
+            core: c1,
+            entry: e(7),
+        });
+        m.record(OrderEvent::Sos {
+            core: c1,
+            addr: e(7).addr,
+        });
         m.record(OrderEvent::Resolve { core: c1 });
         m.record(OrderEvent::Resume { core: c1 });
         assert_eq!(m.check(ConsistencyModel::Pc), Ok(()));
@@ -339,7 +411,10 @@ mod tests {
 
     #[test]
     fn violations_display_meaningfully() {
-        let v = ContractViolation::UnappliedStores { core: c(), pending: 3 };
+        let v = ContractViolation::UnappliedStores {
+            core: c(),
+            pending: 3,
+        };
         assert!(v.to_string().contains("3 retrieved stores unapplied"));
     }
 }

@@ -31,6 +31,7 @@
 //! plug into the same [`ise_mem::FaultOracle`] seam as EInject.
 
 pub mod einject;
+pub mod faults;
 pub mod fsb;
 pub mod fsbc;
 pub mod interface;
@@ -39,6 +40,7 @@ pub mod resolver;
 pub mod tako;
 
 pub use einject::EInject;
+pub use faults::{FaultInjector, FaultPlan};
 pub use fsb::{Fsb, FsbFullError, FsbRegisters};
 pub use fsbc::{DrainReceipt, Fsbc};
 pub use interface::{ContractMonitor, ContractViolation, OrderEvent};

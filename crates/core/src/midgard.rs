@@ -168,9 +168,18 @@ mod tests {
     fn front_side_checks_vma_and_permissions() {
         let m = mmu();
         assert_eq!(m.front_translate(Addr::new(0x10_0000), true), FrontSide::Ok);
-        assert_eq!(m.front_translate(Addr::new(0x20_0000), false), FrontSide::Ok);
-        assert_eq!(m.front_translate(Addr::new(0x20_0000), true), FrontSide::ReadOnly);
-        assert_eq!(m.front_translate(Addr::new(0x90_0000), false), FrontSide::NoVma);
+        assert_eq!(
+            m.front_translate(Addr::new(0x20_0000), false),
+            FrontSide::Ok
+        );
+        assert_eq!(
+            m.front_translate(Addr::new(0x20_0000), true),
+            FrontSide::ReadOnly
+        );
+        assert_eq!(
+            m.front_translate(Addr::new(0x90_0000), false),
+            FrontSide::NoVma
+        );
         assert_eq!(m.front_faults(), 2);
     }
 

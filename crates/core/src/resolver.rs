@@ -102,6 +102,12 @@ impl FaultOracle for CompositeResolver {
     fn check(&self, addr: Addr, is_store: bool) -> Option<ExceptionKind> {
         self.sources.iter().find_map(|s| s.check(addr, is_store))
     }
+
+    fn advance_to(&self, now: ise_engine::Cycle) {
+        for s in &self.sources {
+            s.advance_to(now);
+        }
+    }
 }
 
 impl FaultResolver for CompositeResolver {
@@ -161,7 +167,11 @@ mod tests {
     #[test]
     fn composite_chains_and_resolves_the_right_source() {
         let e = Rc::new(EInject::new(Addr::new(0x10_0000), 4 * PAGE_SIZE));
-        let t = Rc::new(Tako::new(Addr::new(0x20_0000), 4 * PAGE_SIZE, Callback::Scatter));
+        let t = Rc::new(Tako::new(
+            Addr::new(0x20_0000),
+            4 * PAGE_SIZE,
+            Callback::Scatter,
+        ));
         let c = CompositeResolver::new(vec![e.clone(), t.clone()]);
         assert_eq!(c.len(), 2);
         let in_e = Addr::new(0x10_0000);

@@ -217,7 +217,9 @@ mod tests {
         let got = t.check(a, false);
         assert_eq!(
             got,
-            Some(ExceptionKind::AcceleratorFault(Callback::Compression.error_code()))
+            Some(ExceptionKind::AcceleratorFault(
+                Callback::Compression.error_code()
+            ))
         );
         // The accelerator fault is recoverable but must reach the user.
         assert!(got.unwrap().is_recoverable());

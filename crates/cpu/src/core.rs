@@ -131,6 +131,18 @@ impl<T: TraceSource> Core<T> {
         self.sb.in_flight()
     }
 
+    /// Stores this core's buffer drained to the hierarchy — one term of
+    /// the chaos campaigns' store-conservation invariant.
+    pub fn sb_drained(&self) -> u64 {
+        self.sb.drained()
+    }
+
+    /// Stores coalesced away in the buffer (WC only) — the other
+    /// non-OS-applied term of store conservation.
+    pub fn sb_coalesced(&self) -> u64 {
+        self.sb.coalesced()
+    }
+
     /// Caps concurrently in-flight store-buffer drains (the ASO
     /// checkpoint budget; see `ise-aso`).
     ///
@@ -203,7 +215,12 @@ impl<T: TraceSource> Core<T> {
     fn take_imprecise(&mut self, fault: DrainFault) -> StepOutcome {
         let entries = match self.cfg.drain_policy {
             ise_types::DrainPolicy::SameStream => self.sb.drain_to_fsb(fault),
-            ise_types::DrainPolicy::SplitStream => self.sb.extract_faulting(fault),
+            ise_types::DrainPolicy::SplitStream => self
+                .sb
+                .extract_faulting(fault)
+                // `pump` reported this index against the same buffer state
+                // this cycle; it cannot be stale.
+                .unwrap_or_else(|e| unreachable!("{e}")),
         };
         self.flush_pipeline();
         self.state = CoreState::WaitResume;
@@ -365,7 +382,10 @@ impl<T: TraceSource> Core<T> {
     }
 
     fn take_precise(&mut self, instr: Instruction, kind: ExceptionKind) -> StepOutcome {
-        let addr = instr.kind.addr().expect("precise faults come from memory ops");
+        let addr = instr
+            .kind
+            .addr()
+            .expect("precise faults come from memory ops");
         self.flush_pipeline();
         self.state = CoreState::WaitResume;
         self.stats.precise_exceptions += 1;
@@ -376,9 +396,9 @@ impl<T: TraceSource> Core<T> {
     /// sits in the ROB (store-to-load forwarding source).
     fn rob_forwards(&self, addr: Addr) -> bool {
         let word = addr.raw() >> 3;
-        self.rob.iter().any(|e| {
-            matches!(e.instr.kind, InstrKind::Store { addr: a, .. } if a.raw() >> 3 == word)
-        })
+        self.rob.iter().any(
+            |e| matches!(e.instr.kind, InstrKind::Store { addr: a, .. } if a.raw() >> 3 == word),
+        )
     }
 
     fn dispatch(&mut self, instr: Instruction, now: Cycle, hier: &mut MemoryHierarchy) -> RobEntry {
@@ -419,7 +439,6 @@ impl<T: TraceSource> Core<T> {
             complete_at,
             fault,
             issued: false,
-
         }
     }
 }
@@ -488,9 +507,9 @@ pub fn run_multicore<T: TraceSource>(
 mod tests {
     use super::*;
     use crate::trace::VecTrace;
-    use ise_types::model::ConsistencyModel;
     use ise_types::config::SystemConfig;
     use ise_types::instr::Reg;
+    use ise_types::model::ConsistencyModel;
 
     fn hier() -> MemoryHierarchy {
         let mut cfg = SystemConfig::isca23();
@@ -534,7 +553,11 @@ mod tests {
         let stats = run_to_completion(&mut c, &mut h, 10_000);
         assert_eq!(stats.retired, n as u64);
         // 4-wide: ~n/4 cycles plus small pipeline fill.
-        assert!(stats.cycles <= (n as u64 / 4) + 16, "cycles {}", stats.cycles);
+        assert!(
+            stats.cycles <= (n as u64 / 4) + 16,
+            "cycles {}",
+            stats.cycles
+        );
     }
 
     #[test]
@@ -583,7 +606,10 @@ mod tests {
         let mut c = core_with(ConsistencyModel::Wc, trace);
         let mut h = hier();
         let stats = run_to_completion(&mut c, &mut h, 100_000);
-        assert!(stats.sync_stall_cycles > 0, "fence must stall for the drain");
+        assert!(
+            stats.sync_stall_cycles > 0,
+            "fence must stall for the drain"
+        );
         assert_eq!(stats.retired, 3);
     }
 
@@ -603,10 +629,7 @@ mod tests {
     #[test]
     fn store_to_load_forwarding_is_fast() {
         let a = Addr::new(0x4000);
-        let trace = vec![
-            Instruction::store(a, 7),
-            Instruction::load(a, Reg(0)),
-        ];
+        let trace = vec![Instruction::store(a, 7), Instruction::load(a, Reg(0))];
         let mut c = core_with(ConsistencyModel::Wc, trace);
         let mut h = hier();
         let stats = run_to_completion(&mut c, &mut h, 100_000);
@@ -677,7 +700,11 @@ mod tests {
         loop {
             match c.step(now, &mut h) {
                 StepOutcome::Imprecise(entries) => {
-                    assert_eq!(entries.len(), 1, "split-stream sends only the faulting store");
+                    assert_eq!(
+                        entries.len(),
+                        1,
+                        "split-stream sends only the faulting store"
+                    );
                     assert_eq!(entries[0].addr, bad);
                     assert!(entries[0].is_faulting());
                     // The clean younger store stays in the SB.
@@ -740,7 +767,10 @@ mod tests {
             }
         }
         assert!(seen_precise);
-        assert!(c.stats().precise_exceptions >= 2, "load must re-execute and re-fault");
+        assert!(
+            c.stats().precise_exceptions >= 2,
+            "load must re-execute and re-fault"
+        );
     }
 
     #[test]

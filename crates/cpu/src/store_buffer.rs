@@ -15,7 +15,7 @@ use ise_mem::hierarchy::{Access, MemoryHierarchy};
 use ise_types::addr::{Addr, ByteMask};
 use ise_types::exception::ExceptionKind;
 use ise_types::model::ConsistencyModel;
-use ise_types::{CoreId, FaultingStoreEntry};
+use ise_types::{CoreId, FaultingStoreEntry, SimError};
 use std::collections::VecDeque;
 
 /// Drain status of one store-buffer entry.
@@ -281,14 +281,30 @@ impl StoreBuffer {
     /// policy needs an extra HW/SW barrier to be PC-correct — the timing
     /// pipeline supports it so the ablation can measure its cost, while
     /// the operational machine demonstrates its race (Fig. 2a).
-    pub fn extract_faulting(&mut self, fault: DrainFault) -> Vec<FaultingStoreEntry> {
-        let e = self.entries.remove(fault.index).expect("fault index in range");
-        vec![FaultingStoreEntry::new(
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StoreBufferIndex`] if `fault.index` no longer
+    /// names a buffered entry (a stale fault report).
+    pub fn extract_faulting(
+        &mut self,
+        fault: DrainFault,
+    ) -> Result<Vec<FaultingStoreEntry>, SimError> {
+        let len = self.entries.len();
+        let e = self
+            .entries
+            .remove(fault.index)
+            .ok_or(SimError::StoreBufferIndex {
+                core: self.core,
+                index: fault.index,
+                len,
+            })?;
+        Ok(vec![FaultingStoreEntry::new(
             e.addr,
             e.value,
             e.mask,
             fault.kind.error_code(),
-        )]
+        )])
     }
 
     /// Abandons all buffered stores (process teardown in tests).

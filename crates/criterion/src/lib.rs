@@ -1,0 +1,217 @@
+//! Offline stand-in for the Criterion bench harness.
+//!
+//! The container this repo builds in has no network access to a crates
+//! registry, so the real `criterion` crate cannot be fetched. The bench
+//! sources in `crates/bench/benches/` are written against Criterion's
+//! API; this crate provides the same surface (`Criterion`,
+//! `benchmark_group`, `BenchmarkId`, `Bencher::iter`, `black_box`,
+//! `criterion_group!`, `criterion_main!`) with a deliberately simple
+//! measurement strategy: run each benchmark body `sample_size` times and
+//! report total and per-iteration wall-clock time. No statistics, no
+//! HTML reports — just enough to keep `cargo bench` meaningful and the
+//! bench sources compiling unchanged.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, Criterion-style.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to every benchmark body; its [`iter`](Bencher::iter) method
+/// runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    elapsed_ns: u128,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `sample_size` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iterations = self.samples as u64;
+    }
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    let per_iter = if bencher.iterations == 0 {
+        0
+    } else {
+        bencher.elapsed_ns / bencher.iterations as u128
+    };
+    println!(
+        "bench {id:<48} {:>12} ns/iter ({} iters, {} ns total)",
+        per_iter, bencher.iterations, bencher.elapsed_ns
+    );
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// The top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: DEFAULT_SAMPLE_SIZE,
+            elapsed_ns: 0,
+            iterations: 0,
+        };
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many times each routine runs per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed_ns: 0,
+            iterations: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed_ns: 0,
+            iterations: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions under one name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Emits `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, DEFAULT_SAMPLE_SIZE as u32);
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &2u32, |b, &x| b.iter(|| ran += x));
+        group.finish();
+        assert_eq!(ran, 6);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

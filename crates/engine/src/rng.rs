@@ -1,13 +1,12 @@
 //! Seedable simulation randomness.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! A self-contained xoshiro256++ generator (Blackman & Vigna) seeded
+//! through SplitMix64. Keeping the implementation in-tree makes "one
+//! seed, one run" the only way to get random numbers *and* removes any
+//! dependency whose internals could change the stream between versions,
+//! so experiment outputs are reproducible byte-for-byte forever.
 
 /// The single source of randomness for every experiment.
-///
-/// Wrapping [`SmallRng`] behind our own type keeps the dependency private
-/// (C-STABLE) and makes "one seed, one run" the only way to get random
-/// numbers, so experiment outputs are reproducible byte-for-byte.
 ///
 /// ```
 /// use ise_engine::SimRng;
@@ -17,15 +16,44 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand the 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// A uniform value in `[lo, hi)`.
@@ -35,7 +63,11 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Multiply-shift mapping: unbiased enough for simulation (bias
+        // < 2^-64 per draw) and branch-free, keeping streams portable.
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as u64
     }
 
     /// A uniform `usize` index in `[0, n)`.
@@ -45,23 +77,24 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
-        self.inner.gen_range(0..n)
+        self.range(0, n as u64) as usize
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// A uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 uniform mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Fisher-Yates shuffles a slice in place.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.range(0, i as u64 + 1) as usize;
             xs.swap(i, j);
         }
     }
@@ -75,7 +108,7 @@ impl SimRng {
         assert!(k <= n, "cannot sample {k} from {n}");
         let mut reservoir: Vec<usize> = (0..k).collect();
         for i in k..n {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.range(0, i as u64 + 1) as usize;
             if j < k {
                 reservoir[j] = i;
             }
@@ -101,7 +134,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
-        let same = (0..32).filter(|_| a.range(0, 100) == b.range(0, 100)).count();
+        let same = (0..32)
+            .filter(|_| a.range(0, 100) == b.range(0, 100))
+            .count();
         assert!(same < 32, "streams should not be identical");
     }
 
@@ -125,6 +160,15 @@ mod tests {
         let mut r = SimRng::seed_from(4);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut r = SimRng::seed_from(11);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 
     #[test]

@@ -247,7 +247,11 @@ fn external_read_from() -> Vec<LitmusTest> {
                 Stmt::fence(FenceKind::Full),
                 Stmt::read(B, R1),
             ],
-            vec![Stmt::write(B, 1), Stmt::fence(FenceKind::Full), Stmt::write(A, 1)],
+            vec![
+                Stmt::write(B, 1),
+                Stmt::fence(FenceKind::Full),
+                Stmt::write(A, 1),
+            ],
         ],
     ));
     out
@@ -263,7 +267,11 @@ fn internal_read_from() -> Vec<LitmusTest> {
         t(
             Family::InternalReadFrom,
             "irf/forward-twice",
-            vec![vec![Stmt::write(A, 1), Stmt::read(A, R0), Stmt::read(A, R1)]],
+            vec![vec![
+                Stmt::write(A, 1),
+                Stmt::read(A, R0),
+                Stmt::read(A, R1),
+            ]],
         ),
         t(
             Family::InternalReadFrom,
@@ -375,11 +383,7 @@ fn coherence_order() -> Vec<LitmusTest> {
         out.push(t(
             Family::CoherenceOrder,
             format!("co/2+2W+{}", fence_name(f)),
-            vec![
-                t0,
-                t1,
-                vec![Stmt::read(A, R0), Stmt::read(B, R1)],
-            ],
+            vec![t0, t1, vec![Stmt::read(A, R0), Stmt::read(B, R1)]],
         ));
     }
     out.push(t(
@@ -483,10 +487,7 @@ fn dependencies() -> Vec<LitmusTest> {
                 Stmt::fence(FenceKind::Full),
                 Stmt::write(A, 1),
             ],
-            vec![
-                Stmt::read(A, R0),
-                Stmt::write(C, 1).depending_on(R0),
-            ],
+            vec![Stmt::read(A, R0), Stmt::write(C, 1).depending_on(R0)],
             vec![
                 Stmt::read(C, R1),
                 Stmt::fence(FenceKind::Full),
@@ -519,10 +520,7 @@ fn dependencies() -> Vec<LitmusTest> {
                 Stmt::fence(FenceKind::Full),
                 Stmt::write(A, 1),
             ],
-            vec![
-                Stmt::amo(A, 0, R0),
-                Stmt::read(B, R1).depending_on(R0),
-            ],
+            vec![Stmt::amo(A, 0, R0), Stmt::read(B, R1).depending_on(R0)],
         ],
     ));
     out
@@ -560,11 +558,7 @@ fn preserved_po() -> Vec<LitmusTest> {
             "ppo/amo-as-fence",
             // An AMO between two stores orders them like a fence would.
             vec![
-                vec![
-                    Stmt::write(B, 1),
-                    Stmt::amo(C, 1, R2),
-                    Stmt::write(A, 1),
-                ],
+                vec![Stmt::write(B, 1), Stmt::amo(C, 1, R2), Stmt::write(A, 1)],
                 vec![Stmt::read(A, R0), Stmt::read(B, R1)],
             ],
         ),

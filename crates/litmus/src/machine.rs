@@ -269,7 +269,12 @@ impl<'a> Explorer<'a> {
                     Op::R { loc, dst } => {
                         // Store-to-load forwarding from the newest
                         // same-location SB entry never reaches memory.
-                        let fwd = core.sb.iter().rev().find(|&&(l, _)| l == loc).map(|&(_, v)| v);
+                        let fwd = core
+                            .sb
+                            .iter()
+                            .rev()
+                            .find(|&&(l, _)| l == loc)
+                            .map(|&(_, v)| v);
                         match fwd {
                             Some(v) => {
                                 let mut n = s.clone();
@@ -440,7 +445,10 @@ mod tests {
     fn pc_machine_preserves_mp_without_faults() {
         let r = explore(&mp(), &MachineConfig::baseline(ConsistencyModel::Pc));
         let bad = outcome(&[(1, R0, 1), (1, R1, 0)]);
-        assert!(!r.outcomes.contains(&bad), "PC machine must not reorder stores");
+        assert!(
+            !r.outcomes.contains(&bad),
+            "PC machine must not reorder stores"
+        );
         assert!(r.outcomes.contains(&outcome(&[(1, R0, 1), (1, R1, 1)])));
         assert!(r.outcomes.contains(&outcome(&[(1, R0, 0), (1, R1, 0)])));
         assert_eq!(r.imprecise_detections, 0);
@@ -472,8 +480,8 @@ mod tests {
     #[test]
     fn split_stream_exhibits_fig2a_violation() {
         // Only A faulting, B clean: §4.5's race.
-        let mut cfg = MachineConfig::baseline(ConsistencyModel::Pc)
-            .with_policy(DrainPolicy::SplitStream);
+        let mut cfg =
+            MachineConfig::baseline(ConsistencyModel::Pc).with_policy(DrainPolicy::SplitStream);
         cfg.faulting = [A].into_iter().collect();
         // Program: T0 stores A then B; T1 reads B then A (observer order
         // chosen to witness S(B) <m S_OS(A)).
@@ -563,10 +571,7 @@ mod tests {
 
     #[test]
     fn atomics_are_atomic_under_faults() {
-        let prog = LitmusProgram::new(vec![
-            vec![Stmt::amo(A, 1, R0)],
-            vec![Stmt::amo(A, 1, R1)],
-        ]);
+        let prog = LitmusProgram::new(vec![vec![Stmt::amo(A, 1, R0)], vec![Stmt::amo(A, 1, R1)]]);
         let cfg = MachineConfig::baseline(ConsistencyModel::Wc).with_all_faulting(&prog);
         let r = explore(&prog, &cfg);
         assert!(!r.outcomes.contains(&outcome(&[(0, R0, 0), (1, R1, 0)])));

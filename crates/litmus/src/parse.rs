@@ -193,9 +193,12 @@ pub fn parse_litmus(src: &str) -> Result<ParsedLitmus, ParseError> {
         return Err(err(0, "no threads (P0:, P1:, ...) found"));
     }
     threads.sort_by_key(|&(tid, _)| tid);
-    for (expect, &(tid, _)) in threads.iter().enumerate().map(|(i, t)| (i, t)) {
+    for (expect, &(tid, _)) in threads.iter().enumerate() {
         if tid != expect {
-            return Err(err(0, format!("thread ids must be dense from P0; missing P{expect}")));
+            return Err(err(
+                0,
+                format!("thread ids must be dense from P0; missing P{expect}"),
+            ));
         }
     }
     let program = LitmusProgram::new(threads.into_iter().map(|(_, s)| s).collect());

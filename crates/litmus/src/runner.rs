@@ -98,7 +98,11 @@ impl fmt::Display for LitmusReport {
 /// Runs one test under one model/fault configuration with the paper's
 /// same-stream design.
 pub fn run_test(test: &LitmusTest, model: ConsistencyModel, inject_faults: bool) -> LitmusReport {
-    let mode = if inject_faults { FaultMode::All } else { FaultMode::None };
+    let mode = if inject_faults {
+        FaultMode::All
+    } else {
+        FaultMode::None
+    };
     run_test_with_policy(test, model, mode, DrainPolicy::SameStream)
 }
 
@@ -245,8 +249,8 @@ mod tests {
             ]),
         };
         // Only location A faulting.
-        let mut cfg = MachineConfig::baseline(ConsistencyModel::Pc)
-            .with_policy(DrainPolicy::SplitStream);
+        let mut cfg =
+            MachineConfig::baseline(ConsistencyModel::Pc).with_policy(DrainPolicy::SplitStream);
         cfg.faulting = [Loc(0)].into_iter().collect();
         let result = explore(&test.program, &cfg);
         let allowed = allowed_outcomes(&test.program, ConsistencyModel::Pc);

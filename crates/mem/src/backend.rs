@@ -87,6 +87,12 @@ pub trait FaultOracle {
     /// Returns the exception to embed in the response, or `None` to let
     /// the transaction through.
     fn check(&self, addr: Addr, is_store: bool) -> Option<ExceptionKind>;
+
+    /// Informs the oracle of the current cycle before a batch of checks.
+    /// Stateless oracles (EInject's bitmap) ignore it; time-dependent
+    /// ones (windowed chaos faults) use it to decide whether they are
+    /// active. The hierarchy calls this once per access.
+    fn advance_to(&self, _now: Cycle) {}
 }
 
 /// An oracle that never faults (the Baseline configuration of §6.5).
@@ -117,7 +123,7 @@ mod tests {
 
     #[test]
     fn store_skew_multiplies_store_latency_only() {
-        let mut d = Dram::new(MemoryConfig::isca23().into());
+        let mut d = Dram::new(MemoryConfig::isca23());
         let mut skewed = Dram::new({
             let mut c = MemoryConfig::isca23();
             c.store_latency_skew = 4;

@@ -55,7 +55,10 @@ impl CacheArray {
 
     fn index_tag(&self, line: Addr) -> (usize, u64) {
         let block = line.raw() / LINE_SIZE;
-        ((block % self.set_count as u64) as usize, block / self.set_count as u64)
+        (
+            (block % self.set_count as u64) as usize,
+            block / self.set_count as u64,
+        )
     }
 
     /// Probes for `line` (line-aligned address), refreshing LRU on hit.
@@ -104,7 +107,12 @@ impl CacheArray {
         }
         // Free way.
         if let Some(slot) = slots.iter_mut().find(|s| !s.valid) {
-            *slot = Slot { tag, valid: true, dirty, lru: tick };
+            *slot = Slot {
+                tag,
+                valid: true,
+                dirty,
+                lru: tick,
+            };
             return Eviction::None;
         }
         // LRU victim.
@@ -115,7 +123,12 @@ impl CacheArray {
         let victim_block = victim.tag * self.set_count as u64 + set as u64;
         let evicted = Addr::new(victim_block * LINE_SIZE);
         let was_dirty = victim.dirty;
-        *victim = Slot { tag, valid: true, dirty, lru: tick };
+        *victim = Slot {
+            tag,
+            valid: true,
+            dirty,
+            lru: tick,
+        };
         if was_dirty {
             Eviction::Dirty(evicted)
         } else {

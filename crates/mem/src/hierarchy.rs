@@ -149,8 +149,12 @@ impl MemoryHierarchy {
             traffic: TrafficMeter::new(TRAFFIC_WINDOW, cfg.noc.link_bytes as u64),
             l1d: (0..cfg.cores).map(|_| CacheArray::new(&cfg.l1d)).collect(),
             tlbs: (0..cfg.cores).map(|_| Tlb::new(cfg.tlb)).collect(),
-            mshrs: (0..cfg.cores).map(|_| MshrFile::new(cfg.l1d.mshrs)).collect(),
-            l2: (0..mesh_nodes(&cfg)).map(|_| CacheArray::new(&cfg.l2)).collect(),
+            mshrs: (0..cfg.cores)
+                .map(|_| MshrFile::new(cfg.l1d.mshrs))
+                .collect(),
+            l2: (0..mesh_nodes(&cfg))
+                .map(|_| CacheArray::new(&cfg.l2))
+                .collect(),
             dir: Directory::new(),
             dram: Dram::new(cfg.memory),
             oracle,
@@ -195,7 +199,12 @@ impl MemoryHierarchy {
     /// the embedded error; no state is installed for it.
     pub fn access(&mut self, acc: Access, now: Cycle) -> AccessResult {
         let core = acc.core;
-        assert!(core.index() < self.cfg.cores, "core {} out of range", core.index());
+        assert!(
+            core.index() < self.cfg.cores,
+            "core {} out of range",
+            core.index()
+        );
+        self.oracle.advance_to(now);
         let line = acc.addr.line();
         let mut latency: Cycle = self.tlbs[core.index()].access(acc.addr.page());
 
@@ -284,9 +293,7 @@ impl MemoryHierarchy {
                 self.stats.peer_forwards += 1;
                 (ServicedBy::Peer, None)
             }
-            ReadAction::FromHome | ReadAction::FromMemory
-                if self.l2[home.index()].lookup(line) =>
-            {
+            ReadAction::FromHome | ReadAction::FromMemory if self.l2[home.index()].lookup(line) => {
                 *latency += self.noc(home, my_tile, DATA_BYTES, now + *latency);
                 self.stats.l2_hits += 1;
                 (ServicedBy::L2, None)
@@ -482,7 +489,12 @@ mod tests {
         let cold = h.access(Access::load(CoreId(0), a), 0);
         let fwd = h.access(Access::load(CoreId(1), a), 1000);
         assert_eq!(fwd.serviced_by, ServicedBy::Peer);
-        assert!(fwd.latency < cold.latency, "{} vs {}", fwd.latency, cold.latency);
+        assert!(
+            fwd.latency < cold.latency,
+            "{} vs {}",
+            fwd.latency,
+            cold.latency
+        );
         assert_eq!(h.stats().peer_forwards, 1);
     }
 

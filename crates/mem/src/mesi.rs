@@ -131,7 +131,10 @@ impl Directory {
     /// Handles a read miss by `core`: returns the action the hierarchy
     /// must price, and transitions the directory.
     pub fn read(&mut self, line: Addr, core: CoreId) -> ReadAction {
-        let e = self.entries.entry(Self::key(line)).or_insert_with(DirEntry::empty);
+        let e = self
+            .entries
+            .entry(Self::key(line))
+            .or_insert_with(DirEntry::empty);
         let bit = 1u64 << core.index();
         match e.state {
             MesiState::Invalid => {
@@ -160,7 +163,10 @@ impl Directory {
     /// Handles a write (GetM or upgrade) by `core`: returns the action and
     /// transitions the line to Modified owned by `core`.
     pub fn write(&mut self, line: Addr, core: CoreId) -> WriteAction {
-        let e = self.entries.entry(Self::key(line)).or_insert_with(DirEntry::empty);
+        let e = self
+            .entries
+            .entry(Self::key(line))
+            .or_insert_with(DirEntry::empty);
         let bit = 1u64 << core.index();
         let action = match e.state {
             MesiState::Invalid => WriteAction {
@@ -258,7 +264,10 @@ mod tests {
     fn second_reader_forwards_from_owner_and_shares() {
         let mut d = Directory::new();
         d.read(line(1), CoreId(0));
-        assert_eq!(d.read(line(1), CoreId(1)), ReadAction::ForwardFrom(CoreId(0)));
+        assert_eq!(
+            d.read(line(1), CoreId(1)),
+            ReadAction::ForwardFrom(CoreId(0))
+        );
         let e = d.entry(line(1));
         assert_eq!(e.state, MesiState::Shared);
         assert_eq!(e.sharer_count(), 2);

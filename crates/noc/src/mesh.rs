@@ -1,14 +1,11 @@
 //! Mesh topology, XY routing, and message latency.
 
 use ise_types::config::NocConfig;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a mesh node (tile). Tiles are numbered row-major:
 /// node `y * mesh_x + x`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -25,7 +22,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A 2D mesh with XY (dimension-ordered) routing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mesh {
     cfg: NocConfig,
 }
@@ -37,7 +34,10 @@ impl Mesh {
     ///
     /// Panics if either mesh dimension or the link width is zero.
     pub fn new(cfg: NocConfig) -> Self {
-        assert!(cfg.mesh_x > 0 && cfg.mesh_y > 0, "mesh dimensions must be positive");
+        assert!(
+            cfg.mesh_x > 0 && cfg.mesh_y > 0,
+            "mesh dimensions must be positive"
+        );
         assert!(cfg.link_bytes > 0, "link width must be positive");
         Mesh { cfg }
     }
@@ -68,7 +68,10 @@ impl Mesh {
     ///
     /// Panics if the coordinates are out of range.
     pub fn node_at(&self, x: usize, y: usize) -> NodeId {
-        assert!(x < self.cfg.mesh_x && y < self.cfg.mesh_y, "coords out of range");
+        assert!(
+            x < self.cfg.mesh_x && y < self.cfg.mesh_y,
+            "coords out of range"
+        );
         NodeId(y * self.cfg.mesh_x + x)
     }
 
@@ -182,7 +185,15 @@ mod tests {
         let r = m.route(NodeId(0), NodeId(15));
         assert_eq!(
             r,
-            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(7), NodeId(11), NodeId(15)]
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(3),
+                NodeId(7),
+                NodeId(11),
+                NodeId(15)
+            ]
         );
     }
 
@@ -209,7 +220,10 @@ mod tests {
     fn round_trip_adds_both_directions() {
         let m = mesh4();
         let rt = m.round_trip(NodeId(0), NodeId(15), 8, 64);
-        assert_eq!(rt, m.latency(NodeId(0), NodeId(15), 8) + m.latency(NodeId(15), NodeId(0), 64));
+        assert_eq!(
+            rt,
+            m.latency(NodeId(0), NodeId(15), 8) + m.latency(NodeId(15), NodeId(0), 64)
+        );
     }
 
     #[test]

@@ -7,11 +7,10 @@
 //! stores slower than loads under invalidation-heavy sharing.
 
 use crate::mesh::{Mesh, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A directed link between adjacent tiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Link {
     /// Upstream tile.
     pub from: NodeId,
@@ -49,7 +48,10 @@ impl TrafficMeter {
     ///
     /// Panics if `window` or `link_bytes` is zero.
     pub fn new(window: u64, link_bytes: u64) -> Self {
-        assert!(window > 0 && link_bytes > 0, "window and link width must be positive");
+        assert!(
+            window > 0 && link_bytes > 0,
+            "window and link width must be positive"
+        );
         TrafficMeter {
             window,
             link_bytes,
@@ -83,7 +85,10 @@ impl TrafficMeter {
         self.total_messages += 1;
         let mut surcharge = 0u64;
         for w in route.windows(2) {
-            let link = Link { from: w[0], to: w[1] };
+            let link = Link {
+                from: w[0],
+                to: w[1],
+            };
             let prev = self.previous.get(&link).copied().unwrap_or(0);
             let rho = (prev as f64 / (self.window * self.link_bytes) as f64).min(0.95);
             let extra = (rho / (1.0 - rho) * mesh.serialization(bytes as usize) as f64) as u64;

@@ -6,7 +6,7 @@ use ise_engine::Cycle;
 use ise_mem::FlatMemory;
 use ise_types::config::OsCostConfig;
 use ise_types::exception::{ErrorCode, ExceptionKind};
-use ise_types::{CoreId, PageId};
+use ise_types::{CoreId, FaultingStoreEntry, PageId, SimError};
 use std::collections::HashSet;
 
 /// The Fig. 5 cost decomposition of one handler invocation.
@@ -77,6 +77,8 @@ pub struct OsKernel {
     faulting_applied: u64,
     pages_resolved: u64,
     processes_killed: u64,
+    transient_retries: u64,
+    transient_recovered: u64,
 }
 
 impl OsKernel {
@@ -90,6 +92,8 @@ impl OsKernel {
             faulting_applied: 0,
             pages_resolved: 0,
             processes_killed: 0,
+            transient_retries: 0,
+            transient_recovered: 0,
         }
     }
 
@@ -139,6 +143,18 @@ impl OsKernel {
         self.processes_killed
     }
 
+    /// Kernel store re-issues that still found the cause present and
+    /// backed off (transient bus errors).
+    pub fn transient_retries(&self) -> u64 {
+        self.transient_retries
+    }
+
+    /// Stores that eventually applied after at least one retry — the
+    /// recovery path working as intended.
+    pub fn transient_recovered(&self) -> u64 {
+        self.transient_recovered
+    }
+
     /// Handles one imprecise store exception for `core`, starting at
     /// `now` (which should already include the FSBC drain receipt's
     /// `ready_at`).
@@ -148,7 +164,10 @@ impl OsKernel {
     /// normal store instruction (functionally: write `mem`), and
     /// increment the head pointer; repeat until head catches tail.
     /// Entries whose error code is [`irrecoverable`](ExceptionKind) kill
-    /// the process: remaining stores are discarded.
+    /// the process: remaining stores are discarded. A store whose
+    /// re-issue is *still* denied after resolution (a transient bus
+    /// error) is retried with exponential backoff; exhausting the budget
+    /// also kills the process.
     ///
     /// Events are recorded into `monitor` (GET, S_OS, RESOLVE) when one is
     /// supplied, so the Table 5 contract can be audited after the run.
@@ -200,14 +219,30 @@ impl OsKernel {
                     breakdown.other_os += self.costs.resolve_per_page;
                 }
             }
-            // Apply the store in retrieved order (Table 5 rule 3).
-            mem.write(entry.addr, entry.data, entry.mask);
-            t += self.costs.apply_per_store;
-            breakdown.apply += self.costs.apply_per_store;
-            applied += 1;
-            self.stores_applied += 1;
-            if let Some(m) = monitor.as_deref_mut() {
-                m.record(OrderEvent::Sos { core, addr: entry.addr });
+            // Apply the store in retrieved order (Table 5 rule 3). The
+            // kernel's store is itself a memory access: if the cause is
+            // still present (a transient bus error resolution cannot
+            // clear), retry with exponential backoff before giving up.
+            match self.apply_with_retry(core, &entry, resolver, mem, &mut t, &mut breakdown) {
+                Ok(()) => {
+                    applied += 1;
+                    self.stores_applied += 1;
+                    if let Some(m) = monitor.as_deref_mut() {
+                        m.record(OrderEvent::Sos {
+                            core,
+                            addr: entry.addr,
+                        });
+                    }
+                }
+                Err(_) => {
+                    // Retry budget exhausted (or the re-issue came back
+                    // irrecoverable): the store cannot be made visible,
+                    // so the process dies rather than lose it silently.
+                    terminated = true;
+                    self.processes_killed += 1;
+                    while fsb.pop_head().is_some() {}
+                    break;
+                }
             }
         }
         self.pages_resolved += resolved_pages.len() as u64;
@@ -221,8 +256,14 @@ impl OsKernel {
                 t = done;
             }
         }
-        if let Some(m) = monitor.as_deref_mut() {
-            m.record(OrderEvent::Resolve { core });
+        // A killed process discards its remaining stores, so the episode
+        // never reaches the "all faulting stores resolved" state the
+        // RESOLVE event asserts — recording it would (correctly) trip the
+        // contract monitor's unapplied-stores check.
+        if !terminated {
+            if let Some(m) = monitor {
+                m.record(OrderEvent::Resolve { core });
+            }
         }
         HandlerOutcome {
             resume_at: t,
@@ -231,6 +272,63 @@ impl OsKernel {
             breakdown,
             terminated,
             io_cycles,
+        }
+    }
+
+    /// Re-issues one drained store as a kernel store. A denial of the
+    /// re-issue is retried up to `retry_attempts` times with exponential
+    /// backoff starting at `retry_backoff_base` cycles; the cause heals
+    /// underneath (transient faults absorb denials) or the budget runs
+    /// out.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RetryExhausted`] when the store still faults after the
+    /// full budget, or immediately if a re-issue comes back with an
+    /// irrecoverable exception — either way the caller kills the process.
+    fn apply_with_retry(
+        &mut self,
+        core: CoreId,
+        entry: &FaultingStoreEntry,
+        resolver: &dyn FaultResolver,
+        mem: &mut FlatMemory,
+        t: &mut Cycle,
+        breakdown: &mut OverheadBreakdown,
+    ) -> Result<(), SimError> {
+        let mut attempts = 0u32;
+        loop {
+            match resolver.check(entry.addr, true) {
+                None => {
+                    mem.write(entry.addr, entry.data, entry.mask);
+                    *t += self.costs.apply_per_store;
+                    breakdown.apply += self.costs.apply_per_store;
+                    if attempts > 0 {
+                        self.transient_recovered += 1;
+                    }
+                    return Ok(());
+                }
+                Some(kind) if kind.is_recoverable() => {
+                    attempts += 1;
+                    self.transient_retries += 1;
+                    if attempts > self.costs.retry_attempts {
+                        return Err(SimError::RetryExhausted {
+                            core,
+                            addr: entry.addr,
+                            attempts,
+                        });
+                    }
+                    let backoff = self.costs.retry_backoff_base << (attempts - 1);
+                    *t += backoff;
+                    breakdown.other_os += backoff;
+                }
+                Some(_) => {
+                    return Err(SimError::RetryExhausted {
+                        core,
+                        addr: entry.addr,
+                        attempts,
+                    });
+                }
+            }
         }
     }
 
@@ -316,7 +414,10 @@ mod tests {
         let mut mon = ContractMonitor::new();
         let out = os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, Some(&mut mon));
         assert_eq!(out.applied, 2);
-        assert_eq!(out.pages_resolved, 2, "non-faulting entry on a faulting page resolves too");
+        assert_eq!(
+            out.pages_resolved, 2,
+            "non-faulting entry on a faulting page resolves too"
+        );
         assert!(!out.terminated);
         assert_eq!(mem.read(a0), 11);
         assert_eq!(mem.read(a1), 22);
@@ -326,7 +427,10 @@ mod tests {
         // The recorded GET/S_OS/RESOLVE sequence satisfies the PC
         // contract (PUTs added here to complete the log).
         let mut full = ContractMonitor::new();
-        full.record(OrderEvent::Put { core: CoreId(0), entry: faulting_entry(a0, 11) });
+        full.record(OrderEvent::Put {
+            core: CoreId(0),
+            entry: faulting_entry(a0, 11),
+        });
         full.record(OrderEvent::Put {
             core: CoreId(0),
             entry: FaultingStoreEntry::non_faulting(a1, 22, ByteMask::FULL),
@@ -364,7 +468,10 @@ mod tests {
         let out = os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None);
         let c = OsCostConfig::isca23();
         assert_eq!(out.pages_resolved, 1);
-        assert_eq!(out.breakdown.other_os, c.dispatch_overhead + c.resolve_per_page);
+        assert_eq!(
+            out.breakdown.other_os,
+            c.dispatch_overhead + c.resolve_per_page
+        );
         assert_eq!(out.breakdown.apply, 8 * c.apply_per_store);
         // Per-store cost well under the unbatched ~600 cycles.
         assert!(out.breakdown.per_store(8) < 150.0);
@@ -403,6 +510,88 @@ mod tests {
         assert!(fsb.is_empty(), "remaining stores are discarded");
         assert_eq!(mem.read(a), 0, "discarded stores never reach memory");
         assert_eq!(os.processes_killed(), 1);
+    }
+
+    #[test]
+    fn transient_bus_error_recovered_by_retry() {
+        use ise_core::FaultPlan;
+        use ise_types::{FaultKind, FaultSpec};
+        let mut os = OsKernel::new(OsCostConfig::isca23());
+        let mut fsb = Fsb::new(Addr::new(0x8000_0000), 32);
+        let mut mem = FlatMemory::new();
+        let a = Addr::new(0x10_0000);
+        let inj = FaultPlan::new(1)
+            .page(
+                a.page(),
+                FaultSpec::bus_error(FaultKind::Transient { clears_after: 2 }),
+            )
+            .build();
+        fsb.push(faulting_entry(a, 77)).unwrap();
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &inj, &mut mem, 0, None);
+        assert!(!out.terminated, "transient faults must not kill");
+        assert_eq!(out.applied, 1);
+        assert_eq!(mem.read(a), 77);
+        assert_eq!(os.transient_retries(), 2);
+        assert_eq!(os.transient_recovered(), 1);
+        let c = OsCostConfig::isca23();
+        // Two backoffs (base, then doubled) on top of the usual costs.
+        assert_eq!(
+            out.breakdown.other_os,
+            c.dispatch_overhead
+                + c.resolve_per_page
+                + c.retry_backoff_base
+                + 2 * c.retry_backoff_base
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_kills() {
+        use ise_core::FaultPlan;
+        use ise_types::{FaultKind, FaultSpec};
+        let mut os = OsKernel::new(OsCostConfig::isca23());
+        let mut fsb = Fsb::new(Addr::new(0x8000_0000), 32);
+        let mut mem = FlatMemory::new();
+        let a = Addr::new(0x10_0000);
+        let inj = FaultPlan::new(1)
+            .page(
+                a.page(),
+                FaultSpec::bus_error(FaultKind::Transient { clears_after: 100 }),
+            )
+            .build();
+        fsb.push(faulting_entry(a, 77)).unwrap();
+        fsb.push(faulting_entry(a.offset(8), 78)).unwrap();
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &inj, &mut mem, 0, None);
+        assert!(out.terminated);
+        assert_eq!(out.applied, 0);
+        assert!(fsb.is_empty(), "remaining stores discarded on kill");
+        assert_eq!(mem.read(a), 0);
+        assert_eq!(os.processes_killed(), 1);
+        assert_eq!(
+            os.transient_retries(),
+            u64::from(OsCostConfig::isca23().retry_attempts) + 1
+        );
+        assert_eq!(os.transient_recovered(), 0);
+    }
+
+    #[test]
+    fn kill_skips_resolve_event() {
+        let (mut os, mut fsb, einject, mut mem) = setup();
+        fsb.push(FaultingStoreEntry::new(
+            Addr::new(0x10_0000),
+            1,
+            ByteMask::FULL,
+            ExceptionKind::SegmentationFault.error_code(),
+        ))
+        .unwrap();
+        let mut mon = ContractMonitor::new();
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, Some(&mut mon));
+        assert!(out.terminated);
+        assert!(
+            !mon.log()
+                .iter()
+                .any(|e| matches!(e, OrderEvent::Resolve { .. })),
+            "a killed episode never reaches the resolved state"
+        );
     }
 
     #[test]
@@ -448,7 +637,11 @@ mod tests {
         assert_eq!(os.ios_issued(), 8);
         // Batched: far less than 8 serial IOs.
         assert!(out.io_cycles >= 20_000);
-        assert!(out.io_cycles < 8 * 20_000 / 2, "io {} not overlapped", out.io_cycles);
+        assert!(
+            out.io_cycles < 8 * 20_000 / 2,
+            "io {} not overlapped",
+            out.io_cycles
+        );
         assert!(out.resume_at >= out.io_cycles);
     }
 

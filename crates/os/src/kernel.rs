@@ -123,7 +123,10 @@ impl<'a> ContainedKernelCopy<'a> {
             t = out.resume_at;
             contained = 1;
         }
-        debug_assert!(self.fsb.is_empty(), "containment fence leaves nothing pending");
+        debug_assert!(
+            self.fsb.is_empty(),
+            "containment fence leaves nothing pending"
+        );
         KernelCopyOutcome {
             done_at: t,
             contained_exceptions: contained,

@@ -7,11 +7,10 @@
 //! exceptions can never be masked from user code.
 
 use ise_types::CoreId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Lifecycle state of a simulated process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcessState {
     /// Scheduled and executing.
     Running,
@@ -34,7 +33,7 @@ impl fmt::Display for ProcessState {
 
 /// One simulated process, pinned to one core (the evaluation runs one
 /// workload process per core).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Process {
     /// Process id.
     pub pid: u32,
@@ -60,7 +59,11 @@ impl Process {
     ///
     /// Panics if the process is not running.
     pub fn block(&mut self) {
-        assert_eq!(self.state, ProcessState::Running, "only running processes block");
+        assert_eq!(
+            self.state,
+            ProcessState::Running,
+            "only running processes block"
+        );
         self.state = ProcessState::Blocked;
     }
 
@@ -70,7 +73,11 @@ impl Process {
     ///
     /// Panics if the process is not blocked.
     pub fn resume(&mut self) {
-        assert_eq!(self.state, ProcessState::Blocked, "only blocked processes resume");
+        assert_eq!(
+            self.state,
+            ProcessState::Blocked,
+            "only blocked processes resume"
+        );
         self.state = ProcessState::Running;
     }
 
@@ -109,7 +116,10 @@ impl InterruptControl {
     /// Panics on re-entry: recursive imprecise exception handling is
     /// unsupported by design (paper §5.4).
     pub fn enter_handler(&mut self) {
-        assert!(!self.in_handler, "recursive imprecise exception handlers are not supported");
+        assert!(
+            !self.in_handler,
+            "recursive imprecise exception handlers are not supported"
+        );
         self.in_handler = true;
         self.ie_masked = true;
     }
@@ -167,7 +177,10 @@ mod tests {
         let mut ic = InterruptControl::new();
         assert!(ic.can_deliver(false));
         ic.enter_handler();
-        assert!(!ic.can_deliver(false), "kernel exceptions masked in handler");
+        assert!(
+            !ic.can_deliver(false),
+            "kernel exceptions masked in handler"
+        );
         ic.exit_handler();
         assert!(ic.can_deliver(false));
     }

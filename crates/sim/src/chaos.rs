@@ -1,0 +1,360 @@
+//! Chaos campaigns: fault-injection sweeps with invariant checks.
+//!
+//! A campaign takes the workloads' own faulting pages, replaces EInject
+//! with a [`FaultInjector`] interpreting a richer [`FaultKind`] — see
+//! `ise-core`'s fault layer — and sweeps fault **kind** × injection
+//! **rate** × **workload**. After every run it asserts the three
+//! invariants the recovery paths are supposed to preserve:
+//!
+//! 1. **Store conservation** — no store is lost silently: for every
+//!    surviving core, every store its trace retires is accounted for as
+//!    drained to memory, coalesced in the store buffer, or applied by
+//!    the OS. (Killed processes are excluded: discarding their stores is
+//!    the *documented* outcome of an irrecoverable fault.)
+//! 2. **FSB drained** — every ring ends with head == tail; the handler
+//!    never leaves entries stranded, even across early-drain chunks.
+//! 3. **Ordering contract** — the recorded DETECT/PUT/GET/S_OS/RESOLVE
+//!    stream satisfies the Table 5 axioms for the run's consistency
+//!    model.
+//!
+//! The campaign is deterministic: the same [`ChaosConfig::seed`] yields
+//! a byte-identical JSON report.
+
+use crate::system::System;
+use ise_core::{FaultInjector, FaultPlan, FaultResolver};
+use ise_engine::{Cycle, SimRng};
+use ise_types::config::SystemConfig;
+use ise_types::{FaultKind, FaultSpec, InstrKind, Json, ToJson};
+use ise_workloads::stats::touched_pages;
+use ise_workloads::Workload;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Sweep parameters of one campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed; page sampling and intermittent draws derive from it.
+    pub seed: u64,
+    /// Fault kinds to sweep (each with its concrete parameters).
+    pub kinds: Vec<FaultKind>,
+    /// Fractions of each workload's faulting pages to inject, in `(0, 1]`.
+    pub rates: Vec<f64>,
+    /// Cycle budget per run.
+    pub max_cycles: Cycle,
+}
+
+impl ChaosConfig {
+    /// The default sweep: all four kinds × three rates, seeded.
+    pub fn default_sweep() -> Self {
+        ChaosConfig {
+            seed: 0xC4A05,
+            kinds: vec![
+                FaultKind::Permanent,
+                FaultKind::Transient { clears_after: 2 },
+                FaultKind::Intermittent { probability: 0.5 },
+                FaultKind::Windowed {
+                    from: 0,
+                    until: 100_000,
+                },
+            ],
+            rates: vec![0.1, 0.5, 1.0],
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+/// The outcome of one sweep cell (workload × kind × rate).
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// Workload name.
+    pub workload: String,
+    /// Injected fault kind (with parameters).
+    pub kind: FaultKind,
+    /// Requested injection rate.
+    pub rate: f64,
+    /// Pages actually injected.
+    pub pages_injected: usize,
+    /// Total cycles to completion.
+    pub cycles: Cycle,
+    /// Imprecise exceptions taken.
+    pub imprecise_exceptions: u64,
+    /// Stores the OS applied.
+    pub stores_applied: u64,
+    /// Transactions the injector denied.
+    pub denied: u64,
+    /// Handler retries on still-present causes.
+    pub transient_retries: u64,
+    /// Stores recovered after at least one retry.
+    pub transient_recovered: u64,
+    /// Early-drain interrupts (chunked episodes).
+    pub early_drain_interrupts: u64,
+    /// Deepest FSB occupancy observed.
+    pub fsb_high_water_mark: usize,
+    /// Processes killed.
+    pub killed: u64,
+    /// Invariant violations (empty = all held).
+    pub violations: Vec<String>,
+}
+
+impl ChaosRun {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl ToJson for ChaosRun {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::str(self.workload.clone())),
+            ("kind", Json::str(self.kind.to_string())),
+            ("rate", Json::from(self.rate)),
+            ("pages_injected", Json::from(self.pages_injected)),
+            ("cycles", Json::from(self.cycles)),
+            (
+                "imprecise_exceptions",
+                Json::from(self.imprecise_exceptions),
+            ),
+            ("stores_applied", Json::from(self.stores_applied)),
+            ("denied", Json::from(self.denied)),
+            ("transient_retries", Json::from(self.transient_retries)),
+            ("transient_recovered", Json::from(self.transient_recovered)),
+            (
+                "early_drain_interrupts",
+                Json::from(self.early_drain_interrupts),
+            ),
+            ("fsb_high_water_mark", Json::from(self.fsb_high_water_mark)),
+            ("killed", Json::from(self.killed)),
+            ("ok", Json::from(self.ok())),
+            (
+                "violations",
+                Json::arr(self.violations.iter().map(Json::str)),
+            ),
+        ])
+    }
+}
+
+/// A whole campaign's results.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The master seed the campaign ran under.
+    pub seed: u64,
+    /// One entry per sweep cell, in sweep order.
+    pub runs: Vec<ChaosRun>,
+}
+
+impl ChaosReport {
+    /// Whether every run's invariants held.
+    pub fn all_ok(&self) -> bool {
+        self.runs.iter().all(ChaosRun::ok)
+    }
+}
+
+impl ToJson for ChaosReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::from(self.seed)),
+            ("runs", self.runs.to_json()),
+            ("all_ok", Json::from(self.all_ok())),
+        ])
+    }
+}
+
+/// Sweeps fault kind × rate × workload, checking invariants per run.
+#[derive(Debug, Clone)]
+pub struct ChaosCampaign {
+    cfg: SystemConfig,
+    chaos: ChaosConfig,
+}
+
+impl ChaosCampaign {
+    /// A campaign running each cell on `cfg` (its consistency model is
+    /// the one the ordering contract is checked against).
+    pub fn new(cfg: SystemConfig, chaos: ChaosConfig) -> Self {
+        ChaosCampaign { cfg, chaos }
+    }
+
+    /// Runs the full sweep over `workloads`.
+    ///
+    /// Each workload must declare `einject_pages` (the pool faults are
+    /// sampled from); the campaign clears that list so EInject stays
+    /// inert and the [`FaultInjector`] is the only fault source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload declares no faulting pages, or a run exceeds
+    /// the cycle budget.
+    pub fn run(&self, workloads: &[Workload]) -> ChaosReport {
+        let mut runs = Vec::new();
+        for (wi, workload) in workloads.iter().enumerate() {
+            assert!(
+                !workload.einject_pages.is_empty(),
+                "workload {} declares no faulting pages to sample from",
+                workload.name
+            );
+            for (ki, kind) in self.chaos.kinds.iter().enumerate() {
+                for (ri, &rate) in self.chaos.rates.iter().enumerate() {
+                    // One deterministic stream per cell, independent of
+                    // sweep-order changes elsewhere.
+                    let cell_seed =
+                        self.chaos
+                            .seed
+                            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(
+                                ((wi as u64) << 32) ^ ((ki as u64) << 16) ^ ri as u64 ^ 1,
+                            ));
+                    runs.push(self.run_cell(workload, *kind, rate, cell_seed));
+                }
+            }
+        }
+        ChaosReport {
+            seed: self.chaos.seed,
+            runs,
+        }
+    }
+
+    fn run_cell(&self, workload: &Workload, kind: FaultKind, rate: f64, seed: u64) -> ChaosRun {
+        // Sample from the declared pages the traces actually reach —
+        // regions are reserved generously, and injecting only cold pages
+        // would make the whole sweep vacuous.
+        let touched: HashSet<_> = workload
+            .traces
+            .iter()
+            .flat_map(|t| touched_pages(t))
+            .collect();
+        let pool: Vec<_> = workload
+            .einject_pages
+            .iter()
+            .copied()
+            .filter(|p| touched.contains(p))
+            .collect();
+        assert!(
+            !pool.is_empty(),
+            "workload {} never touches its declared faulting pages",
+            workload.name
+        );
+        let k = ((pool.len() as f64 * rate).ceil() as usize).clamp(1, pool.len());
+        let mut rng = SimRng::seed_from(seed);
+        let picked = rng.sample_indices(pool.len(), k);
+        let injector: Rc<FaultInjector> = Rc::new(
+            FaultPlan::new(seed ^ 0xF417)
+                .pages(picked.iter().map(|&i| pool[i]), FaultSpec::bus_error(kind))
+                .build(),
+        );
+
+        // EInject stays inert: the injector is the only fault source.
+        let mut quiet = workload.clone();
+        quiet.einject_pages.clear();
+        let mut sys = System::with_fault_sources(
+            self.cfg,
+            &quiet,
+            vec![injector.clone() as Rc<dyn FaultResolver>],
+        )
+        .with_contract_monitor();
+        let stats = sys.run(self.chaos.max_cycles);
+
+        let mut violations = Vec::new();
+        // 1. Store conservation on surviving cores.
+        for (i, trace) in workload.traces.iter().enumerate() {
+            if sys.process_killed(i) {
+                continue;
+            }
+            let retired_stores = trace
+                .iter()
+                .filter(|ins| matches!(ins.kind, InstrKind::Store { .. }))
+                .count() as u64;
+            let accounted = sys.cores()[i].sb_drained()
+                + sys.cores()[i].sb_coalesced()
+                + stats.applied_per_core[i];
+            if retired_stores != accounted {
+                violations.push(format!(
+                    "core {i}: {retired_stores} stores retired but {accounted} accounted \
+                     (drained {} + coalesced {} + os-applied {})",
+                    sys.cores()[i].sb_drained(),
+                    sys.cores()[i].sb_coalesced(),
+                    stats.applied_per_core[i],
+                ));
+            }
+        }
+        // 2. Every FSB drained to head == tail.
+        if !sys.fsbs_empty() {
+            violations.push("an FSB ring ended with head != tail".to_string());
+        }
+        // 3. The ordering contract for the run's consistency model.
+        if let Err(v) = sys.check_contract() {
+            violations.push(format!("ordering contract violated: {v:?}"));
+        }
+
+        ChaosRun {
+            workload: workload.name.clone(),
+            kind,
+            rate,
+            pages_injected: k,
+            cycles: stats.cycles,
+            imprecise_exceptions: stats.imprecise_exceptions,
+            stores_applied: stats.stores_applied,
+            denied: injector.denied_count(),
+            transient_retries: stats.transient_retries,
+            transient_recovered: stats.transient_recovered,
+            early_drain_interrupts: stats.early_drain_interrupts,
+            fsb_high_water_mark: stats.fsb_high_water_mark,
+            killed: stats.killed,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::model::ConsistencyModel;
+    use ise_workloads::kvstore::{kv_workload, KvConfig, KvEngine};
+
+    fn tiny_workload() -> Workload {
+        let mut kv = KvConfig::small(2);
+        kv.preload = 200;
+        kv.ops_per_core = 40;
+        kv.in_einject = true;
+        kv_workload(KvEngine::Silo, &kv)
+    }
+
+    fn small_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::isca23();
+        cfg.noc.mesh_x = 2;
+        cfg.noc.mesh_y = 1;
+        cfg.cores = 2;
+        cfg.with_model(ConsistencyModel::Pc)
+    }
+
+    #[test]
+    fn single_cell_holds_invariants() {
+        let chaos = ChaosConfig {
+            seed: 3,
+            kinds: vec![FaultKind::Permanent],
+            rates: vec![0.5],
+            max_cycles: 200_000_000,
+        };
+        let report = ChaosCampaign::new(small_cfg(), chaos).run(&[tiny_workload()]);
+        assert_eq!(report.runs.len(), 1);
+        let run = &report.runs[0];
+        assert!(run.ok(), "violations: {:?}", run.violations);
+        assert!(run.denied > 0, "permanent faults must deny something");
+        assert!(run.imprecise_exceptions > 0);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_per_seed() {
+        let chaos = ChaosConfig {
+            seed: 9,
+            kinds: vec![FaultKind::Intermittent { probability: 0.4 }],
+            rates: vec![0.3],
+            max_cycles: 200_000_000,
+        };
+        let mk = || {
+            ChaosCampaign::new(small_cfg(), chaos.clone())
+                .run(&[tiny_workload()])
+                .to_json()
+                .render()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -8,13 +8,13 @@ use ise_litmus::machine::{explore, MachineConfig};
 use ise_litmus::runner::{run_corpus, CorpusSummary};
 use ise_types::config::SystemConfig;
 use ise_types::instr::{InstructionMix, Reg};
+use ise_types::json::{Json, ToJson};
 use ise_types::model::{ConsistencyModel, DrainPolicy};
 use ise_workloads::graph::{gap_workload, GapConfig, GapKernel};
 use ise_workloads::kvstore::{kv_workload, KvConfig, KvEngine};
 use ise_workloads::microbench::{microbench, MicrobenchConfig};
 use ise_workloads::mixes::{synthesize, table3_mixes, MixSpec};
 use ise_workloads::Workload;
-use serde::{Deserialize, Serialize};
 
 /// Cycle budget guard for experiment runs.
 const MAX_CYCLES: u64 = 20_000_000_000;
@@ -24,7 +24,7 @@ const MAX_CYCLES: u64 = 20_000_000_000;
 // ---------------------------------------------------------------------
 
 /// One row of Table 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// The workload spec (carries the paper's reported numbers).
     pub spec: MixSpec,
@@ -36,6 +36,22 @@ pub struct Table3Row {
     /// latency, 4× store-to-load skew. `None` when no sampled budget
     /// reached WC performance.
     pub state_kb: [Option<f64>; 3],
+}
+
+impl ToJson for Table3Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.spec.name)),
+            ("suite", Json::str(self.spec.suite)),
+            ("store_pct", Json::from(self.measured_mix.store_pct)),
+            ("load_pct", Json::from(self.measured_mix.load_pct)),
+            ("wc_speedup", Json::from(self.wc_speedup)),
+            (
+                "state_kb",
+                Json::arr(self.state_kb.iter().map(|v| v.to_json())),
+            ),
+        ])
+    }
 }
 
 /// Experiment scale: instructions per core and core count.
@@ -114,7 +130,7 @@ pub fn table3(scale: &Table3Scale) -> Vec<Table3Row> {
 // ---------------------------------------------------------------------
 
 /// One point of the Fig. 5 overhead study.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fig5Row {
     /// Faulting pages marked per iteration (the fault-intensity knob).
     pub faulting_pages: usize,
@@ -136,6 +152,20 @@ impl Fig5Row {
     /// Total per-faulting-store overhead in cycles.
     pub fn total_per_store(&self) -> f64 {
         self.uarch_per_store + self.apply_per_store + self.other_per_store
+    }
+}
+
+impl ToJson for Fig5Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("faulting_pages", Json::from(self.faulting_pages)),
+            ("exceptions", Json::from(self.exceptions)),
+            ("faulting_stores", Json::from(self.faulting_stores)),
+            ("batch_factor", Json::from(self.batch_factor)),
+            ("uarch_per_store", Json::from(self.uarch_per_store)),
+            ("apply_per_store", Json::from(self.apply_per_store)),
+            ("other_per_store", Json::from(self.other_per_store)),
+        ])
     }
 }
 
@@ -180,7 +210,7 @@ pub fn fig5(page_counts: &[usize]) -> Vec<Fig5Row> {
 }
 
 /// One row of the demand-paging extension of Fig. 5.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fig5IoRow {
     /// Faulting pages marked.
     pub faulting_pages: usize,
@@ -203,6 +233,19 @@ impl Fig5IoRow {
         } else {
             self.serial_io_cycles as f64 / self.batched_io_cycles as f64
         }
+    }
+}
+
+impl ToJson for Fig5IoRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("faulting_pages", Json::from(self.faulting_pages)),
+            ("exceptions", Json::from(self.exceptions)),
+            ("pages_resolved", Json::from(self.pages_resolved)),
+            ("batched_io_cycles", Json::from(self.batched_io_cycles)),
+            ("serial_io_cycles", Json::from(self.serial_io_cycles)),
+            ("io_speedup", Json::from(self.io_speedup())),
+        ])
     }
 }
 
@@ -248,7 +291,7 @@ pub fn fig5_demand_paging(page_counts: &[usize], io_latency: u64) -> Vec<Fig5IoR
 // ---------------------------------------------------------------------
 
 /// One bar of Fig. 6.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Row {
     /// Workload name.
     pub name: String,
@@ -273,6 +316,23 @@ impl Fig6Row {
         } else {
             self.baseline_cycles as f64 / self.imprecise_cycles as f64
         }
+    }
+}
+
+impl ToJson for Fig6Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name.clone())),
+            ("baseline_cycles", Json::from(self.baseline_cycles)),
+            ("imprecise_cycles", Json::from(self.imprecise_cycles)),
+            ("exceptions", Json::from(self.exceptions)),
+            ("precise_exceptions", Json::from(self.precise_exceptions)),
+            ("faulting_stores", Json::from(self.faulting_stores)),
+            (
+                "relative_performance",
+                Json::from(self.relative_performance()),
+            ),
+        ])
     }
 }
 
@@ -456,8 +516,8 @@ pub fn fig2() -> Fig2Result {
         vec![Stmt::write(Loc(0), 1), Stmt::write(Loc(1), 1)],
         vec![Stmt::read(Loc(1), Reg(0)), Stmt::read(Loc(0), Reg(1))],
     ]);
-    let mut cfg = MachineConfig::baseline(ConsistencyModel::Pc)
-        .with_policy(DrainPolicy::SplitStream);
+    let mut cfg =
+        MachineConfig::baseline(ConsistencyModel::Pc).with_policy(DrainPolicy::SplitStream);
     cfg.faulting = [Loc(0)].into_iter().collect();
     let split = explore(&prog, &cfg);
     let cfg_same = MachineConfig {

@@ -13,8 +13,16 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+//!
+//! [`chaos`] adds the fault-injection campaign runner: sweeps of fault
+//! kind × rate × workload through `ise-core`'s [`chaos
+//! layer`](ise_core::faults), with store-conservation, FSB-drain and
+//! ordering-contract invariants checked after every run.
+
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 pub mod system;
 
+pub use chaos::{ChaosCampaign, ChaosConfig, ChaosReport, ChaosRun};
 pub use system::{System, SystemStats};

@@ -111,11 +111,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let s = render_bars(
-            &[("a".into(), 1.0), ("bb".into(), 0.5)],
-            10,
-            "x",
-        );
+        let s = render_bars(&[("a".into(), 1.0), ("bb".into(), 0.5)], 10, "x");
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0].matches('#').count(), 10);

@@ -50,6 +50,19 @@ pub struct SystemStats {
     pub io_cycles: Cycle,
     /// Distinct faulting pages the OS resolved.
     pub pages_resolved: u64,
+    /// Kernel store re-issues that backed off on a still-present fault.
+    pub transient_retries: u64,
+    /// Stores that applied after at least one backed-off retry.
+    pub transient_recovered: u64,
+    /// Early-drain interrupts: drain episodes larger than the FSB ring
+    /// that the FSBC delivered to the OS in capacity-sized chunks
+    /// instead of erroring at the rim.
+    pub early_drain_interrupts: u64,
+    /// Deepest FSB occupancy observed on any core.
+    pub fsb_high_water_mark: usize,
+    /// Stores the OS applied on behalf of each core — one term of the
+    /// chaos campaigns' store-conservation invariant.
+    pub applied_per_core: Vec<u64>,
 }
 
 impl SystemStats {
@@ -101,6 +114,8 @@ pub struct System {
     interrupts_delivered: u64,
     interrupts_deferred: u64,
     io_cycles: Cycle,
+    early_drain_interrupts: u64,
+    applied_per_core: Vec<u64>,
     now: Cycle,
 }
 
@@ -177,7 +192,9 @@ impl System {
                 fsb
             })
             .collect();
-        let fsbcs = (0..cfg.cores).map(|i| Fsbc::new(CoreId(i), &cfg.os)).collect();
+        let fsbcs = (0..cfg.cores)
+            .map(|i| Fsbc::new(CoreId(i), &cfg.os))
+            .collect();
         System {
             hier,
             cores,
@@ -187,7 +204,9 @@ impl System {
             resolver,
             os: OsKernel::new(cfg.os),
             mem: FlatMemory::new(),
-            processes: (0..cfg.cores).map(|i| Process::spawn(i as u32, CoreId(i))).collect(),
+            processes: (0..cfg.cores)
+                .map(|i| Process::spawn(i as u32, CoreId(i)))
+                .collect(),
             ictl: vec![InterruptControl::new(); cfg.cores],
             monitor: None,
             breakdown: OverheadBreakdown::default(),
@@ -197,9 +216,29 @@ impl System {
             interrupts_delivered: 0,
             interrupts_deferred: 0,
             io_cycles: 0,
+            early_drain_interrupts: 0,
+            applied_per_core: vec![0; cfg.cores],
             now: 0,
             cfg,
         }
+    }
+
+    /// Rebuilds every FSB ring with `entries` capacity (rounded up to a
+    /// power of two by the ring). The default capacity matches the store
+    /// buffer, so a full drain always fits; a smaller ring exercises the
+    /// early-drain recovery path, where an episode larger than the ring
+    /// reaches the OS in capacity-sized chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has already started running or `entries` is
+    /// zero.
+    pub fn with_fsb_capacity(mut self, entries: usize) -> Self {
+        assert_eq!(self.now, 0, "resize FSBs before running");
+        self.fsbs = (0..self.cfg.cores)
+            .map(|i| Fsb::new(Addr::new(FSB_REGION_BASE + (i as u64) * 0x1000), entries))
+            .collect();
+        self
     }
 
     /// Enables demand-paging IO in the OS handler: each resolved page
@@ -240,6 +279,24 @@ impl System {
         &self.einject
     }
 
+    /// Whether every FSB ring has drained to head == tail — a post-run
+    /// invariant the chaos campaigns assert.
+    pub fn fsbs_empty(&self) -> bool {
+        self.fsbs.iter().all(|f| f.is_empty())
+    }
+
+    /// Whether core `i`'s process was killed (its stores are deliberately
+    /// discarded, so conservation invariants skip it).
+    pub fn process_killed(&self, i: usize) -> bool {
+        self.processes[i].state == ProcessState::Killed
+    }
+
+    /// The cores, read-only — the conservation invariant reads each
+    /// core's `sb_drained`/`sb_coalesced` terms.
+    pub fn cores(&self) -> &[Core<VecTrace>] {
+        &self.cores
+    }
+
     /// The functional memory image (stores applied by the OS land here).
     pub fn memory(&self) -> &FlatMemory {
         &self.mem
@@ -268,33 +325,60 @@ impl System {
             m.record(OrderEvent::Detect { core: core_id });
         }
         self.ictl[i].enter_handler();
-        let receipt = self.fsbcs[i]
-            .drain(&mut self.fsbs[i], &entries, self.now)
-            .expect("FSB sized for the store buffer never fills");
-        if let Some(m) = self.monitor.as_mut() {
-            for e in &entries {
-                m.record(OrderEvent::Put { core: core_id, entry: *e });
+        // An episode larger than the FSB ring is delivered in chunks: the
+        // FSBC fills the ring to its rim, raises the exception early, and
+        // the OS drains head-to-tail before the next chunk lands. Each
+        // chunk after the first is an early-drain interrupt — the
+        // recovery path that replaces erroring on a full ring.
+        let mut offset = 0;
+        let mut resume = self.now;
+        let mut chunks = 0u64;
+        loop {
+            let free = self.fsbs[i].capacity() - self.fsbs[i].len();
+            let take = (entries.len() - offset).min(free);
+            let chunk = &entries[offset..offset + take];
+            let receipt = self.fsbcs[i]
+                .drain(&mut self.fsbs[i], chunk, resume)
+                // The chunk was just sized to the ring's free space.
+                .unwrap_or_else(|e| unreachable!("{e}"));
+            if let Some(m) = self.monitor.as_mut() {
+                for e in chunk {
+                    m.record(OrderEvent::Put {
+                        core: core_id,
+                        entry: *e,
+                    });
+                }
+            }
+            self.breakdown.uarch += receipt.uarch_cycles;
+            let resolver = self.resolver.clone();
+            let outcome = self.os.handle_imprecise(
+                core_id,
+                &mut self.fsbs[i],
+                resolver.as_ref(),
+                &mut self.mem,
+                receipt.ready_at,
+                self.monitor.as_mut(),
+            );
+            self.breakdown.merge(&outcome.breakdown);
+            self.io_cycles += outcome.io_cycles;
+            self.applied_per_core[i] += outcome.applied as u64;
+            resume = outcome.resume_at;
+            self.handler_busy_until[i] = resume;
+            offset += take;
+            chunks += 1;
+            if outcome.terminated {
+                // Remaining chunks die with the process.
+                self.early_drain_interrupts += chunks - 1;
+                self.processes[i].kill();
+                self.ictl[i].exit_handler();
+                return;
+            }
+            if offset >= entries.len() {
+                break;
             }
         }
-        self.breakdown.uarch += receipt.uarch_cycles;
-        let resolver = self.resolver.clone();
-        let outcome = self.os.handle_imprecise(
-            core_id,
-            &mut self.fsbs[i],
-            resolver.as_ref(),
-            &mut self.mem,
-            receipt.ready_at,
-            self.monitor.as_mut(),
-        );
-        self.breakdown.merge(&outcome.breakdown);
-        self.io_cycles += outcome.io_cycles;
-        self.handler_busy_until[i] = outcome.resume_at;
-        if outcome.terminated {
-            self.processes[i].kill();
-            self.ictl[i].exit_handler();
-            return;
-        }
-        self.cores[i].resume_at(outcome.resume_at);
+        self.early_drain_interrupts += chunks - 1;
+        self.cores[i].resume_at(resume);
         self.ictl[i].exit_handler();
         if let Some(m) = self.monitor.as_mut() {
             m.record(OrderEvent::Resume { core: core_id });
@@ -328,7 +412,7 @@ impl System {
             // Timer interrupts (delivered unless an exception handler
             // currently holds the IE bit).
             if let Some(interval) = self.interrupt_interval {
-                if self.now > 0 && self.now % interval == 0 {
+                if self.now > 0 && self.now.is_multiple_of(interval) {
                     for i in 0..self.cores.len() {
                         if self.processes[i].state == ProcessState::Killed {
                             continue;
@@ -364,7 +448,11 @@ impl System {
                 break;
             }
             self.now += 1;
-            assert!(self.now < max_cycles, "exceeded cycle budget at {}", self.now);
+            assert!(
+                self.now < max_cycles,
+                "exceeded cycle budget at {}",
+                self.now
+            );
         }
         self.stats()
     }
@@ -389,6 +477,16 @@ impl System {
             interrupts_deferred: self.interrupts_deferred,
             io_cycles: self.io_cycles,
             pages_resolved: self.os.pages_resolved(),
+            transient_retries: self.os.transient_retries(),
+            transient_recovered: self.os.transient_recovered(),
+            early_drain_interrupts: self.early_drain_interrupts,
+            fsb_high_water_mark: self
+                .fsbcs
+                .iter()
+                .map(|c| c.high_water_mark())
+                .max()
+                .unwrap_or(0),
+            applied_per_core: self.applied_per_core.clone(),
             cores,
         }
     }
@@ -453,7 +551,11 @@ mod tests {
         assert!(stats.imprecise_exceptions >= 1);
         assert!(stats.stores_applied >= 1);
         assert_eq!(stats.killed, 0);
-        assert_eq!(stats.retired(), 100, "all instructions retire despite faults");
+        assert_eq!(
+            stats.retired(),
+            100,
+            "all instructions retire despite faults"
+        );
         // The OS applied the faulting stores to memory in order; the
         // values must be visible.
         let base = Addr::new(EINJECT_BASE);
@@ -539,6 +641,44 @@ mod tests {
         let stats = run_workload(small_cfg(), &store_workload(false), 1_000_000);
         assert_eq!(stats.interrupts_delivered, 0);
         assert_eq!(stats.interrupts_deferred, 0);
+    }
+
+    #[test]
+    fn undersized_fsb_triggers_early_drain_interrupts() {
+        // Ring of 4 on a run whose drain episodes can exceed 4 entries:
+        // the episode is chunked, nothing is lost, the contract holds.
+        let w = store_workload(true);
+        let full = System::new(small_cfg(), &w).with_contract_monitor();
+        let mut full = full;
+        let full_stats = full.run(10_000_000);
+        assert_eq!(full_stats.early_drain_interrupts, 0, "default ring fits");
+
+        let mut sys = System::new(small_cfg(), &w)
+            .with_fsb_capacity(4)
+            .with_contract_monitor();
+        let stats = sys.run(10_000_000);
+        assert_eq!(stats.retired(), 100, "all work completes despite chunking");
+        assert_eq!(stats.killed, 0);
+        assert_eq!(
+            stats.stores_applied, full_stats.stores_applied,
+            "chunking must not lose stores"
+        );
+        assert!(stats.fsb_high_water_mark <= 4);
+        assert!(sys.fsbs_empty(), "handler drains head to tail");
+        sys.check_contract().expect("contract holds across chunks");
+        if stats.stores_applied > 4 {
+            assert!(stats.early_drain_interrupts > 0, "ring must have chunked");
+        }
+    }
+
+    #[test]
+    fn applied_per_core_sums_to_stores_applied() {
+        let w = store_workload(true);
+        let stats = System::new(small_cfg(), &w).run(10_000_000);
+        assert_eq!(
+            stats.applied_per_core.iter().sum::<u64>(),
+            stats.stores_applied
+        );
     }
 
     #[test]

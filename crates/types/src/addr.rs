@@ -4,7 +4,6 @@
 //! this module so that page/line granularity conversions are explicit and
 //! cannot be confused with raw integers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size of a virtual-memory page in bytes (4 KiB, as assumed throughout the
@@ -26,9 +25,7 @@ pub const LINE_SIZE: u64 = 64;
 /// assert_eq!(a.page().index(), 0x12);
 /// assert_eq!(a.line_offset(), 0x1_2345 % 64);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -102,9 +99,7 @@ impl From<Addr> for u64 {
 ///
 /// This is the granularity at which EInject marks memory as faulting
 /// (paper §6.2) and at which the OS resolves demand-paging exceptions.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageId(u64);
 
 impl PageId {
@@ -135,7 +130,7 @@ impl fmt::Display for PageId {
 /// the accelerator-specific exception code").
 ///
 /// Bit *i* set means byte *i* of the 8-byte datum is written.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ByteMask(u8);
 
 impl ByteMask {
@@ -213,9 +208,7 @@ impl fmt::Display for ByteMask {
 }
 
 /// Identifier of a core in the simulated multicore (0-based).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub usize);
 
 impl CoreId {

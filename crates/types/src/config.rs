@@ -6,11 +6,11 @@
 //! doubled memory latency and 4× store-to-load latency skew — to be derived
 //! from the baseline in one call.
 
+use crate::json::{Json, ToJson};
 use crate::model::{ConsistencyModel, DrainPolicy};
-use serde::{Deserialize, Serialize};
 
 /// Out-of-order core parameters (Table 2, "Core" row).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreConfig {
     /// Superscalar width (fetch/issue/retire), 4-way for Cortex-A76.
     pub width: u32,
@@ -50,7 +50,7 @@ impl Default for CoreConfig {
 }
 
 /// One cache level's parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: usize,
@@ -90,7 +90,7 @@ impl CacheConfig {
 }
 
 /// TLB parameters (Table 2, "TLB" row).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TlbConfig {
     /// L1 (I and D each) entry count: 48.
     pub l1_entries: usize,
@@ -115,7 +115,7 @@ impl TlbConfig {
 }
 
 /// Mesh interconnect parameters (Table 2, "Interconnect" row).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NocConfig {
     /// Mesh width (4 for the 4×4 mesh).
     pub mesh_x: usize,
@@ -146,7 +146,7 @@ impl NocConfig {
 
 /// Main-memory parameters (Table 2, "Memory" row) plus the §3.3 scaling
 /// knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryConfig {
     /// DRAM access latency in cycles (80 by default).
     pub access_latency: u64,
@@ -171,7 +171,7 @@ impl MemoryConfig {
 /// The paper's minimal Linux handler spends ≈600 cycles per faulting store
 /// unbatched, of which the microarchitectural part is "only a tiny
 /// fraction"; the defaults below reproduce that split.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OsCostConfig {
     /// Cycles to drain one store-buffer entry into the FSB (FSBC write).
     pub fsb_drain_per_store: u64,
@@ -191,6 +191,12 @@ pub struct OsCostConfig {
     /// Latency of one demand-paging IO, in cycles (tens of ms in reality;
     /// scaled for simulation). Batched IOs overlap.
     pub io_latency: u64,
+    /// Kernel retries of one store that still faults after its cause was
+    /// resolved (a transient bus error), before the store is declared
+    /// irrecoverable and the process terminated.
+    pub retry_attempts: u32,
+    /// Cycles of backoff before the first retry; doubles each attempt.
+    pub retry_backoff_base: u64,
 }
 
 impl OsCostConfig {
@@ -207,12 +213,14 @@ impl OsCostConfig {
             dispatch_overhead: 520,
             resolve_per_page: 40,
             io_latency: 20_000,
+            retry_attempts: 4,
+            retry_backoff_base: 64,
         }
     }
 }
 
 /// The full simulated system (Table 2 plus OS costs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Number of cores (16 in Table 2; the FPGA prototype used 2).
     pub cores: usize,
@@ -283,6 +291,85 @@ impl Default for SystemConfig {
     }
 }
 
+impl ToJson for SystemConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cores", Json::from(self.cores)),
+            (
+                "core",
+                Json::obj([
+                    ("width", Json::from(self.core.width)),
+                    ("rob_entries", Json::from(self.core.rob_entries)),
+                    ("sb_entries", Json::from(self.core.sb_entries)),
+                    ("model", Json::str(format!("{}", self.core.model))),
+                ]),
+            ),
+            (
+                "l1d",
+                Json::obj([
+                    ("capacity_bytes", Json::from(self.l1d.capacity_bytes)),
+                    ("ways", Json::from(self.l1d.ways)),
+                    ("latency", Json::from(self.l1d.latency)),
+                    ("mshrs", Json::from(self.l1d.mshrs)),
+                ]),
+            ),
+            (
+                "l2",
+                Json::obj([
+                    ("capacity_bytes", Json::from(self.l2.capacity_bytes)),
+                    ("ways", Json::from(self.l2.ways)),
+                    ("latency", Json::from(self.l2.latency)),
+                    ("mshrs", Json::from(self.l2.mshrs)),
+                ]),
+            ),
+            (
+                "tlb",
+                Json::obj([
+                    ("l1_entries", Json::from(self.tlb.l1_entries)),
+                    ("l2_entries", Json::from(self.tlb.l2_entries)),
+                    ("l2_latency", Json::from(self.tlb.l2_latency)),
+                    ("walk_latency", Json::from(self.tlb.walk_latency)),
+                ]),
+            ),
+            (
+                "noc",
+                Json::obj([
+                    ("mesh_x", Json::from(self.noc.mesh_x)),
+                    ("mesh_y", Json::from(self.noc.mesh_y)),
+                    ("link_bytes", Json::from(self.noc.link_bytes)),
+                    ("hop_latency", Json::from(self.noc.hop_latency)),
+                ]),
+            ),
+            (
+                "memory",
+                Json::obj([
+                    ("access_latency", Json::from(self.memory.access_latency)),
+                    (
+                        "store_latency_skew",
+                        Json::from(self.memory.store_latency_skew),
+                    ),
+                ]),
+            ),
+            (
+                "os",
+                Json::obj([
+                    (
+                        "fsb_drain_per_store",
+                        Json::from(self.os.fsb_drain_per_store),
+                    ),
+                    ("pipeline_flush", Json::from(self.os.pipeline_flush)),
+                    ("apply_per_store", Json::from(self.os.apply_per_store)),
+                    ("dispatch_overhead", Json::from(self.os.dispatch_overhead)),
+                    ("resolve_per_page", Json::from(self.os.resolve_per_page)),
+                    ("io_latency", Json::from(self.os.io_latency)),
+                    ("retry_attempts", Json::from(self.os.retry_attempts)),
+                    ("retry_backoff_base", Json::from(self.os.retry_backoff_base)),
+                ]),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,10 +400,7 @@ mod tests {
     #[test]
     fn scaling_builders() {
         let base = SystemConfig::isca23();
-        assert_eq!(
-            base.with_double_memory_latency().memory.access_latency,
-            160
-        );
+        assert_eq!(base.with_double_memory_latency().memory.access_latency, 160);
         assert_eq!(base.with_store_skew(4).memory.store_latency_skew, 4);
         assert_eq!(
             base.with_model(ConsistencyModel::Sc).core.model,
@@ -342,8 +426,10 @@ mod tests {
     #[test]
     fn config_serializes() {
         let c = SystemConfig::isca23();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: SystemConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, c);
+        let json = c.to_json().render();
+        assert!(json.contains("\"cores\":16"));
+        assert!(json.contains("\"rob_entries\":128"));
+        assert!(json.contains("\"access_latency\":80"));
+        assert_eq!(json, c.to_json().render(), "rendering is deterministic");
     }
 }

@@ -9,11 +9,10 @@
 //! the memory hierarchy (EInject, a täkō-style accelerator, Midgard-style
 //! late translation) can attach to a store response.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Architectural classification of an exception (x86 terminology).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExceptionClass {
     /// Restartable: reported on the faulting instruction before it commits.
     Fault,
@@ -36,7 +35,7 @@ impl fmt::Display for ExceptionClass {
 /// Pipeline stage in which an exception is generated (Table 1's left
 /// column). `Hierarchy` is the new point of origin the paper introduces:
 /// compute units embedded in the cache/memory hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OriginStage {
     /// Instruction fetch.
     Fetch,
@@ -69,7 +68,7 @@ impl fmt::Display for OriginStage {
 
 /// One row entry of Table 1: a named x86 exception with its class and the
 /// stage that generates it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct X86Exception {
     /// Human-readable exception name.
     pub name: &'static str,
@@ -99,14 +98,22 @@ pub const X86_EXCEPTIONS: &[X86Exception] = &[
         OriginStage::Decode,
     ),
     x("Debug", ExceptionClass::Fault, OriginStage::Decode),
-    x("Divide by zero", ExceptionClass::Fault, OriginStage::Execute),
+    x(
+        "Divide by zero",
+        ExceptionClass::Fault,
+        OriginStage::Execute,
+    ),
     x(
         "Bound range exceeded",
         ExceptionClass::Fault,
         OriginStage::Execute,
     ),
     x("FP error", ExceptionClass::Fault, OriginStage::Execute),
-    x("Alignment check", ExceptionClass::Fault, OriginStage::Execute),
+    x(
+        "Alignment check",
+        ExceptionClass::Fault,
+        OriginStage::Execute,
+    ),
     x(
         "SIMD FP exception",
         ExceptionClass::Fault,
@@ -152,9 +159,7 @@ const fn x(name: &'static str, class: ExceptionClass, origin: OriginStage) -> X8
 
 /// An accelerator-specific error code carried in a store response and in
 /// each FSB entry (paper §5.1: "a response with an embedded error code").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ErrorCode(pub u16);
 
 impl fmt::Display for ErrorCode {
@@ -164,7 +169,7 @@ impl fmt::Display for ErrorCode {
 }
 
 /// The exceptions our simulated system can raise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExceptionKind {
     /// A recoverable page fault detected in the hierarchy (demand paging,
     /// lazy allocation, Midgard-style late translation miss).

@@ -8,7 +8,6 @@
 
 use crate::addr::{Addr, ByteMask};
 use crate::exception::ErrorCode;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One entry of the Faulting Store Buffer.
@@ -26,7 +25,7 @@ use std::fmt;
 /// let e = FaultingStoreEntry::new(Addr::new(0x1000), 0xdead, ByteMask::FULL, ErrorCode(2));
 /// assert_eq!(e.apply_to(0), 0xdead);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultingStoreEntry {
     /// The store's target address.
     pub addr: Addr,

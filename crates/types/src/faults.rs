@@ -1,0 +1,137 @@
+//! Fault-injection plan configuration (the chaos layer).
+//!
+//! The paper's EInject device (§6.2) models exactly one failure shape: a
+//! page is marked faulting and stays faulting until the OS clears it.
+//! Real store failures are richer — a bus error can be transient
+//! (retrying succeeds), intermittent (a flaky link denies a fraction of
+//! transactions), or confined to a time window (a device resetting).
+//! These types describe *what* a chaos campaign injects; the injector in
+//! `ise-core` interprets them behind the same `FaultOracle` seam EInject
+//! uses, so the hierarchy, FSBC, and OS consume them unchanged.
+
+use crate::exception::ExceptionKind;
+use std::fmt;
+
+/// The temporal behaviour of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Denies every transaction until the OS resolves the page —
+    /// EInject's behaviour, the degenerate plan.
+    Permanent,
+    /// Denies the first `clears_after` transactions, then heals itself.
+    /// The OS cannot resolve it; only retrying (with backoff) gets
+    /// through — the paper's "transient bus error" recovery case.
+    Transient {
+        /// Denials before the fault heals. Zero never denies.
+        clears_after: u32,
+    },
+    /// Denies each transaction independently with probability
+    /// `probability` (deterministic given the injector's seed).
+    Intermittent {
+        /// Per-transaction denial probability, clamped to `[0, 1]`.
+        probability: f64,
+    },
+    /// Denies only while the injector's clock is in `[from, until)`.
+    Windowed {
+        /// First faulting cycle.
+        from: u64,
+        /// First cycle past the window.
+        until: u64,
+    },
+}
+
+impl FaultKind {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Permanent => "permanent",
+            FaultKind::Transient { .. } => "transient",
+            FaultKind::Intermittent { .. } => "intermittent",
+            FaultKind::Windowed { .. } => "windowed",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Permanent => write!(f, "permanent"),
+            FaultKind::Transient { clears_after } => {
+                write!(f, "transient(clears_after={clears_after})")
+            }
+            FaultKind::Intermittent { probability } => {
+                write!(f, "intermittent(p={probability})")
+            }
+            FaultKind::Windowed { from, until } => write!(f, "windowed({from}..{until})"),
+        }
+    }
+}
+
+/// What one page injects: a temporal behaviour plus the error embedded in
+/// denied responses (per-page error codes — a machine check on one page,
+/// a bus error on another).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// When the page denies.
+    pub kind: FaultKind,
+    /// The exception carried by denied transactions.
+    pub exception: ExceptionKind,
+}
+
+impl FaultSpec {
+    /// A spec denying with `kind` and responding with a bus error — the
+    /// common case, matching EInject's wire behaviour.
+    pub fn bus_error(kind: FaultKind) -> Self {
+        FaultSpec {
+            kind,
+            exception: ExceptionKind::BusError,
+        }
+    }
+
+    /// The same temporal behaviour with a different embedded exception.
+    pub fn with_exception(mut self, exception: ExceptionKind) -> Self {
+        self.exception = exception;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(FaultKind::Permanent.name(), "permanent");
+        assert_eq!(FaultKind::Transient { clears_after: 3 }.name(), "transient");
+        assert_eq!(
+            FaultKind::Intermittent { probability: 0.5 }.name(),
+            "intermittent"
+        );
+        assert_eq!(FaultKind::Windowed { from: 0, until: 9 }.name(), "windowed");
+    }
+
+    #[test]
+    fn display_carries_parameters() {
+        assert_eq!(
+            FaultKind::Transient { clears_after: 2 }.to_string(),
+            "transient(clears_after=2)"
+        );
+        assert_eq!(
+            FaultKind::Windowed {
+                from: 10,
+                until: 20
+            }
+            .to_string(),
+            "windowed(10..20)"
+        );
+    }
+
+    #[test]
+    fn bus_error_spec_defaults() {
+        let s = FaultSpec::bus_error(FaultKind::Permanent);
+        assert_eq!(s.exception, ExceptionKind::BusError);
+        let m = s.with_exception(ExceptionKind::MachineCheck);
+        assert_eq!(m.exception, ExceptionKind::MachineCheck);
+        assert_eq!(m.kind, FaultKind::Permanent);
+    }
+}

@@ -8,16 +8,13 @@
 //! post-retirement exceptions) manifest.
 
 use crate::addr::Addr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An architectural register name in the trace ISA.
 ///
 /// Registers exist so that litmus tests and traces can express address,
 /// data, and control dependencies — the "Dependencies" family of Table 6.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Reg(pub u8);
 
 impl fmt::Display for Reg {
@@ -27,7 +24,7 @@ impl fmt::Display for Reg {
 }
 
 /// Fence flavours, mirroring the strength hierarchy RVWMO offers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FenceKind {
     /// Full fence: orders every earlier memory operation before every later
     /// one (`fence rw,rw`). This is the `F` of the paper's formalism
@@ -52,7 +49,7 @@ impl fmt::Display for FenceKind {
 }
 
 /// The operation performed by one trace instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstrKind {
     /// Load 8 bytes from `addr` into `dst`.
     Load {
@@ -120,7 +117,7 @@ impl InstrKind {
 /// assert!(st.kind.is_memory());
 /// assert_eq!(st.kind.addr(), Some(Addr::new(0x100)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Instruction {
     /// The operation.
     pub kind: InstrKind,
@@ -193,7 +190,7 @@ impl fmt::Display for Instruction {
 ///
 /// Fractions are in percent and need not sum exactly to 100 (the paper's
 /// rows round).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstructionMix {
     /// Percentage of stores.
     pub store_pct: f64,
@@ -218,7 +215,13 @@ impl InstructionMix {
                 InstrKind::Other { .. } => o += 1,
             }
         }
-        let pct = |c: u64| if n == 0 { 0.0 } else { 100.0 * c as f64 / n as f64 };
+        let pct = |c: u64| {
+            if n == 0 {
+                0.0
+            } else {
+                100.0 * c as f64 / n as f64
+            }
+        };
         InstructionMix {
             store_pct: pct(s),
             load_pct: pct(l),
@@ -246,7 +249,9 @@ mod tests {
     fn constructors_classify() {
         assert!(Instruction::load(Addr::new(0), Reg(1)).kind.is_memory());
         assert!(Instruction::store(Addr::new(0), 1).kind.is_memory());
-        assert!(Instruction::atomic(Addr::new(0), 1, Reg(0)).kind.is_memory());
+        assert!(Instruction::atomic(Addr::new(0), 1, Reg(0))
+            .kind
+            .is_memory());
         assert!(!Instruction::fence(FenceKind::Full).kind.is_memory());
         assert!(!Instruction::other().kind.is_memory());
     }

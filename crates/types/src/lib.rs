@@ -27,15 +27,21 @@
 
 pub mod addr;
 pub mod config;
+pub mod error;
 pub mod exception;
 pub mod faulting;
+pub mod faults;
 pub mod instr;
+pub mod json;
 pub mod model;
 pub mod stats;
 
 pub use addr::{Addr, ByteMask, CoreId, PageId};
 pub use config::SystemConfig;
+pub use error::SimError;
 pub use exception::{ExceptionClass, ExceptionKind};
 pub use faulting::FaultingStoreEntry;
-pub use instr::{Instruction, InstrKind};
+pub use faults::{FaultKind, FaultSpec};
+pub use instr::{InstrKind, Instruction};
+pub use json::{Json, ToJson};
 pub use model::{ConsistencyModel, DrainPolicy};

@@ -1,13 +1,12 @@
 //! Memory-consistency model and drain-policy selectors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The memory consistency model a core (and the checker) enforces.
 ///
 /// The paper studies PC (used interchangeably with TSO, §4.2) and WC, with
 /// SC as the degenerate "store buffer disabled" baseline of §2.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConsistencyModel {
     /// Sequential Consistency: no store buffer; every memory operation
     /// completes before the next retires.
@@ -53,7 +52,7 @@ impl fmt::Display for ConsistencyModel {
 
 /// How non-faulting stores that share the store buffer with a faulting
 /// store are treated (paper §4.5 vs §4.6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DrainPolicy {
     /// Same-stream (§4.6, the paper's design): on detection, *all* store
     /// buffer entries — faulting and younger non-faulting — drain to the

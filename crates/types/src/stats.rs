@@ -1,6 +1,5 @@
 //! Statistics containers used by the simulator and the experiment harness.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A streaming mean/min/max accumulator for cycle counts and similar
@@ -14,7 +13,7 @@ use std::fmt;
 /// assert_eq!(s.min(), Some(2.0));
 /// assert_eq!(s.max(), Some(6.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     count: u64,
     sum: f64,
@@ -87,7 +86,10 @@ impl fmt::Display for Summary {
             write!(
                 f,
                 "n={} mean={:.2} min={:.2} max={:.2}",
-                self.count, self.mean(), self.min, self.max
+                self.count,
+                self.mean(),
+                self.min,
+                self.max
             )
         }
     }
@@ -95,7 +97,7 @@ impl fmt::Display for Summary {
 
 /// A fixed-bucket histogram with power-of-two bucket boundaries, used for
 /// latency distributions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
 }
@@ -144,7 +146,7 @@ impl Default for Histogram {
 }
 
 /// Core-level timing statistics produced by one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CoreStats {
     /// Instructions retired.
     pub retired: u64,

@@ -164,10 +164,7 @@ mod tests {
         cfg.in_einject = true;
         let w = cloud_workload(CloudService::DataServing, &cfg);
         assert_eq!(w.traces.len(), 3);
-        assert_eq!(
-            w.einject_pages.len() as u64,
-            cfg.working_set / 4096,
-        );
+        assert_eq!(w.einject_pages.len() as u64, cfg.working_set / 4096,);
     }
 
     #[test]

@@ -264,8 +264,7 @@ pub fn bc(
                 let v = g.col_idx[e as usize] as usize;
                 rec.load_elem(arrays.dist, v as u64);
                 if dist[v] == dist[w as usize] + 1 && sigma[v] > 0 {
-                    let share =
-                        sigma[w as usize] as f64 / sigma[v] as f64 * (1.0 + delta[v]);
+                    let share = sigma[w as usize] as f64 / sigma[v] as f64 * (1.0 + delta[v]);
                     delta[w as usize] += share;
                     rec.store_elem(arrays.aux2, w as u64, delta[w as usize].to_bits());
                     rec.alu(2);
@@ -445,7 +444,10 @@ mod tests {
         // On a directed path, interior nodes carry through-traffic.
         assert!(c[1] > 0.0 && c[2] > 0.0 && c[3] > 0.0);
         assert_eq!(c[0], 0.0);
-        assert!(c[2] >= c[3], "upstream interior nodes relay more paths: {c:?}");
+        assert!(
+            c[2] >= c[3],
+            "upstream interior nodes relay more paths: {c:?}"
+        );
     }
 
     #[test]

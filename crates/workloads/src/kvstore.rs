@@ -18,8 +18,14 @@ const NODE_BYTES: u64 = 256;
 
 #[derive(Debug, Clone)]
 enum Node {
-    Internal { keys: Vec<u64>, children: Vec<usize> },
-    Leaf { keys: Vec<u64>, values: Vec<u64> },
+    Internal {
+        keys: Vec<u64>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        values: Vec<u64>,
+    },
 }
 
 /// An arena-allocated B+tree recording its memory traffic.
@@ -96,10 +102,7 @@ impl BPlusTree {
                     id = children[slot];
                 }
                 Node::Leaf { keys, values } => {
-                    return keys
-                        .binary_search(&key)
-                        .ok()
-                        .map(|i| values[i]);
+                    return keys.binary_search(&key).ok().map(|i| values[i]);
                 }
             }
         }
@@ -144,7 +147,13 @@ impl BPlusTree {
                     let rk = keys.split_off(mid);
                     let rv = values.split_off(mid);
                     let sep = rk[0];
-                    (sep, Node::Leaf { keys: rk, values: rv })
+                    (
+                        sep,
+                        Node::Leaf {
+                            keys: rk,
+                            values: rv,
+                        },
+                    )
                 }
                 Node::Internal { keys, children } if keys.len() > FANOUT => {
                     let mid = keys.len() / 2;
@@ -152,7 +161,13 @@ impl BPlusTree {
                     let rk = keys.split_off(mid + 1);
                     let rc = children.split_off(mid + 1);
                     keys.pop();
-                    (sep, Node::Internal { keys: rk, children: rc })
+                    (
+                        sep,
+                        Node::Internal {
+                            keys: rk,
+                            children: rc,
+                        },
+                    )
                 }
                 _ => break,
             };
@@ -285,7 +300,11 @@ pub fn kv_workload(engine: KvEngine, cfg: &KvConfig) -> Workload {
                     tree_view.put(rng.range(0, key_space), op as u64, &mut rec);
                     // Redo-log record: TID, key, value, epoch.
                     for field in 0..3u64 {
-                        rec.store_elem(log_base, (op as u64 * 4 + field) % (log_bytes / 8), op as u64);
+                        rec.store_elem(
+                            log_base,
+                            (op as u64 * 4 + field) % (log_bytes / 8),
+                            op as u64,
+                        );
                     }
                     rec.atomic_elem(tid_base, 0, 1);
                     rec.fence();

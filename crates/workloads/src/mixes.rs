@@ -12,10 +12,9 @@ use crate::recorder::TraceRecorder;
 use crate::Workload;
 use ise_engine::SimRng;
 use ise_types::addr::LINE_SIZE;
-use serde::{Deserialize, Serialize};
 
 /// One Table 3 row's workload description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MixSpec {
     /// Workload name (paper row).
     pub name: &'static str,

@@ -37,12 +37,14 @@ impl TraceRecorder {
 
     /// Records a load of element `i` of the array at `base`.
     pub fn load_elem(&mut self, base: Addr, i: u64) {
-        self.trace.push(Instruction::load(base.offset(i * 8), Reg(0)));
+        self.trace
+            .push(Instruction::load(base.offset(i * 8), Reg(0)));
     }
 
     /// Records a store of `value` to element `i` of the array at `base`.
     pub fn store_elem(&mut self, base: Addr, i: u64, value: u64) {
-        self.trace.push(Instruction::store(base.offset(i * 8), value));
+        self.trace
+            .push(Instruction::store(base.offset(i * 8), value));
     }
 
     /// Records an atomic fetch-add on element `i` of the array at `base`.

@@ -70,7 +70,11 @@ pub fn analyze(trace: &[Instruction]) -> TraceStats {
         memory_ops,
         distinct_lines: lines.len(),
         distinct_pages: pages.len(),
-        address_span: if memory_ops == 0 { 0 } else { max_a - min_a + 8 },
+        address_span: if memory_ops == 0 {
+            0
+        } else {
+            max_a - min_a + 8
+        },
         hot_reuse_fraction: if memory_ops == 0 {
             0.0
         } else {
@@ -109,7 +113,7 @@ mod tests {
         let base = Addr::new(0x1000);
         let trace = vec![
             Instruction::store(base, 1),
-            Instruction::load(base, Reg(0)),      // same line: hot reuse
+            Instruction::load(base, Reg(0)), // same line: hot reuse
             Instruction::load(base.offset(4096 * 3), Reg(1)),
             Instruction::other(),
         ];
@@ -151,7 +155,12 @@ mod tests {
         let stats: Vec<(String, TraceStats)> = specs
             .iter()
             .filter(|s| s.suite == "GAP")
-            .map(|s| (s.name.to_string(), analyze(&synthesize(s, 10_000, 1, 3).traces[0])))
+            .map(|s| {
+                (
+                    s.name.to_string(),
+                    analyze(&synthesize(s, 10_000, 1, 3).traces[0]),
+                )
+            })
             .collect();
         for (name, s) in &stats {
             assert!(s.memory_ops > 1000, "{name}: too few memory ops");
@@ -175,8 +184,7 @@ mod tests {
         let mut cfg = GapConfig::small(1);
         cfg.in_einject = true;
         let w = gap_workload(GapKernel::Sssp, &cfg);
-        let declared: std::collections::HashSet<_> =
-            w.einject_pages.iter().copied().collect();
+        let declared: std::collections::HashSet<_> = w.einject_pages.iter().copied().collect();
         for p in touched_pages(&w.traces[0]) {
             assert!(declared.contains(&p), "{p} touched but not declared");
         }

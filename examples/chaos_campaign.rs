@@ -1,0 +1,49 @@
+//! Chaos campaign demo: sweep fault rate × kind over the kvstore
+//! workload and print the invariant-checked JSON report.
+//!
+//! ```sh
+//! cargo run --release --example chaos_campaign
+//! ```
+
+use imprecise_store_exceptions::sim::{ChaosCampaign, ChaosConfig};
+use imprecise_store_exceptions::types::config::SystemConfig;
+use imprecise_store_exceptions::types::{ConsistencyModel, FaultKind, ToJson};
+use imprecise_store_exceptions::workloads::kvstore::{kv_workload, KvConfig, KvEngine};
+
+fn main() {
+    let mut cfg = SystemConfig::isca23();
+    cfg.noc.mesh_x = 2;
+    cfg.noc.mesh_y = 1;
+    cfg.cores = 2;
+    let cfg = cfg.with_model(ConsistencyModel::Pc);
+
+    let mut kv = KvConfig::small(2);
+    kv.preload = 400;
+    kv.ops_per_core = 80;
+    kv.in_einject = true;
+    let workload = kv_workload(KvEngine::Silo, &kv);
+
+    let chaos = ChaosConfig {
+        seed: 0xC4A05,
+        kinds: vec![
+            FaultKind::Permanent,
+            FaultKind::Transient { clears_after: 2 },
+            FaultKind::Intermittent { probability: 0.5 },
+            FaultKind::Windowed {
+                from: 0,
+                until: 100_000,
+            },
+        ],
+        rates: vec![0.1, 0.25, 0.5, 1.0],
+        max_cycles: 500_000_000,
+    };
+
+    let report = ChaosCampaign::new(cfg, chaos).run(&[workload]);
+    eprintln!(
+        "{} runs, all invariants {}",
+        report.runs.len(),
+        if report.all_ok() { "held" } else { "VIOLATED" }
+    );
+    println!("{}", report.to_json().render());
+    assert!(report.all_ok(), "invariant violation — see report");
+}

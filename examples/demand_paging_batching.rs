@@ -13,13 +13,19 @@ fn main() {
     // IO overlap: the §5.3 argument in isolation.
     let io = IoScheduler::new(20_000);
     println!("demand-paging IO for N page faults (io_latency = 20k cycles):");
-    println!("{:>4} {:>14} {:>14} {:>8}", "N", "serial cycles", "batched cycles", "speedup");
+    println!(
+        "{:>4} {:>14} {:>14} {:>8}",
+        "N", "serial cycles", "batched cycles", "speedup"
+    );
     for n in [1, 4, 16, 64] {
         let mut s = IoScheduler::new(20_000);
         let serial = s.serial(n, 0);
         let mut b = IoScheduler::new(20_000);
         let batched = b.batched(n, 0);
-        println!("{n:>4} {serial:>14} {batched:>14} {:>7.1}x", io.batching_speedup(n));
+        println!(
+            "{n:>4} {serial:>14} {batched:>14} {:>7.1}x",
+            io.batching_speedup(n)
+        );
     }
 
     // End-to-end: the §6.4 microbenchmark at increasing fault intensity

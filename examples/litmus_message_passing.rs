@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example litmus_message_passing`
 
 use imprecise_store_exceptions::consistency::axiom::allowed_outcomes;
-use imprecise_store_exceptions::consistency::program::{
-    format_outcome, LitmusProgram, Loc, Stmt,
-};
+use imprecise_store_exceptions::consistency::program::{format_outcome, LitmusProgram, Loc, Stmt};
 use imprecise_store_exceptions::litmus::machine::{explore, MachineConfig};
 use imprecise_store_exceptions::prelude::*;
 use ise_types::instr::{FenceKind, Reg};

@@ -54,7 +54,11 @@ fn main() {
     .with_contract_monitor();
     let stats = sys.run(100_000_000);
     println!("== täkō (compression callbacks, all metadata cold at start)");
-    println!("   retired {} instructions in {} cycles", stats.retired(), stats.cycles);
+    println!(
+        "   retired {} instructions in {} cycles",
+        stats.retired(),
+        stats.cycles
+    );
     println!(
         "   imprecise exceptions: {}   precise: {}   stores applied by OS: {}",
         stats.imprecise_exceptions, stats.precise_exceptions, stats.stores_applied
@@ -64,7 +68,8 @@ fn main() {
         tako.fault_counts()
     );
     println!("   cold pages remaining: {}", tako.cold_count());
-    sys.check_contract().expect("Table 5 holds for accelerator faults too");
+    sys.check_contract()
+        .expect("Table 5 holds for accelerator faults too");
     println!("   Table 5 contract: OK");
 
     // ---- Midgard --------------------------------------------------------

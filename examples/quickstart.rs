@@ -31,8 +31,10 @@ fn main() {
     let mut cfg = SystemConfig::isca23();
     cfg.noc.mesh_x = 2;
     cfg.noc.mesh_y = 1;
-    println!("system: {} core(s), {} model, {}-entry store buffer",
-        1, cfg.core.model, cfg.core.sb_entries);
+    println!(
+        "system: {} core(s), {} model, {}-entry store buffer",
+        1, cfg.core.model, cfg.core.sb_entries
+    );
 
     let mut system = System::new(cfg, &workload).with_contract_monitor();
     let stats = system.run(10_000_000);

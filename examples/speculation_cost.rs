@@ -22,10 +22,18 @@ fn main() {
     let result = sweep_checkpoints(&cfg, &workload.traces, &[1, 2, 4, 8, 16, 32], u64::MAX / 4);
 
     println!("workload: {} ({})", spec.name, spec.suite);
-    println!("SC IPC: {:.3}   WC IPC: {:.3}   WC speedup: {:.2}x (paper: {:.2}x)",
-        result.sc_ipc, result.wc_ipc, result.wc_speedup(), spec.paper_wc_speedup);
+    println!(
+        "SC IPC: {:.3}   WC IPC: {:.3}   WC speedup: {:.2}x (paper: {:.2}x)",
+        result.sc_ipc,
+        result.wc_ipc,
+        result.wc_speedup(),
+        spec.paper_wc_speedup
+    );
     println!();
-    println!("{:>11} {:>8} {:>9} {:>11}", "checkpoints", "IPC", "peak SB", "state (KB)");
+    println!(
+        "{:>11} {:>8} {:>9} {:>11}",
+        "checkpoints", "IPC", "peak SB", "state (KB)"
+    );
     for p in &result.points {
         println!(
             "{:>11} {:>8.3} {:>9} {:>11.1}{}",
@@ -33,7 +41,11 @@ fn main() {
             p.ipc,
             p.peak_sb,
             p.state_bytes as f64 / 1024.0,
-            if Some(*p) == result.required { "  <- required" } else { "" }
+            if Some(*p) == result.required {
+                "  <- required"
+            } else {
+                ""
+            }
         );
     }
     match result.required_kb() {

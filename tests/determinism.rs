@@ -19,7 +19,10 @@ fn workload_generation_is_deterministic() {
     assert_eq!(ka.traces, kb.traces);
     let ma = microbench(&MicrobenchConfig::small(8));
     let mb = microbench(&MicrobenchConfig::small(8));
-    assert_eq!(ma.iterations[0].faulting_pages, mb.iterations[0].faulting_pages);
+    assert_eq!(
+        ma.iterations[0].faulting_pages,
+        mb.iterations[0].faulting_pages
+    );
 }
 
 #[test]

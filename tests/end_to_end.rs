@@ -55,9 +55,11 @@ fn all_faulting_stores_reach_memory_in_program_order_values() {
 #[test]
 fn wc_and_pc_systems_handle_faults_sc_takes_precise() {
     for model in [ConsistencyModel::Pc, ConsistencyModel::Wc] {
-        let stats =
-            run_workload_with_model(small_cfg(), model, &store_workload(64, 1), 50_000_000);
-        assert!(stats.imprecise_exceptions >= 1, "{model}: no imprecise exceptions");
+        let stats = run_workload_with_model(small_cfg(), model, &store_workload(64, 1), 50_000_000);
+        assert!(
+            stats.imprecise_exceptions >= 1,
+            "{model}: no imprecise exceptions"
+        );
         assert_eq!(stats.retired(), 128, "{model}");
     }
     let stats = run_workload_with_model(
@@ -111,7 +113,9 @@ fn einject_pages_clear_exactly_once() {
     let mut sys = System::new(small_cfg(), &store_workload(600, 2));
     let stats = sys.run(100_000_000);
     assert!(!sys.einject().is_faulting(Addr::new(EINJECT_BASE)));
-    assert!(!sys.einject().is_faulting(Addr::new(EINJECT_BASE + PAGE_SIZE)));
+    assert!(!sys
+        .einject()
+        .is_faulting(Addr::new(EINJECT_BASE + PAGE_SIZE)));
     // 600 stores cover 4800 bytes: both marked pages were touched.
     assert!(stats.denied >= 2);
     assert_eq!(stats.killed, 0);

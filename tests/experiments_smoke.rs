@@ -19,7 +19,11 @@ fn table3_rows_track_paper_shape() {
         // WC never loses to SC.
         assert!(r.wc_speedup >= 0.95, "{}", r.spec.name);
         // Some budget reached WC performance on the baseline system.
-        assert!(r.state_kb[0].is_some(), "{}: no budget reached WC", r.spec.name);
+        assert!(
+            r.state_kb[0].is_some(),
+            "{}: no budget reached WC",
+            r.spec.name
+        );
     }
     // Cross-row shape: BC (store-heavy, bursty) gains the most among
     // GAP; SSSP the least.
@@ -31,7 +35,9 @@ fn table3_rows_track_paper_shape() {
 #[test]
 fn fig5_batching_trend() {
     let rows = fig5(&[4, 256, 1024]);
-    assert!(rows.windows(2).all(|w| w[0].batch_factor <= w[1].batch_factor + 0.2));
+    assert!(rows
+        .windows(2)
+        .all(|w| w[0].batch_factor <= w[1].batch_factor + 0.2));
     let first = rows.first().unwrap();
     let last = rows.last().unwrap();
     assert!(last.total_per_store() < first.total_per_store());

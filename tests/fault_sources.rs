@@ -21,7 +21,12 @@ fn small_cfg() -> SystemConfig {
 
 fn stores_into(base: Addr, n: u64) -> Workload {
     let trace: Vec<Instruction> = (0..n)
-        .flat_map(|i| [Instruction::store(base.offset(i * 64), i + 1), Instruction::other()])
+        .flat_map(|i| {
+            [
+                Instruction::store(base.offset(i * 64), i + 1),
+                Instruction::other(),
+            ]
+        })
         .collect();
     Workload {
         name: "stores".into(),
@@ -35,8 +40,9 @@ fn tako_faults_flow_through_the_fsb_and_resolve() {
     let base = Addr::new(0x5000_0000);
     let tako = Rc::new(Tako::new(base, 8 * PAGE_SIZE, Callback::Encryption));
     tako.make_all_cold();
-    let mut sys = System::with_fault_sources(small_cfg(), &stores_into(base, 128), vec![tako.clone()])
-        .with_contract_monitor();
+    let mut sys =
+        System::with_fault_sources(small_cfg(), &stores_into(base, 128), vec![tako.clone()])
+            .with_contract_monitor();
     let stats = sys.run(100_000_000);
     assert!(stats.imprecise_exceptions > 0, "accelerator must fault");
     assert_eq!(stats.retired(), 256);
@@ -45,7 +51,8 @@ fn tako_faults_flow_through_the_fsb_and_resolve() {
     // reached memory through S_OS.
     assert!(!tako.probe(base));
     assert_eq!(sys.memory().read(base), 1);
-    sys.check_contract().expect("contract holds for accelerator faults");
+    sys.check_contract()
+        .expect("contract holds for accelerator faults");
 }
 
 #[test]
@@ -60,7 +67,9 @@ fn poisoned_tako_pages_raise_accelerator_codes_and_recover() {
     // The accelerator-specific code was observed at least once.
     let counts = tako.fault_counts();
     assert!(
-        counts.iter().any(|&(c, n)| c == Callback::Compression.error_code() && n > 0),
+        counts
+            .iter()
+            .any(|&(c, n)| c == Callback::Compression.error_code() && n > 0),
         "{counts:?}"
     );
     // The OS "repaired" the page via the resolver; the run completed.
@@ -76,7 +85,10 @@ fn midgard_back_side_faults_are_imprecise_for_stores() {
     let mut sys =
         System::with_fault_sources(small_cfg(), &stores_into(base, 64), vec![mmu.clone()]);
     let stats = sys.run(100_000_000);
-    assert!(stats.imprecise_exceptions > 0, "late translation must fault");
+    assert!(
+        stats.imprecise_exceptions > 0,
+        "late translation must fault"
+    );
     assert!(mmu.back_faults() > 0);
     // Every touched page got mapped by the OS.
     assert!(mmu.is_mapped(base));
@@ -118,15 +130,24 @@ fn three_fault_sources_compose_in_one_system() {
     assert!(!sys.einject().is_faulting(einject_base));
     assert!(!tako.probe(tako_base));
     assert!(mmu.is_mapped(midgard_base));
-    sys.check_contract().expect("contract holds with composed sources");
+    sys.check_contract()
+        .expect("contract holds with composed sources");
 }
 
 #[test]
 fn composite_resolver_is_priority_ordered() {
     // If two sources overlap, the first one's verdict wins for check();
     // resolve() clears both.
-    let a = Rc::new(Tako::new(Addr::new(0x8000_0000), PAGE_SIZE, Callback::Scatter));
-    let b = Rc::new(Tako::new(Addr::new(0x8000_0000), PAGE_SIZE, Callback::Encryption));
+    let a = Rc::new(Tako::new(
+        Addr::new(0x8000_0000),
+        PAGE_SIZE,
+        Callback::Scatter,
+    ));
+    let b = Rc::new(Tako::new(
+        Addr::new(0x8000_0000),
+        PAGE_SIZE,
+        Callback::Encryption,
+    ));
     a.poison(Addr::new(0x8000_0000));
     b.poison(Addr::new(0x8000_0000));
     let c = CompositeResolver::new(vec![a.clone(), b.clone()]);

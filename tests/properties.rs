@@ -14,66 +14,74 @@ use imprecise_store_exceptions::prelude::*;
 use ise_types::addr::ByteMask;
 use ise_types::exception::ErrorCode;
 use ise_types::instr::{FenceKind, Reg};
-use proptest::prelude::*;
+use quickprop::Gen;
 
 /// A random statement over two locations and two registers.
-fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (0u8..2, 1u64..4).prop_map(|(l, v)| Stmt::write(Loc(l), v)),
-        (0u8..2, 0u8..2).prop_map(|(l, r)| Stmt::read(Loc(l), Reg(r))),
-        Just(Stmt::fence(FenceKind::Full)),
-        Just(Stmt::fence(FenceKind::StoreStore)),
-    ]
+fn arb_stmt(g: &mut Gen) -> Stmt {
+    match g.range_u64(0, 4) {
+        0 => Stmt::write(Loc(g.range_u64(0, 2) as u8), g.range_u64(1, 4)),
+        1 => Stmt::read(Loc(g.range_u64(0, 2) as u8), Reg(g.range_u64(0, 2) as u8)),
+        2 => Stmt::fence(FenceKind::Full),
+        _ => Stmt::fence(FenceKind::StoreStore),
+    }
 }
 
 /// A random 2-thread program with ≤3 statements per thread, with
 /// dangling dependencies repaired (none generated).
-fn arb_program() -> impl Strategy<Value = LitmusProgram> {
-    (
-        prop::collection::vec(arb_stmt(), 1..=3),
-        prop::collection::vec(arb_stmt(), 1..=3),
-    )
-        .prop_map(|(t0, t1)| LitmusProgram::new(vec![t0, t1]))
+fn arb_program(g: &mut Gen) -> LitmusProgram {
+    let (n0, n1) = (g.range_usize(1, 4), g.range_usize(1, 4));
+    let t0 = g.vec_of(n0, arb_stmt);
+    let t1 = g.vec_of(n1, arb_stmt);
+    LitmusProgram::new(vec![t0, t1])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Machine ⊆ model, for every model, with and without faults: the
-    /// reproduction of the paper's litmus claim over *random* programs.
-    #[test]
-    fn machine_never_exceeds_model(prog in arb_program(), faults: bool) {
-        for model in [ConsistencyModel::Sc, ConsistencyModel::Pc, ConsistencyModel::Wc] {
+/// Machine ⊆ model, for every model, with and without faults: the
+/// reproduction of the paper's litmus claim over *random* programs.
+#[test]
+fn machine_never_exceeds_model() {
+    quickprop::check(64, |g| {
+        let prog = arb_program(g);
+        let faults = g.bool();
+        for model in [
+            ConsistencyModel::Sc,
+            ConsistencyModel::Pc,
+            ConsistencyModel::Wc,
+        ] {
             let mut cfg = MachineConfig::baseline(model);
             if faults {
                 cfg = cfg.with_all_faulting(&prog);
             }
             let observed = explore(&prog, &cfg).outcomes;
             let allowed = allowed_outcomes(&prog, model);
-            prop_assert!(
+            assert!(
                 observed.is_subset(&allowed),
-                "{model} faults={faults}: observed {:?} allowed {:?}",
-                observed, allowed
+                "{model} faults={faults}: observed {observed:?} allowed {allowed:?}"
             );
         }
-    }
+    });
+}
 
-    /// Stronger models allow fewer (or equal) outcomes: SC ⊆ PC ⊆ WC.
-    #[test]
-    fn model_strength_is_monotone(prog in arb_program()) {
+/// Stronger models allow fewer (or equal) outcomes: SC ⊆ PC ⊆ WC.
+#[test]
+fn model_strength_is_monotone() {
+    quickprop::check(64, |g| {
+        let prog = arb_program(g);
         let sc = allowed_outcomes(&prog, ConsistencyModel::Sc);
         let pc = allowed_outcomes(&prog, ConsistencyModel::Pc);
         let wc = allowed_outcomes(&prog, ConsistencyModel::Wc);
-        prop_assert!(sc.is_subset(&pc), "SC ⊄ PC");
-        prop_assert!(pc.is_subset(&wc), "PC ⊄ WC");
-        prop_assert!(!sc.is_empty(), "SC must allow something");
-    }
+        assert!(sc.is_subset(&pc), "SC ⊄ PC");
+        assert!(pc.is_subset(&wc), "PC ⊄ WC");
+        assert!(!sc.is_empty(), "SC must allow something");
+    });
+}
 
-    /// Fault injection never *adds* outcomes beyond the fault-free
-    /// machine's own model envelope (it may reduce reachable
-    /// interleavings, never exceed the model).
-    #[test]
-    fn faults_stay_within_model(prog in arb_program()) {
+/// Fault injection never *adds* outcomes beyond the fault-free
+/// machine's own model envelope (it may reduce reachable
+/// interleavings, never exceed the model).
+#[test]
+fn faults_stay_within_model() {
+    quickprop::check(64, |g| {
+        let prog = arb_program(g);
         let model = ConsistencyModel::Pc;
         let faulty = explore(
             &prog,
@@ -81,60 +89,74 @@ proptest! {
         )
         .outcomes;
         let allowed = allowed_outcomes(&prog, model);
-        prop_assert!(faulty.is_subset(&allowed));
-    }
+        assert!(faulty.is_subset(&allowed));
+    });
+}
 
-    /// FSB is FIFO under arbitrary interleavings of pushes and pops.
-    #[test]
-    fn fsb_is_fifo(ops in prop::collection::vec(any::<bool>(), 1..60)) {
+/// FSB is FIFO under arbitrary interleavings of pushes and pops.
+#[test]
+fn fsb_is_fifo() {
+    quickprop::check(64, |g| {
+        let len = g.range_usize(1, 60);
+        let ops = g.vec_of(len, Gen::bool);
         let mut fsb = Fsb::new(Addr::new(0x1000), 16);
         let mut next_push = 0u64;
         let mut next_pop = 0u64;
         for push in ops {
             if push {
                 let e = FaultingStoreEntry::new(
-                    Addr::new(next_push * 8), next_push, ByteMask::FULL, ErrorCode(1));
+                    Addr::new(next_push * 8),
+                    next_push,
+                    ByteMask::FULL,
+                    ErrorCode(1),
+                );
                 if fsb.push(e).is_ok() {
                     next_push += 1;
                 }
             } else if let Some(e) = fsb.pop_head() {
-                prop_assert_eq!(e.data, next_pop);
+                assert_eq!(e.data, next_pop);
                 next_pop += 1;
             }
         }
-        prop_assert_eq!(fsb.len() as u64, next_push - next_pop);
-    }
+        assert_eq!(fsb.len() as u64, next_push - next_pop);
+    });
+}
 
-    /// Byte-mask merge is idempotent and only touches covered bytes.
-    #[test]
-    fn mask_merge_properties(old: u64, new: u64, bits: u8) {
+/// Byte-mask merge is idempotent and only touches covered bytes.
+#[test]
+fn mask_merge_properties() {
+    quickprop::check(256, |g| {
+        let (old, new, bits) = (g.u64(), g.u64(), g.u8());
         let mask = ByteMask::from_bits(bits);
         let merged = mask.merge(old, new);
-        prop_assert_eq!(mask.merge(merged, new), merged, "idempotent");
+        assert_eq!(mask.merge(merged, new), merged, "idempotent");
         for i in 0..8u8 {
             let shift = i * 8;
             let b = (merged >> shift) & 0xff;
             if mask.covers(i) {
-                prop_assert_eq!(b, (new >> shift) & 0xff);
+                assert_eq!(b, (new >> shift) & 0xff);
             } else {
-                prop_assert_eq!(b, (old >> shift) & 0xff);
+                assert_eq!(b, (old >> shift) & 0xff);
             }
         }
-    }
+    });
+}
 
-    /// Applying a faulting-store entry equals the mask merge.
-    #[test]
-    fn fsb_entry_apply_matches_mask(old: u64, data: u64, bits: u8) {
-        let e = FaultingStoreEntry::new(
-            Addr::new(0), data, ByteMask::from_bits(bits), ErrorCode(1));
-        prop_assert_eq!(e.apply_to(old), ByteMask::from_bits(bits).merge(old, data));
-    }
+/// Applying a faulting-store entry equals the mask merge.
+#[test]
+fn fsb_entry_apply_matches_mask() {
+    quickprop::check(256, |g| {
+        let (old, data, bits) = (g.u64(), g.u64(), g.u8());
+        let e =
+            FaultingStoreEntry::new(Addr::new(0), data, ByteMask::from_bits(bits), ErrorCode(1));
+        assert_eq!(e.apply_to(old), ByteMask::from_bits(bits).merge(old, data));
+    });
 }
 
 #[test]
 fn regression_store_forward_then_fence() {
-    // A shape proptest found interesting during development: forwarding
-    // into a fence-separated read.
+    // A shape property testing found interesting during development:
+    // forwarding into a fence-separated read.
     let prog = LitmusProgram::new(vec![
         vec![
             Stmt::write(Loc(0), 1),

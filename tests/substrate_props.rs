@@ -1,15 +1,17 @@
 //! Property-based tests over the timing substrates: the mesh, the cache
-//! arrays, the TLB, the MSHR file, and the assembled hierarchy.
+//! arrays, the TLB, the MSHR file, the assembled hierarchy, and the FSB
+//! ring under repeated drain episodes.
 
+use imprecise_store_exceptions::core_hw::{Fsb, Fsbc};
 use imprecise_store_exceptions::mem::cache::CacheArray;
 use imprecise_store_exceptions::mem::hierarchy::{Access, MemoryHierarchy};
 use imprecise_store_exceptions::mem::mshr::MshrFile;
 use imprecise_store_exceptions::mem::tlb::Tlb;
 use imprecise_store_exceptions::noc::{Mesh, NodeId};
-use ise_types::addr::Addr;
-use ise_types::config::{CacheConfig, NocConfig, SystemConfig, TlbConfig};
-use ise_types::CoreId;
-use proptest::prelude::*;
+use ise_types::addr::{Addr, ByteMask};
+use ise_types::config::{CacheConfig, NocConfig, OsCostConfig, SystemConfig, TlbConfig};
+use ise_types::exception::ErrorCode;
+use ise_types::{CoreId, FaultingStoreEntry};
 
 fn small_system() -> SystemConfig {
     let mut cfg = SystemConfig::isca23();
@@ -19,23 +21,30 @@ fn small_system() -> SystemConfig {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Triangle inequality on the mesh: routing via any waypoint is never
-    /// shorter than the direct XY route.
-    #[test]
-    fn mesh_hops_triangle_inequality(a in 0usize..16, b in 0usize..16, w in 0usize..16) {
+/// Triangle inequality on the mesh: routing via any waypoint is never
+/// shorter than the direct XY route.
+#[test]
+fn mesh_hops_triangle_inequality() {
+    quickprop::check(64, |g| {
+        let (a, b, w) = (
+            g.range_usize(0, 16),
+            g.range_usize(0, 16),
+            g.range_usize(0, 16),
+        );
         let mesh = Mesh::new(NocConfig::isca23());
         let direct = mesh.hops(NodeId(a), NodeId(b));
         let via = mesh.hops(NodeId(a), NodeId(w)) + mesh.hops(NodeId(w), NodeId(b));
-        prop_assert!(direct <= via);
-    }
+        assert!(direct <= via);
+    });
+}
 
-    /// Cache arrays never exceed capacity and always hit right after an
-    /// insert.
-    #[test]
-    fn cache_occupancy_bounded(lines in prop::collection::vec(0u64..512, 1..200)) {
+/// Cache arrays never exceed capacity and always hit right after an
+/// insert.
+#[test]
+fn cache_occupancy_bounded() {
+    quickprop::check(64, |g| {
+        let len = g.range_usize(1, 200);
+        let lines = g.vec_of(len, |g| g.range_u64(0, 512));
         let mut c = CacheArray::new(&CacheConfig {
             capacity_bytes: 4096, // 64 lines
             ways: 4,
@@ -45,67 +54,88 @@ proptest! {
         for l in lines {
             let line = Addr::new(l * 64);
             c.insert(line, false);
-            prop_assert!(c.contains(line), "just-inserted line must be resident");
-            prop_assert!(c.occupancy() <= c.capacity_lines());
+            assert!(c.contains(line), "just-inserted line must be resident");
+            assert!(c.occupancy() <= c.capacity_lines());
         }
-    }
+    });
+}
 
-    /// TLB: a just-accessed page always hits on re-access, and the walk
-    /// count never exceeds the access count.
-    #[test]
-    fn tlb_hits_after_access(pages in prop::collection::vec(0u64..4096, 1..300)) {
+/// TLB: a just-accessed page always hits on re-access, and the walk
+/// count never exceeds the access count.
+#[test]
+fn tlb_hits_after_access() {
+    quickprop::check(64, |g| {
+        let len = g.range_usize(1, 300);
+        let pages = g.vec_of(len, |g| g.range_u64(0, 4096));
         let mut t = Tlb::new(TlbConfig::isca23());
         let mut accesses = 0u64;
         for p in pages {
             t.access(ise_types::PageId::new(p));
             accesses += 1;
-            prop_assert_eq!(t.access(ise_types::PageId::new(p)), 0, "immediate re-access hits L1 TLB");
+            assert_eq!(
+                t.access(ise_types::PageId::new(p)),
+                0,
+                "immediate re-access hits L1 TLB"
+            );
             accesses += 1;
         }
-        prop_assert!(t.walks() <= accesses);
-    }
+        assert!(t.walks() <= accesses);
+    });
+}
 
-    /// MSHRs: filling the file to capacity at one instant never stalls,
-    /// and the next allocation stalls by exactly the earliest completion.
-    #[test]
-    fn mshr_capacity_semantics(
-        services in prop::collection::vec(1u64..500, 8..=8),
-        extra in 1u64..500,
-    ) {
+/// MSHRs: filling the file to capacity at one instant never stalls,
+/// and the next allocation stalls by exactly the earliest completion.
+#[test]
+fn mshr_capacity_semantics() {
+    quickprop::check(64, |g| {
+        let services = g.vec_of(8, |g| g.range_u64(1, 500));
+        let extra = g.range_u64(1, 500);
         let mut m = MshrFile::new(8);
         for &s in &services {
-            prop_assert_eq!(m.allocate(0, s), 0, "within capacity: no stall");
+            assert_eq!(m.allocate(0, s), 0, "within capacity: no stall");
         }
         let min = *services.iter().min().expect("non-empty");
-        prop_assert_eq!(m.allocate(0, extra), min, "over capacity: wait for the earliest miss");
-    }
+        assert_eq!(
+            m.allocate(0, extra),
+            min,
+            "over capacity: wait for the earliest miss"
+        );
+    });
+}
 
-    /// Hierarchy latencies are always at least the L1 latency and a hit
-    /// after a miss is cheaper than the miss.
-    #[test]
-    fn hierarchy_latency_sane(addrs in prop::collection::vec(0u64..(1u64<<20), 1..100)) {
+/// Hierarchy latencies are always at least the L1 latency and a hit
+/// after a miss is cheaper than the miss.
+#[test]
+fn hierarchy_latency_sane() {
+    quickprop::check(64, |g| {
+        let len = g.range_usize(1, 100);
+        let addrs = g.vec_of(len, |g| g.range_u64(0, 1 << 20));
         let mut h = MemoryHierarchy::new(small_system());
         let mut now = 0;
         for raw in addrs {
             let a = Addr::new(raw & !7);
             let miss = h.access(Access::load(CoreId(0), a), now);
-            prop_assert!(miss.latency >= h.config().l1d.latency);
+            assert!(miss.latency >= h.config().l1d.latency);
             now += miss.latency;
             let hit = h.access(Access::load(CoreId(0), a), now);
-            prop_assert!(hit.latency <= miss.latency, "re-access must not be slower");
+            assert!(hit.latency <= miss.latency, "re-access must not be slower");
             now += hit.latency + 1;
         }
-    }
+    });
+}
 
-    /// Store-buffer coalescing under WC never changes the final merged
-    /// value: pushing two stores to the same word and draining equals
-    /// applying them in order.
-    #[test]
-    fn sb_coalescing_preserves_value(v1: u64, v2: u64, off in 0u8..7, len in 1u8..2) {
-        use imprecise_store_exceptions::cpu::StoreBuffer;
-        use ise_types::addr::ByteMask;
-        use ise_types::exception::ExceptionKind;
+/// Store-buffer coalescing under WC never changes the final merged
+/// value: pushing two stores to the same word and draining equals
+/// applying them in order.
+#[test]
+fn sb_coalescing_preserves_value() {
+    quickprop::check(256, |g| {
         use imprecise_store_exceptions::cpu::DrainFault;
+        use imprecise_store_exceptions::cpu::StoreBuffer;
+        use ise_types::exception::ExceptionKind;
+        let (v1, v2) = (g.u64(), g.u64());
+        let off = g.range_u64(0, 7) as u8;
+        let len = g.range_u64(1, 2) as u8;
         let mut sb = StoreBuffer::new(CoreId(0), 8, ise_types::ConsistencyModel::Wc);
         let a = Addr::new(0x100);
         sb.push(a, v1, ByteMask::FULL);
@@ -113,10 +143,88 @@ proptest! {
         sb.push(a, v2, m2);
         // Reference: apply in order to a zero word.
         let expected = m2.merge(v1, v2);
-        let entries = sb.drain_to_fsb(DrainFault { index: 0, kind: ExceptionKind::BusError });
-        prop_assert_eq!(entries.len(), 1, "same word coalesces");
-        prop_assert_eq!(entries[0].apply_to(0), expected);
-    }
+        let entries = sb.drain_to_fsb(DrainFault {
+            index: 0,
+            kind: ExceptionKind::BusError,
+        });
+        assert_eq!(entries.len(), 1, "same word coalesces");
+        assert_eq!(entries[0].apply_to(0), expected);
+    });
+}
+
+fn seq_entry(i: u64) -> FaultingStoreEntry {
+    FaultingStoreEntry::new(Addr::new((i % 512) * 8), i, ByteMask::FULL, ErrorCode(1))
+}
+
+/// FSB ring wraparound: across many drain-then-handle episodes the
+/// absolute head/tail registers grow far past the ring capacity while
+/// FIFO order and the `len == tail - head` relation hold throughout.
+#[test]
+fn fsb_wraparound_across_drain_episodes() {
+    quickprop::check(64, |g| {
+        let capacity = 1usize << g.range_u64(2, 6); // 4..=32 entries
+        let mut fsb = Fsb::new(Addr::new(0x1000), capacity);
+        let mut fsbc = Fsbc::new(CoreId(0), &OsCostConfig::isca23());
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        let episodes = g.range_u64(8, 40);
+        for _ in 0..episodes {
+            // One drain episode: at most a free ring's worth of entries.
+            let free = fsb.capacity() - fsb.len();
+            let batch_len = g.range_usize(0, free + 1);
+            let batch: Vec<FaultingStoreEntry> = (0..batch_len)
+                .map(|k| seq_entry(next_push + k as u64))
+                .collect();
+            fsbc.drain(&mut fsb, &batch, 0).expect("batch fits");
+            next_push += batch_len as u64;
+            // The OS retrieves a prefix (sometimes everything).
+            let handled = g.range_usize(0, fsb.len() + 1);
+            for _ in 0..handled {
+                let e = fsb.pop_head().expect("len admits pop");
+                assert_eq!(e.data, next_pop, "FIFO across wraparound");
+                next_pop += 1;
+            }
+            let regs = fsb.registers();
+            assert_eq!(regs.tail, next_push);
+            assert_eq!(regs.head, next_pop);
+            assert_eq!(fsb.len() as u64, next_push - next_pop);
+        }
+        // Final episode: the handler drains to empty — head chases tail.
+        while let Some(e) = fsb.pop_head() {
+            assert_eq!(e.data, next_pop);
+            next_pop += 1;
+        }
+        assert!(fsb.is_empty(), "head must catch tail");
+        assert_eq!(fsb.registers().head, fsb.registers().tail);
+    });
+}
+
+/// Head chasing tail: when every episode is fully handled, the ring is
+/// empty after each one, and the absolute pointers pass any power-of-two
+/// boundary without disturbing entry contents.
+#[test]
+fn fsb_head_chases_tail_every_episode() {
+    quickprop::check(64, |g| {
+        let capacity = 8usize;
+        let mut fsb = Fsb::new(Addr::new(0x2000), capacity);
+        let mut fsbc = Fsbc::new(CoreId(1), &OsCostConfig::isca23());
+        let mut seq = 0u64;
+        // Enough episodes to wrap the 8-entry ring several times over.
+        for _ in 0..g.range_u64(10, 50) {
+            let batch_len = g.range_usize(1, capacity + 1);
+            let batch: Vec<FaultingStoreEntry> =
+                (0..batch_len).map(|k| seq_entry(seq + k as u64)).collect();
+            let receipt = fsbc.drain(&mut fsb, &batch, 0).expect("ring was empty");
+            assert_eq!(receipt.entries, batch_len);
+            for _ in 0..batch_len {
+                assert_eq!(fsb.pop_head().expect("queued").data, seq);
+                seq += 1;
+            }
+            assert!(fsb.is_empty(), "head==tail after each handled episode");
+            assert!(fsb.pop_head().is_none(), "empty ring pops nothing");
+        }
+        assert!(fsb.registers().tail >= capacity as u64, "ring wrapped");
+    });
 }
 
 #[test]
@@ -138,4 +246,65 @@ fn hierarchy_is_deterministic_across_reconstruction() {
         (sum, h.stats())
     };
     assert_eq!(run(), run());
+}
+
+/// A transient fault denies exactly `clears_after` transactions, then
+/// heals for good — and software resolution cannot shortcut it.
+#[test]
+fn transient_faults_clear_after_exact_denial_count() {
+    use imprecise_store_exceptions::core_hw::{FaultPlan, FaultResolver};
+    use ise_types::{FaultKind, FaultSpec};
+    quickprop::check(64, |g| {
+        let n = g.range_u64(1, 9) as u32;
+        let addr = Addr::new(g.range_u64(0, 1 << 20) * ise_types::addr::PAGE_SIZE);
+        let inj = FaultPlan::new(g.case())
+            .page(
+                addr.page(),
+                FaultSpec::bus_error(FaultKind::Transient { clears_after: n }),
+            )
+            .build();
+        // Resolution is a no-op on transients: still faulting afterwards.
+        inj.resolve(addr);
+        assert!(inj.is_faulting(addr));
+        for i in 0..n {
+            assert!(
+                ise_mem::FaultOracle::check(&inj, addr, true).is_some(),
+                "denial {i} of {n} must still fault"
+            );
+        }
+        assert!(
+            ise_mem::FaultOracle::check(&inj, addr, true).is_none(),
+            "denial {n} healed the cause"
+        );
+        assert!(!inj.is_faulting(addr));
+        assert_eq!(inj.denied_count(), u64::from(n));
+        assert_eq!(inj.transient_clears(), 1);
+    });
+}
+
+/// EInject's set/clr registers and the injector's permanent plan agree:
+/// a page faults iff marked, and clearing (resolving) is idempotent.
+#[test]
+fn einject_and_permanent_injector_agree_on_clearing() {
+    use imprecise_store_exceptions::core_hw::{EInject, FaultPlan, FaultResolver};
+    use ise_types::{FaultKind, FaultSpec};
+    quickprop::check(64, |g| {
+        let page_idx = g.range_u64(0, 16);
+        let addr = Addr::new(0x10_0000 + page_idx * ise_types::addr::PAGE_SIZE);
+        let dev = EInject::new(Addr::new(0x10_0000), 16 * ise_types::addr::PAGE_SIZE);
+        dev.set_faulting(addr);
+        let inj = FaultPlan::new(g.case())
+            .page(addr.page(), FaultSpec::bus_error(FaultKind::Permanent))
+            .build();
+        assert_eq!(
+            ise_mem::FaultOracle::check(&dev, addr, true).is_some(),
+            ise_mem::FaultOracle::check(&inj, addr, true).is_some()
+        );
+        FaultResolver::resolve(&dev, addr);
+        FaultResolver::resolve(&inj, addr);
+        // Idempotent: resolving twice changes nothing.
+        FaultResolver::resolve(&inj, addr);
+        assert!(ise_mem::FaultOracle::check(&dev, addr, true).is_none());
+        assert!(ise_mem::FaultOracle::check(&inj, addr, true).is_none());
+    });
 }
