@@ -1,119 +1,11 @@
 //! Regenerates Table 5: the contract among cores, interface, and OS —
 //! and *demonstrates* it as executable assertions by auditing a live run
 //! and by showing that each rule's violation is caught.
-
-use ise_bench::print_table;
-use ise_core::{ContractMonitor, OrderEvent};
-use ise_sim::System;
-use ise_types::addr::{Addr, ByteMask};
-use ise_types::config::SystemConfig;
-use ise_types::exception::ErrorCode;
-use ise_types::{ConsistencyModel, CoreId, FaultingStoreEntry, Instruction};
-use ise_workloads::layout::EINJECT_BASE;
-use ise_workloads::Workload;
+//!
+//! The whole report is rendered by [`ise_bench::table5_report`] so the
+//! golden snapshot test (`cargo test -p ise-bench --test golden`) can
+//! freeze exactly what this binary prints.
 
 fn main() {
-    let rows = vec![
-        vec![
-            "component".into(),
-            "requirement (PC)".into(),
-            "checked by".into(),
-        ],
-        vec![
-            "Cores".into(),
-            "Supply faulting stores to the interface in store-buffer order".into(),
-            "StoreBuffer::drain_to_fsb (FIFO) + GetOrderMismatch".into(),
-        ],
-        vec![
-            "Interface".into(),
-            "Supply faulting stores to the OS in the order received".into(),
-            "Fsb ring FIFO + ContractMonitor GET-vs-PUT check".into(),
-        ],
-        vec![
-            "OS (1)".into(),
-            "Program resumes only after exception handling".into(),
-            "ResumeBeforeResolve".into(),
-        ],
-        vec![
-            "OS (2)".into(),
-            "Apply all faulting stores during handling".into(),
-            "UnappliedStores".into(),
-        ],
-        vec![
-            "OS (3)".into(),
-            "Apply the faulting stores in the interface order".into(),
-            "ApplyOrderMismatch (PC only)".into(),
-        ],
-    ];
-    print_table("Table 5: the core/interface/OS contract", &rows);
-
-    // Live audit: run a faulting workload with the monitor on.
-    let base = Addr::new(EINJECT_BASE);
-    let trace: Vec<Instruction> = (0..48)
-        .map(|i| Instruction::store(base.offset(i * 8), i + 1))
-        .collect();
-    let workload = Workload {
-        name: "table5-audit".into(),
-        traces: vec![trace],
-        einject_pages: vec![base.page()],
-    };
-    let mut cfg = SystemConfig::isca23();
-    cfg.noc.mesh_x = 2;
-    cfg.noc.mesh_y = 1;
-    let mut sys = System::new(cfg, &workload).with_contract_monitor();
-    let stats = sys.run(10_000_000);
-    println!(
-        "live audit: {} imprecise exception(s), {} stores applied -> contract {}",
-        stats.imprecise_exceptions,
-        stats.stores_applied,
-        match sys.check_contract() {
-            Ok(()) => "HELD".to_string(),
-            Err(v) => format!("VIOLATED: {v}"),
-        }
-    );
-
-    // Violation demonstrations: each OS rule, when broken, is caught.
-    let e0 = FaultingStoreEntry::new(Addr::new(0), 1, ByteMask::FULL, ErrorCode(1));
-    let e1 = FaultingStoreEntry::new(Addr::new(8), 2, ByteMask::FULL, ErrorCode(1));
-    let c = CoreId(0);
-
-    let mut m = ContractMonitor::new();
-    m.record(OrderEvent::Detect { core: c });
-    m.record(OrderEvent::Resume { core: c });
-    println!(
-        "rule 1 violation detected: {:?}",
-        m.check(ConsistencyModel::Pc).unwrap_err()
-    );
-
-    let mut m = ContractMonitor::new();
-    m.record(OrderEvent::Put { core: c, entry: e0 });
-    m.record(OrderEvent::Get { core: c, entry: e0 });
-    m.record(OrderEvent::Resolve { core: c });
-    println!(
-        "rule 2 violation detected: {:?}",
-        m.check(ConsistencyModel::Pc).unwrap_err()
-    );
-
-    let mut m = ContractMonitor::new();
-    m.record(OrderEvent::Put { core: c, entry: e0 });
-    m.record(OrderEvent::Put { core: c, entry: e1 });
-    m.record(OrderEvent::Get { core: c, entry: e0 });
-    m.record(OrderEvent::Get { core: c, entry: e1 });
-    m.record(OrderEvent::Sos {
-        core: c,
-        addr: e1.addr,
-    });
-    m.record(OrderEvent::Sos {
-        core: c,
-        addr: e0.addr,
-    });
-    m.record(OrderEvent::Resolve { core: c });
-    println!(
-        "rule 3 violation detected: {:?}",
-        m.check(ConsistencyModel::Pc).unwrap_err()
-    );
-    println!(
-        "rule 3 under WC (no inter-store order mandated): {:?}",
-        m.check(ConsistencyModel::Wc)
-    );
+    print!("{}", ise_bench::table5_report());
 }

@@ -7,6 +7,13 @@ use ise_litmus::runner::run_corpus;
 
 fn main() {
     let tests = corpus();
+    // Parallel over (test, model, fault-mode) cases; the merged summary
+    // is identical to a sequential run (set ISE_WORKERS to pin).
+    eprintln!(
+        "running {} tests on {} worker(s)",
+        tests.len(),
+        ise_par::worker_count()
+    );
     let summary = run_corpus(&tests);
     let mut rows = vec![vec![
         "ordering relation".into(),

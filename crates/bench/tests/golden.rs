@@ -1,0 +1,70 @@
+//! Golden snapshot tests: freeze the Table 5 ordering-contract report
+//! and the campaign verdicts for the four checked-in `litmus/` tests.
+//!
+//! Any drift — in the contract monitor, the recovery pipeline, the
+//! litmus parser, the operational machine, or the axiomatic model —
+//! fails these tests with a diff. When the change is intentional,
+//! regenerate the snapshots and commit them:
+//!
+//! ```console
+//! $ ISE_REGEN_GOLDEN=1 cargo test -p ise-bench --test golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn litmus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../litmus")
+}
+
+/// Compares `actual` against the checked-in snapshot, or rewrites the
+/// snapshot when `ISE_REGEN_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("ISE_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}\n\
+             regenerate with: ISE_REGEN_GOLDEN=1 cargo test -p ise-bench --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden drift in {name}; if intended, regenerate with:\n\
+         ISE_REGEN_GOLDEN=1 cargo test -p ise-bench --test golden"
+    );
+}
+
+#[test]
+fn table5_contract_report_matches_snapshot() {
+    check_golden("table5.txt", &ise_bench::table5_report());
+}
+
+#[test]
+fn checked_in_litmus_corpus_matches_snapshots() {
+    let dir = litmus_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("dir entry").file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".litmus"))
+        .collect();
+    names.sort();
+    assert_eq!(
+        names.len(),
+        4,
+        "expected the 4-file litmus/ corpus, found {names:?}"
+    );
+    for name in names {
+        let src = std::fs::read_to_string(dir.join(&name)).expect("read litmus source");
+        let report = ise_bench::litmus_source_report(&src);
+        check_golden(&name.replace(".litmus", ".txt"), &report);
+    }
+}

@@ -75,7 +75,7 @@ impl fmt::Display for Family {
 }
 
 /// One corpus entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LitmusTest {
     /// Unique test name (`family/shape+variant`).
     pub name: String,

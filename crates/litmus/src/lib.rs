@@ -27,5 +27,5 @@ pub mod runner;
 
 pub use corpus::{corpus, Family, LitmusTest};
 pub use machine::{explore, ExplorationResult, MachineConfig};
-pub use parse::{parse_litmus, ParseError, ParsedLitmus};
-pub use runner::{run_corpus, run_test, CorpusSummary, LitmusReport};
+pub use parse::{parse_litmus, render_litmus, ParseError, ParsedLitmus};
+pub use runner::{run_corpus, run_corpus_with_workers, run_test, CorpusSummary, LitmusReport};

@@ -19,6 +19,12 @@ pub struct MachineConfig {
     pub faulting: BTreeSet<Loc>,
     /// Safety valve on the state-space size.
     pub max_states: usize,
+    /// Seen-state memoization: prune subtrees rooted at states already
+    /// expanded, making exploration proportional to distinct states
+    /// rather than paths. Disabling it (differential/property tests,
+    /// the `explore_scaling` bench baseline) re-walks every path but
+    /// must produce the identical [`ExplorationResult`].
+    pub memoize: bool,
 }
 
 impl MachineConfig {
@@ -29,6 +35,7 @@ impl MachineConfig {
             policy: DrainPolicy::SameStream,
             faulting: BTreeSet::new(),
             max_states: 1 << 22,
+            memoize: true,
         }
     }
 
@@ -44,6 +51,12 @@ impl MachineConfig {
     /// Switches to the split-stream ablation.
     pub fn with_policy(mut self, policy: DrainPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enables or disables seen-state memoization.
+    pub fn with_memoize(mut self, memoize: bool) -> Self {
+        self.memoize = memoize;
         self
     }
 }
@@ -86,6 +99,53 @@ struct State {
     cores: Vec<CoreSt>,
     mem: Vec<u64>,
     faulting: Vec<bool>,
+}
+
+/// A canonical, injective encoding of a [`State`] — the seen-state key.
+///
+/// Within one exploration the core count, register-file width, memory
+/// size, and faulting-vector length are fixed, so every field below is
+/// either fixed-width or (for the variable-length SB/FSB) explicitly
+/// length-prefixed. That makes decoding unambiguous, hence the encoding
+/// injective: two states collide iff they are the same observable state
+/// (DESIGN.md §9). Keying the visited set on this flat byte string
+/// instead of the nested `State` both shrinks the memoization table and
+/// makes hashing a single pass over contiguous memory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CanonKey(Box<[u8]>);
+
+fn canonicalize(s: &State) -> CanonKey {
+    let mut buf = Vec::with_capacity(
+        s.cores
+            .iter()
+            .map(|c| 7 + 8 * c.regs.len() + 9 * (c.sb.len() + c.fsb.len()))
+            .sum::<usize>()
+            + 8 * s.mem.len()
+            + s.faulting.len(),
+    );
+    let push_entries = |buf: &mut Vec<u8>, entries: &[(u8, u64)]| {
+        buf.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+        for &(loc, val) in entries {
+            buf.push(loc);
+            buf.extend_from_slice(&val.to_le_bytes());
+        }
+    };
+    for c in &s.cores {
+        buf.extend_from_slice(&c.pc.to_le_bytes());
+        buf.push(c.faulted as u8);
+        for &r in &c.regs {
+            buf.extend_from_slice(&r.to_le_bytes());
+        }
+        push_entries(&mut buf, &c.sb);
+        push_entries(&mut buf, &c.fsb);
+    }
+    for &m in &s.mem {
+        buf.extend_from_slice(&m.to_le_bytes());
+    }
+    for &f in &s.faulting {
+        buf.push(f as u8);
+    }
+    CanonKey(buf.into_boxed_slice())
 }
 
 struct Compiled {
@@ -142,7 +202,12 @@ fn compile(prog: &LitmusProgram) -> Compiled {
 struct Explorer<'a> {
     compiled: &'a Compiled,
     cfg: &'a MachineConfig,
-    visited: HashSet<State>,
+    /// States already *expanded*, by canonical key. In a memoized run
+    /// reaching a visited state prunes its whole subtree; in an
+    /// unmemoized run the subtree is re-walked, but the set still
+    /// gates the exception counters so both modes report the same
+    /// graph properties (DESIGN.md §9).
+    visited: HashSet<CanonKey>,
     outcomes: BTreeSet<Outcome>,
     imprecise: u64,
     precise: u64,
@@ -182,7 +247,11 @@ impl<'a> Explorer<'a> {
         }
     }
 
-    fn successors(&mut self, s: &State) -> Vec<State> {
+    /// Enumerates every enabled transition out of `s`. The exception
+    /// counters are graph properties (one event per distinct-state
+    /// transition), so they only advance when `count` is set — the
+    /// first time `s` is expanded.
+    fn successors(&mut self, s: &State, count: bool) -> Vec<State> {
         let mut out = Vec::new();
         for i in 0..s.cores.len() {
             let core = &s.cores[i];
@@ -193,7 +262,7 @@ impl<'a> Explorer<'a> {
                 let mut n = s.clone();
                 if n.faulting[loc as usize] {
                     // DETECT: imprecise store exception.
-                    self.imprecise += 1;
+                    self.imprecise += count as u64;
                     let c = &mut n.cores[i];
                     match self.cfg.policy {
                         DrainPolicy::SameStream => {
@@ -258,7 +327,7 @@ impl<'a> Explorer<'a> {
                             // store re-executes.
                             let mut n = s.clone();
                             if n.faulting[loc as usize] {
-                                self.precise += 1;
+                                self.precise += count as u64;
                                 n.faulting[loc as usize] = false;
                             }
                             n.mem[loc as usize] = val;
@@ -289,7 +358,7 @@ impl<'a> Explorer<'a> {
                                     // must drain first (§5.3); until then
                                     // this transition is not enabled.
                                     if core.sb.is_empty() {
-                                        self.precise += 1;
+                                        self.precise += count as u64;
                                         let mut n = s.clone();
                                         n.faulting[loc as usize] = false;
                                         let v = n.mem[loc as usize];
@@ -326,7 +395,7 @@ impl<'a> Explorer<'a> {
                         if core.sb.is_empty() {
                             let mut n = s.clone();
                             if n.faulting[loc as usize] {
-                                self.precise += 1;
+                                self.precise += count as u64;
                                 n.faulting[loc as usize] = false;
                             }
                             let old = n.mem[loc as usize];
@@ -346,8 +415,11 @@ impl<'a> Explorer<'a> {
     fn run(&mut self, init: State) {
         let mut stack = vec![init];
         while let Some(s) = stack.pop() {
-            if !self.visited.insert(s.clone()) {
-                continue;
+            // First expansion of this state? (Injective key, so this is
+            // exactly "first time this observable state is seen".)
+            let fresh = self.visited.insert(canonicalize(&s));
+            if self.cfg.memoize && !fresh {
+                continue; // prune the revisited subtree
             }
             assert!(
                 self.visited.len() <= self.cfg.max_states,
@@ -358,7 +430,7 @@ impl<'a> Explorer<'a> {
                 self.record_outcome(&s);
                 continue;
             }
-            let succ = self.successors(&s);
+            let succ = self.successors(&s, fresh);
             debug_assert!(
                 !succ.is_empty() || self.terminal(&s),
                 "non-terminal state with no successors (deadlock): {s:?}"
@@ -370,6 +442,13 @@ impl<'a> Explorer<'a> {
 
 /// Exhaustively explores every interleaving of `prog` on the configured
 /// machine and returns all reachable outcomes.
+///
+/// With `cfg.memoize` (the default) revisited states prune their
+/// subtree, so the walk does work proportional to *distinct states*;
+/// with it disabled every path is re-walked. Both modes return the
+/// identical [`ExplorationResult`]: outcomes, distinct-state count, and
+/// exception counters are all properties of the state graph, not of the
+/// traversal (DESIGN.md §9).
 ///
 /// # Panics
 ///
@@ -584,5 +663,149 @@ mod tests {
         let b = explore(&mp(), &MachineConfig::baseline(ConsistencyModel::Wc));
         assert_eq!(a.outcomes, b.outcomes);
         assert_eq!(a.states, b.states);
+    }
+
+    #[test]
+    fn memoization_prunes_without_changing_results() {
+        for model in [
+            ConsistencyModel::Sc,
+            ConsistencyModel::Pc,
+            ConsistencyModel::Wc,
+        ] {
+            for faults in [false, true] {
+                let mut cfg = MachineConfig::baseline(model);
+                if faults {
+                    cfg = cfg.with_all_faulting(&mp());
+                }
+                let memo = explore(&mp(), &cfg);
+                let bare = explore(&mp(), &cfg.clone().with_memoize(false));
+                assert_eq!(memo.outcomes, bare.outcomes, "{model} faults={faults}");
+                assert_eq!(memo.states, bare.states, "{model} faults={faults}");
+                assert_eq!(
+                    memo.imprecise_detections, bare.imprecise_detections,
+                    "{model} faults={faults}"
+                );
+                assert_eq!(
+                    memo.precise_exceptions, bare.precise_exceptions,
+                    "{model} faults={faults}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_key_separates_sb_from_fsb() {
+        // The length prefixes are load-bearing: a store sitting in the SB
+        // is a different observable state from the same store already
+        // supplied to the FSB, even though the flattened entry bytes are
+        // identical.
+        let core = |sb: Vec<(u8, u64)>, fsb: Vec<(u8, u64)>| CoreSt {
+            pc: 1,
+            regs: vec![0],
+            sb,
+            fsb,
+            faulted: false,
+        };
+        let mk = |sb, fsb| State {
+            cores: vec![core(sb, fsb)],
+            mem: vec![0],
+            faulting: vec![true],
+        };
+        let in_sb = mk(vec![(0, 7)], vec![]);
+        let in_fsb = mk(vec![], vec![(0, 7)]);
+        assert_ne!(canonicalize(&in_sb), canonicalize(&in_fsb));
+    }
+
+    /// A random but well-formed machine state over fixed dimensions
+    /// (2 cores × 2 regs × 2 locations), the shape one mp/sb-sized
+    /// exploration works in.
+    fn random_state(g: &mut quickprop::Gen) -> State {
+        let entry = |g: &mut quickprop::Gen| (g.range_u64(0, 2) as u8, g.range_u64(0, 3));
+        let cores = (0..2)
+            .map(|_| {
+                let sb_len = g.range_usize(0, 3);
+                let fsb_len = g.range_usize(0, 3);
+                CoreSt {
+                    pc: g.range_u64(0, 4) as u16,
+                    regs: g.vec_of(2, |g| g.range_u64(0, 3)),
+                    sb: g.vec_of(sb_len, entry),
+                    fsb: g.vec_of(fsb_len, entry),
+                    faulted: g.bool(),
+                }
+            })
+            .collect();
+        State {
+            cores,
+            mem: g.vec_of(2, |g| g.range_u64(0, 3)),
+            faulting: g.vec_of(2, |g| g.bool()),
+        }
+    }
+
+    #[test]
+    fn prop_canonicalization_is_injective_on_observable_states() {
+        quickprop::check(512, |g| {
+            let a = random_state(g);
+            // Half the cases compare against an equal state, half
+            // against an independently drawn one.
+            let b = if g.bool() { a.clone() } else { random_state(g) };
+            assert_eq!(
+                a == b,
+                canonicalize(&a) == canonicalize(&b),
+                "canonical keys must collide exactly on equal states:\n{a:?}\n{b:?}"
+            );
+        });
+    }
+
+    /// A random small program: 1–2 threads × 1–3 statements over two
+    /// locations, all four statement kinds represented.
+    fn random_program(g: &mut quickprop::Gen) -> LitmusProgram {
+        let threads = g.range_usize(1, 3);
+        let stmts = (0..threads)
+            .map(|_| {
+                let len = g.range_usize(1, 4);
+                g.vec_of(len, |g| {
+                    let loc = Loc(g.range_u64(0, 2) as u8);
+                    match g.range_usize(0, 4) {
+                        0 => Stmt::write(loc, g.range_u64(1, 4)),
+                        1 => Stmt::read(loc, Reg(g.range_u64(0, 2) as u8)),
+                        2 => Stmt::fence(*g.choose(&[
+                            FenceKind::Full,
+                            FenceKind::StoreStore,
+                            FenceKind::LoadLoad,
+                        ])),
+                        _ => Stmt::amo(loc, g.range_u64(1, 3), Reg(g.range_u64(0, 2) as u8)),
+                    }
+                })
+            })
+            .collect();
+        LitmusProgram::new(stmts)
+    }
+
+    #[test]
+    fn prop_memoized_explore_matches_unmemoized_reference() {
+        quickprop::check(96, |g| {
+            let prog = random_program(g);
+            let model = *g.choose(&[
+                ConsistencyModel::Sc,
+                ConsistencyModel::Pc,
+                ConsistencyModel::Wc,
+            ]);
+            let policy = *g.choose(&[DrainPolicy::SameStream, DrainPolicy::SplitStream]);
+            let mut cfg = MachineConfig::baseline(model).with_policy(policy);
+            // A random subset of the touched locations starts faulting.
+            cfg.faulting = prog.locations().into_iter().filter(|_| g.bool()).collect();
+            let memo = explore(&prog, &cfg);
+            let bare = explore(&prog, &cfg.clone().with_memoize(false));
+            assert_eq!(memo.outcomes, bare.outcomes, "cfg {cfg:?} prog {prog:?}");
+            assert_eq!(memo.states, bare.states, "cfg {cfg:?} prog {prog:?}");
+            assert_eq!(
+                memo.imprecise_detections, bare.imprecise_detections,
+                "cfg {cfg:?} prog {prog:?}"
+            );
+            assert_eq!(
+                memo.precise_exceptions, bare.precise_exceptions,
+                "cfg {cfg:?} prog {prog:?}"
+            );
+        });
     }
 }

@@ -20,9 +20,12 @@
 //!
 //! The parser exists so users can keep corpora as plain files and run
 //! them with `cargo run -p ise-bench --bin litmus -- <file>`.
+//! [`render_litmus`] is its inverse: it pretty-prints a parsed test back
+//! into the dialect, and `parse(render(parse(src)))` round-trips to an
+//! equal test.
 
 use crate::corpus::{Family, LitmusTest};
-use ise_consistency::program::{LitmusProgram, Loc, Outcome, Stmt};
+use ise_consistency::program::{LitmusProgram, Loc, Outcome, Stmt, StmtOp};
 use ise_types::instr::{FenceKind, Reg};
 use std::fmt;
 
@@ -212,6 +215,72 @@ pub fn parse_litmus(src: &str) -> Result<ParsedLitmus, ParseError> {
     })
 }
 
+/// The canonical token for a family — the form [`render_litmus`] emits
+/// and [`parse_litmus`] accepts.
+fn family_token(family: Family) -> &'static str {
+    match family {
+        Family::Dependencies => "dep",
+        Family::PoSameLocation => "poloc",
+        Family::PreservedPo => "ppo",
+        Family::ExternalReadFrom => "erf",
+        Family::InternalReadFrom => "irf",
+        Family::CoherenceOrder => "co",
+        Family::FromRead => "fr",
+        Family::Barriers => "barrier",
+    }
+}
+
+fn render_stmt(s: &Stmt, out: &mut String) {
+    use std::fmt::Write;
+    let loc_name = |loc: Loc| {
+        assert!(loc.0 < 26, "the litmus dialect only names locations A..Z");
+        (b'A' + loc.0) as char
+    };
+    match s.op {
+        StmtOp::Write { loc, value } => write!(out, "W {} {value}", loc_name(loc)).unwrap(),
+        StmtOp::Read { loc, dst } => write!(out, "R {} {dst}", loc_name(loc)).unwrap(),
+        StmtOp::Amo { loc, add, dst } => write!(out, "AMO {} {add} {dst}", loc_name(loc)).unwrap(),
+        StmtOp::Fence(FenceKind::Full) => out.push('F'),
+        StmtOp::Fence(FenceKind::StoreStore) => out.push_str("F.ww"),
+        StmtOp::Fence(FenceKind::LoadLoad) => out.push_str("F.rr"),
+    }
+    if let Some(r) = s.dep {
+        use std::fmt::Write;
+        write!(out, " @{r}").unwrap();
+    }
+}
+
+/// Pretty-prints a parsed test back into the text dialect.
+///
+/// The output is canonical (one `P<t>:` line per thread, statements
+/// joined by ` ; `, one `forbid:` line per outcome) and re-parses to a
+/// test equal to the input — the round-trip property
+/// `parse(render(p)) == p` the parser tests enforce.
+///
+/// # Panics
+///
+/// Panics if the program uses a location beyond `Z`, which the text
+/// dialect cannot name.
+pub fn render_litmus(p: &ParsedLitmus) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "name: {}", p.test.name).unwrap();
+    writeln!(out, "family: {}", family_token(p.test.family)).unwrap();
+    for (t, stmts) in p.test.program.threads.iter().enumerate() {
+        write!(out, "P{t}:").unwrap();
+        for (i, s) in stmts.iter().enumerate() {
+            out.push_str(if i == 0 { " " } else { " ; " });
+            render_stmt(s, &mut out);
+        }
+        out.push('\n');
+    }
+    for f in &p.forbidden {
+        let clauses: Vec<String> = f.iter().map(|((t, r), v)| format!("{t}:{r}={v}")).collect();
+        writeln!(out, "forbid: {}", clauses.join(" & ")).unwrap();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,5 +363,30 @@ forbid: 1:r0=1 & 1:r1=0
     fn comments_and_blank_lines_ignored() {
         let src = "\n# c1\nname: t\n\n# c2\nP0: W A 1\n";
         assert!(parse_litmus(src).is_ok());
+    }
+
+    #[test]
+    fn render_round_trips_every_construct() {
+        let src = "name: kitchen-sink\nfamily: dep\n\
+                   P0: W A 1 ; F ; F.ww ; F.rr ; AMO B 2 r1\n\
+                   P1: R A r0 ; R B r2 @r0\n\
+                   forbid: 1:r0=1 & 1:r2=0\nforbid: 0:r1=7\n";
+        let first = parse_litmus(src).expect("parses");
+        let rendered = render_litmus(&first);
+        let second = parse_litmus(&rendered)
+            .unwrap_or_else(|e| panic!("rendered text must re-parse: {e}\n{rendered}"));
+        assert_eq!(first.test, second.test);
+        assert_eq!(first.forbidden, second.forbidden);
+        // And the rendering is canonical: a second round trip is a
+        // fixed point.
+        assert_eq!(rendered, render_litmus(&second));
+    }
+
+    #[test]
+    fn every_family_token_round_trips() {
+        for fam in Family::ALL {
+            let src = format!("family: {}\nP0: W A 1\n", family_token(fam));
+            assert_eq!(parse_litmus(&src).unwrap().test.family, fam);
+        }
     }
 }

@@ -59,6 +59,9 @@ pub struct LitmusReport {
     pub allowed: BTreeSet<Outcome>,
     /// Imprecise exceptions taken during exploration.
     pub imprecise_detections: u64,
+    /// Precise (load/atomic/SC-store) exceptions taken during
+    /// exploration.
+    pub precise_exceptions: u64,
     /// Distinct states explored.
     pub states: usize,
 }
@@ -132,6 +135,7 @@ pub fn run_test_with_policy(
         observed: result.outcomes,
         allowed,
         imprecise_detections: result.imprecise_detections,
+        precise_exceptions: result.precise_exceptions,
         states: result.states,
     }
 }
@@ -178,21 +182,30 @@ impl CorpusSummary {
 }
 
 /// Runs every corpus test under {PC, WC} × {no faults, all faulting,
-/// first location faulting}.
+/// first location faulting}, on [`ise_par::worker_count`] workers (the
+/// `ISE_WORKERS` environment variable overrides the machine default).
 pub fn run_corpus(tests: &[LitmusTest]) -> CorpusSummary {
-    let mut reports = Vec::with_capacity(tests.len() * 6);
+    run_corpus_with_workers(tests, ise_par::worker_count())
+}
+
+/// [`run_corpus`] with an explicit worker count.
+///
+/// Each (test, model, fault-mode) case is an independent exploration, so
+/// the frontier hands one case to each worker; results are reduced in
+/// case-insertion order, making the summary identical — report for
+/// report — to a sequential (`workers == 1`) run.
+pub fn run_corpus_with_workers(tests: &[LitmusTest], workers: usize) -> CorpusSummary {
+    let mut cases = Vec::with_capacity(tests.len() * 6);
     for test in tests {
         for model in [ConsistencyModel::Pc, ConsistencyModel::Wc] {
             for mode in FaultMode::ALL {
-                reports.push(run_test_with_policy(
-                    test,
-                    model,
-                    mode,
-                    DrainPolicy::SameStream,
-                ));
+                cases.push((test, model, mode));
             }
         }
     }
+    let reports = ise_par::par_map(&cases, workers, |_, &(test, model, mode)| {
+        run_test_with_policy(test, model, mode, DrainPolicy::SameStream)
+    });
     CorpusSummary { reports }
 }
 

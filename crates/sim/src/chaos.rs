@@ -174,7 +174,10 @@ impl ChaosCampaign {
         ChaosCampaign { cfg, chaos }
     }
 
-    /// Runs the full sweep over `workloads`.
+    /// Runs the full sweep over `workloads`, one kind × rate × workload
+    /// cell per worker, on [`ise_par::worker_count`] workers (the
+    /// `ISE_WORKERS` environment variable overrides the machine
+    /// default).
     ///
     /// Each workload must declare `einject_pages` (the pool faults are
     /// sampled from); the campaign clears that list so EInject stays
@@ -185,14 +188,24 @@ impl ChaosCampaign {
     /// Panics if a workload declares no faulting pages, or a run exceeds
     /// the cycle budget.
     pub fn run(&self, workloads: &[Workload]) -> ChaosReport {
-        let mut runs = Vec::new();
+        self.run_with_workers(workloads, ise_par::worker_count())
+    }
+
+    /// [`run`](ChaosCampaign::run) with an explicit worker count.
+    ///
+    /// Every cell is fully independent — it seeds its own RNG stream and
+    /// builds its own [`System`] — and results are reduced in sweep
+    /// order, so the report (and its JSON rendering) is byte-identical
+    /// for every worker count.
+    pub fn run_with_workers(&self, workloads: &[Workload], workers: usize) -> ChaosReport {
+        let mut cells = Vec::with_capacity(workloads.len() * self.chaos.kinds.len());
         for (wi, workload) in workloads.iter().enumerate() {
             assert!(
                 !workload.einject_pages.is_empty(),
                 "workload {} declares no faulting pages to sample from",
                 workload.name
             );
-            for (ki, kind) in self.chaos.kinds.iter().enumerate() {
+            for (ki, &kind) in self.chaos.kinds.iter().enumerate() {
                 for (ri, &rate) in self.chaos.rates.iter().enumerate() {
                     // One deterministic stream per cell, independent of
                     // sweep-order changes elsewhere.
@@ -202,10 +215,13 @@ impl ChaosCampaign {
                             .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(
                                 ((wi as u64) << 32) ^ ((ki as u64) << 16) ^ ri as u64 ^ 1,
                             ));
-                    runs.push(self.run_cell(workload, *kind, rate, cell_seed));
+                    cells.push((wi, kind, rate, cell_seed));
                 }
             }
         }
+        let runs = ise_par::par_map(&cells, workers, |_, &(wi, kind, rate, cell_seed)| {
+            self.run_cell(&workloads[wi], kind, rate, cell_seed)
+        });
         ChaosReport {
             seed: self.chaos.seed,
             runs,

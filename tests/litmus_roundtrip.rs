@@ -1,0 +1,46 @@
+//! Parser round-trip over the checked-in `litmus/` corpus: parsing a
+//! file, pretty-printing it with `render_litmus`, and re-parsing the
+//! result must yield an equal test (name, family, program, and
+//! forbidden outcomes), and the rendering must be a fixed point.
+
+use imprecise_store_exceptions::litmus::parse::{parse_litmus, render_litmus};
+use std::path::Path;
+
+fn litmus_sources() -> Vec<(String, String)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus");
+    let mut files: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("litmus/ directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "litmus"))
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read_to_string(&p).expect("read litmus file"),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_checked_in_test_round_trips() {
+    let sources = litmus_sources();
+    assert_eq!(sources.len(), 4, "expected the 4-file litmus/ corpus");
+    for (name, src) in sources {
+        let first = parse_litmus(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let rendered = render_litmus(&first);
+        let second = parse_litmus(&rendered)
+            .unwrap_or_else(|e| panic!("{name}: rendered text must re-parse: {e}\n{rendered}"));
+        assert_eq!(first.test, second.test, "{name}: test drifted");
+        assert_eq!(
+            first.forbidden, second.forbidden,
+            "{name}: forbidden outcomes drifted"
+        );
+        assert_eq!(
+            rendered,
+            render_litmus(&second),
+            "{name}: rendering must be canonical"
+        );
+    }
+}
