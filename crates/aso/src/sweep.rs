@@ -16,7 +16,7 @@
 
 use crate::account::SpeculationAccounting;
 use ise_cpu::{Core, StepOutcome, VecTrace};
-use ise_engine::Cycle;
+use ise_engine::{cycle_skip_override, Cycle};
 use ise_mem::MemoryHierarchy;
 use ise_types::config::SystemConfig;
 use ise_types::model::ConsistencyModel;
@@ -104,7 +104,16 @@ fn aggregate_ipc(cores: &[Core<VecTrace>]) -> f64 {
 
 /// Runs `cores` to completion on a fresh hierarchy, tracking the peak
 /// store-buffer occupancy across all cores.
-fn run_tracking_peak(cfg: &SystemConfig, cores: &mut [Core<VecTrace>], max_cycles: Cycle) -> usize {
+///
+/// Store-buffer occupancy only changes inside [`Core::step`], and the
+/// cycle-skip clock executes steps at exactly the cycles the reference
+/// clock would, so skipping dead windows cannot miss a peak.
+fn run_tracking_peak_clocked(
+    cfg: &SystemConfig,
+    cores: &mut [Core<VecTrace>],
+    max_cycles: Cycle,
+    skip: bool,
+) -> usize {
     let mut hier = MemoryHierarchy::new(*cfg);
     let mut peak = 0usize;
     let mut now = 0;
@@ -123,7 +132,23 @@ fn run_tracking_peak(cfg: &SystemConfig, cores: &mut [Core<VecTrace>], max_cycle
         if all_done {
             return peak;
         }
-        now += 1;
+        let next = if skip {
+            cores
+                .iter()
+                .map(|c| c.next_event(now))
+                .min()
+                .unwrap_or(Cycle::MAX)
+                .clamp(now + 1, max_cycles)
+        } else {
+            now + 1
+        };
+        let skipped = next - now - 1;
+        if skipped > 0 {
+            for core in cores.iter_mut() {
+                core.charge_idle(now, skipped);
+            }
+        }
+        now = next;
         assert!(now < max_cycles, "exceeded cycle budget");
     }
 }
@@ -142,18 +167,42 @@ pub fn sweep_checkpoints(
     budgets: &[usize],
     max_cycles: Cycle,
 ) -> SweepResult {
+    sweep_checkpoints_clocked(
+        cfg,
+        traces,
+        budgets,
+        max_cycles,
+        cycle_skip_override().unwrap_or(true),
+    )
+}
+
+/// [`sweep_checkpoints`] with an explicit clock choice, ignoring the
+/// `ISE_CYCLE_SKIP` environment override — the entry point the
+/// differential suite uses to compare the reference and cycle-skip
+/// clocks in-process.
+///
+/// # Panics
+///
+/// As [`sweep_checkpoints`].
+pub fn sweep_checkpoints_clocked(
+    cfg: &SystemConfig,
+    traces: &[Vec<Instruction>],
+    budgets: &[usize],
+    max_cycles: Cycle,
+    skip: bool,
+) -> SweepResult {
     assert!(!traces.is_empty(), "need at least one trace");
     let mut run_cfg = *cfg;
     run_cfg.cores = run_cfg.cores.max(traces.len());
 
     // SC baseline.
     let mut sc_cores = make_cores(&run_cfg, traces, ConsistencyModel::Sc);
-    run_tracking_peak(&run_cfg, &mut sc_cores, max_cycles);
+    run_tracking_peak_clocked(&run_cfg, &mut sc_cores, max_cycles, skip);
     let sc_ipc = aggregate_ipc(&sc_cores);
 
     // WC target.
     let mut wc_cores = make_cores(&run_cfg, traces, ConsistencyModel::Wc);
-    run_tracking_peak(&run_cfg, &mut wc_cores, max_cycles);
+    run_tracking_peak_clocked(&run_cfg, &mut wc_cores, max_cycles, skip);
     let wc_ipc = aggregate_ipc(&wc_cores);
 
     let acc = SpeculationAccounting::for_system(&run_cfg);
@@ -165,7 +214,7 @@ pub fn sweep_checkpoints(
         for c in cores.iter_mut() {
             c.set_sb_max_in_flight(budget);
         }
-        let peak_sb = run_tracking_peak(&aso_cfg, &mut cores, max_cycles);
+        let peak_sb = run_tracking_peak_clocked(&aso_cfg, &mut cores, max_cycles, skip);
         let ipc = aggregate_ipc(&cores);
         points.push(SweepPoint {
             checkpoints: budget,
@@ -254,5 +303,14 @@ mod tests {
     #[should_panic(expected = "at least one trace")]
     fn empty_traces_rejected() {
         sweep_checkpoints(&small_cfg(), &[], &[1], 1000);
+    }
+
+    #[test]
+    fn cycle_skip_sweep_matches_reference() {
+        let cfg = small_cfg();
+        let traces = vec![store_trace(0, 60), store_trace(1 << 20, 60)];
+        let reference = sweep_checkpoints_clocked(&cfg, &traces, &[1, 8, 32], 10_000_000, false);
+        let skipped = sweep_checkpoints_clocked(&cfg, &traces, &[1, 8, 32], 10_000_000, true);
+        assert_eq!(reference, skipped);
     }
 }

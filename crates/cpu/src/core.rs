@@ -11,7 +11,7 @@
 
 use crate::store_buffer::{DrainFault, StoreBuffer};
 use crate::trace::TraceSource;
-use ise_engine::Cycle;
+use ise_engine::{cycle_skip_override, Cycle};
 use ise_mem::hierarchy::{Access, MemoryHierarchy};
 use ise_types::addr::{Addr, ByteMask};
 use ise_types::config::CoreConfig;
@@ -78,9 +78,27 @@ pub struct Core<T> {
     sb: StoreBuffer,
     state: CoreState,
     resume_at: Cycle,
+    /// Whether the most recent [`Core::step`] changed any state beyond
+    /// the per-cycle stall accounting. A "dead" step (no drain
+    /// completion/issue, no retirement, no dispatch) lets the
+    /// cycle-skipping clock jump ahead; see [`Core::next_event`].
+    step_activity: bool,
     /// Set when a precise fault was reported and the OS has resolved it:
     /// the faulting instruction's next access must succeed-or-re-fault.
     stats: CoreStats,
+}
+
+/// Which stall counter one dead cycle charges (see
+/// [`Core::charge_idle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IdleCharge {
+    /// No counter: the head is still computing or the ROB is empty.
+    Nothing,
+    /// `store_stall_cycles`: retire blocked by a store.
+    StoreStall,
+    /// `sync_stall_cycles`: retire blocked by a fence/atomic/precise
+    /// drain.
+    SyncStall,
 }
 
 impl<T> std::fmt::Debug for Core<T> {
@@ -107,6 +125,7 @@ impl<T: TraceSource> Core<T> {
             sb: StoreBuffer::new(id, cfg.sb_entries, cfg.model),
             state: CoreState::Running,
             resume_at: 0,
+            step_activity: true,
             stats: CoreStats::default(),
         }
     }
@@ -238,6 +257,11 @@ impl<T: TraceSource> Core<T> {
             CoreState::Running => {}
         }
         self.stats.cycles = self.stats.cycles.max(now + 1);
+        // Assume activity until the normal exit proves otherwise, so the
+        // exception paths (which return early) always count as active.
+        self.step_activity = true;
+        let sb_before = (self.sb.len(), self.sb.in_flight(), self.sb.drained());
+        let mut issued_at_head = false;
 
         // 1. Store-buffer drains; a denied response triggers the
         //    imprecise path immediately.
@@ -279,6 +303,7 @@ impl<T: TraceSource> Core<T> {
                         e.issued = true;
                         e.complete_at = now + r.latency;
                         e.fault = r.fault;
+                        issued_at_head = true;
                         self.stats.store_stall_cycles += 1;
                         break;
                     }
@@ -339,6 +364,7 @@ impl<T: TraceSource> Core<T> {
                         e.issued = true;
                         e.complete_at = now + r.latency;
                         e.fault = r.fault;
+                        issued_at_head = true;
                         break;
                     }
                     if head.complete_at > now {
@@ -374,11 +400,159 @@ impl<T: TraceSource> Core<T> {
             dispatched += 1;
         }
 
+        // A step is "dead" when it neither moved the store buffer
+        // (completion or issue), retired, dispatched, nor issued a
+        // head-of-ROB access: re-running it at a later cycle would make
+        // the same decisions, so the clock may skip ahead (charging the
+        // per-cycle stall counters in bulk — see `charge_idle`).
+        self.step_activity = sb_before != (self.sb.len(), self.sb.in_flight(), self.sb.drained())
+            || retired > 0
+            || dispatched > 0
+            || issued_at_head;
+
         if self.trace_done && self.replay.is_empty() && self.rob.is_empty() && self.sb.is_empty() {
             self.state = CoreState::Finished;
             return StepOutcome::Finished;
         }
         StepOutcome::Progress
+    }
+
+    /// The earliest future cycle at which stepping this core could do
+    /// anything a dead step would not — the core's wake-up time for the
+    /// cycle-skipping clock.
+    ///
+    /// Must be called after [`Core::step`] at `now`. The result is
+    /// *conservative*: waking early is harmless (the step re-evaluates
+    /// and charges exactly what the reference clock would have), waking
+    /// late never happens because every state change is driven by one of
+    /// the deadlines below:
+    ///
+    /// * a finished core never acts again (`Cycle::MAX`);
+    /// * a core waiting on the OS acts only once `resume_at` is set
+    ///   (`Cycle::MAX`; the embedding system resumes or kills it
+    ///   synchronously within the same cycle it faulted);
+    /// * a stalled-but-running core acts at `resume_at`;
+    /// * after an *active* step, the very next cycle may differ
+    ///   (`now + 1`);
+    /// * after a dead step, only an in-flight drain completing or the
+    ///   ROB head's `complete_at` arriving can change a decision.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        match self.state {
+            CoreState::Finished => return Cycle::MAX,
+            CoreState::WaitResume => return Cycle::MAX,
+            CoreState::Running if now < self.resume_at => return self.resume_at,
+            CoreState::Running => {}
+        }
+        if self.step_activity {
+            return now + 1;
+        }
+        let mut next = Cycle::MAX;
+        if let Some(c) = self.sb.next_completion() {
+            // A PC drain that completed out of FIFO order can sit in the
+            // past; clamp forward (the wake is a no-op re-evaluation).
+            next = next.min(c.max(now + 1));
+        }
+        if let Some(head) = self.rob.front() {
+            if head.complete_at > now {
+                next = next.min(head.complete_at);
+            }
+        }
+        if next == Cycle::MAX {
+            // No deadline found — step every cycle (conservative; a dead
+            // step with neither an in-flight drain nor a pending head
+            // deadline resolves within one cycle anyway).
+            next = now + 1;
+        }
+        next
+    }
+
+    /// Which stall counter one dead cycle at time `t` charges, given the
+    /// decisions [`Core::step`] provably makes on a dead cycle. Mirrors
+    /// the retirement stage's `break` arms exactly:
+    ///
+    /// * a buffered-model store whose data is ready but whose buffer is
+    ///   full charges `store_stall_cycles`;
+    /// * an issued SC store still awaiting its access charges
+    ///   `store_stall_cycles`;
+    /// * a completed-but-faulting load waiting for the store buffer to
+    ///   drain charges `sync_stall_cycles`;
+    /// * a full/store-store fence over a non-empty buffer charges
+    ///   `sync_stall_cycles`;
+    /// * an atomic waiting on the buffer, or issued and awaiting its
+    ///   access, charges `sync_stall_cycles`;
+    /// * everything else (head still computing, empty ROB) charges
+    ///   nothing.
+    fn idle_charge(&self, t: Cycle) -> IdleCharge {
+        let Some(head) = self.rob.front() else {
+            return IdleCharge::Nothing;
+        };
+        match head.instr.kind {
+            InstrKind::Store { .. } if self.cfg.model.has_store_buffer() => {
+                if head.complete_at <= t && !self.sb.has_space() {
+                    IdleCharge::StoreStall
+                } else {
+                    IdleCharge::Nothing
+                }
+            }
+            InstrKind::Store { .. } => {
+                if head.issued && head.complete_at > t {
+                    IdleCharge::StoreStall
+                } else {
+                    IdleCharge::Nothing
+                }
+            }
+            InstrKind::Load { .. } => {
+                if head.complete_at <= t && head.fault.is_some() && !self.sb.is_empty() {
+                    IdleCharge::SyncStall
+                } else {
+                    IdleCharge::Nothing
+                }
+            }
+            InstrKind::Fence(kind) => {
+                let needs_empty = match kind {
+                    FenceKind::Full | FenceKind::StoreStore => !self.sb.is_empty(),
+                    FenceKind::LoadLoad => false,
+                };
+                if needs_empty {
+                    IdleCharge::SyncStall
+                } else {
+                    IdleCharge::Nothing
+                }
+            }
+            InstrKind::Atomic { .. } => {
+                if !self.sb.is_empty() || (head.issued && head.complete_at > t) {
+                    IdleCharge::SyncStall
+                } else {
+                    IdleCharge::Nothing
+                }
+            }
+            InstrKind::Other { .. } => IdleCharge::Nothing,
+        }
+    }
+
+    /// Bulk-charges the per-cycle stall accounting for `skipped` dead
+    /// cycles following a step at `now` — cycles `now + 1` through
+    /// `now + skipped` that the cycle-skipping clock did not execute.
+    ///
+    /// On every executed cycle the reference clock (a) advances
+    /// `stats.cycles` and (b) charges at most one stall counter from the
+    /// retirement stage's blocked arm. Because the skipped cycles are
+    /// dead, no state changes across the window and the blocked arm's
+    /// decision is constant (every deadline that could flip it bounds the
+    /// window via [`Core::next_event`]), so charging `per-cycle × skipped`
+    /// reproduces the reference counters exactly.
+    pub fn charge_idle(&mut self, now: Cycle, skipped: u64) {
+        if skipped == 0 || self.state != CoreState::Running || now < self.resume_at {
+            // Finished/waiting cores never execute the charging path in
+            // the reference loop either.
+            return;
+        }
+        self.stats.cycles = self.stats.cycles.max(now + skipped + 1);
+        match self.idle_charge(now + 1) {
+            IdleCharge::Nothing => {}
+            IdleCharge::StoreStall => self.stats.store_stall_cycles += skipped,
+            IdleCharge::SyncStall => self.stats.sync_stall_cycles += skipped,
+        }
     }
 
     fn take_precise(&mut self, instr: Instruction, kind: ExceptionKind) -> StepOutcome {
@@ -446,7 +620,9 @@ impl<T: TraceSource> Core<T> {
 /// Runs a single core to completion against a hierarchy with no faults and
 /// returns its stats — the building block of the Table 3 speedup study.
 ///
-/// `max_cycles` bounds runaway executions.
+/// `max_cycles` bounds runaway executions. Uses the cycle-skipping clock
+/// unless `ISE_CYCLE_SKIP=0` forces the reference per-cycle loop; the two
+/// produce identical statistics (see [`run_to_completion_clocked`]).
 ///
 /// # Panics
 ///
@@ -457,6 +633,30 @@ pub fn run_to_completion<T: TraceSource>(
     hier: &mut MemoryHierarchy,
     max_cycles: Cycle,
 ) -> CoreStats {
+    run_to_completion_clocked(
+        core,
+        hier,
+        max_cycles,
+        cycle_skip_override().unwrap_or(true),
+    )
+}
+
+/// [`run_to_completion`] with an explicit clock choice: `skip = false`
+/// runs the reference `now += 1` loop, `skip = true` jumps the clock to
+/// [`Core::next_event`] and bulk-charges the skipped window via
+/// [`Core::charge_idle`]. Both produce identical [`CoreStats`]; the
+/// differential tests pin that down.
+///
+/// # Panics
+///
+/// Same conditions as [`run_to_completion`]; the cycle budget trips at
+/// the same cycle under either clock (jumps clamp to `max_cycles`).
+pub fn run_to_completion_clocked<T: TraceSource>(
+    core: &mut Core<T>,
+    hier: &mut MemoryHierarchy,
+    max_cycles: Cycle,
+    skip: bool,
+) -> CoreStats {
     let mut now = 0;
     loop {
         match core.step(now, hier) {
@@ -466,7 +666,13 @@ pub fn run_to_completion<T: TraceSource>(
                 panic!("unexpected exception in run_to_completion")
             }
         }
-        now += 1;
+        let next = if skip {
+            core.next_event(now).clamp(now + 1, max_cycles)
+        } else {
+            now + 1
+        };
+        core.charge_idle(now, next - now - 1);
+        now = next;
         assert!(now < max_cycles, "exceeded cycle budget");
     }
 }
@@ -475,6 +681,9 @@ pub fn run_to_completion<T: TraceSource>(
 /// finish, returning per-core stats — the multicore building block of the
 /// Table 3 study (exception-free runs only).
 ///
+/// Uses the cycle-skipping clock unless `ISE_CYCLE_SKIP=0` forces the
+/// reference loop (see [`run_multicore_clocked`]).
+///
 /// # Panics
 ///
 /// Panics if any core reports an exception or `max_cycles` elapses.
@@ -482,6 +691,29 @@ pub fn run_multicore<T: TraceSource>(
     cores: &mut [Core<T>],
     hier: &mut MemoryHierarchy,
     max_cycles: Cycle,
+) -> Vec<CoreStats> {
+    run_multicore_clocked(
+        cores,
+        hier,
+        max_cycles,
+        cycle_skip_override().unwrap_or(true),
+    )
+}
+
+/// [`run_multicore`] with an explicit clock choice. Under `skip = true`
+/// the clock jumps to the minimum of every unfinished core's
+/// [`Core::next_event`] — a global window in which *no* core acts, so no
+/// core's view of the shared hierarchy can diverge from the reference
+/// schedule — and each core is bulk-charged for the window.
+///
+/// # Panics
+///
+/// Same conditions as [`run_multicore`].
+pub fn run_multicore_clocked<T: TraceSource>(
+    cores: &mut [Core<T>],
+    hier: &mut MemoryHierarchy,
+    max_cycles: Cycle,
+    skip: bool,
 ) -> Vec<CoreStats> {
     let mut now = 0;
     loop {
@@ -498,7 +730,20 @@ pub fn run_multicore<T: TraceSource>(
         if all_done {
             return cores.iter().map(|c| c.stats()).collect();
         }
-        now += 1;
+        let next = if skip {
+            cores
+                .iter()
+                .map(|c| c.next_event(now))
+                .min()
+                .unwrap_or(Cycle::MAX)
+                .clamp(now + 1, max_cycles)
+        } else {
+            now + 1
+        };
+        for core in cores.iter_mut() {
+            core.charge_idle(now, next - now - 1);
+        }
+        now = next;
         assert!(now < max_cycles, "exceeded cycle budget");
     }
 }
@@ -793,6 +1038,112 @@ mod tests {
             now += 1;
             assert!(now < 100_000);
         }
+    }
+
+    #[test]
+    fn cycle_skip_matches_reference_per_model() {
+        for model in [
+            ConsistencyModel::Sc,
+            ConsistencyModel::Pc,
+            ConsistencyModel::Wc,
+        ] {
+            let trace = store_heavy_trace(120);
+            let mut h_ref = hier();
+            let mut c_ref = core_with(model, trace.clone());
+            let reference = run_to_completion_clocked(&mut c_ref, &mut h_ref, 10_000_000, false);
+            let mut h_skip = hier();
+            let mut c_skip = core_with(model, trace);
+            let skipped = run_to_completion_clocked(&mut c_skip, &mut h_skip, 10_000_000, true);
+            assert_eq!(reference, skipped, "model {model:?}");
+        }
+    }
+
+    #[test]
+    fn cycle_skip_matches_reference_with_fences_and_atomics() {
+        let mut trace = Vec::new();
+        for i in 0..40u64 {
+            trace.push(Instruction::store(Addr::new(i * 64), i));
+            if i % 5 == 0 {
+                trace.push(Instruction::fence(FenceKind::Full));
+            }
+            if i % 7 == 0 {
+                trace.push(Instruction::atomic(Addr::new(0x5_0000 + i * 64), i, Reg(0)));
+            }
+            trace.push(Instruction::load(Addr::new(0x8_0000 + i * 64), Reg(1)));
+        }
+        for model in [ConsistencyModel::Pc, ConsistencyModel::Wc] {
+            let mut h_ref = hier();
+            let mut c_ref = core_with(model, trace.clone());
+            let reference = run_to_completion_clocked(&mut c_ref, &mut h_ref, 10_000_000, false);
+            let mut h_skip = hier();
+            let mut c_skip = core_with(model, trace.clone());
+            let skipped = run_to_completion_clocked(&mut c_skip, &mut h_skip, 10_000_000, true);
+            assert_eq!(reference, skipped, "model {model:?}");
+            assert!(
+                reference.sync_stall_cycles > 0,
+                "workload must exercise sync stalls for the comparison to bite"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_skip_matches_reference_multicore() {
+        let build = |model| {
+            let cfg = CoreConfig::isca23().with_model(model);
+            vec![
+                Core::new(CoreId(0), cfg, VecTrace::new(store_heavy_trace(80))),
+                Core::new(
+                    CoreId(1),
+                    cfg,
+                    VecTrace::new(
+                        (0..160)
+                            .map(|i| Instruction::load(Addr::new(0x10_0000 + i * 64), Reg(0)))
+                            .collect(),
+                    ),
+                ),
+            ]
+        };
+        for model in [ConsistencyModel::Sc, ConsistencyModel::Wc] {
+            let mut h_ref = hier();
+            let mut ref_cores = build(model);
+            let reference = run_multicore_clocked(&mut ref_cores, &mut h_ref, 10_000_000, false);
+            let mut h_skip = hier();
+            let mut skip_cores = build(model);
+            let skipped = run_multicore_clocked(&mut skip_cores, &mut h_skip, 10_000_000, true);
+            assert_eq!(reference, skipped, "model {model:?}");
+        }
+    }
+
+    #[test]
+    fn next_event_respects_resume_deadline() {
+        let bad = Addr::new(0x100 * 4096);
+        let mut c = core_with(ConsistencyModel::Wc, vec![Instruction::store(bad, 1)]);
+        let mut h = faulting_hier();
+        let mut now = 0;
+        loop {
+            if let StepOutcome::Imprecise(_) = c.step(now, &mut h) {
+                break;
+            }
+            now += 1;
+            assert!(now < 100_000);
+        }
+        assert_eq!(
+            c.next_event(now),
+            Cycle::MAX,
+            "a core waiting on the OS has no self-wake"
+        );
+        c.resume_at(now + 500);
+        assert_eq!(c.next_event(now), now + 500);
+    }
+
+    #[test]
+    fn charge_idle_is_inert_for_waiting_and_finished_cores() {
+        let mut c = core_with(ConsistencyModel::Wc, vec![]);
+        let mut h = hier();
+        assert_eq!(c.step(0, &mut h), StepOutcome::Finished);
+        let before = c.stats();
+        c.charge_idle(0, 1000);
+        assert_eq!(c.stats(), before, "finished cores accrue nothing");
     }
 
     #[test]

@@ -135,6 +135,23 @@ impl StoreBuffer {
         self.coalesced
     }
 
+    /// Earliest completion time among in-flight drains, if any — the
+    /// store buffer's next wake-up for the cycle-skipping clock.
+    ///
+    /// This is deliberately conservative for PC: a non-front in-flight
+    /// entry completing is a non-event there (only the front may leave
+    /// the buffer), so waking at it merely re-evaluates and charges the
+    /// same stall the reference clock would have charged cycle by cycle.
+    pub fn next_completion(&self) -> Option<Cycle> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e.state {
+                DrainState::InFlight { complete_at, .. } => Some(complete_at),
+                DrainState::Idle => None,
+            })
+            .min()
+    }
+
     /// Total stores drained to the hierarchy.
     pub fn drained(&self) -> u64 {
         self.drained
@@ -404,6 +421,26 @@ mod tests {
         b.push(Addr::new(8), 2, ByteMask::FULL);
         assert_eq!(b.len(), 2);
         assert_eq!(b.coalesced(), 0);
+    }
+
+    #[test]
+    fn next_completion_tracks_earliest_in_flight() {
+        let mut b = sb(ConsistencyModel::Wc);
+        let mut h = hier();
+        assert_eq!(b.next_completion(), None, "empty buffer has no wake-up");
+        b.push(Addr::new(0), 1, ByteMask::FULL);
+        assert_eq!(b.next_completion(), None, "idle entries are not in flight");
+        b.pump(0, &mut h);
+        let wake = b.next_completion().expect("issued drain is in flight");
+        assert!(wake > 0, "completion is in the future");
+        // Pumping exactly at the wake-up completes the drain.
+        let mut t = wake;
+        while !b.is_empty() && t < 10_000 {
+            assert!(b.pump(t, &mut h).is_none());
+            t += 1;
+        }
+        assert!(b.is_empty());
+        assert_eq!(b.next_completion(), None);
     }
 
     #[test]

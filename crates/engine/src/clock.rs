@@ -1,0 +1,67 @@
+//! Clock-policy selection for the cycle-skipping simulator loops.
+//!
+//! Every per-cycle loop in the repo (the full-system loop in `ise-sim`,
+//! the multicore harness in `ise-cpu`, the ASO sweep in `ise-aso`) has
+//! two equivalent drivers: the *reference* clock that ticks `now += 1`
+//! unconditionally, and the *cycle-skipping* clock that jumps `now`
+//! straight to the earliest next wake-up. The skip clock is the default;
+//! the reference clock is kept both as the differential-testing oracle
+//! and as an escape hatch.
+//!
+//! The `ISE_CYCLE_SKIP` environment variable overrides whatever the
+//! caller configured, mirroring the `ISE_WORKERS` convention from
+//! `ise-par`: CI pins one differential leg to `ISE_CYCLE_SKIP=0`
+//! (reference) and one to `ISE_CYCLE_SKIP=1` (skip) and asserts
+//! byte-identical reports.
+
+use std::env;
+
+/// Parses a cycle-skip override string: `Some(false)` for
+/// `0`/`off`/`false`/`no`, `Some(true)` for `1`/`on`/`true`/`yes`
+/// (case-insensitively), `None` for anything else.
+pub fn parse_cycle_skip(value: Option<&str>) -> Option<bool> {
+    match value?.trim().to_ascii_lowercase().as_str() {
+        "0" | "off" | "false" | "no" => Some(false),
+        "1" | "on" | "true" | "yes" => Some(true),
+        _ => None,
+    }
+}
+
+/// The `ISE_CYCLE_SKIP` environment override, if set to a recognised
+/// value. `Some(false)` forces the reference per-cycle clock,
+/// `Some(true)` forces cycle skipping, `None` defers to the caller's
+/// configuration (`SystemConfig::reference_clock` in `ise-sim`, on by
+/// default elsewhere).
+pub fn cycle_skip_override() -> Option<bool> {
+    match env::var("ISE_CYCLE_SKIP") {
+        Ok(v) => parse_cycle_skip(Some(&v)),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_recognises_off_spellings() {
+        for v in ["0", "off", "OFF", "false", "no", " 0 "] {
+            assert_eq!(parse_cycle_skip(Some(v)), Some(false), "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn parse_recognises_on_spellings() {
+        for v in ["1", "on", "true", "YES", " 1 "] {
+            assert_eq!(parse_cycle_skip(Some(v)), Some(true), "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_cycle_skip(Some("2")), None);
+        assert_eq!(parse_cycle_skip(Some("maybe")), None);
+        assert_eq!(parse_cycle_skip(Some("")), None);
+        assert_eq!(parse_cycle_skip(None), None);
+    }
+}

@@ -24,9 +24,11 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod clock;
 pub mod queue;
 pub mod rng;
 
+pub use clock::{cycle_skip_override, parse_cycle_skip};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 

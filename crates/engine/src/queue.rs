@@ -63,6 +63,17 @@ impl<T> EventQueue<T> {
         self.heap.peek().map(|e| e.key.0 .0)
     }
 
+    /// The firing time of the earliest event, if any.
+    ///
+    /// Alias of [`next_time`](Self::next_time) under the conventional
+    /// discrete-event name: the cycle-skipping clock polls every event
+    /// source for its next wake-up via `peek_time()` and jumps straight
+    /// to the minimum. Peeking never disturbs FIFO tie order — events
+    /// scheduled for the same cycle still pop in insertion order.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.next_time()
+    }
+
     /// Pops the earliest event if it fires at or before `now`.
     pub fn pop_at_or_before(&mut self, now: Cycle) -> Option<(Cycle, T)> {
         match self.heap.peek() {
@@ -139,6 +150,58 @@ mod tests {
         q.schedule(7, ());
         assert_eq!(q.next_time(), Some(7));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_time_matches_next_time_and_is_nondestructive() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+        q.schedule(12, "late");
+        q.schedule(4, "early");
+        assert_eq!(q.peek_time(), Some(4));
+        assert_eq!(q.peek_time(), q.next_time());
+        // Peeking must not consume or reorder anything.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((4, "early")));
+        assert_eq!(q.peek_time(), Some(12));
+    }
+
+    #[test]
+    fn peek_time_preserves_fifo_ties_at_equal_cycles() {
+        let mut q = EventQueue::new();
+        q.schedule(9, "first");
+        q.schedule(9, "second");
+        q.schedule(9, "third");
+        // Repeated peeks at a tied cycle are stable and non-consuming...
+        for _ in 0..3 {
+            assert_eq!(q.peek_time(), Some(9));
+        }
+        assert_eq!(q.len(), 3);
+        // ...and the pop order afterwards is still insertion order.
+        assert_eq!(q.pop(), Some((9, "first")));
+        assert_eq!(q.peek_time(), Some(9));
+        assert_eq!(q.pop(), Some((9, "second")));
+        assert_eq!(q.pop(), Some((9, "third")));
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_fifo_across_interleaved_peeks_and_schedules() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        assert_eq!(q.peek_time(), Some(5));
+        q.schedule(5, 2);
+        assert_eq!(q.peek_time(), Some(5));
+        q.schedule(3, 0);
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.pop(), Some((3, 0)));
+        // A later-scheduled event at the same tied cycle still pops last.
+        q.schedule(5, 3);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 3)));
     }
 
     #[test]

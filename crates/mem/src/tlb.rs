@@ -3,13 +3,21 @@
 use ise_engine::Cycle;
 use ise_types::addr::PageId;
 use ise_types::config::TlbConfig;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A single fully-associative LRU TLB level.
+///
+/// `by_tick` mirrors `entries` keyed by last-use tick, so the LRU victim
+/// is the first tree entry — O(log n) instead of scanning the whole
+/// level on every refill, which dominated page-walk-heavy runs (a
+/// page-stride workload refills the 1024-entry L2 level per access).
+/// Ticks are unique, so the mirror picks exactly the entry a full
+/// min-scan would.
 #[derive(Debug, Clone)]
 struct TlbLevel {
     capacity: usize,
     entries: HashMap<PageId, u64>,
+    by_tick: BTreeMap<u64, PageId>,
     tick: u64,
 }
 
@@ -18,6 +26,7 @@ impl TlbLevel {
         TlbLevel {
             capacity,
             entries: HashMap::new(),
+            by_tick: BTreeMap::new(),
             tick: 0,
         }
     }
@@ -25,7 +34,9 @@ impl TlbLevel {
     fn lookup(&mut self, page: PageId) -> bool {
         self.tick += 1;
         if let Some(lru) = self.entries.get_mut(&page) {
+            self.by_tick.remove(lru);
             *lru = self.tick;
+            self.by_tick.insert(self.tick, page);
             true
         } else {
             false
@@ -35,17 +46,21 @@ impl TlbLevel {
     fn insert(&mut self, page: PageId) {
         self.tick += 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&page) {
-            // Evict the LRU entry. Ties cannot occur: ticks are unique.
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &lru)| lru) {
+            // Evict the LRU entry: the oldest tick in the mirror.
+            if let Some((&t, &victim)) = self.by_tick.iter().next() {
+                self.by_tick.remove(&t);
                 self.entries.remove(&victim);
             }
         }
-        let tick = self.tick;
-        self.entries.insert(page, tick);
+        if let Some(old) = self.entries.insert(page, self.tick) {
+            self.by_tick.remove(&old);
+        }
+        self.by_tick.insert(self.tick, page);
     }
 
     fn flush(&mut self) {
         self.entries.clear();
+        self.by_tick.clear();
     }
 }
 
@@ -155,5 +170,74 @@ mod tests {
         // A page well within L2 reach but outside L1 hits L2.
         let lat = t.access(PageId::new(500));
         assert_eq!(lat, TlbConfig::isca23().l2_latency);
+    }
+
+    /// A naive full-scan LRU, kept as the behavioural reference for the
+    /// tick-mirrored level.
+    struct NaiveLru {
+        capacity: usize,
+        entries: std::collections::HashMap<PageId, u64>,
+        tick: u64,
+    }
+
+    impl NaiveLru {
+        fn lookup(&mut self, page: PageId) -> bool {
+            self.tick += 1;
+            if let Some(lru) = self.entries.get_mut(&page) {
+                *lru = self.tick;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn insert(&mut self, page: PageId) {
+            self.tick += 1;
+            if self.entries.len() >= self.capacity && !self.entries.contains_key(&page) {
+                if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &lru)| lru) {
+                    self.entries.remove(&victim);
+                }
+            }
+            let tick = self.tick;
+            self.entries.insert(page, tick);
+        }
+    }
+
+    #[test]
+    fn mirrored_level_matches_naive_lru_scan() {
+        let mut fast = TlbLevel::new(8);
+        let mut naive = NaiveLru {
+            capacity: 8,
+            entries: std::collections::HashMap::new(),
+            tick: 0,
+        };
+        // A deterministic pseudo-random mix of hits, misses, and
+        // re-touches over a working set larger than the capacity.
+        let mut x = 0x2545_F491u64;
+        for _ in 0..4_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let page = PageId::new(x % 24);
+            let hit_fast = fast.lookup(page);
+            let hit_naive = naive.lookup(page);
+            assert_eq!(hit_fast, hit_naive, "hit/miss diverged on {page:?}");
+            if !hit_fast {
+                fast.insert(page);
+                naive.insert(page);
+            }
+            assert!(fast.entries.len() <= 8, "capacity exceeded");
+            assert_eq!(fast.entries.len(), fast.by_tick.len(), "mirror skew");
+        }
+        assert_eq!(
+            fast.entries
+                .keys()
+                .collect::<std::collections::HashSet<_>>(),
+            naive
+                .entries
+                .keys()
+                .collect::<std::collections::HashSet<_>>(),
+            "resident sets diverged"
+        );
     }
 }

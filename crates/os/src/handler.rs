@@ -6,6 +6,7 @@ use ise_engine::Cycle;
 use ise_mem::FlatMemory;
 use ise_types::config::OsCostConfig;
 use ise_types::exception::{ErrorCode, ExceptionKind};
+use ise_types::json::{Json, ToJson};
 use ise_types::{CoreId, FaultingStoreEntry, PageId, SimError};
 use std::collections::HashSet;
 
@@ -42,6 +43,16 @@ impl OverheadBreakdown {
         self.uarch += other.uarch;
         self.apply += other.apply;
         self.other_os += other.other_os;
+    }
+}
+
+impl ToJson for OverheadBreakdown {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("uarch", Json::from(self.uarch)),
+            ("apply", Json::from(self.apply)),
+            ("other_os", Json::from(self.other_os)),
+        ])
     }
 }
 

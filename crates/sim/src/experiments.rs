@@ -94,7 +94,17 @@ fn sweep_for(cfg: &SystemConfig, spec: &MixSpec, scale: &Table3Scale) -> SweepRe
 /// Regenerates Table 3: per workload, the measured mix, WC speedup, and
 /// the speculation state required on the baseline / 2× memory latency /
 /// 4× store-skew systems.
+///
+/// Rows are fanned out over the `ise-par` worker pool (`ISE_WORKERS` /
+/// available parallelism); see [`table3_with_workers`].
 pub fn table3(scale: &Table3Scale) -> Vec<Table3Row> {
+    table3_with_workers(scale, ise_par::worker_count())
+}
+
+/// [`table3`] on an explicit worker count. Every row is an independent
+/// simulation cell; results are merged in mix order, so the output is
+/// byte-identical for every worker count (the PR 2 determinism rules).
+pub fn table3_with_workers(scale: &Table3Scale, workers: usize) -> Vec<Table3Row> {
     let mut base_cfg = SystemConfig::isca23();
     base_cfg.cores = scale.cores;
     let systems = [
@@ -102,27 +112,25 @@ pub fn table3(scale: &Table3Scale) -> Vec<Table3Row> {
         base_cfg.with_double_memory_latency(),
         base_cfg.with_store_skew(4),
     ];
-    table3_mixes()
-        .into_iter()
-        .map(|spec| {
-            let w = synthesize(&spec, scale.instrs_per_core, 1, 7);
-            let measured_mix = InstructionMix::measure(&w.traces[0]);
-            let sweeps: Vec<SweepResult> = systems
-                .iter()
-                .map(|cfg| sweep_for(cfg, &spec, scale))
-                .collect();
-            Table3Row {
-                measured_mix,
-                wc_speedup: sweeps[0].wc_speedup(),
-                state_kb: [
-                    sweeps[0].required_kb(),
-                    sweeps[1].required_kb(),
-                    sweeps[2].required_kb(),
-                ],
-                spec,
-            }
-        })
-        .collect()
+    let mixes = table3_mixes();
+    ise_par::par_map(&mixes, workers, |_, spec| {
+        let w = synthesize(spec, scale.instrs_per_core, 1, 7);
+        let measured_mix = InstructionMix::measure(&w.traces[0]);
+        let sweeps: Vec<SweepResult> = systems
+            .iter()
+            .map(|cfg| sweep_for(cfg, spec, scale))
+            .collect();
+        Table3Row {
+            measured_mix,
+            wc_speedup: sweeps[0].wc_speedup(),
+            state_kb: [
+                sweeps[0].required_kb(),
+                sweeps[1].required_kb(),
+                sweeps[2].required_kb(),
+            ],
+            spec: *spec,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -175,38 +183,42 @@ impl ToJson for Fig5Row {
 /// high intensities fill the store buffer with faulting stores and
 /// amortize the dispatch, reproducing the "with batching" bar.
 pub fn fig5(page_counts: &[usize]) -> Vec<Fig5Row> {
-    page_counts
-        .iter()
-        .map(|&pages| {
-            let mb = microbench(&MicrobenchConfig {
-                stores_per_iter: 10_000,
-                iterations: 1,
-                array_bytes: 4 << 20,
-                faulting_pages_per_iter: pages,
-                seed: 99,
-            });
-            let workload = Workload {
-                name: format!("mbench-{pages}"),
-                traces: vec![mb.iterations[0].trace.clone()],
-                einject_pages: mb.iterations[0].faulting_pages.clone(),
-            };
-            let mut cfg = SystemConfig::isca23();
-            cfg.noc.mesh_x = 2;
-            cfg.noc.mesh_y = 1;
-            cfg.cores = 1;
-            let stats = run_workload(cfg, &workload, MAX_CYCLES);
-            let n = stats.faulting_stores.max(1) as f64;
-            Fig5Row {
-                faulting_pages: pages,
-                exceptions: stats.imprecise_exceptions,
-                faulting_stores: stats.faulting_stores,
-                batch_factor: stats.batch_factor(),
-                uarch_per_store: stats.breakdown.uarch as f64 / n,
-                apply_per_store: stats.breakdown.apply as f64 / n,
-                other_per_store: stats.breakdown.other_os as f64 / n,
-            }
-        })
-        .collect()
+    fig5_with_workers(page_counts, ise_par::worker_count())
+}
+
+/// [`fig5`] on an explicit worker count. Each fault intensity is an
+/// independent single-core simulation; rows come back in `page_counts`
+/// order regardless of which worker ran them.
+pub fn fig5_with_workers(page_counts: &[usize], workers: usize) -> Vec<Fig5Row> {
+    ise_par::par_map(page_counts, workers, |_, &pages| {
+        let mb = microbench(&MicrobenchConfig {
+            stores_per_iter: 10_000,
+            iterations: 1,
+            array_bytes: 4 << 20,
+            faulting_pages_per_iter: pages,
+            seed: 99,
+        });
+        let workload = Workload {
+            name: format!("mbench-{pages}"),
+            traces: vec![mb.iterations[0].trace.clone()],
+            einject_pages: mb.iterations[0].faulting_pages.clone(),
+        };
+        let mut cfg = SystemConfig::isca23();
+        cfg.noc.mesh_x = 2;
+        cfg.noc.mesh_y = 1;
+        cfg.cores = 1;
+        let stats = run_workload(cfg, &workload, MAX_CYCLES);
+        let n = stats.faulting_stores.max(1) as f64;
+        Fig5Row {
+            faulting_pages: pages,
+            exceptions: stats.imprecise_exceptions,
+            faulting_stores: stats.faulting_stores,
+            batch_factor: stats.batch_factor(),
+            uarch_per_store: stats.breakdown.uarch as f64 / n,
+            apply_per_store: stats.breakdown.apply as f64 / n,
+            other_per_store: stats.breakdown.other_os as f64 / n,
+        }
+    })
 }
 
 /// One row of the demand-paging extension of Fig. 5.
@@ -254,36 +266,43 @@ impl ToJson for Fig5IoRow {
 /// covers many faulting pages, so their IOs are submitted together and
 /// overlap; the traditional precise regime would pay them serially.
 pub fn fig5_demand_paging(page_counts: &[usize], io_latency: u64) -> Vec<Fig5IoRow> {
-    page_counts
-        .iter()
-        .map(|&pages| {
-            let mb = microbench(&MicrobenchConfig {
-                stores_per_iter: 10_000,
-                iterations: 1,
-                array_bytes: 4 << 20,
-                faulting_pages_per_iter: pages,
-                seed: 99,
-            });
-            let workload = Workload {
-                name: format!("mbench-io-{pages}"),
-                traces: vec![mb.iterations[0].trace.clone()],
-                einject_pages: mb.iterations[0].faulting_pages.clone(),
-            };
-            let mut cfg = SystemConfig::isca23();
-            cfg.noc.mesh_x = 2;
-            cfg.noc.mesh_y = 1;
-            cfg.cores = 1;
-            let mut sys = System::new(cfg, &workload).with_demand_paging_io(io_latency);
-            let stats = sys.run(MAX_CYCLES);
-            Fig5IoRow {
-                faulting_pages: pages,
-                exceptions: stats.imprecise_exceptions,
-                pages_resolved: stats.pages_resolved,
-                batched_io_cycles: stats.io_cycles,
-                serial_io_cycles: stats.pages_resolved * io_latency,
-            }
-        })
-        .collect()
+    fig5_demand_paging_with_workers(page_counts, io_latency, ise_par::worker_count())
+}
+
+/// [`fig5_demand_paging`] on an explicit worker count, with the same
+/// insertion-order merge guarantee as [`fig5_with_workers`].
+pub fn fig5_demand_paging_with_workers(
+    page_counts: &[usize],
+    io_latency: u64,
+    workers: usize,
+) -> Vec<Fig5IoRow> {
+    ise_par::par_map(page_counts, workers, |_, &pages| {
+        let mb = microbench(&MicrobenchConfig {
+            stores_per_iter: 10_000,
+            iterations: 1,
+            array_bytes: 4 << 20,
+            faulting_pages_per_iter: pages,
+            seed: 99,
+        });
+        let workload = Workload {
+            name: format!("mbench-io-{pages}"),
+            traces: vec![mb.iterations[0].trace.clone()],
+            einject_pages: mb.iterations[0].faulting_pages.clone(),
+        };
+        let mut cfg = SystemConfig::isca23();
+        cfg.noc.mesh_x = 2;
+        cfg.noc.mesh_y = 1;
+        cfg.cores = 1;
+        let mut sys = System::new(cfg, &workload).with_demand_paging_io(io_latency);
+        let stats = sys.run(MAX_CYCLES);
+        Fig5IoRow {
+            faulting_pages: pages,
+            exceptions: stats.imprecise_exceptions,
+            pages_resolved: stats.pages_resolved,
+            batched_io_cycles: stats.io_cycles,
+            serial_io_cycles: stats.pages_resolved * io_latency,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -399,47 +418,77 @@ fn fig6_run(workload_faulting: &Workload, cores: usize) -> Fig6Row {
 /// Regenerates Fig. 6: BFS/SSSP/BC and Silo/Masstree with all their
 /// memory marked faulting at start, versus the uninjected baseline.
 pub fn fig6(scale: &Fig6Scale) -> Vec<Fig6Row> {
-    let mut rows = Vec::new();
-    for kernel in [GapKernel::Bfs, GapKernel::Sssp, GapKernel::Bc] {
-        let cfg = GapConfig {
-            nodes: scale.gap_nodes,
-            degree: 8,
-            cores: scale.cores,
-            trials: scale.gap_trials,
-            seed: 42,
-            in_einject: true,
-        };
-        rows.push(fig6_run(&gap_workload(kernel, &cfg), scale.cores));
-    }
-    for engine in [KvEngine::Silo, KvEngine::Masstree] {
-        // Tailbench runs in integrated mode for a fixed duration (§6.5);
-        // Masstree's per-op work is ~4x lighter than a Silo transaction,
-        // so a fixed-duration run completes proportionally more ops.
-        let ops_factor = if engine == KvEngine::Masstree { 4 } else { 1 };
-        let cfg = KvConfig {
-            preload: scale.kv_preload,
-            ops_per_core: scale.kv_ops * ops_factor,
-            cores: scale.cores,
-            seed: 42,
-            in_einject: true,
-        };
-        rows.push(fig6_run(&kv_workload(engine, &cfg), scale.cores));
-    }
-    rows
+    fig6_with_workers(scale, ise_par::worker_count())
+}
+
+/// One Fig. 6 bar waiting to be simulated: workload synthesis and both
+/// runs happen inside the worker so the whole bar parallelizes.
+#[derive(Debug, Clone, Copy)]
+enum Fig6Bar {
+    /// A GAP graph kernel.
+    Gap(GapKernel),
+    /// A Tailbench key-value engine.
+    Kv(KvEngine),
+}
+
+/// [`fig6`] on an explicit worker count. The five bars (BFS, SSSP, BC,
+/// Silo, Masstree) are independent baseline+imprecise simulation pairs;
+/// the merge preserves that bar order for every worker count.
+pub fn fig6_with_workers(scale: &Fig6Scale, workers: usize) -> Vec<Fig6Row> {
+    let bars = [
+        Fig6Bar::Gap(GapKernel::Bfs),
+        Fig6Bar::Gap(GapKernel::Sssp),
+        Fig6Bar::Gap(GapKernel::Bc),
+        Fig6Bar::Kv(KvEngine::Silo),
+        Fig6Bar::Kv(KvEngine::Masstree),
+    ];
+    ise_par::par_map(&bars, workers, |_, bar| match *bar {
+        Fig6Bar::Gap(kernel) => {
+            let cfg = GapConfig {
+                nodes: scale.gap_nodes,
+                degree: 8,
+                cores: scale.cores,
+                trials: scale.gap_trials,
+                seed: 42,
+                in_einject: true,
+            };
+            fig6_run(&gap_workload(kernel, &cfg), scale.cores)
+        }
+        Fig6Bar::Kv(engine) => {
+            // Tailbench runs in integrated mode for a fixed duration
+            // (§6.5); Masstree's per-op work is ~4x lighter than a Silo
+            // transaction, so a fixed-duration run completes
+            // proportionally more ops.
+            let ops_factor = if engine == KvEngine::Masstree { 4 } else { 1 };
+            let cfg = KvConfig {
+                preload: scale.kv_preload,
+                ops_per_core: scale.kv_ops * ops_factor,
+                cores: scale.cores,
+                seed: 42,
+                in_einject: true,
+            };
+            fig6_run(&kv_workload(engine, &cfg), scale.cores)
+        }
+    })
 }
 
 /// Beyond-paper extension: the Cloudsuite workloads (which the paper
 /// lists in Table 3 but does not run in Fig. 6) under the same
 /// total-injection protocol.
 pub fn fig6_cloudsuite(scale: &Fig6Scale) -> Vec<Fig6Row> {
+    fig6_cloudsuite_with_workers(scale, ise_par::worker_count())
+}
+
+/// [`fig6_cloudsuite`] on an explicit worker count, merged in service
+/// order (data caching, media streaming, data serving).
+pub fn fig6_cloudsuite_with_workers(scale: &Fig6Scale, workers: usize) -> Vec<Fig6Row> {
     use ise_workloads::cloud::{cloud_workload, CloudConfig, CloudService};
-    [
+    let services = [
         CloudService::DataCaching,
         CloudService::MediaStreaming,
         CloudService::DataServing,
-    ]
-    .into_iter()
-    .map(|svc| {
+    ];
+    ise_par::par_map(&services, workers, |_, svc| {
         // Fixed-duration service loops: many requests over a compact
         // working set, so first-touch faults amortize as in production.
         let cfg = CloudConfig {
@@ -449,9 +498,8 @@ pub fn fig6_cloudsuite(scale: &Fig6Scale) -> Vec<Fig6Row> {
             seed: 42,
             in_einject: true,
         };
-        fig6_run(&cloud_workload(svc, &cfg), scale.cores)
+        fig6_run(&cloud_workload(*svc, &cfg), scale.cores)
     })
-    .collect()
 }
 
 // ---------------------------------------------------------------------

@@ -2,12 +2,13 @@
 
 use ise_core::{CompositeResolver, ContractMonitor, EInject, FaultResolver, Fsb, Fsbc, OrderEvent};
 use ise_cpu::{Core, StepOutcome, VecTrace};
-use ise_engine::Cycle;
+use ise_engine::{cycle_skip_override, Cycle};
 use ise_mem::{FlatMemory, MemoryHierarchy};
 use ise_os::handler::OverheadBreakdown;
 use ise_os::{InterruptControl, OsKernel, Process, ProcessState};
 use ise_types::addr::Addr;
 use ise_types::config::SystemConfig;
+use ise_types::json::{Json, ToJson};
 use ise_types::model::ConsistencyModel;
 use ise_types::stats::CoreStats;
 use ise_types::CoreId;
@@ -91,6 +92,43 @@ impl SystemStats {
     }
 }
 
+impl ToJson for SystemStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::from(self.cycles)),
+            ("cores", Json::arr(self.cores.iter().map(|c| c.to_json()))),
+            (
+                "imprecise_exceptions",
+                Json::from(self.imprecise_exceptions),
+            ),
+            ("precise_exceptions", Json::from(self.precise_exceptions)),
+            ("stores_applied", Json::from(self.stores_applied)),
+            ("faulting_stores", Json::from(self.faulting_stores)),
+            ("breakdown", self.breakdown.to_json()),
+            ("denied", Json::from(self.denied)),
+            ("killed", Json::from(self.killed)),
+            (
+                "interrupts_delivered",
+                Json::from(self.interrupts_delivered),
+            ),
+            ("interrupts_deferred", Json::from(self.interrupts_deferred)),
+            ("io_cycles", Json::from(self.io_cycles)),
+            ("pages_resolved", Json::from(self.pages_resolved)),
+            ("transient_retries", Json::from(self.transient_retries)),
+            ("transient_recovered", Json::from(self.transient_recovered)),
+            (
+                "early_drain_interrupts",
+                Json::from(self.early_drain_interrupts),
+            ),
+            ("fsb_high_water_mark", Json::from(self.fsb_high_water_mark)),
+            (
+                "applied_per_core",
+                Json::arr(self.applied_per_core.iter().map(|&a| Json::from(a))),
+            ),
+        ])
+    }
+}
+
 /// The full system: cores, hierarchy, FSBs, EInject, OS.
 pub struct System {
     cfg: SystemConfig,
@@ -117,6 +155,9 @@ pub struct System {
     early_drain_interrupts: u64,
     applied_per_core: Vec<u64>,
     now: Cycle,
+    /// Built exactly once when [`System::run`] completes; [`System::stats`]
+    /// serves this cache instead of re-collecting per-core vectors.
+    final_stats: Option<SystemStats>,
 }
 
 impl std::fmt::Debug for System {
@@ -219,6 +260,7 @@ impl System {
             early_drain_interrupts: 0,
             applied_per_core: vec![0; cfg.cores],
             now: 0,
+            final_stats: None,
             cfg,
         }
     }
@@ -402,12 +444,57 @@ impl System {
         self.ictl[i].exit_handler();
     }
 
+    /// The earliest cycle after `self.now` at which anything in the
+    /// system can act: the minimum of every live core's
+    /// [`Core::next_event`] (which folds in OS resume deadlines, since
+    /// the handler sets them via `resume_at`/`stall_until`), clamped to
+    /// the next timer-interrupt multiple so every delivery/deferral
+    /// decision point is visited exactly as the reference clock would.
+    ///
+    /// `handler_busy_until` needs no candidate of its own: it is only
+    /// *read* at interrupt multiples (the IE-bit check), and those are
+    /// all visited via the clamp.
+    fn next_wake(&self, max_cycles: Cycle) -> Cycle {
+        let mut next = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.processes[*i].state != ProcessState::Killed)
+            .map(|(_, c)| c.next_event(self.now))
+            .min()
+            .unwrap_or(Cycle::MAX);
+        if let Some(interval) = self.interrupt_interval {
+            next = next.min((self.now / interval + 1) * interval);
+        }
+        next.clamp(self.now + 1, max_cycles)
+    }
+
     /// Runs until every live core finishes (or is killed).
+    ///
+    /// Uses the event-driven cycle-skipping clock unless
+    /// [`SystemConfig::reference_clock`] (or `ISE_CYCLE_SKIP=0`) selects
+    /// the per-cycle reference loop; the two produce byte-identical
+    /// [`SystemStats`] (the differential suite in
+    /// `tests/clock_equivalence.rs` pins this down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cycles` elapses first — at the same cycle under
+    /// either clock, since jumps clamp to `max_cycles`.
+    pub fn run(&mut self, max_cycles: Cycle) -> SystemStats {
+        let skip = cycle_skip_override().unwrap_or(!self.cfg.reference_clock);
+        self.run_clocked(max_cycles, skip)
+    }
+
+    /// [`System::run`] with an explicit clock choice, ignoring both the
+    /// configuration toggle and the environment override — the entry
+    /// point the differential suite uses to compare the two clocks
+    /// in-process regardless of how the test run itself is pinned.
     ///
     /// # Panics
     ///
     /// Panics if `max_cycles` elapses first.
-    pub fn run(&mut self, max_cycles: Cycle) -> SystemStats {
+    pub fn run_clocked(&mut self, max_cycles: Cycle, skip: bool) -> SystemStats {
         loop {
             // Timer interrupts (delivered unless an exception handler
             // currently holds the IE bit).
@@ -447,18 +534,44 @@ impl System {
             if all_done {
                 break;
             }
-            self.now += 1;
+            let next = if skip {
+                self.next_wake(max_cycles)
+            } else {
+                self.now + 1
+            };
+            let skipped = next - self.now - 1;
+            if skipped > 0 {
+                for i in 0..self.cores.len() {
+                    if self.processes[i].state != ProcessState::Killed {
+                        self.cores[i].charge_idle(self.now, skipped);
+                    }
+                }
+            }
+            self.now = next;
             assert!(
                 self.now < max_cycles,
                 "exceeded cycle budget at {}",
                 self.now
             );
         }
-        self.stats()
+        let stats = self.build_stats();
+        self.final_stats = Some(stats.clone());
+        stats
     }
 
-    /// Statistics as of now.
-    pub fn stats(&self) -> SystemStats {
+    /// Statistics of the completed run, served from the end-of-run cache
+    /// without re-collecting the per-core vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`System::run`] has completed.
+    pub fn stats(&self) -> &SystemStats {
+        self.final_stats
+            .as_ref()
+            .expect("stats() is available once run() has completed")
+    }
+
+    fn build_stats(&self) -> SystemStats {
         let cores: Vec<CoreStats> = self.cores.iter().map(|c| c.stats()).collect();
         SystemStats {
             cycles: cores.iter().map(|c| c.cycles).max().unwrap_or(0),
@@ -679,6 +792,117 @@ mod tests {
             stats.applied_per_core.iter().sum::<u64>(),
             stats.stores_applied
         );
+    }
+
+    #[test]
+    fn cycle_skip_json_identical_on_faulting_workload() {
+        let w = store_workload(true);
+        let reference = System::new(small_cfg(), &w)
+            .run_clocked(10_000_000, false)
+            .to_json()
+            .render();
+        let skipped = System::new(small_cfg(), &w)
+            .run_clocked(10_000_000, true)
+            .to_json()
+            .render();
+        assert_eq!(reference, skipped);
+    }
+
+    #[test]
+    fn reference_clock_config_toggle_selects_the_loop() {
+        // Both clocks agree, so the toggle is only observable as
+        // identical output — this pins the builder wiring itself.
+        let w = store_workload(false);
+        let cfg = small_cfg().with_reference_clock(true);
+        assert!(cfg.reference_clock);
+        let a = run_workload(cfg, &w, 1_000_000).to_json().render();
+        let b = run_workload(small_cfg(), &w, 1_000_000).to_json().render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interrupts_identical_across_skip_boundaries_when_all_cores_stall() {
+        // A workload whose faulting stores park every core in long
+        // handler/drain stalls spanning several timer multiples:
+        // delivery and deferral decisions all happen at skipped-into
+        // ticks, and must match the reference exactly.
+        let base = Addr::new(EINJECT_BASE + PAGE_SIZE * 128);
+        let mk = |seed: u64| {
+            let mut t: Vec<Instruction> = (0..30u64)
+                .map(|i| Instruction::store(base.offset((seed * 64 + i) * 512), i))
+                .collect();
+            // Plain work after the faulting burst so later ticks land on
+            // ordinarily-running cores and are delivered, not deferred.
+            t.extend((0..2_000).map(|_| Instruction::other()));
+            t
+        };
+        let mut pages = Vec::new();
+        for off in (0..30u64).flat_map(|i| [i * 512, (64 + i) * 512]) {
+            let page = base.offset(off).page();
+            if !pages.contains(&page) {
+                pages.push(page);
+            }
+        }
+        let w = Workload {
+            name: "all-stalled".into(),
+            traces: vec![mk(0), mk(1)],
+            einject_pages: pages,
+        };
+        // Intervals above the per-delivery stall (~130 cycles, so the
+        // cores make progress between ticks) but below the exception
+        // handler's dispatch window, so ticks landing inside a handler
+        // are deferred.
+        for interval in [150u64, 220, 300] {
+            let reference = System::new(small_cfg(), &w)
+                .with_timer_interrupts(interval)
+                .run_clocked(10_000_000, false);
+            let skipped = System::new(small_cfg(), &w)
+                .with_timer_interrupts(interval)
+                .run_clocked(10_000_000, true);
+            assert!(
+                reference.interrupts_delivered > 2,
+                "workload must actually cross several timer multiples \
+                 (interval {interval}: delivered {})",
+                reference.interrupts_delivered
+            );
+            assert!(
+                reference.interrupts_deferred > 0,
+                "a tick must land inside an exception handler so the \
+                 deferral path is exercised (interval {interval})"
+            );
+            assert_eq!(
+                reference.interrupts_delivered, skipped.interrupts_delivered,
+                "interval {interval}"
+            );
+            assert_eq!(
+                reference.interrupts_deferred, skipped.interrupts_deferred,
+                "interval {interval}"
+            );
+            assert_eq!(
+                reference.to_json().render(),
+                skipped.to_json().render(),
+                "interval {interval}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_served_from_end_of_run_cache() {
+        let mut sys = System::new(small_cfg(), &store_workload(false));
+        let returned = sys.run(1_000_000);
+        let cached = sys.stats();
+        assert_eq!(returned.to_json().render(), cached.to_json().render());
+        assert!(
+            std::ptr::eq(cached, sys.stats()),
+            "repeated calls serve the same cached value"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "once run() has completed")]
+    fn stats_before_run_panics() {
+        let sys = System::new(small_cfg(), &store_workload(false));
+        let _ = sys.stats();
     }
 
     #[test]

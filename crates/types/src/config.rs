@@ -238,6 +238,16 @@ pub struct SystemConfig {
     pub memory: MemoryConfig,
     /// OS handler costs.
     pub os: OsCostConfig,
+    /// When true, the simulator drives its clock with the reference
+    /// per-cycle loop (`now += 1`) instead of the event-driven
+    /// cycle-skipping loop. The two produce byte-identical statistics —
+    /// the reference clock exists as the differential-testing oracle and
+    /// as an escape hatch. The `ISE_CYCLE_SKIP` environment variable
+    /// overrides this field at run time.
+    ///
+    /// This is a simulator-implementation knob, not an architectural
+    /// parameter, so it is deliberately absent from the JSON rendering.
+    pub reference_clock: bool,
 }
 
 impl SystemConfig {
@@ -252,6 +262,7 @@ impl SystemConfig {
             noc: NocConfig::isca23(),
             memory: MemoryConfig::isca23(),
             os: OsCostConfig::isca23(),
+            reference_clock: false,
         }
     }
 
@@ -281,6 +292,13 @@ impl SystemConfig {
     /// Same system under a different consistency model.
     pub fn with_model(mut self, model: ConsistencyModel) -> Self {
         self.core.model = model;
+        self
+    }
+
+    /// Same system driven by the reference per-cycle clock (`true`) or
+    /// the cycle-skipping clock (`false`, the default).
+    pub fn with_reference_clock(mut self, reference: bool) -> Self {
+        self.reference_clock = reference;
         self
     }
 }
@@ -431,5 +449,18 @@ mod tests {
         assert!(json.contains("\"rob_entries\":128"));
         assert!(json.contains("\"access_latency\":80"));
         assert_eq!(json, c.to_json().render(), "rendering is deterministic");
+    }
+
+    #[test]
+    fn reference_clock_builder_and_default() {
+        let base = SystemConfig::isca23();
+        assert!(!base.reference_clock, "cycle skipping is the default");
+        assert!(base.with_reference_clock(true).reference_clock);
+        // The clock choice is a simulator-implementation detail: it must
+        // not leak into the architectural JSON (golden reports are shared
+        // between the two clocks).
+        let a = base.to_json().render();
+        let b = base.with_reference_clock(true).to_json().render();
+        assert_eq!(a, b, "clock toggle is invisible in config JSON");
     }
 }

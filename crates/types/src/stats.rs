@@ -1,5 +1,6 @@
 //! Statistics containers used by the simulator and the experiment harness.
 
+use crate::json::{Json, ToJson};
 use std::fmt;
 
 /// A streaming mean/min/max accumulator for cycle counts and similar
@@ -190,6 +191,24 @@ impl CoreStats {
     }
 }
 
+impl ToJson for CoreStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("retired", Json::from(self.retired)),
+            ("cycles", Json::from(self.cycles)),
+            ("store_stall_cycles", Json::from(self.store_stall_cycles)),
+            ("sync_stall_cycles", Json::from(self.sync_stall_cycles)),
+            ("l1d_misses", Json::from(self.l1d_misses)),
+            (
+                "imprecise_exceptions",
+                Json::from(self.imprecise_exceptions),
+            ),
+            ("faulting_stores", Json::from(self.faulting_stores)),
+            ("precise_exceptions", Json::from(self.precise_exceptions)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +267,28 @@ mod tests {
         };
         assert_eq!(s.ipc(), 2.0);
         assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn core_stats_json_lists_every_counter() {
+        let s = CoreStats {
+            retired: 7,
+            cycles: 11,
+            store_stall_cycles: 3,
+            sync_stall_cycles: 2,
+            l1d_misses: 5,
+            imprecise_exceptions: 1,
+            faulting_stores: 4,
+            precise_exceptions: 0,
+        };
+        let json = s.to_json().render();
+        assert_eq!(
+            json,
+            "{\"retired\":7,\"cycles\":11,\"store_stall_cycles\":3,\
+             \"sync_stall_cycles\":2,\"l1d_misses\":5,\
+             \"imprecise_exceptions\":1,\"faulting_stores\":4,\
+             \"precise_exceptions\":0}"
+        );
     }
 
     #[test]
