@@ -6,9 +6,10 @@
 //! bars), saturated pages ≈ a store buffer's worth per exception (the
 //! "with batching" bars).
 
-use ise_bench::{print_json, print_table};
+use ise_bench::{emit_report, print_table, report_sections};
 use ise_sim::experiments::{fig5, fig5_demand_paging};
 use ise_sim::report::render_bars;
+use ise_types::ToJson;
 
 fn main() {
     let rows = fig5(&[1, 4, 16, 64, 256, 512, 1024]);
@@ -55,7 +56,6 @@ fn main() {
         .map(|r| (format!("{} pages", r.faulting_pages), r.total_per_store()))
         .collect();
     print!("{}", render_bars(&bars, 48, " cyc/store"));
-    print_json("fig5", &rows);
 
     // Extension: demand paging — batched page-in IO vs the serial
     // precise-fault regime (§5.3's second batching argument).
@@ -83,5 +83,11 @@ fn main() {
          (io_latency = 20k cycles)",
         &out,
     );
-    print_json("fig5_demand_paging", &io_rows);
+    emit_report(
+        "fig5",
+        &report_sections([
+            ("rows", rows.to_json()),
+            ("demand_paging", io_rows.to_json()),
+        ]),
+    );
 }

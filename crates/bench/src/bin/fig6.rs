@@ -3,9 +3,10 @@
 //!
 //! Pass `--quick` for the reduced test scale.
 
-use ise_bench::{print_json, print_table};
+use ise_bench::{emit_report, print_table, report_sections};
 use ise_sim::experiments::{fig6, fig6_cloudsuite, Fig6Scale};
 use ise_sim::report::render_bars;
+use ise_types::ToJson;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -48,8 +49,6 @@ fn main() {
         "\npaper: >96.5% of baseline for GAP, <4% throughput loss for Tailbench. \
          All workloads ran start to finish with faults transparently handled."
     );
-    print_json("fig6", &rows);
-
     // Beyond-paper extension: the Cloudsuite rows under the same protocol.
     let ext = fig6_cloudsuite(&scale);
     let mut out = vec![vec![
@@ -70,5 +69,8 @@ fn main() {
         "Extension: Cloudsuite workloads (listed in Table 3, not run in the paper's Fig. 6)",
         &out,
     );
-    print_json("fig6_cloudsuite", &ext);
+    emit_report(
+        "fig6",
+        &report_sections([("rows", rows.to_json()), ("cloudsuite", ext.to_json())]),
+    );
 }

@@ -54,5 +54,8 @@ fn main() {
         ],
     ];
     print_table("Table 2: system parameters (SystemConfig::isca23)", &rows);
-    ise_bench::print_json("table2", &c);
+    ise_bench::emit_report(
+        "table2",
+        &ise_bench::report_sections([("config", ise_types::ToJson::to_json(&c))]),
+    );
 }

@@ -4,8 +4,9 @@
 //!
 //! Pass `--quick` for the reduced test scale.
 
-use ise_bench::{kb, print_json, print_table};
+use ise_bench::{emit_report, kb, print_table, report_sections};
 use ise_sim::experiments::{table3, Table3Scale};
+use ise_types::ToJson;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -49,5 +50,5 @@ fn main() {
         "Table 3: mixes, WC speedup over SC, required ASO speculation state",
         &out,
     );
-    print_json("table3", &rows);
+    emit_report("table3", &report_sections([("rows", rows.to_json())]));
 }

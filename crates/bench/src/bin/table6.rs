@@ -1,7 +1,7 @@
 //! Regenerates Table 6: the litmus campaign, grouped by ordering
 //! relation, with case counts and the pass verdict.
 
-use ise_bench::{print_json, print_table};
+use ise_bench::{emit_report, print_table};
 use ise_litmus::corpus::corpus;
 use ise_litmus::runner::run_corpus;
 
@@ -46,11 +46,8 @@ fn main() {
             "VIOLATIONS FOUND"
         }
     );
-    let fam_counts: Vec<(String, usize, usize)> = summary
-        .by_family()
-        .into_iter()
-        .map(|(f, c, p)| (f.to_string(), c, p))
-        .collect();
-    print_json("table6", &fam_counts);
+    // The summary's registry IS the report: aggregate counters plus the
+    // per-family pairs, shard-merge-deterministic at any worker count.
+    emit_report("table6", &summary.to_registry());
     std::process::exit(if summary.all_passed() { 0 } else { 1 });
 }

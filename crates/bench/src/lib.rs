@@ -12,8 +12,9 @@ use ise_consistency::program::format_outcome;
 use ise_litmus::parse::{parse_litmus, ParsedLitmus};
 use ise_litmus::runner::{run_test_with_policy, FaultMode};
 use ise_sim::report::render_table;
+use ise_telemetry::Registry;
 use ise_types::model::DrainPolicy;
-use ise_types::ConsistencyModel;
+use ise_types::{ConsistencyModel, Json};
 use std::fmt::Write;
 
 /// Prints a titled table to stdout.
@@ -81,6 +82,14 @@ pub fn litmus_source_report(src: &str) -> String {
 /// The `table5` binary prints this; the golden test freezes it so any
 /// drift in the contract monitor or the recovery pipeline is caught.
 pub fn table5_report() -> String {
+    table5_report_with_snapshot().0
+}
+
+/// [`table5_report`] plus the live audit's telemetry snapshot — the
+/// registry the `table5` binary hands to [`emit_report`]. The text
+/// component is byte-identical to [`table5_report`] (the golden test
+/// freezes it).
+pub fn table5_report_with_snapshot() -> (String, Registry) {
     use ise_core::{ContractMonitor, OrderEvent};
     use ise_sim::System;
     use ise_types::addr::{Addr, ByteMask};
@@ -141,6 +150,10 @@ pub fn table5_report() -> String {
     cfg.noc.mesh_y = 1;
     let mut sys = System::new(cfg, &workload).with_contract_monitor();
     let stats = sys.run(10_000_000);
+    let mut snapshot = Registry::new();
+    snapshot.add("imprecise_exceptions", stats.imprecise_exceptions);
+    snapshot.add("stores_applied", stats.stores_applied);
+    snapshot.put("contract_held", Json::from(sys.check_contract().is_ok()));
     writeln!(
         out,
         "live audit: {} imprecise exception(s), {} stores applied -> contract {}",
@@ -205,12 +218,24 @@ pub fn table5_report() -> String {
         m.check(ConsistencyModel::Wc)
     )
     .unwrap();
-    out
+    (out, snapshot)
 }
 
-/// Prints a JSON appendix for machine consumption.
-pub fn print_json<T: ise_types::ToJson>(label: &str, value: &T) {
-    println!("JSON {label}: {}", value.to_json().render());
+/// Prints one `JSON <label>: {...}` report line for machine consumption.
+///
+/// This is the single emission path every experiment binary funnels its
+/// telemetry snapshot through: each binary assembles one [`Registry`]
+/// (usually with [`Registry::from_sections`]) and emits it exactly once,
+/// so downstream scrapers see one deterministic line per binary.
+pub fn emit_report(label: &str, snapshot: &Registry) {
+    println!("JSON {label}: {}", snapshot.render());
+}
+
+/// Builds the report snapshot for a list of `(section, value)` pairs —
+/// sugar over [`Registry::from_sections`] for binaries whose report is a
+/// handful of row arrays.
+pub fn report_sections<K: Into<String>>(sections: impl IntoIterator<Item = (K, Json)>) -> Registry {
+    Registry::from_sections(sections)
 }
 
 /// Formats an `Option<f64>` KB value.

@@ -162,6 +162,20 @@ impl FaultInjector {
         self.state.borrow().values().filter(|s| !s.cleared).count()
     }
 
+    /// Pages whose cause has cleared (healed or OS-resolved), sorted by
+    /// page index so callers iterating the set stay deterministic.
+    pub fn cleared_pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self
+            .state
+            .borrow()
+            .iter()
+            .filter(|(_, s)| s.cleared)
+            .map(|(&p, _)| p)
+            .collect();
+        pages.sort_by_key(|p| p.index());
+        pages
+    }
+
     /// The injector's current clock, as last advanced by the hierarchy.
     pub fn now(&self) -> Cycle {
         self.now.get()

@@ -53,6 +53,21 @@ impl Family {
         Family::Barriers,
     ];
 
+    /// The family's metric-key slug (`family.<key>.cases` in the
+    /// telemetry registry).
+    pub fn key(self) -> &'static str {
+        match self {
+            Family::Dependencies => "dependencies",
+            Family::PoSameLocation => "po_same_location",
+            Family::PreservedPo => "preserved_po",
+            Family::ExternalReadFrom => "external_read_from",
+            Family::InternalReadFrom => "internal_read_from",
+            Family::CoherenceOrder => "coherence_order",
+            Family::FromRead => "from_read",
+            Family::Barriers => "barriers",
+        }
+    }
+
     /// The Table 6 row label.
     pub fn label(self) -> &'static str {
         match self {

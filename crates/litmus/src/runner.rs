@@ -11,6 +11,8 @@ use crate::corpus::{Family, LitmusTest};
 use crate::machine::{explore, MachineConfig};
 use ise_consistency::axiom::allowed_outcomes;
 use ise_consistency::program::{format_outcome, Outcome};
+use ise_telemetry::Registry;
+use ise_types::json::{Json, ToJson};
 use ise_types::model::{ConsistencyModel, DrainPolicy};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -179,6 +181,41 @@ impl CorpusSummary {
     pub fn imprecise_detections(&self) -> u64 {
         self.reports.iter().map(|r| r.imprecise_detections).sum()
     }
+
+    /// The campaign as a telemetry [`Registry`]: aggregate counters
+    /// first, then one `family.<key>.{cases,passed}` counter pair per
+    /// Table 6 family. Keys are pre-seeded in Table 6 order before any
+    /// report is accumulated, so shards merged in any grouping render
+    /// identically — the corpus' worker-count determinism carries over
+    /// to the registry plane.
+    pub fn to_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.add("cases", 0);
+        reg.add("passed", 0);
+        reg.add("imprecise_detections", 0);
+        for fam in Family::ALL {
+            reg.add(&format!("family.{}.cases", fam.key()), 0);
+            reg.add(&format!("family.{}.passed", fam.key()), 0);
+        }
+        for r in &self.reports {
+            reg.incr("cases");
+            reg.add("passed", u64::from(r.passed()));
+            reg.add("imprecise_detections", r.imprecise_detections);
+            reg.incr(&format!("family.{}.cases", r.family.key()));
+            reg.add(
+                &format!("family.{}.passed", r.family.key()),
+                u64::from(r.passed()),
+            );
+        }
+        reg.put("all_passed", Json::from(self.all_passed()));
+        reg
+    }
+}
+
+impl ToJson for CorpusSummary {
+    fn to_json(&self) -> Json {
+        self.to_registry().to_json()
+    }
 }
 
 /// Runs every corpus test under {PC, WC} × {no faults, all faulting,
@@ -289,5 +326,35 @@ mod tests {
             assert!(cases > 0, "{fam} has no cases");
             assert_eq!(cases, passed, "{fam} has failures");
         }
+    }
+
+    #[test]
+    fn registry_matches_by_family_and_is_worker_invariant() {
+        let tests = corpus();
+        let sequential = run_corpus_with_workers(&tests, 1);
+        let sharded = run_corpus_with_workers(&tests, 4);
+        assert_eq!(
+            sequential.to_registry().render(),
+            sharded.to_registry().render(),
+            "registry rendering must not depend on the worker count"
+        );
+        let reg = sequential.to_registry();
+        assert_eq!(reg.counter("cases"), sequential.cases() as u64);
+        assert_eq!(reg.counter("passed"), sequential.passed() as u64);
+        for (fam, cases, passed) in sequential.by_family() {
+            assert_eq!(
+                reg.counter(&format!("family.{}.cases", fam.key())),
+                cases as u64
+            );
+            assert_eq!(
+                reg.counter(&format!("family.{}.passed", fam.key())),
+                passed as u64
+            );
+        }
+        assert_eq!(
+            sequential.to_json().render(),
+            reg.to_json().render(),
+            "ToJson delegates to the registry"
+        );
     }
 }

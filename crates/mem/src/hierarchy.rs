@@ -173,6 +173,36 @@ impl MemoryHierarchy {
         self.stats
     }
 
+    /// Exports the hierarchy's counters — cache/directory traffic plus
+    /// every core's TLB, aggregated — into the shared telemetry
+    /// registry.
+    pub fn export_telemetry(&self, reg: &mut ise_telemetry::Registry) {
+        reg.add("mem.l1_hits", self.stats.l1_hits);
+        reg.add("mem.l1_misses", self.stats.l1_misses);
+        reg.add("mem.l2_hits", self.stats.l2_hits);
+        reg.add("mem.peer_forwards", self.stats.peer_forwards);
+        reg.add("mem.accesses", self.stats.mem_accesses);
+        reg.add("mem.denied", self.stats.denied);
+        for tlb in &self.tlbs {
+            tlb.export_telemetry(reg);
+        }
+    }
+
+    /// Turns TLB refill logging on or off for every core's TLB (see
+    /// [`Tlb::set_refill_logging`]). The system's event trace enables
+    /// this and drains per-core logs after each step.
+    pub fn set_tlb_refill_logging(&mut self, on: bool) {
+        for tlb in &mut self.tlbs {
+            tlb.set_refill_logging(on);
+        }
+    }
+
+    /// Takes core `i`'s TLB refills logged since the last drain as
+    /// `(page, walked)` pairs. Empty when logging is off.
+    pub fn drain_tlb_refills(&mut self, i: usize) -> Vec<(ise_types::addr::PageId, bool)> {
+        self.tlbs[i].drain_refill_log()
+    }
+
     /// The home L2 tile of a line (address-interleaved).
     pub fn home_of(&self, line: Addr) -> NodeId {
         NodeId(((line.raw() / LINE_SIZE) % self.mesh.nodes() as u64) as usize)

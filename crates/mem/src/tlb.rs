@@ -76,6 +76,7 @@ pub struct Tlb {
     cfg: TlbConfig,
     l1_misses: u64,
     walks: u64,
+    refill_log: Option<Vec<(PageId, bool)>>,
 }
 
 impl Tlb {
@@ -87,6 +88,26 @@ impl Tlb {
             cfg,
             l1_misses: 0,
             walks: 0,
+            refill_log: None,
+        }
+    }
+
+    /// Turns the refill log on or off. While on, every L1 refill and
+    /// page walk is appended to a log the owner drains with
+    /// [`Tlb::drain_refill_log`] — the hook the system's event trace
+    /// uses. Off (the default) costs one branch per miss.
+    pub fn set_refill_logging(&mut self, on: bool) {
+        self.refill_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the refills logged since the last drain as
+    /// `(page, walked)` pairs: `walked` distinguishes a full page walk
+    /// from an L1 refill served by the L2 TLB. Empty when logging is
+    /// off.
+    pub fn drain_refill_log(&mut self) -> Vec<(PageId, bool)> {
+        match &mut self.refill_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
         }
     }
 
@@ -98,11 +119,17 @@ impl Tlb {
         self.l1_misses += 1;
         if self.l2.lookup(page) {
             self.l1.insert(page);
+            if let Some(log) = &mut self.refill_log {
+                log.push((page, false));
+            }
             return self.cfg.l2_latency;
         }
         self.walks += 1;
         self.l2.insert(page);
         self.l1.insert(page);
+        if let Some(log) = &mut self.refill_log {
+            log.push((page, true));
+        }
         self.cfg.walk_latency
     }
 
@@ -120,6 +147,14 @@ impl Tlb {
     /// Page walks performed.
     pub fn walks(&self) -> u64 {
         self.walks
+    }
+
+    /// Exports this TLB's counters into the shared telemetry registry.
+    /// Counters *add*, so calling this for every core's TLB under the
+    /// same keys yields the system-wide aggregate.
+    pub fn export_telemetry(&self, reg: &mut ise_telemetry::Registry) {
+        reg.add("tlb.l1_misses", self.l1_misses);
+        reg.add("tlb.walks", self.walks);
     }
 }
 
@@ -170,6 +205,25 @@ mod tests {
         // A page well within L2 reach but outside L1 hits L2.
         let lat = t.access(PageId::new(500));
         assert_eq!(lat, TlbConfig::isca23().l2_latency);
+    }
+
+    #[test]
+    fn refill_log_distinguishes_walks_from_l2_hits() {
+        let mut t = tlb();
+        t.set_refill_logging(true);
+        let p = PageId::new(9);
+        t.access(p);
+        assert_eq!(t.drain_refill_log(), vec![(p, true)]);
+        // Evict `p` from the 48-entry L1 (it stays resident in L2).
+        for i in 100..148 {
+            t.access(PageId::new(i));
+        }
+        t.drain_refill_log();
+        t.access(p);
+        assert_eq!(t.drain_refill_log(), vec![(p, false)]);
+        t.set_refill_logging(false);
+        t.access(PageId::new(999));
+        assert!(t.drain_refill_log().is_empty());
     }
 
     /// A naive full-scan LRU, kept as the behavioural reference for the

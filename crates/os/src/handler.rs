@@ -166,6 +166,19 @@ impl OsKernel {
         self.transient_recovered
     }
 
+    /// Exports the kernel's handler counters into the shared telemetry
+    /// registry under the `os.` prefix.
+    pub fn export_telemetry(&self, reg: &mut ise_telemetry::Registry) {
+        reg.add("os.invocations", self.invocations);
+        reg.add("os.stores_applied", self.stores_applied);
+        reg.add("os.faulting_applied", self.faulting_applied);
+        reg.add("os.pages_resolved", self.pages_resolved);
+        reg.add("os.processes_killed", self.processes_killed);
+        reg.add("os.transient_retries", self.transient_retries);
+        reg.add("os.transient_recovered", self.transient_recovered);
+        reg.add("os.ios_issued", self.ios_issued());
+    }
+
     /// Handles one imprecise store exception for `core`, starting at
     /// `now` (which should already include the FSBC drain receipt's
     /// `ready_at`).

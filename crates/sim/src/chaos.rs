@@ -23,6 +23,7 @@
 use crate::system::System;
 use ise_core::{FaultInjector, FaultPlan, FaultResolver};
 use ise_engine::{Cycle, SimRng};
+use ise_telemetry::{Registry, TraceEventKind};
 use ise_types::config::SystemConfig;
 use ise_types::{FaultKind, FaultSpec, InstrKind, Json, ToJson};
 use ise_workloads::stats::touched_pages;
@@ -101,36 +102,38 @@ impl ChaosRun {
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// The cell as a telemetry [`Registry`]: counters for everything
+    /// monotone, JSON values for identity and verdict fields, in the
+    /// report's historical key order (the parallel-equivalence suite
+    /// pins the rendering byte-for-byte).
+    pub fn to_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.put("workload", Json::str(self.workload.clone()));
+        reg.put("kind", Json::str(self.kind.to_string()));
+        reg.put("rate", Json::from(self.rate));
+        reg.add("pages_injected", self.pages_injected as u64);
+        reg.add("cycles", self.cycles);
+        reg.add("imprecise_exceptions", self.imprecise_exceptions);
+        reg.add("stores_applied", self.stores_applied);
+        reg.add("denied", self.denied);
+        reg.add("transient_retries", self.transient_retries);
+        reg.add("transient_recovered", self.transient_recovered);
+        reg.add("early_drain_interrupts", self.early_drain_interrupts);
+        reg.add("fsb_high_water_mark", self.fsb_high_water_mark as u64);
+        reg.add("killed", self.killed);
+        reg.put("ok", Json::from(self.ok()));
+        reg.put(
+            "violations",
+            Json::arr(self.violations.iter().map(Json::str)),
+        );
+        reg
+    }
 }
 
 impl ToJson for ChaosRun {
     fn to_json(&self) -> Json {
-        Json::obj([
-            ("workload", Json::str(self.workload.clone())),
-            ("kind", Json::str(self.kind.to_string())),
-            ("rate", Json::from(self.rate)),
-            ("pages_injected", Json::from(self.pages_injected)),
-            ("cycles", Json::from(self.cycles)),
-            (
-                "imprecise_exceptions",
-                Json::from(self.imprecise_exceptions),
-            ),
-            ("stores_applied", Json::from(self.stores_applied)),
-            ("denied", Json::from(self.denied)),
-            ("transient_retries", Json::from(self.transient_retries)),
-            ("transient_recovered", Json::from(self.transient_recovered)),
-            (
-                "early_drain_interrupts",
-                Json::from(self.early_drain_interrupts),
-            ),
-            ("fsb_high_water_mark", Json::from(self.fsb_high_water_mark)),
-            ("killed", Json::from(self.killed)),
-            ("ok", Json::from(self.ok())),
-            (
-                "violations",
-                Json::arr(self.violations.iter().map(Json::str)),
-            ),
-        ])
+        self.to_registry().to_json()
     }
 }
 
@@ -148,15 +151,21 @@ impl ChaosReport {
     pub fn all_ok(&self) -> bool {
         self.runs.iter().all(ChaosRun::ok)
     }
-}
 
-impl ToJson for ChaosReport {
-    fn to_json(&self) -> Json {
-        Json::obj([
+    /// The campaign as a telemetry [`Registry`] (seed, per-cell runs in
+    /// sweep order, verdict).
+    pub fn to_registry(&self) -> Registry {
+        Registry::from_sections([
             ("seed", Json::from(self.seed)),
             ("runs", self.runs.to_json()),
             ("all_ok", Json::from(self.all_ok())),
         ])
+    }
+}
+
+impl ToJson for ChaosReport {
+    fn to_json(&self) -> Json {
+        self.to_registry().to_json()
     }
 }
 
@@ -228,7 +237,41 @@ impl ChaosCampaign {
         }
     }
 
+    /// Runs one sweep cell with the event trace enabled (a ring of
+    /// `capacity` events) and returns the cell's result together with
+    /// the trace as JSON. The trace opens with one `fault_activated`
+    /// event per injected page and closes with `fault_cleared` for every
+    /// cause that healed or was resolved — the campaign-level events the
+    /// per-run counters lose. Cell seeding matches what
+    /// [`ChaosCampaign::run`] would use for the first sweep cell of
+    /// `workload`, so the traced run reproduces a sweep cell exactly.
+    pub fn trace_cell(
+        &self,
+        workload: &Workload,
+        kind: FaultKind,
+        rate: f64,
+        capacity: usize,
+    ) -> (ChaosRun, Json) {
+        let cell_seed = self
+            .chaos
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1));
+        let (run, trace) = self.run_cell_traced(workload, kind, rate, cell_seed, Some(capacity));
+        (run, trace.expect("tracing was requested"))
+    }
+
     fn run_cell(&self, workload: &Workload, kind: FaultKind, rate: f64, seed: u64) -> ChaosRun {
+        self.run_cell_traced(workload, kind, rate, seed, None).0
+    }
+
+    fn run_cell_traced(
+        &self,
+        workload: &Workload,
+        kind: FaultKind,
+        rate: f64,
+        seed: u64,
+        trace_capacity: Option<usize>,
+    ) -> (ChaosRun, Option<Json>) {
         // Sample from the declared pages the traces actually reach —
         // regions are reserved generously, and injecting only cold pages
         // would make the whole sweep vacuous.
@@ -266,6 +309,17 @@ impl ChaosCampaign {
             vec![injector.clone() as Rc<dyn FaultResolver>],
         )
         .with_contract_monitor();
+        if let Some(cap) = trace_capacity {
+            sys = sys.with_trace(cap);
+            for &i in &picked {
+                sys.record_event(
+                    0,
+                    TraceEventKind::FaultActivated {
+                        page: pool[i].index(),
+                    },
+                );
+            }
+        }
         let stats = sys.run(self.chaos.max_cycles);
 
         let mut violations = Vec::new();
@@ -300,7 +354,16 @@ impl ChaosCampaign {
             violations.push(format!("ordering contract violated: {v:?}"));
         }
 
-        ChaosRun {
+        let trace = if trace_capacity.is_some() {
+            for page in injector.cleared_pages() {
+                sys.record_event(0, TraceEventKind::FaultCleared { page: page.index() });
+            }
+            Some(sys.trace_json())
+        } else {
+            None
+        };
+
+        let run = ChaosRun {
             workload: workload.name.clone(),
             kind,
             rate,
@@ -315,7 +378,8 @@ impl ChaosCampaign {
             fsb_high_water_mark: stats.fsb_high_water_mark,
             killed: stats.killed,
             violations,
-        }
+        };
+        (run, trace)
     }
 }
 
@@ -372,5 +436,32 @@ mod tests {
                 .render()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn trace_cell_records_fault_lifecycle_without_perturbing_the_run() {
+        let kind = FaultKind::Transient { clears_after: 2 };
+        let chaos = ChaosConfig {
+            seed: 3,
+            kinds: vec![kind],
+            rates: vec![0.5],
+            max_cycles: 200_000_000,
+        };
+        let campaign = ChaosCampaign::new(small_cfg(), chaos);
+        let w = tiny_workload();
+        let (run, trace) = campaign.trace_cell(&w, kind, 0.5, 8192);
+        assert!(run.ok(), "violations: {:?}", run.violations);
+        let rendered = trace.render();
+        assert!(rendered.contains("\"fault_activated\""));
+        assert!(rendered.contains("\"fault_cleared\""), "transients heal");
+        assert!(rendered.contains("\"fsb_drain_begin\""));
+        // Tracing is a pure observer: the traced cell reproduces the
+        // corresponding sweep cell byte-for-byte.
+        let report = campaign.run(&[w]);
+        assert_eq!(
+            run.to_json().render(),
+            report.runs[0].to_json().render(),
+            "traced cell must match the sweep cell"
+        );
     }
 }

@@ -6,6 +6,7 @@ use ise_engine::{cycle_skip_override, Cycle};
 use ise_mem::{FlatMemory, MemoryHierarchy};
 use ise_os::handler::OverheadBreakdown;
 use ise_os::{InterruptControl, OsKernel, Process, ProcessState};
+use ise_telemetry::{Registry, Telemetry, TelemetryConfig, TraceEventKind};
 use ise_types::addr::Addr;
 use ise_types::config::SystemConfig;
 use ise_types::json::{Json, ToJson};
@@ -92,40 +93,42 @@ impl SystemStats {
     }
 }
 
+impl SystemStats {
+    /// The telemetry-registry view of these stats: every counter under
+    /// its JSON key, per-core and breakdown sections as structured
+    /// leaves, in the exact order the report renders. This registry *is*
+    /// the stats surface — [`SystemStats`]'s `ToJson` renders it, so
+    /// there is no second JSON path to drift from it.
+    pub fn to_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.add("cycles", self.cycles);
+        reg.put("cores", Json::arr(self.cores.iter().map(|c| c.to_json())));
+        reg.add("imprecise_exceptions", self.imprecise_exceptions);
+        reg.add("precise_exceptions", self.precise_exceptions);
+        reg.add("stores_applied", self.stores_applied);
+        reg.add("faulting_stores", self.faulting_stores);
+        reg.put("breakdown", self.breakdown.to_json());
+        reg.add("denied", self.denied);
+        reg.add("killed", self.killed);
+        reg.add("interrupts_delivered", self.interrupts_delivered);
+        reg.add("interrupts_deferred", self.interrupts_deferred);
+        reg.add("io_cycles", self.io_cycles);
+        reg.add("pages_resolved", self.pages_resolved);
+        reg.add("transient_retries", self.transient_retries);
+        reg.add("transient_recovered", self.transient_recovered);
+        reg.add("early_drain_interrupts", self.early_drain_interrupts);
+        reg.add("fsb_high_water_mark", self.fsb_high_water_mark as u64);
+        reg.put(
+            "applied_per_core",
+            Json::arr(self.applied_per_core.iter().map(|&a| Json::from(a))),
+        );
+        reg
+    }
+}
+
 impl ToJson for SystemStats {
     fn to_json(&self) -> Json {
-        Json::obj([
-            ("cycles", Json::from(self.cycles)),
-            ("cores", Json::arr(self.cores.iter().map(|c| c.to_json()))),
-            (
-                "imprecise_exceptions",
-                Json::from(self.imprecise_exceptions),
-            ),
-            ("precise_exceptions", Json::from(self.precise_exceptions)),
-            ("stores_applied", Json::from(self.stores_applied)),
-            ("faulting_stores", Json::from(self.faulting_stores)),
-            ("breakdown", self.breakdown.to_json()),
-            ("denied", Json::from(self.denied)),
-            ("killed", Json::from(self.killed)),
-            (
-                "interrupts_delivered",
-                Json::from(self.interrupts_delivered),
-            ),
-            ("interrupts_deferred", Json::from(self.interrupts_deferred)),
-            ("io_cycles", Json::from(self.io_cycles)),
-            ("pages_resolved", Json::from(self.pages_resolved)),
-            ("transient_retries", Json::from(self.transient_retries)),
-            ("transient_recovered", Json::from(self.transient_recovered)),
-            (
-                "early_drain_interrupts",
-                Json::from(self.early_drain_interrupts),
-            ),
-            ("fsb_high_water_mark", Json::from(self.fsb_high_water_mark)),
-            (
-                "applied_per_core",
-                Json::arr(self.applied_per_core.iter().map(|&a| Json::from(a))),
-            ),
-        ])
+        self.to_registry().to_json()
     }
 }
 
@@ -158,6 +161,10 @@ pub struct System {
     /// Built exactly once when [`System::run`] completes; [`System::stats`]
     /// serves this cache instead of re-collecting per-core vectors.
     final_stats: Option<SystemStats>,
+    /// The unified metrics/trace plane (DESIGN.md §11). The registry is
+    /// populated at end of run from every component's exported counters;
+    /// the trace records live when enabled.
+    tel: Telemetry,
 }
 
 impl std::fmt::Debug for System {
@@ -236,6 +243,9 @@ impl System {
         let fsbcs = (0..cfg.cores)
             .map(|i| Fsbc::new(CoreId(i), &cfg.os))
             .collect();
+        let tel = Telemetry::new(TelemetryConfig::from_env());
+        let mut hier = hier;
+        hier.set_tlb_refill_logging(tel.trace.enabled());
         System {
             hier,
             cores,
@@ -261,8 +271,41 @@ impl System {
             applied_per_core: vec![0; cfg.cores],
             now: 0,
             final_stats: None,
+            tel,
             cfg,
         }
+    }
+
+    /// Enables event tracing with a ring of `capacity` events,
+    /// overriding the `ISE_TRACE`/`ISE_TRACE_CAP` environment default.
+    /// Tracing never changes [`SystemStats`] — the determinism suite
+    /// pins stats byte-identical with tracing on and off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.tel = Telemetry::new(TelemetryConfig::traced(capacity));
+        self.hier.set_tlb_refill_logging(true);
+        self
+    }
+
+    /// The telemetry plane: the merged metrics registry (complete once
+    /// [`System::run`] finishes) and the event trace.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// The recorded event trace as JSON (empty when tracing is off).
+    pub fn trace_json(&self) -> Json {
+        self.tel.trace.to_json()
+    }
+
+    /// Records an externally-observed event — chaos fault activation,
+    /// campaign milestones — into the trace at the current cycle. A
+    /// single inlined branch when tracing is off.
+    pub fn record_event(&mut self, core: u32, kind: TraceEventKind) {
+        self.tel.event(self.now, core, kind);
     }
 
     /// Rebuilds every FSB ring with `entries` capacity (rounded up to a
@@ -366,6 +409,26 @@ impl System {
         if let Some(m) = self.monitor.as_mut() {
             m.record(OrderEvent::Detect { core: core_id });
         }
+        let episode_begin = self.now;
+        let applied_before = self.applied_per_core[i];
+        self.tel.event(
+            self.now,
+            i as u32,
+            TraceEventKind::FsbDrainBegin {
+                pending: entries.len(),
+            },
+        );
+        if self.tel.trace.enabled() {
+            for e in entries.iter().filter(|e| e.error.0 != 0) {
+                self.tel.event(
+                    self.now,
+                    i as u32,
+                    TraceEventKind::FaultDetected {
+                        page: e.addr.page().index(),
+                    },
+                );
+            }
+        }
         self.ictl[i].enter_handler();
         // An episode larger than the FSB ring is delivered in chunks: the
         // FSBC fills the ring to its rim, raises the exception early, and
@@ -376,6 +439,10 @@ impl System {
         let mut resume = self.now;
         let mut chunks = 0u64;
         loop {
+            if offset > 0 {
+                self.tel
+                    .event(resume, i as u32, TraceEventKind::EarlyDrainChunk);
+            }
             let free = self.fsbs[i].capacity() - self.fsbs[i].len();
             let take = (entries.len() - offset).min(free);
             let chunk = &entries[offset..offset + take];
@@ -413,6 +480,7 @@ impl System {
                 self.early_drain_interrupts += chunks - 1;
                 self.processes[i].kill();
                 self.ictl[i].exit_handler();
+                self.end_drain_episode(i, episode_begin, resume, applied_before);
                 return;
             }
             if offset >= entries.len() {
@@ -420,6 +488,7 @@ impl System {
             }
         }
         self.early_drain_interrupts += chunks - 1;
+        self.end_drain_episode(i, episode_begin, resume, applied_before);
         self.cores[i].resume_at(resume);
         self.ictl[i].exit_handler();
         if let Some(m) = self.monitor.as_mut() {
@@ -427,7 +496,29 @@ impl System {
         }
     }
 
+    /// Closes an FSB drain episode in the telemetry plane: one
+    /// `fsb.drain_cycles` observation plus the trailing trace event.
+    fn end_drain_episode(&mut self, i: usize, begin: Cycle, resume: Cycle, applied_before: u64) {
+        let cycles = resume.saturating_sub(begin);
+        self.tel.registry.observe("fsb.drain_cycles", cycles as f64);
+        self.tel.event(
+            resume,
+            i as u32,
+            TraceEventKind::FsbDrainEnd {
+                applied: self.applied_per_core[i] - applied_before,
+                cycles,
+            },
+        );
+    }
+
     fn handle_precise(&mut self, i: usize, addr: Addr, kind: ise_types::ExceptionKind) {
+        self.tel.event(
+            self.now,
+            i as u32,
+            TraceEventKind::PreciseException {
+                code: kind.error_code().0,
+            },
+        );
         self.ictl[i].enter_handler();
         let resolver = self.resolver.clone();
         let outcome = self
@@ -507,8 +598,12 @@ impl System {
                         if self.now >= self.handler_busy_until[i] {
                             self.cores[i].stall_until(self.now + self.interrupt_cost);
                             self.interrupts_delivered += 1;
+                            self.tel
+                                .event(self.now, i as u32, TraceEventKind::InterruptDelivered);
                         } else {
                             self.interrupts_deferred += 1;
+                            self.tel
+                                .event(self.now, i as u32, TraceEventKind::InterruptDeferred);
                         }
                     }
                 }
@@ -518,7 +613,18 @@ impl System {
                 if self.processes[i].state == ProcessState::Killed {
                     continue;
                 }
-                match self.cores[i].step(self.now, &mut self.hier) {
+                let outcome = self.cores[i].step(self.now, &mut self.hier);
+                if self.tel.trace.enabled() {
+                    for (page, walked) in self.hier.drain_tlb_refills(i) {
+                        let kind = if walked {
+                            TraceEventKind::PageWalk { page: page.index() }
+                        } else {
+                            TraceEventKind::TlbRefill { page: page.index() }
+                        };
+                        self.tel.event(self.now, i as u32, kind);
+                    }
+                }
+                match outcome {
                     StepOutcome::Finished => {}
                     StepOutcome::Progress | StepOutcome::Waiting => all_done = false,
                     StepOutcome::Imprecise(entries) => {
@@ -555,6 +661,17 @@ impl System {
             );
         }
         let stats = self.build_stats();
+        // Assemble the full telemetry spine: the system-level stats
+        // registry, then every component's exported counters, merged
+        // into the plane that already holds the run's drain-episode
+        // summaries.
+        let mut reg = stats.to_registry();
+        for core in &self.cores {
+            core.export_telemetry(&mut reg);
+        }
+        self.hier.export_telemetry(&mut reg);
+        self.os.export_telemetry(&mut reg);
+        self.tel.registry.merge(&reg);
         self.final_stats = Some(stats.clone());
         stats
     }
@@ -926,5 +1043,104 @@ mod tests {
         let stats = run_workload(small_cfg(), &w, 10_000_000);
         assert_eq!(stats.cores.len(), 2);
         assert_eq!(stats.retired(), 160);
+    }
+
+    #[test]
+    fn tracing_never_changes_stats_json() {
+        let w = store_workload(true);
+        let plain = System::new(small_cfg(), &w).run(10_000_000);
+        let mut traced_sys = System::new(small_cfg(), &w).with_trace(4096);
+        let traced = traced_sys.run(10_000_000);
+        assert_eq!(
+            plain.to_json().render(),
+            traced.to_json().render(),
+            "the event trace must be a pure observer"
+        );
+        assert!(!traced_sys.telemetry().trace.is_empty());
+    }
+
+    #[test]
+    fn trace_records_drain_episodes_and_fault_detections() {
+        let mut sys = System::new(small_cfg(), &store_workload(true)).with_trace(4096);
+        let stats = sys.run(10_000_000);
+        let trace = sys.telemetry();
+        let count = |name: &str| {
+            trace
+                .trace
+                .events()
+                .filter(|e| e.kind.name() == name)
+                .count() as u64
+        };
+        assert_eq!(count("fsb_drain_begin"), stats.imprecise_exceptions);
+        assert_eq!(count("fsb_drain_end"), stats.imprecise_exceptions);
+        assert!(count("fault_detected") >= 1);
+        assert!(count("page_walk") >= 1, "first touch of any page walks");
+        // Every drain episode closes with the stores it applied; the
+        // sum matches the aggregate counter.
+        let applied: u64 = trace
+            .trace
+            .events()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::FsbDrainEnd { applied, .. } => Some(applied),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(applied, stats.stores_applied);
+        // The registry plane carries the merged spine: system stats,
+        // per-core counters, hierarchy, OS, and the drain summary.
+        let reg = &trace.registry;
+        assert!(reg.get("cycles").is_some());
+        assert!(reg.get("core0.retired").is_some());
+        assert!(reg.get("tlb.walks").is_some());
+        assert!(reg.get("os.invocations").is_some());
+        assert!(reg.get("fsb.drain_cycles").is_some());
+    }
+
+    #[test]
+    fn trace_records_interrupt_delivery_and_deferral() {
+        let mut sys = System::new(small_cfg(), &store_workload(true))
+            .with_timer_interrupts(200)
+            .with_trace(65536);
+        let stats = sys.run(10_000_000);
+        let count = |name: &str| {
+            sys.telemetry()
+                .trace
+                .events()
+                .filter(|e| e.kind.name() == name)
+                .count() as u64
+        };
+        assert_eq!(count("interrupt_delivered"), stats.interrupts_delivered);
+        assert_eq!(count("interrupt_deferred"), stats.interrupts_deferred);
+    }
+
+    #[test]
+    fn registry_identical_across_clocks_and_tracing() {
+        let w = store_workload(true);
+        let render = |mut sys: System, skip: bool| {
+            sys.run_clocked(10_000_000, skip);
+            sys.telemetry().registry.to_json().render()
+        };
+        let reference = render(System::new(small_cfg(), &w), false);
+        assert_eq!(reference, render(System::new(small_cfg(), &w), true));
+        assert_eq!(
+            reference,
+            render(System::new(small_cfg(), &w).with_trace(4096), false),
+            "tracing must not perturb the metrics plane"
+        );
+    }
+
+    #[test]
+    fn early_drain_chunks_are_traced() {
+        let mut sys = System::new(small_cfg(), &store_workload(true))
+            .with_fsb_capacity(4)
+            .with_trace(4096);
+        let stats = sys.run(10_000_000);
+        let chunks = sys
+            .telemetry()
+            .trace
+            .events()
+            .filter(|e| e.kind == TraceEventKind::EarlyDrainChunk)
+            .count() as u64;
+        assert_eq!(chunks, stats.early_drain_interrupts);
     }
 }

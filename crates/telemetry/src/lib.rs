@@ -1,0 +1,161 @@
+//! Unified telemetry: one metrics registry and one event-trace spine for
+//! every stats/report surface in the reproduction.
+//!
+//! The paper's evaluation (§6, Tables 3/5/6, Figs. 5/6) is a counting
+//! exercise over micro-events — FSB drains, exception deliveries,
+//! deferred interrupts, fault activations. This crate gives those events
+//! a single home:
+//!
+//! * [`Registry`] — typed metrics (monotonic counters, gauges,
+//!   [`Summary`](ise_types::stats::Summary)-style streaming stats,
+//!   latency [`Histogram`](ise_types::stats::Histogram)s), name-keyed
+//!   and rendered in insertion order so snapshots are byte-deterministic
+//!   and shard merges under `ise-par` reproduce the sequential bytes.
+//! * [`TraceRing`] — a bounded, cycle-stamped ring of structured
+//!   [`TraceEvent`]s, config-gated so disabled tracing compiles down to
+//!   one predictable branch per record site.
+//!
+//! `SystemStats`, chaos reports, litmus summaries, and workload stats
+//! all render through a [`Registry`] snapshot; the experiment binaries
+//! share one emission path over the same snapshots (see
+//! `ise-bench::emit_report`). DESIGN.md §11 documents the architecture,
+//! the event taxonomy, and the determinism rules.
+
+#![deny(missing_docs)]
+
+mod registry;
+mod trace;
+
+pub use registry::{MetricValue, Registry};
+pub use trace::{TraceEvent, TraceEventKind, TraceRing};
+
+/// How a component's telemetry is configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Whether the event trace records (the registry is always on — it
+    /// *is* the stats surface).
+    pub trace: bool,
+    /// Ring capacity when tracing is on.
+    pub trace_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// The default ring capacity (`ISE_TRACE_CAP` overrides).
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Tracing off.
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            trace: false,
+            trace_capacity: Self::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Tracing on with the given ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn traced(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity");
+        TelemetryConfig {
+            trace: true,
+            trace_capacity: capacity,
+        }
+    }
+
+    /// Reads the process-wide pins: `ISE_TRACE=1` enables tracing,
+    /// `ISE_TRACE_CAP=<n>` sizes the ring. Anything else (or unset)
+    /// means disabled — the zero-overhead default.
+    pub fn from_env() -> Self {
+        let trace = std::env::var("ISE_TRACE").is_ok_and(|v| v.trim() == "1");
+        let cap = std::env::var("ISE_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(Self::DEFAULT_CAPACITY);
+        TelemetryConfig {
+            trace,
+            trace_capacity: cap,
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::disabled()
+    }
+}
+
+/// A component's telemetry plane: its metrics and its event trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    /// The metrics registry (always collecting).
+    pub registry: Registry,
+    /// The event trace (records only when the config enables it).
+    pub trace: TraceRing,
+}
+
+impl Telemetry {
+    /// Builds a plane from a configuration.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Telemetry {
+            registry: Registry::new(),
+            trace: if cfg.trace {
+                TraceRing::new(cfg.trace_capacity)
+            } else {
+                TraceRing::disabled()
+            },
+        }
+    }
+
+    /// A plane with tracing off.
+    pub fn disabled() -> Self {
+        Telemetry::new(TelemetryConfig::disabled())
+    }
+
+    /// Records a trace event (no-op when tracing is off).
+    #[inline]
+    pub fn event(&mut self, cycle: u64, core: u32, kind: TraceEventKind) {
+        self.trace.record(cycle, core, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::ToJson;
+
+    #[test]
+    fn disabled_plane_keeps_registry_live() {
+        let mut t = Telemetry::disabled();
+        t.event(1, 0, TraceEventKind::InterruptDelivered);
+        t.registry.incr("events");
+        assert!(t.trace.is_empty());
+        assert_eq!(t.registry.counter("events"), 1);
+    }
+
+    #[test]
+    fn traced_plane_records() {
+        let mut t = Telemetry::new(TelemetryConfig::traced(8));
+        t.event(5, 1, TraceEventKind::PageWalk { page: 3 });
+        assert_eq!(t.trace.len(), 1);
+        assert!(t.trace.to_json().render().contains("\"page_walk\""));
+    }
+
+    #[test]
+    fn config_parses_env_shapes() {
+        // from_env reads the real environment; only exercise the
+        // default path here (env mutation races other tests).
+        let cfg = TelemetryConfig::default();
+        assert!(!cfg.trace);
+        assert_eq!(cfg.trace_capacity, TelemetryConfig::DEFAULT_CAPACITY);
+        assert!(TelemetryConfig::traced(16).trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn traced_rejects_zero() {
+        let _ = TelemetryConfig::traced(0);
+    }
+}

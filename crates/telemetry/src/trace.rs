@@ -1,0 +1,274 @@
+//! The cycle-stamped structured event trace.
+//!
+//! A bounded ring of micro-events — FSB drain episodes, exception and
+//! interrupt deliveries, fault activations, page walks — that the
+//! evaluation attributes its counters to. Tracing is config-gated:
+//! a disabled ring rejects every record through one inlined branch, so
+//! the instrumented hot paths cost nothing measurable when tracing is
+//! off (the `telemetry_overhead` bench pins this at ≤2%).
+
+use ise_types::json::{Json, ToJson};
+use std::collections::VecDeque;
+
+/// The event taxonomy (DESIGN.md §11).
+///
+/// Each variant is one micro-event the paper's evaluation counts;
+/// payloads carry the attribution the aggregate counters lose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// An FSB drain episode began with `pending` faulting-store entries.
+    FsbDrainBegin {
+        /// Entries queued for the episode.
+        pending: usize,
+    },
+    /// The episode's handler chain finished; `applied` stores landed in
+    /// `cycles` total handler time (detection → resume).
+    FsbDrainEnd {
+        /// Stores the OS applied for the episode.
+        applied: u64,
+        /// Handler cycles from detection to program resume.
+        cycles: u64,
+    },
+    /// An episode chunk beyond the first — the ring was smaller than the
+    /// episode and the FSBC delivered an early-drain interrupt.
+    EarlyDrainChunk,
+    /// A faulting store was detected at the LLC↔memory boundary.
+    FaultDetected {
+        /// The 4 KiB page the store targeted.
+        page: u64,
+    },
+    /// A precise exception was delivered.
+    PreciseException {
+        /// The architectural error code.
+        code: u16,
+    },
+    /// A timer interrupt was delivered to a core.
+    InterruptDelivered,
+    /// A timer interrupt was deferred because the IE bit was held by an
+    /// exception handler (§5.3 serialization).
+    InterruptDeferred,
+    /// A chaos fault plan activated a fault on `page`.
+    FaultActivated {
+        /// The injected page.
+        page: u64,
+    },
+    /// A fault on `page` cleared (resolved or expired).
+    FaultCleared {
+        /// The cleared page.
+        page: u64,
+    },
+    /// A page walk completed (double TLB miss).
+    PageWalk {
+        /// The walked page.
+        page: u64,
+    },
+    /// A TLB refill installed a translation.
+    TlbRefill {
+        /// The refilled page.
+        page: u64,
+    },
+}
+
+impl TraceEventKind {
+    /// The event's wire name (`kind` field of the JSON encoding).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::FsbDrainBegin { .. } => "fsb_drain_begin",
+            TraceEventKind::FsbDrainEnd { .. } => "fsb_drain_end",
+            TraceEventKind::EarlyDrainChunk => "early_drain_chunk",
+            TraceEventKind::FaultDetected { .. } => "fault_detected",
+            TraceEventKind::PreciseException { .. } => "precise_exception",
+            TraceEventKind::InterruptDelivered => "interrupt_delivered",
+            TraceEventKind::InterruptDeferred => "interrupt_deferred",
+            TraceEventKind::FaultActivated { .. } => "fault_activated",
+            TraceEventKind::FaultCleared { .. } => "fault_cleared",
+            TraceEventKind::PageWalk { .. } => "page_walk",
+            TraceEventKind::TlbRefill { .. } => "tlb_refill",
+        }
+    }
+}
+
+/// One recorded event: when, where, what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle the event occurred at.
+    pub cycle: u64,
+    /// Core the event is attributed to.
+    pub core: u32,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("cycle".to_string(), Json::from(self.cycle)),
+            ("core".to_string(), Json::from(self.core)),
+            ("kind".to_string(), Json::str(self.kind.name())),
+        ];
+        match self.kind {
+            TraceEventKind::FsbDrainBegin { pending } => {
+                fields.push(("pending".into(), Json::from(pending)));
+            }
+            TraceEventKind::FsbDrainEnd { applied, cycles } => {
+                fields.push(("applied".into(), Json::from(applied)));
+                fields.push(("cycles".into(), Json::from(cycles)));
+            }
+            TraceEventKind::FaultDetected { page }
+            | TraceEventKind::FaultActivated { page }
+            | TraceEventKind::FaultCleared { page }
+            | TraceEventKind::PageWalk { page }
+            | TraceEventKind::TlbRefill { page } => {
+                fields.push(("page".into(), Json::from(page)));
+            }
+            TraceEventKind::PreciseException { code } => {
+                fields.push(("code".into(), Json::from(code)));
+            }
+            TraceEventKind::EarlyDrainChunk
+            | TraceEventKind::InterruptDelivered
+            | TraceEventKind::InterruptDeferred => {}
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A bounded ring of [`TraceEvent`]s.
+///
+/// When full, the oldest events are evicted and counted in `dropped`, so
+/// a long run keeps its most recent window and still reports how much it
+/// shed. A disabled ring ignores [`TraceRing::record`] entirely.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceRing {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A disabled ring: records nothing, renders an empty trace.
+    pub fn disabled() -> Self {
+        TraceRing::default()
+    }
+
+    /// An enabled ring keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity");
+        TraceRing {
+            enabled: true,
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event; a single inlined branch when disabled.
+    #[inline]
+    pub fn record(&mut self, cycle: u64, core: u32, kind: TraceEventKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { cycle, core, kind });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl ToJson for TraceRing {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("enabled", Json::from(self.enabled)),
+            ("capacity", Json::from(self.capacity)),
+            ("dropped", Json::from(self.dropped)),
+            ("events", Json::arr(self.events.iter().map(ToJson::to_json))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut t = TraceRing::disabled();
+        t.record(1, 0, TraceEventKind::InterruptDelivered);
+        assert!(t.is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_evictions() {
+        let mut t = TraceRing::new(2);
+        for c in 0..5 {
+            t.record(c, 0, TraceEventKind::EarlyDrainChunk);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 4], "keeps the most recent window");
+    }
+
+    #[test]
+    fn event_json_carries_payloads() {
+        let e = TraceEvent {
+            cycle: 7,
+            core: 1,
+            kind: TraceEventKind::FsbDrainEnd {
+                applied: 3,
+                cycles: 120,
+            },
+        };
+        assert_eq!(
+            e.to_json().render(),
+            r#"{"cycle":7,"core":1,"kind":"fsb_drain_end","applied":3,"cycles":120}"#
+        );
+    }
+
+    #[test]
+    fn ring_json_is_deterministic() {
+        let mut t = TraceRing::new(4);
+        t.record(1, 0, TraceEventKind::FaultActivated { page: 9 });
+        t.record(2, 1, TraceEventKind::PreciseException { code: 11 });
+        assert_eq!(t.to_json().render(), t.to_json().render());
+        assert!(t.to_json().render().contains("\"fault_activated\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TraceRing::new(0);
+    }
+}

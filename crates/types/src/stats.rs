@@ -79,6 +79,22 @@ impl Summary {
     }
 }
 
+impl ToJson for Summary {
+    /// The JSON encoding. An empty summary's `min`/`max` are
+    /// `±INFINITY` internally, which JSON cannot represent — they are
+    /// emitted as `null` (never `inf`), matching the [`Summary::min`] /
+    /// [`Summary::max`] accessors.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("mean", Json::from(self.mean())),
+            ("min", self.min().to_json()),
+            ("max", self.max().to_json()),
+        ])
+    }
+}
+
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.count == 0 {
@@ -137,6 +153,29 @@ impl Histogram {
     /// Total number of recorded values.
     pub fn total(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// Merges another histogram into this one bucket-wise, growing to
+    /// the larger bucket count when they differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "buckets",
+                Json::arr(self.buckets.iter().map(|&b| Json::from(b))),
+            ),
+            ("total", Json::from(self.total())),
+        ])
     }
 }
 
@@ -235,6 +274,41 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_summary_json_emits_null_extremes() {
+        // Regression: min/max default to ±INFINITY, which JSON cannot
+        // represent. The export must say null, not "inf" or a broken
+        // token.
+        let s = Summary::new();
+        assert_eq!(
+            s.to_json().render(),
+            r#"{"count":0,"sum":0,"mean":0,"min":null,"max":null}"#
+        );
+    }
+
+    #[test]
+    fn populated_summary_json_round_trips_extremes() {
+        let mut s = Summary::new();
+        s.record(2.0);
+        s.record(6.0);
+        assert_eq!(
+            s.to_json().render(),
+            r#"{"count":2,"sum":8,"mean":4,"min":2,"max":6}"#
+        );
+    }
+
+    #[test]
+    fn histogram_json_and_merge() {
+        let mut a = Histogram::new(4);
+        a.record(1);
+        let mut b = Histogram::new(8);
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.buckets().len(), 8, "merge grows to the larger shape");
+        assert_eq!(a.total(), 2);
+        assert!(a.to_json().render().starts_with(r#"{"buckets":[0,1,"#));
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! footprints for Fig. 6) — and they are handy when writing new
 //! workloads against this library.
 
+use ise_telemetry::Registry;
 use ise_types::addr::{Addr, LINE_SIZE, PAGE_SIZE};
 use ise_types::instr::{InstrKind, InstructionMix};
+use ise_types::json::{Json, ToJson};
 use ise_types::Instruction;
 use std::collections::{HashMap, HashSet};
 
@@ -33,6 +35,39 @@ pub struct TraceStats {
     /// first-touch fault is amortized over (the quantity that governs
     /// Fig. 6's overhead).
     pub ops_per_page: f64,
+}
+
+impl TraceStats {
+    /// The recorder's measurements as a telemetry [`Registry`]:
+    /// counters for the discrete footprint numbers, gauges for the
+    /// ratio-valued locality proxies, and the mix percentages as a
+    /// nested value.
+    pub fn to_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.put(
+            "mix",
+            Json::obj([
+                ("store_pct", Json::from(self.mix.store_pct)),
+                ("load_pct", Json::from(self.mix.load_pct)),
+                ("sync_pct", Json::from(self.mix.sync_pct)),
+                ("other_pct", Json::from(self.mix.other_pct)),
+            ]),
+        );
+        reg.add("instructions", self.instructions as u64);
+        reg.add("memory_ops", self.memory_ops as u64);
+        reg.add("distinct_lines", self.distinct_lines as u64);
+        reg.add("distinct_pages", self.distinct_pages as u64);
+        reg.add("address_span", self.address_span);
+        reg.gauge("hot_reuse_fraction", self.hot_reuse_fraction);
+        reg.gauge("ops_per_page", self.ops_per_page);
+        reg
+    }
+}
+
+impl ToJson for TraceStats {
+    fn to_json(&self) -> Json {
+        self.to_registry().to_json()
+    }
 }
 
 /// Analyzes a trace.
@@ -124,6 +159,26 @@ mod tests {
         assert_eq!(s.distinct_pages, 2);
         assert!(s.hot_reuse_fraction > 0.3);
         assert_eq!(s.address_span, 4096 * 3 + 8);
+    }
+
+    #[test]
+    fn trace_stats_json_round_trips_through_the_registry() {
+        let base = Addr::new(0x1000);
+        let trace = vec![
+            Instruction::store(base, 1),
+            Instruction::load(base, Reg(0)),
+            Instruction::other(),
+        ];
+        let s = analyze(&trace);
+        let reg = s.to_registry();
+        assert_eq!(reg.counter("instructions"), 3);
+        assert_eq!(reg.counter("memory_ops"), 2);
+        let rendered = s.to_json().render();
+        assert!(
+            rendered.starts_with(r#"{"mix":{"store_pct":"#),
+            "{rendered}"
+        );
+        assert!(rendered.contains("\"ops_per_page\":"));
     }
 
     #[test]

@@ -4,6 +4,15 @@
 //! ```sh
 //! cargo run --release --example chaos_campaign
 //! ```
+//!
+//! With `ISE_TRACE=1` the demo also re-runs one sweep cell with the
+//! cycle-stamped event trace enabled and dumps it to stderr — fault
+//! activations, FSB drain episodes, page walks, and fault clearings,
+//! each stamped with its cycle and core:
+//!
+//! ```sh
+//! ISE_TRACE=1 cargo run --release --example chaos_campaign 2>trace.json
+//! ```
 
 use imprecise_store_exceptions::sim::{ChaosCampaign, ChaosConfig};
 use imprecise_store_exceptions::types::config::SystemConfig;
@@ -38,7 +47,8 @@ fn main() {
         max_cycles: 500_000_000,
     };
 
-    let report = ChaosCampaign::new(cfg, chaos).run(&[workload]);
+    let campaign = ChaosCampaign::new(cfg, chaos);
+    let report = campaign.run(std::slice::from_ref(&workload));
     eprintln!(
         "{} runs, all invariants {}",
         report.runs.len(),
@@ -46,4 +56,15 @@ fn main() {
     );
     println!("{}", report.to_json().render());
     assert!(report.all_ok(), "invariant violation — see report");
+
+    // ISE_TRACE=1: replay one sweep cell with the event trace on and
+    // dump the ring — the telemetry quickstart in README.md.
+    if std::env::var("ISE_TRACE").as_deref() == Ok("1") {
+        let (run, trace) = campaign.trace_cell(&workload, FaultKind::Permanent, 1.0, 1 << 20);
+        eprintln!(
+            "traced cell: {} imprecise exception(s), {} store(s) applied",
+            run.imprecise_exceptions, run.stores_applied
+        );
+        eprintln!("{}", trace.render());
+    }
 }

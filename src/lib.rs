@@ -59,6 +59,7 @@ pub use ise_noc as noc;
 pub use ise_os as os;
 pub use ise_par as par;
 pub use ise_sim as sim;
+pub use ise_telemetry as telemetry;
 pub use ise_types as types;
 pub use ise_workloads as workloads;
 
