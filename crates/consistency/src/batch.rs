@@ -1,0 +1,123 @@
+//! Batched axiomatic checking with allowed-set memoization.
+//!
+//! Enumerating a program's allowed outcomes is the expensive half of a
+//! differential check (candidate executions grow with the product of
+//! reads-from choices and per-location coherence orders). The fuzzing
+//! harness asks for the same program's envelope repeatedly — once when
+//! the case runs, then once per shrinking attempt, most of which mutate
+//! a program the shrinker has already tried — so [`BatchChecker`] caches
+//! the enumeration keyed by `(program, model)` and exposes the
+//! subset-check the litmus runner uses as its pass criterion.
+
+use crate::axiom::allowed_outcomes;
+use crate::program::{LitmusProgram, Outcome};
+use ise_types::model::ConsistencyModel;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// A memoizing front-end over [`allowed_outcomes`].
+#[derive(Debug, Default)]
+pub struct BatchChecker {
+    cache: HashMap<(LitmusProgram, ConsistencyModel), Rc<BTreeSet<Outcome>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BatchChecker {
+    /// An empty checker.
+    pub fn new() -> Self {
+        BatchChecker::default()
+    }
+
+    /// The allowed-outcome set for `(prog, model)`, enumerated at most
+    /// once per checker.
+    pub fn allowed(
+        &mut self,
+        prog: &LitmusProgram,
+        model: ConsistencyModel,
+    ) -> Rc<BTreeSet<Outcome>> {
+        if let Some(set) = self.cache.get(&(prog.clone(), model)) {
+            self.hits += 1;
+            return Rc::clone(set);
+        }
+        self.misses += 1;
+        let set = Rc::new(allowed_outcomes(prog, model));
+        self.cache.insert((prog.clone(), model), Rc::clone(&set));
+        set
+    }
+
+    /// The outcomes in `observed` the model forbids (empty exactly when
+    /// `observed ⊆ allowed` — the litmus pass criterion).
+    pub fn violations(
+        &mut self,
+        prog: &LitmusProgram,
+        model: ConsistencyModel,
+        observed: &BTreeSet<Outcome>,
+    ) -> Vec<Outcome> {
+        let allowed = self.allowed(prog, model);
+        observed.difference(&allowed).cloned().collect()
+    }
+
+    /// Cache hits so far (repeat queries answered without enumeration).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far (enumerations actually performed).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Loc, Stmt};
+    use ise_types::instr::Reg;
+
+    fn sb() -> LitmusProgram {
+        LitmusProgram::new(vec![
+            vec![Stmt::write(Loc(0), 1), Stmt::read(Loc(1), Reg(0))],
+            vec![Stmt::write(Loc(1), 1), Stmt::read(Loc(0), Reg(1))],
+        ])
+    }
+
+    #[test]
+    fn cached_set_matches_direct_enumeration() {
+        let mut b = BatchChecker::new();
+        for model in ConsistencyModel::ALL {
+            let cached = b.allowed(&sb(), model);
+            assert_eq!(*cached, allowed_outcomes(&sb(), model));
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let mut b = BatchChecker::new();
+        let first = b.allowed(&sb(), ConsistencyModel::Pc);
+        let second = b.allowed(&sb(), ConsistencyModel::Pc);
+        assert_eq!(first, second);
+        assert_eq!(b.misses(), 1);
+        assert_eq!(b.hits(), 1);
+        // A different model is a different key.
+        let _ = b.allowed(&sb(), ConsistencyModel::Wc);
+        assert_eq!(b.misses(), 2);
+    }
+
+    #[test]
+    fn violations_empty_iff_subset() {
+        let mut b = BatchChecker::new();
+        let allowed = b.allowed(&sb(), ConsistencyModel::Wc);
+        let observed: BTreeSet<Outcome> = allowed.iter().take(2).cloned().collect();
+        assert!(b
+            .violations(&sb(), ConsistencyModel::Wc, &observed)
+            .is_empty());
+        let mut bogus = Outcome::new();
+        bogus.insert((0, Reg(0)), 99);
+        let observed: BTreeSet<Outcome> = [bogus.clone()].into_iter().collect();
+        assert_eq!(
+            b.violations(&sb(), ConsistencyModel::Wc, &observed),
+            vec![bogus]
+        );
+    }
+}

@@ -10,6 +10,9 @@
 //!   assignments), filters them through per-model axioms (SC, PC/TSO,
 //!   WC/RVWMO-fragment), and returns the set of **allowed outcomes** a
 //!   program may produce;
+//! * [`batch`] — a memoizing front-end over the axiom checker for
+//!   callers (the fuzzing harness, shrinkers) that query the same
+//!   programs repeatedly;
 //! * [`proofs`] — a mechanization of Proof 1 (the store-store rule of PC
 //!   under the same-stream design): for every faulting combination of two
 //!   program-ordered stores, the effective memory-order of their writes
@@ -24,8 +27,10 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod axiom;
+pub mod batch;
 pub mod program;
 pub mod proofs;
 
 pub use axiom::allowed_outcomes;
+pub use batch::BatchChecker;
 pub use program::{LitmusProgram, Loc, Outcome, Stmt, StmtOp};

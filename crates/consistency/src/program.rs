@@ -10,6 +10,14 @@ use std::fmt;
 pub struct Loc(pub u8);
 
 impl Loc {
+    /// The number of distinct locations the litmus toolchain supports
+    /// end to end: the parser rejects names past `A..H`, the fuzz
+    /// generator stays inside the bound, and the sim bridge maps each
+    /// location to its own EInject page. Eight is far more than any
+    /// litmus shape needs while keeping exhaustive exploration and
+    /// axiom enumeration tractable.
+    pub const LIMIT: u8 = 8;
+
     /// Conventional names for the first few locations.
     pub fn name(self) -> String {
         if self.0 < 26 {
@@ -125,7 +133,7 @@ impl fmt::Display for Stmt {
 }
 
 /// A multi-threaded litmus program. Memory is zero-initialized.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LitmusProgram {
     /// One statement list per thread.
     pub threads: Vec<Vec<Stmt>>,

@@ -12,31 +12,31 @@
 //! caller configured, mirroring the `ISE_WORKERS` convention from
 //! `ise-par`: CI pins one differential leg to `ISE_CYCLE_SKIP=0`
 //! (reference) and one to `ISE_CYCLE_SKIP=1` (skip) and asserts
-//! byte-identical reports.
-
-use std::env;
+//! byte-identical reports. The spellings are the shared ones from
+//! [`ise_types::env`], and a malformed value aborts the run instead of
+//! silently deferring to the configured default.
 
 /// Parses a cycle-skip override string: `Some(false)` for
 /// `0`/`off`/`false`/`no`, `Some(true)` for `1`/`on`/`true`/`yes`
-/// (case-insensitively), `None` for anything else.
+/// (case-insensitively), `None` for anything else (the pure-`Option`
+/// surface; [`cycle_skip_override`] is the loud env-reading one).
 pub fn parse_cycle_skip(value: Option<&str>) -> Option<bool> {
-    match value?.trim().to_ascii_lowercase().as_str() {
-        "0" | "off" | "false" | "no" => Some(false),
-        "1" | "on" | "true" | "yes" => Some(true),
-        _ => None,
-    }
+    value.and_then(|v| ise_types::env::parse_flag(v).ok())
 }
 
-/// The `ISE_CYCLE_SKIP` environment override, if set to a recognised
-/// value. `Some(false)` forces the reference per-cycle clock,
-/// `Some(true)` forces cycle skipping, `None` defers to the caller's
-/// configuration (`SystemConfig::reference_clock` in `ise-sim`, on by
-/// default elsewhere).
+/// The `ISE_CYCLE_SKIP` environment override. `Some(false)` forces the
+/// reference per-cycle clock, `Some(true)` forces cycle skipping,
+/// `None` (unset) defers to the caller's configuration
+/// (`SystemConfig::reference_clock` in `ise-sim`, on by default
+/// elsewhere).
+///
+/// # Panics
+///
+/// Panics if `ISE_CYCLE_SKIP` is set to an unrecognised value — a typo
+/// here would silently pick the wrong clock for a whole differential
+/// leg.
 pub fn cycle_skip_override() -> Option<bool> {
-    match env::var("ISE_CYCLE_SKIP") {
-        Ok(v) => parse_cycle_skip(Some(&v)),
-        Err(_) => None,
-    }
+    ise_types::env::env_flag("ISE_CYCLE_SKIP")
 }
 
 #[cfg(test)]

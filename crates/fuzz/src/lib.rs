@@ -1,0 +1,33 @@
+//! Differential fuzzing of the whole reproduction (the §6.3 campaign,
+//! turned adversarial).
+//!
+//! Hand-written litmus tests check the designs we *thought* of; this
+//! crate generates the ones we didn't. A seeded generator emits small
+//! random programs ([`gen`]), three independent implementations run
+//! each one ([`oracle`]): the exhaustive operational machine
+//! (`ise-litmus`), the axiomatic checker (`ise-consistency`) and the
+//! full timing simulator (`ise-sim`) — and any disagreement is shrunk
+//! to a minimal reproducer ([`shrink`]) that can be checked into
+//! `litmus/regressions/` and replayed as an ordinary corpus test
+//! ([`campaign`]).
+//!
+//! Everything is deterministic: one master seed fixes the entire
+//! campaign, per-case seeds are derived by index (never by worker), and
+//! the report registry renders byte-identically for every
+//! `ISE_WORKERS` value.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod campaign;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+pub use campaign::{
+    case_seed, run_campaign, run_campaign_with_workers, to_parsed, write_regressions,
+    CampaignFinding, FuzzConfig, FuzzReport,
+};
+pub use gen::{generate, FuzzCase, GenConfig};
+pub use oracle::{check_case, Finding, FindingKind, OracleConfig};
+pub use shrink::{shrink, ShrinkResult};

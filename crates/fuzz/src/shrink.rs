@@ -1,0 +1,295 @@
+//! Delta-debugging findings down to minimal reproducers.
+//!
+//! A raw finding points at whatever program the generator happened to
+//! emit; before it is worth a human's attention (or a slot in the
+//! regression corpus) it is shrunk: repeatedly try a simplification,
+//! keep it if the *same kind* of finding still reproduces, restart the
+//! scan from the most aggressive simplification whenever one lands.
+//! The passes, most to least aggressive:
+//!
+//! 1. remove a whole thread;
+//! 2. remove one statement;
+//! 3. drop a dependency annotation;
+//! 4. rewrite a stored value / AMO addend to 1;
+//! 5. un-fault one location;
+//! 6. turn the transient overlay off.
+//!
+//! Structural edits can orphan things, so every candidate is
+//! re-normalized: dependencies on registers no longer produced earlier
+//! in their thread are cleared, faulting locations the program no
+//! longer touches are dropped, and the overlay flag is cleared when
+//! nothing faults. Progress is monotone (every accepted step strictly
+//! shrinks a finite measure), and a global attempt bound caps the cost
+//! of re-running the oracles.
+
+use crate::gen::FuzzCase;
+use crate::oracle::{check_case, FindingKind, OracleConfig};
+use ise_consistency::program::{LitmusProgram, Stmt, StmtOp};
+use ise_consistency::BatchChecker;
+use ise_types::instr::Reg;
+
+/// Upper bound on oracle re-runs during one shrink.
+const MAX_ATTEMPTS: usize = 10_000;
+
+/// A shrunk reproducer.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimal case that still reproduces the finding kind.
+    pub case: FuzzCase,
+    /// Accepted simplification steps.
+    pub steps: usize,
+    /// Oracle re-runs spent.
+    pub attempts: usize,
+}
+
+/// Drops orphaned dependencies, faulting entries for untouched
+/// locations, and the overlay flag of a fault-free case.
+fn normalize(mut case: FuzzCase) -> FuzzCase {
+    for thread in &mut case.program.threads {
+        let mut produced: Vec<Reg> = Vec::new();
+        for stmt in thread.iter_mut() {
+            if let Some(r) = stmt.dep {
+                if !produced.contains(&r) {
+                    stmt.dep = None;
+                }
+            }
+            match stmt.op {
+                StmtOp::Read { dst, .. } | StmtOp::Amo { dst, .. } => produced.push(dst),
+                _ => {}
+            }
+        }
+    }
+    let locs = case.program.locations();
+    case.faulting.retain(|l| locs.contains(l));
+    if case.faulting.is_empty() {
+        case.overlay = false;
+    }
+    case
+}
+
+/// Every one-step simplification of `case`, most aggressive first.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let threads = &case.program.threads;
+    if threads.len() > 1 {
+        for t in 0..threads.len() {
+            let mut next = threads.clone();
+            next.remove(t);
+            out.push(FuzzCase {
+                program: LitmusProgram { threads: next },
+                ..case.clone()
+            });
+        }
+    }
+    for t in 0..threads.len() {
+        if threads[t].len() <= 1 && threads.len() == 1 {
+            continue; // a program needs at least one statement
+        }
+        for i in 0..threads[t].len() {
+            let mut next = threads.clone();
+            next[t].remove(i);
+            if next[t].is_empty() {
+                next.remove(t);
+            }
+            out.push(FuzzCase {
+                program: LitmusProgram { threads: next },
+                ..case.clone()
+            });
+        }
+    }
+    for t in 0..threads.len() {
+        for i in 0..threads[t].len() {
+            if threads[t][i].dep.is_some() {
+                let mut next = threads.clone();
+                next[t][i].dep = None;
+                out.push(FuzzCase {
+                    program: LitmusProgram { threads: next },
+                    ..case.clone()
+                });
+            }
+        }
+    }
+    for t in 0..threads.len() {
+        for i in 0..threads[t].len() {
+            let simpler = match threads[t][i].op {
+                StmtOp::Write { loc, value } if value != 1 => {
+                    Some(Stmt::write(loc, 1).dep(threads[t][i].dep))
+                }
+                StmtOp::Amo { loc, add, dst } if add != 1 => {
+                    Some(Stmt::amo(loc, 1, dst).dep(threads[t][i].dep))
+                }
+                _ => None,
+            };
+            if let Some(s) = simpler {
+                let mut next = threads.clone();
+                next[t][i] = s;
+                out.push(FuzzCase {
+                    program: LitmusProgram { threads: next },
+                    ..case.clone()
+                });
+            }
+        }
+    }
+    for f in 0..case.faulting.len() {
+        let mut next = case.faulting.clone();
+        next.remove(f);
+        out.push(FuzzCase {
+            faulting: next,
+            ..case.clone()
+        });
+    }
+    if case.overlay {
+        out.push(FuzzCase {
+            overlay: false,
+            ..case.clone()
+        });
+    }
+    out.into_iter().map(normalize).collect()
+}
+
+trait WithDep {
+    fn dep(self, dep: Option<Reg>) -> Self;
+}
+
+impl WithDep for Stmt {
+    fn dep(mut self, dep: Option<Reg>) -> Self {
+        self.dep = dep;
+        self
+    }
+}
+
+/// Shrinks `case` while `kind` still reproduces under `oracle`.
+///
+/// Greedy with restarts: the first accepted candidate restarts the scan
+/// from the top (thread removal), so late cheap passes never block
+/// early aggressive ones.
+pub fn shrink(
+    case: &FuzzCase,
+    kind: FindingKind,
+    oracle: &OracleConfig,
+    batch: &mut BatchChecker,
+) -> ShrinkResult {
+    let reproduces = |c: &FuzzCase, batch: &mut BatchChecker| {
+        check_case(c, oracle, batch).iter().any(|f| f.kind == kind)
+    };
+    let mut current = normalize(case.clone());
+    debug_assert!(
+        reproduces(&current, batch),
+        "finding must reproduce before shrinking"
+    );
+    let mut steps = 0;
+    let mut attempts = 0;
+    'outer: loop {
+        for cand in candidates(&current) {
+            if attempts >= MAX_ATTEMPTS {
+                break 'outer;
+            }
+            attempts += 1;
+            if reproduces(&cand, batch) {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkResult {
+        case: current,
+        steps,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use ise_litmus::machine::SeededBug;
+
+    #[test]
+    fn normalize_clears_orphans() {
+        let mut case = generate(0, &GenConfig::default());
+        // Fabricate an orphan dep and a stale faulting entry.
+        case.program.threads[0][0].dep = Some(Reg(200));
+        case.faulting = vec![ise_consistency::program::Loc(7)];
+        case.overlay = true;
+        let n = normalize(case);
+        assert!(n.program.threads[0][0].dep.is_none());
+        assert!(n.faulting.is_empty());
+        assert!(!n.overlay);
+        // The result is still a valid program.
+        let _ = LitmusProgram::new(n.program.threads.clone());
+    }
+
+    #[test]
+    fn candidates_strictly_simplify() {
+        for seed in 0..40 {
+            let case = generate(seed, &GenConfig::default());
+            for cand in candidates(&case) {
+                let _ = LitmusProgram::new(cand.program.threads.clone());
+                let measure = |c: &FuzzCase| {
+                    c.program.len() * 100
+                        + c.program
+                            .threads
+                            .iter()
+                            .flatten()
+                            .filter(|s| s.dep.is_some())
+                            .count()
+                            * 10
+                        + c.faulting.len() * 2
+                        + usize::from(c.overlay)
+                        + c.program
+                            .threads
+                            .iter()
+                            .flatten()
+                            .map(|s| match s.op {
+                                StmtOp::Write { value, .. } => value as usize,
+                                StmtOp::Amo { add, .. } => add as usize,
+                                _ => 0,
+                            })
+                            .sum::<usize>()
+                };
+                assert!(
+                    measure(&cand) < measure(&case),
+                    "seed {seed}: candidate did not shrink"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_seeded_bug_finding_shrinks_to_a_tiny_reproducer() {
+        let gen_cfg = GenConfig::default();
+        let oracle = OracleConfig {
+            seeded_bug: Some(SeededBug::PcDrainReorder),
+            run_sim: false,
+        };
+        let mut batch = BatchChecker::new();
+        let seed = (0..300)
+            .find(|&s| {
+                let c = generate(s, &gen_cfg);
+                check_case(&c, &oracle, &mut batch)
+                    .iter()
+                    .any(|f| f.kind == FindingKind::AxiomViolation)
+            })
+            .expect("no seed exposes the bug");
+        let case = generate(seed, &gen_cfg);
+        let shrunk = shrink(&case, FindingKind::AxiomViolation, &oracle, &mut batch);
+        // The PC drain-reorder bug is a two-thread, message-passing-shaped
+        // race: the minimal reproducer is small.
+        assert!(
+            shrunk.case.program.threads.len() <= 2,
+            "still {} threads",
+            shrunk.case.program.threads.len()
+        );
+        assert!(
+            shrunk.case.program.len() <= 6,
+            "still {} statements",
+            shrunk.case.program.len()
+        );
+        // And it still reproduces.
+        assert!(check_case(&shrunk.case, &oracle, &mut batch)
+            .iter()
+            .any(|f| f.kind == FindingKind::AxiomViolation));
+    }
+}

@@ -26,6 +26,6 @@ pub mod parse;
 pub mod runner;
 
 pub use corpus::{corpus, Family, LitmusTest};
-pub use machine::{explore, ExplorationResult, MachineConfig};
-pub use parse::{parse_litmus, render_litmus, ParseError, ParsedLitmus};
+pub use machine::{explore, ExplorationResult, MachineConfig, SeededBug};
+pub use parse::{load_litmus_dir, parse_litmus, render_litmus, ParseError, ParsedLitmus};
 pub use runner::{run_corpus, run_corpus_with_workers, run_test, CorpusSummary, LitmusReport};

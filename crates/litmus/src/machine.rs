@@ -6,6 +6,25 @@ use ise_types::instr::{FenceKind, Reg};
 use ise_types::model::{ConsistencyModel, DrainPolicy};
 use std::collections::{BTreeSet, HashSet};
 
+/// A deliberate, opt-in machine mutation for fuzzer self-tests.
+///
+/// The differential harness in `ise-fuzz` proves it can actually catch
+/// ordering bugs by seeding one of these (mutation-testing style,
+/// DESIGN.md §12): the mutated machine exhibits outcomes the axiomatic
+/// model forbids, the tri-oracle flags them, and the shrinker reduces
+/// the witness to a minimal reproducer. Production paths never set
+/// this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeededBug {
+    /// PC drains its store buffer like WC: any entry with no older
+    /// same-location entry may complete, instead of the FIFO head only
+    /// — breaking the store-store rule Proof 1 protects.
+    PcDrainReorder,
+    /// `F.ww` fences retire without waiting for the store buffer to
+    /// drain, silently losing the W→W edge they exist to enforce.
+    FenceIgnoresStoreBuffer,
+}
+
 /// How the machine is configured for one exploration.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -25,6 +44,9 @@ pub struct MachineConfig {
     /// the `explore_scaling` bench baseline) re-walks every path but
     /// must produce the identical [`ExplorationResult`].
     pub memoize: bool,
+    /// Opt-in mutation for fuzzer self-tests; `None` (always, outside
+    /// those tests) runs the faithful machine.
+    pub seeded_bug: Option<SeededBug>,
 }
 
 impl MachineConfig {
@@ -36,6 +58,7 @@ impl MachineConfig {
             faulting: BTreeSet::new(),
             max_states: 1 << 22,
             memoize: true,
+            seeded_bug: None,
         }
     }
 
@@ -59,6 +82,12 @@ impl MachineConfig {
         self.memoize = memoize;
         self
     }
+
+    /// Seeds a deliberate bug (fuzzer self-tests only).
+    pub fn with_seeded_bug(mut self, bug: SeededBug) -> Self {
+        self.seeded_bug = Some(bug);
+        self
+    }
 }
 
 /// What one exploration produced.
@@ -72,6 +101,12 @@ pub struct ExplorationResult {
     pub imprecise_detections: u64,
     /// Precise (load/atomic/SC-store) exceptions taken across all paths.
     pub precise_exceptions: u64,
+    /// For each location (in [`LitmusProgram::locations`] order) every
+    /// value memory holds at that location in some reachable state —
+    /// the value-plane envelope the sim bridge checks final
+    /// flat-memory contents against. Collected on first expansion of
+    /// each distinct state, so memoized and bare runs agree.
+    pub mem_values: Vec<BTreeSet<u64>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -211,6 +246,9 @@ struct Explorer<'a> {
     outcomes: BTreeSet<Outcome>,
     imprecise: u64,
     precise: u64,
+    /// Per-location values seen in memory across distinct states
+    /// (collected on first expansion, like the exception counters).
+    mem_values: Vec<BTreeSet<u64>>,
 }
 
 impl<'a> Explorer<'a> {
@@ -238,12 +276,22 @@ impl<'a> Explorer<'a> {
         if sb.is_empty() {
             return Vec::new();
         }
+        let relaxed = || {
+            (0..sb.len())
+                .filter(|&j| sb[..j].iter().all(|&(l, _)| l != sb[j].0))
+                .collect()
+        };
         match self.cfg.model {
             ConsistencyModel::Sc => Vec::new(),
-            ConsistencyModel::Pc => vec![0],
-            ConsistencyModel::Wc => (0..sb.len())
-                .filter(|&j| sb[..j].iter().all(|&(l, _)| l != sb[j].0))
-                .collect(),
+            ConsistencyModel::Pc => {
+                if self.cfg.seeded_bug == Some(SeededBug::PcDrainReorder) {
+                    // Mutation: PC forgets its FIFO and drains like WC.
+                    relaxed()
+                } else {
+                    vec![0]
+                }
+            }
+            ConsistencyModel::Wc => relaxed(),
         }
     }
 
@@ -380,6 +428,13 @@ impl<'a> Explorer<'a> {
                     }
                     Op::F(kind) => {
                         let needs_empty = match kind {
+                            FenceKind::StoreStore
+                                if self.cfg.seeded_bug
+                                    == Some(SeededBug::FenceIgnoresStoreBuffer) =>
+                            {
+                                // Mutation: the W→W fence stops fencing.
+                                false
+                            }
                             FenceKind::Full | FenceKind::StoreStore => !core.sb.is_empty(),
                             FenceKind::LoadLoad => false,
                         };
@@ -418,6 +473,11 @@ impl<'a> Explorer<'a> {
             // First expansion of this state? (Injective key, so this is
             // exactly "first time this observable state is seen".)
             let fresh = self.visited.insert(canonicalize(&s));
+            if fresh {
+                for (i, &m) in s.mem.iter().enumerate() {
+                    self.mem_values[i].insert(m);
+                }
+            }
             if self.cfg.memoize && !fresh {
                 continue; // prune the revisited subtree
             }
@@ -489,6 +549,7 @@ pub fn explore(prog: &LitmusProgram, cfg: &MachineConfig) -> ExplorationResult {
         outcomes: BTreeSet::new(),
         imprecise: 0,
         precise: 0,
+        mem_values: vec![BTreeSet::new(); compiled.locs.len()],
     };
     ex.run(init);
     ExplorationResult {
@@ -496,6 +557,7 @@ pub fn explore(prog: &LitmusProgram, cfg: &MachineConfig) -> ExplorationResult {
         states: ex.visited.len(),
         imprecise_detections: ex.imprecise,
         precise_exceptions: ex.precise,
+        mem_values: ex.mem_values,
     }
 }
 
@@ -658,6 +720,47 @@ mod tests {
     }
 
     #[test]
+    fn mem_values_cover_every_store_value_and_the_initial_zero() {
+        let r = explore(&mp(), &MachineConfig::baseline(ConsistencyModel::Wc));
+        // locations() order: A then B; both hold 0 initially and 1 after
+        // their store drains on some path.
+        let expect: BTreeSet<u64> = [0, 1].into_iter().collect();
+        assert_eq!(r.mem_values, vec![expect.clone(), expect]);
+    }
+
+    #[test]
+    fn seeded_pc_drain_bug_reorders_mp_stores() {
+        // The faithful PC machine forbids the MP relaxation; the seeded
+        // mutation drains like WC and exhibits it — the signal the fuzz
+        // harness' self-test relies on.
+        let cfg = MachineConfig::baseline(ConsistencyModel::Pc)
+            .with_seeded_bug(SeededBug::PcDrainReorder);
+        let r = explore(&mp(), &cfg);
+        assert!(r.outcomes.contains(&outcome(&[(1, R0, 1), (1, R1, 0)])));
+    }
+
+    #[test]
+    fn seeded_fence_bug_breaks_ww_fences_only() {
+        let prog = LitmusProgram::new(vec![
+            vec![
+                Stmt::write(B, 1),
+                Stmt::fence(FenceKind::StoreStore),
+                Stmt::write(A, 1),
+            ],
+            vec![Stmt::read(A, R0), Stmt::read(B, R1)],
+        ]);
+        let bad = outcome(&[(1, R0, 1), (1, R1, 0)]);
+        let faithful = explore(&prog, &MachineConfig::baseline(ConsistencyModel::Wc));
+        assert!(!faithful.outcomes.contains(&bad));
+        let mutated = explore(
+            &prog,
+            &MachineConfig::baseline(ConsistencyModel::Wc)
+                .with_seeded_bug(SeededBug::FenceIgnoresStoreBuffer),
+        );
+        assert!(mutated.outcomes.contains(&bad), "F.ww must stop fencing");
+    }
+
+    #[test]
     fn exploration_is_deterministic() {
         let a = explore(&mp(), &MachineConfig::baseline(ConsistencyModel::Wc));
         let b = explore(&mp(), &MachineConfig::baseline(ConsistencyModel::Wc));
@@ -798,6 +901,10 @@ mod tests {
             let bare = explore(&prog, &cfg.clone().with_memoize(false));
             assert_eq!(memo.outcomes, bare.outcomes, "cfg {cfg:?} prog {prog:?}");
             assert_eq!(memo.states, bare.states, "cfg {cfg:?} prog {prog:?}");
+            assert_eq!(
+                memo.mem_values, bare.mem_values,
+                "cfg {cfg:?} prog {prog:?}"
+            );
             assert_eq!(
                 memo.imprecise_detections, bare.imprecise_detections,
                 "cfg {cfg:?} prog {prog:?}"

@@ -9,7 +9,9 @@
 //! forbid: 1:r0=1 & 1:r1=0
 //! ```
 //!
-//! * Locations are single letters `A`..`Z`; registers are `r0`..`r31`.
+//! * Locations are single letters `A`..`H` ([`Loc::LIMIT`] of them —
+//!   the count the machine and the sim bridge support); registers are
+//!   `r0`..`r31`.
 //! * Statements: `W <loc> <value>`, `R <loc> <reg>`,
 //!   `AMO <loc> <add> <reg>`, `F` (full fence), `F.ww`, `F.rr`.
 //!   Append `@<reg>` to make a statement dependency-ordered after the
@@ -62,11 +64,35 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
+/// The highest location letter the dialect names (`H` for
+/// [`Loc::LIMIT`] of 8).
+fn loc_limit_letter() -> char {
+    (b'A' + Loc::LIMIT - 1) as char
+}
+
 fn parse_loc(tok: &str, line: usize) -> Result<Loc, ParseError> {
     let mut chars = tok.chars();
     match (chars.next(), chars.next()) {
-        (Some(c), None) if c.is_ascii_uppercase() => Ok(Loc(c as u8 - b'A')),
-        _ => Err(err(line, format!("expected a location A..Z, got `{tok}`"))),
+        (Some(c), None) if c.is_ascii_uppercase() => {
+            let loc = Loc(c as u8 - b'A');
+            if loc.0 < Loc::LIMIT {
+                Ok(loc)
+            } else {
+                Err(err(
+                    line,
+                    format!(
+                        "location `{c}` is out of range: the machine supports {} locations \
+                         (A..{})",
+                        Loc::LIMIT,
+                        loc_limit_letter()
+                    ),
+                ))
+            }
+        }
+        _ => Err(err(
+            line,
+            format!("expected a location A..{}, got `{tok}`", loc_limit_letter()),
+        )),
     }
 }
 
@@ -233,7 +259,11 @@ fn family_token(family: Family) -> &'static str {
 fn render_stmt(s: &Stmt, out: &mut String) {
     use std::fmt::Write;
     let loc_name = |loc: Loc| {
-        assert!(loc.0 < 26, "the litmus dialect only names locations A..Z");
+        assert!(
+            loc.0 < Loc::LIMIT,
+            "the litmus dialect only names locations A..{}",
+            loc_limit_letter()
+        );
         (b'A' + loc.0) as char
     };
     match s.op {
@@ -259,8 +289,9 @@ fn render_stmt(s: &Stmt, out: &mut String) {
 ///
 /// # Panics
 ///
-/// Panics if the program uses a location beyond `Z`, which the text
-/// dialect cannot name.
+/// Panics if the program uses a location at or beyond [`Loc::LIMIT`],
+/// which the text dialect cannot name (and the machine does not
+/// support).
 pub fn render_litmus(p: &ParsedLitmus) -> String {
     use std::fmt::Write;
     let mut out = String::new();
@@ -279,6 +310,38 @@ pub fn render_litmus(p: &ParsedLitmus) -> String {
         writeln!(out, "forbid: {}", clauses.join(" & ")).unwrap();
     }
     out
+}
+
+/// Parses every `*.litmus` file directly inside `dir`, sorted by file
+/// name — how the regression corpus under `litmus/regressions/` is
+/// loaded for replay. A missing directory is an empty corpus (the
+/// fuzzer may simply not have written any reproducers yet).
+///
+/// # Errors
+///
+/// Returns a message naming the unreadable or unparseable file.
+pub fn load_litmus_dir(dir: &std::path::Path) -> Result<Vec<(String, ParsedLitmus)>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    let mut files: Vec<std::path::PathBuf> = entries
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    files.retain(|p| p.extension().is_some_and(|x| x == "litmus"));
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let src =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let parsed = parse_litmus(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+            Ok((name, parsed))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -380,6 +443,51 @@ forbid: 1:r0=1 & 1:r1=0
         // And the rendering is canonical: a second round trip is a
         // fixed point.
         assert_eq!(rendered, render_litmus(&second));
+    }
+
+    #[test]
+    fn locations_beyond_the_machine_limit_are_rejected() {
+        // `I` is the first letter past Loc::LIMIT = 8; `Z` used to
+        // parse to Loc(25) even though nothing downstream supports it.
+        for bad in ["P0: W I 1", "P0: R Z r0", "P0: AMO Q 1 r0"] {
+            let e = parse_litmus(bad).unwrap_err();
+            assert!(
+                e.message.contains("out of range"),
+                "`{bad}` must be rejected as out of range, got: {}",
+                e.message
+            );
+            assert!(e.message.contains("A..H"), "got: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn every_supported_location_letter_parses() {
+        for (i, c) in ('A'..='H').enumerate() {
+            let src = format!("P0: W {c} 1");
+            let p = parse_litmus(&src).unwrap_or_else(|e| panic!("{c}: {e}"));
+            assert_eq!(p.test.program.locations(), vec![Loc(i as u8)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only names locations A..H")]
+    fn rendering_an_out_of_range_location_panics() {
+        let p = ParsedLitmus {
+            test: LitmusTest {
+                name: "bad".into(),
+                family: Family::Barriers,
+                program: LitmusProgram::new(vec![vec![Stmt::write(Loc(Loc::LIMIT), 1)]]),
+            },
+            forbidden: Vec::new(),
+        };
+        let _ = render_litmus(&p);
+    }
+
+    #[test]
+    fn load_litmus_dir_of_missing_directory_is_empty() {
+        let loaded = load_litmus_dir(std::path::Path::new("/nonexistent/fuzz-regressions"))
+            .expect("missing dir is an empty corpus");
+        assert!(loaded.is_empty());
     }
 
     #[test]

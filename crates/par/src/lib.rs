@@ -33,18 +33,25 @@ use std::panic;
 use std::thread;
 
 /// Parses a worker-count override (the `ISE_WORKERS` convention):
-/// `Some(n)` for a positive integer, `None` for anything else.
+/// `Some(n)` for a positive integer, `None` for anything else (the
+/// pure-`Option` surface over [`ise_types::env::parse_count`];
+/// [`worker_count`] is the loud env-reading one).
 pub fn parse_workers(value: Option<&str>) -> Option<NonZeroUsize> {
-    value.and_then(|v| v.trim().parse::<NonZeroUsize>().ok())
+    value.and_then(|v| ise_types::env::parse_count(v).ok())
 }
 
-/// The worker count to use by default: `ISE_WORKERS` when set to a
-/// positive integer, otherwise the machine's available parallelism
-/// (falling back to 1 when that cannot be determined).
+/// The worker count to use by default: `ISE_WORKERS` when set,
+/// otherwise the machine's available parallelism (falling back to 1
+/// when that cannot be determined).
+///
+/// # Panics
+///
+/// Panics if `ISE_WORKERS` is set to anything but a positive integer —
+/// previously a typo silently serialized the whole run onto one worker.
 pub fn worker_count() -> usize {
-    match std::env::var("ISE_WORKERS") {
-        Ok(v) => parse_workers(Some(&v)).map(NonZeroUsize::get).unwrap_or(1),
-        Err(_) => thread::available_parallelism()
+    match ise_types::env::env_count("ISE_WORKERS") {
+        Some(n) => n.get(),
+        None => thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1),
     }

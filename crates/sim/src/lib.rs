@@ -19,10 +19,17 @@
 //! layer`](ise_core::faults), with store-conservation, FSB-drain and
 //! ordering-contract invariants checked after every run.
 
+//!
+//! [`litmus`] lowers the symbolic litmus programs of `ise-consistency`
+//! onto this machine, so the differential fuzzing harness can use the
+//! timing simulator as its third oracle.
+
 pub mod chaos;
 pub mod experiments;
+pub mod litmus;
 pub mod report;
 pub mod system;
 
 pub use chaos::{ChaosCampaign, ChaosConfig, ChaosReport, ChaosRun};
+pub use litmus::{litmus_workload, loc_addr, run_litmus_on_sim, LitmusRun};
 pub use system::{System, SystemStats};

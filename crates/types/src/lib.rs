@@ -7,8 +7,9 @@
 //! exception codes introduced by the paper ([`exception`]), faulting-store
 //! records as drained into the Faulting Store Buffer ([`faulting`]),
 //! memory-consistency model selectors ([`model`]), system configuration
-//! mirroring Table 2 of the paper ([`config`]), and statistics containers
-//! ([`stats`]).
+//! mirroring Table 2 of the paper ([`config`]), statistics containers
+//! ([`stats`]), and the shared parser for the repo's `ISE_*` environment
+//! pins ([`env`]).
 //!
 //! # Example
 //!
@@ -27,6 +28,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod env;
 pub mod error;
 pub mod exception;
 pub mod faulting;

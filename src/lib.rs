@@ -53,6 +53,7 @@ pub use ise_consistency as consistency;
 pub use ise_core as core_hw;
 pub use ise_cpu as cpu;
 pub use ise_engine as engine;
+pub use ise_fuzz as fuzz;
 pub use ise_litmus as litmus;
 pub use ise_mem as mem;
 pub use ise_noc as noc;

@@ -1,0 +1,52 @@
+//! Replays the fuzzer's shrunk reproducers under `litmus/regressions/`
+//! through the healthy machine and the axiomatic checker.
+//!
+//! Each file's `forbid:` outcomes were once *observed* on a broken
+//! machine; on the real design they must be (a) forbidden by the PC
+//! axioms and (b) unobservable on any exhaustive-machine path, with and
+//! without every location faulting. `allowed(SC) ⊆ allowed(PC) ⊆
+//! allowed(WC)`, and reproducers only carry `forbid:` lines for
+//! PC- or WC-model findings, so checking against the PC envelope is
+//! sound for every file.
+
+use imprecise_store_exceptions::consistency::{allowed_outcomes, program::format_outcome};
+use imprecise_store_exceptions::litmus::machine::{explore, MachineConfig};
+use imprecise_store_exceptions::litmus::parse::load_litmus_dir;
+use imprecise_store_exceptions::types::model::ConsistencyModel;
+use std::path::Path;
+
+#[test]
+fn every_regression_reproducer_stays_fixed() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus/regressions");
+    let corpus = load_litmus_dir(&dir).expect("regression corpus loads");
+    assert!(
+        !corpus.is_empty(),
+        "litmus/regressions/ is checked in non-empty"
+    );
+    for (file, parsed) in corpus {
+        let program = &parsed.test.program;
+        let allowed = allowed_outcomes(program, ConsistencyModel::Pc);
+        let clean = explore(program, &MachineConfig::baseline(ConsistencyModel::Pc));
+        let faulting = explore(
+            program,
+            &MachineConfig::baseline(ConsistencyModel::Pc).with_all_faulting(program),
+        );
+        // The machine stays inside the model even while faulting.
+        assert!(
+            clean.outcomes.is_subset(&allowed) && faulting.outcomes.is_subset(&allowed),
+            "{file}: the machine escaped the PC envelope"
+        );
+        for forbidden in &parsed.forbidden {
+            assert!(
+                !allowed.contains(forbidden),
+                "{file}: {} is now allowed under PC",
+                format_outcome(forbidden)
+            );
+            assert!(
+                !clean.outcomes.contains(forbidden) && !faulting.outcomes.contains(forbidden),
+                "{file}: the machine observed forbidden outcome {}",
+                format_outcome(forbidden)
+            );
+        }
+    }
+}

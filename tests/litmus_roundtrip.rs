@@ -3,6 +3,11 @@
 //! result must yield an equal test (name, family, program, and
 //! forbidden outcomes), and the rendering must be a fixed point.
 
+use imprecise_store_exceptions::consistency::program::StmtOp;
+use imprecise_store_exceptions::fuzz::{
+    case_seed, generate, to_parsed, CampaignFinding, GenConfig,
+};
+use imprecise_store_exceptions::fuzz::{FindingKind, FuzzCase};
 use imprecise_store_exceptions::litmus::parse::{parse_litmus, render_litmus};
 use std::path::Path;
 
@@ -43,4 +48,58 @@ fn every_checked_in_test_round_trips() {
             "{name}: rendering must be canonical"
         );
     }
+}
+
+/// Wraps a generated case the way the campaign wraps findings, so the
+/// rendering path under test is the production one.
+fn as_finding(case: FuzzCase) -> CampaignFinding {
+    CampaignFinding {
+        index: 0,
+        seed: case.seed,
+        kind: FindingKind::AxiomViolation,
+        detail: String::new(),
+        outcomes: Vec::new(),
+        steps: 0,
+        case,
+    }
+}
+
+#[test]
+fn generated_programs_round_trip_through_the_text_dialect() {
+    // Property over *generated* programs (not just the curated corpus):
+    // rendering any fuzz case and re-parsing it must reproduce the
+    // program exactly, and the rendering must be a fixed point.
+    let cfg = GenConfig::default();
+    let mut saw_amo = false;
+    let mut saw_fence = false;
+    let mut saw_dep = false;
+    for i in 0..300usize {
+        let case = generate(case_seed(7, i), &cfg);
+        for s in case.program.threads.iter().flatten() {
+            match s.op {
+                StmtOp::Amo { .. } => saw_amo = true,
+                StmtOp::Fence(_) => saw_fence = true,
+                _ => {}
+            }
+            saw_dep |= s.dep.is_some();
+        }
+        let parsed = to_parsed(&as_finding(case.clone()));
+        let rendered = render_litmus(&parsed);
+        let back = parse_litmus(&rendered)
+            .unwrap_or_else(|e| panic!("case {i}: rendered text must re-parse: {e}\n{rendered}"));
+        assert_eq!(
+            back.test.program, case.program,
+            "case {i}: program drifted through render→parse"
+        );
+        assert_eq!(
+            rendered,
+            render_litmus(&back),
+            "case {i}: rendering must be canonical"
+        );
+    }
+    // The property only means something if the corpus actually covers
+    // the whole statement vocabulary.
+    assert!(saw_amo, "no generated case contained an AMO");
+    assert!(saw_fence, "no generated case contained a fence");
+    assert!(saw_dep, "no generated case contained a dependency");
 }
