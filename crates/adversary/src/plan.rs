@@ -1,0 +1,331 @@
+//! The fault-plan genome the adversarial search mutates.
+//!
+//! A plan is everything the attacker controls: *which* pool pages fault,
+//! *how* they deny (the [`FaultKind`] and its parameters), which
+//! exception the denied transactions carry, and how deep the victim's
+//! FSB rings are. The mutation operators below are the search's whole
+//! move set; each targets a specific recovery-path lever — window
+//! alignment to FSB drain boundaries, transient healing horizons that
+//! straddle the retry budget, capacities that force early-drain
+//! chunking.
+
+use ise_engine::SimRng;
+use ise_types::config::OsCostConfig;
+use ise_types::{ExceptionKind, FaultKind, FaultSpec};
+
+/// Pages in the victim's faultable pool (see [`crate::target`]).
+pub const POOL_PAGES: u8 = 8;
+
+/// FSB ring capacities the search may select. The smallest forces the
+/// most early-drain chunks per burst; the largest matches the store
+/// buffer, so a burst fits in one episode.
+pub const FSB_CAPACITIES: [usize; 4] = [4, 8, 16, 32];
+
+/// Transient healing horizons, spanning "heals at the drain denial"
+/// through "outlives the whole retry ladder".
+const CLEARS_LADDER: [u32; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Intermittent denial probabilities.
+const PROB_LADDER: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
+
+/// The cycle granularity of one recovery episode: exception dispatch
+/// plus applying one full FSB ring. Windowed faults snapped to multiples
+/// of this boundary open and close in phase with the handler's drain
+/// chunks — the alignment objective (2) exploits.
+pub fn drain_boundary(os: &OsCostConfig, fsb_capacity: usize) -> u64 {
+    os.dispatch_overhead + fsb_capacity as u64 * os.apply_per_store
+}
+
+/// One candidate fault plan.
+#[derive(Debug, Clone)]
+pub struct AdvPlan {
+    /// Sorted, deduped, non-empty indices into the victim pool
+    /// (`0..POOL_PAGES`).
+    pub pages: Vec<u8>,
+    /// Temporal behaviour shared by every planned page.
+    pub kind: FaultKind,
+    /// Exception carried by denied transactions.
+    pub exception: ExceptionKind,
+    /// FSB ring capacity the victim system is built with.
+    pub fsb_capacity: usize,
+}
+
+impl AdvPlan {
+    /// The per-page spec this plan injects.
+    pub fn spec(&self) -> FaultSpec {
+        FaultSpec {
+            kind: self.kind,
+            exception: self.exception,
+        }
+    }
+
+    /// Canonical identity string: the evaluation-cache key, the ranking
+    /// tiebreaker, and the scorecard's `best_plan` rendering.
+    pub fn key(&self) -> String {
+        let pages: Vec<String> = self.pages.iter().map(u8::to_string).collect();
+        format!(
+            "fsb{:02}|{}|{}|pages[{}]",
+            self.fsb_capacity,
+            self.exception,
+            self.kind,
+            pages.join(",")
+        )
+    }
+
+    /// A fresh random plan drawn from `rng`.
+    pub fn random(rng: &mut SimRng, os: &OsCostConfig) -> Self {
+        let k = rng.range(1, 4) as usize;
+        let pages: Vec<u8> = rng
+            .sample_indices(POOL_PAGES as usize, k)
+            .into_iter()
+            .map(|i| i as u8)
+            .collect();
+        let fsb_capacity = FSB_CAPACITIES[rng.index(FSB_CAPACITIES.len())];
+        let kind = match rng.range(0, 4) {
+            0 => FaultKind::Permanent,
+            1 => FaultKind::Transient {
+                clears_after: CLEARS_LADDER[rng.index(CLEARS_LADDER.len())],
+            },
+            2 => FaultKind::Intermittent {
+                probability: PROB_LADDER[rng.index(PROB_LADDER.len())],
+            },
+            _ => {
+                let b = drain_boundary(os, fsb_capacity);
+                FaultKind::Windowed {
+                    from: 0,
+                    until: rng.range(1, 5) * b,
+                }
+            }
+        };
+        let exception = if rng.chance(0.25) {
+            ExceptionKind::MachineCheck
+        } else {
+            ExceptionKind::BusError
+        };
+        AdvPlan {
+            pages,
+            kind,
+            exception,
+            fsb_capacity,
+        }
+        .normalized()
+    }
+
+    /// One mutation step: applies one of the eight operators, chosen by
+    /// `rng`, and returns the (normalized) child.
+    pub fn mutate(&self, rng: &mut SimRng, os: &OsCostConfig) -> Self {
+        let mut child = self.clone();
+        match rng.range(0, 8) {
+            // Add a pool page not yet in the plan.
+            0 => {
+                let free: Vec<u8> = (0..POOL_PAGES)
+                    .filter(|p| !child.pages.contains(p))
+                    .collect();
+                if !free.is_empty() {
+                    child.pages.push(free[rng.index(free.len())]);
+                }
+            }
+            // Remove one page (a plan always keeps at least one).
+            1 => {
+                if child.pages.len() > 1 {
+                    let i = rng.index(child.pages.len());
+                    child.pages.remove(i);
+                }
+            }
+            // Swap one planned page for an unplanned one.
+            2 => {
+                let free: Vec<u8> = (0..POOL_PAGES)
+                    .filter(|p| !child.pages.contains(p))
+                    .collect();
+                if !free.is_empty() {
+                    let i = rng.index(child.pages.len());
+                    child.pages[i] = free[rng.index(free.len())];
+                }
+            }
+            // Cycle the temporal behaviour.
+            3 => {
+                child.kind = match child.kind {
+                    FaultKind::Permanent => FaultKind::Transient { clears_after: 64 },
+                    FaultKind::Transient { .. } => FaultKind::Intermittent { probability: 0.5 },
+                    FaultKind::Intermittent { .. } => FaultKind::Windowed {
+                        from: 0,
+                        until: 4 * drain_boundary(os, child.fsb_capacity),
+                    },
+                    FaultKind::Windowed { .. } => FaultKind::Permanent,
+                };
+            }
+            // Perturb the kind's parameter one ladder step.
+            4 => {
+                child.kind = match child.kind {
+                    FaultKind::Transient { clears_after } => FaultKind::Transient {
+                        clears_after: ladder_step(&CLEARS_LADDER, clears_after, rng),
+                    },
+                    FaultKind::Intermittent { probability } => FaultKind::Intermittent {
+                        probability: ladder_step_f(&PROB_LADDER, probability, rng),
+                    },
+                    FaultKind::Windowed { from, until } => {
+                        let b = drain_boundary(os, child.fsb_capacity);
+                        let width = until.saturating_sub(from).max(b);
+                        let from = if rng.chance(0.5) {
+                            from.saturating_add(b)
+                        } else {
+                            from.saturating_sub(b)
+                        };
+                        FaultKind::Windowed {
+                            from,
+                            until: from + width,
+                        }
+                    }
+                    // A permanent fault has no parameter; soften it into
+                    // the longest transient instead.
+                    FaultKind::Permanent => FaultKind::Transient { clears_after: 128 },
+                };
+            }
+            // Snap the fault window onto FSB drain boundaries.
+            5 => {
+                let b = drain_boundary(os, child.fsb_capacity);
+                let k = rng.range(0, 4);
+                let m = rng.range(1, 4);
+                child.kind = FaultKind::Windowed {
+                    from: k * b,
+                    until: (k + m) * b,
+                };
+            }
+            // Flip the embedded exception.
+            6 => {
+                child.exception = match child.exception {
+                    ExceptionKind::MachineCheck => ExceptionKind::BusError,
+                    _ => ExceptionKind::MachineCheck,
+                };
+            }
+            // Cycle the FSB ring capacity.
+            _ => {
+                let i = FSB_CAPACITIES
+                    .iter()
+                    .position(|&c| c == child.fsb_capacity)
+                    .unwrap_or(0);
+                child.fsb_capacity = FSB_CAPACITIES[(i + 1) % FSB_CAPACITIES.len()];
+            }
+        }
+        child.normalized()
+    }
+
+    /// Restores the plan's canonical-form invariants.
+    fn normalized(mut self) -> Self {
+        self.pages.sort_unstable();
+        self.pages.dedup();
+        if self.pages.is_empty() {
+            self.pages.push(0);
+        }
+        if !FSB_CAPACITIES.contains(&self.fsb_capacity) {
+            self.fsb_capacity = FSB_CAPACITIES[0];
+        }
+        self
+    }
+}
+
+/// Moves `v` one step up or down `ladder` (clamped at the ends).
+fn ladder_step(ladder: &[u32], v: u32, rng: &mut SimRng) -> u32 {
+    let i = ladder.iter().position(|&x| x >= v).unwrap_or(0);
+    let j = if rng.chance(0.5) {
+        (i + 1).min(ladder.len() - 1)
+    } else {
+        i.saturating_sub(1)
+    };
+    ladder[j]
+}
+
+/// [`ladder_step`] over an `f64` ladder.
+fn ladder_step_f(ladder: &[f64], v: f64, rng: &mut SimRng) -> f64 {
+    let i = ladder.iter().position(|&x| x >= v).unwrap_or(0);
+    let j = if rng.chance(0.5) {
+        (i + 1).min(ladder.len() - 1)
+    } else {
+        i.saturating_sub(1)
+    };
+    ladder[j]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn os() -> OsCostConfig {
+        OsCostConfig::isca23()
+    }
+
+    #[test]
+    fn random_plans_are_canonical_and_deterministic() {
+        let mut a = SimRng::seed_from(5);
+        let mut b = SimRng::seed_from(5);
+        for _ in 0..200 {
+            let p = AdvPlan::random(&mut a, &os());
+            let q = AdvPlan::random(&mut b, &os());
+            assert_eq!(p.key(), q.key());
+            assert!(!p.pages.is_empty());
+            assert!(p.pages.windows(2).all(|w| w[0] < w[1]), "{:?}", p.pages);
+            assert!(p.pages.iter().all(|&i| i < POOL_PAGES));
+            assert!(FSB_CAPACITIES.contains(&p.fsb_capacity));
+        }
+    }
+
+    #[test]
+    fn mutations_preserve_canonical_form_and_cover_every_operator() {
+        let mut rng = SimRng::seed_from(11);
+        let mut plan = AdvPlan::random(&mut rng, &os());
+        let mut keys = std::collections::HashSet::new();
+        let mut saw_windowed = false;
+        let mut saw_mc = false;
+        for _ in 0..500 {
+            plan = plan.mutate(&mut rng, &os());
+            assert!(!plan.pages.is_empty());
+            assert!(plan.pages.windows(2).all(|w| w[0] < w[1]));
+            assert!(FSB_CAPACITIES.contains(&plan.fsb_capacity));
+            saw_windowed |= matches!(plan.kind, FaultKind::Windowed { .. });
+            saw_mc |= plan.exception == ExceptionKind::MachineCheck;
+            keys.insert(plan.key());
+        }
+        assert!(
+            keys.len() > 50,
+            "mutation walk barely moved: {}",
+            keys.len()
+        );
+        assert!(saw_windowed, "the window operators never fired");
+        assert!(saw_mc, "the exception flip never fired");
+    }
+
+    #[test]
+    fn snapped_windows_land_on_drain_boundaries() {
+        let mut rng = SimRng::seed_from(3);
+        let mut plan = AdvPlan::random(&mut rng, &os());
+        for _ in 0..400 {
+            plan = plan.mutate(&mut rng, &os());
+            if let FaultKind::Windowed { from, until } = plan.kind {
+                let b = drain_boundary(&os(), plan.fsb_capacity);
+                if from % b == 0 && until % b == 0 && until > from {
+                    return; // found one snapped window
+                }
+            }
+        }
+        panic!("no boundary-aligned window in 400 mutations");
+    }
+
+    #[test]
+    fn key_is_injective_over_the_core_knobs() {
+        let base = AdvPlan {
+            pages: vec![0, 3],
+            kind: FaultKind::Permanent,
+            exception: ExceptionKind::BusError,
+            fsb_capacity: 8,
+        };
+        let mut other = base.clone();
+        other.fsb_capacity = 16;
+        assert_ne!(base.key(), other.key());
+        let mut other = base.clone();
+        other.kind = FaultKind::Transient { clears_after: 2 };
+        assert_ne!(base.key(), other.key());
+        let mut other = base.clone();
+        other.pages = vec![0, 4];
+        assert_ne!(base.key(), other.key());
+    }
+}

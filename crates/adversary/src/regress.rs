@@ -1,0 +1,146 @@
+//! From a corruption win to a checked-in regression.
+//!
+//! An objective-(1) win means the unhardened kernel silently dropped a
+//! store while reporting it applied. That damage shape is exactly what
+//! the fuzz harness's `SimInvariant` oracle detects, so a winning plan
+//! is recast as a [`FuzzCase`] — one store per attacked pool page, every
+//! page faulting, the stubborn transient overlay, the unhardened cost
+//! model — and pushed through the existing `ise-fuzz` shrinker. What
+//! survives is a minimal litmus-dialect reproducer ready for
+//! `litmus/regressions/`.
+
+use crate::plan::AdvPlan;
+use ise_consistency::program::{LitmusProgram, Loc, Stmt};
+use ise_consistency::BatchChecker;
+use ise_fuzz::{
+    check_case, shrink, to_parsed, CampaignFinding, FindingKind, FuzzCase, OracleConfig,
+};
+use ise_litmus::render_litmus;
+use ise_types::config::OsCostConfig;
+use ise_types::model::{ConsistencyModel, DrainPolicy};
+use ise_types::RecoveryHardening;
+use std::path::{Path, PathBuf};
+
+/// A transient horizon that outlives the whole retry ladder, forcing
+/// every faulting store onto the exhaustion path.
+const STUBBORN_CLEARS_AFTER: u32 = 100;
+
+/// The fuzz case a corruption-winning `plan` lowers to: one writer
+/// thread storing to one symbolic location per attacked pool page, all
+/// of them faulting under the transient overlay. Pool page indices and
+/// litmus locations share the same EInject-page mapping, so the
+/// reproducer faults the very pages the plan did.
+pub fn corruption_case(plan: &AdvPlan, seed: u64) -> FuzzCase {
+    let n = plan.pages.len().clamp(1, Loc::LIMIT as usize);
+    let thread: Vec<Stmt> = (0..n).map(|i| Stmt::write(Loc(i as u8), 1)).collect();
+    let faulting: Vec<Loc> = (0..n).map(|i| Loc(i as u8)).collect();
+    FuzzCase {
+        seed,
+        program: LitmusProgram::new(vec![thread]),
+        model: ConsistencyModel::Pc,
+        policy: DrainPolicy::SameStream,
+        faulting,
+        overlay: true,
+    }
+}
+
+/// The oracle configuration that replays the corruption: sim legs on,
+/// stubborn overlay, unhardened recovery costs.
+pub fn corruption_oracle() -> OracleConfig {
+    OracleConfig {
+        run_sim: true,
+        os_costs: Some(OsCostConfig::isca23().with_hardening(RecoveryHardening::unhardened())),
+        overlay_clears_after: STUBBORN_CLEARS_AFTER,
+        ..OracleConfig::default()
+    }
+}
+
+/// Recasts a corruption win as a fuzz finding and shrinks it. Returns
+/// `None` when the lowered case does not reproduce the silent drop
+/// through the fuzz oracle (the win then stays a scorecard entry
+/// without a corpus artifact).
+pub fn shrink_corruption(plan: &AdvPlan, seed: u64) -> Option<CampaignFinding> {
+    let case = corruption_case(plan, seed);
+    let oracle = corruption_oracle();
+    let mut batch = BatchChecker::new();
+    let reproduces = check_case(&case, &oracle, &mut batch).iter().any(|f| {
+        f.kind == FindingKind::SimInvariant && f.detail.contains("applied store not visible")
+    });
+    if !reproduces {
+        return None;
+    }
+    let shrunk = shrink(&case, FindingKind::SimInvariant, &oracle, &mut batch);
+    // Re-derive the detail from the reproducer itself, like the fuzz
+    // campaign does.
+    let (detail, outcomes) = check_case(&shrunk.case, &oracle, &mut batch)
+        .into_iter()
+        .find(|f| f.kind == FindingKind::SimInvariant)
+        .map(|f| (f.detail, f.outcomes))
+        .unwrap_or_default();
+    Some(CampaignFinding {
+        index: 0,
+        seed,
+        kind: FindingKind::SimInvariant,
+        detail,
+        case: shrunk.case,
+        outcomes,
+        steps: shrunk.steps,
+    })
+}
+
+/// Writes `finding` into `dir` (created if missing) as
+/// `<kind>-seed<seed>.litmus`, the fuzz campaign's corpus naming.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_regression(finding: &CampaignFinding, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!(
+        "{}-seed{}.litmus",
+        finding.kind.name(),
+        finding.seed
+    ));
+    std::fs::write(&path, render_litmus(&to_parsed(finding)))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::{ExceptionKind, FaultKind};
+
+    fn winning_plan() -> AdvPlan {
+        AdvPlan {
+            pages: vec![0, 1],
+            kind: FaultKind::Transient { clears_after: 128 },
+            exception: ExceptionKind::BusError,
+            fsb_capacity: 32,
+        }
+    }
+
+    #[test]
+    fn corruption_case_faults_every_lowered_location() {
+        let case = corruption_case(&winning_plan(), 9);
+        assert_eq!(case.program.threads.len(), 1);
+        assert_eq!(case.faulting.len(), 2);
+        assert!(case.overlay);
+        assert_eq!(case.program.locations(), case.faulting);
+    }
+
+    #[test]
+    fn a_corruption_win_shrinks_to_a_reproducing_finding() {
+        let finding = shrink_corruption(&winning_plan(), 9)
+            .expect("the silent drop must reproduce through the fuzz oracle");
+        assert_eq!(finding.kind, FindingKind::SimInvariant);
+        assert!(
+            finding.detail.contains("applied store not visible"),
+            "detail: {}",
+            finding.detail
+        );
+        // The shrinker should get down to a single faulting store.
+        assert_eq!(finding.case.program.len(), 1, "{:?}", finding.case.program);
+        assert_eq!(finding.case.faulting.len(), 1);
+        assert!(finding.case.overlay, "the overlay carries the fault");
+    }
+}

@@ -1,0 +1,125 @@
+//! The fixed victim every fault plan is evaluated against.
+//!
+//! Two cores on the prototype mesh: core 0 bursts back-to-back stores
+//! sweeping the eight-page faultable pool (the worst case for FSB
+//! occupancy — every store can fault, and consecutive stores hit
+//! different pages so nothing coalesces away), while core 1 runs clean
+//! bystander traffic on disjoint pages. The bystander makes victim
+//! damage visible: a fault plan that stalls the kernel or kills core 0
+//! must do so without corrupting or losing core 1's stores, which the
+//! invariant set checks after every evaluation.
+
+use crate::plan::POOL_PAGES;
+use ise_types::addr::{Addr, PAGE_SIZE};
+use ise_types::instr::Reg;
+use ise_types::{Instruction, PageId};
+use ise_workloads::layout::EINJECT_BASE;
+use ise_workloads::Workload;
+
+/// Stores in core 0's burst. Deliberately at most 64: with the smallest
+/// FSB capacity (4) that bounds early-drain continuations at 16 chunks,
+/// which keeps the hardened/unhardened stall scores separable (see
+/// [`crate::eval::STALL_MIN_DISPATCH_CYCLES`]).
+pub const BURST_STORES: usize = 48;
+
+/// The `i`-th pool page (one EInject page per pool slot, the same
+/// mapping the litmus bridge uses for symbolic locations).
+pub fn pool_page(i: u8) -> PageId {
+    assert!(i < POOL_PAGES, "pool index {i} out of range");
+    Addr::new(EINJECT_BASE + u64::from(i) * PAGE_SIZE).page()
+}
+
+/// All pool pages, in index order.
+pub fn pool_pages() -> Vec<PageId> {
+    (0..POOL_PAGES).map(pool_page).collect()
+}
+
+/// Builds the victim workload. `einject_pages` declares the pool;
+/// evaluations clear it and inject through a [`ise_core::FaultInjector`]
+/// instead (the chaos-campaign idiom), so EInject stays inert.
+pub fn victim_workload() -> Workload {
+    // Core 0: a store burst striding across the pool — store i hits page
+    // i mod POOL_PAGES at a fresh offset, so no two burst stores
+    // coalesce and every one is exposed to the plan.
+    let stride = POOL_PAGES as usize;
+    let burst: Vec<Instruction> = (0..BURST_STORES)
+        .map(|i| {
+            let page = (i % stride) as u64;
+            let offset = (i / stride) as u64 * 8;
+            Instruction::store(
+                Addr::new(EINJECT_BASE + page * PAGE_SIZE + offset),
+                i as u64 + 1,
+            )
+        })
+        .collect();
+
+    // Core 1: clean store/load pairs on pages far outside the pool.
+    let clean_base = EINJECT_BASE + 64 * PAGE_SIZE;
+    let mut clean = Vec::with_capacity(64);
+    for i in 0..32u64 {
+        let addr = Addr::new(clean_base + (i % 4) * PAGE_SIZE + (i / 4) * 8);
+        clean.push(Instruction::store(addr, i + 1));
+        clean.push(Instruction::load(addr, Reg(0)));
+    }
+
+    Workload {
+        name: "adversary-victim".to_string(),
+        traces: vec![burst, clean],
+        einject_pages: pool_pages(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::InstrKind;
+
+    #[test]
+    fn pool_pages_are_distinct_and_stable() {
+        let pages = pool_pages();
+        let mut deduped = pages.clone();
+        deduped.dedup();
+        assert_eq!(pages.len(), POOL_PAGES as usize);
+        assert_eq!(pages, deduped);
+        assert_eq!(pages, pool_pages());
+    }
+
+    #[test]
+    fn burst_sweeps_every_pool_page_without_coalescable_pairs() {
+        let w = victim_workload();
+        assert_eq!(w.traces.len(), 2);
+        assert_eq!(w.traces[0].len(), BURST_STORES);
+        let mut addrs = std::collections::HashSet::new();
+        let mut pages = std::collections::HashSet::new();
+        for ins in &w.traces[0] {
+            let InstrKind::Store { addr, .. } = ins.kind else {
+                panic!("the burst is stores only");
+            };
+            assert!(addrs.insert(addr.raw()), "duplicate burst address");
+            pages.insert(addr.page());
+        }
+        assert_eq!(
+            pages.len(),
+            POOL_PAGES as usize,
+            "burst must sweep the pool"
+        );
+        assert_eq!(w.einject_pages, pool_pages());
+    }
+
+    #[test]
+    fn bystander_traffic_is_disjoint_from_the_pool() {
+        let w = victim_workload();
+        let pool: std::collections::HashSet<_> = pool_pages().into_iter().collect();
+        for ins in &w.traces[1] {
+            let addr = match ins.kind {
+                InstrKind::Store { addr, .. } | InstrKind::Load { addr, .. } => addr,
+                _ => continue,
+            };
+            assert!(
+                !pool.contains(&addr.page()),
+                "bystander touches pool page {:?}",
+                addr.page()
+            );
+        }
+    }
+}

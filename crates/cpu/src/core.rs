@@ -194,6 +194,20 @@ impl<T: TraceSource> Core<T> {
         self.sb.coalesced()
     }
 
+    /// Stores ever retired into this core's buffer — the left-hand side
+    /// of the killed-core conservation check (see
+    /// [`StoreBuffer::retired`]).
+    pub fn sb_retired(&self) -> u64 {
+        self.sb.retired()
+    }
+
+    /// Stores still sitting in the buffer (neither drained, coalesced,
+    /// nor handed to the FSB) — the residual term of killed-core
+    /// conservation.
+    pub fn sb_pending(&self) -> usize {
+        self.sb.len()
+    }
+
     /// Caps concurrently in-flight store-buffer drains (the ASO
     /// checkpoint budget; see `ise-aso`).
     ///

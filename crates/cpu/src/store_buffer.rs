@@ -72,6 +72,7 @@ pub struct StoreBuffer {
     max_in_flight: usize,
     coalesced: u64,
     drained: u64,
+    retired: u64,
 }
 
 impl StoreBuffer {
@@ -91,6 +92,7 @@ impl StoreBuffer {
             max_in_flight: usize::MAX,
             coalesced: 0,
             drained: 0,
+            retired: 0,
         }
     }
 
@@ -157,6 +159,15 @@ impl StoreBuffer {
         self.drained
     }
 
+    /// Total stores ever accepted by [`StoreBuffer::push`], whether they
+    /// later drained, coalesced away, were handed to the FSB, or still
+    /// sit in the buffer. The left-hand side of the store conservation
+    /// invariant — on a killed core it must equal drained + coalesced +
+    /// OS-applied + kill-discarded + still-buffered.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
     /// Accepts a retired store.
     ///
     /// Under WC a store to a word already buffered (and not yet issued)
@@ -168,6 +179,7 @@ impl StoreBuffer {
     /// Panics if the buffer is full — callers must check
     /// [`StoreBuffer::has_space`] first.
     pub fn push(&mut self, addr: Addr, value: u64, mask: ByteMask) {
+        self.retired += 1;
         if self.model == ConsistencyModel::Wc {
             let word = addr.raw() >> 3;
             if let Some(e) = self

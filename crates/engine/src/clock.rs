@@ -39,6 +39,34 @@ pub fn cycle_skip_override() -> Option<bool> {
     ise_types::env::env_flag("ISE_CYCLE_SKIP")
 }
 
+/// Parses a watchdog cell-budget string: `Some(cycles)` for a positive
+/// integer, `None` for unset (the pure-`Option` surface;
+/// [`cell_budget`] is the loud env-reading one).
+///
+/// # Panics
+///
+/// Panics with the variable name on zero or non-numeric values.
+pub fn parse_cell_budget(value: Option<&str>) -> Option<crate::Cycle> {
+    ise_types::env::cycles_from("ISE_CELL_BUDGET", value)
+}
+
+/// The `ISE_CELL_BUDGET` environment override: a watchdog ceiling, in
+/// cycles, on one fuzz/chaos/adversary cell evaluation. Campaign cell
+/// runners clamp their own per-run budget to it, and a cell that would
+/// exceed the clamped budget degrades to a reported `Timeout` outcome
+/// instead of hanging (or panicking out of) a campaign worker — the
+/// containment story for pathological searched fault plans.
+///
+/// `None` (unset) leaves each campaign's configured budget as-is.
+///
+/// # Panics
+///
+/// Panics if `ISE_CELL_BUDGET` is set to anything but a positive
+/// integer — a typo would silently run without a watchdog.
+pub fn cell_budget() -> Option<crate::Cycle> {
+    parse_cell_budget(std::env::var("ISE_CELL_BUDGET").ok().as_deref())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +91,18 @@ mod tests {
         assert_eq!(parse_cycle_skip(Some("maybe")), None);
         assert_eq!(parse_cycle_skip(Some("")), None);
         assert_eq!(parse_cycle_skip(None), None);
+    }
+
+    #[test]
+    fn cell_budget_parses_positive_cycles() {
+        assert_eq!(parse_cell_budget(None), None);
+        assert_eq!(parse_cell_budget(Some("250000")), Some(250_000));
+        assert_eq!(parse_cell_budget(Some(" 1 ")), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ISE_CELL_BUDGET: expected a positive cycle count")]
+    fn cell_budget_rejects_zero_loudly() {
+        parse_cell_budget(Some("0"));
     }
 }

@@ -28,7 +28,7 @@ pub mod clock;
 pub mod queue;
 pub mod rng;
 
-pub use clock::{cycle_skip_override, parse_cycle_skip};
+pub use clock::{cell_budget, cycle_skip_override, parse_cell_budget, parse_cycle_skip};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 

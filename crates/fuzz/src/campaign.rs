@@ -327,6 +327,7 @@ mod tests {
             oracle: OracleConfig {
                 seeded_bug: Some(SeededBug::PcDrainReorder),
                 run_sim: false,
+                ..OracleConfig::default()
             },
             ..small(60)
         };

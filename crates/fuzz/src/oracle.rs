@@ -91,7 +91,7 @@ pub struct Finding {
 }
 
 /// How the oracles run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct OracleConfig {
     /// Opt-in machine mutation for harness self-tests; `None` outside
     /// them.
@@ -100,6 +100,27 @@ pub struct OracleConfig {
     /// slower than the machine + axiom legs; campaigns that only
     /// exercise the formal oracles turn it off).
     pub run_sim: bool,
+    /// OS cost/recovery configuration for the simulator legs; `None`
+    /// keeps the litmus default. The adversary campaign replays its
+    /// objective-(1) wins here with the *unhardened* recovery config so
+    /// the shrinker reproduces the silent-drop corruption it found.
+    pub os_costs: Option<ise_types::config::OsCostConfig>,
+    /// Denial count before a transient fault-overlay page heals. The
+    /// default of 1 heals at the drain denial (the overlay only probes
+    /// recovery paths); adversary replays raise it to force the retry
+    /// ladder into exhaustion.
+    pub overlay_clears_after: u32,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            seeded_bug: None,
+            run_sim: false,
+            os_costs: None,
+            overlay_clears_after: 1,
+        }
+    }
 }
 
 fn machine_config(case: &FuzzCase, oracle: &OracleConfig, memoize: bool) -> MachineConfig {
@@ -184,20 +205,25 @@ pub fn check_case(
     // Oracle 3: the timing simulator — same-stream only (the assembled
     // system implements the paper's design, not the ablation).
     if oracle.run_sim && case.policy == DrainPolicy::SameStream {
-        let overlay_seed = case.overlay.then_some(case.seed);
-        let slow = ise_sim::run_litmus_on_sim(
+        let overlay = case.overlay.then_some(ise_sim::FaultOverlay {
+            seed: case.seed,
+            clears_after: oracle.overlay_clears_after,
+        });
+        let slow = ise_sim::run_litmus_case(
             &case.program,
             &case.faulting,
             case.model,
             false,
-            overlay_seed,
+            overlay,
+            oracle.os_costs,
         );
-        let fast = ise_sim::run_litmus_on_sim(
+        let fast = ise_sim::run_litmus_case(
             &case.program,
             &case.faulting,
             case.model,
             true,
-            overlay_seed,
+            overlay,
+            oracle.os_costs,
         );
         if slow.stats_json != fast.stats_json {
             findings.push(Finding {
@@ -296,6 +322,7 @@ mod tests {
         let oracle = OracleConfig {
             seeded_bug: Some(SeededBug::PcDrainReorder),
             run_sim: false,
+            ..OracleConfig::default()
         };
         let mut batch = BatchChecker::new();
         let caught = (0..150).any(|seed| {
@@ -342,6 +369,7 @@ mod tests {
             &OracleConfig {
                 seeded_bug: Some(SeededBug::FenceIgnoresStoreBuffer),
                 run_sim: false,
+                ..OracleConfig::default()
             },
             &mut batch,
         );
@@ -357,6 +385,7 @@ mod tests {
         let oracle = OracleConfig {
             seeded_bug: None,
             run_sim: true,
+            ..OracleConfig::default()
         };
         let mut batch = BatchChecker::new();
         // Find a same-stream faulting case so all three sim planes run.

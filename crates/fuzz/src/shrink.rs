@@ -263,6 +263,7 @@ mod tests {
         let oracle = OracleConfig {
             seeded_bug: Some(SeededBug::PcDrainReorder),
             run_sim: false,
+            ..OracleConfig::default()
         };
         let mut batch = BatchChecker::new();
         let seed = (0..300)

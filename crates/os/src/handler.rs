@@ -71,6 +71,10 @@ pub struct HandlerOutcome {
     /// Whether the exception was irrecoverable and the process was
     /// terminated (remaining faulting stores discarded, §5.3).
     pub terminated: bool,
+    /// FSB entries discarded by this invocation's kill path: the
+    /// triggering entry plus the drained remainder. Zero unless
+    /// `terminated`.
+    pub discarded: usize,
     /// Demand-paging IO cycles overlapped within this invocation (zero
     /// unless [`OsKernel::with_demand_paging_io`] is enabled).
     pub io_cycles: Cycle,
@@ -90,6 +94,59 @@ pub struct OsKernel {
     processes_killed: u64,
     transient_retries: u64,
     transient_recovered: u64,
+    backoff_cycles: u64,
+    retry_exhausted: u64,
+    kill_discarded: u64,
+    silently_dropped: u64,
+    continuation_invocations: u64,
+    continuation_dispatch_cycles: u64,
+}
+
+/// Backoff before retry number `attempt` (1-based): exponential from
+/// `retry_backoff_base`, saturating at `u64::MAX` instead of shifting
+/// past the value's width (an attacker-chosen base/budget pair must not
+/// overflow into a *tiny* backoff, and a shift ≥ 64 is outright UB).
+/// With [`RecoveryHardening::jittered_backoff`] set, a deterministic
+/// per-(core, addr, attempt) jitter in `[0, base)` is added so that
+/// colliding victims do not re-issue in lockstep.
+///
+/// Public so exact-cycle tests and the adversary's objective scoring can
+/// compute the same ladder the kernel charges.
+pub fn retry_backoff(
+    costs: &OsCostConfig,
+    core: CoreId,
+    addr: ise_types::addr::Addr,
+    attempt: u32,
+) -> Cycle {
+    let base = costs.retry_backoff_base;
+    let shift = attempt.saturating_sub(1);
+    let exp = if base == 0 {
+        0
+    } else if shift > base.leading_zeros() {
+        u64::MAX
+    } else {
+        base << shift
+    };
+    if costs.hardening.jittered_backoff && base > 0 {
+        exp.saturating_add(backoff_jitter(core, addr, attempt) % base)
+    } else {
+        exp
+    }
+}
+
+/// Deterministic jitter hash (splitmix64 finalizer over the retry
+/// coordinates). No RNG state: the same (core, addr, attempt) always
+/// jitters identically, keeping every differential leg byte-stable.
+fn backoff_jitter(core: CoreId, addr: ise_types::addr::Addr, attempt: u32) -> u64 {
+    let mut x = (core.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ addr.raw().rotate_left(17)
+        ^ u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
 }
 
 impl OsKernel {
@@ -105,6 +162,12 @@ impl OsKernel {
             processes_killed: 0,
             transient_retries: 0,
             transient_recovered: 0,
+            backoff_cycles: 0,
+            retry_exhausted: 0,
+            kill_discarded: 0,
+            silently_dropped: 0,
+            continuation_invocations: 0,
+            continuation_dispatch_cycles: 0,
         }
     }
 
@@ -166,6 +229,46 @@ impl OsKernel {
         self.transient_recovered
     }
 
+    /// Total backoff cycles charged across all retries (the adversary's
+    /// objective-3 damage metric).
+    pub fn backoff_cycles(&self) -> Cycle {
+        self.backoff_cycles
+    }
+
+    /// Stores whose full retry budget ran dry, regardless of whether the
+    /// kernel then killed the process or (unhardened) dropped the store.
+    pub fn retry_exhausted(&self) -> u64 {
+        self.retry_exhausted
+    }
+
+    /// FSB entries discarded by kill paths: the triggering entry plus the
+    /// drained remainder of each killed episode.
+    pub fn kill_discarded(&self) -> u64 {
+        self.kill_discarded
+    }
+
+    /// Stores the *unhardened* kernel silently counted as applied after
+    /// retry exhaustion without ever writing memory. Always zero with
+    /// [`RecoveryHardening::kill_on_retry_exhaustion`] set. Deliberately
+    /// not exported to telemetry — the lie is consistent there; only the
+    /// applied-visibility audit (and this accessor, for tests) sees it.
+    pub fn silently_dropped(&self) -> u64 {
+        self.silently_dropped
+    }
+
+    /// Early-drain continuation chunks handled (invocations past the
+    /// first chunk of an episode).
+    pub fn continuation_invocations(&self) -> u64 {
+        self.continuation_invocations
+    }
+
+    /// Dispatch cycles charged to continuation chunks — the adversary's
+    /// objective-2 stall metric, and the quantity
+    /// [`RecoveryHardening::chunk_continuation`] shrinks 8×.
+    pub fn continuation_dispatch_cycles(&self) -> Cycle {
+        self.continuation_dispatch_cycles
+    }
+
     /// Exports the kernel's handler counters into the shared telemetry
     /// registry under the `os.` prefix.
     pub fn export_telemetry(&self, reg: &mut ise_telemetry::Registry) {
@@ -176,6 +279,14 @@ impl OsKernel {
         reg.add("os.processes_killed", self.processes_killed);
         reg.add("os.transient_retries", self.transient_retries);
         reg.add("os.transient_recovered", self.transient_recovered);
+        reg.add("os.backoff_cycles", self.backoff_cycles);
+        reg.add("os.retry_exhausted", self.retry_exhausted);
+        reg.add("os.kill_discarded", self.kill_discarded);
+        reg.add("os.continuation_invocations", self.continuation_invocations);
+        reg.add(
+            "os.continuation_dispatch_cycles",
+            self.continuation_dispatch_cycles,
+        );
         reg.add("os.ios_issued", self.ios_issued());
     }
 
@@ -202,18 +313,49 @@ impl OsKernel {
         resolver: &dyn FaultResolver,
         mem: &mut FlatMemory,
         now: Cycle,
+        monitor: Option<&mut ContractMonitor>,
+    ) -> HandlerOutcome {
+        self.handle_imprecise_chunk(core, fsb, resolver, mem, now, monitor, false)
+    }
+
+    /// [`handle_imprecise`] with explicit chunk position: `continuation`
+    /// marks an invocation past the first chunk of one early-drain
+    /// episode. With [`RecoveryHardening::chunk_continuation`] set,
+    /// continuations re-enter through a warm handler path and pay only
+    /// `dispatch_overhead / 8` — the episode state is already pinned, so
+    /// the full dispatch/context-switch bill would be pure stall
+    /// amplification for an attacker who forces many tiny chunks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_imprecise_chunk(
+        &mut self,
+        core: CoreId,
+        fsb: &mut Fsb,
+        resolver: &dyn FaultResolver,
+        mem: &mut FlatMemory,
+        now: Cycle,
         mut monitor: Option<&mut ContractMonitor>,
+        continuation: bool,
     ) -> HandlerOutcome {
         self.invocations += 1;
-        let mut t = now + self.costs.dispatch_overhead;
+        let dispatch = if continuation && self.costs.hardening.chunk_continuation {
+            self.costs.dispatch_overhead / 8
+        } else {
+            self.costs.dispatch_overhead
+        };
+        if continuation {
+            self.continuation_invocations += 1;
+            self.continuation_dispatch_cycles += dispatch;
+        }
+        let mut t = now + dispatch;
         let mut breakdown = OverheadBreakdown {
             uarch: 0,
             apply: 0,
-            other_os: self.costs.dispatch_overhead,
+            other_os: dispatch,
         };
         let mut applied = 0usize;
         let mut resolved_pages: HashSet<PageId> = HashSet::new();
         let mut terminated = false;
+        let mut discarded = 0usize;
 
         while let Some(entry) = fsb.pop_head() {
             if let Some(m) = monitor.as_deref_mut() {
@@ -225,7 +367,10 @@ impl OsKernel {
                 // Irrecoverable: terminate; discard the rest (§5.3).
                 terminated = true;
                 self.processes_killed += 1;
-                while fsb.pop_head().is_some() {}
+                discarded += 1;
+                while fsb.pop_head().is_some() {
+                    discarded += 1;
+                }
                 break;
             }
             // Resolve the cause once per distinct page. Entries with a
@@ -264,11 +409,15 @@ impl OsKernel {
                     // so the process dies rather than lose it silently.
                     terminated = true;
                     self.processes_killed += 1;
-                    while fsb.pop_head().is_some() {}
+                    discarded += 1;
+                    while fsb.pop_head().is_some() {
+                        discarded += 1;
+                    }
                     break;
                 }
             }
         }
+        self.kill_discarded += discarded as u64;
         self.pages_resolved += resolved_pages.len() as u64;
         // Demand-paging: one batched IO submission for every resolved
         // page; the program resumes only when the slowest page-in lands.
@@ -295,21 +444,32 @@ impl OsKernel {
             pages_resolved: resolved_pages.len(),
             breakdown,
             terminated,
+            discarded,
             io_cycles,
         }
     }
 
     /// Re-issues one drained store as a kernel store. A denial of the
     /// re-issue is retried up to `retry_attempts` times with exponential
-    /// backoff starting at `retry_backoff_base` cycles; the cause heals
-    /// underneath (transient faults absorb denials) or the budget runs
-    /// out.
+    /// backoff starting at `retry_backoff_base` cycles (saturating, and
+    /// jittered under [`RecoveryHardening::jittered_backoff`] — see
+    /// [`retry_backoff`]); the cause heals underneath (transient faults
+    /// absorb denials) or the budget runs out.
+    ///
+    /// On exhaustion, behaviour splits on
+    /// [`RecoveryHardening::kill_on_retry_exhaustion`]: hardened kernels
+    /// return the error and the caller kills the process; the unhardened
+    /// kernel *silently drops* the store — it reports success without
+    /// writing memory, keeping every counter consistent with the lie.
+    /// That is the architectural-corruption seam the adversary's
+    /// applied-visibility audit exists to catch.
     ///
     /// # Errors
     ///
     /// [`SimError::RetryExhausted`] when the store still faults after the
-    /// full budget, or immediately if a re-issue comes back with an
-    /// irrecoverable exception — either way the caller kills the process.
+    /// full budget (hardened), or immediately if a re-issue comes back
+    /// with an irrecoverable exception — either way the caller kills the
+    /// process.
     fn apply_with_retry(
         &mut self,
         core: CoreId,
@@ -335,15 +495,27 @@ impl OsKernel {
                     attempts += 1;
                     self.transient_retries += 1;
                     if attempts > self.costs.retry_attempts {
-                        return Err(SimError::RetryExhausted {
-                            core,
-                            addr: entry.addr,
-                            attempts,
-                        });
+                        self.retry_exhausted += 1;
+                        if self.costs.hardening.kill_on_retry_exhaustion {
+                            return Err(SimError::RetryExhausted {
+                                core,
+                                addr: entry.addr,
+                                attempts,
+                            });
+                        }
+                        // Unhardened: pretend the store applied. No
+                        // memory write, no error — the caller records
+                        // S_OS and bumps `stores_applied` as usual, so
+                        // every conservation invariant still balances.
+                        self.silently_dropped += 1;
+                        *t += self.costs.apply_per_store;
+                        breakdown.apply += self.costs.apply_per_store;
+                        return Ok(());
                     }
-                    let backoff = self.costs.retry_backoff_base << (attempts - 1);
-                    *t += backoff;
-                    breakdown.other_os += backoff;
+                    let backoff = retry_backoff(&self.costs, core, entry.addr, attempts);
+                    self.backoff_cycles = self.backoff_cycles.saturating_add(backoff);
+                    *t = t.saturating_add(backoff);
+                    breakdown.other_os = breakdown.other_os.saturating_add(backoff);
                 }
                 Some(_) => {
                     return Err(SimError::RetryExhausted {
@@ -395,6 +567,7 @@ impl OsKernel {
                 other_os: t - now - io_cycles,
             },
             terminated,
+            discarded: 0,
             io_cycles,
         }
     }
@@ -558,14 +731,179 @@ mod tests {
         assert_eq!(os.transient_retries(), 2);
         assert_eq!(os.transient_recovered(), 1);
         let c = OsCostConfig::isca23();
-        // Two backoffs (base, then doubled) on top of the usual costs.
+        // Two backoffs (base then doubled, plus deterministic jitter under
+        // the default-hardened config) on top of the usual costs — the
+        // public ladder helper computes the exact same cycles the kernel
+        // charged.
+        let ladder = retry_backoff(&c, CoreId(0), a, 1) + retry_backoff(&c, CoreId(0), a, 2);
         assert_eq!(
             out.breakdown.other_os,
-            c.dispatch_overhead
-                + c.resolve_per_page
-                + c.retry_backoff_base
-                + 2 * c.retry_backoff_base
+            c.dispatch_overhead + c.resolve_per_page + ladder
         );
+        assert_eq!(os.backoff_cycles(), ladder);
+        assert!(
+            ladder >= c.retry_backoff_base + 2 * c.retry_backoff_base,
+            "jitter only ever adds to the exponential floor"
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let c = OsCostConfig::isca23();
+        let a = Addr::new(0x10_0000);
+        let b1 = retry_backoff(&c, CoreId(0), a, 1);
+        assert_eq!(b1, retry_backoff(&c, CoreId(0), a, 1));
+        assert!(b1 >= c.retry_backoff_base);
+        assert!(b1 < 2 * c.retry_backoff_base, "jitter stays under one base");
+        // Unhardened config: the bare exponential ladder, no jitter.
+        let plain = c.with_hardening(ise_types::RecoveryHardening::unhardened());
+        assert_eq!(retry_backoff(&plain, CoreId(0), a, 1), c.retry_backoff_base);
+        assert_eq!(
+            retry_backoff(&plain, CoreId(0), a, 3),
+            4 * c.retry_backoff_base
+        );
+        // Different cores desynchronise.
+        assert_ne!(
+            retry_backoff(&c, CoreId(0), a, 1),
+            retry_backoff(&c, CoreId(1), a, 1),
+        );
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing_the_shift() {
+        // Attacker-chosen config: a huge retry budget walks the shift
+        // past 63 bits. Before the fix `base << (attempts - 1)` was a
+        // shift-width overflow (debug panic, silent wrap in release);
+        // now the ladder pins at u64::MAX.
+        let mut c = OsCostConfig::isca23();
+        c.retry_attempts = 100;
+        c.hardening = ise_types::RecoveryHardening::unhardened();
+        let a = Addr::new(0x10_0000);
+        assert_eq!(retry_backoff(&c, CoreId(0), a, 58), 64 << 57);
+        assert_eq!(retry_backoff(&c, CoreId(0), a, 59), u64::MAX);
+        assert_eq!(retry_backoff(&c, CoreId(0), a, 65), u64::MAX);
+        assert_eq!(retry_backoff(&c, CoreId(0), a, 100), u64::MAX);
+        // Value overflow short of shift-width overflow saturates too.
+        c.retry_backoff_base = u64::MAX / 2 + 1;
+        assert_eq!(retry_backoff(&c, CoreId(0), a, 2), u64::MAX);
+        // Degenerate base never shifts at all.
+        c.retry_backoff_base = 0;
+        assert_eq!(retry_backoff(&c, CoreId(0), a, 100), 0);
+    }
+
+    #[test]
+    fn saturated_ladder_runs_to_completion_without_panicking() {
+        use ise_core::FaultPlan;
+        use ise_types::{FaultKind, FaultSpec};
+        let mut c = OsCostConfig::isca23();
+        c.retry_attempts = 70; // would shift past 63 bits pre-fix
+        let mut os = OsKernel::new(c);
+        let mut fsb = Fsb::new(Addr::new(0x8000_0000), 32);
+        let mut mem = FlatMemory::new();
+        let a = Addr::new(0x10_0000);
+        let inj = FaultPlan::new(1)
+            .page(
+                a.page(),
+                FaultSpec::bus_error(FaultKind::Transient { clears_after: 1000 }),
+            )
+            .build();
+        fsb.push(faulting_entry(a, 77)).unwrap();
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &inj, &mut mem, 0, None);
+        assert!(out.terminated, "hardened kernel still kills on exhaustion");
+        assert_eq!(os.retry_exhausted(), 1);
+        assert_eq!(
+            os.backoff_cycles(),
+            u64::MAX,
+            "accumulated backoff saturates rather than wrapping"
+        );
+    }
+
+    #[test]
+    fn unhardened_kernel_silently_drops_on_exhaustion() {
+        use ise_core::FaultPlan;
+        use ise_types::{FaultKind, FaultSpec, RecoveryHardening};
+        let c = OsCostConfig::isca23().with_hardening(RecoveryHardening::unhardened());
+        let mut os = OsKernel::new(c);
+        let mut fsb = Fsb::new(Addr::new(0x8000_0000), 32);
+        let mut mem = FlatMemory::new();
+        let a = Addr::new(0x10_0000);
+        let inj = FaultPlan::new(1)
+            .page(
+                a.page(),
+                FaultSpec::bus_error(FaultKind::Transient { clears_after: 100 }),
+            )
+            .build();
+        fsb.push(faulting_entry(a, 77)).unwrap();
+        let mut mon = ContractMonitor::new();
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &inj, &mut mem, 0, Some(&mut mon));
+        // The lie: success reported everywhere...
+        assert!(!out.terminated);
+        assert_eq!(out.applied, 1);
+        assert_eq!(os.stores_applied(), 1);
+        assert!(
+            mon.log()
+                .iter()
+                .any(|e| matches!(e, OrderEvent::Sos { .. })),
+            "the unhardened kernel records S_OS for the dropped store"
+        );
+        // ...but memory never saw the value.
+        assert_eq!(mem.read(a), 0);
+        assert_eq!(os.silently_dropped(), 1);
+        assert_eq!(os.retry_exhausted(), 1);
+        assert_eq!(os.processes_killed(), 0);
+    }
+
+    #[test]
+    fn continuation_chunks_pay_reduced_dispatch_when_hardened() {
+        let (mut os, mut fsb, einject, mut mem) = setup();
+        let a = Addr::new(0x10_0000);
+        einject.set_faulting(a);
+        fsb.push(faulting_entry(a, 1)).unwrap();
+        let out = os.handle_imprecise_chunk(CoreId(0), &mut fsb, &einject, &mut mem, 0, None, true);
+        let c = OsCostConfig::isca23();
+        assert_eq!(
+            out.breakdown.other_os,
+            c.dispatch_overhead / 8 + c.resolve_per_page,
+            "hardened continuation re-enters through the warm path"
+        );
+        assert_eq!(os.continuation_invocations(), 1);
+        assert_eq!(os.continuation_dispatch_cycles(), c.dispatch_overhead / 8);
+        // Unhardened: full dispatch on every chunk.
+        let plain = c.with_hardening(ise_types::RecoveryHardening::unhardened());
+        let mut os2 = OsKernel::new(plain);
+        einject.set_faulting(a);
+        fsb.push(faulting_entry(a, 1)).unwrap();
+        let out2 =
+            os2.handle_imprecise_chunk(CoreId(0), &mut fsb, &einject, &mut mem, 0, None, true);
+        assert_eq!(
+            out2.breakdown.other_os,
+            c.dispatch_overhead + c.resolve_per_page
+        );
+        assert_eq!(os2.continuation_dispatch_cycles(), c.dispatch_overhead);
+    }
+
+    #[test]
+    fn kill_path_reports_discarded_entries() {
+        let (mut os, mut fsb, einject, mut mem) = setup();
+        let a = Addr::new(0x10_0000);
+        fsb.push(faulting_entry(a, 1)).unwrap();
+        fsb.push(FaultingStoreEntry::new(
+            a.offset(8),
+            2,
+            ByteMask::FULL,
+            ExceptionKind::MachineCheck.error_code(),
+        ))
+        .unwrap();
+        fsb.push(faulting_entry(a.offset(16), 3)).unwrap();
+        fsb.push(faulting_entry(a.offset(24), 4)).unwrap();
+        let out = os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None);
+        assert!(out.terminated);
+        assert_eq!(out.applied, 1, "entries before the machine check apply");
+        assert_eq!(
+            out.discarded, 3,
+            "the triggering entry plus the drained remainder"
+        );
+        assert_eq!(os.kill_discarded(), 3);
     }
 
     #[test]

@@ -81,9 +81,15 @@ impl Process {
         self.state = ProcessState::Running;
     }
 
-    /// Terminates the process (irrecoverable exception).
-    pub fn kill(&mut self) {
+    /// Terminates the process (irrecoverable exception). Idempotent:
+    /// returns `true` only on the transition into `Killed`, so a second
+    /// kill — e.g. an early-drain continuation racing a chunk that
+    /// already terminated the episode — neither panics nor double-counts
+    /// in any per-process statistic keyed on the return value.
+    pub fn kill(&mut self) -> bool {
+        let newly = self.state != ProcessState::Killed;
         self.state = ProcessState::Killed;
+        newly
     }
 }
 
@@ -160,8 +166,21 @@ mod tests {
         assert_eq!(p.state, ProcessState::Blocked);
         p.resume();
         assert_eq!(p.state, ProcessState::Running);
-        p.kill();
+        assert!(p.kill(), "first kill is the real transition");
         assert_eq!(p.state, ProcessState::Killed);
+    }
+
+    #[test]
+    fn kill_is_idempotent() {
+        let mut p = Process::spawn(1, CoreId(0));
+        assert!(p.kill());
+        assert!(!p.kill(), "second kill reports already-dead");
+        assert_eq!(p.state, ProcessState::Killed);
+        // Killing from Blocked works too (mid-handler termination).
+        let mut q = Process::spawn(2, CoreId(1));
+        q.block();
+        assert!(q.kill());
+        assert!(!q.kill());
     }
 
     #[test]

@@ -17,15 +17,22 @@
 //!    stream satisfies the Table 5 axioms for the run's consistency
 //!    model.
 //!
+//! Plus the containment layer shared with the adversary campaign (see
+//! [`crate::invariants`]): GET-is-a-prefix-of-PUT per ring, killed-core
+//! conservation through the discard ledger, telemetry store-count
+//! agreement, and the applied-visibility audit that catches a kernel
+//! recording `S_OS` for a store memory never received.
+//!
 //! The campaign is deterministic: the same [`ChaosConfig::seed`] yields
 //! a byte-identical JSON report.
 
+use crate::invariants;
 use crate::system::System;
 use ise_core::{FaultInjector, FaultPlan, FaultResolver};
 use ise_engine::{Cycle, SimRng};
 use ise_telemetry::{Registry, TraceEventKind};
 use ise_types::config::SystemConfig;
-use ise_types::{FaultKind, FaultSpec, InstrKind, Json, ToJson};
+use ise_types::{FaultKind, FaultSpec, Json, ToJson};
 use ise_workloads::stats::touched_pages;
 use ise_workloads::Workload;
 use std::collections::HashSet;
@@ -93,6 +100,11 @@ pub struct ChaosRun {
     pub fsb_high_water_mark: usize,
     /// Processes killed.
     pub killed: u64,
+    /// Whether the run exhausted its cycle budget (the `ISE_CELL_BUDGET`
+    /// watchdog or [`ChaosConfig::max_cycles`], whichever is tighter) and
+    /// was cut off. Invariant checks are skipped on a timed-out cell —
+    /// mid-flight state legitimately violates end-of-run conservation.
+    pub timed_out: bool,
     /// Invariant violations (empty = all held).
     pub violations: Vec<String>,
 }
@@ -122,6 +134,7 @@ impl ChaosRun {
         reg.add("early_drain_interrupts", self.early_drain_interrupts);
         reg.add("fsb_high_water_mark", self.fsb_high_water_mark as u64);
         reg.add("killed", self.killed);
+        reg.put("timed_out", Json::from(self.timed_out));
         reg.put("ok", Json::from(self.ok()));
         reg.put(
             "violations",
@@ -192,10 +205,14 @@ impl ChaosCampaign {
     /// sampled from); the campaign clears that list so EInject stays
     /// inert and the [`FaultInjector`] is the only fault source.
     ///
+    /// A cell that would exceed its cycle budget (the tighter of
+    /// [`ChaosConfig::max_cycles`] and the `ISE_CELL_BUDGET` watchdog)
+    /// degrades to a reported [`ChaosRun::timed_out`] outcome instead of
+    /// panicking out of a worker.
+    ///
     /// # Panics
     ///
-    /// Panics if a workload declares no faulting pages, or a run exceeds
-    /// the cycle budget.
+    /// Panics if a workload declares no faulting pages.
     pub fn run(&self, workloads: &[Workload]) -> ChaosReport {
         self.run_with_workers(workloads, ise_par::worker_count())
     }
@@ -320,39 +337,20 @@ impl ChaosCampaign {
                 );
             }
         }
-        let stats = sys.run(self.chaos.max_cycles);
+        let budget = match ise_engine::cell_budget() {
+            Some(cap) => self.chaos.max_cycles.min(cap),
+            None => self.chaos.max_cycles,
+        };
+        let skip = ise_engine::cycle_skip_override().unwrap_or(!self.cfg.reference_clock);
+        let (stats, timed_out) = sys.run_bounded(budget, skip);
 
-        let mut violations = Vec::new();
-        // 1. Store conservation on surviving cores.
-        for (i, trace) in workload.traces.iter().enumerate() {
-            if sys.process_killed(i) {
-                continue;
-            }
-            let retired_stores = trace
-                .iter()
-                .filter(|ins| matches!(ins.kind, InstrKind::Store { .. }))
-                .count() as u64;
-            let accounted = sys.cores()[i].sb_drained()
-                + sys.cores()[i].sb_coalesced()
-                + stats.applied_per_core[i];
-            if retired_stores != accounted {
-                violations.push(format!(
-                    "core {i}: {retired_stores} stores retired but {accounted} accounted \
-                     (drained {} + coalesced {} + os-applied {})",
-                    sys.cores()[i].sb_drained(),
-                    sys.cores()[i].sb_coalesced(),
-                    stats.applied_per_core[i],
-                ));
-            }
-        }
-        // 2. Every FSB drained to head == tail.
-        if !sys.fsbs_empty() {
-            violations.push("an FSB ring ended with head != tail".to_string());
-        }
-        // 3. The ordering contract for the run's consistency model.
-        if let Err(v) = sys.check_contract() {
-            violations.push(format!("ordering contract violated: {v:?}"));
-        }
+        // A timed-out cell is reported, not audited: conservation and
+        // contract checks only make sense over a completed run.
+        let violations = if timed_out {
+            Vec::new()
+        } else {
+            invariants::all_violations(&sys, workload, &stats)
+        };
 
         let trace = if trace_capacity.is_some() {
             for page in injector.cleared_pages() {
@@ -377,6 +375,7 @@ impl ChaosCampaign {
             early_drain_interrupts: stats.early_drain_interrupts,
             fsb_high_water_mark: stats.fsb_high_water_mark,
             killed: stats.killed,
+            timed_out,
             violations,
         };
         (run, trace)
@@ -436,6 +435,34 @@ mod tests {
                 .render()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_timeout_outcome() {
+        // A 500-cycle budget cannot complete the workload; the cell must
+        // report timed_out instead of panicking out of the campaign, and
+        // identically under both clocks.
+        let chaos = ChaosConfig {
+            seed: 3,
+            kinds: vec![FaultKind::Permanent],
+            rates: vec![0.5],
+            max_cycles: 500,
+        };
+        let mk = |reference: bool| {
+            let mut cfg = small_cfg();
+            cfg.reference_clock = reference;
+            ChaosCampaign::new(cfg, chaos.clone()).run(&[tiny_workload()])
+        };
+        let skip = mk(false);
+        let run = &skip.runs[0];
+        assert!(run.timed_out);
+        assert!(run.ok(), "timed-out cells skip invariant audits");
+        assert!(run.cycles <= 500);
+        assert_eq!(
+            skip.to_json().render(),
+            mk(true).to_json().render(),
+            "timeout outcomes must be byte-identical across clocks"
+        );
     }
 
     #[test]

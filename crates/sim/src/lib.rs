@@ -26,10 +26,13 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod invariants;
 pub mod litmus;
 pub mod report;
 pub mod system;
 
 pub use chaos::{ChaosCampaign, ChaosConfig, ChaosReport, ChaosRun};
-pub use litmus::{litmus_workload, loc_addr, run_litmus_on_sim, LitmusRun};
+pub use litmus::{
+    litmus_workload, loc_addr, run_litmus_case, run_litmus_on_sim, FaultOverlay, LitmusRun,
+};
 pub use system::{System, SystemStats};

@@ -17,12 +17,13 @@
 //! one-directional comparisons (e.g. "the machine saw no imprecise
 //! detection on any path ⇒ the simulator saw none either").
 
+use crate::invariants;
 use crate::system::{System, SystemStats};
 use ise_consistency::program::{LitmusProgram, Loc, StmtOp};
 use ise_core::{FaultInjector, FaultPlan, FaultResolver};
 use ise_engine::Cycle;
 use ise_types::addr::{Addr, PAGE_SIZE};
-use ise_types::config::SystemConfig;
+use ise_types::config::{OsCostConfig, SystemConfig};
 use ise_types::instr::Instruction;
 use ise_types::model::ConsistencyModel;
 use ise_types::{FaultKind, FaultSpec, InstrKind};
@@ -104,6 +105,21 @@ pub struct LitmusRun {
     pub any_killed: bool,
 }
 
+/// Parameters of the transient-fault overlay a litmus run can chain in
+/// place of EInject: the chaos-campaign idiom, with the healing horizon
+/// exposed so campaigns can pin how many denials a cause absorbs.
+/// `clears_after: 1` heals at the drain denial (zero retries);
+/// `clears_after >= 2 + retry_attempts` outlives the whole retry ladder
+/// and forces the exhaustion path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultOverlay {
+    /// Seed of the injection plan (intermittent draws etc. derive from
+    /// it).
+    pub seed: u64,
+    /// Denials the transient cause absorbs before healing.
+    pub clears_after: u32,
+}
+
 /// Runs `prog` on the timing simulator under `model`.
 ///
 /// `skip` selects the clock (event-driven cycle skipping vs the naive
@@ -123,26 +139,57 @@ pub fn run_litmus_on_sim(
     skip: bool,
     overlay_seed: Option<u64>,
 ) -> LitmusRun {
+    run_litmus_case(
+        prog,
+        faulting,
+        model,
+        skip,
+        overlay_seed.map(|seed| FaultOverlay {
+            seed,
+            clears_after: 1,
+        }),
+        None,
+    )
+}
+
+/// [`run_litmus_on_sim`] with the full campaign surface: an explicit
+/// [`FaultOverlay`] (healing horizon included) and an optional
+/// [`OsCostConfig`] override, so adversarial campaigns can replay a
+/// finding against a deliberately unhardened recovery configuration.
+/// Also clamps the cycle budget to the `ISE_CELL_BUDGET` watchdog and
+/// degrades exhaustion to a deterministic `timeout:` violation instead
+/// of panicking out of a campaign worker.
+pub fn run_litmus_case(
+    prog: &LitmusProgram,
+    faulting: &[Loc],
+    model: ConsistencyModel,
+    skip: bool,
+    overlay: Option<FaultOverlay>,
+    os_costs: Option<OsCostConfig>,
+) -> LitmusRun {
     let mut cfg = SystemConfig::isca23();
     cfg.noc.mesh_x = 2;
     cfg.noc.mesh_y = 2;
     cfg = cfg.with_model(model);
+    if let Some(os) = os_costs {
+        cfg.os = os;
+    }
     assert!(
         prog.threads.len() <= cfg.noc.nodes(),
         "litmus program has more threads than mesh tiles"
     );
 
     let workload = litmus_workload("fuzz-litmus", prog, faulting);
-    let mut sys = match overlay_seed {
+    let mut sys = match overlay {
         None => System::new(cfg, &workload),
-        Some(seed) => {
+        Some(FaultOverlay { seed, clears_after }) => {
             // Chaos idiom: EInject stays inert, the injector is the only
             // fault source.
             let injector: Rc<FaultInjector> = Rc::new(
                 FaultPlan::new(seed ^ 0xF417)
                     .pages(
                         faulting.iter().map(|&l| loc_addr(l).page()),
-                        FaultSpec::bus_error(FaultKind::Transient { clears_after: 1 }),
+                        FaultSpec::bus_error(FaultKind::Transient { clears_after }),
                     )
                     .build(),
             );
@@ -153,45 +200,59 @@ pub fn run_litmus_on_sim(
     }
     .with_contract_monitor();
 
-    let stats = sys.run_clocked(LITMUS_MAX_CYCLES, skip);
+    let budget = match ise_engine::cell_budget() {
+        Some(cap) => LITMUS_MAX_CYCLES.min(cap),
+        None => LITMUS_MAX_CYCLES,
+    };
+    let (stats, timed_out) = sys.run_bounded(budget, skip);
 
     let mut violations = Vec::new();
-    if stats.retired() != workload.total_instructions() as u64 && stats.killed == 0 {
-        violations.push(format!(
-            "run did not complete: {} of {} instructions retired in {} cycles",
-            stats.retired(),
-            workload.total_instructions(),
-            stats.cycles,
-        ));
+    if timed_out {
+        violations.push(format!("timeout: cell budget of {budget} cycles exhausted"));
     }
-    // Store conservation only counts models with a store buffer: under
-    // SC stores complete through the cache hierarchy directly, so the
-    // drained/coalesced terms are structurally zero.
-    for (i, trace) in workload.traces.iter().enumerate() {
-        if sys.process_killed(i) || !model.has_store_buffer() {
-            continue;
-        }
-        let retired_stores = trace
-            .iter()
-            .filter(|ins| matches!(ins.kind, InstrKind::Store { .. }))
-            .count() as u64;
-        let accounted =
-            sys.cores()[i].sb_drained() + sys.cores()[i].sb_coalesced() + stats.applied_per_core[i];
-        if retired_stores != accounted {
+    if !timed_out {
+        if stats.retired() != workload.total_instructions() as u64 && stats.killed == 0 {
             violations.push(format!(
-                "core {i}: {retired_stores} stores retired but {accounted} accounted \
-                 (drained {} + coalesced {} + os-applied {})",
-                sys.cores()[i].sb_drained(),
-                sys.cores()[i].sb_coalesced(),
-                stats.applied_per_core[i],
+                "run did not complete: {} of {} instructions retired in {} cycles",
+                stats.retired(),
+                workload.total_instructions(),
+                stats.cycles,
             ));
         }
-    }
-    if !sys.fsbs_empty() {
-        violations.push("an FSB ring ended with head != tail".to_string());
-    }
-    if let Err(v) = sys.check_contract() {
-        violations.push(format!("ordering contract violated: {v:?}"));
+        // Store conservation only counts models with a store buffer:
+        // under SC stores complete through the cache hierarchy directly,
+        // so the drained/coalesced terms are structurally zero.
+        for (i, trace) in workload.traces.iter().enumerate() {
+            if sys.process_killed(i) || !model.has_store_buffer() {
+                continue;
+            }
+            let retired_stores = trace
+                .iter()
+                .filter(|ins| matches!(ins.kind, InstrKind::Store { .. }))
+                .count() as u64;
+            let accounted = sys.cores()[i].sb_drained()
+                + sys.cores()[i].sb_coalesced()
+                + stats.applied_per_core[i];
+            if retired_stores != accounted {
+                violations.push(format!(
+                    "core {i}: {retired_stores} stores retired but {accounted} accounted \
+                     (drained {} + coalesced {} + os-applied {})",
+                    sys.cores()[i].sb_drained(),
+                    sys.cores()[i].sb_coalesced(),
+                    stats.applied_per_core[i],
+                ));
+            }
+        }
+        if !sys.fsbs_empty() {
+            violations.push("an FSB ring ended with head != tail".to_string());
+        }
+        if let Err(v) = sys.check_contract() {
+            violations.push(format!("ordering contract violated: {v:?}"));
+        }
+        if model.has_store_buffer() {
+            violations.extend(invariants::containment_violations(&sys, &stats));
+        }
+        violations.extend(invariants::applied_visibility_violations(&sys));
     }
 
     let mem = prog
@@ -287,5 +348,62 @@ mod tests {
         let run = run_litmus_on_sim(&mp(), &[Loc(0)], ConsistencyModel::Pc, true, Some(9));
         assert!(run.violations.is_empty(), "{:?}", run.violations);
         assert!(!run.any_killed);
+    }
+
+    fn stubborn_overlay() -> Option<FaultOverlay> {
+        // Outlives the full default retry ladder (1 drain denial + 5
+        // apply-check denials), forcing the exhaustion path.
+        Some(FaultOverlay {
+            seed: 9,
+            clears_after: 100,
+        })
+    }
+
+    #[test]
+    fn exhaustion_under_hardened_config_kills_cleanly() {
+        let run = run_litmus_case(
+            &mp(),
+            &[Loc(0)],
+            ConsistencyModel::Pc,
+            true,
+            stubborn_overlay(),
+            None,
+        );
+        assert!(run.any_killed, "hardened kernels kill on exhaustion");
+        assert!(
+            run.violations.is_empty(),
+            "a kill is contained, not a violation: {:?}",
+            run.violations
+        );
+    }
+
+    #[test]
+    fn visibility_audit_catches_unhardened_silent_drop() {
+        use ise_types::RecoveryHardening;
+        let os = OsCostConfig::isca23().with_hardening(RecoveryHardening::unhardened());
+        let run = run_litmus_case(
+            &mp(),
+            &[Loc(0)],
+            ConsistencyModel::Pc,
+            true,
+            stubborn_overlay(),
+            Some(os),
+        );
+        assert!(!run.any_killed, "the unhardened kernel never kills");
+        assert!(
+            run.violations
+                .iter()
+                .any(|v| v.contains("applied store not visible")),
+            "the silent drop must surface through the visibility audit, got {:?}",
+            run.violations
+        );
+        // Every *other* invariant stays green — the lie is consistent.
+        assert!(
+            run.violations
+                .iter()
+                .all(|v| v.contains("applied store not visible")),
+            "only the audit fires: {:?}",
+            run.violations
+        );
     }
 }

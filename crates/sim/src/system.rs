@@ -157,6 +157,14 @@ pub struct System {
     io_cycles: Cycle,
     early_drain_interrupts: u64,
     applied_per_core: Vec<u64>,
+    /// FSB entries lost to each core's kill paths: the triggering entry,
+    /// the drained remainder, and any chunks never delivered because the
+    /// process died mid-episode. The residual term that closes store
+    /// conservation on killed cores.
+    discarded_per_core: Vec<u64>,
+    /// Early-drain interrupts taken per core — the fairness/high-water
+    /// accounting the adversary's stall objective reads.
+    early_drain_per_core: Vec<u64>,
     now: Cycle,
     /// Built exactly once when [`System::run`] completes; [`System::stats`]
     /// serves this cache instead of re-collecting per-core vectors.
@@ -269,6 +277,8 @@ impl System {
             io_cycles: 0,
             early_drain_interrupts: 0,
             applied_per_core: vec![0; cfg.cores],
+            discarded_per_core: vec![0; cfg.cores],
+            early_drain_per_core: vec![0; cfg.cores],
             now: 0,
             final_stats: None,
             tel,
@@ -382,6 +392,31 @@ impl System {
         &self.cores
     }
 
+    /// The OS kernel, read-only — the adversary's objective scoring and
+    /// the containment invariants read its recovery-path counters
+    /// (backoff cycles, retry exhaustion, kill discards, continuation
+    /// chunks).
+    pub fn os_kernel(&self) -> &OsKernel {
+        &self.os
+    }
+
+    /// FSB entries lost to each core's kill paths (triggering entry,
+    /// drained remainder, undelivered chunks) — the residual term that
+    /// closes store conservation on killed cores.
+    pub fn discarded_per_core(&self) -> &[u64] {
+        &self.discarded_per_core
+    }
+
+    /// Early-drain interrupts taken per core.
+    pub fn early_drain_per_core(&self) -> &[u64] {
+        &self.early_drain_per_core
+    }
+
+    /// The deepest FSB occupancy core `i`'s controller ever saw.
+    pub fn fsb_high_water(&self, i: usize) -> usize {
+        self.fsbcs[i].high_water_mark()
+    }
+
     /// The functional memory image (stores applied by the OS land here).
     pub fn memory(&self) -> &FlatMemory {
         &self.mem
@@ -460,13 +495,14 @@ impl System {
             }
             self.breakdown.uarch += receipt.uarch_cycles;
             let resolver = self.resolver.clone();
-            let outcome = self.os.handle_imprecise(
+            let outcome = self.os.handle_imprecise_chunk(
                 core_id,
                 &mut self.fsbs[i],
                 resolver.as_ref(),
                 &mut self.mem,
                 receipt.ready_at,
                 self.monitor.as_mut(),
+                offset > 0,
             );
             self.breakdown.merge(&outcome.breakdown);
             self.io_cycles += outcome.io_cycles;
@@ -476,8 +512,14 @@ impl System {
             offset += take;
             chunks += 1;
             if outcome.terminated {
-                // Remaining chunks die with the process.
+                // Remaining chunks die with the process: the entries the
+                // handler discarded from the ring, plus everything never
+                // delivered, all land in the per-core discard ledger so
+                // killed-core conservation still closes.
+                self.discarded_per_core[i] +=
+                    outcome.discarded as u64 + (entries.len() - offset) as u64;
                 self.early_drain_interrupts += chunks - 1;
+                self.early_drain_per_core[i] += chunks - 1;
                 self.processes[i].kill();
                 self.ictl[i].exit_handler();
                 self.end_drain_episode(i, episode_begin, resume, applied_before);
@@ -488,6 +530,7 @@ impl System {
             }
         }
         self.early_drain_interrupts += chunks - 1;
+        self.early_drain_per_core[i] += chunks - 1;
         self.end_drain_episode(i, episode_begin, resume, applied_before);
         self.cores[i].resume_at(resume);
         self.ictl[i].exit_handler();
@@ -586,6 +629,21 @@ impl System {
     ///
     /// Panics if `max_cycles` elapses first.
     pub fn run_clocked(&mut self, max_cycles: Cycle, skip: bool) -> SystemStats {
+        let (stats, timed_out) = self.run_bounded(max_cycles, skip);
+        assert!(!timed_out, "exceeded cycle budget at {}", self.now);
+        stats
+    }
+
+    /// [`System::run_clocked`] that *reports* budget exhaustion instead
+    /// of panicking: returns the stats as of the cut-off cycle plus a
+    /// `timed_out` flag. The campaign cell runners (chaos, fuzz,
+    /// adversary) use this so a pathological searched fault plan degrades
+    /// to a deterministic `Timeout` outcome rather than tearing down a
+    /// whole worker. Both clocks cut at exactly `self.now == max_cycles`
+    /// (skip jumps clamp to the budget), so a timed-out run is as
+    /// byte-deterministic as a completed one.
+    pub fn run_bounded(&mut self, max_cycles: Cycle, skip: bool) -> (SystemStats, bool) {
+        let mut timed_out = false;
         loop {
             // Timer interrupts (delivered unless an exception handler
             // currently holds the IE bit).
@@ -629,11 +687,18 @@ impl System {
                     StepOutcome::Progress | StepOutcome::Waiting => all_done = false,
                     StepOutcome::Imprecise(entries) => {
                         self.handle_imprecise(i, entries);
-                        all_done = false;
+                        // A kill leaves nothing to wake this core again;
+                        // keeping the loop alive would send the skip clock
+                        // straight to the budget and misreport a timeout.
+                        if self.processes[i].state != ProcessState::Killed {
+                            all_done = false;
+                        }
                     }
                     StepOutcome::Precise { addr, kind } => {
                         self.handle_precise(i, addr, kind);
-                        all_done = false;
+                        if self.processes[i].state != ProcessState::Killed {
+                            all_done = false;
+                        }
                     }
                 }
             }
@@ -654,11 +719,10 @@ impl System {
                 }
             }
             self.now = next;
-            assert!(
-                self.now < max_cycles,
-                "exceeded cycle budget at {}",
-                self.now
-            );
+            if self.now >= max_cycles {
+                timed_out = true;
+                break;
+            }
         }
         let stats = self.build_stats();
         // Assemble the full telemetry spine: the system-level stats
@@ -669,11 +733,25 @@ impl System {
         for core in &self.cores {
             core.export_telemetry(&mut reg);
         }
+        for i in 0..self.cores.len() {
+            reg.add(
+                &format!("core{i}.early_drain_interrupts"),
+                self.early_drain_per_core[i],
+            );
+            reg.add(
+                &format!("core{i}.kill_discarded"),
+                self.discarded_per_core[i],
+            );
+            reg.add(
+                &format!("core{i}.fsb_high_water"),
+                self.fsbcs[i].high_water_mark() as u64,
+            );
+        }
         self.hier.export_telemetry(&mut reg);
         self.os.export_telemetry(&mut reg);
         self.tel.registry.merge(&reg);
         self.final_stats = Some(stats.clone());
-        stats
+        (stats, timed_out)
     }
 
     /// Statistics of the completed run, served from the end-of-run cache
@@ -899,6 +977,72 @@ mod tests {
         if stats.stores_applied > 4 {
             assert!(stats.early_drain_interrupts > 0, "ring must have chunked");
         }
+    }
+
+    #[test]
+    fn kill_mid_early_drain_leaves_no_orphans_and_conserves_stores() {
+        use crate::invariants;
+        use ise_core::{FaultInjector, FaultPlan, FaultResolver};
+        use ise_types::{ExceptionKind, FaultKind, FaultSpec};
+        // 40 back-to-back stores; the one at index 20 hits the only
+        // faulting page, whose drain denial carries a machine check. By
+        // then the buffer holds a long tail of clean not-yet-drained
+        // companions, so the process dies in the middle of a chunked
+        // (FSB ring of 4) drain episode.
+        let base = Addr::new(EINJECT_BASE);
+        let mc_addr = base.offset(PAGE_SIZE);
+        let trace: Vec<Instruction> = (0..40u64)
+            .map(|i| {
+                if i == 20 {
+                    Instruction::store(mc_addr, 999)
+                } else {
+                    Instruction::store(base.offset(i * 8), i + 1)
+                }
+            })
+            .collect();
+        let workload = Workload {
+            name: "kill-mid-drain".into(),
+            traces: vec![trace],
+            einject_pages: vec![],
+        };
+        let injector: Rc<FaultInjector> = Rc::new(
+            FaultPlan::new(7)
+                .page(
+                    mc_addr.page(),
+                    FaultSpec::bus_error(FaultKind::Permanent)
+                        .with_exception(ExceptionKind::MachineCheck),
+                )
+                .build(),
+        );
+        let mut sys = System::with_fault_sources(
+            small_cfg(),
+            &workload,
+            vec![injector as Rc<dyn FaultResolver>],
+        )
+        .with_fsb_capacity(4)
+        .with_contract_monitor();
+        let stats = sys.run(10_000_000);
+
+        assert_eq!(stats.killed, 1, "the machine check must kill");
+        assert!(sys.process_killed(0));
+        assert!(sys.fsbs_empty(), "kill leaves no orphaned FSB entries");
+        let discarded = sys.discarded_per_core()[0];
+        assert!(discarded > 0, "the kill path must discard something");
+        // Killed-core conservation closes through the discard ledger.
+        assert_eq!(
+            invariants::containment_violations(&sys, &stats),
+            Vec::<String>::new()
+        );
+        assert!(
+            invariants::applied_visibility_violations(&sys).is_empty(),
+            "everything the kernel recorded as applied is visible"
+        );
+        // The telemetry plane merged the kill-path counters cleanly.
+        let reg = &sys.telemetry().registry;
+        assert_eq!(reg.counter("core0.kill_discarded"), discarded);
+        assert!(reg.counter("os.kill_discarded") <= discarded);
+        assert!(reg.counter("os.kill_discarded") > 0);
+        assert_eq!(reg.counter("os.processes_killed"), 1);
     }
 
     #[test]

@@ -166,6 +166,67 @@ impl MemoryConfig {
     }
 }
 
+/// Recovery-path hardening toggles for the OS model.
+///
+/// Each flag closes one weakness the adversarial fault-plan search
+/// (`ise-adversary`, DESIGN.md §13) exposes in the naive handler. The
+/// hardened configuration is the default everywhere; the unhardened one
+/// exists as the search's seeded-weakness target — the CI self-check
+/// proves the search finds a damaging plan against it and none against
+/// the hardened kernel.
+///
+/// Like [`SystemConfig::reference_clock`], hardening is a recovery-
+/// implementation knob, not a Table 2 architectural parameter, so it is
+/// deliberately absent from the configuration's JSON rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryHardening {
+    /// Add a deterministic per-(core, address, attempt) jitter on top of
+    /// the exponential retry backoff. Without it, every store hitting
+    /// the same transient cause retries on the identical ladder, so an
+    /// adversarial fault window can align with — and defeat — the whole
+    /// retry budget at once.
+    pub jittered_backoff: bool,
+    /// Kill the process when the retry budget is exhausted instead of
+    /// dropping the store while reporting success. The unhardened
+    /// behaviour models the classic buggy handler: it keeps the process
+    /// alive but silently loses the store — the objective-(1) silent
+    /// corruption the adversary searches for.
+    pub kill_on_retry_exhaustion: bool,
+    /// Charge early-drain continuation chunks a fraction of the dispatch
+    /// overhead instead of a full exception dispatch. The handler is
+    /// already resident for chunks after the first (no second context
+    /// switch), so the unhardened full charge is pure victim stall — the
+    /// objective-(2) FSB early-drain storm amplifier.
+    pub chunk_continuation: bool,
+}
+
+impl RecoveryHardening {
+    /// All mitigations on — the default for every built-in config.
+    pub fn hardened() -> Self {
+        RecoveryHardening {
+            jittered_backoff: true,
+            kill_on_retry_exhaustion: true,
+            chunk_continuation: true,
+        }
+    }
+
+    /// All mitigations off — the deliberately weak recovery config the
+    /// adversary self-check searches against.
+    pub fn unhardened() -> Self {
+        RecoveryHardening {
+            jittered_backoff: false,
+            kill_on_retry_exhaustion: false,
+            chunk_continuation: false,
+        }
+    }
+}
+
+impl Default for RecoveryHardening {
+    fn default() -> Self {
+        Self::hardened()
+    }
+}
+
 /// Cost parameters for the OS model (used for the Fig. 5 breakdown).
 ///
 /// The paper's minimal Linux handler spends ≈600 cycles per faulting store
@@ -197,6 +258,10 @@ pub struct OsCostConfig {
     pub retry_attempts: u32,
     /// Cycles of backoff before the first retry; doubles each attempt.
     pub retry_backoff_base: u64,
+    /// Recovery-path mitigations (jittered backoff, kill on retry
+    /// exhaustion, cheap early-drain continuations). Hardened by
+    /// default; invisible in the config JSON (see [`RecoveryHardening`]).
+    pub hardening: RecoveryHardening,
 }
 
 impl OsCostConfig {
@@ -215,7 +280,14 @@ impl OsCostConfig {
             io_latency: 20_000,
             retry_attempts: 4,
             retry_backoff_base: 64,
+            hardening: RecoveryHardening::hardened(),
         }
+    }
+
+    /// The same costs with different recovery-hardening toggles.
+    pub fn with_hardening(mut self, hardening: RecoveryHardening) -> Self {
+        self.hardening = hardening;
+        self
     }
 }
 
@@ -449,6 +521,28 @@ mod tests {
         assert!(json.contains("\"rob_entries\":128"));
         assert!(json.contains("\"access_latency\":80"));
         assert_eq!(json, c.to_json().render(), "rendering is deterministic");
+    }
+
+    #[test]
+    fn hardening_defaults_on_and_stays_out_of_json() {
+        let c = SystemConfig::isca23();
+        assert_eq!(c.os.hardening, RecoveryHardening::hardened());
+        assert!(c.os.hardening.jittered_backoff);
+        assert!(c.os.hardening.kill_on_retry_exhaustion);
+        assert!(c.os.hardening.chunk_continuation);
+        let weak = RecoveryHardening::unhardened();
+        assert!(!weak.jittered_backoff);
+        assert!(!weak.kill_on_retry_exhaustion);
+        assert!(!weak.chunk_continuation);
+        // Hardening is a recovery-implementation knob: golden reports
+        // must not change when a study flips it.
+        let mut unhardened_cfg = c;
+        unhardened_cfg.os = unhardened_cfg.os.with_hardening(weak);
+        assert_eq!(
+            c.to_json().render(),
+            unhardened_cfg.to_json().render(),
+            "hardening toggles are invisible in config JSON"
+        );
     }
 
     #[test]

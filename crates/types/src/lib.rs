@@ -39,7 +39,7 @@ pub mod model;
 pub mod stats;
 
 pub use addr::{Addr, ByteMask, CoreId, PageId};
-pub use config::SystemConfig;
+pub use config::{RecoveryHardening, SystemConfig};
 pub use error::SimError;
 pub use exception::{ExceptionClass, ExceptionKind};
 pub use faulting::FaultingStoreEntry;

@@ -48,6 +48,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub use ise_adversary as adversary;
 pub use ise_aso as aso;
 pub use ise_consistency as consistency;
 pub use ise_core as core_hw;

@@ -30,6 +30,7 @@ fn a_healthy_machine_survives_a_tri_oracle_campaign() {
         oracle: OracleConfig {
             seeded_bug: None,
             run_sim: true,
+            ..OracleConfig::default()
         },
         ..FuzzConfig::default()
     };
@@ -51,6 +52,7 @@ fn a_seeded_ordering_bug_is_caught_and_shrunk_to_a_minimal_reproducer() {
         oracle: OracleConfig {
             seeded_bug: Some(SeededBug::PcDrainReorder),
             run_sim: false,
+            ..OracleConfig::default()
         },
         ..FuzzConfig::default()
     };
