@@ -49,6 +49,29 @@ fn table5_contract_report_matches_snapshot() {
 }
 
 #[test]
+fn mapping_tables_match_snapshot() {
+    // The compiler-mapping tables are data, not code: freeze every
+    // correct table and every seeded-buggy variant so an accidental
+    // entry change (the exact bug class the trisection harness hunts)
+    // shows up as a diff here before a campaign has to find it.
+    use ise_consistency::{buggy_table, correct_table, render_mapping_table, MappingBug};
+    use ise_types::model::ConsistencyModel;
+    let mut out = String::new();
+    for model in ConsistencyModel::ALL {
+        out.push_str(&render_mapping_table(&correct_table(model)));
+        out.push('\n');
+    }
+    for bug in MappingBug::ALL {
+        for model in ConsistencyModel::ALL {
+            out.push_str(&format!("with {}:\n", bug.name()));
+            out.push_str(&render_mapping_table(&buggy_table(model, bug)));
+            out.push('\n');
+        }
+    }
+    check_golden("mapping_table.txt", &out);
+}
+
+#[test]
 fn checked_in_litmus_corpus_matches_snapshots() {
     let dir = litmus_dir();
     let mut names: Vec<String> = std::fs::read_dir(&dir)

@@ -11,6 +11,7 @@
 
 use crate::axiom::allowed_outcomes;
 use crate::program::{LitmusProgram, Outcome};
+use crate::source::{allowed_src_outcomes, SrcProgram};
 use ise_types::model::ConsistencyModel;
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
@@ -69,10 +70,59 @@ impl BatchChecker {
     }
 }
 
+/// A memoizing front-end over [`allowed_src_outcomes`] — the
+/// language-level twin of [`BatchChecker`], used by the trisection
+/// harness (the source program is the whole key: the language has no
+/// model parameter).
+#[derive(Debug, Default)]
+pub struct SrcBatchChecker {
+    cache: HashMap<SrcProgram, Rc<BTreeSet<Outcome>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SrcBatchChecker {
+    /// An empty checker.
+    pub fn new() -> Self {
+        SrcBatchChecker::default()
+    }
+
+    /// The language-allowed outcome set for `prog`, enumerated at most
+    /// once per checker.
+    pub fn allowed(&mut self, prog: &SrcProgram) -> Rc<BTreeSet<Outcome>> {
+        if let Some(set) = self.cache.get(prog) {
+            self.hits += 1;
+            return Rc::clone(set);
+        }
+        self.misses += 1;
+        let set = Rc::new(allowed_src_outcomes(prog));
+        self.cache.insert(prog.clone(), Rc::clone(&set));
+        set
+    }
+
+    /// The outcomes in `observed` the language forbids (empty exactly
+    /// when `observed ⊆ allowed` — the trisection pass criterion).
+    pub fn violations(&mut self, prog: &SrcProgram, observed: &BTreeSet<Outcome>) -> Vec<Outcome> {
+        let allowed = self.allowed(prog);
+        observed.difference(&allowed).cloned().collect()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far (enumerations actually performed).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::program::{Loc, Stmt};
+    use crate::source::{MemOrder, SrcStmt};
     use ise_types::instr::Reg;
 
     fn sb() -> LitmusProgram {
@@ -102,6 +152,26 @@ mod tests {
         // A different model is a different key.
         let _ = b.allowed(&sb(), ConsistencyModel::Wc);
         assert_eq!(b.misses(), 2);
+    }
+
+    #[test]
+    fn src_checker_caches_by_program() {
+        let mp = SrcProgram::new(vec![
+            vec![SrcStmt::store(Loc(0), 1, MemOrder::Release)],
+            vec![SrcStmt::load(Loc(0), Reg(0), MemOrder::Acquire)],
+        ]);
+        let mut b = SrcBatchChecker::new();
+        let first = b.allowed(&mp);
+        let second = b.allowed(&mp);
+        assert_eq!(first, second);
+        assert_eq!(b.misses(), 1);
+        assert_eq!(b.hits(), 1);
+        assert_eq!(*first, allowed_src_outcomes(&mp));
+        // A language-forbidden outcome surfaces as a violation.
+        let mut bogus = Outcome::new();
+        bogus.insert((1, Reg(0)), 7);
+        let observed: BTreeSet<Outcome> = [bogus.clone()].into_iter().collect();
+        assert_eq!(b.violations(&mp, &observed), vec![bogus]);
     }
 
     #[test]

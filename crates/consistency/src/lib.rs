@@ -10,9 +10,16 @@
 //!   assignments), filters them through per-model axioms (SC, PC/TSO,
 //!   WC/RVWMO-fragment), and returns the set of **allowed outcomes** a
 //!   program may produce;
-//! * [`batch`] — a memoizing front-end over the axiom checker for
+//! * [`batch`] — memoizing front-ends over the axiom checkers for
 //!   callers (the fuzzing harness, shrinkers) that query the same
 //!   programs repeatedly;
+//! * [`source`] — a C11-like source language (relaxed / acquire /
+//!   release / seq_cst loads, stores, and fences) with its own
+//!   language-level allowed-outcome enumerator;
+//! * [`lowering`] — the compiler-mapping pass from source programs to
+//!   the hardware litmus primitives, driven by a per-model
+//!   [`MappingTable`](lowering::MappingTable) that is data, not code —
+//!   so the trisection harness can inject known-wrong mappings;
 //! * [`proofs`] — a mechanization of Proof 1 (the store-store rule of PC
 //!   under the same-stream design): for every faulting combination of two
 //!   program-ordered stores, the effective memory-order of their writes
@@ -28,9 +35,15 @@
 
 pub mod axiom;
 pub mod batch;
+pub mod lowering;
 pub mod program;
 pub mod proofs;
+pub mod source;
 
 pub use axiom::allowed_outcomes;
-pub use batch::BatchChecker;
+pub use batch::{BatchChecker, SrcBatchChecker};
+pub use lowering::{
+    buggy_table, correct_table, lower, render_mapping_table, MappingBug, MappingTable,
+};
 pub use program::{LitmusProgram, Loc, Outcome, Stmt, StmtOp};
+pub use source::{allowed_src_outcomes, MemOrder, SrcOp, SrcProgram, SrcStmt};

@@ -1,0 +1,445 @@
+//! The compiler-mapping pass: source programs → hardware litmus
+//! primitives.
+//!
+//! A [`MappingTable`] is *data, not code*: for each source operation
+//! class and memory order it records which hardware fences surround the
+//! lowered access. [`lower`] walks a [`SrcProgram`] and emits a
+//! [`LitmusProgram`] by table lookup alone — so a mutated table
+//! ([`MappingBug`]) injects a known-wrong compiler for the trisection
+//! harness's self-checks without touching any lowering logic.
+//!
+//! The correct tables ([`correct_table`]):
+//!
+//! | source        | SC    | PC/TSO   | WC          |
+//! |---------------|-------|----------|-------------|
+//! | store relaxed | `W`   | `W`      | `W`         |
+//! | store release | `W`   | `W`      | `F ; W`     |
+//! | store seq_cst | `W`   | `W ; F`  | `F ; W ; F` |
+//! | load relaxed  | `R`   | `R`      | `R`         |
+//! | load acquire  | `R`   | `R`      | `R ; F`     |
+//! | load seq_cst  | `R`   | `R`      | `F ; R ; F` |
+//! | fence acquire | (nop) | (nop)    | `F`         |
+//! | fence release | (nop) | (nop)    | `F`         |
+//! | fence seq_cst | (nop) | `F`      | `F`         |
+//!
+//! SC hardware needs no fences (every interleaving of an SC machine
+//! satisfies the language axioms). TSO preserves all orders except
+//! store→load, which only the seq_cst axiom needs restored — the
+//! classic x86 mapping (trailing `mfence` on seq_cst stores). The WC
+//! hardware model keeps only same-location order, dependencies, and
+//! fence-imposed edges, so release stores take a leading full fence,
+//! acquire loads a trailing one, and seq_cst accesses both. Full
+//! fences (not `F.ww`/`F.rr`) are required: a release store must order
+//! prior *loads* before it and an acquire load must order later
+//! *stores* after it.
+
+use crate::program::{LitmusProgram, Stmt};
+use crate::source::{MemOrder, SrcOp, SrcProgram, SrcStmt};
+use ise_types::instr::FenceKind;
+use ise_types::model::ConsistencyModel;
+use std::collections::BTreeMap;
+
+/// How one source access lowers: hardware fences emitted before and
+/// after the access itself.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessMapping {
+    /// Fences emitted before the access.
+    pub pre: Vec<FenceKind>,
+    /// Fences emitted after the access.
+    pub post: Vec<FenceKind>,
+}
+
+impl AccessMapping {
+    fn plain() -> Self {
+        AccessMapping::default()
+    }
+    fn pre(kind: FenceKind) -> Self {
+        AccessMapping {
+            pre: vec![kind],
+            post: Vec::new(),
+        }
+    }
+    fn post(kind: FenceKind) -> Self {
+        AccessMapping {
+            pre: Vec::new(),
+            post: vec![kind],
+        }
+    }
+    fn both(kind: FenceKind) -> Self {
+        AccessMapping {
+            pre: vec![kind],
+            post: vec![kind],
+        }
+    }
+}
+
+/// A per-model compiler mapping: pure data the lowering pass looks up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingTable {
+    /// The hardware model this table targets.
+    pub model: ConsistencyModel,
+    /// Store lowerings, keyed by order (relaxed, release, seq_cst).
+    pub stores: BTreeMap<MemOrder, AccessMapping>,
+    /// Load lowerings, keyed by order (relaxed, acquire, seq_cst).
+    pub loads: BTreeMap<MemOrder, AccessMapping>,
+    /// Fence lowerings, keyed by order (acquire, release, seq_cst); an
+    /// empty sequence erases the fence.
+    pub fences: BTreeMap<MemOrder, Vec<FenceKind>>,
+}
+
+/// The correct (believed-sound) mapping table for `model`.
+pub fn correct_table(model: ConsistencyModel) -> MappingTable {
+    let f = FenceKind::Full;
+    let (stores, loads, fences) = match model {
+        ConsistencyModel::Sc => (
+            [
+                (MemOrder::Relaxed, AccessMapping::plain()),
+                (MemOrder::Release, AccessMapping::plain()),
+                (MemOrder::SeqCst, AccessMapping::plain()),
+            ],
+            [
+                (MemOrder::Relaxed, AccessMapping::plain()),
+                (MemOrder::Acquire, AccessMapping::plain()),
+                (MemOrder::SeqCst, AccessMapping::plain()),
+            ],
+            [
+                (MemOrder::Acquire, Vec::new()),
+                (MemOrder::Release, Vec::new()),
+                (MemOrder::SeqCst, Vec::new()),
+            ],
+        ),
+        ConsistencyModel::Pc => (
+            [
+                (MemOrder::Relaxed, AccessMapping::plain()),
+                (MemOrder::Release, AccessMapping::plain()),
+                (MemOrder::SeqCst, AccessMapping::post(f)),
+            ],
+            [
+                (MemOrder::Relaxed, AccessMapping::plain()),
+                (MemOrder::Acquire, AccessMapping::plain()),
+                (MemOrder::SeqCst, AccessMapping::plain()),
+            ],
+            [
+                (MemOrder::Acquire, Vec::new()),
+                (MemOrder::Release, Vec::new()),
+                (MemOrder::SeqCst, vec![f]),
+            ],
+        ),
+        ConsistencyModel::Wc => (
+            [
+                (MemOrder::Relaxed, AccessMapping::plain()),
+                (MemOrder::Release, AccessMapping::pre(f)),
+                (MemOrder::SeqCst, AccessMapping::both(f)),
+            ],
+            [
+                (MemOrder::Relaxed, AccessMapping::plain()),
+                (MemOrder::Acquire, AccessMapping::post(f)),
+                (MemOrder::SeqCst, AccessMapping::both(f)),
+            ],
+            [
+                (MemOrder::Acquire, vec![f]),
+                (MemOrder::Release, vec![f]),
+                (MemOrder::SeqCst, vec![f]),
+            ],
+        ),
+    };
+    MappingTable {
+        model,
+        stores: stores.into_iter().collect(),
+        loads: loads.into_iter().collect(),
+        fences: fences.into_iter().collect(),
+    }
+}
+
+/// A deliberately wrong table mutation for harness self-checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MappingBug {
+    /// A release store lowered without its leading fence under WC — the
+    /// classic "forgot the barrier in the mapping" compiler bug.
+    WcReleaseStoreNoFence,
+    /// An acquire load lowered exactly like a relaxed load (its fences
+    /// dropped) under every model.
+    AcquireLoadAsRelaxed,
+}
+
+impl MappingBug {
+    /// Every bug, in declaration order.
+    pub const ALL: [MappingBug; 2] = [
+        MappingBug::WcReleaseStoreNoFence,
+        MappingBug::AcquireLoadAsRelaxed,
+    ];
+
+    /// Stable kebab-case name (CLI flag values, telemetry keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            MappingBug::WcReleaseStoreNoFence => "wc-release-store-no-fence",
+            MappingBug::AcquireLoadAsRelaxed => "acquire-load-as-relaxed",
+        }
+    }
+}
+
+/// [`correct_table`] with `bug` injected: the returned table is the
+/// correct one except for the mutated entry.
+pub fn buggy_table(model: ConsistencyModel, bug: MappingBug) -> MappingTable {
+    let mut table = correct_table(model);
+    match bug {
+        MappingBug::WcReleaseStoreNoFence => {
+            if model == ConsistencyModel::Wc {
+                table
+                    .stores
+                    .insert(MemOrder::Release, AccessMapping::plain());
+            }
+        }
+        MappingBug::AcquireLoadAsRelaxed => {
+            let relaxed = table.loads[&MemOrder::Relaxed].clone();
+            table.loads.insert(MemOrder::Acquire, relaxed);
+        }
+    }
+    table
+}
+
+/// Lowers `prog` through `table` into hardware litmus primitives.
+///
+/// Each source access becomes its table entry's `pre` fences, the
+/// access itself (same location, value, and destination register,
+/// carrying the source statement's dependency annotation), then the
+/// `post` fences. Source fences become their table entry's fence list.
+/// Registers are preserved 1:1, so a source outcome and a lowered
+/// outcome are directly comparable.
+///
+/// # Panics
+///
+/// Panics if a statement's order has no table entry (the constructors
+/// of [`SrcProgram`] and [`correct_table`] keep the key sets aligned).
+pub fn lower(prog: &SrcProgram, table: &MappingTable) -> LitmusProgram {
+    let threads = prog
+        .threads
+        .iter()
+        .map(|stmts| {
+            let mut out: Vec<Stmt> = Vec::new();
+            for s in stmts {
+                lower_stmt(s, table, &mut out);
+            }
+            // A thread of erased fences must not become empty: the
+            // machine wants at least one statement per thread. A full
+            // fence over nothing is a no-op on every model.
+            if out.is_empty() {
+                out.push(Stmt::fence(FenceKind::Full));
+            }
+            out
+        })
+        .collect();
+    LitmusProgram::new(threads)
+}
+
+fn lower_stmt(s: &SrcStmt, table: &MappingTable, out: &mut Vec<Stmt>) {
+    match s.op {
+        SrcOp::Store { loc, value, order } => {
+            let m = table
+                .stores
+                .get(&order)
+                .unwrap_or_else(|| panic!("no store mapping for {order}"));
+            out.extend(m.pre.iter().map(|&k| Stmt::fence(k)));
+            let mut w = Stmt::write(loc, value);
+            w.dep = s.dep;
+            out.push(w);
+            out.extend(m.post.iter().map(|&k| Stmt::fence(k)));
+        }
+        SrcOp::Load { loc, dst, order } => {
+            let m = table
+                .loads
+                .get(&order)
+                .unwrap_or_else(|| panic!("no load mapping for {order}"));
+            out.extend(m.pre.iter().map(|&k| Stmt::fence(k)));
+            let mut r = Stmt::read(loc, dst);
+            r.dep = s.dep;
+            out.push(r);
+            out.extend(m.post.iter().map(|&k| Stmt::fence(k)));
+        }
+        SrcOp::Fence { order } => {
+            let m = table
+                .fences
+                .get(&order)
+                .unwrap_or_else(|| panic!("no fence mapping for {order}"));
+            out.extend(m.iter().map(|&k| Stmt::fence(k)));
+        }
+    }
+}
+
+fn fence_token(kind: FenceKind) -> &'static str {
+    match kind {
+        FenceKind::Full => "F",
+        FenceKind::StoreStore => "F.ww",
+        FenceKind::LoadLoad => "F.rr",
+    }
+}
+
+fn sequence(pre: &[FenceKind], op: &str, post: &[FenceKind]) -> String {
+    let mut parts: Vec<&str> = pre.iter().map(|&k| fence_token(k)).collect();
+    parts.push(op);
+    parts.extend(post.iter().map(|&k| fence_token(k)));
+    parts.join(" ; ")
+}
+
+/// Renders `table` as stable text — the golden-snapshot form.
+pub fn render_mapping_table(table: &MappingTable) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "mapping table: {}", table.model).unwrap();
+    for (order, m) in &table.stores {
+        writeln!(
+            out,
+            "  store.{:<3} -> {}",
+            order.token(),
+            sequence(&m.pre, "W", &m.post)
+        )
+        .unwrap();
+    }
+    for (order, m) in &table.loads {
+        writeln!(
+            out,
+            "  load.{:<4} -> {}",
+            order.token(),
+            sequence(&m.pre, "R", &m.post)
+        )
+        .unwrap();
+    }
+    for (order, fences) in &table.fences {
+        let rhs = if fences.is_empty() {
+            "(erased)".to_string()
+        } else {
+            fences
+                .iter()
+                .map(|&k| fence_token(k))
+                .collect::<Vec<_>>()
+                .join(" ; ")
+        };
+        writeln!(out, "  fence.{:<3} -> {rhs}", order.token()).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Loc, StmtOp};
+    use crate::source::SrcStmt;
+    use ise_types::instr::Reg;
+    use MemOrder::{Acquire, Relaxed, Release, SeqCst};
+
+    const A: Loc = Loc(0);
+    const B: Loc = Loc(1);
+    const R0: Reg = Reg(0);
+
+    #[test]
+    fn sc_lowers_everything_plain() {
+        let p = SrcProgram::new(vec![vec![
+            SrcStmt::store(A, 1, SeqCst),
+            SrcStmt::fence(SeqCst),
+            SrcStmt::load(B, R0, Acquire),
+        ]]);
+        let lowered = lower(&p, &correct_table(ConsistencyModel::Sc));
+        assert_eq!(lowered.threads[0].len(), 2);
+        assert!(lowered.threads[0]
+            .iter()
+            .all(|s| !matches!(s.op, StmtOp::Fence(_))));
+    }
+
+    #[test]
+    fn wc_release_store_takes_a_leading_fence() {
+        let p = SrcProgram::new(vec![vec![SrcStmt::store(A, 1, Release)]]);
+        let lowered = lower(&p, &correct_table(ConsistencyModel::Wc));
+        assert_eq!(lowered.threads[0].len(), 2);
+        assert!(matches!(
+            lowered.threads[0][0].op,
+            StmtOp::Fence(FenceKind::Full)
+        ));
+        assert!(matches!(lowered.threads[0][1].op, StmtOp::Write { .. }));
+    }
+
+    #[test]
+    fn wc_acquire_load_takes_a_trailing_fence() {
+        let p = SrcProgram::new(vec![vec![SrcStmt::load(A, R0, Acquire)]]);
+        let lowered = lower(&p, &correct_table(ConsistencyModel::Wc));
+        assert_eq!(lowered.threads[0].len(), 2);
+        assert!(matches!(lowered.threads[0][0].op, StmtOp::Read { .. }));
+        assert!(matches!(
+            lowered.threads[0][1].op,
+            StmtOp::Fence(FenceKind::Full)
+        ));
+    }
+
+    #[test]
+    fn pc_fences_only_seq_cst_stores() {
+        let p = SrcProgram::new(vec![vec![
+            SrcStmt::store(A, 1, Release),
+            SrcStmt::store(A, 2, SeqCst),
+            SrcStmt::load(B, R0, SeqCst),
+        ]]);
+        let lowered = lower(&p, &correct_table(ConsistencyModel::Pc));
+        let kinds: Vec<bool> = lowered.threads[0]
+            .iter()
+            .map(|s| matches!(s.op, StmtOp::Fence(_)))
+            .collect();
+        // W, W, F, R — one fence, after the seq_cst store.
+        assert_eq!(kinds, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn dependencies_ride_on_the_lowered_access() {
+        let p = SrcProgram::new(vec![vec![
+            SrcStmt::load(A, R0, Acquire),
+            SrcStmt::store(B, 1, Release).depending_on(R0),
+        ]]);
+        let lowered = lower(&p, &correct_table(ConsistencyModel::Wc));
+        // R, F, F, W — the W carries the dep.
+        let w = lowered.threads[0]
+            .iter()
+            .find(|s| matches!(s.op, StmtOp::Write { .. }))
+            .expect("store survives lowering");
+        assert_eq!(w.dep, Some(R0));
+        // The lowered program still validates (dep after its producer).
+        let _ = LitmusProgram::new(lowered.threads.clone());
+    }
+
+    #[test]
+    fn an_all_fence_thread_does_not_lower_to_empty() {
+        let p = SrcProgram::new(vec![
+            vec![SrcStmt::fence(Release)],
+            vec![SrcStmt::store(A, 1, Relaxed)],
+        ]);
+        // Under PC the release fence erases; the thread must survive.
+        let lowered = lower(&p, &correct_table(ConsistencyModel::Pc));
+        assert_eq!(lowered.threads.len(), 2);
+        assert!(!lowered.threads[0].is_empty());
+    }
+
+    #[test]
+    fn buggy_tables_differ_from_correct_exactly_where_advertised() {
+        let correct = correct_table(ConsistencyModel::Wc);
+        let b1 = buggy_table(ConsistencyModel::Wc, MappingBug::WcReleaseStoreNoFence);
+        assert_eq!(b1.stores[&Release], AccessMapping::plain());
+        assert_eq!(b1.loads, correct.loads);
+        assert_eq!(b1.fences, correct.fences);
+
+        let b2 = buggy_table(ConsistencyModel::Wc, MappingBug::AcquireLoadAsRelaxed);
+        assert_eq!(b2.loads[&Acquire], AccessMapping::plain());
+        assert_eq!(b2.stores, correct.stores);
+
+        // The release-store bug is a WC-mapping bug: other models keep
+        // their correct (already fence-free) entry.
+        assert_eq!(
+            buggy_table(ConsistencyModel::Pc, MappingBug::WcReleaseStoreNoFence),
+            correct_table(ConsistencyModel::Pc)
+        );
+    }
+
+    #[test]
+    fn rendered_table_is_stable_text() {
+        let text = render_mapping_table(&correct_table(ConsistencyModel::Wc));
+        assert!(text.contains("mapping table: WC"));
+        assert!(text.contains("store.rel -> F ; W"));
+        assert!(text.contains("load.acq  -> R ; F"));
+        assert!(text.contains("fence.sc  -> F"));
+    }
+}

@@ -11,6 +11,18 @@
 //! `litmus/regressions/` and replayed as an ordinary corpus test
 //! ([`campaign`]).
 //!
+//! The *trisection* layer lifts the same machinery to the language
+//! level (TriCheck-style: software model × compiler mapping × hardware
+//! model). A second generator emits C11-like source programs
+//! ([`src_gen`]), a data-driven mapping table lowers them to machine
+//! primitives (`ise-consistency::lowering`), and the oracle
+//! ([`trisect`]) flags any lowered execution — axiomatic, operational,
+//! or simulated — that exhibits an outcome the *source* model forbids.
+//! Seeded-buggy tables (a WC release store without its fence, an
+//! acquire load mapped as relaxed) are the self-check: campaigns
+//! through them must end dirty, and the witnesses shrink to
+//! `.srclitmus` reproducers.
+//!
 //! Everything is deterministic: one master seed fixes the entire
 //! campaign, per-case seeds are derived by index (never by worker), and
 //! the report registry renders byte-identically for every
@@ -23,6 +35,8 @@ pub mod campaign;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
+pub mod src_gen;
+pub mod trisect;
 
 pub use campaign::{
     case_seed, run_campaign, run_campaign_with_workers, to_parsed, write_regressions,
@@ -31,3 +45,9 @@ pub use campaign::{
 pub use gen::{generate, FuzzCase, GenConfig};
 pub use oracle::{check_case, Finding, FindingKind, OracleConfig};
 pub use shrink::{shrink, ShrinkResult};
+pub use src_gen::{generate_src, SrcGenConfig, TrisectCase};
+pub use trisect::{
+    check_src_case, run_trisection, run_trisection_with_workers, shrink_src, to_src_parsed,
+    write_src_regressions, SrcFinding, SrcShrinkResult, TrisectConfig, TrisectFinding,
+    TrisectFindingKind, TrisectOracleConfig, TrisectReport,
+};

@@ -19,13 +19,18 @@
 
 //! * [`parse`] — a plain-text litmus dialect, so corpora can live as
 //!   files and run through `cargo run -p ise-bench --bin litmus`.
+//! * [`src_parse`] — the source-level (C11-like) twin dialect for the
+//!   trisection harness: `.srclitmus` files carrying memory-order
+//!   annotations and the hardware model a reproducer was found against.
 
 pub mod corpus;
 pub mod machine;
 pub mod parse;
 pub mod runner;
+pub mod src_parse;
 
 pub use corpus::{corpus, Family, LitmusTest};
 pub use machine::{explore, ExplorationResult, MachineConfig, SeededBug};
 pub use parse::{load_litmus_dir, parse_litmus, render_litmus, ParseError, ParsedLitmus};
 pub use runner::{run_corpus, run_corpus_with_workers, run_test, CorpusSummary, LitmusReport};
+pub use src_parse::{load_src_litmus_dir, parse_src_litmus, render_src_litmus, ParsedSrcLitmus};

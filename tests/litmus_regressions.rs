@@ -9,9 +9,13 @@
 //! PC- or WC-model findings, so checking against the PC envelope is
 //! sound for every file.
 
-use imprecise_store_exceptions::consistency::{allowed_outcomes, program::format_outcome};
+use imprecise_store_exceptions::consistency::source::allowed_src_outcomes;
+use imprecise_store_exceptions::consistency::{
+    allowed_outcomes, correct_table, lower, program::format_outcome,
+};
 use imprecise_store_exceptions::litmus::machine::{explore, MachineConfig};
 use imprecise_store_exceptions::litmus::parse::load_litmus_dir;
+use imprecise_store_exceptions::litmus::src_parse::load_src_litmus_dir;
 use imprecise_store_exceptions::types::model::ConsistencyModel;
 use std::path::Path;
 
@@ -41,6 +45,56 @@ fn every_regression_reproducer_stays_fixed() {
                 !allowed.contains(forbidden),
                 "{file}: {} is now allowed under PC",
                 format_outcome(forbidden)
+            );
+            assert!(
+                !clean.outcomes.contains(forbidden) && !faulting.outcomes.contains(forbidden),
+                "{file}: the machine observed forbidden outcome {}",
+                format_outcome(forbidden)
+            );
+        }
+    }
+}
+
+#[test]
+fn every_source_regression_reproducer_stays_fixed() {
+    // The trisection campaign's shrunk reproducers: each `.srclitmus`
+    // file carries a source program, the hardware model the buggy
+    // mapping once lowered it to, and the language-forbidden outcomes
+    // it exhibited there. Replaying through the *correct* mapping table
+    // must close the escape: the outcome stays language-forbidden, the
+    // recorded model's axioms no longer admit it for the lowered
+    // program, and no exhaustive-machine path observes it — clean or
+    // with every location faulting.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus/regressions");
+    let corpus = load_src_litmus_dir(&dir).expect("source regression corpus loads");
+    assert!(
+        !corpus.is_empty(),
+        "litmus/regressions/ holds checked-in .srclitmus reproducers"
+    );
+    for (file, parsed) in corpus {
+        assert!(
+            !parsed.forbidden.is_empty(),
+            "{file}: a reproducer without forbid: lines checks nothing"
+        );
+        let lowered = lower(&parsed.program, &correct_table(parsed.model));
+        let lang_allowed = allowed_src_outcomes(&parsed.program);
+        let hw_allowed = allowed_outcomes(&lowered, parsed.model);
+        let clean = explore(&lowered, &MachineConfig::baseline(parsed.model));
+        let faulting = explore(
+            &lowered,
+            &MachineConfig::baseline(parsed.model).with_all_faulting(&lowered),
+        );
+        for forbidden in &parsed.forbidden {
+            assert!(
+                !lang_allowed.contains(forbidden),
+                "{file}: {} is now language-allowed",
+                format_outcome(forbidden)
+            );
+            assert!(
+                !hw_allowed.contains(forbidden),
+                "{file}: {} leaks through the correct mapping under {}",
+                format_outcome(forbidden),
+                parsed.model
             );
             assert!(
                 !clean.outcomes.contains(forbidden) && !faulting.outcomes.contains(forbidden),
