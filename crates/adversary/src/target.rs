@@ -64,7 +64,7 @@ pub fn victim_workload() -> Workload {
 
     Workload {
         name: "adversary-victim".to_string(),
-        traces: vec![burst, clean],
+        traces: vec![burst.into(), clean.into()],
         einject_pages: pool_pages(),
     }
 }
@@ -91,7 +91,7 @@ mod tests {
         assert_eq!(w.traces[0].len(), BURST_STORES);
         let mut addrs = std::collections::HashSet::new();
         let mut pages = std::collections::HashSet::new();
-        for ins in &w.traces[0] {
+        for ins in w.traces[0].iter() {
             let InstrKind::Store { addr, .. } = ins.kind else {
                 panic!("the burst is stores only");
             };
@@ -110,7 +110,7 @@ mod tests {
     fn bystander_traffic_is_disjoint_from_the_pool() {
         let w = victim_workload();
         let pool: std::collections::HashSet<_> = pool_pages().into_iter().collect();
-        for ins in &w.traces[1] {
+        for ins in w.traces[1].iter() {
             let addr = match ins.kind {
                 InstrKind::Store { addr, .. } | InstrKind::Load { addr, .. } => addr,
                 _ => continue,

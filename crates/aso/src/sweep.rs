@@ -79,7 +79,7 @@ impl SweepResult {
 
 fn make_cores(
     cfg: &SystemConfig,
-    traces: &[Vec<Instruction>],
+    traces: &[std::sync::Arc<[Instruction]>],
     model: ConsistencyModel,
 ) -> Vec<Core<VecTrace>> {
     traces
@@ -87,7 +87,7 @@ fn make_cores(
         .enumerate()
         .map(|(i, t)| {
             let core_cfg = cfg.core.with_model(model);
-            Core::new(CoreId(i), core_cfg, VecTrace::new(t.clone()))
+            Core::new(CoreId(i), core_cfg, VecTrace::shared(t.clone()))
         })
         .collect()
 }
@@ -163,7 +163,7 @@ fn run_tracking_peak_clocked(
 /// Table 3 study is exception-free), or `max_cycles` elapses.
 pub fn sweep_checkpoints(
     cfg: &SystemConfig,
-    traces: &[Vec<Instruction>],
+    traces: &[std::sync::Arc<[Instruction]>],
     budgets: &[usize],
     max_cycles: Cycle,
 ) -> SweepResult {
@@ -186,7 +186,7 @@ pub fn sweep_checkpoints(
 /// As [`sweep_checkpoints`].
 pub fn sweep_checkpoints_clocked(
     cfg: &SystemConfig,
-    traces: &[Vec<Instruction>],
+    traces: &[std::sync::Arc<[Instruction]>],
     budgets: &[usize],
     max_cycles: Cycle,
     skip: bool,
@@ -252,14 +252,14 @@ mod tests {
     }
 
     /// A store-miss-heavy trace: the case WC/ASO accelerate.
-    fn store_trace(seed: u64, n: u64) -> Vec<Instruction> {
+    fn store_trace(seed: u64, n: u64) -> std::sync::Arc<[Instruction]> {
         let mut v = Vec::new();
         for i in 0..n {
             v.push(Instruction::store(Addr::new((seed + i) * 4096), i));
             v.push(Instruction::other());
             v.push(Instruction::other());
         }
-        v
+        v.into()
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn faulting_store_workload(stores: u64) -> Workload {
         .collect();
     Workload {
         name: "ablation".into(),
-        traces: vec![trace],
+        traces: vec![trace.into()],
         einject_pages: (0..(stores * 8).div_ceil(4096).max(1))
             .map(|p| Addr::new(EINJECT_BASE + p * 4096).page())
             .collect(),

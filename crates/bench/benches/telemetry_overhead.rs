@@ -36,7 +36,7 @@ fn faulting_workload(stores: u64) -> Workload {
     };
     Workload {
         name: "telemetry-overhead".into(),
-        traces: vec![mk(0), mk(1)],
+        traces: vec![mk(0).into(), mk(1).into()],
         einject_pages: (0..2u64)
             .flat_map(|s| (0..stores).map(move |i| base.offset((s * 100_000 + i) * 64).page()))
             .collect::<std::collections::BTreeSet<_>>()

@@ -1,0 +1,123 @@
+//! Writes the checked-in perf snapshots `BENCH_fig6.json` and
+//! `BENCH_sim_scaling.json`: median-of-3 wall-clock per `ISE_CYCLE_SKIP`
+//! pin plus an FNV-1a hash of the telemetry registry, verified identical
+//! across every run of both pins (the clock choice must never change
+//! results, only wall-clock).
+//!
+//! The previous snapshot's `after_median_ms` is carried forward as this
+//! run's `before_median_ms`, so the files accumulate a machine-readable
+//! perf trajectory across PRs. Usage:
+//!
+//! ```text
+//! cargo run --release -p ise-bench --bin bench_snapshot [--quick] \
+//!     [--before-fig6 <ms>] [--before-scaling <ms>]
+//! ```
+//!
+//! `--quick` uses the reduced fig6 scale and a shorter scaling workload
+//! (for smoke-testing the tool itself; checked-in snapshots use full
+//! scale). The `--before-*` overrides seed the baseline for the first
+//! snapshot, when no previous file exists.
+
+use ise_bench::report_sections;
+use ise_bench::snapshot::{
+    dram_bound_workload, fnv1a_hex, previous_after_ms, scaling_cfg, write_snapshot, PinTiming,
+};
+use ise_sim::experiments::{fig6, fig6_cloudsuite, Fig6Scale};
+use ise_sim::System;
+use ise_types::ToJson;
+use std::time::Instant;
+
+const RUNS: usize = 3;
+const MAX_CYCLES: u64 = 2_000_000_000;
+
+fn arg_value(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Runs `body` [`RUNS`] times under each `ISE_CYCLE_SKIP` pin, asserting
+/// the returned registry hash is identical everywhere; returns the two
+/// timings and the common hash.
+fn measure_pins(mut body: impl FnMut() -> String) -> (PinTiming, PinTiming, String) {
+    let mut hash: Option<String> = None;
+    let mut timings = Vec::new();
+    for pin in ["0", "1"] {
+        std::env::set_var("ISE_CYCLE_SKIP", pin);
+        let mut runs_ms = Vec::with_capacity(RUNS);
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            let h = body();
+            runs_ms.push(u64::try_from(t0.elapsed().as_millis()).unwrap());
+            match &hash {
+                None => hash = Some(h),
+                Some(expect) => assert_eq!(
+                    &h, expect,
+                    "registry hash diverged across runs/pins (ISE_CYCLE_SKIP={pin})"
+                ),
+            }
+        }
+        timings.push(PinTiming { runs_ms });
+    }
+    std::env::remove_var("ISE_CYCLE_SKIP");
+    let skip = timings.pop().unwrap();
+    let reference = timings.pop().unwrap();
+    (reference, skip, hash.unwrap())
+}
+
+fn snapshot_fig6(quick: bool) {
+    let scale = if quick {
+        Fig6Scale::quick()
+    } else {
+        Fig6Scale::full()
+    };
+    let (reference, skip, hash) = measure_pins(|| {
+        let rows = fig6(&scale);
+        let ext = fig6_cloudsuite(&scale);
+        let registry = report_sections([("rows", rows.to_json()), ("cloudsuite", ext.to_json())]);
+        fnv1a_hex(registry.render().as_bytes())
+    });
+    let path = "BENCH_fig6.json";
+    let before = previous_after_ms(path).or_else(|| arg_value("--before-fig6"));
+    let scale_name = if quick { "quick" } else { "full" };
+    write_snapshot(path, "fig6", scale_name, before, &reference, &skip, &hash);
+    println!(
+        "fig6 ({scale_name}): reference median {} ms, cycle-skip median {} ms, {hash}",
+        reference.median(),
+        skip.median()
+    );
+}
+
+fn snapshot_sim_scaling(quick: bool) {
+    let stores = if quick { 200 } else { 2000 };
+    let workload = dram_bound_workload(stores);
+    let (reference, skip, hash) = measure_pins(|| {
+        let stats = System::new(scaling_cfg(), &workload).run(MAX_CYCLES);
+        fnv1a_hex(stats.to_registry().render().as_bytes())
+    });
+    let path = "BENCH_sim_scaling.json";
+    let before = previous_after_ms(path).or_else(|| arg_value("--before-scaling"));
+    let scale_name = if quick { "quick" } else { "full" };
+    write_snapshot(
+        path,
+        "sim_scaling",
+        scale_name,
+        before,
+        &reference,
+        &skip,
+        &hash,
+    );
+    println!(
+        "sim_scaling ({scale_name}): reference median {} ms, cycle-skip median {} ms, {hash}",
+        reference.median(),
+        skip.median()
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    snapshot_fig6(quick);
+    snapshot_sim_scaling(quick);
+}

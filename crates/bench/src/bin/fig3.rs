@@ -15,7 +15,7 @@ fn main() {
         .collect();
     let workload = Workload {
         name: "fig3-flow".into(),
-        traces: vec![trace],
+        traces: vec![trace.into()],
         einject_pages: vec![base.page()],
     };
     let mut cfg = SystemConfig::isca23();

@@ -6,13 +6,22 @@
 //! bars), saturated pages ≈ a store buffer's worth per exception (the
 //! "with batching" bars).
 
-use ise_bench::{emit_report, print_table, report_sections};
+use ise_bench::{
+    emit_report, print_table, report_sections, FIG5_IO_LATENCY, FIG5_IO_PAGES_FULL,
+    FIG5_IO_PAGES_QUICK, FIG5_PAGES_FULL, FIG5_PAGES_QUICK,
+};
 use ise_sim::experiments::{fig5, fig5_demand_paging};
 use ise_sim::report::render_bars;
 use ise_types::ToJson;
 
 fn main() {
-    let rows = fig5(&[1, 4, 16, 64, 256, 512, 1024]);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (pages, io_pages) = if quick {
+        (FIG5_PAGES_QUICK, FIG5_IO_PAGES_QUICK)
+    } else {
+        (FIG5_PAGES_FULL, FIG5_IO_PAGES_FULL)
+    };
+    let rows = fig5(pages);
     let mut out = vec![vec![
         "faulting pages".into(),
         "exceptions".into(),
@@ -59,7 +68,7 @@ fn main() {
 
     // Extension: demand paging — batched page-in IO vs the serial
     // precise-fault regime (§5.3's second batching argument).
-    let io_rows = fig5_demand_paging(&[4, 64, 512], 20_000);
+    let io_rows = fig5_demand_paging(io_pages, FIG5_IO_LATENCY);
     let mut out = vec![vec![
         "faulting pages".into(),
         "exceptions".into(),

@@ -8,6 +8,8 @@
 
 #![deny(missing_docs)]
 
+pub mod snapshot;
+
 use ise_consistency::program::format_outcome;
 use ise_litmus::parse::{parse_litmus, ParsedLitmus};
 use ise_litmus::runner::{run_test_with_policy, FaultMode};
@@ -16,6 +18,24 @@ use ise_telemetry::Registry;
 use ise_types::model::DrainPolicy;
 use ise_types::{ConsistencyModel, Json};
 use std::fmt::Write;
+
+/// The fault-intensity axis (faulting pages per iteration) the full
+/// `fig5` binary sweeps — the paper's Fig. 5 x-axis.
+pub const FIG5_PAGES_FULL: &[usize] = &[1, 4, 16, 64, 256, 512, 1024];
+
+/// Reduced sweep for `fig5 --quick`: the unbatched end, the knee, and
+/// the batched end. The registry golden and the CI perf-smoke leg pin
+/// this scale so the comparison is cheap under both clock pins.
+pub const FIG5_PAGES_QUICK: &[usize] = &[1, 16, 256];
+
+/// Demand-paging extension page counts (full scale).
+pub const FIG5_IO_PAGES_FULL: &[usize] = &[4, 64, 512];
+
+/// Demand-paging extension page counts (`--quick`).
+pub const FIG5_IO_PAGES_QUICK: &[usize] = &[4, 64];
+
+/// Page-in IO latency (cycles) for the demand-paging extension.
+pub const FIG5_IO_LATENCY: u64 = 20_000;
 
 /// Prints a titled table to stdout.
 pub fn print_table(title: &str, rows: &[Vec<String>]) {
@@ -142,7 +162,7 @@ pub fn table5_report_with_snapshot() -> (String, Registry) {
         .collect();
     let workload = Workload {
         name: "table5-audit".into(),
-        traces: vec![trace],
+        traces: vec![trace.into()],
         einject_pages: vec![base.page()],
     };
     let mut cfg = SystemConfig::isca23();

@@ -1,0 +1,186 @@
+//! Machine-readable performance snapshots (`BENCH_*.json`).
+//!
+//! The `bench_snapshot` binary freezes a median-of-3 wall-clock
+//! measurement plus a hash of the produced telemetry registry for the
+//! two wall-clock-critical studies (`fig6`, `sim_scaling`). The files
+//! are checked in, so every perf-affecting PR carries its own
+//! before/after numbers: the tool reads the previous snapshot's
+//! `after_median_ms` as the new baseline and records the fresh medians
+//! next to it.
+//!
+//! The registry hash doubles as a cheap behavior oracle: a layout or
+//! scheduling rework that changes *any* reported counter changes the
+//! hash, so "faster and byte-identical" is a single file diff.
+
+use ise_types::addr::Addr;
+use ise_types::instr::FenceKind;
+use ise_types::{Instruction, Json, SystemConfig};
+use ise_workloads::Workload;
+
+/// FNV-1a over `bytes`, rendered as `fnv1a:<16 hex digits>`.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a:{h:016x}")
+}
+
+/// Median of a small sample (odd lengths give the true middle element).
+///
+/// # Panics
+///
+/// Panics if `runs` is empty.
+pub fn median_ms(runs: &[u64]) -> u64 {
+    assert!(!runs.is_empty(), "median of no runs");
+    let mut sorted = runs.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// Extracts `"after_median_ms": <digits>` from a previous snapshot file,
+/// if one exists at `path` — the previous "after" becomes this run's
+/// "before" without needing a JSON parser.
+pub fn previous_after_ms(path: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"after_median_ms\":";
+    let at = text.find(key)? + key.len();
+    let digits: String = text[at..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// One measured pin: raw runs and their median.
+#[derive(Debug, Clone)]
+pub struct PinTiming {
+    /// Wall-clock per run, milliseconds, in run order.
+    pub runs_ms: Vec<u64>,
+}
+
+impl PinTiming {
+    /// Median of the recorded runs.
+    pub fn median(&self) -> u64 {
+        median_ms(&self.runs_ms)
+    }
+
+    /// The runs as a JSON array.
+    pub fn to_json(&self) -> Json {
+        Json::arr(self.runs_ms.iter().map(|&ms| Json::from(ms)))
+    }
+}
+
+/// Assembles and writes one `BENCH_<name>.json` snapshot.
+///
+/// `before_ms` should come from [`previous_after_ms`] (or an explicit
+/// command-line override for the first snapshot); `reference` and
+/// `cycle_skip` are the timings under `ISE_CYCLE_SKIP=0` / `=1`, and
+/// `registry_hash` must already be verified identical across every run
+/// of both pins. The headline `after_median_ms` is the reference-clock
+/// median — the number the ROADMAP speedup bars are stated against.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_snapshot(
+    path: &str,
+    name: &str,
+    scale: &str,
+    before_ms: Option<u64>,
+    reference: &PinTiming,
+    cycle_skip: &PinTiming,
+    registry_hash: &str,
+) {
+    let json = Json::obj([
+        ("bench", Json::str(name)),
+        ("scale", Json::str(scale)),
+        ("before_median_ms", before_ms.map_or(Json::Null, Json::from)),
+        ("after_median_ms", Json::from(reference.median())),
+        ("reference_ms", reference.to_json()),
+        ("reference_median_ms", Json::from(reference.median())),
+        ("cycle_skip_ms", cycle_skip.to_json()),
+        ("cycle_skip_median_ms", Json::from(cycle_skip.median())),
+        ("registry_hash", Json::str(registry_hash)),
+    ]);
+    let mut text = json.render();
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
+/// One core alternating a page-stride store with a full fence: every
+/// store misses the whole hierarchy and the fence parks the pipeline for
+/// the DRAM round trip — the dead-cycle-dominated regime the
+/// cycle-skipping clock collapses (shared by the `sim_scaling` Criterion
+/// bench and the `bench_snapshot` binary).
+pub fn dram_bound_workload(stores: u64) -> Workload {
+    let base = Addr::new(0x1000_0000);
+    Workload {
+        name: "dram-bound".into(),
+        traces: vec![(0..stores)
+            .flat_map(|i| {
+                [
+                    Instruction::store(base.offset(i * 4096), i),
+                    Instruction::fence(FenceKind::Full),
+                ]
+            })
+            .collect()],
+        einject_pages: Vec::new(),
+    }
+}
+
+/// The 2×1-mesh single-core system the scaling study runs on.
+pub fn scaling_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::isca23();
+    cfg.noc.mesh_x = 2;
+    cfg.noc.mesh_y = 1;
+    cfg.cores = 1;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        let a = fnv1a_hex(b"hello");
+        assert_eq!(a, fnv1a_hex(b"hello"));
+        assert_ne!(a, fnv1a_hex(b"hellp"));
+        assert!(a.starts_with("fnv1a:") && a.len() == 6 + 16);
+    }
+
+    #[test]
+    fn median_takes_middle_element() {
+        assert_eq!(median_ms(&[30, 10, 20]), 20);
+        assert_eq!(median_ms(&[7]), 7);
+        assert_eq!(median_ms(&[4, 2]), 4);
+    }
+
+    #[test]
+    fn previous_after_survives_roundtrip() {
+        let dir = std::env::temp_dir().join("ise-bench-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_roundtrip.json");
+        let path = path.to_str().unwrap();
+        let reference = PinTiming {
+            runs_ms: vec![120, 100, 110],
+        };
+        let skip = PinTiming {
+            runs_ms: vec![90, 80, 85],
+        };
+        write_snapshot(path, "t", "quick", Some(400), &reference, &skip, "fnv1a:0");
+        assert_eq!(previous_after_ms(path), Some(110));
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"before_median_ms\":400"));
+        assert!(text.contains("\"cycle_skip_median_ms\":85"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn previous_after_absent_file_is_none() {
+        assert_eq!(previous_after_ms("/nonexistent/BENCH_x.json"), None);
+    }
+}

@@ -72,6 +72,38 @@ fn mapping_tables_match_snapshot() {
 }
 
 #[test]
+fn fig5_quick_registry_matches_snapshot() {
+    // The exact registry the `fig5 --quick` binary emits on its `JSON
+    // fig5:` line. The CI perf-smoke leg re-derives the same bytes from
+    // the release binary under both `ISE_CYCLE_SKIP` pins and diffs
+    // against this file, so a perf rework that changes *any* reported
+    // counter — or makes the two clocks disagree — fails fast.
+    use ise_sim::experiments::{fig5, fig5_demand_paging};
+    use ise_types::ToJson;
+    let rows = fig5(ise_bench::FIG5_PAGES_QUICK);
+    let io_rows = fig5_demand_paging(ise_bench::FIG5_IO_PAGES_QUICK, ise_bench::FIG5_IO_LATENCY);
+    let registry = ise_bench::report_sections([
+        ("rows", rows.to_json()),
+        ("demand_paging", io_rows.to_json()),
+    ]);
+    check_golden("fig5_quick_registry.json", &(registry.render() + "\n"));
+}
+
+#[test]
+fn fig6_quick_registry_matches_snapshot() {
+    // Same contract for `fig6 --quick` (whole-workload runs, so this is
+    // the heavier of the two registry goldens).
+    use ise_sim::experiments::{fig6, fig6_cloudsuite, Fig6Scale};
+    use ise_types::ToJson;
+    let scale = Fig6Scale::quick();
+    let rows = fig6(&scale);
+    let ext = fig6_cloudsuite(&scale);
+    let registry =
+        ise_bench::report_sections([("rows", rows.to_json()), ("cloudsuite", ext.to_json())]);
+    check_golden("fig6_quick_registry.json", &(registry.render() + "\n"));
+}
+
+#[test]
 fn checked_in_litmus_corpus_matches_snapshots() {
     let dir = litmus_dir();
     let mut names: Vec<String> = std::fs::read_dir(&dir)

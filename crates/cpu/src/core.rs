@@ -9,6 +9,7 @@
 //! (ise-sim) routes them through the FSBC/FSB and the OS model and then
 //! calls [`Core::resume_at`]. The core itself never blocks on software.
 
+use crate::rob::{ReplayRing, RobEntry, RobRing};
 use crate::store_buffer::{DrainFault, StoreBuffer};
 use crate::trace::TraceSource;
 use ise_engine::{cycle_skip_override, Cycle};
@@ -19,7 +20,6 @@ use ise_types::exception::ExceptionKind;
 use ise_types::instr::{FenceKind, InstrKind};
 use ise_types::stats::CoreStats;
 use ise_types::{CoreId, FaultingStoreEntry, Instruction};
-use std::collections::VecDeque;
 
 /// What a single [`Core::step`] produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,16 +47,6 @@ pub enum StepOutcome {
     Finished,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct RobEntry {
-    instr: Instruction,
-    complete_at: Cycle,
-    fault: Option<ExceptionKind>,
-    /// For atomics and SC stores: whether the memory access has been
-    /// issued (they access memory non-speculatively at the ROB head).
-    issued: bool,
-}
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CoreState {
     Running,
@@ -71,10 +61,10 @@ pub struct Core<T> {
     cfg: CoreConfig,
     trace: T,
     trace_done: bool,
-    rob: VecDeque<RobEntry>,
+    rob: RobRing,
     /// Instructions squashed by a flush, awaiting re-dispatch (oldest
     /// first). Refilled before pulling from the trace.
-    replay: VecDeque<Instruction>,
+    replay: ReplayRing,
     sb: StoreBuffer,
     state: CoreState,
     resume_at: Cycle,
@@ -120,8 +110,8 @@ impl<T: TraceSource> Core<T> {
             cfg,
             trace,
             trace_done: false,
-            rob: VecDeque::with_capacity(cfg.rob_entries),
-            replay: VecDeque::new(),
+            rob: RobRing::new(cfg.rob_entries),
+            replay: ReplayRing::new(cfg.rob_entries),
             sb: StoreBuffer::new(id, cfg.sb_entries, cfg.model),
             state: CoreState::Running,
             resume_at: 0,
@@ -251,8 +241,8 @@ impl<T: TraceSource> Core<T> {
     fn flush_pipeline(&mut self) {
         // Move every uncommitted instruction back for re-dispatch, oldest
         // first, ahead of anything already queued for replay.
-        while let Some(e) = self.rob.pop_back() {
-            self.replay.push_front(e.instr);
+        while let Some(instr) = self.rob.pop_back() {
+            self.replay.push_front(instr);
         }
     }
 
@@ -318,7 +308,7 @@ impl<T: TraceSource> Core<T> {
         // 2. In-order retirement.
         let mut retired = 0;
         while retired < self.cfg.width {
-            let Some(head) = self.rob.front().copied() else {
+            let Some(head) = self.rob.front() else {
                 break;
             };
             match head.instr.kind {
@@ -345,10 +335,7 @@ impl<T: TraceSource> Core<T> {
                         if r.latency > hier.config().l1d.latency {
                             self.stats.l1d_misses += 1;
                         }
-                        let e = self.rob.front_mut().expect("head exists");
-                        e.issued = true;
-                        e.complete_at = now + r.latency;
-                        e.fault = r.fault;
+                        self.rob.head_mark_issued(now + r.latency, r.fault);
                         issued_at_head = true;
                         self.stats.store_stall_cycles += 1;
                         break;
@@ -406,10 +393,7 @@ impl<T: TraceSource> Core<T> {
                     }
                     if !head.issued {
                         let r = hier.access(Access::store(self.id, addr), now);
-                        let e = self.rob.front_mut().expect("head exists");
-                        e.issued = true;
-                        e.complete_at = now + r.latency;
-                        e.fault = r.fault;
+                        self.rob.head_mark_issued(now + r.latency, r.fault);
                         issued_at_head = true;
                         break;
                     }
@@ -615,10 +599,7 @@ impl<T: TraceSource> Core<T> {
     /// Whether an older, still-unretired store to the same 8-byte word
     /// sits in the ROB (store-to-load forwarding source).
     fn rob_forwards(&self, addr: Addr) -> bool {
-        let word = addr.raw() >> 3;
-        self.rob.iter().any(
-            |e| matches!(e.instr.kind, InstrKind::Store { addr: a, .. } if a.raw() >> 3 == word),
-        )
+        self.rob.forwards_store(addr.raw() >> 3)
     }
 
     fn dispatch(&mut self, instr: Instruction, now: Cycle, hier: &mut MemoryHierarchy) -> RobEntry {

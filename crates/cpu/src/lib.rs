@@ -22,6 +22,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod core;
+mod rob;
 pub mod store_buffer;
 pub mod trace;
 

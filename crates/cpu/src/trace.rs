@@ -1,6 +1,7 @@
 //! Instruction trace sources.
 
 use ise_types::Instruction;
+use std::sync::Arc;
 
 /// A pull-based source of instructions for one core.
 ///
@@ -17,16 +18,28 @@ pub trait TraceSource {
     }
 }
 
-/// A trace backed by a vector of instructions.
+/// A trace backed by an immutable, shareable instruction sequence.
+///
+/// The backing storage is reference-counted so one synthesized trace can
+/// feed many cores or many systems (baseline vs. injected runs) without
+/// copying the instruction array per consumer.
 #[derive(Debug, Clone)]
 pub struct VecTrace {
-    instrs: Vec<Instruction>,
+    instrs: Arc<[Instruction]>,
     pos: usize,
 }
 
 impl VecTrace {
     /// Wraps a complete instruction sequence.
     pub fn new(instrs: Vec<Instruction>) -> Self {
+        VecTrace {
+            instrs: instrs.into(),
+            pos: 0,
+        }
+    }
+
+    /// Wraps an already-shared instruction sequence without copying it.
+    pub fn shared(instrs: Arc<[Instruction]>) -> Self {
         VecTrace { instrs, pos: 0 }
     }
 

@@ -1,16 +1,16 @@
 //! Set-associative cache tag arrays with LRU replacement.
+//!
+//! Tag state is struct-of-arrays: one flat dense array per field
+//! (`tags` / `lru` / packed valid+dirty flags), indexed by
+//! `set * ways + way`. A probe walks `ways` adjacent elements of one
+//! array instead of chasing a per-set `Vec` allocation, and the array
+//! never reallocates after construction.
 
 use ise_types::addr::{Addr, LINE_SIZE};
 use ise_types::config::CacheConfig;
 
-/// One way of one set.
-#[derive(Debug, Clone, Copy, Default)]
-struct Slot {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
-}
+const FLAG_VALID: u8 = 1 << 0;
+const FLAG_DIRTY: u8 = 1 << 1;
 
 /// A set-associative tag array (no data — the hierarchy is
 /// timing-directed; see the crate docs).
@@ -18,7 +18,9 @@ struct Slot {
 /// Lines are identified by their line-aligned address.
 #[derive(Debug, Clone)]
 pub struct CacheArray {
-    sets: Vec<Vec<Slot>>,
+    tags: Box<[u64]>,
+    lru: Box<[u64]>,
+    flags: Box<[u8]>,
     ways: usize,
     set_count: usize,
     tick: u64,
@@ -45,8 +47,11 @@ impl CacheArray {
     pub fn new(cfg: &CacheConfig) -> Self {
         let set_count = cfg.sets(LINE_SIZE as usize);
         assert!(set_count > 0 && cfg.ways > 0, "degenerate cache geometry");
+        let slots = set_count * cfg.ways;
         CacheArray {
-            sets: vec![vec![Slot::default(); cfg.ways]; set_count],
+            tags: vec![0; slots].into_boxed_slice(),
+            lru: vec![0; slots].into_boxed_slice(),
+            flags: vec![0; slots].into_boxed_slice(),
             ways: cfg.ways,
             set_count,
             tick: 0,
@@ -61,33 +66,36 @@ impl CacheArray {
         )
     }
 
+    /// Index of the way holding `tag` in `set`, if resident.
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        (base..base + self.ways).find(|&i| self.flags[i] & FLAG_VALID != 0 && self.tags[i] == tag)
+    }
+
     /// Probes for `line` (line-aligned address), refreshing LRU on hit.
     pub fn lookup(&mut self, line: Addr) -> bool {
         debug_assert_eq!(line, line.line(), "lookup requires a line-aligned address");
         let (set, tag) = self.index_tag(line);
         self.tick += 1;
-        for slot in &mut self.sets[set] {
-            if slot.valid && slot.tag == tag {
-                slot.lru = self.tick;
-                return true;
-            }
+        if let Some(i) = self.find(set, tag) {
+            self.lru[i] = self.tick;
+            true
+        } else {
+            false
         }
-        false
     }
 
     /// Probes without touching LRU state (used by coherence forwards).
     pub fn contains(&self, line: Addr) -> bool {
         let (set, tag) = self.index_tag(line);
-        self.sets[set].iter().any(|s| s.valid && s.tag == tag)
+        self.find(set, tag).is_some()
     }
 
     /// Marks a resident line dirty (stores). No-op if absent.
     pub fn mark_dirty(&mut self, line: Addr) {
         let (set, tag) = self.index_tag(line);
-        for slot in &mut self.sets[set] {
-            if slot.valid && slot.tag == tag {
-                slot.dirty = true;
-            }
+        if let Some(i) = self.find(set, tag) {
+            self.flags[i] |= FLAG_DIRTY;
         }
     }
 
@@ -98,37 +106,35 @@ impl CacheArray {
         let (set, tag) = self.index_tag(line);
         self.tick += 1;
         let tick = self.tick;
-        let slots = &mut self.sets[set];
+        let base = set * self.ways;
         // Already present: refresh.
-        if let Some(slot) = slots.iter_mut().find(|s| s.valid && s.tag == tag) {
-            slot.lru = tick;
-            slot.dirty |= dirty;
+        if let Some(i) = self.find(set, tag) {
+            self.lru[i] = tick;
+            if dirty {
+                self.flags[i] |= FLAG_DIRTY;
+            }
             return Eviction::None;
         }
         // Free way.
-        if let Some(slot) = slots.iter_mut().find(|s| !s.valid) {
-            *slot = Slot {
-                tag,
-                valid: true,
-                dirty,
-                lru: tick,
-            };
+        if let Some(i) = (base..base + self.ways).find(|&i| self.flags[i] & FLAG_VALID == 0) {
+            self.tags[i] = tag;
+            self.lru[i] = tick;
+            self.flags[i] = FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
             return Eviction::None;
         }
-        // LRU victim.
-        let victim = slots
-            .iter_mut()
-            .min_by_key(|s| s.lru)
-            .expect("non-empty set");
-        let victim_block = victim.tag * self.set_count as u64 + set as u64;
+        // LRU victim: first way with the minimal stamp, in way order.
+        let mut victim = base;
+        for i in base + 1..base + self.ways {
+            if self.lru[i] < self.lru[victim] {
+                victim = i;
+            }
+        }
+        let victim_block = self.tags[victim] * self.set_count as u64 + set as u64;
         let evicted = Addr::new(victim_block * LINE_SIZE);
-        let was_dirty = victim.dirty;
-        *victim = Slot {
-            tag,
-            valid: true,
-            dirty,
-            lru: tick,
-        };
+        let was_dirty = self.flags[victim] & FLAG_DIRTY != 0;
+        self.tags[victim] = tag;
+        self.lru[victim] = tick;
+        self.flags[victim] = FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
         if was_dirty {
             Eviction::Dirty(evicted)
         } else {
@@ -139,21 +145,18 @@ impl CacheArray {
     /// Invalidates `line` if present; returns whether it was dirty.
     pub fn invalidate(&mut self, line: Addr) -> Option<bool> {
         let (set, tag) = self.index_tag(line);
-        for slot in &mut self.sets[set] {
-            if slot.valid && slot.tag == tag {
-                slot.valid = false;
-                return Some(slot.dirty);
-            }
+        if let Some(i) = self.find(set, tag) {
+            let dirty = self.flags[i] & FLAG_DIRTY != 0;
+            self.flags[i] &= !FLAG_VALID;
+            Some(dirty)
+        } else {
+            None
         }
-        None
     }
 
     /// Number of resident lines (for tests and occupancy stats).
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|w| w.valid).count())
-            .sum()
+        self.flags.iter().filter(|&&f| f & FLAG_VALID != 0).count()
     }
 
     /// Total capacity in lines.

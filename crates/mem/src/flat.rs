@@ -1,11 +1,37 @@
 //! Functional flat memory.
 //!
 //! The hierarchy is timing-directed; architectural data lives here.
-//! Values are 8-byte words keyed by their aligned address, with byte-mask
-//! writes for sub-word stores (the granularity of FSB entries).
+//! Values are 8-byte words with byte-mask writes for sub-word stores
+//! (the granularity of FSB entries), stored in a paged dense backing:
+//! touched 4 KiB pages are dense `u64` arrays reached through one page
+//! lookup, so the word-granularity hash of the previous layout (one map
+//! entry per non-zero word) collapses into one map entry per page and
+//! steady-state reads/writes touch a flat array.
 
 use ise_types::addr::{Addr, ByteMask};
 use std::collections::HashMap;
+
+/// Words per backing page: 4 KiB pages of 8-byte words, matching the
+/// architectural page size.
+const PAGE_WORDS: u64 = 512;
+
+/// One resident backing page: a dense word array plus the number of
+/// non-zero words, so a page that becomes all-zero again is released
+/// (keeping `resident_words` an exact non-zero count, as before).
+#[derive(Debug, Clone)]
+struct Page {
+    words: Box<[u64]>,
+    nonzero: u32,
+}
+
+impl Page {
+    fn new() -> Self {
+        Page {
+            words: vec![0; PAGE_WORDS as usize].into_boxed_slice(),
+            nonzero: 0,
+        }
+    }
+}
 
 /// A sparse, zero-initialized 64-bit-word memory.
 ///
@@ -20,7 +46,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FlatMemory {
-    words: HashMap<u64, u64>,
+    pages: HashMap<u64, Page>,
 }
 
 impl FlatMemory {
@@ -35,18 +61,43 @@ impl FlatMemory {
 
     /// Reads the 8-byte word containing `addr` (aligned down).
     pub fn read(&self, addr: Addr) -> u64 {
-        self.words.get(&Self::word_key(addr)).copied().unwrap_or(0)
+        let key = Self::word_key(addr);
+        match self.pages.get(&(key / PAGE_WORDS)) {
+            Some(page) => page.words[(key % PAGE_WORDS) as usize],
+            None => 0,
+        }
     }
 
     /// Writes `value` under `mask` to the word containing `addr`.
     pub fn write(&mut self, addr: Addr, value: u64, mask: ByteMask) {
         let key = Self::word_key(addr);
-        let old = self.words.get(&key).copied().unwrap_or(0);
-        let new = mask.merge(old, value);
-        if new == 0 {
-            self.words.remove(&key);
-        } else {
-            self.words.insert(key, new);
+        let page_key = key / PAGE_WORDS;
+        let offset = (key % PAGE_WORDS) as usize;
+        match self.pages.get_mut(&page_key) {
+            Some(page) => {
+                let old = page.words[offset];
+                let new = mask.merge(old, value);
+                page.words[offset] = new;
+                match (old == 0, new == 0) {
+                    (true, false) => page.nonzero += 1,
+                    (false, true) => {
+                        page.nonzero -= 1;
+                        if page.nonzero == 0 {
+                            self.pages.remove(&page_key);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None => {
+                let new = mask.merge(0, value);
+                if new != 0 {
+                    let mut page = Page::new();
+                    page.words[offset] = new;
+                    page.nonzero = 1;
+                    self.pages.insert(page_key, page);
+                }
+            }
         }
     }
 
@@ -60,7 +111,12 @@ impl FlatMemory {
 
     /// Number of non-zero words resident (for tests).
     pub fn resident_words(&self) -> usize {
-        self.words.len()
+        self.pages.values().map(|p| p.nonzero as usize).sum()
+    }
+
+    /// Number of resident backing pages (for tests and occupancy stats).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
     }
 }
 
@@ -106,5 +162,59 @@ mod tests {
         m.write(Addr::new(0), 7, ByteMask::FULL);
         m.write(Addr::new(0), 0, ByteMask::FULL);
         assert_eq!(m.resident_words(), 0);
+        assert_eq!(m.resident_pages(), 0);
+        // A pure zero write to untouched memory allocates nothing.
+        m.write(Addr::new(0x9000), 0, ByteMask::FULL);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn words_within_one_page_share_a_backing_page() {
+        let mut m = FlatMemory::new();
+        for i in 0..PAGE_WORDS {
+            m.write(Addr::new(i * 8), i + 1, ByteMask::FULL);
+        }
+        assert_eq!(m.resident_words(), PAGE_WORDS as usize);
+        assert_eq!(m.resident_pages(), 1);
+        m.write(Addr::new(PAGE_WORDS * 8), 1, ByteMask::FULL);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn paged_memory_matches_naive_word_map() {
+        // Differential: the paged dense store must agree with a naive
+        // word-keyed map (the pre-rework layout) on reads, writes, and
+        // the resident non-zero word count.
+        let mut paged = FlatMemory::new();
+        let mut naive: HashMap<u64, u64> = HashMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Cluster addresses across a few pages, with frequent
+            // re-touches and occasional zero writes.
+            let addr = Addr::new((x % (8 * PAGE_WORDS * 5)) & !7);
+            let value = if x.is_multiple_of(5) { 0 } else { x >> 8 };
+            let mask = if x.is_multiple_of(3) {
+                ByteMask::FULL
+            } else {
+                ByteMask::span((x % 7) as u8, 1 + (x % 2) as u8)
+            };
+            paged.write(addr, value, mask);
+            let key = addr.raw() >> 3;
+            let old = naive.get(&key).copied().unwrap_or(0);
+            let new = mask.merge(old, value);
+            if new == 0 {
+                naive.remove(&key);
+            } else {
+                naive.insert(key, new);
+            }
+            assert_eq!(paged.read(addr), new, "word diverged at {addr:?}");
+        }
+        assert_eq!(paged.resident_words(), naive.len());
+        for (&key, &v) in &naive {
+            assert_eq!(paged.read(Addr::new(key * 8)), v);
+        }
     }
 }

@@ -144,9 +144,10 @@ impl MemoryHierarchy {
             mesh.nodes() >= cfg.cores,
             "mesh must have at least one tile per core"
         );
+        let traffic = TrafficMeter::new(&mesh, TRAFFIC_WINDOW, cfg.noc.link_bytes as u64);
         MemoryHierarchy {
             mesh,
-            traffic: TrafficMeter::new(TRAFFIC_WINDOW, cfg.noc.link_bytes as u64),
+            traffic,
             l1d: (0..cfg.cores).map(|_| CacheArray::new(&cfg.l1d)).collect(),
             tlbs: (0..cfg.cores).map(|_| Tlb::new(cfg.tlb)).collect(),
             mshrs: (0..cfg.cores)
@@ -214,9 +215,8 @@ impl MemoryHierarchy {
     }
 
     fn noc(&mut self, src: NodeId, dst: NodeId, bytes: usize, now: Cycle) -> Cycle {
-        let route = self.mesh.route(src, dst);
         let base = self.mesh.latency(src, dst, bytes);
-        let surcharge = self.traffic.record(&self.mesh, &route, bytes as u64, now);
+        let surcharge = self.traffic.record(&self.mesh, src, dst, bytes as u64, now);
         base + surcharge
     }
 
@@ -399,8 +399,8 @@ impl MemoryHierarchy {
             // Invalidation fan-out: pay the farthest sharer's round trip
             // (invalidations go in parallel; acks gate completion).
             let mut worst: Cycle = 0;
-            for victim in &action.invalidate {
-                let vt = self.tile_of(*victim);
+            for victim in action.invalidate.iter() {
+                let vt = self.tile_of(victim);
                 let rt = self.mesh.round_trip(home, vt, CTRL_BYTES, CTRL_BYTES);
                 worst = worst.max(rt);
                 self.l1d[victim.index()].invalidate(line);
@@ -427,7 +427,7 @@ impl MemoryHierarchy {
         let mut cost = self.noc(my_tile, home, CTRL_BYTES, now);
         let entry = self.dir.entry(line);
         let mut worst = 0;
-        for victim in entry.sharer_list() {
+        for victim in entry.sharer_set().iter() {
             if victim == core {
                 continue;
             }
@@ -442,7 +442,7 @@ impl MemoryHierarchy {
     }
 
     fn invalidate_peers(&mut self, line: Addr, core: CoreId) {
-        for victim in self.dir.entry(line).sharer_list() {
+        for victim in self.dir.entry(line).sharer_set().iter() {
             if victim != core {
                 self.l1d[victim.index()].invalidate(line);
             }

@@ -7,10 +7,15 @@
 //! Stores pay more than loads under sharing because invalidations fan out;
 //! this asymmetry is exactly the store-to-load latency skew that §3.3 of
 //! the paper studies.
+//!
+//! Directory state lives in an open-addressed struct-of-arrays table
+//! ([`LineTable`]) keyed by line index — dense arrays probed linearly, no
+//! per-entry boxing — and write actions carry the victim set as a
+//! [`SharerSet`] bit mask instead of an allocated list, so a directory
+//! transition on the hot path performs no heap allocation.
 
 use ise_types::addr::Addr;
 use ise_types::CoreId;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Stable MESI state of a line as recorded at the directory.
@@ -38,6 +43,61 @@ impl fmt::Display for MesiState {
     }
 }
 
+/// A set of cores as a bit vector (supports up to 64 cores; Table 2 uses
+/// 16). Iteration is in ascending core-id order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerSet(pub u64);
+
+impl SharerSet {
+    /// The empty set.
+    pub const EMPTY: SharerSet = SharerSet(0);
+
+    /// Whether no core is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of cores in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether `core` is in the set.
+    pub fn contains(self, core: CoreId) -> bool {
+        self.0 & (1u64 << core.index()) != 0
+    }
+
+    /// Iterates the member cores in ascending id order without
+    /// allocating.
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(CoreId(i))
+            }
+        })
+    }
+
+    /// The members as a vector (test/debug convenience; allocates).
+    pub fn to_vec(self) -> Vec<CoreId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<CoreId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut bits = 0u64;
+        for c in iter {
+            bits |= 1u64 << c.index();
+        }
+        SharerSet(bits)
+    }
+}
+
 /// One directory entry: state plus a sharer bit-vector (supports up to 64
 /// cores; Table 2 uses 16).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,10 +118,12 @@ impl DirEntry {
 
     /// Cores currently holding the line, in ascending id order.
     pub fn sharer_list(&self) -> Vec<CoreId> {
-        (0..64)
-            .filter(|i| self.sharers & (1u64 << i) != 0)
-            .map(CoreId)
-            .collect()
+        self.sharer_set().to_vec()
+    }
+
+    /// Cores currently holding the line as an allocation-free bit set.
+    pub fn sharer_set(&self) -> SharerSet {
+        SharerSet(self.sharers)
     }
 
     /// Number of sharers.
@@ -89,10 +151,10 @@ pub enum ReadAction {
 }
 
 /// What the requesting core must do to complete a write (GetM/upgrade).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteAction {
     /// Cores whose copies must be invalidated (excludes the requester).
-    pub invalidate: Vec<CoreId>,
+    pub invalidate: SharerSet,
     /// If some other core held M, its dirty data must be pulled first.
     pub pull_dirty_from: Option<CoreId>,
     /// Whether the line must be fetched from memory (no cached copy
@@ -100,19 +162,128 @@ pub struct WriteAction {
     pub from_memory: bool,
 }
 
+/// Open-addressed struct-of-arrays map from line index to directory
+/// state. Linear probing over power-of-two dense arrays; slots are never
+/// tombstoned (an evicted line parks as `Invalid` in place, exactly like
+/// the hash-map predecessor which never removed keys), so probe chains
+/// stay valid without back-shifting.
+#[derive(Debug, Clone)]
+struct LineTable {
+    /// Line index + 1; 0 marks an empty slot.
+    keys: Box<[u64]>,
+    states: Box<[MesiState]>,
+    sharers: Box<[u64]>,
+    /// Occupied slots (including Invalid parked lines).
+    len: usize,
+    mask: usize,
+}
+
+impl LineTable {
+    const INITIAL_SLOTS: usize = 1024;
+
+    fn new() -> Self {
+        LineTable {
+            keys: vec![0; Self::INITIAL_SLOTS].into_boxed_slice(),
+            states: vec![MesiState::Invalid; Self::INITIAL_SLOTS].into_boxed_slice(),
+            sharers: vec![0; Self::INITIAL_SLOTS].into_boxed_slice(),
+            len: 0,
+            mask: Self::INITIAL_SLOTS - 1,
+        }
+    }
+
+    fn hash(key: u64) -> usize {
+        // Fibonacci multiplicative mix: line indices are sequential, so
+        // spread them before masking.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+    }
+
+    /// Slot holding `key`, or `None`.
+    fn find(&self, key: u64) -> Option<usize> {
+        let tagged = key + 1;
+        let mut i = Self::hash(key) & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == tagged {
+                return Some(i);
+            }
+            if k == 0 {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Slot holding `key`, inserting an Invalid entry if absent.
+    fn find_or_insert(&mut self, key: u64) -> usize {
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let tagged = key + 1;
+        let mut i = Self::hash(key) & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == tagged {
+                return i;
+            }
+            if k == 0 {
+                self.keys[i] = tagged;
+                self.states[i] = MesiState::Invalid;
+                self.sharers[i] = 0;
+                self.len += 1;
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_slots].into_boxed_slice());
+        let old_states = std::mem::replace(
+            &mut self.states,
+            vec![MesiState::Invalid; new_slots].into_boxed_slice(),
+        );
+        let old_sharers =
+            std::mem::replace(&mut self.sharers, vec![0; new_slots].into_boxed_slice());
+        self.mask = new_slots - 1;
+        for (slot, &k) in old_keys.iter().enumerate() {
+            if k == 0 {
+                continue;
+            }
+            let mut i = Self::hash(k - 1) & self.mask;
+            while self.keys[i] != 0 {
+                i = (i + 1) & self.mask;
+            }
+            self.keys[i] = k;
+            self.states[i] = old_states[slot];
+            self.sharers[i] = old_sharers[slot];
+        }
+    }
+}
+
 /// The full-map directory.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    table: LineTable,
     /// Counters for stats: (read_forwards, invalidations_sent).
     invalidations: u64,
     forwards: u64,
 }
 
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Directory {
     /// An empty directory.
     pub fn new() -> Self {
-        Self::default()
+        Directory {
+            table: LineTable::new(),
+            invalidations: 0,
+            forwards: 0,
+        }
     }
 
     fn key(line: Addr) -> u64 {
@@ -122,28 +293,32 @@ impl Directory {
 
     /// Current entry for a line (Invalid if never seen).
     pub fn entry(&self, line: Addr) -> DirEntry {
-        self.entries
-            .get(&Self::key(line))
-            .copied()
-            .unwrap_or_else(DirEntry::empty)
+        match self.table.find(Self::key(line)) {
+            Some(i) => DirEntry {
+                state: self.table.states[i],
+                sharers: self.table.sharers[i],
+            },
+            None => DirEntry::empty(),
+        }
     }
 
     /// Handles a read miss by `core`: returns the action the hierarchy
     /// must price, and transitions the directory.
     pub fn read(&mut self, line: Addr, core: CoreId) -> ReadAction {
-        let e = self
-            .entries
-            .entry(Self::key(line))
-            .or_insert_with(DirEntry::empty);
+        let i = self.table.find_or_insert(Self::key(line));
+        let e = DirEntry {
+            state: self.table.states[i],
+            sharers: self.table.sharers[i],
+        };
         let bit = 1u64 << core.index();
         match e.state {
             MesiState::Invalid => {
-                e.state = MesiState::Exclusive;
-                e.sharers = bit;
+                self.table.states[i] = MesiState::Exclusive;
+                self.table.sharers[i] = bit;
                 ReadAction::FromMemory
             }
             MesiState::Shared => {
-                e.sharers |= bit;
+                self.table.sharers[i] |= bit;
                 ReadAction::FromHome
             }
             MesiState::Exclusive | MesiState::Modified => {
@@ -152,8 +327,8 @@ impl Directory {
                     return ReadAction::FromHome;
                 }
                 let owner = CoreId(e.sharers.trailing_zeros() as usize);
-                e.state = MesiState::Shared;
-                e.sharers |= bit;
+                self.table.states[i] = MesiState::Shared;
+                self.table.sharers[i] |= bit;
                 self.forwards += 1;
                 ReadAction::ForwardFrom(owner)
             }
@@ -163,40 +338,36 @@ impl Directory {
     /// Handles a write (GetM or upgrade) by `core`: returns the action and
     /// transitions the line to Modified owned by `core`.
     pub fn write(&mut self, line: Addr, core: CoreId) -> WriteAction {
-        let e = self
-            .entries
-            .entry(Self::key(line))
-            .or_insert_with(DirEntry::empty);
+        let i = self.table.find_or_insert(Self::key(line));
+        let state = self.table.states[i];
+        let sharers = self.table.sharers[i];
         let bit = 1u64 << core.index();
-        let action = match e.state {
+        let action = match state {
             MesiState::Invalid => WriteAction {
-                invalidate: Vec::new(),
+                invalidate: SharerSet::EMPTY,
                 pull_dirty_from: None,
                 from_memory: true,
             },
-            MesiState::Exclusive | MesiState::Modified if e.sharers == bit => {
+            MesiState::Exclusive | MesiState::Modified if sharers == bit => {
                 // Silent upgrade by the sole owner.
                 WriteAction {
-                    invalidate: Vec::new(),
+                    invalidate: SharerSet::EMPTY,
                     pull_dirty_from: None,
                     from_memory: false,
                 }
             }
             MesiState::Modified => {
-                let owner = CoreId(e.sharers.trailing_zeros() as usize);
+                let owner = CoreId(sharers.trailing_zeros() as usize);
                 self.invalidations += 1;
                 WriteAction {
-                    invalidate: vec![owner],
+                    invalidate: SharerSet(1u64 << owner.index()),
                     pull_dirty_from: Some(owner),
                     from_memory: false,
                 }
             }
             MesiState::Exclusive | MesiState::Shared => {
-                let victims: Vec<CoreId> = (0..64)
-                    .filter(|i| e.sharers & (1u64 << i) != 0 && *i != core.index())
-                    .map(CoreId)
-                    .collect();
-                self.invalidations += victims.len() as u64;
+                let victims = SharerSet(sharers & !bit);
+                self.invalidations += u64::from(victims.len());
                 WriteAction {
                     invalidate: victims,
                     pull_dirty_from: None,
@@ -206,20 +377,20 @@ impl Directory {
                 }
             }
         };
-        e.state = MesiState::Modified;
-        e.sharers = bit;
+        self.table.states[i] = MesiState::Modified;
+        self.table.sharers[i] = bit;
         action
     }
 
     /// Records that `core` evicted its copy of `line` (PutS/PutM).
     pub fn evict(&mut self, line: Addr, core: CoreId) {
-        if let Some(e) = self.entries.get_mut(&Self::key(line)) {
-            e.sharers &= !(1u64 << core.index());
-            if e.sharers == 0 {
-                e.state = MesiState::Invalid;
-            } else if e.sharer_count() >= 1 && e.state == MesiState::Modified {
+        if let Some(i) = self.table.find(Self::key(line)) {
+            self.table.sharers[i] &= !(1u64 << core.index());
+            if self.table.sharers[i] == 0 {
+                self.table.states[i] = MesiState::Invalid;
+            } else if self.table.states[i] == MesiState::Modified {
                 // Owner left; remaining copies are clean shared.
-                e.state = MesiState::Shared;
+                self.table.states[i] = MesiState::Shared;
             }
         }
     }
@@ -236,9 +407,11 @@ impl Directory {
 
     /// Number of tracked (non-invalid) lines.
     pub fn tracked_lines(&self) -> usize {
-        self.entries
-            .values()
-            .filter(|e| e.state != MesiState::Invalid)
+        self.table
+            .keys
+            .iter()
+            .zip(self.table.states.iter())
+            .filter(|(&k, &s)| k != 0 && s != MesiState::Invalid)
             .count()
     }
 }
@@ -297,7 +470,7 @@ mod tests {
         d.read(line(1), CoreId(1));
         d.read(line(1), CoreId(2));
         let a = d.write(line(1), CoreId(2));
-        assert_eq!(a.invalidate, vec![CoreId(0), CoreId(1)]);
+        assert_eq!(a.invalidate.to_vec(), vec![CoreId(0), CoreId(1)]);
         assert!(!a.from_memory);
         assert_eq!(d.entry(line(1)).sharers, 1 << 2);
         assert_eq!(d.invalidations_sent(), 2);
@@ -309,7 +482,7 @@ mod tests {
         d.write(line(1), CoreId(0));
         let a = d.write(line(1), CoreId(1));
         assert_eq!(a.pull_dirty_from, Some(CoreId(0)));
-        assert_eq!(a.invalidate, vec![CoreId(0)]);
+        assert_eq!(a.invalidate.to_vec(), vec![CoreId(0)]);
         assert_eq!(d.entry(line(1)).sharer_list(), vec![CoreId(1)]);
     }
 
@@ -348,5 +521,172 @@ mod tests {
         d.write(line(1), CoreId(0));
         d.evict(line(1), CoreId(0));
         assert_eq!(d.entry(line(1)).state, MesiState::Invalid);
+    }
+
+    #[test]
+    fn sharer_set_iterates_in_ascending_order() {
+        let s = SharerSet(0b1010_0101);
+        assert_eq!(s.to_vec(), vec![CoreId(0), CoreId(2), CoreId(5), CoreId(7)]);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(CoreId(5)));
+        assert!(!s.contains(CoreId(1)));
+    }
+
+    #[test]
+    fn dense_directory_matches_naive_hash_directory() {
+        // Differential: the open-addressed SoA table must order exactly
+        // the same coherence actions as a naive hash-map directory (the
+        // pre-rework layout) under a random mix of reads, writes and
+        // evictions from several cores over a clashing line set.
+        use std::collections::HashMap;
+        #[derive(Default)]
+        struct Naive {
+            map: HashMap<u64, DirEntry>,
+        }
+        impl Naive {
+            fn entry(&self, line: Addr) -> DirEntry {
+                self.map.get(&line.raw()).copied().unwrap_or(DirEntry {
+                    state: MesiState::Invalid,
+                    sharers: 0,
+                })
+            }
+            fn read(&mut self, line: Addr, core: CoreId) -> ReadAction {
+                let e = self.entry(line);
+                let bit = 1u64 << core.index();
+                let (new, action) = match e.state {
+                    MesiState::Invalid => (
+                        DirEntry {
+                            state: MesiState::Exclusive,
+                            sharers: bit,
+                        },
+                        ReadAction::FromMemory,
+                    ),
+                    MesiState::Shared => (
+                        DirEntry {
+                            state: MesiState::Shared,
+                            sharers: e.sharers | bit,
+                        },
+                        ReadAction::FromHome,
+                    ),
+                    MesiState::Exclusive | MesiState::Modified => {
+                        if e.sharers & bit != 0 {
+                            (e, ReadAction::FromHome)
+                        } else {
+                            let owner = CoreId(e.sharers.trailing_zeros() as usize);
+                            (
+                                DirEntry {
+                                    state: MesiState::Shared,
+                                    sharers: e.sharers | bit,
+                                },
+                                ReadAction::ForwardFrom(owner),
+                            )
+                        }
+                    }
+                };
+                self.map.insert(line.raw(), new);
+                action
+            }
+            fn write(&mut self, line: Addr, core: CoreId) -> WriteAction {
+                let e = self.entry(line);
+                let bit = 1u64 << core.index();
+                let action = match e.state {
+                    MesiState::Invalid => WriteAction {
+                        invalidate: SharerSet::EMPTY,
+                        pull_dirty_from: None,
+                        from_memory: true,
+                    },
+                    MesiState::Exclusive | MesiState::Modified if e.sharers == bit => WriteAction {
+                        invalidate: SharerSet::EMPTY,
+                        pull_dirty_from: None,
+                        from_memory: false,
+                    },
+                    MesiState::Modified => {
+                        let owner = CoreId(e.sharers.trailing_zeros() as usize);
+                        WriteAction {
+                            invalidate: SharerSet(1u64 << owner.index()),
+                            pull_dirty_from: Some(owner),
+                            from_memory: false,
+                        }
+                    }
+                    MesiState::Exclusive | MesiState::Shared => WriteAction {
+                        invalidate: SharerSet(e.sharers & !bit),
+                        pull_dirty_from: None,
+                        from_memory: false,
+                    },
+                };
+                self.map.insert(
+                    line.raw(),
+                    DirEntry {
+                        state: MesiState::Modified,
+                        sharers: bit,
+                    },
+                );
+                action
+            }
+            fn evict(&mut self, line: Addr, core: CoreId) {
+                if let Some(e) = self.map.get_mut(&line.raw()) {
+                    e.sharers &= !(1u64 << core.index());
+                    if e.sharers == 0 {
+                        e.state = MesiState::Invalid;
+                    } else if e.state == MesiState::Modified {
+                        e.state = MesiState::Shared;
+                    }
+                }
+            }
+        }
+        let mut dense = Directory::new();
+        let mut naive = Naive::default();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for step in 0..30_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // A clashing line set (few thousand lines over initial table
+            // capacity) so the table grows and probe chains collide.
+            let l = line((state >> 33) % 3000);
+            let core = CoreId(((state >> 17) % 8) as usize);
+            match state % 5 {
+                0 | 1 => assert_eq!(
+                    dense.read(l, core),
+                    naive.read(l, core),
+                    "read diverged at step {step}"
+                ),
+                2 | 3 => assert_eq!(
+                    dense.write(l, core),
+                    naive.write(l, core),
+                    "write diverged at step {step}"
+                ),
+                _ => {
+                    dense.evict(l, core);
+                    naive.evict(l, core);
+                }
+            }
+            assert_eq!(
+                dense.entry(l),
+                naive.entry(l),
+                "entry diverged at step {step}"
+            );
+        }
+        // Full-table sweep: every line the naive side tracks agrees.
+        for (&k, &e) in &naive.map {
+            assert_eq!(dense.entry(Addr::new(k)), e, "final state of line {k}");
+        }
+    }
+
+    #[test]
+    fn table_growth_preserves_every_entry() {
+        // Push far past the initial open-addressed capacity and verify
+        // every line's state survives the rehash.
+        let mut d = Directory::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            d.read(line(i), CoreId((i % 4) as usize));
+        }
+        for i in 0..n {
+            let e = d.entry(line(i));
+            assert_eq!(e.state, MesiState::Exclusive, "line {i}");
+            assert_eq!(e.sharers, 1u64 << (i % 4), "line {i}");
+        }
+        assert_eq!(d.tracked_lines(), n as usize);
     }
 }

@@ -3,40 +3,164 @@
 use ise_engine::Cycle;
 use ise_types::addr::PageId;
 use ise_types::config::TlbConfig;
-use std::collections::{BTreeMap, HashMap};
+
+/// Sentinel for "no slot" in the intrusive list links.
+const NIL: u32 = u32::MAX;
 
 /// A single fully-associative LRU TLB level.
 ///
-/// `by_tick` mirrors `entries` keyed by last-use tick, so the LRU victim
-/// is the first tree entry — O(log n) instead of scanning the whole
-/// level on every refill, which dominated page-walk-heavy runs (a
-/// page-stride workload refills the 1024-entry L2 level per access).
-/// Ticks are unique, so the mirror picks exactly the entry a full
-/// min-scan would.
+/// Entries live in a slot arena fixed at `capacity`: per-slot dense
+/// arrays hold the page, a generation stamp (bumped every time the slot
+/// is recycled, so a stale slot handle can never silently alias a new
+/// resident), and intrusive prev/next links forming the LRU list — MRU
+/// at the head, the eviction victim at the tail. A small open-addressed
+/// index maps a page to its slot, replacing the previous
+/// `HashMap` + `BTreeMap` tick mirror: a hit is one probe plus a list
+/// unlink/relink, an eviction pops the tail, and nothing allocates
+/// after construction.
 #[derive(Debug, Clone)]
 struct TlbLevel {
     capacity: usize,
-    entries: HashMap<PageId, u64>,
-    by_tick: BTreeMap<u64, PageId>,
-    tick: u64,
+    /// Page resident in each slot (valid only for linked slots).
+    pages: Box<[PageId]>,
+    /// Generation stamp per slot, bumped on recycle.
+    gens: Box<[u32]>,
+    /// Intrusive LRU list links over slots.
+    next: Box<[u32]>,
+    prev: Box<[u32]>,
+    head: u32,
+    tail: u32,
+    /// Free-slot stack chained through `next`.
+    free: u32,
+    len: usize,
+    /// Open-addressed index: `page.index() + 1` (0 = empty) -> slot.
+    idx_keys: Box<[u64]>,
+    idx_slots: Box<[u32]>,
+    idx_gens: Box<[u32]>,
+    idx_mask: usize,
 }
 
 impl TlbLevel {
     fn new(capacity: usize) -> Self {
-        TlbLevel {
+        assert!(capacity > 0, "TLB level capacity must be positive");
+        // Index at <= 50% load so linear probes stay short.
+        let idx_size = (capacity * 2).next_power_of_two();
+        let mut level = TlbLevel {
             capacity,
-            entries: HashMap::new(),
-            by_tick: BTreeMap::new(),
-            tick: 0,
+            pages: vec![PageId::new(0); capacity].into_boxed_slice(),
+            gens: vec![0; capacity].into_boxed_slice(),
+            next: vec![NIL; capacity].into_boxed_slice(),
+            prev: vec![NIL; capacity].into_boxed_slice(),
+            head: NIL,
+            tail: NIL,
+            free: NIL,
+            len: 0,
+            idx_keys: vec![0; idx_size].into_boxed_slice(),
+            idx_slots: vec![0; idx_size].into_boxed_slice(),
+            idx_gens: vec![0; idx_size].into_boxed_slice(),
+            idx_mask: idx_size - 1,
+        };
+        level.reset_free_list();
+        level
+    }
+
+    fn reset_free_list(&mut self) {
+        self.free = NIL;
+        for slot in (0..self.capacity as u32).rev() {
+            self.next[slot as usize] = self.free;
+            self.free = slot;
+        }
+    }
+
+    fn hash(key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+    }
+
+    /// Index position holding `page`, if resident.
+    fn idx_find(&self, page: PageId) -> Option<usize> {
+        let tagged = page.index() + 1;
+        let mut i = Self::hash(page.index()) & self.idx_mask;
+        loop {
+            let k = self.idx_keys[i];
+            if k == tagged {
+                return Some(i);
+            }
+            if k == 0 {
+                return None;
+            }
+            i = (i + 1) & self.idx_mask;
+        }
+    }
+
+    fn idx_insert(&mut self, page: PageId, slot: u32) {
+        let tagged = page.index() + 1;
+        let mut i = Self::hash(page.index()) & self.idx_mask;
+        while self.idx_keys[i] != 0 {
+            debug_assert_ne!(self.idx_keys[i], tagged, "page double-indexed");
+            i = (i + 1) & self.idx_mask;
+        }
+        self.idx_keys[i] = tagged;
+        self.idx_slots[i] = slot;
+        self.idx_gens[i] = self.gens[slot as usize];
+    }
+
+    /// Removes the index entry at `pos`, back-shifting displaced
+    /// neighbours so linear probe chains stay intact without tombstones.
+    fn idx_remove_at(&mut self, mut pos: usize) {
+        let mask = self.idx_mask;
+        self.idx_keys[pos] = 0;
+        let mut cur = (pos + 1) & mask;
+        while self.idx_keys[cur] != 0 {
+            let ideal = Self::hash(self.idx_keys[cur] - 1) & mask;
+            // `cur` may fill the hole iff the hole lies on its probe path.
+            let d_hole = pos.wrapping_sub(ideal) & mask;
+            let d_cur = cur.wrapping_sub(ideal) & mask;
+            if d_hole < d_cur {
+                self.idx_keys[pos] = self.idx_keys[cur];
+                self.idx_slots[pos] = self.idx_slots[cur];
+                self.idx_gens[pos] = self.idx_gens[cur];
+                self.idx_keys[cur] = 0;
+                pos = cur;
+            }
+            cur = (cur + 1) & mask;
+        }
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    fn link_front(&mut self, slot: u32) {
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
         }
     }
 
     fn lookup(&mut self, page: PageId) -> bool {
-        self.tick += 1;
-        if let Some(lru) = self.entries.get_mut(&page) {
-            self.by_tick.remove(lru);
-            *lru = self.tick;
-            self.by_tick.insert(self.tick, page);
+        if let Some(i) = self.idx_find(page) {
+            let slot = self.idx_slots[i];
+            debug_assert_eq!(
+                self.idx_gens[i], self.gens[slot as usize],
+                "stale generational slot handle in TLB index"
+            );
+            self.unlink(slot);
+            self.link_front(slot);
             true
         } else {
             false
@@ -44,23 +168,61 @@ impl TlbLevel {
     }
 
     fn insert(&mut self, page: PageId) {
-        self.tick += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&page) {
-            // Evict the LRU entry: the oldest tick in the mirror.
-            if let Some((&t, &victim)) = self.by_tick.iter().next() {
-                self.by_tick.remove(&t);
-                self.entries.remove(&victim);
-            }
+        if let Some(i) = self.idx_find(page) {
+            // Re-insert of a resident page: refresh to MRU.
+            let slot = self.idx_slots[i];
+            self.unlink(slot);
+            self.link_front(slot);
+            return;
         }
-        if let Some(old) = self.entries.insert(page, self.tick) {
-            self.by_tick.remove(&old);
+        if self.len >= self.capacity {
+            // Evict the LRU entry: the list tail.
+            let victim = self.tail;
+            let vpage = self.pages[victim as usize];
+            let vi = self.idx_find(vpage).expect("victim must be indexed");
+            debug_assert_eq!(self.idx_slots[vi], victim);
+            self.idx_remove_at(vi);
+            self.unlink(victim);
+            self.gens[victim as usize] = self.gens[victim as usize].wrapping_add(1);
+            self.next[victim as usize] = self.free;
+            self.free = victim;
+            self.len -= 1;
         }
-        self.by_tick.insert(self.tick, page);
+        let slot = self.free;
+        debug_assert_ne!(slot, NIL, "free list exhausted below capacity");
+        self.free = self.next[slot as usize];
+        self.pages[slot as usize] = page;
+        self.link_front(slot);
+        self.idx_insert(page, slot);
+        self.len += 1;
     }
 
     fn flush(&mut self) {
-        self.entries.clear();
-        self.by_tick.clear();
+        self.idx_keys.fill(0);
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+        for g in self.gens.iter_mut() {
+            *g = g.wrapping_add(1);
+        }
+        self.reset_free_list();
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Resident pages in MRU-to-LRU order (test/debug; allocates).
+    #[cfg(test)]
+    fn resident(&self) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.pages[cur as usize]);
+            cur = self.next[cur as usize];
+        }
+        out
     }
 }
 
@@ -227,7 +389,7 @@ mod tests {
     }
 
     /// A naive full-scan LRU, kept as the behavioural reference for the
-    /// tick-mirrored level.
+    /// intrusive-list arena level.
     struct NaiveLru {
         capacity: usize,
         entries: std::collections::HashMap<PageId, u64>,
@@ -258,7 +420,7 @@ mod tests {
     }
 
     #[test]
-    fn mirrored_level_matches_naive_lru_scan() {
+    fn arena_level_matches_naive_lru_scan() {
         let mut fast = TlbLevel::new(8);
         let mut naive = NaiveLru {
             capacity: 8,
@@ -268,7 +430,7 @@ mod tests {
         // A deterministic pseudo-random mix of hits, misses, and
         // re-touches over a working set larger than the capacity.
         let mut x = 0x2545_F491u64;
-        for _ in 0..4_000 {
+        for step in 0..4_000 {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
@@ -280,18 +442,67 @@ mod tests {
                 fast.insert(page);
                 naive.insert(page);
             }
-            assert!(fast.entries.len() <= 8, "capacity exceeded");
-            assert_eq!(fast.entries.len(), fast.by_tick.len(), "mirror skew");
+            assert!(fast.len() <= 8, "capacity exceeded");
+            assert_eq!(fast.len(), naive.entries.len(), "occupancy skew");
+            if step % 97 == 0 {
+                assert_eq!(
+                    fast.resident()
+                        .into_iter()
+                        .collect::<std::collections::HashSet<_>>(),
+                    naive.entries.keys().copied().collect(),
+                    "resident sets diverged at step {step}"
+                );
+            }
         }
         assert_eq!(
-            fast.entries
-                .keys()
+            fast.resident()
+                .into_iter()
                 .collect::<std::collections::HashSet<_>>(),
-            naive
-                .entries
-                .keys()
-                .collect::<std::collections::HashSet<_>>(),
+            naive.entries.keys().copied().collect(),
             "resident sets diverged"
         );
+    }
+
+    #[test]
+    fn arena_list_order_is_mru_to_lru() {
+        let mut l = TlbLevel::new(3);
+        for p in [1, 2, 3] {
+            l.insert(PageId::new(p));
+        }
+        assert_eq!(
+            l.resident(),
+            vec![PageId::new(3), PageId::new(2), PageId::new(1)]
+        );
+        // Touch 1: becomes MRU.
+        assert!(l.lookup(PageId::new(1)));
+        assert_eq!(
+            l.resident(),
+            vec![PageId::new(1), PageId::new(3), PageId::new(2)]
+        );
+        // Insert over capacity: 2 (the tail) is evicted.
+        l.insert(PageId::new(4));
+        assert_eq!(
+            l.resident(),
+            vec![PageId::new(4), PageId::new(1), PageId::new(3)]
+        );
+        assert!(!l.lookup(PageId::new(2)));
+    }
+
+    #[test]
+    fn flush_bumps_generations_and_empties_level() {
+        let mut l = TlbLevel::new(4);
+        l.insert(PageId::new(10));
+        l.insert(PageId::new(11));
+        let g_before = l.gens[0];
+        l.flush();
+        assert_eq!(l.len(), 0);
+        assert!(l.resident().is_empty());
+        assert_eq!(l.gens[0], g_before.wrapping_add(1));
+        assert!(!l.lookup(PageId::new(10)));
+        // The level is fully usable after a flush.
+        for p in 0..8 {
+            l.insert(PageId::new(p));
+        }
+        assert_eq!(l.len(), 4);
     }
 }

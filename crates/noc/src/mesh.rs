@@ -84,19 +84,55 @@ impl Mesh {
 
     /// The XY route from `src` to `dst`, inclusive of both endpoints.
     /// X is routed first, then Y — the deadlock-free dimension order.
+    ///
+    /// Allocates; the hot path uses [`Mesh::route_iter`] instead.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
-        let (mut x, mut y) = self.coords(src);
+        self.route_iter(src, dst).collect()
+    }
+
+    /// Allocation-free iterator over the XY route from `src` to `dst`,
+    /// inclusive of both endpoints. Yields exactly `hops + 1` nodes.
+    pub fn route_iter(&self, src: NodeId, dst: NodeId) -> RouteIter {
+        let (x, y) = self.coords(src);
         let (dx, dy) = self.coords(dst);
-        let mut path = vec![self.node_at(x, y)];
-        while x != dx {
-            x = if dx > x { x + 1 } else { x - 1 };
-            path.push(self.node_at(x, y));
+        RouteIter {
+            mesh_x: self.cfg.mesh_x,
+            x,
+            y,
+            dx,
+            dy,
+            emitted_src: false,
         }
-        while y != dy {
-            y = if dy > y { y + 1 } else { y - 1 };
-            path.push(self.node_at(x, y));
-        }
-        path
+    }
+
+    /// Number of dense link slots: every tile has one outgoing slot per
+    /// direction (E, W, S, N), so `link_index` values are `< link_slots`.
+    pub fn link_slots(&self) -> usize {
+        self.nodes() * 4
+    }
+
+    /// Dense index of the directed link between two *adjacent* tiles.
+    /// Encoded as `from * 4 + direction`, so per-link counters can live
+    /// in a flat array instead of a hash map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tiles are not mesh neighbours.
+    pub fn link_index(&self, from: NodeId, to: NodeId) -> usize {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        let dir = if ty == fy && tx == fx + 1 {
+            0 // east
+        } else if ty == fy && tx + 1 == fx {
+            1 // west
+        } else if tx == fx && ty == fy + 1 {
+            2 // south
+        } else if tx == fx && ty + 1 == fy {
+            3 // north
+        } else {
+            panic!("tiles {} and {} are not adjacent", from.0, to.0);
+        };
+        from.0 * 4 + dir
     }
 
     /// Serialization delay for a `bytes`-sized payload over the link width
@@ -122,6 +158,43 @@ impl Mesh {
     /// Worst-case hop count in this mesh (corner to corner).
     pub fn diameter(&self) -> u64 {
         (self.cfg.mesh_x - 1 + self.cfg.mesh_y - 1) as u64
+    }
+}
+
+/// Iterator state for [`Mesh::route_iter`]: walks X toward the
+/// destination column, then Y toward the destination row.
+#[derive(Debug, Clone)]
+pub struct RouteIter {
+    mesh_x: usize,
+    x: usize,
+    y: usize,
+    dx: usize,
+    dy: usize,
+    emitted_src: bool,
+}
+
+impl Iterator for RouteIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if !self.emitted_src {
+            self.emitted_src = true;
+        } else if self.x != self.dx {
+            self.x = if self.dx > self.x {
+                self.x + 1
+            } else {
+                self.x - 1
+            };
+        } else if self.y != self.dy {
+            self.y = if self.dy > self.y {
+                self.y + 1
+            } else {
+                self.y - 1
+            };
+        } else {
+            return None;
+        }
+        Some(NodeId(self.y * self.mesh_x + self.x))
     }
 }
 

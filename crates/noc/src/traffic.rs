@@ -5,18 +5,13 @@
 //! directed link and converts recent utilization into a queuing surcharge,
 //! so heavily shared home tiles cost more to reach — the effect that makes
 //! stores slower than loads under invalidation-heavy sharing.
+//!
+//! Counters live in two fixed dense arrays indexed by [`Mesh::link_index`]
+//! (current window / previous window), so the hot path is an array walk
+//! along the route with no hashing and no allocation; a whole message is
+//! priced and recorded in one pass.
 
 use crate::mesh::{Mesh, NodeId};
-use std::collections::HashMap;
-
-/// A directed link between adjacent tiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Link {
-    /// Upstream tile.
-    pub from: NodeId,
-    /// Downstream tile.
-    pub to: NodeId,
-}
 
 /// Tracks per-link utilization over a sliding window and derives a
 /// congestion surcharge.
@@ -30,8 +25,14 @@ pub struct TrafficMeter {
     window: u64,
     link_bytes: u64,
     epoch_start: u64,
-    current: HashMap<Link, u64>,
-    previous: HashMap<Link, u64>,
+    current: Box<[u64]>,
+    previous: Box<[u64]>,
+    /// Per-link `ρ/(1-ρ)` derived from `previous`, refreshed once per
+    /// window roll: the surcharge factor is constant within a window, so
+    /// the per-message path multiplies by it instead of re-deriving the
+    /// utilization quotient per hop (bit-identical — the same division
+    /// happens once at the roll instead of per message).
+    factor: Box<[f64]>,
     total_bytes: u64,
     total_messages: u64,
 }
@@ -41,13 +42,15 @@ pub struct TrafficMeter {
 const MAX_SURCHARGE: u64 = 16;
 
 impl TrafficMeter {
-    /// Creates a meter with the given accounting window (cycles) and link
-    /// width (bytes/cycle).
+    /// Creates a meter for `mesh` with the given accounting window
+    /// (cycles) and link width (bytes/cycle). Both counter arrays are
+    /// sized to the mesh's dense link-slot space up front, so recording
+    /// never allocates.
     ///
     /// # Panics
     ///
     /// Panics if `window` or `link_bytes` is zero.
-    pub fn new(window: u64, link_bytes: u64) -> Self {
+    pub fn new(mesh: &Mesh, window: u64, link_bytes: u64) -> Self {
         assert!(
             window > 0 && link_bytes > 0,
             "window and link width must be positive"
@@ -56,8 +59,9 @@ impl TrafficMeter {
             window,
             link_bytes,
             epoch_start: 0,
-            current: HashMap::new(),
-            previous: HashMap::new(),
+            current: vec![0; mesh.link_slots()].into_boxed_slice(),
+            previous: vec![0; mesh.link_slots()].into_boxed_slice(),
+            factor: vec![0.0; mesh.link_slots()].into_boxed_slice(),
             total_bytes: 0,
             total_messages: 0,
         }
@@ -67,33 +71,47 @@ impl TrafficMeter {
     /// window.
     fn roll(&mut self, now: u64) {
         if now >= self.epoch_start + self.window {
-            self.previous = std::mem::take(&mut self.current);
+            std::mem::swap(&mut self.previous, &mut self.current);
+            self.current.fill(0);
             // Skip any number of fully idle windows.
             let elapsed = now - self.epoch_start;
             self.epoch_start += (elapsed / self.window) * self.window;
             if elapsed >= 2 * self.window {
-                self.previous.clear();
+                self.previous.fill(0);
+            }
+            let denom = (self.window * self.link_bytes) as f64;
+            for (f, &prev) in self.factor.iter_mut().zip(self.previous.iter()) {
+                *f = if prev > 0 {
+                    let rho = (prev as f64 / denom).min(0.95);
+                    rho / (1.0 - rho)
+                } else {
+                    0.0
+                };
             }
         }
     }
 
-    /// Records a `bytes`-sized message traversing `route` at time `now`
-    /// and returns the congestion surcharge it experiences (cycles).
-    pub fn record(&mut self, mesh: &Mesh, route: &[NodeId], bytes: u64, now: u64) -> u64 {
+    /// Records a `bytes`-sized message traversing the XY route from `src`
+    /// to `dst` at time `now` and returns the congestion surcharge it
+    /// experiences (cycles). Routing, pricing, and accounting happen in
+    /// one allocation-free pass over the links.
+    pub fn record(&mut self, mesh: &Mesh, src: NodeId, dst: NodeId, bytes: u64, now: u64) -> u64 {
         self.roll(now);
         self.total_bytes += bytes;
         self.total_messages += 1;
+        let ser = mesh.serialization(bytes as usize) as f64;
         let mut surcharge = 0u64;
-        for w in route.windows(2) {
-            let link = Link {
-                from: w[0],
-                to: w[1],
-            };
-            let prev = self.previous.get(&link).copied().unwrap_or(0);
-            let rho = (prev as f64 / (self.window * self.link_bytes) as f64).min(0.95);
-            let extra = (rho / (1.0 - rho) * mesh.serialization(bytes as usize) as f64) as u64;
-            surcharge += extra.min(MAX_SURCHARGE);
-            *self.current.entry(link).or_insert(0) += bytes;
+        let mut prev_node: Option<NodeId> = None;
+        for node in mesh.route_iter(src, dst) {
+            if let Some(from) = prev_node {
+                let li = mesh.link_index(from, node);
+                let f = self.factor[li];
+                if f > 0.0 {
+                    surcharge += ((f * ser) as u64).min(MAX_SURCHARGE);
+                }
+                self.current[li] += bytes;
+            }
+            prev_node = Some(node);
         }
         surcharge
     }
@@ -121,53 +139,114 @@ mod tests {
     #[test]
     fn idle_network_has_no_surcharge() {
         let m = mesh();
-        let mut t = TrafficMeter::new(1000, 16);
-        let route = m.route(NodeId(0), NodeId(15));
-        assert_eq!(t.record(&m, &route, 64, 0), 0);
+        let mut t = TrafficMeter::new(&m, 1000, 16);
+        assert_eq!(t.record(&m, NodeId(0), NodeId(15), 64, 0), 0);
     }
 
     #[test]
     fn saturated_link_accrues_surcharge() {
         let m = mesh();
-        let mut t = TrafficMeter::new(100, 16);
-        let route = m.route(NodeId(0), NodeId(1));
+        let mut t = TrafficMeter::new(&m, 100, 16);
         // Saturate window 0 beyond capacity (100 cycles * 16 B = 1600 B).
         for _ in 0..100 {
-            t.record(&m, &route, 64, 10);
+            t.record(&m, NodeId(0), NodeId(1), 64, 10);
         }
         // Next window sees high prior utilization.
-        let s = t.record(&m, &route, 64, 150);
+        let s = t.record(&m, NodeId(0), NodeId(1), 64, 150);
         assert!(s > 0, "expected congestion surcharge, got {s}");
-        assert!(s <= MAX_SURCHARGE * (route.len() as u64 - 1));
+        assert!(s <= MAX_SURCHARGE * m.hops(NodeId(0), NodeId(1)));
     }
 
     #[test]
     fn long_idle_gap_clears_history() {
         let m = mesh();
-        let mut t = TrafficMeter::new(100, 16);
-        let route = m.route(NodeId(0), NodeId(1));
+        let mut t = TrafficMeter::new(&m, 100, 16);
         for _ in 0..100 {
-            t.record(&m, &route, 64, 10);
+            t.record(&m, NodeId(0), NodeId(1), 64, 10);
         }
         // Two+ windows later, history is gone.
-        let s = t.record(&m, &route, 64, 500);
+        let s = t.record(&m, NodeId(0), NodeId(1), 64, 500);
         assert_eq!(s, 0);
     }
 
     #[test]
     fn totals_accumulate() {
         let m = mesh();
-        let mut t = TrafficMeter::new(100, 16);
-        let route = m.route(NodeId(0), NodeId(5));
-        t.record(&m, &route, 64, 0);
-        t.record(&m, &route, 8, 1);
+        let mut t = TrafficMeter::new(&m, 100, 16);
+        t.record(&m, NodeId(0), NodeId(5), 64, 0);
+        t.record(&m, NodeId(0), NodeId(5), 8, 1);
         assert_eq!(t.total_bytes(), 72);
         assert_eq!(t.total_messages(), 2);
     }
 
     #[test]
+    fn dense_meter_matches_naive_hash_meter() {
+        // Differential: the dense-array meter must price and account
+        // byte-identically with a naive per-link hash-map mirror of the
+        // pre-rework implementation.
+        use std::collections::HashMap;
+        struct Naive {
+            window: u64,
+            link_bytes: u64,
+            epoch_start: u64,
+            current: HashMap<(usize, usize), u64>,
+            previous: HashMap<(usize, usize), u64>,
+        }
+        impl Naive {
+            fn record(&mut self, mesh: &Mesh, route: &[NodeId], bytes: u64, now: u64) -> u64 {
+                if now >= self.epoch_start + self.window {
+                    self.previous = std::mem::take(&mut self.current);
+                    let elapsed = now - self.epoch_start;
+                    self.epoch_start += (elapsed / self.window) * self.window;
+                    if elapsed >= 2 * self.window {
+                        self.previous.clear();
+                    }
+                }
+                let mut surcharge = 0u64;
+                for w in route.windows(2) {
+                    let link = (w[0].index(), w[1].index());
+                    let prev = self.previous.get(&link).copied().unwrap_or(0);
+                    let rho = (prev as f64 / (self.window * self.link_bytes) as f64).min(0.95);
+                    let extra =
+                        (rho / (1.0 - rho) * mesh.serialization(bytes as usize) as f64) as u64;
+                    surcharge += extra.min(MAX_SURCHARGE);
+                    *self.current.entry(link).or_insert(0) += bytes;
+                }
+                surcharge
+            }
+        }
+        let m = mesh();
+        let mut dense = TrafficMeter::new(&m, 100, 16);
+        let mut naive = Naive {
+            window: 100,
+            link_bytes: 16,
+            epoch_start: 0,
+            current: HashMap::new(),
+            previous: HashMap::new(),
+        };
+        // Deterministic pseudo-random message schedule with idle gaps.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut now = 0u64;
+        for _ in 0..4000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let src = NodeId((state >> 33) as usize % 16);
+            let dst = NodeId((state >> 12) as usize % 16);
+            let bytes = if state & 1 == 0 { 72 } else { 8 };
+            now += state % 37;
+            let route = m.route(src, dst);
+            assert_eq!(
+                dense.record(&m, src, dst, bytes, now),
+                naive.record(&m, &route, bytes, now),
+                "surcharge diverged at now={now} src={src} dst={dst}"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "must be positive")]
     fn zero_window_rejected() {
-        let _ = TrafficMeter::new(0, 16);
+        let _ = TrafficMeter::new(&mesh(), 0, 16);
     }
 }

@@ -115,7 +115,7 @@ pub fn table3_with_workers(scale: &Table3Scale, workers: usize) -> Vec<Table3Row
     let mixes = table3_mixes();
     ise_par::par_map(&mixes, workers, |_, spec| {
         let w = synthesize(spec, scale.instrs_per_core, 1, 7);
-        let measured_mix = InstructionMix::measure(&w.traces[0]);
+        let measured_mix = InstructionMix::measure(w.traces[0].iter());
         let sweeps: Vec<SweepResult> = systems
             .iter()
             .map(|cfg| sweep_for(cfg, spec, scale))

@@ -58,7 +58,7 @@ pub fn loc_addr(loc: Loc) -> Addr {
 /// faulting before the run (the §6.5 setup); pass an empty slice for a
 /// clean run.
 pub fn litmus_workload(name: &str, prog: &LitmusProgram, faulting: &[Loc]) -> Workload {
-    let traces: Vec<Vec<Instruction>> = prog
+    let traces: Vec<ise_workloads::Trace> = prog
         .threads
         .iter()
         .map(|thread| {

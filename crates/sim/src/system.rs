@@ -232,7 +232,7 @@ impl System {
             .traces
             .iter()
             .enumerate()
-            .map(|(i, t)| Core::new(CoreId(i), cfg.core, VecTrace::new(t.clone())))
+            .map(|(i, t)| Core::new(CoreId(i), cfg.core, VecTrace::shared(t.clone())))
             .collect();
         let fsbs: Vec<Fsb> = (0..cfg.cores)
             .map(|i| {
@@ -839,7 +839,7 @@ mod tests {
         }
         Workload {
             name: "stores".into(),
-            traces: vec![trace],
+            traces: vec![trace.into()],
             einject_pages: if faulting { vec![base.page()] } else { vec![] },
         }
     }
@@ -1002,7 +1002,7 @@ mod tests {
             .collect();
         let workload = Workload {
             name: "kill-mid-drain".into(),
-            traces: vec![trace],
+            traces: vec![trace.into()],
             einject_pages: vec![],
         };
         let injector: Rc<FaultInjector> = Rc::new(
@@ -1106,7 +1106,7 @@ mod tests {
         }
         let w = Workload {
             name: "all-stalled".into(),
-            traces: vec![mk(0), mk(1)],
+            traces: vec![mk(0).into(), mk(1).into()],
             einject_pages: pages,
         };
         // Intervals above the per-delivery stall (~130 cycles, so the
@@ -1181,7 +1181,7 @@ mod tests {
         };
         let w = Workload {
             name: "two-core".into(),
-            traces: vec![mk(0), mk(1)],
+            traces: vec![mk(0).into(), mk(1).into()],
             einject_pages: vec![],
         };
         let stats = run_workload(small_cfg(), &w, 10_000_000);

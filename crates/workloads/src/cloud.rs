@@ -144,9 +144,9 @@ mod tests {
         let caching = cloud_workload(CloudService::DataCaching, &CloudConfig::small(1));
         let streaming = cloud_workload(CloudService::MediaStreaming, &CloudConfig::small(1));
         let serving = cloud_workload(CloudService::DataServing, &CloudConfig::small(1));
-        let mc = InstructionMix::measure(&caching.traces[0]);
-        let ms = InstructionMix::measure(&streaming.traces[0]);
-        let mv = InstructionMix::measure(&serving.traces[0]);
+        let mc = InstructionMix::measure(caching.traces[0].iter());
+        let ms = InstructionMix::measure(streaming.traces[0].iter());
+        let mv = InstructionMix::measure(serving.traces[0].iter());
         // Caching and serving are load-heavier than streaming
         // (Table 3: 24 % vs 13 % loads).
         assert!(mc.load_pct > ms.load_pct, "caching {mc} vs streaming {ms}");

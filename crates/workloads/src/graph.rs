@@ -459,8 +459,8 @@ mod tests {
         bfs(&g, 0, &a, &mut rec_bfs);
         let mut rec_bc = TraceRecorder::new();
         bc(&g, &[0], &a, &mut rec_bc);
-        let mix_bfs = InstructionMix::measure(&rec_bfs.into_trace());
-        let mix_bc = InstructionMix::measure(&rec_bc.into_trace());
+        let mix_bfs = InstructionMix::measure(rec_bfs.into_trace().iter());
+        let mix_bc = InstructionMix::measure(rec_bc.into_trace().iter());
         assert!(
             mix_bc.store_pct > mix_bfs.store_pct,
             "BC {mix_bc} vs BFS {mix_bfs}"

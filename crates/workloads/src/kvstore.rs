@@ -408,7 +408,7 @@ mod tests {
     #[test]
     fn silo_has_sync_and_stores() {
         let w = kv_workload(KvEngine::Silo, &KvConfig::small(1));
-        let mix = InstructionMix::measure(&w.traces[0]);
+        let mix = InstructionMix::measure(w.traces[0].iter());
         assert!(mix.sync_pct > 0.5, "Silo transactions carry sync: {mix}");
         assert!(mix.store_pct > 2.0, "{mix}");
         assert!(mix.load_pct > mix.store_pct, "{mix}");
@@ -418,8 +418,8 @@ mod tests {
     fn masstree_is_read_mostly_but_store_heavier_than_silo_per_memory_op() {
         let silo = kv_workload(KvEngine::Silo, &KvConfig::small(1));
         let mt = kv_workload(KvEngine::Masstree, &KvConfig::small(1));
-        let m_silo = InstructionMix::measure(&silo.traces[0]);
-        let m_mt = InstructionMix::measure(&mt.traces[0]);
+        let m_silo = InstructionMix::measure(silo.traces[0].iter());
+        let m_mt = InstructionMix::measure(mt.traces[0].iter());
         // Masstree's trace is denser in memory operations (Table 3 shows
         // 14+13 vs 7+13).
         assert!(

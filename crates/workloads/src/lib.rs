@@ -41,6 +41,17 @@ pub use mixes::{table3_mixes, MixSpec};
 pub use recorder::TraceRecorder;
 
 use ise_types::{Instruction, PageId};
+use std::sync::Arc;
+
+/// An immutable, reference-counted instruction stream for one core.
+///
+/// Traces are synthesized once and then consumed by several simulations
+/// (baseline and injected runs of the same workload, sweep points, the
+/// paired systems of an equivalence check). Sharing the backing storage
+/// makes every such reuse a refcount bump instead of a memcpy of a
+/// multi-megabyte instruction vector — construction cost that used to
+/// rival the simulation itself on the larger figures.
+pub type Trace = Arc<[Instruction]>;
 
 /// A generated workload: a per-core trace plus the pages that must be
 /// marked faulting in EInject before the run (empty for baseline runs).
@@ -49,7 +60,7 @@ pub struct Workload {
     /// Human-readable name (paper row, e.g. "BFS").
     pub name: String,
     /// One instruction stream per core.
-    pub traces: Vec<Vec<Instruction>>,
+    pub traces: Vec<Trace>,
     /// Pages to mark faulting before the run starts (§6.5 setup).
     pub einject_pages: Vec<PageId>,
 }
@@ -57,6 +68,6 @@ pub struct Workload {
 impl Workload {
     /// Total instructions across cores.
     pub fn total_instructions(&self) -> usize {
-        self.traces.iter().map(Vec::len).sum()
+        self.traces.iter().map(|t| t.len()).sum()
     }
 }

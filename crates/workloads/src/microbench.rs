@@ -6,7 +6,7 @@ use crate::layout::MemoryLayout;
 use crate::recorder::TraceRecorder;
 use ise_engine::SimRng;
 use ise_types::addr::{Addr, PAGE_SIZE};
-use ise_types::{Instruction, PageId};
+use ise_types::PageId;
 
 /// Microbenchmark configuration.
 #[derive(Debug, Clone, Copy)]
@@ -53,7 +53,7 @@ impl MicrobenchConfig {
 #[derive(Debug, Clone)]
 pub struct MicrobenchIter {
     /// The 10 K-store trace.
-    pub trace: Vec<Instruction>,
+    pub trace: crate::Trace,
     /// Pages to mark faulting before running the trace.
     pub faulting_pages: Vec<PageId>,
 }
@@ -158,7 +158,7 @@ mod tests {
     fn stores_stay_inside_array() {
         let mb = microbench(&MicrobenchConfig::small(1));
         for it in &mb.iterations {
-            for ins in &it.trace {
+            for ins in it.trace.iter() {
                 if let Some(a) = ins.kind.addr() {
                     assert!(a.raw() >= mb.array_base.raw());
                     assert!(a.raw() < mb.array_base.raw() + mb.array_bytes);

@@ -253,7 +253,7 @@ mod tests {
     fn synthesized_mix_tracks_spec() {
         for spec in table3_mixes() {
             let w = synthesize(&spec, 20_000, 1, 1);
-            let mix = InstructionMix::measure(&w.traces[0]);
+            let mix = InstructionMix::measure(w.traces[0].iter());
             assert!(
                 (mix.store_pct - spec.store_pct).abs() < 1.5,
                 "{}: wanted {} stores, got {}",

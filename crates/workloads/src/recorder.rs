@@ -20,8 +20,14 @@ impl TraceRecorder {
         Self::default()
     }
 
-    /// The recorded trace.
-    pub fn into_trace(self) -> Vec<Instruction> {
+    /// The recorded trace, frozen into shareable form.
+    pub fn into_trace(self) -> crate::Trace {
+        self.trace.into()
+    }
+
+    /// The recorded trace as a plain vector, for callers that keep
+    /// appending or splicing after recording.
+    pub fn into_vec(self) -> Vec<Instruction> {
         self.trace
     }
 

@@ -40,7 +40,7 @@ fn main() {
         .collect();
     let workload = Workload {
         name: "tako-compress".into(),
-        traces: vec![trace],
+        traces: vec![trace.into()],
         einject_pages: Vec::new(), // faults come from the accelerator
     };
     let mut cfg = SystemConfig::isca23();

@@ -24,7 +24,7 @@ fn main() {
         .collect();
     let workload = Workload {
         name: "quickstart".into(),
-        traces: vec![trace],
+        traces: vec![trace.into()],
         einject_pages: vec![base.page()],
     };
 

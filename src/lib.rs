@@ -24,7 +24,7 @@
 //!
 //! // A one-core workload: 32 stores into the EInject region.
 //! let base = Addr::new(ise_workloads::layout::EINJECT_BASE);
-//! let trace: Vec<Instruction> =
+//! let trace: ise_workloads::Trace =
 //!     (0..32).map(|i| Instruction::store(base.offset(i * 8), i + 1)).collect();
 //! let workload = Workload {
 //!     name: "quickstart".into(),

@@ -120,7 +120,7 @@ fn two_core_stores(base_raw: u64) -> Workload {
     };
     Workload {
         name: "two-core-stores".into(),
-        traces: vec![mk(0), mk(1)],
+        traces: vec![mk(0).into(), mk(1).into()],
         einject_pages: vec![],
     }
 }

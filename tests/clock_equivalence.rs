@@ -57,7 +57,7 @@ fn store_mix(faulting: bool) -> Workload {
         }
         t
     };
-    let traces = vec![mk(0), mk(1)];
+    let traces: Vec<std::sync::Arc<[Instruction]>> = vec![mk(0).into(), mk(1).into()];
     let einject_pages = if faulting {
         let mut pages = Vec::new();
         for t in &traces {
@@ -108,7 +108,7 @@ fn fence_atomic_mix() -> Workload {
         }
         t
     };
-    let traces = vec![mk(0), mk(1)];
+    let traces: Vec<std::sync::Arc<[Instruction]>> = vec![mk(0).into(), mk(1).into()];
     let mut pages = Vec::new();
     for t in &traces {
         for p in touched_pages(t) {
@@ -248,7 +248,7 @@ fn aso_sweep_identical_across_clocks_multicore() {
             })
             .collect::<Vec<_>>()
     };
-    let traces = vec![mk(0), mk(1)];
+    let traces: Vec<std::sync::Arc<[Instruction]>> = vec![mk(0).into(), mk(1).into()];
     let reference = sweep_checkpoints_clocked(&cfg2(), &traces, &[1, 8, 32], MAX_CYCLES, false);
     let skipped = sweep_checkpoints_clocked(&cfg2(), &traces, &[1, 8, 32], MAX_CYCLES, true);
     assert_eq!(reference, skipped, "ASO sweep: clocks disagree");

@@ -23,7 +23,7 @@ fn store_workload(stores: u64, faulting_pages: u64) -> Workload {
     }
     Workload {
         name: "stores".into(),
-        traces: vec![trace],
+        traces: vec![trace.into()],
         einject_pages: (0..faulting_pages)
             .map(|p| Addr::new(EINJECT_BASE + p * PAGE_SIZE).page())
             .collect(),
@@ -135,7 +135,7 @@ fn mixed_load_store_workload_with_faults_completes() {
     }
     let w = Workload {
         name: "mixed".into(),
-        traces: vec![trace.clone(), trace],
+        traces: vec![trace.clone().into(), trace.into()],
         einject_pages: vec![base.page()],
     };
     let stats = run_workload(small_cfg(), &w, 100_000_000);

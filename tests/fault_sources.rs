@@ -30,7 +30,7 @@ fn stores_into(base: Addr, n: u64) -> Workload {
         .collect();
     Workload {
         name: "stores".into(),
-        traces: vec![trace],
+        traces: vec![trace.into()],
         einject_pages: Vec::new(),
     }
 }
@@ -118,7 +118,7 @@ fn three_fault_sources_compose_in_one_system() {
     }
     let w = Workload {
         name: "three-sources".into(),
-        traces: vec![trace],
+        traces: vec![trace.into()],
         einject_pages: vec![einject_base.page()],
     };
     let mut sys = System::with_fault_sources(small_cfg(), &w, vec![tako.clone(), mmu.clone()])

@@ -37,7 +37,7 @@ fn faulting_workload() -> Workload {
     };
     Workload {
         name: "telemetry-determinism".into(),
-        traces: vec![mk(0), mk(1)],
+        traces: vec![mk(0).into(), mk(1).into()],
         einject_pages: vec![base.page(), base.offset(4096 * 8).page()],
     }
 }
