@@ -9,7 +9,7 @@
 //!   fan-out.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ise_bench::snapshot::{dram_bound_workload, scaling_cfg};
+use ise_bench::perf_baseline::{dram_bound_workload, scaling_cfg};
 use ise_sim::experiments::fig5_with_workers;
 use ise_sim::System;
 use std::time::Instant;

@@ -1,27 +1,27 @@
-//! Writes the checked-in perf snapshots `BENCH_fig6.json` and
+//! Writes the checked-in perf baselines `BENCH_fig6.json` and
 //! `BENCH_sim_scaling.json`: median-of-3 wall-clock per `ISE_CYCLE_SKIP`
 //! pin plus an FNV-1a hash of the telemetry registry, verified identical
 //! across every run of both pins (the clock choice must never change
 //! results, only wall-clock).
 //!
-//! The previous snapshot's `after_median_ms` is carried forward as this
+//! The previous baseline's `after_median_ms` is carried forward as this
 //! run's `before_median_ms`, so the files accumulate a machine-readable
 //! perf trajectory across PRs. Usage:
 //!
 //! ```text
-//! cargo run --release -p ise-bench --bin bench_snapshot [--quick] \
+//! cargo run --release -p ise-bench --bin bench_baseline [--quick] \
 //!     [--before-fig6 <ms>] [--before-scaling <ms>]
 //! ```
 //!
 //! `--quick` uses the reduced fig6 scale and a shorter scaling workload
-//! (for smoke-testing the tool itself; checked-in snapshots use full
+//! (for smoke-testing the tool itself; checked-in baselines use full
 //! scale). The `--before-*` overrides seed the baseline for the first
-//! snapshot, when no previous file exists.
+//! baseline, when no previous file exists.
 
-use ise_bench::report_sections;
-use ise_bench::snapshot::{
-    dram_bound_workload, fnv1a_hex, previous_after_ms, scaling_cfg, write_snapshot, PinTiming,
+use ise_bench::perf_baseline::{
+    dram_bound_workload, fnv1a_hex, previous_after_ms, scaling_cfg, write_baseline, PinTiming,
 };
+use ise_bench::report_sections;
 use ise_sim::experiments::{fig6, fig6_cloudsuite, Fig6Scale};
 use ise_sim::System;
 use ise_types::ToJson;
@@ -67,7 +67,7 @@ fn measure_pins(mut body: impl FnMut() -> String) -> (PinTiming, PinTiming, Stri
     (reference, skip, hash.unwrap())
 }
 
-fn snapshot_fig6(quick: bool) {
+fn baseline_fig6(quick: bool) {
     let scale = if quick {
         Fig6Scale::quick()
     } else {
@@ -82,7 +82,7 @@ fn snapshot_fig6(quick: bool) {
     let path = "BENCH_fig6.json";
     let before = previous_after_ms(path).or_else(|| arg_value("--before-fig6"));
     let scale_name = if quick { "quick" } else { "full" };
-    write_snapshot(path, "fig6", scale_name, before, &reference, &skip, &hash);
+    write_baseline(path, "fig6", scale_name, before, &reference, &skip, &hash);
     println!(
         "fig6 ({scale_name}): reference median {} ms, cycle-skip median {} ms, {hash}",
         reference.median(),
@@ -90,7 +90,7 @@ fn snapshot_fig6(quick: bool) {
     );
 }
 
-fn snapshot_sim_scaling(quick: bool) {
+fn baseline_sim_scaling(quick: bool) {
     let stores = if quick { 200 } else { 2000 };
     let workload = dram_bound_workload(stores);
     let (reference, skip, hash) = measure_pins(|| {
@@ -100,7 +100,7 @@ fn snapshot_sim_scaling(quick: bool) {
     let path = "BENCH_sim_scaling.json";
     let before = previous_after_ms(path).or_else(|| arg_value("--before-scaling"));
     let scale_name = if quick { "quick" } else { "full" };
-    write_snapshot(
+    write_baseline(
         path,
         "sim_scaling",
         scale_name,
@@ -118,6 +118,6 @@ fn snapshot_sim_scaling(quick: bool) {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    snapshot_fig6(quick);
-    snapshot_sim_scaling(quick);
+    baseline_fig6(quick);
+    baseline_sim_scaling(quick);
 }

@@ -8,7 +8,7 @@
 
 #![deny(missing_docs)]
 
-pub mod snapshot;
+pub mod perf_baseline;
 
 use ise_consistency::program::format_outcome;
 use ise_litmus::parse::{parse_litmus, ParsedLitmus};

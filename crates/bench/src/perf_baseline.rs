@@ -1,10 +1,10 @@
-//! Machine-readable performance snapshots (`BENCH_*.json`).
+//! Machine-readable performance baselines (`BENCH_*.json`).
 //!
-//! The `bench_snapshot` binary freezes a median-of-3 wall-clock
+//! The `bench_baseline` binary freezes a median-of-3 wall-clock
 //! measurement plus a hash of the produced telemetry registry for the
 //! two wall-clock-critical studies (`fig6`, `sim_scaling`). The files
 //! are checked in, so every perf-affecting PR carries its own
-//! before/after numbers: the tool reads the previous snapshot's
+//! before/after numbers: the tool reads the previous baseline's
 //! `after_median_ms` as the new baseline and records the fresh medians
 //! next to it.
 //!
@@ -39,7 +39,7 @@ pub fn median_ms(runs: &[u64]) -> u64 {
     sorted[sorted.len() / 2]
 }
 
-/// Extracts `"after_median_ms": <digits>` from a previous snapshot file,
+/// Extracts `"after_median_ms": <digits>` from a previous baseline file,
 /// if one exists at `path` — the previous "after" becomes this run's
 /// "before" without needing a JSON parser.
 pub fn previous_after_ms(path: &str) -> Option<u64> {
@@ -73,10 +73,10 @@ impl PinTiming {
     }
 }
 
-/// Assembles and writes one `BENCH_<name>.json` snapshot.
+/// Assembles and writes one `BENCH_<name>.json` baseline.
 ///
 /// `before_ms` should come from [`previous_after_ms`] (or an explicit
-/// command-line override for the first snapshot); `reference` and
+/// command-line override for the first baseline); `reference` and
 /// `cycle_skip` are the timings under `ISE_CYCLE_SKIP=0` / `=1`, and
 /// `registry_hash` must already be verified identical across every run
 /// of both pins. The headline `after_median_ms` is the reference-clock
@@ -85,7 +85,7 @@ impl PinTiming {
 /// # Panics
 ///
 /// Panics if the file cannot be written.
-pub fn write_snapshot(
+pub fn write_baseline(
     path: &str,
     name: &str,
     scale: &str,
@@ -114,7 +114,7 @@ pub fn write_snapshot(
 /// store misses the whole hierarchy and the fence parks the pipeline for
 /// the DRAM round trip — the dead-cycle-dominated regime the
 /// cycle-skipping clock collapses (shared by the `sim_scaling` Criterion
-/// bench and the `bench_snapshot` binary).
+/// bench and the `bench_baseline` binary).
 pub fn dram_bound_workload(stores: u64) -> Workload {
     let base = Addr::new(0x1000_0000);
     Workload {
@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn previous_after_survives_roundtrip() {
-        let dir = std::env::temp_dir().join("ise-bench-snapshot-test");
+        let dir = std::env::temp_dir().join("ise-bench-baseline-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_roundtrip.json");
         let path = path.to_str().unwrap();
@@ -171,7 +171,7 @@ mod tests {
         let skip = PinTiming {
             runs_ms: vec![90, 80, 85],
         };
-        write_snapshot(path, "t", "quick", Some(400), &reference, &skip, "fnv1a:0");
+        write_baseline(path, "t", "quick", Some(400), &reference, &skip, "fnv1a:0");
         assert_eq!(previous_after_ms(path), Some(110));
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("\"before_median_ms\":400"));

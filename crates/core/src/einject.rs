@@ -113,6 +113,58 @@ impl EInject {
     pub fn mmio_writes(&self) -> (u64, u64) {
         (*self.set_writes.borrow(), *self.clr_writes.borrow())
     }
+
+    /// Saves the device's dynamic state: the faulting bitmap (pages in
+    /// sorted order — the canonical form) and the MMIO/denial counters.
+    /// The reserved region is written as an identity fingerprint only;
+    /// `&self` suffices because all mutable state sits behind `RefCell`.
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        use ise_types::persist::Persist;
+        w.section(*b"EINJ", |w| {
+            w.u64(self.region.start);
+            w.u64(self.region.end);
+            let mut pages: Vec<PageId> = self.faulting.borrow().iter().copied().collect();
+            pages.sort_by_key(|p| p.index());
+            pages.save(w);
+            w.u64(*self.denied.borrow());
+            w.u64(*self.set_writes.borrow());
+            w.u64(*self.clr_writes.borrow());
+        });
+    }
+
+    /// Restores the bitmap and counters in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`](ise_types::persist::PersistError)
+    /// if the snapshot was taken from a device with a different reserved
+    /// region, or names a faulting page outside the region.
+    pub fn restore_state(
+        &self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"EINJ", |r| {
+            let (start, end) = (r.u64()?, r.u64()?);
+            if start != self.region.start || end != self.region.end {
+                return Err(PersistError::Corrupt("EInject region mismatch"));
+            }
+            let pages: Vec<PageId> = Persist::restore(r)?;
+            for p in &pages {
+                let base = p.index() * PAGE_SIZE;
+                if !self.region.contains(&base) {
+                    return Err(PersistError::Corrupt(
+                        "EInject faulting page outside region",
+                    ));
+                }
+            }
+            *self.faulting.borrow_mut() = pages.into_iter().collect();
+            *self.denied.borrow_mut() = r.u64()?;
+            *self.set_writes.borrow_mut() = r.u64()?;
+            *self.clr_writes.borrow_mut() = r.u64()?;
+            Ok(())
+        })
+    }
 }
 
 impl FaultOracle for EInject {
@@ -187,5 +239,45 @@ mod tests {
     #[should_panic(expected = "page-aligned")]
     fn unaligned_region_rejected() {
         let _ = EInject::new(Addr::new(0x100), PAGE_SIZE);
+    }
+
+    #[test]
+    fn persist_round_trip_restores_bitmap_and_counters() {
+        use ise_types::persist::{Reader, Writer};
+        let d = dev();
+        d.set_faulting(Addr::new(0x10_0000 + 3 * PAGE_SIZE));
+        d.set_faulting(Addr::new(0x10_0000 + 9 * PAGE_SIZE));
+        d.clear_faulting(Addr::new(0x10_0000));
+        d.check(Addr::new(0x10_0000 + 3 * PAGE_SIZE), true);
+        let mut w = Writer::container();
+        d.save_state(&mut w);
+        let bytes = w.finish();
+        let back = dev();
+        let mut r = Reader::container(&bytes).unwrap();
+        back.restore_state(&mut r).unwrap();
+        assert_eq!(back.faulting_pages(), 2);
+        assert!(back.is_faulting(Addr::new(0x10_0000 + 9 * PAGE_SIZE)));
+        assert_eq!(back.denied_count(), 1);
+        assert_eq!(back.mmio_writes(), (2, 1));
+        // Canonical: re-save is byte-identical despite HashSet iteration
+        // order being arbitrary.
+        let mut w2 = Writer::container();
+        back.save_state(&mut w2);
+        assert_eq!(w2.finish(), bytes);
+    }
+
+    #[test]
+    fn persist_rejects_region_mismatch() {
+        use ise_types::persist::{PersistError, Reader, Writer};
+        let d = dev();
+        let mut w = Writer::container();
+        d.save_state(&mut w);
+        let bytes = w.finish();
+        let other = EInject::new(Addr::new(0x20_0000), 16 * PAGE_SIZE);
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            other.restore_state(&mut r),
+            Err(PersistError::Corrupt("EInject region mismatch"))
+        ));
     }
 }

@@ -181,6 +181,78 @@ impl FaultInjector {
         self.now.get()
     }
 
+    /// Saves the injector's runtime state: per-page denial counts,
+    /// cleared flags, and specs (sorted by page index — the canonical
+    /// form), the intermittent-draw RNG position, the clock last pushed
+    /// by [`FaultOracle::advance_to`], and the campaign counters. The
+    /// specs are configuration — the embedder rebuilds the injector from
+    /// the same [`FaultPlan`] before restoring — but they travel in the
+    /// image anyway so a snapshot's content hash distinguishes plans
+    /// that fault the same pages differently (the campaign dedupe key).
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        use ise_types::persist::Persist;
+        w.section(*b"FINJ", |w| {
+            let state = self.state.borrow();
+            let mut pages: Vec<(&PageId, &PageState)> = state.iter().collect();
+            pages.sort_by_key(|(p, _)| p.index());
+            w.usize(pages.len());
+            for (page, ps) in pages {
+                page.save(w);
+                ps.spec.save(w);
+                w.u32(ps.denials);
+                w.bool(ps.cleared);
+            }
+            self.rng.borrow().save(w);
+            w.u64(self.now.get());
+            w.u64(self.denied.get());
+            w.u64(self.transient_clears.get());
+            w.u64(self.resolved.get());
+        });
+    }
+
+    /// Restores the runtime state in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`](ise_types::persist::PersistError)
+    /// if the snapshot's page set does not match this injector's plan —
+    /// the plan is the injector's identity and must be rebuilt unchanged.
+    pub fn restore_state(
+        &self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"FINJ", |r| {
+            let n = r.usize()?;
+            {
+                let mut state = self.state.borrow_mut();
+                if n != state.len() {
+                    return Err(PersistError::Corrupt("fault plan page-set mismatch"));
+                }
+                for _ in 0..n {
+                    let page = PageId::restore(r)?;
+                    let spec = ise_types::FaultSpec::restore(r)?;
+                    let denials = r.u32()?;
+                    let cleared = r.bool()?;
+                    let Some(ps) = state.get_mut(&page) else {
+                        return Err(PersistError::Corrupt("fault plan page-set mismatch"));
+                    };
+                    if ps.spec != spec {
+                        return Err(PersistError::Corrupt("fault plan spec mismatch"));
+                    }
+                    ps.denials = denials;
+                    ps.cleared = cleared;
+                }
+            }
+            *self.rng.borrow_mut() = SimRng::restore(r)?;
+            self.now.set(r.u64()?);
+            self.denied.set(r.u64()?);
+            self.transient_clears.set(r.u64()?);
+            self.resolved.set(r.u64()?);
+            Ok(())
+        })
+    }
+
     /// Whether `addr`'s page currently has an uncleared cause. Windowed
     /// causes only count while the clock is inside their window.
     fn has_cause(&self, addr: Addr) -> bool {
@@ -257,6 +329,17 @@ impl FaultResolver for FaultInjector {
         }
         page.cleared = true;
         self.resolved.set(self.resolved.get() + 1);
+    }
+
+    fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        FaultInjector::save_state(self, w);
+    }
+
+    fn restore_state(
+        &self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        FaultInjector::restore_state(self, r)
     }
 }
 
@@ -357,6 +440,86 @@ mod tests {
         assert_eq!(inj.check(addr(1), true), Some(ExceptionKind::BusError));
         assert_eq!(inj.check(addr(2), true), Some(ExceptionKind::MachineCheck));
         assert_eq!(inj.check(addr(3), true), None);
+    }
+
+    #[test]
+    fn persist_round_trip_resumes_intermittent_stream_mid_campaign() {
+        use ise_types::persist::{Reader, Writer};
+        let plan = || {
+            FaultPlan::new(23)
+                .page(
+                    addr(1).page(),
+                    FaultSpec::bus_error(FaultKind::Intermittent { probability: 0.5 }),
+                )
+                .page(
+                    addr(2).page(),
+                    FaultSpec::bus_error(FaultKind::Transient { clears_after: 5 }),
+                )
+                .page(addr(3).page(), FaultSpec::bus_error(FaultKind::Permanent))
+        };
+        let orig = plan().build();
+        // Consume part of the campaign: burn intermittent draws, charge
+        // transient denials, advance the clock, resolve nothing yet.
+        for _ in 0..10 {
+            orig.check(addr(1), true);
+        }
+        for _ in 0..2 {
+            orig.check(addr(2), true);
+        }
+        orig.advance_to(777);
+        let mut w = Writer::container();
+        orig.save_state(&mut w);
+        let bytes = w.finish();
+
+        let back = plan().build();
+        let mut r = Reader::container(&bytes).unwrap();
+        back.restore_state(&mut r).unwrap();
+        assert_eq!(back.now(), 777);
+        assert_eq!(back.denied_count(), orig.denied_count());
+        // Canonical: re-save is byte-identical despite HashMap order.
+        let mut w2 = Writer::container();
+        back.save_state(&mut w2);
+        assert_eq!(w2.finish(), bytes);
+        // The restored injector replays the exact same future: the RNG
+        // stream tail and the transient healing point must coincide.
+        for _ in 0..64 {
+            assert_eq!(back.check(addr(1), true), orig.check(addr(1), true));
+            assert_eq!(back.check(addr(2), true), orig.check(addr(2), true));
+        }
+        assert_eq!(back.transient_clears(), orig.transient_clears());
+        assert_eq!(back.cleared_pages(), orig.cleared_pages());
+    }
+
+    #[test]
+    fn persist_rejects_plan_mismatch() {
+        use ise_types::persist::{PersistError, Reader, Writer};
+        let orig = injector(FaultKind::Permanent);
+        let mut w = Writer::container();
+        orig.save_state(&mut w);
+        let bytes = w.finish();
+        // A plan naming a different page set must be rejected.
+        let other = FaultPlan::new(7)
+            .page(addr(6).page(), FaultSpec::bus_error(FaultKind::Permanent))
+            .build();
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            other.restore_state(&mut r),
+            Err(PersistError::Corrupt("fault plan page-set mismatch"))
+        ));
+        // Same pages, different spec: also rejected — and because the
+        // spec travels in the image, two plans faulting the same pages
+        // differently can never hash to the same snapshot.
+        let respecced = FaultPlan::new(7)
+            .page(
+                addr(5).page(),
+                FaultSpec::bus_error(FaultKind::Transient { clears_after: 1 }),
+            )
+            .build();
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            respecced.restore_state(&mut r),
+            Err(PersistError::Corrupt("fault plan spec mismatch"))
+        ));
     }
 
     #[test]

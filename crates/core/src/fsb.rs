@@ -165,6 +165,51 @@ impl Fsb {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use ise_types::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for Fsb {
+        fn save(&self, w: &mut Writer) {
+            w.section(*b"FSB0", |w| {
+                self.base.save(w);
+                w.u64(self.capacity as u64);
+                w.u64(self.head);
+                w.u64(self.tail);
+                for e in self.iter() {
+                    e.save(w);
+                }
+            });
+        }
+
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            r.section(*b"FSB0", |r| {
+                let base = Addr::restore(r)?;
+                let capacity = r.u64()? as usize;
+                if capacity == 0 || !capacity.is_power_of_two() {
+                    return Err(PersistError::Corrupt("FSB capacity not a power of two"));
+                }
+                let head = r.u64()?;
+                let tail = r.u64()?;
+                if head > tail || (tail - head) as usize > capacity {
+                    return Err(PersistError::Corrupt("FSB pointers out of range"));
+                }
+                let mut slots = vec![None; capacity];
+                for i in head..tail {
+                    slots[(i as usize) & (capacity - 1)] = Some(FaultingStoreEntry::restore(r)?);
+                }
+                Ok(Fsb {
+                    base,
+                    capacity,
+                    head,
+                    tail,
+                    slots,
+                })
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +290,54 @@ mod tests {
         // when the base is mid-page.
         let f2 = Fsb::new(Addr::new(0x3800), 512);
         assert_eq!(f2.backing_pages().len(), 3);
+    }
+
+    #[test]
+    fn persist_round_trip_preserves_wrapped_ring() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut f = Fsb::new(Addr::new(0x8000), 4);
+        // Advance past a wrap so head/tail exceed capacity and the queued
+        // region straddles the ring boundary.
+        for i in 0..6 {
+            f.push(entry(i)).unwrap();
+            if i < 3 {
+                f.pop_head();
+            }
+        }
+        assert_eq!(f.len(), 3);
+        let bytes = save_container(&f);
+        let back: Fsb = restore_container(&bytes).unwrap();
+        assert_eq!(back.registers(), f.registers());
+        assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            f.iter().collect::<Vec<_>>()
+        );
+        // Canonical form: re-saving is byte-identical.
+        assert_eq!(save_container(&back), bytes);
+        // The restored ring keeps operating: drain it dry.
+        let mut back = back;
+        for i in 3..6 {
+            assert_eq!(back.pop_head().unwrap().data, i);
+        }
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn persist_rejects_pointers_out_of_range() {
+        use ise_types::persist::{restore_container, save_container, PersistError};
+        let f = Fsb::new(Addr::new(0x8000), 4);
+        let bytes = save_container(&f);
+        // head/tail live after the section header (12B) and base Addr
+        // (8B) and capacity (8B): head at offset 20+16=36. Set head > tail.
+        let mut bad = bytes.clone();
+        bad[36..44].copy_from_slice(&5u64.to_le_bytes());
+        let off = bad.len() - 8;
+        let h = ise_types::persist::fnv1a(&bad[..off]);
+        bad[off..].copy_from_slice(&h.to_le_bytes());
+        assert!(matches!(
+            restore_container::<Fsb>(&bad),
+            Err(PersistError::Corrupt("FSB pointers out of range"))
+        ));
     }
 
     #[test]

@@ -111,6 +111,42 @@ impl Fsbc {
             uarch_cycles: uarch,
         })
     }
+
+    /// Saves the controller's dynamic state (counters; the drain/flush
+    /// costs are configuration the embedder rebuilds).
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        use ise_types::persist::Persist;
+        w.section(*b"FSBC", |w| {
+            self.core.save(w);
+            w.u64(self.episodes);
+            w.u64(self.entries_drained);
+            w.usize(self.high_water_mark);
+        });
+    }
+
+    /// Restores the counters in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`](ise_types::persist::PersistError)
+    /// if the snapshot was taken from a controller serving a different
+    /// core — the snapshot identity must match the constructed object.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"FSBC", |r| {
+            let core = ise_types::CoreId::restore(r)?;
+            if core != self.core {
+                return Err(PersistError::Corrupt("FSBC core identity mismatch"));
+            }
+            self.episodes = r.u64()?;
+            self.entries_drained = r.u64()?;
+            self.high_water_mark = r.usize()?;
+            Ok(())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +210,42 @@ mod tests {
         while fsb.pop_head().is_some() {}
         fsbc.drain(&mut fsb, &entries(2), 0).unwrap();
         assert_eq!(fsbc.high_water_mark(), 6, "mark is a running maximum");
+    }
+
+    #[test]
+    fn persist_round_trip_keeps_counters() {
+        use ise_types::persist::{Reader, Writer};
+        let mut fsb = Fsb::new(Addr::new(0x1000), 32);
+        let mut fsbc = Fsbc::new(CoreId(2), &costs());
+        fsbc.drain(&mut fsb, &entries(5), 0).unwrap();
+        let mut w = Writer::container();
+        fsbc.save_state(&mut w);
+        let bytes = w.finish();
+        let mut back = Fsbc::new(CoreId(2), &costs());
+        let mut r = Reader::container(&bytes).unwrap();
+        back.restore_state(&mut r).unwrap();
+        assert_eq!(back.episodes(), 1);
+        assert_eq!(back.entries_drained(), 5);
+        assert_eq!(back.high_water_mark(), 5);
+        // Re-save is byte-identical.
+        let mut w2 = Writer::container();
+        back.save_state(&mut w2);
+        assert_eq!(w2.finish(), bytes);
+    }
+
+    #[test]
+    fn persist_rejects_core_identity_mismatch() {
+        use ise_types::persist::{PersistError, Reader, Writer};
+        let fsbc = Fsbc::new(CoreId(0), &costs());
+        let mut w = Writer::container();
+        fsbc.save_state(&mut w);
+        let bytes = w.finish();
+        let mut other = Fsbc::new(CoreId(1), &costs());
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            other.restore_state(&mut r),
+            Err(PersistError::Corrupt("FSBC core identity mismatch"))
+        ));
     }
 
     #[test]

@@ -231,6 +231,82 @@ impl ContractMonitor {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use ise_types::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for OrderEvent {
+        fn save(&self, w: &mut Writer) {
+            match *self {
+                OrderEvent::Detect { core } => {
+                    w.u8(0);
+                    core.save(w);
+                }
+                OrderEvent::Put { core, entry } => {
+                    w.u8(1);
+                    core.save(w);
+                    entry.save(w);
+                }
+                OrderEvent::Get { core, entry } => {
+                    w.u8(2);
+                    core.save(w);
+                    entry.save(w);
+                }
+                OrderEvent::Sos { core, addr } => {
+                    w.u8(3);
+                    core.save(w);
+                    addr.save(w);
+                }
+                OrderEvent::Resolve { core } => {
+                    w.u8(4);
+                    core.save(w);
+                }
+                OrderEvent::Resume { core } => {
+                    w.u8(5);
+                    core.save(w);
+                }
+            }
+        }
+
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            let tag = r.u8()?;
+            let core = CoreId::restore(r)?;
+            Ok(match tag {
+                0 => OrderEvent::Detect { core },
+                1 => OrderEvent::Put {
+                    core,
+                    entry: Persist::restore(r)?,
+                },
+                2 => OrderEvent::Get {
+                    core,
+                    entry: Persist::restore(r)?,
+                },
+                3 => OrderEvent::Sos {
+                    core,
+                    addr: Persist::restore(r)?,
+                },
+                4 => OrderEvent::Resolve { core },
+                5 => OrderEvent::Resume { core },
+                _ => return Err(PersistError::Corrupt("OrderEvent discriminant")),
+            })
+        }
+    }
+
+    impl Persist for ContractMonitor {
+        fn save(&self, w: &mut Writer) {
+            w.section(*b"CMON", |w| self.log.save(w));
+        }
+
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            r.section(*b"CMON", |r| {
+                Ok(ContractMonitor {
+                    log: Persist::restore(r)?,
+                })
+            })
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct CoreLog {
     puts: Vec<FaultingStoreEntry>,
@@ -407,6 +483,31 @@ mod tests {
         m.record(OrderEvent::Resolve { core: c1 });
         m.record(OrderEvent::Resume { core: c1 });
         assert_eq!(m.check(ConsistencyModel::Pc), Ok(()));
+    }
+
+    #[test]
+    fn persist_round_trip_preserves_log_and_verdict() {
+        use ise_types::persist::{restore_container, save_container};
+        let m = happy_path();
+        let bytes = save_container(&m);
+        let back: ContractMonitor = restore_container(&bytes).unwrap();
+        assert_eq!(back.log(), m.log());
+        assert_eq!(back.check(ConsistencyModel::Pc), Ok(()));
+        assert_eq!(save_container(&back), bytes);
+        // A mid-episode snapshot (before RESOLVE) round-trips too and
+        // still trips the same violation afterwards.
+        let mut mid = ContractMonitor::new();
+        mid.record(OrderEvent::Detect { core: c() });
+        mid.record(OrderEvent::Put {
+            core: c(),
+            entry: e(0),
+        });
+        let mut back: ContractMonitor = restore_container(&save_container(&mid)).unwrap();
+        back.record(OrderEvent::Resume { core: c() });
+        assert_eq!(
+            back.check(ConsistencyModel::Pc),
+            Err(ContractViolation::ResumeBeforeResolve { core: c() })
+        );
     }
 
     #[test]

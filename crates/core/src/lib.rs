@@ -30,6 +30,8 @@
 //! heavyweight page-level translation runs only on LLC misses — both
 //! plug into the same [`ise_mem::FaultOracle`] seam as EInject.
 
+pub use ise_types::persist;
+
 pub mod einject;
 pub mod faults;
 pub mod fsb;

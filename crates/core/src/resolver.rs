@@ -17,6 +17,7 @@ use crate::tako::Tako;
 use ise_mem::FaultOracle;
 use ise_types::addr::Addr;
 use ise_types::exception::ExceptionKind;
+use ise_types::persist::{PersistError, Reader, Writer};
 use std::rc::Rc;
 
 /// A fault source whose causes the OS knows how to resolve.
@@ -29,6 +30,21 @@ pub trait FaultResolver: FaultOracle {
     /// repair, mapping install). Idempotent; a no-op if the source has
     /// no cause there.
     fn resolve(&self, addr: Addr);
+
+    /// Saves the source's dynamic state into a system snapshot. `&self`
+    /// because shared sources (behind `Rc`) keep their mutable state in
+    /// cells; the default is a no-op for stateless sources.
+    fn save_state(&self, _w: &mut Writer) {}
+
+    /// Restores the state written by [`FaultResolver::save_state`]. Must
+    /// consume exactly what `save_state` wrote.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on malformed or mismatched snapshots.
+    fn restore_state(&self, _r: &mut Reader) -> Result<(), PersistError> {
+        Ok(())
+    }
 }
 
 impl FaultResolver for EInject {
@@ -38,6 +54,14 @@ impl FaultResolver for EInject {
 
     fn resolve(&self, addr: Addr) {
         self.clear_faulting(addr);
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        EInject::save_state(self, w);
+    }
+
+    fn restore_state(&self, r: &mut Reader) -> Result<(), PersistError> {
+        EInject::restore_state(self, r)
     }
 }
 
@@ -50,6 +74,14 @@ impl FaultResolver for Tako {
         self.resolve_page(addr);
         self.repair(addr);
     }
+
+    fn save_state(&self, w: &mut Writer) {
+        Tako::save_state(self, w);
+    }
+
+    fn restore_state(&self, r: &mut Reader) -> Result<(), PersistError> {
+        Tako::restore_state(self, r)
+    }
 }
 
 impl FaultResolver for MidgardMmu {
@@ -59,6 +91,14 @@ impl FaultResolver for MidgardMmu {
 
     fn resolve(&self, addr: Addr) {
         self.map_page(addr);
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        MidgardMmu::save_state(self, w);
+    }
+
+    fn restore_state(&self, r: &mut Reader) -> Result<(), PersistError> {
+        MidgardMmu::restore_state(self, r)
     }
 }
 
@@ -121,6 +161,28 @@ impl FaultResolver for CompositeResolver {
                 s.resolve(addr);
             }
         }
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.section(*b"CMPR", |w| {
+            w.usize(self.sources.len());
+            for s in &self.sources {
+                s.save_state(w);
+            }
+        });
+    }
+
+    fn restore_state(&self, r: &mut Reader) -> Result<(), PersistError> {
+        r.section(*b"CMPR", |r| {
+            let n = r.usize()?;
+            if n != self.sources.len() {
+                return Err(PersistError::Corrupt("composite source count mismatch"));
+            }
+            for s in &self.sources {
+                s.restore_state(r)?;
+            }
+            Ok(())
+        })
     }
 }
 
@@ -193,5 +255,41 @@ mod tests {
     #[should_panic(expected = "at least one source")]
     fn empty_composite_rejected() {
         let _ = CompositeResolver::new(vec![]);
+    }
+
+    #[test]
+    fn composite_persists_every_source_in_order() {
+        let build = || {
+            let e = Rc::new(EInject::new(Addr::new(0x10_0000), 4 * PAGE_SIZE));
+            let t = Rc::new(Tako::new(
+                Addr::new(0x20_0000),
+                4 * PAGE_SIZE,
+                Callback::Scatter,
+            ));
+            (e.clone(), t.clone(), CompositeResolver::new(vec![e, t]))
+        };
+        let (e, t, c) = build();
+        e.set_faulting(Addr::new(0x10_0000));
+        t.poison(Addr::new(0x20_0000 + PAGE_SIZE));
+        let mut w = Writer::container();
+        FaultResolver::save_state(&c, &mut w);
+        let bytes = w.finish();
+
+        let (e2, t2, c2) = build();
+        let mut r = Reader::container(&bytes).unwrap();
+        FaultResolver::restore_state(&c2, &mut r).unwrap();
+        assert!(e2.is_faulting(Addr::new(0x10_0000)));
+        assert!(t2.probe(Addr::new(0x20_0000 + PAGE_SIZE)));
+        assert!(c2.is_faulting(Addr::new(0x10_0000)));
+        // Source-count mismatch is rejected.
+        let lone = CompositeResolver::new(vec![Rc::new(EInject::new(
+            Addr::new(0x10_0000),
+            4 * PAGE_SIZE,
+        ))]);
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            FaultResolver::restore_state(&lone, &mut r),
+            Err(PersistError::Corrupt("composite source count mismatch"))
+        ));
     }
 }

@@ -169,6 +169,62 @@ impl Tako {
     fn raise(&self, code: ErrorCode) {
         *self.faults_raised.borrow_mut().entry(code).or_insert(0) += 1;
     }
+
+    /// Saves the accelerator's dynamic state: cold and poisoned page sets
+    /// (sorted — the canonical form) and the per-code fault counters. The
+    /// region and callback are an identity fingerprint.
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        use ise_types::persist::Persist;
+        w.section(*b"TAKO", |w| {
+            w.u64(self.region.start);
+            w.u64(self.region.end);
+            w.u8(match self.callback {
+                Callback::Compression => 0,
+                Callback::Encryption => 1,
+                Callback::Scatter => 2,
+            });
+            let sorted = |set: &HashSet<PageId>| {
+                let mut v: Vec<PageId> = set.iter().copied().collect();
+                v.sort_by_key(|p| p.index());
+                v
+            };
+            sorted(&self.cold_pages.borrow()).save(w);
+            sorted(&self.poisoned.borrow()).save(w);
+            self.fault_counts().save(w);
+        });
+    }
+
+    /// Restores the dynamic state in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`](ise_types::persist::PersistError)
+    /// if the snapshot came from an accelerator with a different region
+    /// or callback.
+    pub fn restore_state(
+        &self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"TAKO", |r| {
+            let (start, end) = (r.u64()?, r.u64()?);
+            let cb = r.u8()?;
+            let same_cb = matches!(
+                (cb, self.callback),
+                (0, Callback::Compression) | (1, Callback::Encryption) | (2, Callback::Scatter)
+            );
+            if start != self.region.start || end != self.region.end || !same_cb {
+                return Err(PersistError::Corrupt("tako identity mismatch"));
+            }
+            let cold: Vec<PageId> = Persist::restore(r)?;
+            let poisoned: Vec<PageId> = Persist::restore(r)?;
+            let counts: Vec<(ErrorCode, u64)> = Persist::restore(r)?;
+            *self.cold_pages.borrow_mut() = cold.into_iter().collect();
+            *self.poisoned.borrow_mut() = poisoned.into_iter().collect();
+            *self.faults_raised.borrow_mut() = counts.into_iter().collect();
+            Ok(())
+        })
+    }
 }
 
 impl FaultOracle for Tako {
@@ -281,5 +337,44 @@ mod tests {
     #[should_panic(expected = "page-aligned")]
     fn unaligned_region_rejected() {
         let _ = Tako::new(Addr::new(0x123), PAGE_SIZE, Callback::Scatter);
+    }
+
+    #[test]
+    fn persist_round_trip_restores_page_sets_and_counts() {
+        use ise_types::persist::{Reader, Writer};
+        let t = tako();
+        t.make_all_cold();
+        t.resolve_page(Addr::new(0x40_0000));
+        t.poison(Addr::new(0x40_0000 + 2 * PAGE_SIZE));
+        t.check(Addr::new(0x40_0000 + PAGE_SIZE), true);
+        t.check(Addr::new(0x40_0000 + 2 * PAGE_SIZE), true);
+        let mut w = Writer::container();
+        t.save_state(&mut w);
+        let bytes = w.finish();
+        let back = tako();
+        let mut r = Reader::container(&bytes).unwrap();
+        back.restore_state(&mut r).unwrap();
+        assert_eq!(back.cold_count(), t.cold_count());
+        assert!(back.probe(Addr::new(0x40_0000 + 2 * PAGE_SIZE)));
+        assert!(!back.probe(Addr::new(0x40_0000)));
+        assert_eq!(back.fault_counts(), t.fault_counts());
+        let mut w2 = Writer::container();
+        back.save_state(&mut w2);
+        assert_eq!(w2.finish(), bytes, "re-save must be byte-identical");
+    }
+
+    #[test]
+    fn persist_rejects_identity_mismatch() {
+        use ise_types::persist::{PersistError, Reader, Writer};
+        let t = tako();
+        let mut w = Writer::container();
+        t.save_state(&mut w);
+        let bytes = w.finish();
+        let other = Tako::new(Addr::new(0x40_0000), 8 * PAGE_SIZE, Callback::Scatter);
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            other.restore_state(&mut r),
+            Err(PersistError::Corrupt("tako identity mismatch"))
+        ));
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::rob::{ReplayRing, RobEntry, RobRing};
 use crate::store_buffer::{DrainFault, StoreBuffer};
-use crate::trace::TraceSource;
+use crate::trace::{PersistTrace, TraceSource};
 use ise_engine::{cycle_skip_override, Cycle};
 use ise_mem::hierarchy::{Access, MemoryHierarchy};
 use ise_types::addr::{Addr, ByteMask};
@@ -644,6 +644,60 @@ impl<T: TraceSource> Core<T> {
     }
 }
 
+impl<T: PersistTrace> Core<T> {
+    /// Saves the core's dynamic state under a `CORE` section: the trace
+    /// cursor, pipeline rings, store buffer, stall/resume machine, and
+    /// statistics. Static identity (`id`, `cfg`, the trace *contents*)
+    /// is not serialized — the embedder rebuilds the core from
+    /// configuration and then calls [`Core::restore_state`], which
+    /// validates saved occupancies against that configuration.
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        use ise_types::persist::Persist;
+        w.section(*b"CORE", |w| {
+            self.trace.save_cursor(w);
+            w.bool(self.trace_done);
+            self.rob.save_state(w);
+            self.replay.save_state(w);
+            self.sb.save_state(w);
+            w.u8(match self.state {
+                CoreState::Running => 0,
+                CoreState::WaitResume => 1,
+                CoreState::Finished => 2,
+            });
+            w.u64(self.resume_at);
+            w.bool(self.step_activity);
+            self.stats.save(w);
+        });
+    }
+
+    /// Restores the core in place from a [`Core::save_state`] stream.
+    /// The core must have been built with the same configuration and
+    /// trace contents the snapshot was taken against.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"CORE", |r| {
+            self.trace.restore_cursor(r)?;
+            self.trace_done = r.bool()?;
+            self.rob = RobRing::restore_state(r, self.cfg.rob_entries)?;
+            self.replay = ReplayRing::restore_state(r, self.cfg.rob_entries)?;
+            self.sb.restore_state(r)?;
+            self.state = match r.u8()? {
+                0 => CoreState::Running,
+                1 => CoreState::WaitResume,
+                2 => CoreState::Finished,
+                _ => return Err(PersistError::Corrupt("CoreState discriminant")),
+            };
+            self.resume_at = r.u64()?;
+            self.step_activity = r.bool()?;
+            self.stats = Persist::restore(r)?;
+            Ok(())
+        })
+    }
+}
+
 /// Runs a single core to completion against a hierarchy with no faults and
 /// returns its stats — the building block of the Table 3 speedup study.
 ///
@@ -1139,6 +1193,111 @@ mod tests {
             let skipped = run_multicore_clocked(&mut skip_cores, &mut h_skip, 10_000_000, true);
             assert_eq!(reference, skipped, "model {model:?}");
         }
+    }
+
+    #[test]
+    fn persist_round_trip_mid_run_continues_identically() {
+        use ise_types::persist::{Reader, Writer};
+        for model in [
+            ConsistencyModel::Sc,
+            ConsistencyModel::Pc,
+            ConsistencyModel::Wc,
+        ] {
+            let trace = store_heavy_trace(60);
+            let mut orig = core_with(model, trace.clone());
+            let mut h_orig = hier();
+            // Run partway so the snapshot catches a busy pipeline: a
+            // part-full ROB, buffered stores, drains in flight.
+            let mut now = 0;
+            while orig.stats().retired < 100 {
+                match orig.step(now, &mut h_orig) {
+                    StepOutcome::Finished => panic!("trace too short for a mid-run snapshot"),
+                    StepOutcome::Imprecise(_) | StepOutcome::Precise { .. } => {
+                        panic!("fault-free workload")
+                    }
+                    _ => {}
+                }
+                now += 1;
+                assert!(now < 1_000_000);
+            }
+            let mut w = Writer::container();
+            orig.save_state(&mut w);
+            h_orig.save_state(&mut w);
+            let bytes = w.finish();
+            let mut back = core_with(model, trace);
+            let mut h_back = hier();
+            let mut r = Reader::container(&bytes).unwrap();
+            back.restore_state(&mut r).unwrap();
+            h_back.restore_state(&mut r).unwrap();
+            // Re-save is byte-identical: the logical pipeline contents
+            // are the canonical form.
+            let mut w2 = Writer::container();
+            back.save_state(&mut w2);
+            h_back.save_state(&mut w2);
+            assert_eq!(w2.finish(), bytes, "model {model:?}");
+            assert_eq!(back.stats(), orig.stats());
+            // Lockstep continuation to completion: outcomes, wake-ups and
+            // stats must agree every cycle.
+            loop {
+                let (a, b) = (orig.step(now, &mut h_orig), back.step(now, &mut h_back));
+                assert_eq!(a, b, "outcome at {now} ({model:?})");
+                assert_eq!(back.next_event(now), orig.next_event(now));
+                assert_eq!(back.stats(), orig.stats(), "stats at {now}");
+                if a == StepOutcome::Finished {
+                    break;
+                }
+                now += 1;
+                assert!(now < 10_000_000);
+            }
+        }
+    }
+
+    #[test]
+    fn persist_round_trip_of_waiting_core_resumes_identically() {
+        use ise_types::persist::{Reader, Writer};
+        let bad = Addr::new(0x100 * 4096);
+        let trace = vec![
+            Instruction::store(bad, 1),
+            Instruction::store(Addr::new(0x9000), 2),
+            Instruction::other(),
+        ];
+        let mut orig = core_with(ConsistencyModel::Pc, trace.clone());
+        let mut h_orig = faulting_hier();
+        let mut now = 0;
+        loop {
+            if let StepOutcome::Imprecise(_) = orig.step(now, &mut h_orig) {
+                break;
+            }
+            now += 1;
+            assert!(now < 100_000);
+        }
+        // Snapshot while the core waits on the OS, between the fault
+        // being detected and the resume — the mid-fault checkpoint case.
+        let mut w = Writer::container();
+        orig.save_state(&mut w);
+        let bytes = w.finish();
+        let mut back = core_with(ConsistencyModel::Pc, trace);
+        let mut r = Reader::container(&bytes).unwrap();
+        back.restore_state(&mut r).unwrap();
+        assert_eq!(back.step(now + 1, &mut h_orig), StepOutcome::Waiting);
+        assert_eq!(back.next_event(now), Cycle::MAX);
+        assert_eq!(back.stats().imprecise_exceptions, 1);
+        // Both resume and finish the same way (the faulting store went to
+        // the FSB; the flushed ALU op re-dispatches from the replay ring).
+        orig.resume_at(now + 50);
+        back.resume_at(now + 50);
+        let mut h_back = faulting_hier();
+        let mut t = now + 50;
+        loop {
+            let (a, b) = (orig.step(t, &mut h_orig), back.step(t, &mut h_back));
+            assert_eq!(a, b, "outcome at {t}");
+            if a == StepOutcome::Finished {
+                break;
+            }
+            t += 1;
+            assert!(t < now + 100_000);
+        }
+        assert_eq!(back.stats(), orig.stats());
     }
 
     #[test]

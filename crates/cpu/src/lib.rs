@@ -28,4 +28,4 @@ pub mod trace;
 
 pub use crate::core::{run_multicore, run_to_completion, Core, StepOutcome};
 pub use store_buffer::{DrainFault, SbEntry, StoreBuffer};
-pub use trace::{TraceSource, VecTrace};
+pub use trace::{PersistTrace, TraceSource, VecTrace};

@@ -207,6 +207,54 @@ impl RobRing {
         }
     }
 
+    /// Saves the logical FIFO contents: occupancy, then entries oldest →
+    /// youngest. Ring slot positions and the store-word index layout are
+    /// rebuild artifacts (the restore replays `push_back`, which
+    /// re-derives both), so they are *not* part of the audited snapshot
+    /// contract.
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        use ise_types::persist::Persist;
+        w.section(*b"ROB0", |w| {
+            w.usize(self.len);
+            for i in 0..self.len {
+                let e = self.entry_at(self.slot(i));
+                e.instr.save(w);
+                w.u64(e.complete_at);
+                e.fault.save(w);
+                w.bool(e.issued);
+            }
+        });
+    }
+
+    /// Rebuilds a ring of `capacity` entries by replaying the saved
+    /// entries through [`RobRing::push_back`].
+    pub fn restore_state(
+        r: &mut ise_types::persist::Reader,
+        capacity: usize,
+    ) -> Result<Self, ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"ROB0", |r| {
+            let len = r.usize()?;
+            if len > capacity {
+                return Err(PersistError::Corrupt("ROB occupancy beyond capacity"));
+            }
+            let mut ring = RobRing::new(capacity);
+            for _ in 0..len {
+                let instr = Persist::restore(r)?;
+                let complete_at = r.u64()?;
+                let fault = Persist::restore(r)?;
+                let issued = r.bool()?;
+                ring.push_back(RobEntry {
+                    instr,
+                    complete_at,
+                    fault,
+                    issued,
+                });
+            }
+            Ok(ring)
+        })
+    }
+
     /// Removes the index entry at `pos`, back-shifting displaced
     /// neighbours so linear probe chains stay intact without tombstones.
     fn word_remove_at(&mut self, mut pos: usize) {
@@ -278,6 +326,42 @@ impl ReplayRing {
         self.head = (self.head + 1) & self.ring_mask;
         self.len -= 1;
         Some(instr)
+    }
+
+    /// Saves the queued instructions oldest → youngest.
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        use ise_types::persist::Persist;
+        w.section(*b"RPLY", |w| {
+            w.usize(self.len);
+            for i in 0..self.len {
+                self.instrs[(self.head + i) & self.ring_mask].save(w);
+            }
+        });
+    }
+
+    /// Rebuilds a ring of `capacity` entries. Replays `push_front` in
+    /// reverse saved order (youngest first) so the oldest instruction
+    /// ends up at the front, as it was.
+    pub fn restore_state(
+        r: &mut ise_types::persist::Reader,
+        capacity: usize,
+    ) -> Result<Self, ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"RPLY", |r| {
+            let len = r.usize()?;
+            if len > capacity {
+                return Err(PersistError::Corrupt("replay occupancy beyond capacity"));
+            }
+            let mut instrs = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                instrs.push(Instruction::restore(r)?);
+            }
+            let mut ring = ReplayRing::new(capacity);
+            for instr in instrs.into_iter().rev() {
+                ring.push_front(instr);
+            }
+            Ok(ring)
+        })
     }
 }
 
@@ -383,6 +467,94 @@ mod tests {
             InstrKind::Store { addr, .. } if addr.raw() == 8
         ));
         assert!(r.pop_front().is_none());
+    }
+
+    #[test]
+    fn rob_persist_round_trip_rebuilds_word_index() {
+        use ise_types::persist::{Reader, Writer};
+        let mut ring = RobRing::new(8);
+        // Wrap the head so saved logical order differs from slot order.
+        for i in 0..5u64 {
+            ring.push_back(RobEntry {
+                instr: Instruction::store(Addr::new(i * 8), i),
+                complete_at: 10 + i,
+                fault: None,
+                issued: false,
+            });
+        }
+        ring.pop_front();
+        ring.pop_front();
+        ring.push_back(RobEntry {
+            instr: Instruction::load(Addr::new(0x40), Reg(1)),
+            complete_at: 99,
+            fault: Some(ise_types::exception::ExceptionKind::BusError),
+            issued: true,
+        });
+        let mut w = Writer::container();
+        ring.save_state(&mut w);
+        let bytes = w.finish();
+        let mut r = Reader::container(&bytes).unwrap();
+        let back = RobRing::restore_state(&mut r, 8).unwrap();
+        // Re-save is byte-identical: logical order is the canonical form.
+        let mut w2 = Writer::container();
+        back.save_state(&mut w2);
+        assert_eq!(w2.finish(), bytes);
+        assert_eq!(back.len(), ring.len());
+        let (a, b) = (back.front().unwrap(), ring.front().unwrap());
+        assert_eq!(a.instr, b.instr);
+        assert_eq!(a.complete_at, b.complete_at);
+        assert_eq!(a.fault, b.fault);
+        assert_eq!(a.issued, b.issued);
+        // The store-word multiset was rebuilt by the push_back replay.
+        for word in 0..8u64 {
+            assert_eq!(back.forwards_store(word), ring.forwards_store(word));
+        }
+    }
+
+    #[test]
+    fn rob_restore_rejects_occupancy_beyond_capacity() {
+        use ise_types::persist::{PersistError, Reader, Writer};
+        let mut ring = RobRing::new(8);
+        for i in 0..6u64 {
+            ring.push_back(RobEntry {
+                instr: Instruction::store(Addr::new(i * 8), i),
+                complete_at: 0,
+                fault: None,
+                issued: false,
+            });
+        }
+        let mut w = Writer::container();
+        ring.save_state(&mut w);
+        let bytes = w.finish();
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            RobRing::restore_state(&mut r, 4),
+            Err(PersistError::Corrupt("ROB occupancy beyond capacity"))
+        ));
+    }
+
+    #[test]
+    fn replay_persist_round_trip_preserves_pop_order() {
+        use ise_types::persist::{Reader, Writer};
+        let mut ring = ReplayRing::new(8);
+        for i in 0..4u64 {
+            ring.push_front(Instruction::store(Addr::new(i * 8), i));
+        }
+        let mut w = Writer::container();
+        ring.save_state(&mut w);
+        let bytes = w.finish();
+        let mut r = Reader::container(&bytes).unwrap();
+        let mut back = ReplayRing::restore_state(&mut r, 8).unwrap();
+        let mut w2 = Writer::container();
+        back.save_state(&mut w2);
+        assert_eq!(w2.finish(), bytes);
+        loop {
+            let (a, b) = (ring.pop_front(), back.pop_front());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -461,6 +461,108 @@ impl StoreBuffer {
         self.in_flight = 0;
         self.earliest = Cycle::MAX;
     }
+
+    /// Saves the buffer's dynamic state: identity fields for validation,
+    /// then the logical FIFO contents (entry fields plus per-entry drain
+    /// state, oldest → youngest) and the lifetime counters. The ring
+    /// layout and the derived `idle`/`in_flight`/`earliest` counts are
+    /// recomputed on restore and are not part of the audited contract.
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        use ise_types::persist::Persist;
+        w.section(*b"SBUF", |w| {
+            w.usize(self.capacity);
+            self.model.save(w);
+            w.usize(self.drain_width);
+            w.usize(self.max_in_flight);
+            w.usize(self.len);
+            for i in 0..self.len {
+                let s = self.slot(i);
+                self.addrs[s].save(w);
+                w.u64(self.values[s]);
+                self.masks[s].save(w);
+                match self.states[s] {
+                    DrainState::Idle => w.u8(0),
+                    DrainState::InFlight { complete_at, fault } => {
+                        w.u8(1);
+                        w.u64(complete_at);
+                        fault.save(w);
+                    }
+                }
+            }
+            w.u64(self.coalesced);
+            w.u64(self.drained);
+            w.u64(self.retired);
+        });
+    }
+
+    /// Restores the buffer in place. `core`, `capacity` and `model` come
+    /// from construction; the saved identity fields must match.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"SBUF", |r| {
+            let capacity = r.usize()?;
+            let model: ConsistencyModel = Persist::restore(r)?;
+            if capacity != self.capacity || model != self.model {
+                return Err(PersistError::Corrupt("store buffer identity mismatch"));
+            }
+            self.drain_width = r.usize()?;
+            self.max_in_flight = r.usize()?;
+            let len = r.usize()?;
+            if len > capacity {
+                return Err(PersistError::Corrupt(
+                    "store buffer occupancy beyond capacity",
+                ));
+            }
+            // Size the ring the way construction + growth would have.
+            let mut ring = self.capacity.min(1024).next_power_of_two();
+            while ring < len {
+                ring *= 2;
+            }
+            let mut addrs = vec![Addr::new(0); ring].into_boxed_slice();
+            let mut values = vec![0u64; ring].into_boxed_slice();
+            let mut masks = vec![ByteMask::FULL; ring].into_boxed_slice();
+            let mut states = vec![DrainState::Idle; ring].into_boxed_slice();
+            let mut idle = 0;
+            let mut in_flight = 0;
+            let mut earliest = Cycle::MAX;
+            for (i, state_slot) in states.iter_mut().enumerate().take(len) {
+                addrs[i] = Persist::restore(r)?;
+                values[i] = r.u64()?;
+                masks[i] = Persist::restore(r)?;
+                *state_slot = match r.u8()? {
+                    0 => {
+                        idle += 1;
+                        DrainState::Idle
+                    }
+                    1 => {
+                        let complete_at = r.u64()?;
+                        let fault = Persist::restore(r)?;
+                        in_flight += 1;
+                        earliest = earliest.min(complete_at);
+                        DrainState::InFlight { complete_at, fault }
+                    }
+                    _ => return Err(PersistError::Corrupt("DrainState discriminant")),
+                };
+            }
+            self.addrs = addrs;
+            self.values = values;
+            self.masks = masks;
+            self.states = states;
+            self.head = 0;
+            self.len = len;
+            self.ring_mask = ring - 1;
+            self.idle = idle;
+            self.in_flight = in_flight;
+            self.earliest = earliest;
+            self.coalesced = r.u64()?;
+            self.drained = r.u64()?;
+            self.retired = r.u64()?;
+            Ok(())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -620,6 +722,78 @@ mod tests {
             let e = b.entry(i as usize);
             assert_eq!(e.addr.raw(), i * 64, "order preserved across growth");
         }
+    }
+
+    #[test]
+    fn persist_round_trip_mid_drain_continues_identically() {
+        use ise_types::persist::{Reader, Writer};
+        for model in [ConsistencyModel::Pc, ConsistencyModel::Wc] {
+            let mut orig = StoreBuffer::new(CoreId(0), 8, model);
+            let mut h_orig = hier();
+            for i in 0..6u64 {
+                orig.push(Addr::new(i * 64), i, ByteMask::FULL);
+            }
+            // Issue drains so the snapshot catches entries in flight.
+            assert!(orig.pump(0, &mut h_orig).is_none());
+            assert!(orig.in_flight() > 0, "snapshot must be mid-drain");
+            let mut w = Writer::container();
+            orig.save_state(&mut w);
+            // The hierarchy rides along so the restored buffer sees the
+            // same latencies the original will.
+            h_orig.save_state(&mut w);
+            let bytes = w.finish();
+            let mut back = StoreBuffer::new(CoreId(0), 8, model);
+            let mut h_back = hier();
+            let mut r = Reader::container(&bytes).unwrap();
+            back.restore_state(&mut r).unwrap();
+            h_back.restore_state(&mut r).unwrap();
+            // Logical contents are the canonical form: re-save is
+            // byte-identical even though the restored ring is compacted.
+            let mut w2 = Writer::container();
+            back.save_state(&mut w2);
+            h_back.save_state(&mut w2);
+            assert_eq!(w2.finish(), bytes, "model {model:?}");
+            assert_eq!(back.in_flight(), orig.in_flight());
+            assert_eq!(back.next_completion(), orig.next_completion());
+            // Lockstep continuation: every completion, issue, and counter
+            // must agree cycle by cycle until both buffers drain dry.
+            for now in 1..4000u64 {
+                assert!(orig.pump(now, &mut h_orig).is_none());
+                assert!(back.pump(now, &mut h_back).is_none());
+                assert_eq!(back.len(), orig.len(), "len at {now} ({model:?})");
+                assert_eq!(back.in_flight(), orig.in_flight());
+                assert_eq!(back.drained(), orig.drained());
+                assert_eq!(back.next_completion(), orig.next_completion());
+                if orig.is_empty() {
+                    break;
+                }
+            }
+            assert!(orig.is_empty(), "original drains to empty");
+            assert!(back.is_empty(), "restored buffer drains to empty");
+            assert_eq!(back.retired(), orig.retired());
+        }
+    }
+
+    #[test]
+    fn persist_restore_rejects_identity_mismatch() {
+        use ise_types::persist::{PersistError, Reader, Writer};
+        let mut orig = StoreBuffer::new(CoreId(0), 8, ConsistencyModel::Wc);
+        orig.push(Addr::new(0), 1, ByteMask::FULL);
+        let mut w = Writer::container();
+        orig.save_state(&mut w);
+        let bytes = w.finish();
+        let mut wrong_cap = StoreBuffer::new(CoreId(0), 4, ConsistencyModel::Wc);
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            wrong_cap.restore_state(&mut r),
+            Err(PersistError::Corrupt("store buffer identity mismatch"))
+        ));
+        let mut wrong_model = StoreBuffer::new(CoreId(0), 8, ConsistencyModel::Pc);
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            wrong_model.restore_state(&mut r),
+            Err(PersistError::Corrupt("store buffer identity mismatch"))
+        ));
     }
 
     /// The pre-rework layout, verbatim: a `VecDeque` of entries with all

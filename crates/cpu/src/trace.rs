@@ -1,5 +1,6 @@
 //! Instruction trace sources.
 
+use ise_types::persist::{PersistError, Reader, Writer};
 use ise_types::Instruction;
 use std::sync::Arc;
 
@@ -16,6 +17,21 @@ pub trait TraceSource {
     fn remaining_hint(&self) -> Option<usize> {
         None
     }
+}
+
+/// A trace source whose read cursor can be checkpointed and restored.
+///
+/// Only the *position* within the trace is serialized — the instruction
+/// contents are configuration the embedder rebuilds before restoring, so
+/// a snapshot stays small no matter how long the trace is. [`FnTrace`]
+/// deliberately does not implement this: closure state cannot be
+/// captured, so cores fed by generators are not checkpointable.
+pub trait PersistTrace: TraceSource {
+    /// Writes the cursor state.
+    fn save_cursor(&self, w: &mut Writer);
+    /// Repositions the cursor from a saved stream. The trace contents
+    /// must be the ones the cursor was saved against.
+    fn restore_cursor(&mut self, r: &mut Reader) -> Result<(), PersistError>;
 }
 
 /// A trace backed by an immutable, shareable instruction sequence.
@@ -65,6 +81,20 @@ impl TraceSource for VecTrace {
 
     fn remaining_hint(&self) -> Option<usize> {
         Some(self.instrs.len() - self.pos)
+    }
+}
+
+impl PersistTrace for VecTrace {
+    fn save_cursor(&self, w: &mut Writer) {
+        w.usize(self.pos);
+    }
+    fn restore_cursor(&mut self, r: &mut Reader) -> Result<(), PersistError> {
+        let pos = r.usize()?;
+        if pos > self.instrs.len() {
+            return Err(PersistError::Corrupt("trace cursor beyond end"));
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 
@@ -124,6 +154,44 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn cursor_round_trip_resumes_mid_trace() {
+        let instrs: Vec<Instruction> = (0..10)
+            .map(|i| Instruction::store(Addr::new(i * 8), i))
+            .collect();
+        let mut t = VecTrace::new(instrs.clone());
+        for _ in 0..4 {
+            t.next_instr();
+        }
+        let mut w = Writer::container();
+        t.save_cursor(&mut w);
+        let bytes = w.finish();
+        let mut back = VecTrace::new(instrs);
+        let mut r = Reader::container(&bytes).unwrap();
+        back.restore_cursor(&mut r).unwrap();
+        assert_eq!(back.remaining_hint(), t.remaining_hint());
+        loop {
+            let (a, b) = (t.next_instr(), back.next_instr());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_restore_rejects_out_of_range() {
+        let mut t = VecTrace::new(vec![Instruction::other(); 3]);
+        let mut w = Writer::container();
+        w.usize(7); // beyond the 3-instruction trace
+        let bytes = w.finish();
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            t.restore_cursor(&mut r),
+            Err(PersistError::Corrupt("trace cursor beyond end"))
+        ));
     }
 
     #[test]

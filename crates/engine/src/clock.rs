@@ -67,6 +67,30 @@ pub fn cell_budget() -> Option<crate::Cycle> {
     parse_cell_budget(std::env::var("ISE_CELL_BUDGET").ok().as_deref())
 }
 
+/// Parses a checkpoint-cadence string: `Some(cycles)` for a positive
+/// integer, `None` for unset (the pure-`Option` surface;
+/// [`ckpt_every`] is the loud env-reading one).
+///
+/// # Panics
+///
+/// Panics with the variable name on zero or non-numeric values.
+pub fn parse_ckpt_every(value: Option<&str>) -> Option<crate::Cycle> {
+    ise_types::env::cycles_from("ISE_CKPT_EVERY", value)
+}
+
+/// The `ISE_CKPT_EVERY` environment override: the cadence, in cycles,
+/// at which `System::run_clocked` emits periodic checkpoints (into the
+/// directory named by `ISE_CKPT_DIR`, default `ise-ckpt/`). `None`
+/// (unset) disables periodic emission.
+///
+/// # Panics
+///
+/// Panics if `ISE_CKPT_EVERY` is set to anything but a positive
+/// integer — a typo would silently disable checkpointing.
+pub fn ckpt_every() -> Option<crate::Cycle> {
+    parse_ckpt_every(std::env::var("ISE_CKPT_EVERY").ok().as_deref())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +128,17 @@ mod tests {
     #[should_panic(expected = "ISE_CELL_BUDGET: expected a positive cycle count")]
     fn cell_budget_rejects_zero_loudly() {
         parse_cell_budget(Some("0"));
+    }
+
+    #[test]
+    fn ckpt_every_parses_positive_cycles() {
+        assert_eq!(parse_ckpt_every(None), None);
+        assert_eq!(parse_ckpt_every(Some("5000")), Some(5_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "ISE_CKPT_EVERY: expected a positive cycle count")]
+    fn ckpt_every_rejects_zero_loudly() {
+        parse_ckpt_every(Some("0"));
     }
 }

@@ -74,6 +74,7 @@ pub struct CampaignFinding {
     pub steps: usize,
 }
 
+#[derive(Clone)]
 struct Cell {
     model: ConsistencyModel,
     policy: DrainPolicy,
@@ -90,6 +91,10 @@ pub struct FuzzReport {
     pub seed: u64,
     /// Cases run.
     pub cases: usize,
+    /// Cases actually evaluated after content-hash dedupe (≤ `cases`;
+    /// seeds that generate byte-identical programs share one oracle
+    /// evaluation).
+    pub unique_cases: usize,
     /// Every finding, in case order, shrunk when the campaign asked.
     pub findings: Vec<CampaignFinding>,
     /// Cases per consistency model, in [`ConsistencyModel::ALL`] order.
@@ -119,6 +124,7 @@ impl FuzzReport {
         let mut reg = Registry::new();
         reg.add("seed", self.seed);
         reg.add("cases", self.cases as u64);
+        reg.add("unique_cases", self.unique_cases as u64);
         for (i, model) in ConsistencyModel::ALL.into_iter().enumerate() {
             reg.add(&format!("model.{model}.cases"), self.model_cases[i]);
         }
@@ -207,11 +213,9 @@ pub fn write_regressions(
     Ok(paths)
 }
 
-fn run_cell(cfg: &FuzzConfig, index: usize) -> Cell {
-    let seed = case_seed(cfg.seed, index);
-    let case = generate(seed, &cfg.gen);
+fn run_cell(cfg: &FuzzConfig, index: usize, seed: u64, case: &FuzzCase) -> Cell {
     let mut batch = BatchChecker::new();
-    let raw = check_case(&case, &cfg.oracle, &mut batch);
+    let raw = check_case(case, &cfg.oracle, &mut batch);
     // One report per kind: shrinking converges per finding kind, and a
     // single root cause often fires several outcomes at once.
     let mut kinds: Vec<FindingKind> = raw.iter().map(|f| f.kind).collect();
@@ -220,7 +224,7 @@ fn run_cell(cfg: &FuzzConfig, index: usize) -> Cell {
     let mut findings = Vec::new();
     for kind in kinds {
         let (shrunk, steps) = if cfg.shrink {
-            let ShrinkResult { case: c, steps, .. } = shrink(&case, kind, &cfg.oracle, &mut batch);
+            let ShrinkResult { case: c, steps, .. } = shrink(case, kind, &cfg.oracle, &mut batch);
             (c, steps)
         } else {
             (case.clone(), 0)
@@ -257,12 +261,49 @@ fn run_cell(cfg: &FuzzConfig, index: usize) -> Cell {
 
 /// Runs the campaign on `workers` threads. The report is independent of
 /// `workers`: cases are split by stride and reduced in index order.
+///
+/// Generation runs up front (it is cheap next to the oracles), and the
+/// expensive oracle/shrink work is deduped by content hash: two seeds
+/// whose generated cases render identically share one evaluation, with
+/// the cloned findings re-stamped to each slot's own index and seed so
+/// the report is byte-identical to a dedupe-free run.
 pub fn run_campaign_with_workers(cfg: &FuzzConfig, workers: usize) -> FuzzReport {
-    let indices: Vec<usize> = (0..cfg.cases).collect();
-    let cells = ise_par::par_map(&indices, workers, |_, &i| run_cell(cfg, i));
+    let cases: Vec<(usize, u64, FuzzCase)> = (0..cfg.cases)
+        .map(|i| {
+            let seed = case_seed(cfg.seed, i);
+            (i, seed, generate(seed, &cfg.gen))
+        })
+        .collect();
+    // The key covers everything the oracles observe. `seed` is excluded
+    // — it is reporting metadata — except for overlay cases, where it
+    // seeds the transient-overlay RNG and so *is* behavior.
+    let keys: Vec<u64> = cases
+        .iter()
+        .map(|(_, _, case)| {
+            let overlay_seed = if case.overlay { case.seed } else { 0 };
+            let src = format!(
+                "{:?}\u{1f}{:?}\u{1f}{:?}\u{1f}{:?}\u{1f}{overlay_seed}",
+                case.program, case.model, case.policy, case.faulting
+            );
+            ise_types::persist::fnv1a(src.as_bytes())
+        })
+        .collect();
+    let mut slot: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut unique: Vec<usize> = Vec::new();
+    for (i, &key) in keys.iter().enumerate() {
+        slot.entry(key).or_insert_with(|| {
+            unique.push(i);
+            unique.len() - 1
+        });
+    }
+    let unique_cells = ise_par::par_map(&unique, workers, |_, &i| {
+        let (index, seed, case) = &cases[i];
+        run_cell(cfg, *index, *seed, case)
+    });
     let mut report = FuzzReport {
         seed: cfg.seed,
         cases: cfg.cases,
+        unique_cases: unique.len(),
         findings: Vec::new(),
         model_cases: [0; 3],
         split_stream_cases: 0,
@@ -270,7 +311,12 @@ pub fn run_campaign_with_workers(cfg: &FuzzConfig, workers: usize) -> FuzzReport
         overlay_cases: 0,
         axiom_enumerations: 0,
     };
-    for cell in cells {
+    for (index, seed, _) in &cases {
+        let mut cell = unique_cells[slot[&keys[*index]]].clone();
+        for f in &mut cell.findings {
+            f.index = *index;
+            f.seed = *seed;
+        }
         let m = ConsistencyModel::ALL
             .into_iter()
             .position(|m| m == cell.model)
@@ -351,5 +397,40 @@ mod tests {
         let a = run_campaign_with_workers(&cfg, 1).to_registry().render();
         let b = run_campaign_with_workers(&cfg, 4).to_registry().render();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_cases_share_one_evaluation() {
+        // A degenerate generator (one thread, one statement, one
+        // location, values in {0, 1}) collides constantly, so the
+        // campaign must evaluate far fewer cells than it reports cases —
+        // and still render identically for every worker count.
+        let cfg = FuzzConfig {
+            gen: GenConfig {
+                max_threads: 1,
+                max_stmts_per_thread: 1,
+                max_total_stmts: 1,
+                max_locs: 1,
+                max_value: 1,
+                fault_prob: 0.0,
+                overlay_prob: 0.0,
+                split_stream_prob: 0.0,
+                ..GenConfig::default()
+            },
+            ..small(120)
+        };
+        let report = run_campaign_with_workers(&cfg, 2);
+        assert_eq!(report.cases, 120);
+        assert!(
+            report.unique_cases < report.cases,
+            "no collisions in {} degenerate cases",
+            report.cases
+        );
+        assert_eq!(report.model_cases.iter().sum::<u64>(), 120);
+        assert_eq!(
+            report.to_registry().render(),
+            run_campaign_with_workers(&cfg, 1).to_registry().render(),
+            "dedupe must not perturb the report"
+        );
     }
 }

@@ -67,6 +67,28 @@ impl Dram {
     pub fn writes(&self) -> u64 {
         self.writes
     }
+
+    /// Saves the mutable DRAM state (access counters). The timing
+    /// configuration stays with the owner — restore is in-place into a
+    /// DRAM built from the same config.
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        w.section(*b"DRAM", |w| {
+            w.u64(self.reads);
+            w.u64(self.writes);
+        });
+    }
+
+    /// Restores counters captured by [`Dram::save_state`].
+    pub fn restore_state(
+        &mut self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        r.section(*b"DRAM", |r| {
+            self.reads = r.u64()?;
+            self.writes = r.u64()?;
+            Ok(())
+        })
+    }
 }
 
 impl MemBackend for Dram {

@@ -165,6 +165,52 @@ impl CacheArray {
     }
 }
 
+impl ise_types::persist::Persist for CacheArray {
+    /// The LRU `tick` counter and per-way stamps are saved verbatim:
+    /// victim selection compares raw stamps, so replacement decisions
+    /// after a restore are identical to the uninterrupted run.
+    fn save(&self, w: &mut ise_types::persist::Writer) {
+        w.section(*b"CACH", |w| {
+            w.usize(self.ways);
+            w.usize(self.set_count);
+            w.u64(self.tick);
+            self.tags.save(w);
+            self.lru.save(w);
+            self.flags.save(w);
+        });
+    }
+    fn restore(
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<Self, ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"CACH", |r| {
+            let ways = r.usize()?;
+            let set_count = r.usize()?;
+            if ways == 0 || set_count == 0 {
+                return Err(PersistError::Corrupt("degenerate cache geometry"));
+            }
+            let tick = r.u64()?;
+            let tags: Box<[u64]> = Persist::restore(r)?;
+            let lru: Box<[u64]> = Persist::restore(r)?;
+            let flags: Box<[u8]> = Persist::restore(r)?;
+            let slots = set_count
+                .checked_mul(ways)
+                .ok_or(PersistError::Corrupt("cache slot overflow"))?;
+            if tags.len() != slots || lru.len() != slots || flags.len() != slots {
+                return Err(PersistError::Corrupt("cache array lengths"));
+            }
+            Ok(CacheArray {
+                tags,
+                lru,
+                flags,
+                ways,
+                set_count,
+                tick,
+            })
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +292,22 @@ mod tests {
         c.insert(line(2), false);
         assert_eq!(c.occupancy(), 3);
         assert!(c.contains(line(0)));
+    }
+
+    #[test]
+    fn persist_round_trip_replays_identical_evictions() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut c = tiny();
+        c.insert(line(0), true);
+        c.insert(line(2), false);
+        c.lookup(line(0));
+        let bytes = save_container(&c);
+        let mut back: CacheArray = restore_container(&bytes).unwrap();
+        assert_eq!(save_container(&back), bytes);
+        // Same LRU stamps => same victim choices from here on.
+        assert_eq!(back.insert(line(4), false), c.insert(line(4), false));
+        assert_eq!(back.insert(line(6), true), c.insert(line(6), true));
+        assert_eq!(back.occupancy(), c.occupancy());
     }
 
     #[test]

@@ -120,6 +120,51 @@ impl FlatMemory {
     }
 }
 
+impl ise_types::persist::Persist for FlatMemory {
+    /// Pages are written sorted by page key, so the serialization is
+    /// canonical regardless of `HashMap` iteration order — two memories
+    /// with identical contents always produce identical bytes.
+    fn save(&self, w: &mut ise_types::persist::Writer) {
+        w.section(*b"FMEM", |w| {
+            let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+            keys.sort_unstable();
+            w.usize(keys.len());
+            for key in keys {
+                let page = &self.pages[&key];
+                w.u64(key);
+                page.words.save(w);
+            }
+        });
+    }
+    fn restore(
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<Self, ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"FMEM", |r| {
+            let n = r.usize()?;
+            let mut pages = HashMap::with_capacity(n.min(1 << 16));
+            let mut last_key = None;
+            for _ in 0..n {
+                let key = r.u64()?;
+                if last_key.is_some_and(|k| key <= k) {
+                    return Err(PersistError::Corrupt("page keys out of order"));
+                }
+                last_key = Some(key);
+                let words: Box<[u64]> = Persist::restore(r)?;
+                if words.len() != PAGE_WORDS as usize {
+                    return Err(PersistError::Corrupt("backing page size"));
+                }
+                let nonzero = words.iter().filter(|&&w| w != 0).count() as u32;
+                if nonzero == 0 {
+                    return Err(PersistError::Corrupt("all-zero resident page"));
+                }
+                pages.insert(key, Page { words, nonzero });
+            }
+            Ok(FlatMemory { pages })
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +223,29 @@ mod tests {
         assert_eq!(m.resident_pages(), 1);
         m.write(Addr::new(PAGE_WORDS * 8), 1, ByteMask::FULL);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn persist_round_trip_is_canonical_and_exact() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut m = FlatMemory::new();
+        let mut x = 0xfeed_beefu64;
+        for _ in 0..2_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            m.write(Addr::new((x % 0x10_0000) & !7), x >> 8, ByteMask::FULL);
+        }
+        let bytes = save_container(&m);
+        let back: FlatMemory = restore_container(&bytes).unwrap();
+        assert_eq!(back.resident_words(), m.resident_words());
+        assert_eq!(back.resident_pages(), m.resident_pages());
+        for i in 0..0x10_0000 / 8 {
+            let a = Addr::new(i * 8);
+            assert_eq!(back.read(a), m.read(a), "word diverged at {a:?}");
+        }
+        // HashMap iteration order must not leak into the bytes.
+        assert_eq!(save_container(&back), bytes);
     }
 
     #[test]

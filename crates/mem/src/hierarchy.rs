@@ -102,6 +102,29 @@ pub struct HierarchyStats {
     pub denied: u64,
 }
 
+impl ise_types::persist::Persist for HierarchyStats {
+    fn save(&self, w: &mut ise_types::persist::Writer) {
+        w.u64(self.l1_hits);
+        w.u64(self.l1_misses);
+        w.u64(self.l2_hits);
+        w.u64(self.peer_forwards);
+        w.u64(self.mem_accesses);
+        w.u64(self.denied);
+    }
+    fn restore(
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<Self, ise_types::persist::PersistError> {
+        Ok(HierarchyStats {
+            l1_hits: r.u64()?,
+            l1_misses: r.u64()?,
+            l2_hits: r.u64()?,
+            peer_forwards: r.u64()?,
+            mem_accesses: r.u64()?,
+            denied: r.u64()?,
+        })
+    }
+}
+
 /// The full Table 2 memory system for one simulated machine.
 pub struct MemoryHierarchy {
     cfg: SystemConfig,
@@ -474,6 +497,61 @@ impl MemoryHierarchy {
     pub fn invalidations(&self) -> u64 {
         self.dir.invalidations_sent()
     }
+
+    /// Saves every mutable structure in the hierarchy: the mid-window
+    /// traffic meter, each core's L1D tag array, TLB, and MSHR file,
+    /// each tile's L2 array, the MESI directory, DRAM counters, and the
+    /// aggregate stats. The config, mesh geometry, and fault oracle stay
+    /// with the owner — [`MemoryHierarchy::restore_state`] is in-place
+    /// into a hierarchy built from the same config (oracle state is
+    /// persisted by the oracle's owner, see `ise-core`).
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        use ise_types::persist::Persist;
+        w.section(*b"HIER", |w| {
+            self.traffic.save(w);
+            self.l1d.save(w);
+            self.tlbs.save(w);
+            self.mshrs.save(w);
+            self.l2.save(w);
+            self.dir.save(w);
+            self.dram.save_state(w);
+            self.stats.save(w);
+        });
+    }
+
+    /// Restores state captured by [`MemoryHierarchy::save_state`].
+    ///
+    /// Fails with `Corrupt` if the per-core/per-tile structure counts do
+    /// not match this hierarchy's configuration.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"HIER", |r| {
+            let traffic = TrafficMeter::restore(r)?;
+            let l1d: Vec<CacheArray> = Persist::restore(r)?;
+            let tlbs: Vec<Tlb> = Persist::restore(r)?;
+            let mshrs: Vec<MshrFile> = Persist::restore(r)?;
+            let l2: Vec<CacheArray> = Persist::restore(r)?;
+            if l1d.len() != self.cfg.cores
+                || tlbs.len() != self.cfg.cores
+                || mshrs.len() != self.cfg.cores
+                || l2.len() != mesh_nodes(&self.cfg)
+            {
+                return Err(PersistError::Corrupt("hierarchy structure counts"));
+            }
+            self.traffic = traffic;
+            self.l1d = l1d;
+            self.tlbs = tlbs;
+            self.mshrs = mshrs;
+            self.l2 = l2;
+            self.dir = Directory::restore(r)?;
+            self.dram.restore_state(r)?;
+            self.stats = HierarchyStats::restore(r)?;
+            Ok(())
+        })
+    }
 }
 
 fn mesh_nodes(cfg: &SystemConfig) -> usize {
@@ -650,5 +728,72 @@ mod tests {
     fn bad_core_panics() {
         let mut h = small();
         h.access(Access::load(CoreId(9), Addr::new(0)), 0);
+    }
+
+    #[test]
+    fn save_restore_mid_run_continues_identically() {
+        // Warm a hierarchy with a sharing-heavy mix, snapshot, restore
+        // into a freshly built hierarchy, and verify every subsequent
+        // access prices identically — caches, TLBs, MSHRs, directory,
+        // and the mid-window traffic meter all resume exactly.
+        let mut h = small();
+        let mut state = 0xabcdefu64;
+        let mut now = 0u64;
+        let step = move |state: &mut u64, now: &mut u64| {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let core = CoreId(((*state >> 17) % 4) as usize);
+            let addr = Addr::new((*state >> 33) % 0x8_0000);
+            *now += *state % 23;
+            let acc = if (*state).is_multiple_of(3) {
+                Access::store(core, addr)
+            } else {
+                Access::load(core, addr)
+            };
+            (acc, *now)
+        };
+        for _ in 0..3_000 {
+            let (acc, at) = step(&mut state, &mut now);
+            h.access(acc, at);
+        }
+        let mut w = ise_types::persist::Writer::container();
+        h.save_state(&mut w);
+        let bytes = w.finish();
+        let mut back = small();
+        let mut r = ise_types::persist::Reader::container(&bytes).unwrap();
+        back.restore_state(&mut r).unwrap();
+        assert_eq!(back.stats(), h.stats());
+        assert_eq!(back.noc_messages(), h.noc_messages());
+        let mut state2 = state;
+        let mut now2 = now;
+        for i in 0..3_000 {
+            let (acc, at) = step(&mut state, &mut now);
+            let (acc2, at2) = step(&mut state2, &mut now2);
+            assert_eq!((acc, at), (acc2, at2));
+            assert_eq!(back.access(acc, at), h.access(acc, at), "access {i}");
+        }
+        assert_eq!(back.stats(), h.stats());
+        assert_eq!(back.invalidations(), h.invalidations());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_core_count() {
+        let h = small();
+        let mut w = ise_types::persist::Writer::container();
+        h.save_state(&mut w);
+        let bytes = w.finish();
+        let mut cfg = SystemConfig::isca23();
+        cfg.cores = 2;
+        cfg.noc.mesh_x = 2;
+        cfg.noc.mesh_y = 2;
+        let mut other = MemoryHierarchy::new(cfg);
+        let mut r = ise_types::persist::Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            other.restore_state(&mut r),
+            Err(ise_types::persist::PersistError::Corrupt(
+                "hierarchy structure counts"
+            ))
+        ));
     }
 }

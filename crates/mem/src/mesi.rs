@@ -416,6 +416,94 @@ impl Directory {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use ise_types::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for MesiState {
+        fn save(&self, w: &mut Writer) {
+            w.u8(match self {
+                MesiState::Modified => 0,
+                MesiState::Exclusive => 1,
+                MesiState::Shared => 2,
+                MesiState::Invalid => 3,
+            });
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(match r.u8()? {
+                0 => MesiState::Modified,
+                1 => MesiState::Exclusive,
+                2 => MesiState::Shared,
+                3 => MesiState::Invalid,
+                _ => return Err(PersistError::Corrupt("MesiState discriminant")),
+            })
+        }
+    }
+
+    impl Persist for SharerSet {
+        fn save(&self, w: &mut Writer) {
+            w.u64(self.0);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(SharerSet(r.u64()?))
+        }
+    }
+
+    /// Occupied slots are written sorted by line key — canonical
+    /// regardless of probe-chain layout. Invalid *parked* lines are kept
+    /// (they occupy slots and trigger growth at the same thresholds, so
+    /// the rebuilt table reaches the same size), and replaying
+    /// `find_or_insert` in sorted order reproduces an equivalent table.
+    impl Persist for Directory {
+        fn save(&self, w: &mut Writer) {
+            w.section(*b"MDIR", |w| {
+                let t = &self.table;
+                let mut entries: Vec<(u64, MesiState, u64)> = t
+                    .keys
+                    .iter()
+                    .zip(t.states.iter())
+                    .zip(t.sharers.iter())
+                    .filter(|((&k, _), _)| k != 0)
+                    .map(|((&k, &s), &sh)| (k - 1, s, sh))
+                    .collect();
+                entries.sort_unstable_by_key(|&(k, _, _)| k);
+                w.usize(entries.len());
+                for (key, state, sharers) in entries {
+                    w.u64(key);
+                    state.save(w);
+                    w.u64(sharers);
+                }
+                w.u64(self.invalidations);
+                w.u64(self.forwards);
+            });
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            r.section(*b"MDIR", |r| {
+                let n = r.usize()?;
+                let mut table = LineTable::new();
+                let mut last_key = None;
+                for _ in 0..n {
+                    let key = r.u64()?;
+                    if last_key.is_some_and(|k| key <= k) {
+                        return Err(PersistError::Corrupt("directory keys out of order"));
+                    }
+                    last_key = Some(key);
+                    let state = MesiState::restore(r)?;
+                    let sharers = r.u64()?;
+                    let i = table.find_or_insert(key);
+                    table.states[i] = state;
+                    table.sharers[i] = sharers;
+                }
+                Ok(Directory {
+                    table,
+                    invalidations: r.u64()?,
+                    forwards: r.u64()?,
+                })
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +758,47 @@ mod tests {
         // Full-table sweep: every line the naive side tracks agrees.
         for (&k, &e) in &naive.map {
             assert_eq!(dense.entry(Addr::new(k)), e, "final state of line {k}");
+        }
+    }
+
+    #[test]
+    fn persist_round_trip_continues_identical_coherence() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut d = Directory::new();
+        // Drive past the initial table capacity so parked Invalid lines
+        // and grown probe chains are in play.
+        let mut state = 0xdecafu64;
+        for _ in 0..8_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let l = line((state >> 33) % 2_000);
+            let core = CoreId(((state >> 17) % 8) as usize);
+            match state % 5 {
+                0 | 1 => {
+                    d.read(l, core);
+                }
+                2 | 3 => {
+                    d.write(l, core);
+                }
+                _ => d.evict(l, core),
+            }
+        }
+        let bytes = save_container(&d);
+        let mut back: Directory = restore_container(&bytes).unwrap();
+        assert_eq!(save_container(&back), bytes);
+        assert_eq!(back.tracked_lines(), d.tracked_lines());
+        assert_eq!(back.invalidations_sent(), d.invalidations_sent());
+        assert_eq!(back.forwards_ordered(), d.forwards_ordered());
+        // Same actions ordered for the same request stream from here.
+        for i in 0..2_000u64 {
+            let l = line((i * 13) % 2_100);
+            let core = CoreId((i % 8) as usize);
+            if i % 3 == 0 {
+                assert_eq!(back.write(l, core), d.write(l, core), "write {i}");
+            } else {
+                assert_eq!(back.read(l, core), d.read(l, core), "read {i}");
+            }
         }
     }
 

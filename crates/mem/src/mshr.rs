@@ -69,6 +69,43 @@ impl MshrFile {
     }
 }
 
+impl ise_types::persist::Persist for MshrFile {
+    /// Completion times are written sorted ascending — the canonical
+    /// form of the heap's contents — so the serialization is independent
+    /// of the heap's internal array layout (which depends on push/pop
+    /// history).
+    fn save(&self, w: &mut ise_types::persist::Writer) {
+        w.section(*b"MSHR", |w| {
+            w.usize(self.capacity);
+            w.u64(self.full_stalls);
+            let mut times: Vec<Cycle> = self.completions.iter().map(|Reverse(t)| *t).collect();
+            times.sort_unstable();
+            times.save(w);
+        });
+    }
+    fn restore(
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<Self, ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"MSHR", |r| {
+            let capacity = r.usize()?;
+            if capacity == 0 {
+                return Err(PersistError::Corrupt("zero-capacity MSHR file"));
+            }
+            let full_stalls = r.u64()?;
+            let times: Vec<Cycle> = Persist::restore(r)?;
+            if times.len() > capacity {
+                return Err(PersistError::Corrupt("MSHR occupancy beyond capacity"));
+            }
+            Ok(MshrFile {
+                capacity,
+                completions: times.into_iter().map(Reverse).collect(),
+                full_stalls,
+            })
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +150,41 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn persist_round_trip_with_in_flight_misses() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut m = MshrFile::new(2);
+        m.allocate(0, 50);
+        m.allocate(0, 100);
+        let bytes = save_container(&m);
+        let mut back: MshrFile = restore_container(&bytes).unwrap();
+        assert_eq!(save_container(&back), bytes);
+        // The restored file stalls exactly like the original.
+        assert_eq!(back.allocate(10, 80), m.allocate(10, 80));
+        assert_eq!(back.full_stalls(), m.full_stalls());
+        assert_eq!(back.outstanding(200), m.outstanding(200));
+    }
+
+    #[test]
+    fn persist_rejects_occupancy_beyond_capacity() {
+        use ise_types::persist::{restore_container, save_container, PersistError};
+        let mut m = MshrFile::new(4);
+        m.allocate(0, 50);
+        m.allocate(0, 60);
+        m.allocate(0, 70);
+        let bytes = save_container(&m);
+        // Shrink the stored capacity below the in-flight count
+        // (capacity is the first u64 after the section header).
+        let mut bad = bytes.clone();
+        bad[20..28].copy_from_slice(&2u64.to_le_bytes());
+        let off = bad.len() - 8;
+        let h = ise_types::persist::fnv1a(&bad[..off]);
+        bad[off..].copy_from_slice(&h.to_le_bytes());
+        assert!(matches!(
+            restore_container::<MshrFile>(&bad),
+            Err(PersistError::Corrupt("MSHR occupancy beyond capacity"))
+        ));
     }
 }

@@ -213,6 +213,55 @@ impl TlbLevel {
         self.len
     }
 
+    /// Saves the level's logical state: capacity plus the resident pages
+    /// in MRU-to-LRU order. The LRU link order is the audited contract —
+    /// it fully determines future hits and eviction victims. Slot
+    /// numbers, generation stamps, free-list order, and the
+    /// open-addressed index layout are rebuild artifacts: no slot handle
+    /// outlives a snapshot (the index is reconstructed on restore), so
+    /// they are deliberately *not* captured.
+    fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        w.section(*b"TLBL", |w| {
+            w.usize(self.capacity);
+            w.usize(self.len);
+            let mut cur = self.head;
+            while cur != NIL {
+                w.u64(self.pages[cur as usize].index());
+                cur = self.next[cur as usize];
+            }
+        });
+    }
+
+    fn restore_state(
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<Self, ise_types::persist::PersistError> {
+        use ise_types::persist::PersistError;
+        r.section(*b"TLBL", |r| {
+            let capacity = r.usize()?;
+            if capacity == 0 {
+                return Err(PersistError::Corrupt("zero-capacity TLB level"));
+            }
+            let n = r.usize()?;
+            if n > capacity {
+                return Err(PersistError::Corrupt("TLB occupancy beyond capacity"));
+            }
+            let mut pages = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                pages.push(PageId::new(r.u64()?));
+            }
+            let mut level = TlbLevel::new(capacity);
+            // Insert LRU-first so each insert lands at the list head and
+            // the final MRU-to-LRU order matches the saved order.
+            for &page in pages.iter().rev() {
+                if level.idx_find(page).is_some() {
+                    return Err(PersistError::Corrupt("duplicate TLB resident page"));
+                }
+                level.insert(page);
+            }
+            Ok(level)
+        })
+    }
+
     /// Resident pages in MRU-to-LRU order (test/debug; allocates).
     #[cfg(test)]
     fn resident(&self) -> Vec<PageId> {
@@ -317,6 +366,51 @@ impl Tlb {
     pub fn export_telemetry(&self, reg: &mut ise_telemetry::Registry) {
         reg.add("tlb.l1_misses", self.l1_misses);
         reg.add("tlb.walks", self.walks);
+    }
+}
+
+impl ise_types::persist::Persist for Tlb {
+    /// Both levels' LRU orders, the miss/walk counters, and any
+    /// undrained refill-log entries are captured, so a restored TLB hits,
+    /// misses, evicts, and traces exactly like the original.
+    fn save(&self, w: &mut ise_types::persist::Writer) {
+        w.section(*b"TLB0", |w| {
+            w.usize(self.cfg.l1_entries);
+            w.usize(self.cfg.l2_entries);
+            w.u64(self.cfg.l2_latency);
+            w.u64(self.cfg.walk_latency);
+            self.l1.save_state(w);
+            self.l2.save_state(w);
+            w.u64(self.l1_misses);
+            w.u64(self.walks);
+            self.refill_log.save(w);
+        });
+    }
+    fn restore(
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<Self, ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError};
+        r.section(*b"TLB0", |r| {
+            let cfg = TlbConfig {
+                l1_entries: r.usize()?,
+                l2_entries: r.usize()?,
+                l2_latency: r.u64()?,
+                walk_latency: r.u64()?,
+            };
+            let l1 = TlbLevel::restore_state(r)?;
+            let l2 = TlbLevel::restore_state(r)?;
+            if l1.capacity != cfg.l1_entries || l2.capacity != cfg.l2_entries {
+                return Err(PersistError::Corrupt("TLB level/config capacity skew"));
+            }
+            Ok(Tlb {
+                l1,
+                l2,
+                cfg,
+                l1_misses: r.u64()?,
+                walks: r.u64()?,
+                refill_log: Persist::restore(r)?,
+            })
+        })
     }
 }
 
@@ -486,6 +580,31 @@ mod tests {
             vec![PageId::new(4), PageId::new(1), PageId::new(3)]
         );
         assert!(!l.lookup(PageId::new(2)));
+    }
+
+    #[test]
+    fn persist_round_trip_preserves_lru_order_and_counters() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut t = tlb();
+        t.set_refill_logging(true);
+        // Populate both levels with an L1-overflowing working set, leave
+        // undrained refill-log entries pending.
+        for i in 0..200 {
+            t.access(PageId::new(i % 80));
+        }
+        let bytes = save_container(&t);
+        let mut back: Tlb = restore_container(&bytes).unwrap();
+        assert_eq!(save_container(&back), bytes);
+        assert_eq!(back.l1_misses(), t.l1_misses());
+        assert_eq!(back.walks(), t.walks());
+        assert_eq!(back.l1.resident(), t.l1.resident());
+        assert_eq!(back.l2.resident(), t.l2.resident());
+        // Identical latency stream from here: same hits, same victims.
+        for i in 0..400u64 {
+            let p = PageId::new((i * 7) % 90);
+            assert_eq!(back.access(p), t.access(p), "diverged at access {i}");
+        }
+        assert_eq!(back.drain_refill_log(), t.drain_refill_log());
     }
 
     #[test]

@@ -56,6 +56,24 @@ impl ToJson for OverheadBreakdown {
     }
 }
 
+impl ise_types::persist::Persist for OverheadBreakdown {
+    fn save(&self, w: &mut ise_types::persist::Writer) {
+        w.u64(self.uarch);
+        w.u64(self.apply);
+        w.u64(self.other_os);
+    }
+
+    fn restore(
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<Self, ise_types::persist::PersistError> {
+        Ok(OverheadBreakdown {
+            uarch: r.u64()?,
+            apply: r.u64()?,
+            other_os: r.u64()?,
+        })
+    }
+}
+
 /// The result of one handler invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HandlerOutcome {
@@ -288,6 +306,66 @@ impl OsKernel {
             self.continuation_dispatch_cycles,
         );
         reg.add("os.ios_issued", self.ios_issued());
+    }
+
+    /// Saves the kernel's dynamic state under an `OSKN` section: every
+    /// handler counter plus the demand-paging device's issue counter.
+    /// The cost configuration and the IO device's latency are rebuilt by
+    /// the embedder; the saved IO-presence flag is validated against that
+    /// reconstruction on restore.
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        w.section(*b"OSKN", |w| {
+            w.bool(self.demand_io.is_some());
+            if let Some(io) = &self.demand_io {
+                io.save_state(w);
+            }
+            w.u64(self.invocations);
+            w.u64(self.stores_applied);
+            w.u64(self.faulting_applied);
+            w.u64(self.pages_resolved);
+            w.u64(self.processes_killed);
+            w.u64(self.transient_retries);
+            w.u64(self.transient_recovered);
+            w.u64(self.backoff_cycles);
+            w.u64(self.retry_exhausted);
+            w.u64(self.kill_discarded);
+            w.u64(self.silently_dropped);
+            w.u64(self.continuation_invocations);
+            w.u64(self.continuation_dispatch_cycles);
+        });
+    }
+
+    /// Restores the kernel's counters in place. The kernel must have been
+    /// built with the same cost configuration (and the same
+    /// [`OsKernel::with_demand_paging_io`] choice) as the snapshot.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        use ise_types::persist::PersistError;
+        r.section(*b"OSKN", |r| {
+            let has_io = r.bool()?;
+            if has_io != self.demand_io.is_some() {
+                return Err(PersistError::Corrupt("demand-IO configuration mismatch"));
+            }
+            if let Some(io) = self.demand_io.as_mut() {
+                io.restore_state(r)?;
+            }
+            self.invocations = r.u64()?;
+            self.stores_applied = r.u64()?;
+            self.faulting_applied = r.u64()?;
+            self.pages_resolved = r.u64()?;
+            self.processes_killed = r.u64()?;
+            self.transient_retries = r.u64()?;
+            self.transient_recovered = r.u64()?;
+            self.backoff_cycles = r.u64()?;
+            self.retry_exhausted = r.u64()?;
+            self.kill_discarded = r.u64()?;
+            self.silently_dropped = r.u64()?;
+            self.continuation_invocations = r.u64()?;
+            self.continuation_dispatch_cycles = r.u64()?;
+            Ok(())
+        })
     }
 
     /// Handles one imprecise store exception for `core`, starting at
@@ -1016,6 +1094,59 @@ mod tests {
         let out = os.handle_precise(CoreId(0), a, ExceptionKind::PageFault, &einject, 0);
         assert_eq!(out.io_cycles, 20_000, "one precise fault = one full IO");
         assert_eq!(os.ios_issued(), 1);
+    }
+
+    #[test]
+    fn persist_round_trip_keeps_every_counter() {
+        use ise_types::persist::{Reader, Writer};
+        let (os0, _, einject, _) = setup();
+        let mut os = os0.clone().with_demand_paging_io(20_000);
+        let mut fsb = Fsb::new(Addr::new(0x8000_0000), 32);
+        let mut mem = FlatMemory::new();
+        let a = Addr::new(0x10_0000);
+        einject.set_faulting(a);
+        fsb.push(faulting_entry(a, 1)).unwrap();
+        os.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None);
+        let mut w = Writer::container();
+        os.save_state(&mut w);
+        let bytes = w.finish();
+        let mut back = OsKernel::new(OsCostConfig::isca23()).with_demand_paging_io(20_000);
+        let mut r = Reader::container(&bytes).unwrap();
+        back.restore_state(&mut r).unwrap();
+        let mut w2 = Writer::container();
+        back.save_state(&mut w2);
+        assert_eq!(w2.finish(), bytes);
+        assert_eq!(back.invocations(), os.invocations());
+        assert_eq!(back.stores_applied(), os.stores_applied());
+        assert_eq!(back.pages_resolved(), os.pages_resolved());
+        assert_eq!(back.ios_issued(), os.ios_issued());
+        // Telemetry export of the restored kernel is indistinguishable.
+        let mut reg_a = ise_telemetry::Registry::new();
+        let mut reg_b = ise_telemetry::Registry::new();
+        os.export_telemetry(&mut reg_a);
+        back.export_telemetry(&mut reg_b);
+        assert_eq!(reg_a.render(), reg_b.render());
+        // And the restored kernel keeps handling identically.
+        einject.set_faulting(a);
+        fsb.push(faulting_entry(a.offset(8), 2)).unwrap();
+        let out = back.handle_imprecise(CoreId(0), &mut fsb, &einject, &mut mem, 0, None);
+        assert_eq!(out.applied, 1);
+        assert_eq!(back.invocations(), 2);
+    }
+
+    #[test]
+    fn persist_restore_rejects_io_configuration_mismatch() {
+        use ise_types::persist::{PersistError, Reader, Writer};
+        let (os, _, _, _) = setup(); // no demand IO
+        let mut w = Writer::container();
+        os.save_state(&mut w);
+        let bytes = w.finish();
+        let mut with_io = OsKernel::new(OsCostConfig::isca23()).with_demand_paging_io(20_000);
+        let mut r = Reader::container(&bytes).unwrap();
+        assert!(matches!(
+            with_io.restore_state(&mut r),
+            Err(PersistError::Corrupt("demand-IO configuration mismatch"))
+        ));
     }
 
     #[test]

@@ -59,6 +59,21 @@ impl IoScheduler {
         now + n as Cycle * self.io_latency
     }
 
+    /// Saves the device's dynamic state (the issue counter; `io_latency`
+    /// is configuration the embedder rebuilds).
+    pub fn save_state(&self, w: &mut ise_types::persist::Writer) {
+        w.u64(self.ios_issued);
+    }
+
+    /// Restores the issue counter in place.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<(), ise_types::persist::PersistError> {
+        self.ios_issued = r.u64()?;
+        Ok(())
+    }
+
     /// Speedup of the batched regime over the serial one for `n` IOs.
     pub fn batching_speedup(&self, n: usize) -> f64 {
         if n == 0 {
@@ -96,6 +111,22 @@ mod tests {
         assert!(s.batching_speedup(2) > 1.5);
         assert!(s.batching_speedup(32) > s.batching_speedup(2));
         assert_eq!(s.batching_speedup(0), 1.0);
+    }
+
+    #[test]
+    fn persist_round_trip_keeps_issue_counter() {
+        use ise_types::persist::{Reader, Writer};
+        let mut s = IoScheduler::new(20_000);
+        s.batched(5, 0);
+        s.serial(2, 0);
+        let mut w = Writer::container();
+        s.save_state(&mut w);
+        let bytes = w.finish();
+        let mut back = IoScheduler::new(20_000);
+        let mut r = Reader::container(&bytes).unwrap();
+        back.restore_state(&mut r).unwrap();
+        assert_eq!(back.ios_issued(), s.ios_issued());
+        assert_eq!(back.batched(3, 100), s.batched(3, 100));
     }
 
     #[test]

@@ -155,6 +155,9 @@ impl ToJson for ChaosRun {
 pub struct ChaosReport {
     /// The master seed the campaign ran under.
     pub seed: u64,
+    /// Cells actually simulated after snapshot-hash dedupe (≤
+    /// `runs.len()`; duplicate sweep entries share one evaluation).
+    pub unique_cells: usize,
     /// One entry per sweep cell, in sweep order.
     pub runs: Vec<ChaosRun>,
 }
@@ -170,6 +173,7 @@ impl ChaosReport {
     pub fn to_registry(&self) -> Registry {
         Registry::from_sections([
             ("seed", Json::from(self.seed)),
+            ("unique_cells", Json::from(self.unique_cells)),
             ("runs", self.runs.to_json()),
             ("all_ok", Json::from(self.all_ok())),
         ])
@@ -217,39 +221,71 @@ impl ChaosCampaign {
         self.run_with_workers(workloads, ise_par::worker_count())
     }
 
+    /// One deterministic stream per cell, derived from the cell's
+    /// *content* (workload name, fault kind, rate) rather than its sweep
+    /// position: reordering or extending the sweep leaves every other
+    /// cell's stream untouched, and duplicate sweep entries become
+    /// byte-identical cells the snapshot-hash dedupe collapses.
+    fn cell_seed(&self, workload: &Workload, kind: FaultKind, rate: f64) -> u64 {
+        let key = format!("{}\u{1f}{kind:?}\u{1f}{}", workload.name, rate.to_bits());
+        self.chaos.seed.wrapping_add(
+            0x9e37_79b9_7f4a_7c15u64.wrapping_mul(ise_types::persist::fnv1a(key.as_bytes()) | 1),
+        )
+    }
+
+    /// Keys one cell by the FNV-1a hash of its boot snapshot: the full
+    /// serialized machine state (workload identity, armed fault plan
+    /// including specs, RNG positions) before the first cycle. Equal
+    /// keys mean equal trajectories, so the campaign evaluates each key
+    /// once.
+    fn cell_key(&self, workload: &Workload, kind: FaultKind, rate: f64, seed: u64) -> u64 {
+        let (sys, _, _) = self.build_cell(workload, kind, rate, seed);
+        ise_types::persist::fnv1a(&sys.snapshot())
+    }
+
     /// [`run`](ChaosCampaign::run) with an explicit worker count.
     ///
     /// Every cell is fully independent — it seeds its own RNG stream and
     /// builds its own [`System`] — and results are reduced in sweep
     /// order, so the report (and its JSON rendering) is byte-identical
-    /// for every worker count.
+    /// for every worker count. Cells whose boot snapshots hash equal
+    /// (duplicate sweep entries) are simulated once and their result
+    /// replicated into each sweep slot.
     pub fn run_with_workers(&self, workloads: &[Workload], workers: usize) -> ChaosReport {
-        let mut cells = Vec::with_capacity(workloads.len() * self.chaos.kinds.len());
+        let mut cells =
+            Vec::with_capacity(workloads.len() * self.chaos.kinds.len() * self.chaos.rates.len());
         for (wi, workload) in workloads.iter().enumerate() {
             assert!(
                 !workload.einject_pages.is_empty(),
                 "workload {} declares no faulting pages to sample from",
                 workload.name
             );
-            for (ki, &kind) in self.chaos.kinds.iter().enumerate() {
-                for (ri, &rate) in self.chaos.rates.iter().enumerate() {
-                    // One deterministic stream per cell, independent of
-                    // sweep-order changes elsewhere.
-                    let cell_seed =
-                        self.chaos
-                            .seed
-                            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(
-                                ((wi as u64) << 32) ^ ((ki as u64) << 16) ^ ri as u64 ^ 1,
-                            ));
-                    cells.push((wi, kind, rate, cell_seed));
+            for &kind in &self.chaos.kinds {
+                for &rate in &self.chaos.rates {
+                    cells.push((wi, kind, rate, self.cell_seed(workload, kind, rate)));
                 }
             }
         }
-        let runs = ise_par::par_map(&cells, workers, |_, &(wi, kind, rate, cell_seed)| {
+        // Snapshot-hash dedupe: identical cells evaluate once.
+        let keys: Vec<u64> = cells
+            .iter()
+            .map(|&(wi, kind, rate, seed)| self.cell_key(&workloads[wi], kind, rate, seed))
+            .collect();
+        let mut slot: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut unique = Vec::new();
+        for (cell, &key) in cells.iter().zip(&keys) {
+            slot.entry(key).or_insert_with(|| {
+                unique.push(*cell);
+                unique.len() - 1
+            });
+        }
+        let unique_runs = ise_par::par_map(&unique, workers, |_, &(wi, kind, rate, cell_seed)| {
             self.run_cell(&workloads[wi], kind, rate, cell_seed)
         });
+        let runs = keys.iter().map(|k| unique_runs[slot[k]].clone()).collect();
         ChaosReport {
             seed: self.chaos.seed,
+            unique_cells: unique.len(),
             runs,
         }
     }
@@ -260,7 +296,7 @@ impl ChaosCampaign {
     /// event per injected page and closes with `fault_cleared` for every
     /// cause that healed or was resolved — the campaign-level events the
     /// per-run counters lose. Cell seeding matches what
-    /// [`ChaosCampaign::run`] would use for the first sweep cell of
+    /// [`ChaosCampaign::run`] would use for the matching sweep cell of
     /// `workload`, so the traced run reproduces a sweep cell exactly.
     pub fn trace_cell(
         &self,
@@ -269,10 +305,7 @@ impl ChaosCampaign {
         rate: f64,
         capacity: usize,
     ) -> (ChaosRun, Json) {
-        let cell_seed = self
-            .chaos
-            .seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1));
+        let cell_seed = self.cell_seed(workload, kind, rate);
         let (run, trace) = self.run_cell_traced(workload, kind, rate, cell_seed, Some(capacity));
         (run, trace.expect("tracing was requested"))
     }
@@ -281,14 +314,17 @@ impl ChaosCampaign {
         self.run_cell_traced(workload, kind, rate, seed, None).0
     }
 
-    fn run_cell_traced(
+    /// Builds one sweep cell up to (but not including) its first cycle:
+    /// the quiet workload's [`System`] armed with the cell's fault plan.
+    /// Both the run path and the snapshot-hash dedupe key start here, so
+    /// the key hashes exactly the state the run evolves from.
+    fn build_cell(
         &self,
         workload: &Workload,
         kind: FaultKind,
         rate: f64,
         seed: u64,
-        trace_capacity: Option<usize>,
-    ) -> (ChaosRun, Option<Json>) {
+    ) -> (System, Rc<FaultInjector>, Vec<ise_types::PageId>) {
         // Sample from the declared pages the traces actually reach —
         // regions are reserved generously, and injecting only cold pages
         // would make the whole sweep vacuous.
@@ -310,31 +346,43 @@ impl ChaosCampaign {
         );
         let k = ((pool.len() as f64 * rate).ceil() as usize).clamp(1, pool.len());
         let mut rng = SimRng::seed_from(seed);
-        let picked = rng.sample_indices(pool.len(), k);
+        let picked: Vec<_> = rng
+            .sample_indices(pool.len(), k)
+            .into_iter()
+            .map(|i| pool[i])
+            .collect();
         let injector: Rc<FaultInjector> = Rc::new(
             FaultPlan::new(seed ^ 0xF417)
-                .pages(picked.iter().map(|&i| pool[i]), FaultSpec::bus_error(kind))
+                .pages(picked.iter().copied(), FaultSpec::bus_error(kind))
                 .build(),
         );
 
         // EInject stays inert: the injector is the only fault source.
         let mut quiet = workload.clone();
         quiet.einject_pages.clear();
-        let mut sys = System::with_fault_sources(
+        let sys = System::with_fault_sources(
             self.cfg,
             &quiet,
             vec![injector.clone() as Rc<dyn FaultResolver>],
         )
         .with_contract_monitor();
+        (sys, injector, picked)
+    }
+
+    fn run_cell_traced(
+        &self,
+        workload: &Workload,
+        kind: FaultKind,
+        rate: f64,
+        seed: u64,
+        trace_capacity: Option<usize>,
+    ) -> (ChaosRun, Option<Json>) {
+        let (mut sys, injector, picked) = self.build_cell(workload, kind, rate, seed);
+        let k = picked.len();
         if let Some(cap) = trace_capacity {
             sys = sys.with_trace(cap);
-            for &i in &picked {
-                sys.record_event(
-                    0,
-                    TraceEventKind::FaultActivated {
-                        page: pool[i].index(),
-                    },
-                );
+            for &page in &picked {
+                sys.record_event(0, TraceEventKind::FaultActivated { page: page.index() });
             }
         }
         let budget = match ise_engine::cell_budget() {
@@ -468,8 +516,10 @@ mod tests {
     #[test]
     fn trace_cell_records_fault_lifecycle_without_perturbing_the_run() {
         let kind = FaultKind::Transient { clears_after: 2 };
+        // Seed 7's content-derived cell samples store-touched pages, so
+        // the trace shows the full detect→drain→heal lifecycle.
         let chaos = ChaosConfig {
-            seed: 3,
+            seed: 7,
             kinds: vec![kind],
             rates: vec![0.5],
             max_cycles: 200_000_000,
@@ -490,5 +540,34 @@ mod tests {
             report.runs[0].to_json().render(),
             "traced cell must match the sweep cell"
         );
+    }
+
+    #[test]
+    fn duplicate_sweep_cells_evaluate_once_and_report_identically() {
+        // A sweep with repeated (kind, rate) entries boots to identical
+        // snapshots, so the campaign must simulate one representative and
+        // replicate its result into every matching slot.
+        let chaos = ChaosConfig {
+            seed: 5,
+            kinds: vec![FaultKind::Permanent, FaultKind::Permanent],
+            rates: vec![0.5, 0.5],
+            max_cycles: 200_000_000,
+        };
+        let report = ChaosCampaign::new(small_cfg(), chaos.clone()).run(&[tiny_workload()]);
+        assert_eq!(report.runs.len(), 4);
+        assert_eq!(report.unique_cells, 1, "all four cells hash equal");
+        let first = report.runs[0].to_json().render();
+        for run in &report.runs[1..] {
+            assert_eq!(run.to_json().render(), first);
+        }
+        // The deduped result matches what a single-entry sweep computes.
+        let single = ChaosConfig {
+            kinds: vec![FaultKind::Permanent],
+            rates: vec![0.5],
+            ..chaos
+        };
+        let solo = ChaosCampaign::new(small_cfg(), single).run(&[tiny_workload()]);
+        assert_eq!(solo.unique_cells, 1);
+        assert_eq!(solo.runs[0].to_json().render(), first);
     }
 }

@@ -20,6 +20,28 @@ use std::rc::Rc;
 /// Physical base of the OS-pinned FSB rings (outside the EInject region).
 const FSB_REGION_BASE: u64 = 0x2000_0000;
 
+/// Identity fingerprint of a (configuration, workload) pair: the FNV-1a
+/// hash of the configuration's rendered form plus the full instruction
+/// streams and EInject page set. A snapshot carries this fingerprint and
+/// [`System::restore_from`] refuses to load state into a system built
+/// from different inputs — the trace contents and config are *not* in
+/// the snapshot, so they must match exactly for resume to be sound.
+fn system_identity(cfg: &SystemConfig, workload: &Workload) -> u64 {
+    use ise_types::persist::{fnv1a, Persist, Writer};
+    let mut w = Writer::container();
+    format!("{cfg:?}").save(&mut w);
+    workload.name.save(&mut w);
+    w.usize(workload.traces.len());
+    for t in &workload.traces {
+        w.usize(t.len());
+        for i in t.iter() {
+            i.save(&mut w);
+        }
+    }
+    workload.einject_pages.save(&mut w);
+    fnv1a(&w.finish())
+}
+
 /// Aggregate results of one system run.
 #[derive(Debug, Clone)]
 pub struct SystemStats {
@@ -166,6 +188,9 @@ pub struct System {
     /// accounting the adversary's stall objective reads.
     early_drain_per_core: Vec<u64>,
     now: Cycle,
+    /// Fingerprint of the (config, workload) pair this system was built
+    /// from; snapshots embed it and restore validates it.
+    identity: u64,
     /// Built exactly once when [`System::run`] completes; [`System::stats`]
     /// serves this cache instead of re-collecting per-core vectors.
     final_stats: Option<SystemStats>,
@@ -280,6 +305,7 @@ impl System {
             discarded_per_core: vec![0; cfg.cores],
             early_drain_per_core: vec![0; cfg.cores],
             now: 0,
+            identity: system_identity(&cfg, workload),
             final_stats: None,
             tel,
             cfg,
@@ -603,6 +629,125 @@ impl System {
         next.clamp(self.now + 1, max_cycles)
     }
 
+    /// Serializes the complete mid-run state of the system — every core
+    /// pipeline, the hierarchy, FSB rings and controllers, fault sources,
+    /// OS kernel, functional memory, processes, interrupt machinery and
+    /// the telemetry plane — into one self-describing container. The
+    /// contract: restore this into a system built from the *same*
+    /// configuration, workload and builder calls, run to the end, and
+    /// every registry and stat is byte-identical to the uninterrupted
+    /// run. Configuration and trace contents are not captured; the
+    /// embedded identity fingerprint enforces their reconstruction.
+    pub fn snapshot(&self) -> Vec<u8> {
+        use ise_types::persist::{Persist, Writer};
+        let mut w = Writer::container();
+        w.section(*b"SYS0", |w| {
+            w.u64(self.identity);
+            w.u64(self.now);
+            self.interrupt_interval.save(w);
+            w.u64(self.interrupt_cost);
+            self.hier.save_state(w);
+            w.usize(self.cores.len());
+            for c in &self.cores {
+                c.save_state(w);
+            }
+            self.fsbs.save(w);
+            for f in &self.fsbcs {
+                f.save_state(w);
+            }
+            self.resolver.save_state(w);
+            self.os.save_state(w);
+            self.mem.save(w);
+            self.processes.save(w);
+            self.ictl.save(w);
+            self.monitor.save(w);
+            self.breakdown.save(w);
+            self.handler_busy_until.save(w);
+            w.u64(self.interrupts_delivered);
+            w.u64(self.interrupts_deferred);
+            w.u64(self.io_cycles);
+            w.u64(self.early_drain_interrupts);
+            self.applied_per_core.save(w);
+            self.discarded_per_core.save(w);
+            self.early_drain_per_core.save(w);
+            self.tel.registry.save(w);
+            self.tel.trace.save(w);
+        });
+        w.finish()
+    }
+
+    /// Restores a [`System::snapshot`] into this system, which must have
+    /// been freshly built from the same configuration, workload and
+    /// builder calls (`with_fsb_capacity`, `with_demand_paging_io`,
+    /// `with_timer_interrupts`, fault sources, ...). After a successful
+    /// restore the system continues exactly where the snapshot was
+    /// taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`](ise_types::persist::PersistError) if the
+    /// container is malformed, truncated, hash-mismatched, or was taken
+    /// from a system with a different identity or topology.
+    pub fn restore_from(&mut self, bytes: &[u8]) -> Result<(), ise_types::persist::PersistError> {
+        use ise_types::persist::{Persist, PersistError, Reader};
+        let mut r = Reader::container(bytes)?;
+        r.section(*b"SYS0", |r| {
+            let identity = r.u64()?;
+            if identity != self.identity {
+                return Err(PersistError::Corrupt("system identity mismatch"));
+            }
+            self.now = r.u64()?;
+            let interval: Option<Cycle> = Persist::restore(r)?;
+            if interval != self.interrupt_interval {
+                return Err(PersistError::Corrupt(
+                    "timer-interrupt configuration mismatch",
+                ));
+            }
+            self.interrupt_cost = r.u64()?;
+            self.hier.restore_state(r)?;
+            let n = r.usize()?;
+            if n != self.cores.len() {
+                return Err(PersistError::Corrupt("core count mismatch"));
+            }
+            for c in &mut self.cores {
+                c.restore_state(r)?;
+            }
+            self.fsbs = Persist::restore(r)?;
+            if self.fsbs.len() != n {
+                return Err(PersistError::Corrupt("FSB count mismatch"));
+            }
+            for f in &mut self.fsbcs {
+                f.restore_state(r)?;
+            }
+            self.resolver.restore_state(r)?;
+            self.os.restore_state(r)?;
+            self.mem = Persist::restore(r)?;
+            self.processes = Persist::restore(r)?;
+            self.ictl = Persist::restore(r)?;
+            if self.processes.len() != n || self.ictl.len() != n {
+                return Err(PersistError::Corrupt("per-core vector length mismatch"));
+            }
+            self.monitor = Persist::restore(r)?;
+            self.breakdown = Persist::restore(r)?;
+            self.handler_busy_until = Persist::restore(r)?;
+            self.interrupts_delivered = r.u64()?;
+            self.interrupts_deferred = r.u64()?;
+            self.io_cycles = r.u64()?;
+            self.early_drain_interrupts = r.u64()?;
+            self.applied_per_core = Persist::restore(r)?;
+            self.discarded_per_core = Persist::restore(r)?;
+            self.early_drain_per_core = Persist::restore(r)?;
+            self.tel.registry = Persist::restore(r)?;
+            self.tel.trace = Persist::restore(r)?;
+            Ok(())
+        })?;
+        // Tracing configuration follows the snapshot; re-sync the
+        // hierarchy's refill logging with it.
+        self.hier.set_tlb_refill_logging(self.tel.trace.enabled());
+        self.final_stats = None;
+        Ok(())
+    }
+
     /// Runs until every live core finishes (or is killed).
     ///
     /// Uses the event-driven cycle-skipping clock unless
@@ -643,7 +788,57 @@ impl System {
     /// (skip jumps clamp to the budget), so a timed-out run is as
     /// byte-deterministic as a completed one.
     pub fn run_bounded(&mut self, max_cycles: Cycle, skip: bool) -> (SystemStats, bool) {
-        let mut timed_out = false;
+        if let Some(every) = ise_engine::ckpt_every() {
+            let dir = std::env::var("ISE_CKPT_DIR").unwrap_or_else(|_| "ise-ckpt".to_string());
+            return self.run_checkpointed(max_cycles, skip, every, &dir);
+        }
+        let completed = self.run_to(max_cycles, skip);
+        let stats = self.finalize();
+        (stats, !completed)
+    }
+
+    /// [`System::run_bounded`] with a periodic-checkpoint cadence: every
+    /// `every` cycles the run pauses and a [`System::snapshot`] is
+    /// written to `dir` as `ckpt-<identity>-<cycle>.ises`. This is what
+    /// `ISE_CKPT_EVERY`/`ISE_CKPT_DIR` route [`System::run`] through;
+    /// checkpointing never changes the run's results — the trajectory is
+    /// the same one `run_to` resume semantics guarantee.
+    pub fn run_checkpointed(
+        &mut self,
+        max_cycles: Cycle,
+        skip: bool,
+        every: Cycle,
+        dir: &str,
+    ) -> (SystemStats, bool) {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        let completed = loop {
+            let stop = (self.now / every + 1) * every;
+            if stop >= max_cycles {
+                break self.run_to(max_cycles, skip);
+            }
+            if self.run_to(stop, skip) {
+                break true;
+            }
+            let _ = std::fs::create_dir_all(dir);
+            let path = format!("{dir}/ckpt-{:016x}-{:012}.ises", self.identity, self.now);
+            let _ = std::fs::write(path, self.snapshot());
+        };
+        let stats = self.finalize();
+        (stats, !completed)
+    }
+
+    /// Advances the system until every live core finishes or the clock
+    /// reaches `target`, whichever comes first, *without* finalizing
+    /// statistics or telemetry. Returns `true` when the run completed.
+    ///
+    /// This is the checkpointing entry point: call `run_to` to park the
+    /// system at a warm-up or snapshot boundary, take a
+    /// [`System::snapshot`], then keep going with another `run_to` or a
+    /// finalizing [`System::run_bounded`]/[`System::run_clocked`] — the
+    /// resumed trajectory is byte-identical to an uninterrupted run
+    /// under either clock.
+    pub fn run_to(&mut self, target: Cycle, skip: bool) -> bool {
+        let mut completed = true;
         loop {
             // Timer interrupts (delivered unless an exception handler
             // currently holds the IE bit).
@@ -706,7 +901,7 @@ impl System {
                 break;
             }
             let next = if skip {
-                self.next_wake(max_cycles)
+                self.next_wake(target)
             } else {
                 self.now + 1
             };
@@ -719,11 +914,17 @@ impl System {
                 }
             }
             self.now = next;
-            if self.now >= max_cycles {
-                timed_out = true;
+            if self.now >= target {
+                completed = false;
                 break;
             }
         }
+        completed
+    }
+
+    /// Builds the end-of-run statistics and assembles the telemetry
+    /// spine. Called exactly once per run by [`System::run_bounded`].
+    fn finalize(&mut self) -> SystemStats {
         let stats = self.build_stats();
         // Assemble the full telemetry spine: the system-level stats
         // registry, then every component's exported counters, merged
@@ -751,7 +952,7 @@ impl System {
         self.os.export_telemetry(&mut reg);
         self.tel.registry.merge(&reg);
         self.final_stats = Some(stats.clone());
-        (stats, timed_out)
+        stats
     }
 
     /// Statistics of the completed run, served from the end-of-run cache
@@ -1286,5 +1487,266 @@ mod tests {
             .filter(|e| e.kind == TraceEventKind::EarlyDrainChunk)
             .count() as u64;
         assert_eq!(chunks, stats.early_drain_interrupts);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically_at_quarter_points() {
+        // The headline resume contract: snapshot at 25/50/75% of the
+        // run, restore into a freshly built twin, run to completion —
+        // stats JSON and registry render are byte-identical to the
+        // uninterrupted run, under both clocks.
+        let w = store_workload(true);
+        let build = || {
+            System::new(small_cfg(), &w)
+                .with_timer_interrupts(200)
+                .with_contract_monitor()
+        };
+        for skip in [false, true] {
+            let mut cold = build();
+            let cold_stats = cold.run_clocked(10_000_000, skip);
+            let cold_json = cold_stats.to_json().render();
+            let cold_reg = cold.telemetry().registry.to_json().render();
+            let total = cold_stats.cycles;
+            for pct in [25u64, 50, 75] {
+                let cut = total * pct / 100;
+                let mut donor = build();
+                assert!(!donor.run_to(cut, skip), "cut at {pct}% must land mid-run");
+                let snap = donor.snapshot();
+                let mut resumed = build();
+                resumed.restore_from(&snap).expect("restore must succeed");
+                let stats = resumed.run_clocked(10_000_000, skip);
+                assert_eq!(
+                    stats.to_json().render(),
+                    cold_json,
+                    "stats diverge at {pct}% (skip={skip})"
+                );
+                assert_eq!(
+                    resumed.telemetry().registry.to_json().render(),
+                    cold_reg,
+                    "registry diverges at {pct}% (skip={skip})"
+                );
+                resumed
+                    .check_contract()
+                    .expect("Table 5 contract holds across a restore");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_inside_an_early_drain_chunk_sequence_resumes_exactly() {
+        // Cut the run in the middle of a chunked (FSB ring of 4) drain
+        // episode — the core is parked in its resume window, the FSB
+        // episode half-billed — and require the resumed run to agree
+        // byte-for-byte on all three planes, trace included.
+        let w = store_workload(true);
+        let build = || {
+            System::new(small_cfg(), &w)
+                .with_fsb_capacity(4)
+                .with_trace(4096)
+        };
+        let mut cold = build();
+        let cold_stats = cold.run_clocked(10_000_000, true);
+        assert!(cold_stats.early_drain_interrupts > 0, "episode must chunk");
+        let begin = cold
+            .telemetry()
+            .trace
+            .events()
+            .find(|e| e.kind.name() == "fsb_drain_begin")
+            .expect("a drain begins")
+            .cycle;
+        let end = cold
+            .telemetry()
+            .trace
+            .events()
+            .find(|e| e.kind.name() == "fsb_drain_end")
+            .expect("the drain ends")
+            .cycle;
+        assert!(end > begin + 1, "episode must span cycles to cut inside");
+        let cut = begin + (end - begin) / 2;
+        let cold_json = cold_stats.to_json().render();
+        let cold_reg = cold.telemetry().registry.to_json().render();
+        let cold_trace = cold.trace_json().render();
+        for skip in [false, true] {
+            let mut donor = build();
+            assert!(!donor.run_to(cut, skip));
+            let snap = donor.snapshot();
+            let mut resumed = build();
+            resumed.restore_from(&snap).unwrap();
+            let stats = resumed.run_clocked(10_000_000, skip);
+            assert_eq!(stats.to_json().render(), cold_json, "skip={skip}");
+            assert_eq!(resumed.telemetry().registry.to_json().render(), cold_reg);
+            assert_eq!(
+                resumed.trace_json().render(),
+                cold_trace,
+                "trace plane resumes mid-episode (skip={skip})"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_between_fault_detection_and_resume_is_exact() {
+        // Cut one cycle after the first fault detection, strictly before
+        // the handler's resume: the exception is in flight, the handler
+        // busy window open, the stall deadline pending.
+        let w = store_workload(true);
+        let build = || System::new(small_cfg(), &w).with_trace(4096);
+        let mut cold = build();
+        let cold_stats = cold.run_clocked(10_000_000, true);
+        let detected = cold
+            .telemetry()
+            .trace
+            .events()
+            .find(|e| e.kind.name() == "fault_detected")
+            .expect("a fault is detected")
+            .cycle;
+        let resume = cold
+            .telemetry()
+            .trace
+            .events()
+            .find(|e| e.kind.name() == "fsb_drain_end")
+            .expect("the handler resumes")
+            .cycle;
+        let cut = detected + 1;
+        assert!(cut < resume, "cut must land inside the handler window");
+        let cold_json = cold_stats.to_json().render();
+        let cold_reg = cold.telemetry().registry.to_json().render();
+        for skip in [false, true] {
+            let mut donor = build();
+            assert!(!donor.run_to(cut, skip));
+            let snap = donor.snapshot();
+            let mut resumed = build();
+            resumed.restore_from(&snap).unwrap();
+            let stats = resumed.run_clocked(10_000_000, skip);
+            assert_eq!(stats.to_json().render(), cold_json, "skip={skip}");
+            assert_eq!(resumed.telemetry().registry.to_json().render(), cold_reg);
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_injector_rng_stream_mid_campaign() {
+        // An intermittent fault source draws from its RNG on every
+        // checked transaction; if the snapshot dropped the RNG position,
+        // the post-restore denial stream (and with it the retry/backoff
+        // trajectory) would diverge from the uninterrupted run.
+        use ise_core::{FaultInjector, FaultPlan};
+        use ise_types::{FaultKind, FaultSpec};
+        let base = Addr::new(EINJECT_BASE);
+        let build = || {
+            let injector: Rc<FaultInjector> = Rc::new(
+                FaultPlan::new(7)
+                    .page(
+                        base.page(),
+                        FaultSpec::bus_error(FaultKind::Intermittent { probability: 0.5 }),
+                    )
+                    .build(),
+            );
+            System::with_fault_sources(
+                small_cfg(),
+                &store_workload(false),
+                vec![injector as Rc<dyn FaultResolver>],
+            )
+        };
+        for skip in [false, true] {
+            let mut cold = build();
+            let cold_stats = cold.run_clocked(10_000_000, skip);
+            assert!(
+                cold_stats.faulting_stores > 0,
+                "the intermittent source must bite"
+            );
+            let cut = cold_stats.cycles / 2;
+            let mut donor = build();
+            assert!(!donor.run_to(cut, skip));
+            let snap = donor.snapshot();
+            let mut resumed = build();
+            resumed.restore_from(&snap).unwrap();
+            let stats = resumed.run_clocked(10_000_000, skip);
+            assert_eq!(
+                stats.to_json().render(),
+                cold_stats.to_json().render(),
+                "skip={skip}"
+            );
+            assert_eq!(
+                resumed.telemetry().registry.to_json().render(),
+                cold.telemetry().registry.to_json().render()
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_emitted_and_replayable() {
+        // The ISE_CKPT_EVERY cadence machinery, driven directly (env
+        // vars are process-global and tests run in parallel): several
+        // checkpoint files land in the directory, checkpointing itself
+        // never perturbs the run, and any emitted file replays to the
+        // uninterrupted result.
+        let w = store_workload(true);
+        let dir = std::env::temp_dir().join(format!("ise-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+        let mut cold = System::new(small_cfg(), &w);
+        let cold_stats = cold.run_clocked(10_000_000, true);
+        let cold_json = cold_stats.to_json().render();
+        let cold_reg = cold.telemetry().registry.to_json().render();
+        let every = (cold_stats.cycles / 5).max(1);
+        let mut ck = System::new(small_cfg(), &w);
+        let (ck_stats, truncated) = ck.run_checkpointed(10_000_000, true, every, &dir_s);
+        assert!(!truncated);
+        assert_eq!(
+            ck_stats.to_json().render(),
+            cold_json,
+            "checkpointing must not perturb the run"
+        );
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("checkpoint dir exists")
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        assert!(
+            files.len() >= 3,
+            "expected several checkpoints, got {files:?}"
+        );
+        let bytes = std::fs::read(&files[files.len() / 2]).unwrap();
+        let mut resumed = System::new(small_cfg(), &w);
+        resumed.restore_from(&bytes).unwrap();
+        let stats = resumed.run_clocked(10_000_000, true);
+        assert_eq!(stats.to_json().render(), cold_json);
+        assert_eq!(resumed.telemetry().registry.to_json().render(), cold_reg);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_and_corrupted_snapshots() {
+        use ise_types::persist::PersistError;
+        let w = store_workload(true);
+        let mut donor = System::new(small_cfg(), &w);
+        assert!(!donor.run_to(200, true));
+        let snap = donor.snapshot();
+        // A system built from a different workload has a different
+        // identity fingerprint.
+        let mut other = System::new(small_cfg(), &store_workload(false));
+        assert!(matches!(
+            other.restore_from(&snap),
+            Err(PersistError::Corrupt("system identity mismatch"))
+        ));
+        // Same inputs, different builder state (timer interrupts).
+        let mut timered = System::new(small_cfg(), &w).with_timer_interrupts(200);
+        assert!(matches!(
+            timered.restore_from(&snap),
+            Err(PersistError::Corrupt(
+                "timer-interrupt configuration mismatch"
+            ))
+        ));
+        // A flipped header byte, a flipped body byte (content hash), and
+        // a truncated container all fail before any state is touched.
+        let mut bad = snap.clone();
+        bad[0] ^= 0x5a;
+        assert!(System::new(small_cfg(), &w).restore_from(&bad).is_err());
+        let mut bad = snap.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        assert!(System::new(small_cfg(), &w).restore_from(&bad).is_err());
+        assert!(System::new(small_cfg(), &w)
+            .restore_from(&snap[..snap.len() - 9])
+            .is_err());
     }
 }

@@ -140,6 +140,25 @@ impl Telemetry {
     }
 }
 
+impl ise_types::persist::Persist for Telemetry {
+    fn save(&self, w: &mut ise_types::persist::Writer) {
+        w.section(*b"TELE", |w| {
+            self.registry.save(w);
+            self.trace.save(w);
+        });
+    }
+    fn restore(
+        r: &mut ise_types::persist::Reader,
+    ) -> Result<Self, ise_types::persist::PersistError> {
+        r.section(*b"TELE", |r| {
+            Ok(Telemetry {
+                registry: ise_types::persist::Persist::restore(r)?,
+                trace: ise_types::persist::Persist::restore(r)?,
+            })
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,7 @@
 //! The typed, name-keyed, insertion-ordered metrics registry.
 
 use ise_types::json::{Json, ToJson};
+use ise_types::persist::{Persist, PersistError, Reader, Writer};
 use ise_types::stats::{Histogram, Summary};
 use std::collections::HashMap;
 
@@ -223,6 +224,70 @@ impl ToJson for Registry {
     }
 }
 
+impl Persist for MetricValue {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            MetricValue::Counter(v) => {
+                w.u8(0);
+                w.u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                w.u8(1);
+                w.f64(*v);
+            }
+            MetricValue::Summary(s) => {
+                w.u8(2);
+                s.save(w);
+            }
+            MetricValue::Histogram(h) => {
+                w.u8(3);
+                h.save(w);
+            }
+            MetricValue::Value(j) => {
+                w.u8(4);
+                j.save(w);
+            }
+        }
+    }
+    fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+        Ok(match r.u8()? {
+            0 => MetricValue::Counter(r.u64()?),
+            1 => MetricValue::Gauge(r.f64()?),
+            2 => MetricValue::Summary(Persist::restore(r)?),
+            3 => MetricValue::Histogram(Persist::restore(r)?),
+            4 => MetricValue::Value(Persist::restore(r)?),
+            _ => return Err(PersistError::Corrupt("MetricValue discriminant")),
+        })
+    }
+}
+
+/// Entries serialize in insertion order — the order *is* the observable
+/// contract (rendering and merge both follow it) — and the name index
+/// is rebuilt on restore.
+impl Persist for Registry {
+    fn save(&self, w: &mut Writer) {
+        w.usize(self.entries.len());
+        for (name, value) in &self.entries {
+            w.str(name);
+            value.save(w);
+        }
+    }
+    fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+        let n = r.usize()?;
+        let mut reg = Registry::new();
+        for _ in 0..n {
+            let name = r.str()?;
+            let value = MetricValue::restore(r)?;
+            if reg.index.contains_key(&name) {
+                return Err(PersistError::Corrupt("duplicate registry key"));
+            }
+            reg.index.insert(name.clone(), reg.entries.len());
+            reg.entries.push((name, value));
+        }
+        Ok(reg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +379,23 @@ mod tests {
         b.put("rows", Json::arr([Json::from(9u64)]));
         a.merge(&b);
         assert_eq!(a.render(), r#"{"hwm":3,"rows":[9]}"#);
+    }
+
+    #[test]
+    fn persist_round_trip_preserves_order_types_and_rendering() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut r = Registry::new();
+        r.add("stores", 7);
+        r.gauge("hwm", 2.5);
+        r.observe("lat", 4.0);
+        r.observe_latency("drain", 130);
+        r.put("rows", Json::arr([Json::from(1u64), Json::Null]));
+        let bytes = save_container(&r);
+        let back: Registry = restore_container(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.render(), r.render());
+        // Canonical: re-saving is byte-identical.
+        assert_eq!(save_container(&back), bytes);
     }
 
     #[test]

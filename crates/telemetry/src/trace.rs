@@ -8,6 +8,7 @@
 //! off (the `telemetry_overhead` bench pins this at ≤2%).
 
 use ise_types::json::{Json, ToJson};
+use ise_types::persist::{Persist, PersistError, Reader, Writer};
 use std::collections::VecDeque;
 
 /// The event taxonomy (DESIGN.md §11).
@@ -217,6 +218,122 @@ impl ToJson for TraceRing {
     }
 }
 
+impl Persist for TraceEventKind {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            TraceEventKind::FsbDrainBegin { pending } => {
+                w.u8(0);
+                w.usize(pending);
+            }
+            TraceEventKind::FsbDrainEnd { applied, cycles } => {
+                w.u8(1);
+                w.u64(applied);
+                w.u64(cycles);
+            }
+            TraceEventKind::EarlyDrainChunk => w.u8(2),
+            TraceEventKind::FaultDetected { page } => {
+                w.u8(3);
+                w.u64(page);
+            }
+            TraceEventKind::PreciseException { code } => {
+                w.u8(4);
+                w.u16(code);
+            }
+            TraceEventKind::InterruptDelivered => w.u8(5),
+            TraceEventKind::InterruptDeferred => w.u8(6),
+            TraceEventKind::FaultActivated { page } => {
+                w.u8(7);
+                w.u64(page);
+            }
+            TraceEventKind::FaultCleared { page } => {
+                w.u8(8);
+                w.u64(page);
+            }
+            TraceEventKind::PageWalk { page } => {
+                w.u8(9);
+                w.u64(page);
+            }
+            TraceEventKind::TlbRefill { page } => {
+                w.u8(10);
+                w.u64(page);
+            }
+        }
+    }
+    fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+        Ok(match r.u8()? {
+            0 => TraceEventKind::FsbDrainBegin {
+                pending: r.usize()?,
+            },
+            1 => TraceEventKind::FsbDrainEnd {
+                applied: r.u64()?,
+                cycles: r.u64()?,
+            },
+            2 => TraceEventKind::EarlyDrainChunk,
+            3 => TraceEventKind::FaultDetected { page: r.u64()? },
+            4 => TraceEventKind::PreciseException { code: r.u16()? },
+            5 => TraceEventKind::InterruptDelivered,
+            6 => TraceEventKind::InterruptDeferred,
+            7 => TraceEventKind::FaultActivated { page: r.u64()? },
+            8 => TraceEventKind::FaultCleared { page: r.u64()? },
+            9 => TraceEventKind::PageWalk { page: r.u64()? },
+            10 => TraceEventKind::TlbRefill { page: r.u64()? },
+            _ => return Err(PersistError::Corrupt("TraceEventKind discriminant")),
+        })
+    }
+}
+
+impl Persist for TraceEvent {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.cycle);
+        w.u32(self.core);
+        self.kind.save(w);
+    }
+    fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+        Ok(TraceEvent {
+            cycle: r.u64()?,
+            core: r.u32()?,
+            kind: Persist::restore(r)?,
+        })
+    }
+}
+
+/// The ring serializes its retained window oldest-first together with
+/// the `dropped` eviction count — both are part of the rendered JSON,
+/// so both must survive a checkpoint.
+impl Persist for TraceRing {
+    fn save(&self, w: &mut Writer) {
+        w.bool(self.enabled);
+        w.usize(self.capacity);
+        w.u64(self.dropped);
+        w.usize(self.events.len());
+        for e in &self.events {
+            e.save(w);
+        }
+    }
+    fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+        let enabled = r.bool()?;
+        let capacity = r.usize()?;
+        let dropped = r.u64()?;
+        let n = r.usize()?;
+        if enabled && capacity == 0 {
+            return Err(PersistError::Corrupt("enabled ring without capacity"));
+        }
+        if n > capacity {
+            return Err(PersistError::Corrupt("ring holds more than capacity"));
+        }
+        let mut events = VecDeque::with_capacity(capacity.min(1 << 20));
+        for _ in 0..n {
+            events.push_back(TraceEvent::restore(r)?);
+        }
+        Ok(TraceRing {
+            enabled,
+            capacity,
+            events,
+            dropped,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +387,36 @@ mod tests {
     #[should_panic(expected = "needs capacity")]
     fn zero_capacity_rejected() {
         let _ = TraceRing::new(0);
+    }
+
+    #[test]
+    fn persist_round_trip_keeps_window_and_dropped_count() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut t = TraceRing::new(2);
+        for c in 0..5 {
+            t.record(
+                c,
+                1,
+                TraceEventKind::FsbDrainBegin {
+                    pending: c as usize,
+                },
+            );
+        }
+        t.record(9, 0, TraceEventKind::PreciseException { code: 3 });
+        let bytes = save_container(&t);
+        let mut back: TraceRing = restore_container(&bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.dropped(), t.dropped());
+        assert_eq!(back.to_json().render(), t.to_json().render());
+        // The restored ring keeps evicting at the same capacity.
+        back.record(10, 0, TraceEventKind::EarlyDrainChunk);
+        t.record(10, 0, TraceEventKind::EarlyDrainChunk);
+        assert_eq!(back, t);
+        // A disabled ring round-trips too.
+        let d = TraceRing::disabled();
+        assert_eq!(
+            restore_container::<TraceRing>(&save_container(&d)).unwrap(),
+            d
+        );
     }
 }

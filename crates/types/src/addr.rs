@@ -230,6 +230,47 @@ impl From<usize> for CoreId {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use crate::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for Addr {
+        fn save(&self, w: &mut Writer) {
+            w.u64(self.0);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(Addr(r.u64()?))
+        }
+    }
+
+    impl Persist for PageId {
+        fn save(&self, w: &mut Writer) {
+            w.u64(self.0);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(PageId(r.u64()?))
+        }
+    }
+
+    impl Persist for ByteMask {
+        fn save(&self, w: &mut Writer) {
+            w.u8(self.0);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(ByteMask(r.u8()?))
+        }
+    }
+
+    impl Persist for CoreId {
+        fn save(&self, w: &mut Writer) {
+            w.usize(self.0);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(CoreId(r.usize()?))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -224,6 +224,45 @@ impl fmt::Display for ExceptionKind {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use crate::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for ErrorCode {
+        fn save(&self, w: &mut Writer) {
+            w.u16(self.0);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(ErrorCode(r.u16()?))
+        }
+    }
+
+    impl Persist for ExceptionKind {
+        fn save(&self, w: &mut Writer) {
+            match self {
+                ExceptionKind::PageFault => w.u8(0),
+                ExceptionKind::BusError => w.u8(1),
+                ExceptionKind::AcceleratorFault(c) => {
+                    w.u8(2);
+                    c.save(w);
+                }
+                ExceptionKind::SegmentationFault => w.u8(3),
+                ExceptionKind::MachineCheck => w.u8(4),
+            }
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(match r.u8()? {
+                0 => ExceptionKind::PageFault,
+                1 => ExceptionKind::BusError,
+                2 => ExceptionKind::AcceleratorFault(Persist::restore(r)?),
+                3 => ExceptionKind::SegmentationFault,
+                4 => ExceptionKind::MachineCheck,
+                _ => return Err(PersistError::Corrupt("ExceptionKind discriminant")),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

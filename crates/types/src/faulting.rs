@@ -81,6 +81,28 @@ impl fmt::Display for FaultingStoreEntry {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use crate::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for FaultingStoreEntry {
+        fn save(&self, w: &mut Writer) {
+            self.addr.save(w);
+            w.u64(self.data);
+            self.mask.save(w);
+            self.error.save(w);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(FaultingStoreEntry {
+                addr: Persist::restore(r)?,
+                data: r.u64()?,
+                mask: Persist::restore(r)?,
+                error: Persist::restore(r)?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

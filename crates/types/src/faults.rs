@@ -95,6 +95,61 @@ impl FaultSpec {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use crate::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for FaultKind {
+        fn save(&self, w: &mut Writer) {
+            match self {
+                FaultKind::Permanent => w.u8(0),
+                FaultKind::Transient { clears_after } => {
+                    w.u8(1);
+                    w.u32(*clears_after);
+                }
+                FaultKind::Intermittent { probability } => {
+                    w.u8(2);
+                    w.f64(*probability);
+                }
+                FaultKind::Windowed { from, until } => {
+                    w.u8(3);
+                    w.u64(*from);
+                    w.u64(*until);
+                }
+            }
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(match r.u8()? {
+                0 => FaultKind::Permanent,
+                1 => FaultKind::Transient {
+                    clears_after: r.u32()?,
+                },
+                2 => FaultKind::Intermittent {
+                    probability: r.f64()?,
+                },
+                3 => FaultKind::Windowed {
+                    from: r.u64()?,
+                    until: r.u64()?,
+                },
+                _ => return Err(PersistError::Corrupt("FaultKind discriminant")),
+            })
+        }
+    }
+
+    impl Persist for FaultSpec {
+        fn save(&self, w: &mut Writer) {
+            self.kind.save(w);
+            self.exception.save(w);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(FaultSpec {
+                kind: Persist::restore(r)?,
+                exception: Persist::restore(r)?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

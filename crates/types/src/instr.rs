@@ -241,6 +241,100 @@ impl fmt::Display for InstructionMix {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use crate::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for Reg {
+        fn save(&self, w: &mut Writer) {
+            w.u8(self.0);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(Reg(r.u8()?))
+        }
+    }
+
+    impl Persist for FenceKind {
+        fn save(&self, w: &mut Writer) {
+            w.u8(match self {
+                FenceKind::Full => 0,
+                FenceKind::StoreStore => 1,
+                FenceKind::LoadLoad => 2,
+            });
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            match r.u8()? {
+                0 => Ok(FenceKind::Full),
+                1 => Ok(FenceKind::StoreStore),
+                2 => Ok(FenceKind::LoadLoad),
+                _ => Err(PersistError::Corrupt("FenceKind discriminant")),
+            }
+        }
+    }
+
+    impl Persist for InstrKind {
+        fn save(&self, w: &mut Writer) {
+            match self {
+                InstrKind::Load { addr, dst } => {
+                    w.u8(0);
+                    addr.save(w);
+                    dst.save(w);
+                }
+                InstrKind::Store { addr, value } => {
+                    w.u8(1);
+                    addr.save(w);
+                    w.u64(*value);
+                }
+                InstrKind::Atomic { addr, add, dst } => {
+                    w.u8(2);
+                    addr.save(w);
+                    w.u64(*add);
+                    dst.save(w);
+                }
+                InstrKind::Fence(k) => {
+                    w.u8(3);
+                    k.save(w);
+                }
+                InstrKind::Other { latency } => {
+                    w.u8(4);
+                    w.u32(*latency);
+                }
+            }
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(match r.u8()? {
+                0 => InstrKind::Load {
+                    addr: Persist::restore(r)?,
+                    dst: Persist::restore(r)?,
+                },
+                1 => InstrKind::Store {
+                    addr: Persist::restore(r)?,
+                    value: r.u64()?,
+                },
+                2 => InstrKind::Atomic {
+                    addr: Persist::restore(r)?,
+                    add: r.u64()?,
+                    dst: Persist::restore(r)?,
+                },
+                3 => InstrKind::Fence(Persist::restore(r)?),
+                4 => InstrKind::Other { latency: r.u32()? },
+                _ => return Err(PersistError::Corrupt("InstrKind discriminant")),
+            })
+        }
+    }
+
+    impl Persist for Instruction {
+        fn save(&self, w: &mut Writer) {
+            self.kind.save(w);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(Instruction {
+                kind: Persist::restore(r)?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

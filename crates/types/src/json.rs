@@ -242,6 +242,75 @@ impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use crate::persist::{Persist, PersistError, Reader, Writer};
+
+    /// Structural encoding (not a re-parse of the rendered text), so
+    /// the distinction between `UInt`/`Int`/`Float` and non-finite
+    /// float payloads survive the round trip exactly.
+    impl Persist for Json {
+        fn save(&self, w: &mut Writer) {
+            match self {
+                Json::Null => w.u8(0),
+                Json::Bool(b) => {
+                    w.u8(1);
+                    w.bool(*b);
+                }
+                Json::UInt(v) => {
+                    w.u8(2);
+                    w.u64(*v);
+                }
+                Json::Int(v) => {
+                    w.u8(3);
+                    w.i64(*v);
+                }
+                Json::Float(v) => {
+                    w.u8(4);
+                    w.f64(*v);
+                }
+                Json::Str(s) => {
+                    w.u8(5);
+                    w.str(s);
+                }
+                Json::Arr(items) => {
+                    w.u8(6);
+                    items.save(w);
+                }
+                Json::Obj(fields) => {
+                    w.u8(7);
+                    w.usize(fields.len());
+                    for (k, v) in fields {
+                        w.str(k);
+                        v.save(w);
+                    }
+                }
+            }
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(match r.u8()? {
+                0 => Json::Null,
+                1 => Json::Bool(r.bool()?),
+                2 => Json::UInt(r.u64()?),
+                3 => Json::Int(r.i64()?),
+                4 => Json::Float(r.f64()?),
+                5 => Json::Str(r.str()?),
+                6 => Json::Arr(Persist::restore(r)?),
+                7 => {
+                    let n = r.usize()?;
+                    let mut fields = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        let k = r.str()?;
+                        fields.push((k, Json::restore(r)?));
+                    }
+                    Json::Obj(fields)
+                }
+                _ => return Err(PersistError::Corrupt("Json discriminant")),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,7 @@ pub mod faults;
 pub mod instr;
 pub mod json;
 pub mod model;
+pub mod persist;
 pub mod stats;
 
 pub use addr::{Addr, ByteMask, CoreId, PageId};

@@ -75,6 +75,45 @@ impl fmt::Display for DrainPolicy {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use crate::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for ConsistencyModel {
+        fn save(&self, w: &mut Writer) {
+            w.u8(match self {
+                ConsistencyModel::Sc => 0,
+                ConsistencyModel::Pc => 1,
+                ConsistencyModel::Wc => 2,
+            });
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(match r.u8()? {
+                0 => ConsistencyModel::Sc,
+                1 => ConsistencyModel::Pc,
+                2 => ConsistencyModel::Wc,
+                _ => return Err(PersistError::Corrupt("ConsistencyModel discriminant")),
+            })
+        }
+    }
+
+    impl Persist for DrainPolicy {
+        fn save(&self, w: &mut Writer) {
+            w.u8(match self {
+                DrainPolicy::SameStream => 0,
+                DrainPolicy::SplitStream => 1,
+            });
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(match r.u8()? {
+                0 => DrainPolicy::SameStream,
+                1 => DrainPolicy::SplitStream,
+                _ => return Err(PersistError::Corrupt("DrainPolicy discriminant")),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

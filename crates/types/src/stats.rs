@@ -248,6 +248,66 @@ impl ToJson for CoreStats {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use crate::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for Summary {
+        fn save(&self, w: &mut Writer) {
+            w.u64(self.count);
+            w.f64(self.sum);
+            w.f64(self.min);
+            w.f64(self.max);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(Summary {
+                count: r.u64()?,
+                sum: r.f64()?,
+                min: r.f64()?,
+                max: r.f64()?,
+            })
+        }
+    }
+
+    impl Persist for Histogram {
+        fn save(&self, w: &mut Writer) {
+            self.buckets.save(w);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            let buckets = Vec::<u64>::restore(r)?;
+            if buckets.is_empty() {
+                return Err(PersistError::Corrupt("empty histogram"));
+            }
+            Ok(Histogram { buckets })
+        }
+    }
+
+    impl Persist for CoreStats {
+        fn save(&self, w: &mut Writer) {
+            w.u64(self.retired);
+            w.u64(self.cycles);
+            w.u64(self.store_stall_cycles);
+            w.u64(self.sync_stall_cycles);
+            w.u64(self.l1d_misses);
+            w.u64(self.imprecise_exceptions);
+            w.u64(self.faulting_stores);
+            w.u64(self.precise_exceptions);
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(CoreStats {
+                retired: r.u64()?,
+                cycles: r.u64()?,
+                store_stall_cycles: r.u64()?,
+                sync_stall_cycles: r.u64()?,
+                l1d_misses: r.u64()?,
+                imprecise_exceptions: r.u64()?,
+                faulting_stores: r.u64()?,
+                precise_exceptions: r.u64()?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
