@@ -1,0 +1,545 @@
+//! A small label-resolving RV64 assembler.
+//!
+//! Guest programs are checked into the repo as raw `.bin` images; this
+//! builder is how they are produced (and how the check-in test verifies
+//! the images match their source). Every emitted word goes through
+//! [`crate::decode::encode`], so the assembler can only produce
+//! encodings the decoder round-trips.
+
+use crate::decode::{
+    encode, AluImmOp, AluOp, AmoOp, BranchOp, CsrOp, Decoded, LoadOp, ShiftOp, StoreOp,
+};
+
+/// A forward-referenceable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// One assembly slot: either a finished word or a label-relative
+/// instruction resolved at [`Asm::assemble`] time.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Word(u32),
+    Jal {
+        rd: u8,
+        label: Label,
+    },
+    Branch {
+        op: BranchOp,
+        rs1: u8,
+        rs2: u8,
+        label: Label,
+    },
+    /// `auipc` + `addi` pair materializing a label's absolute address.
+    La {
+        rd: u8,
+        label: Label,
+    },
+}
+
+impl Slot {
+    fn width(&self) -> u64 {
+        match self {
+            Slot::La { .. } => 8,
+            _ => 4,
+        }
+    }
+}
+
+/// The assembler: accumulates instructions, resolves labels, and
+/// produces a flat little-endian image based at a fixed address.
+#[derive(Debug, Clone)]
+pub struct Asm {
+    base: u64,
+    slots: Vec<Slot>,
+    labels: Vec<Option<usize>>,
+}
+
+fn sign_extend_12(v: i64) -> i64 {
+    (v << 52) >> 52
+}
+
+impl Asm {
+    /// A new program image based at `base` (must be 4-aligned RAM).
+    pub fn new(base: u64) -> Self {
+        assert!(base.is_multiple_of(4), "code base must be 4-aligned");
+        Asm {
+            base,
+            slots: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// The base address the image is linked at.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Creates an unbound label for forward references.
+    pub fn reserve_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.slots.len());
+    }
+
+    /// A label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.reserve_label();
+        self.bind(l);
+        l
+    }
+
+    fn push(&mut self, d: Decoded) {
+        self.slots.push(Slot::Word(encode(&d)));
+    }
+
+    /// Emits a raw 32-bit word (e.g. a deliberately illegal encoding).
+    pub fn word(&mut self, w: u32) {
+        self.slots.push(Slot::Word(w));
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.push(Decoded::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `addiw rd, rs1, imm`.
+    pub fn addiw(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.push(Decoded::Addiw { rd, rs1, imm });
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.push(Decoded::AluImm {
+            op: AluImmOp::Andi,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.push(Decoded::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.push(Decoded::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: u8, rs1: u8, shamt: u8) {
+        self.push(Decoded::ShiftImm {
+            op: ShiftOp::Sll,
+            word: false,
+            rd,
+            rs1,
+            shamt,
+        });
+    }
+
+    /// `lui rd, imm` (`imm` is the final sign-extended value, low 12
+    /// bits zero).
+    pub fn lui(&mut self, rd: u8, imm: i64) {
+        assert_eq!(imm & 0xfff, 0, "lui immediate has low bits");
+        self.push(Decoded::Lui { rd, imm });
+    }
+
+    /// Materializes an arbitrary 64-bit constant into `rd` (the
+    /// standard `li` expansion: `addi`, `lui[+addiw]`, or a recursive
+    /// shift-and-add chain).
+    pub fn li(&mut self, rd: u8, value: i64) {
+        if (-2048..=2047).contains(&value) {
+            self.addi(rd, 0, value);
+        } else if value >= i32::MIN as i64 && value <= i32::MAX as i64 {
+            let lo = sign_extend_12(value);
+            let hi = ((value.wrapping_sub(lo) as i32) as i64) & !0xfff;
+            self.lui(rd, hi);
+            if lo != 0 {
+                self.addiw(rd, rd, lo);
+            }
+        } else {
+            let lo = sign_extend_12(value);
+            self.li(rd, (value.wrapping_sub(lo)) >> 12);
+            self.slli(rd, rd, 12);
+            if lo != 0 {
+                self.addi(rd, rd, lo);
+            }
+        }
+    }
+
+    fn load(&mut self, op: LoadOp, rd: u8, base: u8, offset: i64) {
+        self.push(Decoded::Load {
+            op,
+            rd,
+            rs1: base,
+            offset,
+        });
+    }
+
+    fn store(&mut self, op: StoreOp, src: u8, base: u8, offset: i64) {
+        self.push(Decoded::Store {
+            op,
+            rs1: base,
+            rs2: src,
+            offset,
+        });
+    }
+
+    /// `ld rd, offset(base)`.
+    pub fn ld(&mut self, rd: u8, base: u8, offset: i64) {
+        self.load(LoadOp::Ld, rd, base, offset);
+    }
+
+    /// `lw rd, offset(base)`.
+    pub fn lw(&mut self, rd: u8, base: u8, offset: i64) {
+        self.load(LoadOp::Lw, rd, base, offset);
+    }
+
+    /// `lbu rd, offset(base)`.
+    pub fn lbu(&mut self, rd: u8, base: u8, offset: i64) {
+        self.load(LoadOp::Lbu, rd, base, offset);
+    }
+
+    /// `sd src, offset(base)`.
+    pub fn sd(&mut self, src: u8, base: u8, offset: i64) {
+        self.store(StoreOp::Sd, src, base, offset);
+    }
+
+    /// `sw src, offset(base)`.
+    pub fn sw(&mut self, src: u8, base: u8, offset: i64) {
+        self.store(StoreOp::Sw, src, base, offset);
+    }
+
+    /// `sh src, offset(base)`.
+    pub fn sh(&mut self, src: u8, base: u8, offset: i64) {
+        self.store(StoreOp::Sh, src, base, offset);
+    }
+
+    /// `sb src, offset(base)`.
+    pub fn sb(&mut self, src: u8, base: u8, offset: i64) {
+        self.store(StoreOp::Sb, src, base, offset);
+    }
+
+    /// `amoadd.w rd, src, (addr)`.
+    pub fn amoadd_w(&mut self, rd: u8, src: u8, addr: u8) {
+        self.push(Decoded::Amo {
+            op: AmoOp::AddW,
+            rd,
+            rs1: addr,
+            rs2: src,
+            aq: false,
+            rl: false,
+        });
+    }
+
+    /// `amoadd.d rd, src, (addr)`.
+    pub fn amoadd_d(&mut self, rd: u8, src: u8, addr: u8) {
+        self.push(Decoded::Amo {
+            op: AmoOp::AddD,
+            rd,
+            rs1: addr,
+            rs2: src,
+            aq: false,
+            rl: false,
+        });
+    }
+
+    /// `fence pred, succ` with R=2/W=1 nibbles (`fence rw, rw` = 3,3).
+    pub fn fence(&mut self, pred: u8, succ: u8) {
+        self.push(Decoded::Fence {
+            fm: 0,
+            pred,
+            succ,
+            rd: 0,
+            rs1: 0,
+        });
+    }
+
+    /// `fence.i`.
+    pub fn fence_i(&mut self) {
+        self.push(Decoded::FenceI {
+            rd: 0,
+            rs1: 0,
+            imm: 0,
+        });
+    }
+
+    /// `ecall`.
+    pub fn ecall(&mut self) {
+        self.push(Decoded::Ecall);
+    }
+
+    /// `ebreak`.
+    pub fn ebreak(&mut self) {
+        self.push(Decoded::Ebreak);
+    }
+
+    /// `mret`.
+    pub fn mret(&mut self) {
+        self.push(Decoded::Mret);
+    }
+
+    /// `csrrw rd, csr, rs1`.
+    pub fn csrrw(&mut self, rd: u8, csr: u16, rs1: u8) {
+        self.push(Decoded::Csr {
+            op: CsrOp::Rw,
+            rd,
+            csr,
+            rs1,
+        });
+    }
+
+    /// `csrrs rd, csr, rs1`.
+    pub fn csrrs(&mut self, rd: u8, csr: u16, rs1: u8) {
+        self.push(Decoded::Csr {
+            op: CsrOp::Rs,
+            rd,
+            csr,
+            rs1,
+        });
+    }
+
+    /// `csrrwi rd, csr, uimm`.
+    pub fn csrrwi(&mut self, rd: u8, csr: u16, uimm: u8) {
+        self.push(Decoded::Csr {
+            op: CsrOp::Rwi,
+            rd,
+            csr,
+            rs1: uimm,
+        });
+    }
+
+    /// `jalr rd, offset(base)`.
+    pub fn jalr(&mut self, rd: u8, base: u8, offset: i64) {
+        self.push(Decoded::Jalr {
+            rd,
+            rs1: base,
+            offset,
+        });
+    }
+
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: u8, label: Label) {
+        self.slots.push(Slot::Jal { rd, label });
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: u8, rs2: u8, label: Label) {
+        self.slots.push(Slot::Branch {
+            op: BranchOp::Beq,
+            rs1,
+            rs2,
+            label,
+        });
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: u8, rs2: u8, label: Label) {
+        self.slots.push(Slot::Branch {
+            op: BranchOp::Bne,
+            rs1,
+            rs2,
+            label,
+        });
+    }
+
+    /// `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: u8, rs2: u8, label: Label) {
+        self.slots.push(Slot::Branch {
+            op: BranchOp::Bge,
+            rs1,
+            rs2,
+            label,
+        });
+    }
+
+    /// Loads `label`'s absolute address into `rd` (pc-relative
+    /// `auipc` + `addi` pair).
+    pub fn la(&mut self, rd: u8, label: Label) {
+        self.slots.push(Slot::La { rd, label });
+    }
+
+    /// Resolves labels and produces the little-endian image.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound labels or out-of-range displacements.
+    pub fn assemble(&self) -> Vec<u8> {
+        // First pass: byte offset of every slot (plus the end, so a
+        // label bound after the last instruction still resolves).
+        let mut offsets = Vec::with_capacity(self.slots.len() + 1);
+        let mut at = 0u64;
+        for s in &self.slots {
+            offsets.push(at);
+            at += s.width();
+        }
+        offsets.push(at);
+        let resolve = |label: Label| -> u64 {
+            self.base + offsets[self.labels[label.0].expect("unbound label")]
+        };
+        let mut out = Vec::with_capacity((at as usize).max(4));
+        for (i, s) in self.slots.iter().enumerate() {
+            let pc = self.base + offsets[i];
+            match *s {
+                Slot::Word(w) => out.extend_from_slice(&w.to_le_bytes()),
+                Slot::Jal { rd, label } => {
+                    let offset = resolve(label) as i64 - pc as i64;
+                    assert!(offset % 2 == 0 && (-(1 << 20)..1 << 20).contains(&offset));
+                    out.extend_from_slice(&encode(&Decoded::Jal { rd, offset }).to_le_bytes());
+                }
+                Slot::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
+                    let offset = resolve(label) as i64 - pc as i64;
+                    assert!(offset % 2 == 0 && (-(1 << 12)..1 << 12).contains(&offset));
+                    out.extend_from_slice(
+                        &encode(&Decoded::Branch {
+                            op,
+                            rs1,
+                            rs2,
+                            offset,
+                        })
+                        .to_le_bytes(),
+                    );
+                }
+                Slot::La { rd, label } => {
+                    let delta = resolve(label) as i64 - pc as i64;
+                    let lo = sign_extend_12(delta);
+                    let hi = delta - lo;
+                    assert!(hi >= i32::MIN as i64 && hi <= i32::MAX as i64);
+                    out.extend_from_slice(&encode(&Decoded::Auipc { rd, imm: hi }).to_le_bytes());
+                    out.extend_from_slice(
+                        &encode(&Decoded::AluImm {
+                            op: AluImmOp::Addi,
+                            rd,
+                            rs1: rd,
+                            imm: lo,
+                        })
+                        .to_le_bytes(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn every_emitted_word_decodes() {
+        let mut a = Asm::new(0x1_0000);
+        let l = a.reserve_label();
+        a.li(5, 0x4000_0000);
+        a.li(6, -1);
+        a.li(7, 0x1234_5678_9abc_def0);
+        a.la(8, l);
+        a.beq(5, 6, l);
+        a.jal(1, l);
+        a.bind(l);
+        a.fence(3, 3);
+        a.ecall();
+        let img = a.assemble();
+        assert_eq!(img.len() % 4, 0);
+        for chunk in img.chunks(4) {
+            let w = u32::from_le_bytes(chunk.try_into().unwrap());
+            decode(w).unwrap();
+        }
+    }
+
+    #[test]
+    fn li_materializes_wide_constants() {
+        // Execute the li sequences on a bare hart to check the values.
+        use crate::bus::DeviceBus;
+        use crate::hart::Hart;
+        for value in [
+            0i64,
+            1,
+            -1,
+            2047,
+            -2048,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x4000_0000,
+            0x1234_5678_9abc_def0,
+            i64::MIN,
+            i64::MAX,
+        ] {
+            let mut a = Asm::new(0x1_0000);
+            a.li(10, value);
+            a.ecall();
+            let mut bus = DeviceBus::new(1);
+            bus.load_image(0x1_0000, &a.assemble());
+            let mut hart = Hart::new(0, 0x1_0000);
+            for _ in 0..64 {
+                if hart.halted {
+                    break;
+                }
+                hart.step(&mut bus);
+            }
+            assert!(hart.halted);
+            assert_eq!(hart.x(10) as i64, value, "li {value:#x}");
+        }
+    }
+
+    #[test]
+    fn la_resolves_forward_and_backward() {
+        use crate::bus::DeviceBus;
+        use crate::hart::Hart;
+        let mut a = Asm::new(0x1_0000);
+        let back = a.here();
+        let fwd = a.reserve_label();
+        a.la(10, fwd);
+        a.la(11, back);
+        a.ecall();
+        a.bind(fwd);
+        a.ecall();
+        let mut bus = DeviceBus::new(1);
+        bus.load_image(0x1_0000, &a.assemble());
+        let mut hart = Hart::new(0, 0x1_0000);
+        for _ in 0..16 {
+            if hart.halted {
+                break;
+            }
+            hart.step(&mut bus);
+        }
+        assert_eq!(hart.x(11), 0x1_0000);
+        assert_eq!(hart.x(10), 0x1_0000 + 2 * 8 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_labels_panic() {
+        let mut a = Asm::new(0x1_0000);
+        let l = a.reserve_label();
+        a.jal(0, l);
+        let _ = a.assemble();
+    }
+}

@@ -1,0 +1,505 @@
+//! The guest physical address space: RAM plus two MMIO devices.
+//!
+//! Guest addresses map 1:1 into the timing model's address space, so a
+//! guest store into the EInject window (`layout::EINJECT_BASE`) lands on
+//! the same addresses the hierarchy marks as faulting. Two device
+//! windows are carved out of the low range, mirroring the `virt` machine
+//! the mizu emulator targets: a CLINT-style timer/software-interrupt
+//! block and a byte-oriented UART. Everything outside RAM and the
+//! device windows is unmapped and access-faults.
+//!
+//! ```text
+//! 0x0000_1000 ─ RAM base (fetch + data; code conventionally at 0x1_0000)
+//! 0x0200_0000 ─ CLINT   (msip / mtimecmp / mtime)
+//! 0x1000_0000 ─ UART    (transmit register + line status)
+//! 0x4000_0000 ─ EInject window (plain RAM here; faulting in the
+//!               timing hierarchy when the page is armed)
+//! 0x8000_0000 ─ end of RAM
+//! ```
+
+use ise_mem::FlatMemory;
+use ise_types::addr::{AccessSize, Addr};
+use ise_types::persist::{Persist, PersistError, Reader, Writer};
+use ise_types::trap::Trap;
+
+/// First valid RAM byte (the zero page is left unmapped so null-ish
+/// guest pointers fault).
+pub const RAM_BASE: u64 = 0x1000;
+/// One-past-the-last RAM byte.
+pub const RAM_LIMIT: u64 = 0x8000_0000;
+/// CLINT window base.
+pub const CLINT_BASE: u64 = 0x0200_0000;
+/// CLINT window size.
+pub const CLINT_SIZE: u64 = 0x1_0000;
+/// UART window base.
+pub const UART_BASE: u64 = 0x1000_0000;
+/// UART window size.
+pub const UART_SIZE: u64 = 0x100;
+
+/// CLINT register offsets (per-hart `msip` words, per-hart `mtimecmp`
+/// doubles, one global `mtime`), matching the SiFive/QEMU layout.
+mod clint_off {
+    pub const MSIP: u64 = 0x0;
+    pub const MTIMECMP: u64 = 0x4000;
+    pub const MTIME: u64 = 0xbff8;
+}
+
+/// UART register offsets (8250 subset).
+mod uart_off {
+    /// Transmit holding register (write) / receive buffer (read).
+    pub const THR: u64 = 0x0;
+    /// Line status register (read-only).
+    pub const LSR: u64 = 0x5;
+}
+
+/// LSR value: transmitter empty and idle.
+const LSR_IDLE: u64 = 0x60;
+
+/// Where a routed access landed — the hart uses this to decide how the
+/// access lowers into the trace ISA (RAM → real load/store, device →
+/// fixed-latency `Other` plus an MMIO event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusTarget {
+    /// Backed by [`FlatMemory`]; shared with the timing model.
+    Ram,
+    /// The CLINT window.
+    Clint,
+    /// The UART window.
+    Uart,
+}
+
+/// Transmit-only UART: bytes written to THR accumulate in `output`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Uart {
+    /// Everything the guest has printed.
+    pub output: Vec<u8>,
+}
+
+impl Uart {
+    fn load(&self, offset: u64, size: AccessSize) -> Option<u64> {
+        if size != AccessSize::Byte {
+            return None;
+        }
+        match offset {
+            uart_off::THR => Some(0),
+            uart_off::LSR => Some(LSR_IDLE),
+            _ => None,
+        }
+    }
+
+    fn store(&mut self, offset: u64, size: AccessSize, value: u64) -> Option<()> {
+        if size != AccessSize::Byte || offset != uart_off::THR {
+            return None;
+        }
+        self.output.push(value as u8);
+        Some(())
+    }
+}
+
+/// CLINT-style timer/software-interrupt device: one `msip` bit and one
+/// `mtimecmp` per hart, one shared `mtime` that the machine advances
+/// once per interleave round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clint {
+    /// Per-hart software-interrupt pending bits.
+    pub msip: Vec<bool>,
+    /// Per-hart timer compare values.
+    pub mtimecmp: Vec<u64>,
+    /// The shared timebase.
+    pub mtime: u64,
+}
+
+impl Clint {
+    /// A CLINT for `harts` harts with timers parked at `u64::MAX`.
+    pub fn new(harts: usize) -> Self {
+        Clint {
+            msip: vec![false; harts],
+            mtimecmp: vec![u64::MAX; harts],
+            mtime: 0,
+        }
+    }
+
+    /// Advances the timebase by one tick.
+    pub fn tick(&mut self) {
+        self.mtime += 1;
+    }
+
+    /// The `mip` bits (MSIP/MTIP) currently asserted for `hart`.
+    pub fn mip_bits(&self, hart: usize) -> u64 {
+        let mut bits = 0;
+        if self.msip.get(hart).copied().unwrap_or(false) {
+            bits |= ise_types::trap::mip::MSIP;
+        }
+        if self
+            .mtimecmp
+            .get(hart)
+            .map(|&c| self.mtime >= c)
+            .unwrap_or(false)
+        {
+            bits |= ise_types::trap::mip::MTIP;
+        }
+        bits
+    }
+
+    fn msip_hart(&self, offset: u64) -> Option<usize> {
+        let span = clint_off::MSIP..clint_off::MSIP + 4 * self.msip.len() as u64;
+        span.contains(&offset)
+            .then(|| ((offset - clint_off::MSIP) / 4) as usize)
+    }
+
+    fn mtimecmp_hart(&self, offset: u64) -> Option<usize> {
+        let span = clint_off::MTIMECMP..clint_off::MTIMECMP + 8 * self.mtimecmp.len() as u64;
+        span.contains(&offset)
+            .then(|| ((offset - clint_off::MTIMECMP) / 8) as usize)
+    }
+
+    fn load(&self, offset: u64, size: AccessSize) -> Option<u64> {
+        match size {
+            AccessSize::Word => self.msip_hart(offset).map(|h| self.msip[h] as u64),
+            AccessSize::Double => {
+                if offset == clint_off::MTIME {
+                    Some(self.mtime)
+                } else {
+                    self.mtimecmp_hart(offset).map(|h| self.mtimecmp[h])
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn store(&mut self, offset: u64, size: AccessSize, value: u64) -> Option<()> {
+        match size {
+            AccessSize::Word => {
+                let h = self.msip_hart(offset)?;
+                self.msip[h] = value & 1 != 0;
+                Some(())
+            }
+            AccessSize::Double => {
+                if offset == clint_off::MTIME {
+                    self.mtime = value;
+                } else {
+                    let h = self.mtimecmp_hart(offset)?;
+                    self.mtimecmp[h] = value;
+                }
+                Some(())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The routed guest address space: RAM behind two device windows.
+#[derive(Debug, Clone)]
+pub struct DeviceBus {
+    /// Architectural RAM, shared layout with the timing model.
+    pub ram: FlatMemory,
+    /// The UART.
+    pub uart: Uart,
+    /// The CLINT.
+    pub clint: Clint,
+}
+
+impl DeviceBus {
+    /// An empty bus serving `harts` harts.
+    pub fn new(harts: usize) -> Self {
+        DeviceBus {
+            ram: FlatMemory::new(),
+            uart: Uart::default(),
+            clint: Clint::new(harts),
+        }
+    }
+
+    /// Which window `addr` falls in, or `None` for unmapped space.
+    pub fn route(addr: Addr) -> Option<BusTarget> {
+        let a = addr.raw();
+        if (CLINT_BASE..CLINT_BASE + CLINT_SIZE).contains(&a) {
+            Some(BusTarget::Clint)
+        } else if (UART_BASE..UART_BASE + UART_SIZE).contains(&a) {
+            Some(BusTarget::Uart)
+        } else if (RAM_BASE..RAM_LIMIT).contains(&a) {
+            Some(BusTarget::Ram)
+        } else {
+            None
+        }
+    }
+
+    /// Fetches one 32-bit instruction word. Fetch requires a 4-aligned
+    /// PC (IALIGN=32; no compressed instructions) and RAM backing —
+    /// executing out of a device window is an access fault.
+    pub fn fetch(&self, pc: u64) -> Result<u32, Trap> {
+        let addr = Addr::new(pc);
+        if !pc.is_multiple_of(4) {
+            return Err(Trap::InstructionAddrMisaligned(addr));
+        }
+        match Self::route(addr) {
+            Some(BusTarget::Ram) => Ok(self
+                .ram
+                .load_sized(addr, AccessSize::Word)
+                .expect("4-aligned fetch cannot misalign")
+                as u32),
+            _ => Err(Trap::InstructionAccessFault(addr)),
+        }
+    }
+
+    /// Routed, size-checked load. Misalignment is checked before
+    /// routing, so a misaligned device access reports the misaligned
+    /// trap rather than a device quirk.
+    pub fn load(&self, addr: Addr, size: AccessSize) -> Result<(u64, BusTarget), Trap> {
+        if !addr.is_aligned(size) {
+            return Err(Trap::misaligned_load(addr, size));
+        }
+        match Self::route(addr) {
+            Some(BusTarget::Ram) => Ok((self.ram.load_sized(addr, size)?, BusTarget::Ram)),
+            Some(BusTarget::Clint) => self
+                .clint
+                .load(addr.raw() - CLINT_BASE, size)
+                .map(|v| (v, BusTarget::Clint))
+                .ok_or(Trap::LoadAccessFault(addr)),
+            Some(BusTarget::Uart) => self
+                .uart
+                .load(addr.raw() - UART_BASE, size)
+                .map(|v| (v, BusTarget::Uart))
+                .ok_or(Trap::LoadAccessFault(addr)),
+            None => Err(Trap::LoadAccessFault(addr)),
+        }
+    }
+
+    /// Routed, size-checked store.
+    pub fn store(&mut self, addr: Addr, size: AccessSize, value: u64) -> Result<BusTarget, Trap> {
+        if !addr.is_aligned(size) {
+            return Err(Trap::misaligned_store(addr, size));
+        }
+        match Self::route(addr) {
+            Some(BusTarget::Ram) => {
+                self.ram.store_sized(addr, size, value)?;
+                Ok(BusTarget::Ram)
+            }
+            Some(BusTarget::Clint) => self
+                .clint
+                .store(addr.raw() - CLINT_BASE, size, value)
+                .map(|()| BusTarget::Clint)
+                .ok_or(Trap::StoreAMOAccessFault(addr)),
+            Some(BusTarget::Uart) => self
+                .uart
+                .store(addr.raw() - UART_BASE, size, value)
+                .map(|()| BusTarget::Uart)
+                .ok_or(Trap::StoreAMOAccessFault(addr)),
+            None => Err(Trap::StoreAMOAccessFault(addr)),
+        }
+    }
+
+    /// Routed AMO fetch-and-add. AMOs are RAM-only; device windows
+    /// reject them with the store-side access fault.
+    pub fn amo_add(&mut self, addr: Addr, size: AccessSize, add: u64) -> Result<u64, Trap> {
+        if !addr.is_aligned(size) {
+            return Err(Trap::misaligned_store(addr, size));
+        }
+        match Self::route(addr) {
+            Some(BusTarget::Ram) => self.ram.fetch_add_sized(addr, size, add),
+            Some(_) => Err(Trap::StoreAMOAccessFault(addr)),
+            None => Err(Trap::StoreAMOAccessFault(addr)),
+        }
+    }
+
+    /// Copies a flat binary image into RAM at `base` (byte-granular;
+    /// used to place assembled guest programs and data).
+    pub fn load_image(&mut self, base: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.ram
+                .store_sized(Addr::new(base + i as u64), AccessSize::Byte, b as u64)
+                .expect("byte stores cannot misalign");
+        }
+    }
+}
+
+impl Persist for Uart {
+    fn save(&self, w: &mut Writer) {
+        w.bytes(&self.output);
+    }
+    fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+        Ok(Uart {
+            output: r.bytes()?.to_vec(),
+        })
+    }
+}
+
+impl Persist for Clint {
+    fn save(&self, w: &mut Writer) {
+        self.msip.save(w);
+        self.mtimecmp.save(w);
+        w.u64(self.mtime);
+    }
+    fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+        Ok(Clint {
+            msip: Persist::restore(r)?,
+            mtimecmp: Persist::restore(r)?,
+            mtime: r.u64()?,
+        })
+    }
+}
+
+impl Persist for DeviceBus {
+    fn save(&self, w: &mut Writer) {
+        w.section(*b"GBUS", |w| {
+            self.ram.save(w);
+            self.uart.save(w);
+            self.clint.save(w);
+        });
+    }
+    fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+        r.section(*b"GBUS", |r| {
+            Ok(DeviceBus {
+                ram: Persist::restore(r)?,
+                uart: Persist::restore(r)?,
+                clint: Persist::restore(r)?,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_partitions_the_address_space() {
+        assert_eq!(DeviceBus::route(Addr::new(0x1_0000)), Some(BusTarget::Ram));
+        assert_eq!(
+            DeviceBus::route(Addr::new(CLINT_BASE)),
+            Some(BusTarget::Clint)
+        );
+        assert_eq!(
+            DeviceBus::route(Addr::new(UART_BASE)),
+            Some(BusTarget::Uart)
+        );
+        assert_eq!(
+            DeviceBus::route(Addr::new(0x4000_0000)),
+            Some(BusTarget::Ram)
+        );
+        assert_eq!(DeviceBus::route(Addr::new(0)), None);
+        assert_eq!(DeviceBus::route(Addr::new(RAM_LIMIT)), None);
+    }
+
+    #[test]
+    fn uart_accumulates_bytes_and_reports_idle() {
+        let mut bus = DeviceBus::new(1);
+        for b in b"ok" {
+            bus.store(Addr::new(UART_BASE), AccessSize::Byte, *b as u64)
+                .unwrap();
+        }
+        assert_eq!(bus.uart.output, b"ok");
+        let (lsr, tgt) = bus
+            .load(Addr::new(UART_BASE + 5), AccessSize::Byte)
+            .unwrap();
+        assert_eq!(lsr, LSR_IDLE);
+        assert_eq!(tgt, BusTarget::Uart);
+    }
+
+    #[test]
+    fn clint_timer_and_software_bits() {
+        let mut bus = DeviceBus::new(2);
+        // msip for hart 1 at base + 4.
+        bus.store(Addr::new(CLINT_BASE + 4), AccessSize::Word, 1)
+            .unwrap();
+        assert_eq!(bus.clint.mip_bits(1), ise_types::trap::mip::MSIP);
+        assert_eq!(bus.clint.mip_bits(0), 0);
+        // Timer for hart 0 fires once mtime reaches mtimecmp.
+        bus.store(
+            Addr::new(CLINT_BASE + clint_off::MTIMECMP),
+            AccessSize::Double,
+            3,
+        )
+        .unwrap();
+        for _ in 0..3 {
+            assert_eq!(bus.clint.mip_bits(0) & ise_types::trap::mip::MTIP, 0);
+            bus.clint.tick();
+        }
+        assert_eq!(
+            bus.clint.mip_bits(0) & ise_types::trap::mip::MTIP,
+            ise_types::trap::mip::MTIP
+        );
+        let (mtime, _) = bus
+            .load(Addr::new(CLINT_BASE + clint_off::MTIME), AccessSize::Double)
+            .unwrap();
+        assert_eq!(mtime, 3);
+    }
+
+    #[test]
+    fn unmapped_and_wrong_size_accesses_fault() {
+        let mut bus = DeviceBus::new(1);
+        assert_eq!(
+            bus.load(Addr::new(0), AccessSize::Double),
+            Err(Trap::LoadAccessFault(Addr::new(0)))
+        );
+        assert_eq!(
+            bus.store(Addr::new(RAM_LIMIT), AccessSize::Byte, 1),
+            Err(Trap::StoreAMOAccessFault(Addr::new(RAM_LIMIT)))
+        );
+        // UART only speaks bytes.
+        assert_eq!(
+            bus.load(Addr::new(UART_BASE), AccessSize::Word),
+            Err(Trap::LoadAccessFault(Addr::new(UART_BASE)))
+        );
+        // AMO against a device window.
+        assert_eq!(
+            bus.amo_add(Addr::new(CLINT_BASE), AccessSize::Word, 1),
+            Err(Trap::StoreAMOAccessFault(Addr::new(CLINT_BASE)))
+        );
+    }
+
+    #[test]
+    fn misalignment_outranks_routing() {
+        let bus = DeviceBus::new(1);
+        assert_eq!(
+            bus.load(Addr::new(CLINT_BASE + 2), AccessSize::Word),
+            Err(Trap::LoadAccessMisaligned(Addr::new(CLINT_BASE + 2)))
+        );
+    }
+
+    #[test]
+    fn fetch_requires_aligned_ram() {
+        let mut bus = DeviceBus::new(1);
+        bus.load_image(0x1_0000, &0x0000_0513u32.to_le_bytes());
+        assert_eq!(bus.fetch(0x1_0000).unwrap(), 0x0000_0513);
+        assert_eq!(
+            bus.fetch(0x1_0002),
+            Err(Trap::InstructionAddrMisaligned(Addr::new(0x1_0002)))
+        );
+        assert_eq!(
+            bus.fetch(UART_BASE),
+            Err(Trap::InstructionAccessFault(Addr::new(UART_BASE)))
+        );
+    }
+
+    #[test]
+    fn image_bytes_land_in_ram() {
+        let mut bus = DeviceBus::new(1);
+        bus.load_image(0x2000, &[1, 2, 3, 4, 5]);
+        assert_eq!(
+            bus.ram
+                .load_sized(Addr::new(0x2002), AccessSize::Byte)
+                .unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn bus_persists_round_trip() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut bus = DeviceBus::new(2);
+        bus.load_image(0x2000, b"hello");
+        bus.uart.output = b"out".to_vec();
+        bus.clint.msip[1] = true;
+        bus.clint.mtime = 42;
+        let bytes = save_container(&bus);
+        let back: DeviceBus = restore_container(&bytes).unwrap();
+        assert_eq!(back.uart, bus.uart);
+        assert_eq!(back.clint, bus.clint);
+        assert_eq!(
+            back.ram
+                .load_sized(Addr::new(0x2000), AccessSize::Byte)
+                .unwrap(),
+            b'h' as u64
+        );
+    }
+}

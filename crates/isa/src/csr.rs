@@ -1,0 +1,283 @@
+//! The minimal machine-mode CSR file each hart carries.
+//!
+//! Only the machine trap-setup/trap-handling registers plus identity
+//! and counter shadows exist (the subset in [`ise_types::trap::csr`]).
+//! Reads of unimplemented CSRs and writes to read-only CSRs raise
+//! [`Trap::IllegalInstruction`], per the privileged spec.
+
+use crate::decode::CsrOp;
+use ise_types::persist::{Persist, PersistError, Reader, Writer};
+use ise_types::trap::{csr, mstatus, Trap};
+
+/// `misa` for this frontend: RV64 (MXL=2) with the I and A bits set.
+const MISA_RV64IA: u64 = (2 << 62) | (1 << 8) | 1;
+
+/// WARL mask of `mstatus` bits the frontend implements.
+const MSTATUS_MASK: u64 = mstatus::MIE | mstatus::MPIE | mstatus::MPP_M;
+
+/// WARL mask of `mie`/`mip` bits the frontend implements.
+const MI_MASK: u64 = ise_types::trap::mip::MSIP | ise_types::trap::mip::MTIP;
+
+/// The machine-mode CSR state of one hart.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CsrFile {
+    /// Hart index, read through `mhartid`.
+    pub hartid: u64,
+    /// `mstatus` (only the bits in the WARL mask are stored).
+    pub mstatus: u64,
+    /// `mie`.
+    pub mie: u64,
+    /// `mtvec` (trap vector base; 0 means "no handler installed").
+    pub mtvec: u64,
+    /// `mscratch`.
+    pub mscratch: u64,
+    /// `mepc`.
+    pub mepc: u64,
+    /// `mcause`.
+    pub mcause: u64,
+    /// `mtval`.
+    pub mtval: u64,
+    /// `mip` (updated from the CLINT each step).
+    pub mip: u64,
+    /// Retired-instruction count, read through `instret` and `cycle`
+    /// (the functional frontend has no clock of its own; the timing
+    /// model downstream owns cycles).
+    pub instret: u64,
+}
+
+impl CsrFile {
+    /// A reset-state CSR file for hart `hartid`.
+    pub fn new(hartid: u64) -> Self {
+        CsrFile {
+            hartid,
+            ..CsrFile::default()
+        }
+    }
+
+    /// Raw read, or `None` for unimplemented CSR numbers.
+    fn read_raw(&self, num: u16) -> Option<u64> {
+        Some(match num {
+            csr::MSTATUS => self.mstatus,
+            csr::MISA => MISA_RV64IA,
+            csr::MIE => self.mie,
+            csr::MTVEC => self.mtvec,
+            csr::MSCRATCH => self.mscratch,
+            csr::MEPC => self.mepc,
+            csr::MCAUSE => self.mcause,
+            csr::MTVAL => self.mtval,
+            csr::MIP => self.mip,
+            csr::MHARTID => self.hartid,
+            csr::CYCLE | csr::INSTRET => self.instret,
+            _ => return None,
+        })
+    }
+
+    /// Raw write; `Err` for unimplemented or read-only CSR numbers.
+    fn write_raw(&mut self, num: u16, value: u64) -> Result<(), ()> {
+        match num {
+            csr::MSTATUS => self.mstatus = value & MSTATUS_MASK,
+            csr::MIE => self.mie = value & MI_MASK,
+            csr::MTVEC => self.mtvec = value,
+            csr::MSCRATCH => self.mscratch = value,
+            // mepc holds only IALIGN'd addresses (low two bits WARL-zero).
+            csr::MEPC => self.mepc = value & !0b11,
+            csr::MCAUSE => self.mcause = value,
+            csr::MTVAL => self.mtval = value,
+            csr::MIP => self.mip = value & MI_MASK,
+            _ => return Err(()),
+        }
+        Ok(())
+    }
+
+    /// Executes one CSR instruction: returns the old CSR value to put
+    /// in `rd`, after applying the write/set/clear with `operand`
+    /// (a register value or zero-extended immediate).
+    ///
+    /// Per the spec, `csrrs`/`csrrc` with `rs1 = x0` (or the `*i` forms
+    /// with a zero immediate) read without writing, so they are legal
+    /// on read-only CSRs; `csrrw` always writes.
+    pub fn execute(
+        &mut self,
+        op: CsrOp,
+        num: u16,
+        operand: u64,
+        encoding: u32,
+    ) -> Result<u64, Trap> {
+        let illegal = || Trap::IllegalInstruction(encoding as u64);
+        let old = self.read_raw(num).ok_or_else(illegal)?;
+        let (write, value) = match op {
+            CsrOp::Rw | CsrOp::Rwi => (true, operand),
+            CsrOp::Rs | CsrOp::Rsi => (operand != 0, old | operand),
+            CsrOp::Rc | CsrOp::Rci => (operand != 0, old & !operand),
+        };
+        if write {
+            self.write_raw(num, value).map_err(|()| illegal())?;
+        }
+        Ok(old)
+    }
+
+    /// Whether `mstatus.MIE` is set (interrupts globally enabled).
+    pub fn interrupts_enabled(&self) -> bool {
+        self.mstatus & mstatus::MIE != 0
+    }
+
+    /// Records trap state on entry: stacks MIE into MPIE, clears MIE,
+    /// sets MPP to M, and fills `mepc`/`mcause`/`mtval`. Returns the
+    /// handler PC (honouring vectored mode for interrupts).
+    pub fn trap_entry(&mut self, trap: Trap, pc: u64) -> u64 {
+        let mie = self.mstatus & mstatus::MIE != 0;
+        self.mstatus &= !(mstatus::MIE | mstatus::MPIE);
+        if mie {
+            self.mstatus |= mstatus::MPIE;
+        }
+        self.mstatus |= mstatus::MPP_M;
+        self.mepc = pc & !0b11;
+        self.mcause = trap.mcause();
+        self.mtval = trap.mtval();
+        let base = self.mtvec & !0b11;
+        if self.mtvec & 0b11 == 1 && trap.is_interrupt() {
+            base + 4 * (trap.mcause() & !(1 << 63))
+        } else {
+            base
+        }
+    }
+
+    /// Executes `mret`: restores MIE from MPIE and returns the resume
+    /// PC (`mepc`).
+    pub fn trap_return(&mut self) -> u64 {
+        let mpie = self.mstatus & mstatus::MPIE != 0;
+        self.mstatus &= !mstatus::MIE;
+        if mpie {
+            self.mstatus |= mstatus::MIE;
+        }
+        self.mstatus |= mstatus::MPIE;
+        self.mepc
+    }
+
+    /// The highest-priority enabled pending interrupt, if interrupts
+    /// are globally enabled (timer before software, matching the
+    /// privileged spec's MTI > MSI ordering within M-mode).
+    pub fn pending_interrupt(&self) -> Option<Trap> {
+        if !self.interrupts_enabled() {
+            return None;
+        }
+        let active = self.mie & self.mip;
+        if active & ise_types::trap::mip::MTIP != 0 {
+            Some(Trap::MachineTimerInterrupt)
+        } else if active & ise_types::trap::mip::MSIP != 0 {
+            Some(Trap::MachineSoftwareInterrupt)
+        } else {
+            None
+        }
+    }
+}
+
+impl Persist for CsrFile {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.hartid);
+        w.u64(self.mstatus);
+        w.u64(self.mie);
+        w.u64(self.mtvec);
+        w.u64(self.mscratch);
+        w.u64(self.mepc);
+        w.u64(self.mcause);
+        w.u64(self.mtval);
+        w.u64(self.mip);
+        w.u64(self.instret);
+    }
+    fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+        Ok(CsrFile {
+            hartid: r.u64()?,
+            mstatus: r.u64()?,
+            mie: r.u64()?,
+            mtvec: r.u64()?,
+            mscratch: r.u64()?,
+            mepc: r.u64()?,
+            mcause: r.u64()?,
+            mtval: r.u64()?,
+            mip: r.u64()?,
+            instret: r.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_types::trap::mip;
+
+    #[test]
+    fn csrrw_swaps_and_reads_old() {
+        let mut f = CsrFile::new(0);
+        let old = f.execute(CsrOp::Rw, csr::MSCRATCH, 0xabcd, 0).unwrap();
+        assert_eq!(old, 0);
+        assert_eq!(f.execute(CsrOp::Rs, csr::MSCRATCH, 0, 0).unwrap(), 0xabcd);
+    }
+
+    #[test]
+    fn set_and_clear_are_bitwise() {
+        let mut f = CsrFile::new(0);
+        f.execute(CsrOp::Rs, csr::MIE, mip::MSIP | mip::MTIP, 0)
+            .unwrap();
+        assert_eq!(f.mie, mip::MSIP | mip::MTIP);
+        f.execute(CsrOp::Rc, csr::MIE, mip::MSIP, 0).unwrap();
+        assert_eq!(f.mie, mip::MTIP);
+    }
+
+    #[test]
+    fn readonly_csrs_reject_writes_but_allow_passive_reads() {
+        let mut f = CsrFile::new(7);
+        assert_eq!(f.execute(CsrOp::Rs, csr::MHARTID, 0, 0).unwrap(), 7);
+        assert!(f.execute(CsrOp::Rw, csr::MHARTID, 1, 0x1234).is_err());
+        assert!(f.execute(CsrOp::Rs, csr::MISA, 1, 0).is_err());
+    }
+
+    #[test]
+    fn unimplemented_csr_is_illegal() {
+        let mut f = CsrFile::new(0);
+        match f.execute(CsrOp::Rs, 0x7c0, 0, 0xbeef) {
+            Err(Trap::IllegalInstruction(w)) => assert_eq!(w, 0xbeef),
+            other => panic!("expected illegal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trap_entry_stacks_mie_and_mret_restores() {
+        let mut f = CsrFile::new(0);
+        f.mstatus = mstatus::MIE;
+        f.mtvec = 0x800;
+        let pc = f.trap_entry(Trap::IllegalInstruction(0x0), 0x104);
+        assert_eq!(pc, 0x800);
+        assert!(!f.interrupts_enabled());
+        assert_ne!(f.mstatus & mstatus::MPIE, 0);
+        assert_eq!(f.mepc, 0x104);
+        assert_eq!(f.mcause, 2);
+        let resume = f.trap_return();
+        assert_eq!(resume, 0x104);
+        assert!(f.interrupts_enabled());
+    }
+
+    #[test]
+    fn vectored_mode_offsets_interrupts_only() {
+        let mut f = CsrFile::new(0);
+        f.mtvec = 0x1000 | 1;
+        assert_eq!(
+            f.trap_entry(Trap::MachineTimerInterrupt, 0x0),
+            0x1000 + 4 * 7
+        );
+        assert_eq!(f.trap_entry(Trap::IllegalInstruction(0), 0x0), 0x1000);
+    }
+
+    #[test]
+    fn interrupt_priority_is_timer_over_software() {
+        let mut f = CsrFile::new(0);
+        f.mstatus = mstatus::MIE;
+        f.mie = mip::MSIP | mip::MTIP;
+        f.mip = mip::MSIP | mip::MTIP;
+        assert_eq!(f.pending_interrupt(), Some(Trap::MachineTimerInterrupt));
+        f.mip = mip::MSIP;
+        assert_eq!(f.pending_interrupt(), Some(Trap::MachineSoftwareInterrupt));
+        f.mstatus = 0;
+        assert_eq!(f.pending_interrupt(), None);
+    }
+}

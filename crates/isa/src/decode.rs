@@ -1,0 +1,1266 @@
+//! RV64I (+ Zifencei, + the `amoadd` A-subset ops the trace ISA models)
+//! instruction decoder and exact re-encoder.
+//!
+//! The decoder is *canonical*: for every 32-bit word, either
+//! [`decode`] returns a [`Decoded`] instruction whose [`encode`] is
+//! bit-identical to the original word, or it returns
+//! [`Trap::IllegalInstruction`]. There is no silent aliasing — reserved
+//! fields (e.g. the upper bits of a shift amount, the funct12 of a
+//! `SYSTEM` instruction) are checked, not ignored. The decoder fuzz leg
+//! in this crate's tests holds that contract over random words.
+
+use ise_types::trap::Trap;
+use std::fmt;
+
+/// Conditional-branch comparison (the `funct3` of a `BRANCH` opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchOp {
+    /// `beq` — branch if equal.
+    Beq,
+    /// `bne` — branch if not equal.
+    Bne,
+    /// `blt` — branch if less than (signed).
+    Blt,
+    /// `bge` — branch if greater or equal (signed).
+    Bge,
+    /// `bltu` — branch if less than (unsigned).
+    Bltu,
+    /// `bgeu` — branch if greater or equal (unsigned).
+    Bgeu,
+}
+
+impl BranchOp {
+    fn funct3(self) -> u32 {
+        match self {
+            BranchOp::Beq => 0b000,
+            BranchOp::Bne => 0b001,
+            BranchOp::Blt => 0b100,
+            BranchOp::Bge => 0b101,
+            BranchOp::Bltu => 0b110,
+            BranchOp::Bgeu => 0b111,
+        }
+    }
+
+    /// Mnemonic without operands.
+    pub fn name(self) -> &'static str {
+        match self {
+            BranchOp::Beq => "beq",
+            BranchOp::Bne => "bne",
+            BranchOp::Blt => "blt",
+            BranchOp::Bge => "bge",
+            BranchOp::Bltu => "bltu",
+            BranchOp::Bgeu => "bgeu",
+        }
+    }
+}
+
+/// Load width/signedness (the `funct3` of a `LOAD` opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOp {
+    /// `lb` — load byte, sign-extend.
+    Lb,
+    /// `lh` — load half, sign-extend.
+    Lh,
+    /// `lw` — load word, sign-extend.
+    Lw,
+    /// `ld` — load double.
+    Ld,
+    /// `lbu` — load byte, zero-extend.
+    Lbu,
+    /// `lhu` — load half, zero-extend.
+    Lhu,
+    /// `lwu` — load word, zero-extend.
+    Lwu,
+}
+
+impl LoadOp {
+    fn funct3(self) -> u32 {
+        match self {
+            LoadOp::Lb => 0b000,
+            LoadOp::Lh => 0b001,
+            LoadOp::Lw => 0b010,
+            LoadOp::Ld => 0b011,
+            LoadOp::Lbu => 0b100,
+            LoadOp::Lhu => 0b101,
+            LoadOp::Lwu => 0b110,
+        }
+    }
+
+    /// Mnemonic without operands.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadOp::Lb => "lb",
+            LoadOp::Lh => "lh",
+            LoadOp::Lw => "lw",
+            LoadOp::Ld => "ld",
+            LoadOp::Lbu => "lbu",
+            LoadOp::Lhu => "lhu",
+            LoadOp::Lwu => "lwu",
+        }
+    }
+}
+
+/// Store width (the `funct3` of a `STORE` opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// `sb` — store byte.
+    Sb,
+    /// `sh` — store half.
+    Sh,
+    /// `sw` — store word.
+    Sw,
+    /// `sd` — store double.
+    Sd,
+}
+
+impl StoreOp {
+    fn funct3(self) -> u32 {
+        match self {
+            StoreOp::Sb => 0b000,
+            StoreOp::Sh => 0b001,
+            StoreOp::Sw => 0b010,
+            StoreOp::Sd => 0b011,
+        }
+    }
+
+    /// Mnemonic without operands.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreOp::Sb => "sb",
+            StoreOp::Sh => "sh",
+            StoreOp::Sw => "sw",
+            StoreOp::Sd => "sd",
+        }
+    }
+}
+
+/// Register-immediate ALU operation (`OP-IMM`, excluding shifts which
+/// carry a constrained shamt field and live in [`Decoded::ShiftImm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluImmOp {
+    /// `addi`.
+    Addi,
+    /// `slti` — set if less than, signed.
+    Slti,
+    /// `sltiu` — set if less than, unsigned.
+    Sltiu,
+    /// `xori`.
+    Xori,
+    /// `ori`.
+    Ori,
+    /// `andi`.
+    Andi,
+}
+
+impl AluImmOp {
+    fn funct3(self) -> u32 {
+        match self {
+            AluImmOp::Addi => 0b000,
+            AluImmOp::Slti => 0b010,
+            AluImmOp::Sltiu => 0b011,
+            AluImmOp::Xori => 0b100,
+            AluImmOp::Ori => 0b110,
+            AluImmOp::Andi => 0b111,
+        }
+    }
+
+    /// Mnemonic without operands.
+    pub fn name(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Andi => "andi",
+        }
+    }
+}
+
+/// Immediate shift flavour, shared by the 64-bit (`OP-IMM`) and 32-bit
+/// (`OP-IMM-32`) encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftOp {
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+}
+
+impl ShiftOp {
+    fn funct3(self) -> u32 {
+        match self {
+            ShiftOp::Sll => 0b001,
+            ShiftOp::Srl | ShiftOp::Sra => 0b101,
+        }
+    }
+
+    fn hi_bit(self) -> u32 {
+        // Bit 30 distinguishes SRA from SRL (and is reserved-zero for SLL).
+        match self {
+            ShiftOp::Sll | ShiftOp::Srl => 0,
+            ShiftOp::Sra => 1,
+        }
+    }
+}
+
+/// Register-register ALU operation (`OP`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// `add`.
+    Add,
+    /// `sub`.
+    Sub,
+    /// `sll`.
+    Sll,
+    /// `slt`.
+    Slt,
+    /// `sltu`.
+    Sltu,
+    /// `xor`.
+    Xor,
+    /// `srl`.
+    Srl,
+    /// `sra`.
+    Sra,
+    /// `or`.
+    Or,
+    /// `and`.
+    And,
+}
+
+impl AluOp {
+    fn funct3(self) -> u32 {
+        match self {
+            AluOp::Add | AluOp::Sub => 0b000,
+            AluOp::Sll => 0b001,
+            AluOp::Slt => 0b010,
+            AluOp::Sltu => 0b011,
+            AluOp::Xor => 0b100,
+            AluOp::Srl | AluOp::Sra => 0b101,
+            AluOp::Or => 0b110,
+            AluOp::And => 0b111,
+        }
+    }
+
+    fn funct7(self) -> u32 {
+        match self {
+            AluOp::Sub | AluOp::Sra => 0b0100000,
+            _ => 0,
+        }
+    }
+
+    /// Mnemonic without operands.
+    pub fn name(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+        }
+    }
+}
+
+/// Register-register 32-bit ALU operation (`OP-32`: the `*w` forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alu32Op {
+    /// `addw`.
+    Addw,
+    /// `subw`.
+    Subw,
+    /// `sllw`.
+    Sllw,
+    /// `srlw`.
+    Srlw,
+    /// `sraw`.
+    Sraw,
+}
+
+impl Alu32Op {
+    fn funct3(self) -> u32 {
+        match self {
+            Alu32Op::Addw | Alu32Op::Subw => 0b000,
+            Alu32Op::Sllw => 0b001,
+            Alu32Op::Srlw | Alu32Op::Sraw => 0b101,
+        }
+    }
+
+    fn funct7(self) -> u32 {
+        match self {
+            Alu32Op::Subw | Alu32Op::Sraw => 0b0100000,
+            _ => 0,
+        }
+    }
+
+    /// Mnemonic without operands.
+    pub fn name(self) -> &'static str {
+        match self {
+            Alu32Op::Addw => "addw",
+            Alu32Op::Subw => "subw",
+            Alu32Op::Sllw => "sllw",
+            Alu32Op::Srlw => "srlw",
+            Alu32Op::Sraw => "sraw",
+        }
+    }
+}
+
+/// CSR access operation (`SYSTEM` with `funct3 != 0`). The `I` forms
+/// take a 5-bit zero-extended immediate in the `rs1` slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrOp {
+    /// `csrrw` — atomic read/write.
+    Rw,
+    /// `csrrs` — atomic read and set bits.
+    Rs,
+    /// `csrrc` — atomic read and clear bits.
+    Rc,
+    /// `csrrwi`.
+    Rwi,
+    /// `csrrsi`.
+    Rsi,
+    /// `csrrci`.
+    Rci,
+}
+
+impl CsrOp {
+    fn funct3(self) -> u32 {
+        match self {
+            CsrOp::Rw => 0b001,
+            CsrOp::Rs => 0b010,
+            CsrOp::Rc => 0b011,
+            CsrOp::Rwi => 0b101,
+            CsrOp::Rsi => 0b110,
+            CsrOp::Rci => 0b111,
+        }
+    }
+
+    /// Whether the `rs1` slot holds a zero-extended immediate rather
+    /// than a register number.
+    pub fn is_immediate(self) -> bool {
+        matches!(self, CsrOp::Rwi | CsrOp::Rsi | CsrOp::Rci)
+    }
+
+    /// Mnemonic without operands.
+    pub fn name(self) -> &'static str {
+        match self {
+            CsrOp::Rw => "csrrw",
+            CsrOp::Rs => "csrrs",
+            CsrOp::Rc => "csrrc",
+            CsrOp::Rwi => "csrrwi",
+            CsrOp::Rsi => "csrrsi",
+            CsrOp::Rci => "csrrci",
+        }
+    }
+}
+
+/// The AMO subset the trace ISA's [`ise_types::instr::InstrKind::Atomic`]
+/// models: fetch-and-add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmoOp {
+    /// `amoadd.w` — 32-bit fetch-and-add.
+    AddW,
+    /// `amoadd.d` — 64-bit fetch-and-add.
+    AddD,
+}
+
+impl AmoOp {
+    fn funct3(self) -> u32 {
+        match self {
+            AmoOp::AddW => 0b010,
+            AmoOp::AddD => 0b011,
+        }
+    }
+
+    /// Mnemonic without operands.
+    pub fn name(self) -> &'static str {
+        match self {
+            AmoOp::AddW => "amoadd.w",
+            AmoOp::AddD => "amoadd.d",
+        }
+    }
+}
+
+/// One decoded RV64 instruction.
+///
+/// Every variant captures *all* non-fixed bits of its encoding, so
+/// [`encode`] ∘ [`decode`] is the identity on legal words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// `lui rd, imm` — `imm` is the sign-extended, pre-shifted value
+    /// (`imm[31:12] << 12`), i.e. what lands in `rd`.
+    Lui {
+        /// Destination register.
+        rd: u8,
+        /// Sign-extended upper immediate (multiple of 4096).
+        imm: i64,
+    },
+    /// `auipc rd, imm` — same immediate convention as `lui`.
+    Auipc {
+        /// Destination register.
+        rd: u8,
+        /// Sign-extended upper immediate (multiple of 4096).
+        imm: i64,
+    },
+    /// `jal rd, offset` — `offset` is the byte displacement (even,
+    /// ±1 MiB).
+    Jal {
+        /// Link register.
+        rd: u8,
+        /// Signed byte offset from this instruction.
+        offset: i64,
+    },
+    /// `jalr rd, rs1, offset`.
+    Jalr {
+        /// Link register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed 12-bit byte offset.
+        offset: i64,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Comparison.
+        op: BranchOp,
+        /// Left operand register.
+        rs1: u8,
+        /// Right operand register.
+        rs2: u8,
+        /// Signed byte offset from this instruction (even, ±4 KiB).
+        offset: i64,
+    },
+    /// Memory load.
+    Load {
+        /// Width/signedness.
+        op: LoadOp,
+        /// Destination register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed 12-bit byte offset.
+        offset: i64,
+    },
+    /// Memory store.
+    Store {
+        /// Width.
+        op: StoreOp,
+        /// Base register.
+        rs1: u8,
+        /// Source register.
+        rs2: u8,
+        /// Signed 12-bit byte offset.
+        offset: i64,
+    },
+    /// Register-immediate ALU op (non-shift).
+    AluImm {
+        /// Operation.
+        op: AluImmOp,
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended 12-bit immediate.
+        imm: i64,
+    },
+    /// Immediate shift: `slli`/`srli`/`srai` (64-bit, 6-bit shamt) or
+    /// the `*w` forms (32-bit, 5-bit shamt).
+    ShiftImm {
+        /// Shift flavour.
+        op: ShiftOp,
+        /// `true` for the `OP-IMM-32` (`slliw`/`srliw`/`sraiw`) forms.
+        word: bool,
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Shift amount (0..64, or 0..32 when `word`).
+        shamt: u8,
+    },
+    /// Register-register ALU op.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// Left source register.
+        rs1: u8,
+        /// Right source register.
+        rs2: u8,
+    },
+    /// `addiw rd, rs1, imm` (the only non-shift `OP-IMM-32` op).
+    Addiw {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended 12-bit immediate.
+        imm: i64,
+    },
+    /// Register-register 32-bit ALU op.
+    Alu32 {
+        /// Operation.
+        op: Alu32Op,
+        /// Destination register.
+        rd: u8,
+        /// Left source register.
+        rs1: u8,
+        /// Right source register.
+        rs2: u8,
+    },
+    /// `fence` — all hint fields preserved for exact re-encoding.
+    Fence {
+        /// `fm` field (bits 31:28); `0b1000` is `fence.tso`.
+        fm: u8,
+        /// Predecessor set (PI/PO/PR/PW).
+        pred: u8,
+        /// Successor set (SI/SO/SR/SW).
+        succ: u8,
+        /// `rd` hint slot (reserved, but architecturally legal nonzero).
+        rd: u8,
+        /// `rs1` hint slot.
+        rs1: u8,
+    },
+    /// `fence.i` (Zifencei) — hint slots preserved.
+    FenceI {
+        /// `rd` hint slot.
+        rd: u8,
+        /// `rs1` hint slot.
+        rs1: u8,
+        /// Immediate hint slot (bits 31:20, sign-extended).
+        imm: i64,
+    },
+    /// `ecall`.
+    Ecall,
+    /// `ebreak`.
+    Ebreak,
+    /// `mret`.
+    Mret,
+    /// `wfi`.
+    Wfi,
+    /// CSR access.
+    Csr {
+        /// Operation.
+        op: CsrOp,
+        /// Destination register.
+        rd: u8,
+        /// CSR number (12 bits).
+        csr: u16,
+        /// Source register, or the 5-bit zero-extended immediate for
+        /// the `*i` forms.
+        rs1: u8,
+    },
+    /// AMO fetch-and-add.
+    Amo {
+        /// Width.
+        op: AmoOp,
+        /// Destination register (receives the old value).
+        rd: u8,
+        /// Address register.
+        rs1: u8,
+        /// Addend register.
+        rs2: u8,
+        /// Acquire ordering bit.
+        aq: bool,
+        /// Release ordering bit.
+        rl: bool,
+    },
+}
+
+const OPC_LUI: u32 = 0b0110111;
+const OPC_AUIPC: u32 = 0b0010111;
+const OPC_JAL: u32 = 0b1101111;
+const OPC_JALR: u32 = 0b1100111;
+const OPC_BRANCH: u32 = 0b1100011;
+const OPC_LOAD: u32 = 0b0000011;
+const OPC_STORE: u32 = 0b0100011;
+const OPC_OP_IMM: u32 = 0b0010011;
+const OPC_OP: u32 = 0b0110011;
+const OPC_OP_IMM_32: u32 = 0b0011011;
+const OPC_OP_32: u32 = 0b0111011;
+const OPC_MISC_MEM: u32 = 0b0001111;
+const OPC_SYSTEM: u32 = 0b1110011;
+const OPC_AMO: u32 = 0b0101111;
+
+fn rd(word: u32) -> u8 {
+    ((word >> 7) & 0x1f) as u8
+}
+fn rs1(word: u32) -> u8 {
+    ((word >> 15) & 0x1f) as u8
+}
+fn rs2(word: u32) -> u8 {
+    ((word >> 20) & 0x1f) as u8
+}
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+fn imm_i(word: u32) -> i64 {
+    ((word as i32) >> 20) as i64
+}
+
+fn imm_s(word: u32) -> i64 {
+    let hi = ((word as i32) >> 25) as i64; // sign-extended imm[11:5]
+    let lo = ((word >> 7) & 0x1f) as i64;
+    (hi << 5) | lo
+}
+
+fn imm_b(word: u32) -> i64 {
+    let sign = ((word as i32) >> 31) as i64; // imm[12]
+    let b11 = ((word >> 7) & 1) as i64;
+    let b10_5 = ((word >> 25) & 0x3f) as i64;
+    let b4_1 = ((word >> 8) & 0xf) as i64;
+    (sign << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1)
+}
+
+fn imm_j(word: u32) -> i64 {
+    let sign = ((word as i32) >> 31) as i64; // imm[20]
+    let b19_12 = ((word >> 12) & 0xff) as i64;
+    let b11 = ((word >> 20) & 1) as i64;
+    let b10_1 = ((word >> 21) & 0x3ff) as i64;
+    (sign << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+}
+
+/// Decodes one 32-bit instruction word, or reports it illegal.
+///
+/// The returned trap is always [`Trap::IllegalInstruction`] carrying
+/// the offending word.
+pub fn decode(word: u32) -> Result<Decoded, Trap> {
+    let illegal = || Trap::IllegalInstruction(word as u64);
+    match word & 0x7f {
+        OPC_LUI => Ok(Decoded::Lui {
+            rd: rd(word),
+            imm: ((word & 0xffff_f000) as i32) as i64,
+        }),
+        OPC_AUIPC => Ok(Decoded::Auipc {
+            rd: rd(word),
+            imm: ((word & 0xffff_f000) as i32) as i64,
+        }),
+        OPC_JAL => Ok(Decoded::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        }),
+        OPC_JALR => {
+            if funct3(word) != 0 {
+                return Err(illegal());
+            }
+            Ok(Decoded::Jalr {
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            })
+        }
+        OPC_BRANCH => {
+            let op = match funct3(word) {
+                0b000 => BranchOp::Beq,
+                0b001 => BranchOp::Bne,
+                0b100 => BranchOp::Blt,
+                0b101 => BranchOp::Bge,
+                0b110 => BranchOp::Bltu,
+                0b111 => BranchOp::Bgeu,
+                _ => return Err(illegal()),
+            };
+            Ok(Decoded::Branch {
+                op,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            })
+        }
+        OPC_LOAD => {
+            let op = match funct3(word) {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b011 => LoadOp::Ld,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                0b110 => LoadOp::Lwu,
+                _ => return Err(illegal()),
+            };
+            Ok(Decoded::Load {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            })
+        }
+        OPC_STORE => {
+            let op = match funct3(word) {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                0b011 => StoreOp::Sd,
+                _ => return Err(illegal()),
+            };
+            Ok(Decoded::Store {
+                op,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_s(word),
+            })
+        }
+        OPC_OP_IMM => match funct3(word) {
+            0b001 => {
+                // RV64 slli: shamt is 6 bits, imm[11:6] must be zero.
+                if word >> 26 != 0 {
+                    return Err(illegal());
+                }
+                Ok(Decoded::ShiftImm {
+                    op: ShiftOp::Sll,
+                    word: false,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    shamt: ((word >> 20) & 0x3f) as u8,
+                })
+            }
+            0b101 => {
+                let op = match word >> 26 {
+                    0b000000 => ShiftOp::Srl,
+                    0b010000 => ShiftOp::Sra,
+                    _ => return Err(illegal()),
+                };
+                Ok(Decoded::ShiftImm {
+                    op,
+                    word: false,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    shamt: ((word >> 20) & 0x3f) as u8,
+                })
+            }
+            f3 => {
+                let op = match f3 {
+                    0b000 => AluImmOp::Addi,
+                    0b010 => AluImmOp::Slti,
+                    0b011 => AluImmOp::Sltiu,
+                    0b100 => AluImmOp::Xori,
+                    0b110 => AluImmOp::Ori,
+                    0b111 => AluImmOp::Andi,
+                    _ => unreachable!(),
+                };
+                Ok(Decoded::AluImm {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    imm: imm_i(word),
+                })
+            }
+        },
+        OPC_OP => {
+            let op = match (funct7(word), funct3(word)) {
+                (0b0000000, 0b000) => AluOp::Add,
+                (0b0100000, 0b000) => AluOp::Sub,
+                (0b0000000, 0b001) => AluOp::Sll,
+                (0b0000000, 0b010) => AluOp::Slt,
+                (0b0000000, 0b011) => AluOp::Sltu,
+                (0b0000000, 0b100) => AluOp::Xor,
+                (0b0000000, 0b101) => AluOp::Srl,
+                (0b0100000, 0b101) => AluOp::Sra,
+                (0b0000000, 0b110) => AluOp::Or,
+                (0b0000000, 0b111) => AluOp::And,
+                _ => return Err(illegal()),
+            };
+            Ok(Decoded::Alu {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            })
+        }
+        OPC_OP_IMM_32 => match funct3(word) {
+            0b000 => Ok(Decoded::Addiw {
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: imm_i(word),
+            }),
+            0b001 => {
+                if funct7(word) != 0 {
+                    return Err(illegal());
+                }
+                Ok(Decoded::ShiftImm {
+                    op: ShiftOp::Sll,
+                    word: true,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    shamt: rs2(word),
+                })
+            }
+            0b101 => {
+                let op = match funct7(word) {
+                    0b0000000 => ShiftOp::Srl,
+                    0b0100000 => ShiftOp::Sra,
+                    _ => return Err(illegal()),
+                };
+                Ok(Decoded::ShiftImm {
+                    op,
+                    word: true,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    shamt: rs2(word),
+                })
+            }
+            _ => Err(illegal()),
+        },
+        OPC_OP_32 => {
+            let op = match (funct7(word), funct3(word)) {
+                (0b0000000, 0b000) => Alu32Op::Addw,
+                (0b0100000, 0b000) => Alu32Op::Subw,
+                (0b0000000, 0b001) => Alu32Op::Sllw,
+                (0b0000000, 0b101) => Alu32Op::Srlw,
+                (0b0100000, 0b101) => Alu32Op::Sraw,
+                _ => return Err(illegal()),
+            };
+            Ok(Decoded::Alu32 {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            })
+        }
+        OPC_MISC_MEM => match funct3(word) {
+            0b000 => Ok(Decoded::Fence {
+                fm: ((word >> 28) & 0xf) as u8,
+                pred: ((word >> 24) & 0xf) as u8,
+                succ: ((word >> 20) & 0xf) as u8,
+                rd: rd(word),
+                rs1: rs1(word),
+            }),
+            0b001 => Ok(Decoded::FenceI {
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: imm_i(word),
+            }),
+            _ => Err(illegal()),
+        },
+        OPC_SYSTEM => match funct3(word) {
+            0b000 => {
+                // PRIV: rd and rs1 must be zero; funct12 selects.
+                if rd(word) != 0 || rs1(word) != 0 {
+                    return Err(illegal());
+                }
+                match word >> 20 {
+                    0x000 => Ok(Decoded::Ecall),
+                    0x001 => Ok(Decoded::Ebreak),
+                    0x302 => Ok(Decoded::Mret),
+                    0x105 => Ok(Decoded::Wfi),
+                    _ => Err(illegal()),
+                }
+            }
+            f3 => {
+                let op = match f3 {
+                    0b001 => CsrOp::Rw,
+                    0b010 => CsrOp::Rs,
+                    0b011 => CsrOp::Rc,
+                    0b101 => CsrOp::Rwi,
+                    0b110 => CsrOp::Rsi,
+                    0b111 => CsrOp::Rci,
+                    _ => return Err(illegal()),
+                };
+                Ok(Decoded::Csr {
+                    op,
+                    rd: rd(word),
+                    csr: (word >> 20) as u16,
+                    rs1: rs1(word),
+                })
+            }
+        },
+        OPC_AMO => {
+            // funct5 (bits 31:27) selects the AMO; only amoadd (00000)
+            // is modeled, in word and double widths.
+            if word >> 27 != 0b00000 {
+                return Err(illegal());
+            }
+            let op = match funct3(word) {
+                0b010 => AmoOp::AddW,
+                0b011 => AmoOp::AddD,
+                _ => return Err(illegal()),
+            };
+            Ok(Decoded::Amo {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+                aq: (word >> 26) & 1 != 0,
+                rl: (word >> 25) & 1 != 0,
+            })
+        }
+        _ => Err(illegal()),
+    }
+}
+
+fn enc_r(opcode: u32, f3: u32, f7: u32, rd: u8, rs1: u8, rs2: u8) -> u32 {
+    opcode
+        | ((rd as u32 & 0x1f) << 7)
+        | (f3 << 12)
+        | ((rs1 as u32 & 0x1f) << 15)
+        | ((rs2 as u32 & 0x1f) << 20)
+        | (f7 << 25)
+}
+
+fn enc_i(opcode: u32, f3: u32, rd: u8, rs1: u8, imm: i64) -> u32 {
+    opcode
+        | ((rd as u32 & 0x1f) << 7)
+        | (f3 << 12)
+        | ((rs1 as u32 & 0x1f) << 15)
+        | (((imm as u32) & 0xfff) << 20)
+}
+
+fn enc_s(opcode: u32, f3: u32, rs1: u8, rs2: u8, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1f) << 7)
+        | (f3 << 12)
+        | ((rs1 as u32 & 0x1f) << 15)
+        | ((rs2 as u32 & 0x1f) << 20)
+        | (((imm >> 5) & 0x7f) << 25)
+}
+
+fn enc_b(opcode: u32, f3: u32, rs1: u8, rs2: u8, offset: i64) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xf) << 8)
+        | (f3 << 12)
+        | ((rs1 as u32 & 0x1f) << 15)
+        | ((rs2 as u32 & 0x1f) << 20)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+fn enc_j(opcode: u32, rd: u8, offset: i64) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | ((rd as u32 & 0x1f) << 7)
+        | (((imm >> 12) & 0xff) << 12)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+/// Re-encodes a decoded instruction to its 32-bit word.
+///
+/// For any `d` obtained from [`decode`], `encode(&d)` reproduces the
+/// original word exactly; the fuzz leg enforces this.
+pub fn encode(d: &Decoded) -> u32 {
+    match *d {
+        Decoded::Lui { rd: r, imm } => {
+            OPC_LUI | ((r as u32 & 0x1f) << 7) | (imm as u32 & 0xffff_f000)
+        }
+        Decoded::Auipc { rd: r, imm } => {
+            OPC_AUIPC | ((r as u32 & 0x1f) << 7) | (imm as u32 & 0xffff_f000)
+        }
+        Decoded::Jal { rd: r, offset } => enc_j(OPC_JAL, r, offset),
+        Decoded::Jalr {
+            rd: r,
+            rs1: a,
+            offset,
+        } => enc_i(OPC_JALR, 0, r, a, offset),
+        Decoded::Branch {
+            op,
+            rs1: a,
+            rs2: b,
+            offset,
+        } => enc_b(OPC_BRANCH, op.funct3(), a, b, offset),
+        Decoded::Load {
+            op,
+            rd: r,
+            rs1: a,
+            offset,
+        } => enc_i(OPC_LOAD, op.funct3(), r, a, offset),
+        Decoded::Store {
+            op,
+            rs1: a,
+            rs2: b,
+            offset,
+        } => enc_s(OPC_STORE, op.funct3(), a, b, offset),
+        Decoded::AluImm {
+            op,
+            rd: r,
+            rs1: a,
+            imm,
+        } => enc_i(OPC_OP_IMM, op.funct3(), r, a, imm),
+        Decoded::ShiftImm {
+            op,
+            word,
+            rd: r,
+            rs1: a,
+            shamt,
+        } => {
+            if word {
+                enc_r(
+                    OPC_OP_IMM_32,
+                    op.funct3(),
+                    op.hi_bit() << 5,
+                    r,
+                    a,
+                    shamt & 0x1f,
+                )
+            } else {
+                let imm = ((op.hi_bit() as i64) << 10) | (shamt & 0x3f) as i64;
+                enc_i(OPC_OP_IMM, op.funct3(), r, a, imm)
+            }
+        }
+        Decoded::Alu {
+            op,
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => enc_r(OPC_OP, op.funct3(), op.funct7(), r, a, b),
+        Decoded::Addiw { rd: r, rs1: a, imm } => enc_i(OPC_OP_IMM_32, 0, r, a, imm),
+        Decoded::Alu32 {
+            op,
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => enc_r(OPC_OP_32, op.funct3(), op.funct7(), r, a, b),
+        Decoded::Fence {
+            fm,
+            pred,
+            succ,
+            rd: r,
+            rs1: a,
+        } => {
+            let imm =
+                (((fm as i64) & 0xf) << 8) | (((pred as i64) & 0xf) << 4) | ((succ as i64) & 0xf);
+            enc_i(OPC_MISC_MEM, 0, r, a, imm)
+        }
+        Decoded::FenceI { rd: r, rs1: a, imm } => enc_i(OPC_MISC_MEM, 0b001, r, a, imm),
+        Decoded::Ecall => enc_i(OPC_SYSTEM, 0, 0, 0, 0x000),
+        Decoded::Ebreak => enc_i(OPC_SYSTEM, 0, 0, 0, 0x001),
+        Decoded::Mret => enc_i(OPC_SYSTEM, 0, 0, 0, 0x302),
+        Decoded::Wfi => enc_i(OPC_SYSTEM, 0, 0, 0, 0x105),
+        Decoded::Csr {
+            op,
+            rd: r,
+            csr,
+            rs1: a,
+        } => enc_i(OPC_SYSTEM, op.funct3(), r, a, (csr & 0xfff) as i64),
+        Decoded::Amo {
+            op,
+            rd: r,
+            rs1: a,
+            rs2: b,
+            aq,
+            rl,
+        } => {
+            let f7 = ((aq as u32) << 1) | (rl as u32);
+            enc_r(OPC_AMO, op.funct3(), f7, r, a, b)
+        }
+    }
+}
+
+impl fmt::Display for Decoded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let x = |r: u8| format!("x{r}");
+        match *self {
+            Decoded::Lui { rd, imm } => write!(f, "lui {}, {:#x}", x(rd), (imm as u64) >> 12),
+            Decoded::Auipc { rd, imm } => write!(f, "auipc {}, {:#x}", x(rd), (imm as u64) >> 12),
+            Decoded::Jal { rd, offset } => write!(f, "jal {}, {offset}", x(rd)),
+            Decoded::Jalr { rd, rs1, offset } => {
+                write!(f, "jalr {}, {offset}({})", x(rd), x(rs1))
+            }
+            Decoded::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                write!(f, "{} {}, {}, {offset}", op.name(), x(rs1), x(rs2))
+            }
+            Decoded::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                write!(f, "{} {}, {offset}({})", op.name(), x(rd), x(rs1))
+            }
+            Decoded::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                write!(f, "{} {}, {offset}({})", op.name(), x(rs2), x(rs1))
+            }
+            Decoded::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{} {}, {}, {imm}", op.name(), x(rd), x(rs1))
+            }
+            Decoded::ShiftImm {
+                op,
+                word,
+                rd,
+                rs1,
+                shamt,
+            } => {
+                let base = match op {
+                    ShiftOp::Sll => "slli",
+                    ShiftOp::Srl => "srli",
+                    ShiftOp::Sra => "srai",
+                };
+                let suffix = if word { "w" } else { "" };
+                write!(f, "{base}{suffix} {}, {}, {shamt}", x(rd), x(rs1))
+            }
+            Decoded::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {}, {}, {}", op.name(), x(rd), x(rs1), x(rs2))
+            }
+            Decoded::Addiw { rd, rs1, imm } => write!(f, "addiw {}, {}, {imm}", x(rd), x(rs1)),
+            Decoded::Alu32 { op, rd, rs1, rs2 } => {
+                write!(f, "{} {}, {}, {}", op.name(), x(rd), x(rs1), x(rs2))
+            }
+            Decoded::Fence { pred, succ, .. } => write!(f, "fence {pred:#x},{succ:#x}"),
+            Decoded::FenceI { .. } => write!(f, "fence.i"),
+            Decoded::Ecall => write!(f, "ecall"),
+            Decoded::Ebreak => write!(f, "ebreak"),
+            Decoded::Mret => write!(f, "mret"),
+            Decoded::Wfi => write!(f, "wfi"),
+            Decoded::Csr { op, rd, csr, rs1 } => {
+                if op.is_immediate() {
+                    write!(f, "{} {}, {csr:#x}, {rs1}", op.name(), x(rd))
+                } else {
+                    write!(f, "{} {}, {csr:#x}, {}", op.name(), x(rd), x(rs1))
+                }
+            }
+            Decoded::Amo {
+                op, rd, rs1, rs2, ..
+            } => {
+                write!(f, "{} {}, {}, ({})", op.name(), x(rd), x(rs2), x(rs1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(word: u32) -> Decoded {
+        let d = decode(word).unwrap_or_else(|t| panic!("{word:#010x} illegal: {t}"));
+        assert_eq!(encode(&d), word, "re-encode mismatch for {d}");
+        d
+    }
+
+    #[test]
+    fn canonical_instructions_roundtrip() {
+        // Hand-assembled words cross-checked against the RISC-V spec.
+        let words = [
+            0x0000_0513, // addi a0, x0, 0
+            0x7ff0_0593, // addi a1, x0, 2047
+            0x8000_0613, // addi a2, x0, -2048
+            0x0000_10b7, // lui ra, 0x1
+            0xfffff0b7,  // lui ra, 0xfffff
+            0x0000_0097, // auipc ra, 0x0
+            0x008000ef,  // jal ra, 8
+            0xff9ff06f,  // jal x0, -8
+            0x0000_8067, // jalr x0, 0(ra)
+            0x0020_8463, // beq ra, sp, 8
+            0xfe209ee3,  // bne ra, sp, -4
+            0x0000_b283, // ld t0, 0(ra)
+            0x0050_b423, // sd t0, 8(ra)
+            0x0000_8283, // lb t0, 0(ra)
+            0x0000_c283, // lbu t0, 0(ra)
+            0x0000_9283, // lh t0, 0(ra)
+            0x0000_a283, // lw t0, 0(ra)
+            0x0000_e283, // lwu t0, 0(ra)
+            0x0050_8423, // sb t0, 8(ra)
+            0x0050_9423, // sh t0, 8(ra)
+            0x0050_a423, // sw t0, 8(ra)
+            0x0020_82b3, // add t0, ra, sp
+            0x4020_82b3, // sub t0, ra, sp
+            0x0020_92b3, // sll t0, ra, sp
+            0x4020_d2b3, // sra t0, ra, sp
+            0x03f0_9093, // slli ra, ra, 63
+            0x43f0_d093, // srai ra, ra, 63
+            0x0010_809b, // addiw ra, ra, 1
+            0x0020_80bb, // addw ra, ra, sp
+            0x4020_80bb, // subw ra, ra, sp
+            0x01f0_909b, // slliw ra, ra, 31
+            0x41f0_d09b, // sraiw ra, ra, 31
+            0x0ff0_000f, // fence iorw, iorw
+            0x0330_000f, // fence rw, rw
+            0x0000_100f, // fence.i
+            0x0000_0073, // ecall
+            0x0010_0073, // ebreak
+            0x3020_0073, // mret
+            0x1050_0073, // wfi
+            0x3002_9073, // csrrw x0, mstatus, t0
+            0x3420_2573, // csrrs a0, mcause, x0
+            0x3044_5073, // csrrwi x0, mie, 8
+            0x0062_a32f, // amoadd.w t1, t1, (t0)
+            0x0062_b32f, // amoadd.d t1, t1, (t0)
+            0x0462_b32f, // amoadd.d.aq t1, t1, (t0)
+            0x0262_b32f, // amoadd.d.rl t1, t1, (t0)
+        ];
+        for w in words {
+            roundtrip(w);
+        }
+    }
+
+    #[test]
+    fn immediates_sign_extend() {
+        match roundtrip(0x8000_0613) {
+            Decoded::AluImm {
+                op: AluImmOp::Addi,
+                imm,
+                ..
+            } => assert_eq!(imm, -2048),
+            d => panic!("wrong decode: {d}"),
+        }
+        match roundtrip(0xfffff0b7) {
+            Decoded::Lui { imm, .. } => assert_eq!(imm, -4096),
+            d => panic!("wrong decode: {d}"),
+        }
+        match roundtrip(0xff9ff06f) {
+            Decoded::Jal { offset, .. } => assert_eq!(offset, -8),
+            d => panic!("wrong decode: {d}"),
+        }
+        match roundtrip(0xfe209ee3) {
+            Decoded::Branch {
+                op: BranchOp::Bne,
+                offset,
+                ..
+            } => assert_eq!(offset, -4),
+            d => panic!("wrong decode: {d}"),
+        }
+    }
+
+    #[test]
+    fn reserved_fields_are_illegal_not_aliased() {
+        // slli with imm[10] set (would be srai's distinguishing bit
+        // pattern under a sloppier decoder).
+        assert!(decode(0x4010_9093).is_err());
+        // srli with a stray funct7 bit.
+        assert!(decode(0x2010_d093).is_err());
+        // slliw with shamt bit 5 (funct7 LSB) set — reserved in RV64.
+        assert!(decode(0x0210_909b).is_err());
+        // jalr with funct3 != 0.
+        assert!(decode(0x0000_9067).is_err());
+        // PRIV with nonzero rd.
+        assert!(decode(0x0000_00f3).is_err());
+        // AMO other than amoadd (this is amoswap.w).
+        assert!(decode(0x0862_a32f).is_err());
+        // Branch funct3 = 010 (reserved).
+        assert!(decode(0x0020_a463).is_err());
+        // All-zero and all-one words.
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xffff_ffff).is_err());
+    }
+
+    #[test]
+    fn illegal_trap_carries_the_word() {
+        match decode(0xdead_beff) {
+            Err(Trap::IllegalInstruction(w)) => assert_eq!(w, 0xdead_beff),
+            other => panic!("expected illegal-instruction trap, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! One RV64 hart: 31 general registers + PC + CSR file, executing
+//! against a [`DeviceBus`] and lowering every retired instruction into
+//! the trace ISA the timing cores consume.
+//!
+//! # Lowering
+//!
+//! The timing pipeline executes value-resolved traces over an 8-byte-
+//! word functional memory, so the lowering keeps the timing model's
+//! view of memory exactly consistent with the byte-accurate frontend:
+//!
+//! * RAM loads lower to `Load` at the containing word address.
+//! * RAM stores lower to `Store` of the *merged containing word* —
+//!   a guest `sb` becomes a word store whose value already has the
+//!   other seven bytes folded in, so replaying the trace reproduces
+//!   the frontend's memory byte-for-byte.
+//! * AMOs lower to `Atomic` whose addend is the word-level delta
+//!   (`after - before`), for the same reason.
+//! * Device accesses never reach the timing hierarchy: they lower to
+//!   fixed-latency `Other` work and surface as MMIO events.
+//! * `fence`/`fence.i` lower to the matching trace fence strength.
+//! * Everything else (ALU, branches, CSR ops) lowers to `Other`.
+
+use crate::bus::{BusTarget, DeviceBus};
+use crate::csr::CsrFile;
+use crate::decode::{
+    decode, Alu32Op, AluImmOp, AluOp, AmoOp, BranchOp, Decoded, LoadOp, ShiftOp, StoreOp,
+};
+use ise_types::addr::{AccessSize, Addr};
+use ise_types::instr::{FenceKind, Instruction, Reg};
+use ise_types::persist::{Persist, PersistError, Reader, Writer};
+use ise_types::trap::Trap;
+
+/// Latency charged for ALU/branch/jump work in the timing pipeline.
+pub const ALU_LATENCY: u32 = 1;
+/// Latency charged for CSR accesses and `mret`.
+pub const CSR_LATENCY: u32 = 4;
+/// Latency charged for an MMIO device access.
+pub const MMIO_LATENCY: u32 = 16;
+
+/// One device access, reported alongside the retirement that made it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmioAccess {
+    /// Store (`true`) or load (`false`).
+    pub write: bool,
+    /// Guest physical address.
+    pub addr: Addr,
+    /// Value stored, or value loaded.
+    pub value: u64,
+}
+
+/// Outcome of one [`Hart::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Retired one instruction.
+    Retired {
+        /// The trace-ISA lowering of the retired instruction.
+        lowered: Instruction,
+        /// The device access it performed, if any.
+        mmio: Option<MmioAccess>,
+    },
+    /// Took a trap (exception or interrupt) and vectored into the
+    /// handler at `mtvec`.
+    Trapped(Trap),
+    /// Took a trap with no handler installed (`mtvec = 0`); the hart
+    /// is now halted. An `ecall` under this convention is a clean exit.
+    Halted(Trap),
+    /// The hart was already halted; nothing happened.
+    Idle,
+}
+
+/// Architectural state of one hart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hart {
+    /// x0..x31 (x0 reads as zero; writes to it are discarded).
+    pub regs: [u64; 32],
+    /// Program counter.
+    pub pc: u64,
+    /// Machine-mode CSRs.
+    pub csrs: CsrFile,
+    /// Whether the hart has halted (unhandled trap / clean exit).
+    pub halted: bool,
+}
+
+impl Hart {
+    /// A reset hart with the given id, starting at `pc`.
+    pub fn new(hartid: u64, pc: u64) -> Self {
+        Hart {
+            regs: [0; 32],
+            pc,
+            csrs: CsrFile::new(hartid),
+            halted: false,
+        }
+    }
+
+    /// Reads register `r` (x0 is always zero).
+    pub fn x(&self, r: u8) -> u64 {
+        self.regs[r as usize & 31]
+    }
+
+    /// Writes register `r`, discarding writes to x0.
+    pub fn set_x(&mut self, r: u8, v: u64) {
+        if r & 31 != 0 {
+            self.regs[r as usize & 31] = v;
+        }
+    }
+
+    fn take_trap(&mut self, trap: Trap) -> Step {
+        if self.csrs.mtvec == 0 {
+            self.halted = true;
+            Step::Halted(trap)
+        } else {
+            self.pc = self.csrs.trap_entry(trap, self.pc);
+            Step::Trapped(trap)
+        }
+    }
+
+    /// Fetches, decodes, and executes one instruction (or takes a
+    /// pending interrupt). `mip` should be refreshed from the CLINT by
+    /// the caller before each step.
+    pub fn step(&mut self, bus: &mut DeviceBus) -> Step {
+        if self.halted {
+            return Step::Idle;
+        }
+        if let Some(irq) = self.csrs.pending_interrupt() {
+            return self.take_trap(irq);
+        }
+        let word = match bus.fetch(self.pc) {
+            Ok(w) => w,
+            Err(t) => return self.take_trap(t),
+        };
+        let decoded = match decode(word) {
+            Ok(d) => d,
+            Err(t) => return self.take_trap(t),
+        };
+        match self.execute(decoded, word, bus) {
+            Ok((next_pc, lowered, mmio)) => {
+                self.pc = next_pc;
+                self.csrs.instret += 1;
+                Step::Retired { lowered, mmio }
+            }
+            Err(t) => self.take_trap(t),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn execute(
+        &mut self,
+        d: Decoded,
+        word: u32,
+        bus: &mut DeviceBus,
+    ) -> Result<(u64, Instruction, Option<MmioAccess>), Trap> {
+        let pc = self.pc;
+        let mut next = pc.wrapping_add(4);
+        let mut mmio = None;
+        let other = Instruction::other_with_latency(ALU_LATENCY);
+        let lowered = match d {
+            Decoded::Lui { rd, imm } => {
+                self.set_x(rd, imm as u64);
+                other
+            }
+            Decoded::Auipc { rd, imm } => {
+                self.set_x(rd, pc.wrapping_add(imm as u64));
+                other
+            }
+            Decoded::Jal { rd, offset } => {
+                self.set_x(rd, pc.wrapping_add(4));
+                next = pc.wrapping_add(offset as u64);
+                other
+            }
+            Decoded::Jalr { rd, rs1, offset } => {
+                let target = self.x(rs1).wrapping_add(offset as u64) & !1;
+                self.set_x(rd, pc.wrapping_add(4));
+                next = target;
+                other
+            }
+            Decoded::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let (a, b) = (self.x(rs1), self.x(rs2));
+                let taken = match op {
+                    BranchOp::Beq => a == b,
+                    BranchOp::Bne => a != b,
+                    BranchOp::Blt => (a as i64) < (b as i64),
+                    BranchOp::Bge => (a as i64) >= (b as i64),
+                    BranchOp::Bltu => a < b,
+                    BranchOp::Bgeu => a >= b,
+                };
+                if taken {
+                    next = pc.wrapping_add(offset as u64);
+                }
+                other
+            }
+            Decoded::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = Addr::new(self.x(rs1).wrapping_add(offset as u64));
+                let size = match op {
+                    LoadOp::Lb | LoadOp::Lbu => AccessSize::Byte,
+                    LoadOp::Lh | LoadOp::Lhu => AccessSize::Half,
+                    LoadOp::Lw | LoadOp::Lwu => AccessSize::Word,
+                    LoadOp::Ld => AccessSize::Double,
+                };
+                let (raw, target) = bus.load(addr, size)?;
+                let value = match op {
+                    LoadOp::Lb => raw as u8 as i8 as i64 as u64,
+                    LoadOp::Lh => raw as u16 as i16 as i64 as u64,
+                    LoadOp::Lw => raw as u32 as i32 as i64 as u64,
+                    LoadOp::Ld | LoadOp::Lbu | LoadOp::Lhu | LoadOp::Lwu => raw,
+                };
+                self.set_x(rd, value);
+                match target {
+                    BusTarget::Ram => Instruction::load(word_of(addr), Reg(rd)),
+                    _ => {
+                        mmio = Some(MmioAccess {
+                            write: false,
+                            addr,
+                            value: raw,
+                        });
+                        Instruction::other_with_latency(MMIO_LATENCY)
+                    }
+                }
+            }
+            Decoded::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let addr = Addr::new(self.x(rs1).wrapping_add(offset as u64));
+                let size = match op {
+                    StoreOp::Sb => AccessSize::Byte,
+                    StoreOp::Sh => AccessSize::Half,
+                    StoreOp::Sw => AccessSize::Word,
+                    StoreOp::Sd => AccessSize::Double,
+                };
+                let value = self.x(rs2);
+                let target = bus.store(addr, size, value)?;
+                match target {
+                    BusTarget::Ram => {
+                        // Value-resolved lowering: the merged word, so
+                        // the timing model's word-granular replay lands
+                        // on exactly the frontend's memory bytes.
+                        let merged = bus.ram.read(word_of(addr));
+                        Instruction::store(word_of(addr), merged)
+                    }
+                    _ => {
+                        mmio = Some(MmioAccess {
+                            write: true,
+                            addr,
+                            value,
+                        });
+                        Instruction::other_with_latency(MMIO_LATENCY)
+                    }
+                }
+            }
+            Decoded::Amo {
+                op, rd, rs1, rs2, ..
+            } => {
+                let addr = Addr::new(self.x(rs1));
+                let size = match op {
+                    AmoOp::AddW => AccessSize::Word,
+                    AmoOp::AddD => AccessSize::Double,
+                };
+                let wa = word_of(addr);
+                let before = bus.ram.read(wa);
+                let old = bus.amo_add(addr, size, self.x(rs2))?;
+                let after = bus.ram.read(wa);
+                let value = match op {
+                    AmoOp::AddW => old as u32 as i32 as i64 as u64,
+                    AmoOp::AddD => old,
+                };
+                self.set_x(rd, value);
+                Instruction::atomic(wa, after.wrapping_sub(before), Reg(rd))
+            }
+            Decoded::AluImm { op, rd, rs1, imm } => {
+                let a = self.x(rs1);
+                let i = imm as u64;
+                let v = match op {
+                    AluImmOp::Addi => a.wrapping_add(i),
+                    AluImmOp::Slti => ((a as i64) < imm) as u64,
+                    AluImmOp::Sltiu => (a < i) as u64,
+                    AluImmOp::Xori => a ^ i,
+                    AluImmOp::Ori => a | i,
+                    AluImmOp::Andi => a & i,
+                };
+                self.set_x(rd, v);
+                other
+            }
+            Decoded::ShiftImm {
+                op,
+                word: w32,
+                rd,
+                rs1,
+                shamt,
+            } => {
+                let a = self.x(rs1);
+                let v = if w32 {
+                    let a32 = a as u32;
+                    let sh = shamt & 31;
+                    let r = match op {
+                        ShiftOp::Sll => a32 << sh,
+                        ShiftOp::Srl => a32 >> sh,
+                        ShiftOp::Sra => ((a32 as i32) >> sh) as u32,
+                    };
+                    r as i32 as i64 as u64
+                } else {
+                    let sh = shamt & 63;
+                    match op {
+                        ShiftOp::Sll => a << sh,
+                        ShiftOp::Srl => a >> sh,
+                        ShiftOp::Sra => ((a as i64) >> sh) as u64,
+                    }
+                };
+                self.set_x(rd, v);
+                other
+            }
+            Decoded::Alu { op, rd, rs1, rs2 } => {
+                let (a, b) = (self.x(rs1), self.x(rs2));
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Sll => a << (b & 63),
+                    AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+                    AluOp::Sltu => (a < b) as u64,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Srl => a >> (b & 63),
+                    AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+                    AluOp::Or => a | b,
+                    AluOp::And => a & b,
+                };
+                self.set_x(rd, v);
+                other
+            }
+            Decoded::Addiw { rd, rs1, imm } => {
+                let v = (self.x(rs1).wrapping_add(imm as u64)) as i32 as i64 as u64;
+                self.set_x(rd, v);
+                other
+            }
+            Decoded::Alu32 { op, rd, rs1, rs2 } => {
+                let (a, b) = (self.x(rs1) as u32, self.x(rs2) as u32);
+                let r = match op {
+                    Alu32Op::Addw => a.wrapping_add(b),
+                    Alu32Op::Subw => a.wrapping_sub(b),
+                    Alu32Op::Sllw => a << (b & 31),
+                    Alu32Op::Srlw => a >> (b & 31),
+                    Alu32Op::Sraw => ((a as i32) >> (b & 31)) as u32,
+                };
+                self.set_x(rd, r as i32 as i64 as u64);
+                other
+            }
+            Decoded::Fence { pred, succ, .. } => {
+                // The low two bits of each set are R (bit 1) and W
+                // (bit 0); I/O ordering collapses onto the full fence.
+                let kind = match (pred & 0b11, succ & 0b11) {
+                    (0b01, 0b01) => FenceKind::StoreStore,
+                    (0b10, 0b10) => FenceKind::LoadLoad,
+                    _ => FenceKind::Full,
+                };
+                Instruction::fence(kind)
+            }
+            Decoded::FenceI { .. } => Instruction::fence(FenceKind::Full),
+            Decoded::Ecall => return Err(Trap::EnvironmentCallFromMMode(Addr::new(pc))),
+            Decoded::Ebreak => return Err(Trap::Breakpoint(Addr::new(pc))),
+            Decoded::Mret => {
+                next = self.csrs.trap_return();
+                Instruction::other_with_latency(CSR_LATENCY)
+            }
+            Decoded::Wfi => other,
+            Decoded::Csr { op, rd, csr, rs1 } => {
+                let operand = if op.is_immediate() {
+                    rs1 as u64
+                } else {
+                    self.x(rs1)
+                };
+                let old = self.csrs.execute(op, csr, operand, word)?;
+                self.set_x(rd, old);
+                Instruction::other_with_latency(CSR_LATENCY)
+            }
+        };
+        Ok((next, lowered, mmio))
+    }
+}
+
+/// The 8-byte-aligned word address containing `addr` (the granularity
+/// the timing model's functional memory and FSB entries use).
+fn word_of(addr: Addr) -> Addr {
+    Addr::new(addr.raw() & !7)
+}
+
+impl Persist for Hart {
+    fn save(&self, w: &mut Writer) {
+        for r in self.regs {
+            w.u64(r);
+        }
+        w.u64(self.pc);
+        self.csrs.save(w);
+        w.bool(self.halted);
+    }
+    fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+        let mut regs = [0u64; 32];
+        for slot in regs.iter_mut() {
+            *slot = r.u64()?;
+        }
+        Ok(Hart {
+            regs,
+            pc: r.u64()?,
+            csrs: Persist::restore(r)?,
+            halted: r.bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn boot(asm: &Asm) -> (Hart, DeviceBus) {
+        let mut bus = DeviceBus::new(1);
+        bus.load_image(0x1_0000, &asm.assemble());
+        (Hart::new(0, 0x1_0000), bus)
+    }
+
+    fn run(hart: &mut Hart, bus: &mut DeviceBus, budget: u64) {
+        for _ in 0..budget {
+            if hart.halted {
+                return;
+            }
+            hart.step(bus);
+        }
+        panic!("program did not halt in {budget} steps");
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(10, 40);
+        a.addi(11, 10, 2);
+        a.ecall();
+        let (mut hart, mut bus) = boot(&a);
+        run(&mut hart, &mut bus, 100);
+        assert_eq!(hart.x(11), 42);
+        assert!(hart.halted);
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let mut a = Asm::new(0x1_0000);
+        a.addi(0, 0, 123);
+        a.ecall();
+        let (mut hart, mut bus) = boot(&a);
+        run(&mut hart, &mut bus, 100);
+        assert_eq!(hart.x(0), 0);
+    }
+
+    #[test]
+    fn store_lowers_to_merged_word() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(5, 0x2000);
+        a.li(6, 0xaa);
+        a.sd(6, 5, 0);
+        a.li(6, 0xbb);
+        a.sb(6, 5, 1); // second byte of the word
+        a.ecall();
+        let (mut hart, mut bus) = boot(&a);
+        let mut stores = Vec::new();
+        while !hart.halted {
+            if let Step::Retired { lowered, .. } = hart.step(&mut bus) {
+                if let ise_types::instr::InstrKind::Store { addr, value } = lowered.kind {
+                    stores.push((addr, value));
+                }
+            }
+        }
+        assert_eq!(stores.len(), 2);
+        assert_eq!(stores[1].0, Addr::new(0x2000));
+        // sb wrote 0xbb over byte 1 of 0x00000000000000aa.
+        assert_eq!(stores[1].1, 0xbbaa);
+        assert_eq!(
+            bus.ram
+                .load_sized(Addr::new(0x2000), AccessSize::Double)
+                .unwrap(),
+            0xbbaa
+        );
+    }
+
+    #[test]
+    fn amo_lowers_to_word_delta_and_returns_old() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(5, 0x2000);
+        a.li(6, 7);
+        a.sd(6, 5, 0);
+        a.li(7, 5);
+        a.amoadd_d(8, 7, 5); // x8 = old, [x5] += 5
+        a.ecall();
+        let (mut hart, mut bus) = boot(&a);
+        let mut atomics = Vec::new();
+        while !hart.halted {
+            if let Step::Retired { lowered, .. } = hart.step(&mut bus) {
+                if let ise_types::instr::InstrKind::Atomic { addr, add, dst } = lowered.kind {
+                    atomics.push((addr, add, dst));
+                }
+            }
+        }
+        assert_eq!(hart.x(8), 7);
+        assert_eq!(
+            bus.ram
+                .load_sized(Addr::new(0x2000), AccessSize::Double)
+                .unwrap(),
+            12
+        );
+        assert_eq!(atomics, vec![(Addr::new(0x2000), 5, Reg(8))]);
+    }
+
+    #[test]
+    fn misaligned_store_halts_without_handler() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(5, 0x2001);
+        a.li(6, 1);
+        a.sw(6, 5, 0);
+        let (mut hart, mut bus) = boot(&a);
+        let mut last = Step::Idle;
+        while !hart.halted {
+            last = hart.step(&mut bus);
+        }
+        assert_eq!(
+            last,
+            Step::Halted(Trap::StoreAMOAddrMisaligned(Addr::new(0x2001)))
+        );
+    }
+
+    #[test]
+    fn trap_vectors_through_mtvec_and_mret_resumes() {
+        let mut a = Asm::new(0x1_0000);
+        // Install handler, then execute an illegal word; the handler
+        // bumps mepc past it and returns.
+        let handler = a.reserve_label();
+        let after = a.reserve_label();
+        a.la(5, handler);
+        a.csrrw(0, ise_types::trap::csr::MTVEC, 5);
+        a.word(0xffff_ffff); // illegal
+        a.bind(after);
+        a.li(10, 99);
+        a.csrrw(0, ise_types::trap::csr::MTVEC, 0); // clean exit below
+        a.ecall();
+        a.bind(handler);
+        a.csrrs(6, ise_types::trap::csr::MEPC, 0);
+        a.addi(6, 6, 4);
+        a.csrrw(0, ise_types::trap::csr::MEPC, 6);
+        a.mret();
+        let (mut hart, mut bus) = boot(&a);
+        run(&mut hart, &mut bus, 100);
+        assert_eq!(hart.x(10), 99);
+        assert_eq!(hart.csrs.mcause, 2);
+        assert_eq!(hart.csrs.mtval, 0xffff_ffff);
+    }
+
+    #[test]
+    fn uart_write_is_mmio_not_memory() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(5, crate::bus::UART_BASE as i64);
+        a.li(6, b'A' as i64);
+        a.sb(6, 5, 0);
+        a.ecall();
+        let (mut hart, mut bus) = boot(&a);
+        let mut saw_mmio = false;
+        while !hart.halted {
+            if let Step::Retired {
+                lowered,
+                mmio: Some(m),
+            } = hart.step(&mut bus)
+            {
+                saw_mmio = true;
+                assert!(m.write);
+                assert_eq!(m.value, b'A' as u64);
+                assert!(matches!(
+                    lowered.kind,
+                    ise_types::instr::InstrKind::Other {
+                        latency: MMIO_LATENCY
+                    }
+                ));
+            }
+        }
+        assert!(saw_mmio);
+        assert_eq!(bus.uart.output, b"A");
+    }
+
+    #[test]
+    fn timer_interrupt_vectors_when_enabled() {
+        use ise_types::trap::{csr, mip, mstatus};
+        let mut a = Asm::new(0x1_0000);
+        let handler = a.reserve_label();
+        let spin = a.reserve_label();
+        a.la(5, handler);
+        a.csrrw(0, csr::MTVEC, 5);
+        // mtimecmp[0] = 5, then enable MTIE + global MIE and spin.
+        a.li(5, (crate::bus::CLINT_BASE + 0x4000) as i64);
+        a.li(6, 5);
+        a.sd(6, 5, 0);
+        a.li(5, mip::MTIP as i64);
+        a.csrrw(0, csr::MIE, 5);
+        a.li(5, mstatus::MIE as i64);
+        a.csrrs(0, csr::MSTATUS, 5);
+        a.bind(spin);
+        a.jal(0, spin);
+        a.bind(handler);
+        a.li(10, 7);
+        a.csrrw(0, csr::MTVEC, 0); // uninstall so the ecall is a clean exit
+        a.ecall();
+        let mut bus = DeviceBus::new(1);
+        bus.load_image(0x1_0000, &a.assemble());
+        let mut hart = Hart::new(0, 0x1_0000);
+        for _ in 0..200 {
+            if hart.halted {
+                break;
+            }
+            hart.csrs.mip = bus.clint.mip_bits(0);
+            hart.step(&mut bus);
+            bus.clint.tick();
+        }
+        assert!(hart.halted);
+        assert_eq!(hart.x(10), 7);
+        assert_eq!(hart.csrs.mcause, (1 << 63) | 7);
+    }
+
+    #[test]
+    fn hart_persists_round_trip() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut h = Hart::new(3, 0x1_0040);
+        h.regs[5] = 0xdead;
+        h.csrs.mtvec = 0x2000;
+        h.halted = true;
+        let bytes = save_container(&h);
+        let back: Hart = restore_container(&bytes).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -1,0 +1,190 @@
+//! The checked-in guest programs.
+//!
+//! Each program is authored with the in-crate assembler ([`crate::asm`])
+//! and also checked into the repo as an assembled flat image under
+//! `guest/*.bin`; a test asserts the two stay in lockstep, and the
+//! `guest` bench binary can regenerate the images (`--write-bins`).
+//! All harts enter at the image base and dispatch on `mhartid`.
+
+use crate::asm::Asm;
+use crate::bus::UART_BASE;
+use ise_types::addr::{Addr, PageId};
+use ise_workloads::layout::EINJECT_BASE;
+
+/// Program image base (inside RAM, clear of the device windows and the
+/// timing model's FSB region at `0x2000_0000`).
+pub const CODE_BASE: u64 = 0x1_0000;
+
+/// Shared-data region used by the litmus programs (plain RAM).
+pub const DATA_BASE: u64 = 0x3000_0000;
+
+/// One assembled guest program plus the metadata needed to run it on
+/// the timing model.
+#[derive(Debug, Clone)]
+pub struct GuestProgram {
+    /// Program name (doubles as the `guest/<name>.bin` file stem).
+    pub name: &'static str,
+    /// Load/link address of the image.
+    pub base: u64,
+    /// Number of harts the program expects.
+    pub harts: usize,
+    /// The flat little-endian image.
+    pub image: Vec<u8>,
+    /// Pages to arm in EInject when running on the timing model.
+    pub einject_pages: Vec<PageId>,
+}
+
+// Register aliases used below (RISC-V ABI names).
+const T0: u8 = 5;
+const T1: u8 = 6;
+const T2: u8 = 7;
+const A0: u8 = 10;
+const A1: u8 = 11;
+
+/// The message-passing (MP) litmus test, on real RV64 code: hart 0
+/// publishes data then raises a flag behind a `fence w,w`; hart 1
+/// spins on the flag and reads the data behind a `fence r,r`. The
+/// forbidden outcome is hart 1 observing the flag but stale data —
+/// hart 1's final `a0` must be 42.
+pub fn mp_litmus() -> GuestProgram {
+    let data = DATA_BASE as i64;
+    let flag = (DATA_BASE + 0x40) as i64;
+    let mut a = Asm::new(CODE_BASE);
+    let hart1 = a.reserve_label();
+    a.csrrs(T0, ise_types::trap::csr::MHARTID, 0);
+    a.bne(T0, 0, hart1);
+    // Hart 0: producer.
+    a.li(T0, data);
+    a.li(T1, 42);
+    a.sd(T1, T0, 0);
+    a.fence(0b01, 0b01); // fence w,w
+    a.li(T0, flag);
+    a.li(T1, 1);
+    a.sd(T1, T0, 0);
+    a.ecall();
+    // Hart 1: consumer.
+    a.bind(hart1);
+    a.li(T0, flag);
+    let spin = a.here();
+    a.ld(T1, T0, 0);
+    a.beq(T1, 0, spin);
+    a.fence(0b10, 0b10); // fence r,r
+    a.li(T0, data);
+    a.ld(A0, T0, 0);
+    a.ecall();
+    GuestProgram {
+        name: "mp_litmus",
+        base: CODE_BASE,
+        harts: 2,
+        image: a.assemble(),
+        einject_pages: Vec::new(),
+    }
+}
+
+/// The store-fault victim: a single hart streams stores across two
+/// pages of the EInject window (plus an AMO and a UART byte), so that
+/// on the timing model — with those pages armed — the stores retire,
+/// fault post-retirement at the LLC↔memory boundary, and drain through
+/// the FSB/handler recovery path.
+pub fn store_fault_victim() -> GuestProgram {
+    let page0 = Addr::new(EINJECT_BASE).page();
+    let page1 = Addr::new(EINJECT_BASE + 0x1000).page();
+    let mut a = Asm::new(CODE_BASE);
+    // 16 doubleword stores at line stride across the first armed page.
+    a.li(T0, EINJECT_BASE as i64);
+    a.li(T1, 0xa5);
+    a.li(T2, 16);
+    let loop0 = a.here();
+    a.sd(T1, T0, 0);
+    a.addi(T0, T0, 64);
+    a.addi(T1, T1, 1);
+    a.addi(T2, T2, -1);
+    a.bne(T2, 0, loop0);
+    // 8 word stores across the second armed page.
+    a.li(T0, (EINJECT_BASE + 0x1000) as i64);
+    a.li(T2, 8);
+    let loop1 = a.here();
+    a.sw(T1, T0, 0);
+    a.addi(T0, T0, 64);
+    a.addi(T1, T1, 3);
+    a.addi(T2, T2, -1);
+    a.bne(T2, 0, loop1);
+    a.fence(0b11, 0b11); // fence rw,rw: drain before the tail work
+                         // A fetch-and-add on plain RAM (exercises the Atomic lowering).
+    a.li(T0, (DATA_BASE + 0x80) as i64);
+    a.li(T1, 5);
+    a.amoadd_d(A1, T1, T0);
+    // Tell the world we got here.
+    a.li(T0, UART_BASE as i64);
+    a.li(T1, b'V' as i64);
+    a.sb(T1, T0, 0);
+    a.ecall();
+    GuestProgram {
+        name: "store_fault_victim",
+        base: CODE_BASE,
+        harts: 1,
+        image: a.assemble(),
+        einject_pages: vec![page0, page1],
+    }
+}
+
+/// Every checked-in guest program.
+pub fn all() -> Vec<GuestProgram> {
+    vec![mp_litmus(), store_fault_victim()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn bin_path(name: &str) -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../guest")
+            .join(format!("{name}.bin"))
+    }
+
+    /// The checked-in `guest/*.bin` images must match what the
+    /// assembler produces (regenerate with
+    /// `cargo run -p ise-bench --bin guest -- --write-bins`).
+    #[test]
+    fn checked_in_images_match_the_assembler() {
+        for prog in all() {
+            let path = bin_path(prog.name);
+            let on_disk = std::fs::read(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing checked-in image {} ({e}); regenerate with \
+                     `cargo run -p ise-bench --bin guest -- --write-bins`",
+                    path.display()
+                )
+            });
+            assert_eq!(
+                on_disk, prog.image,
+                "{} image drifted from its source; regenerate the bin",
+                prog.name
+            );
+        }
+    }
+
+    #[test]
+    fn victim_pages_sit_in_the_einject_window() {
+        use ise_workloads::layout::EINJECT_SIZE;
+        let prog = store_fault_victim();
+        assert!(!prog.einject_pages.is_empty());
+        for p in &prog.einject_pages {
+            let base = p.base().raw();
+            assert!((EINJECT_BASE..EINJECT_BASE + EINJECT_SIZE).contains(&base));
+        }
+    }
+
+    #[test]
+    fn program_names_are_unique_and_filesystem_safe() {
+        let mut names: Vec<_> = all().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all().len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+}

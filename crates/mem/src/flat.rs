@@ -8,7 +8,8 @@
 //! entry per non-zero word) collapses into one map entry per page and
 //! steady-state reads/writes touch a flat array.
 
-use ise_types::addr::{Addr, ByteMask};
+use ise_types::addr::{AccessSize, Addr, ByteMask};
+use ise_types::trap::Trap;
 use std::collections::HashMap;
 
 /// Words per backing page: 4 KiB pages of 8-byte words, matching the
@@ -99,6 +100,67 @@ impl FlatMemory {
                 }
             }
         }
+    }
+
+    /// Reads `size` bytes at `addr`, zero-extended into a `u64`.
+    ///
+    /// This is the guest-facing accessor: the backing store is 8-byte-
+    /// word granular, so sub-word reads extract their bytes from the
+    /// containing word instead of handing back the whole word. Natural
+    /// alignment is required — a misaligned guest load is a trap, not a
+    /// split access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::LoadAccessMisaligned`] when `addr` is not aligned
+    /// to `size`.
+    pub fn load_sized(&self, addr: Addr, size: AccessSize) -> Result<u64, Trap> {
+        if !addr.is_aligned(size) {
+            return Err(Trap::misaligned_load(addr, size));
+        }
+        let word = self.read(addr);
+        let shift = (addr.raw() % 8) * 8;
+        Ok(match size {
+            AccessSize::Byte => (word >> shift) & 0xff,
+            AccessSize::Half => (word >> shift) & 0xffff,
+            AccessSize::Word => (word >> shift) & 0xffff_ffff,
+            AccessSize::Double => word,
+        })
+    }
+
+    /// Writes the low `size` bytes of `value` at `addr`, merging into
+    /// the containing 8-byte word under the access's byte mask — a
+    /// sub-word guest store updates exactly its own bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::StoreAMOAddrMisaligned`] when `addr` is not
+    /// aligned to `size`.
+    pub fn store_sized(&mut self, addr: Addr, size: AccessSize, value: u64) -> Result<(), Trap> {
+        if !addr.is_aligned(size) {
+            return Err(Trap::misaligned_store(addr, size));
+        }
+        let shift = (addr.raw() % 8) * 8;
+        self.write(addr, value << shift, size.mask_at(addr));
+        Ok(())
+    }
+
+    /// Atomically adds `add` to the `size`-wide value at `addr`,
+    /// returning the old value zero-extended (the frontend's
+    /// `amoadd.w`/`amoadd.d`). The addition wraps at the access width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::StoreAMOAddrMisaligned`] when `addr` is not
+    /// aligned to `size` (AMOs use the store-side trap, per the
+    /// privileged spec's store/AMO taxonomy).
+    pub fn fetch_add_sized(&mut self, addr: Addr, size: AccessSize, add: u64) -> Result<u64, Trap> {
+        if !addr.is_aligned(size) {
+            return Err(Trap::misaligned_store(addr, size));
+        }
+        let old = self.load_sized(addr, size)?;
+        self.store_sized(addr, size, old.wrapping_add(add))?;
+        Ok(old)
     }
 
     /// Atomically adds `add` to the word at `addr`, returning the old
@@ -246,6 +308,103 @@ mod tests {
         }
         // HashMap iteration order must not leak into the bytes.
         assert_eq!(save_container(&back), bytes);
+    }
+
+    #[test]
+    fn sub_word_store_updates_only_its_own_bytes() {
+        // Fails before the sized accessors existed: the only write path
+        // took whole 8-byte words, so a guest `sb`/`sh`/`sw` routed
+        // through `write(addr, value, FULL)` clobbered the other bytes
+        // of the containing word.
+        let mut m = FlatMemory::new();
+        m.write(Addr::new(0x100), 0x8877_6655_4433_2211, ByteMask::FULL);
+        m.store_sized(Addr::new(0x102), AccessSize::Byte, 0xee)
+            .unwrap();
+        assert_eq!(m.read(Addr::new(0x100)), 0x8877_6655_44ee_2211);
+        m.store_sized(Addr::new(0x104), AccessSize::Half, 0xbeef)
+            .unwrap();
+        assert_eq!(m.read(Addr::new(0x100)), 0x8877_beef_44ee_2211);
+        m.store_sized(Addr::new(0x100), AccessSize::Word, 0xdead_cafe)
+            .unwrap();
+        assert_eq!(m.read(Addr::new(0x100)), 0x8877_beef_dead_cafe);
+        // The sized store only takes the low `size` bytes of the value.
+        m.store_sized(Addr::new(0x106), AccessSize::Half, 0x1_2345)
+            .unwrap();
+        assert_eq!(m.read(Addr::new(0x100)), 0x2345_beef_dead_cafe);
+    }
+
+    #[test]
+    fn sub_word_load_extracts_only_its_own_bytes() {
+        // Fails before: reads were whole-word, so a guest `lb` at offset
+        // 5 observed all eight bytes.
+        let mut m = FlatMemory::new();
+        m.write(Addr::new(0x40), 0x8877_6655_4433_2211, ByteMask::FULL);
+        let a = Addr::new(0x40);
+        assert_eq!(m.load_sized(a.offset(5), AccessSize::Byte).unwrap(), 0x66);
+        assert_eq!(m.load_sized(a.offset(2), AccessSize::Half).unwrap(), 0x4433);
+        assert_eq!(
+            m.load_sized(a.offset(4), AccessSize::Word).unwrap(),
+            0x8877_6655
+        );
+        assert_eq!(
+            m.load_sized(a, AccessSize::Double).unwrap(),
+            0x8877_6655_4433_2211
+        );
+    }
+
+    #[test]
+    fn misaligned_load_raises_the_load_trap() {
+        let m = FlatMemory::new();
+        for (addr, size) in [
+            (Addr::new(0x41), AccessSize::Half),
+            (Addr::new(0x42), AccessSize::Word),
+            (Addr::new(0x44), AccessSize::Double),
+        ] {
+            assert_eq!(
+                m.load_sized(addr, size),
+                Err(Trap::LoadAccessMisaligned(addr)),
+                "{size} at {addr}"
+            );
+        }
+        // Bytes can never be misaligned.
+        assert!(m.load_sized(Addr::new(0x47), AccessSize::Byte).is_ok());
+    }
+
+    #[test]
+    fn misaligned_store_and_amo_raise_the_store_amo_trap() {
+        let mut m = FlatMemory::new();
+        assert_eq!(
+            m.store_sized(Addr::new(0x43), AccessSize::Word, 1),
+            Err(Trap::StoreAMOAddrMisaligned(Addr::new(0x43)))
+        );
+        assert_eq!(
+            m.fetch_add_sized(Addr::new(0x46), AccessSize::Double, 1),
+            Err(Trap::StoreAMOAddrMisaligned(Addr::new(0x46)))
+        );
+        // Nothing landed.
+        assert_eq!(m.resident_words(), 0);
+    }
+
+    #[test]
+    fn sized_fetch_add_wraps_at_the_access_width() {
+        let mut m = FlatMemory::new();
+        m.store_sized(Addr::new(0x20), AccessSize::Word, 0xffff_ffff)
+            .unwrap();
+        let old = m
+            .fetch_add_sized(Addr::new(0x20), AccessSize::Word, 2)
+            .unwrap();
+        assert_eq!(old, 0xffff_ffff);
+        assert_eq!(m.load_sized(Addr::new(0x20), AccessSize::Word).unwrap(), 1);
+        // Neighbouring word bytes untouched.
+        m.store_sized(Addr::new(0x24), AccessSize::Word, 0x77)
+            .unwrap();
+        let _ = m
+            .fetch_add_sized(Addr::new(0x20), AccessSize::Word, 5)
+            .unwrap();
+        assert_eq!(
+            m.load_sized(Addr::new(0x24), AccessSize::Word).unwrap(),
+            0x77
+        );
     }
 
     #[test]

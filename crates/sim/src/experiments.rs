@@ -233,28 +233,16 @@ pub fn fig5_with_workers(page_counts: &[usize], workers: usize) -> Vec<Fig5Row> 
     })
 }
 
-/// [`fig5_with_workers`] in the warm-start regime: the driver boots
-/// every fault-intensity cell once, snapshots it after `warmup` cycles,
-/// and the measured runs fan out across the worker pool from those
-/// snapshots. Rows are byte-identical to the cold sweep (the snapshot
-/// resume contract); the warmup prefix is simulated once per cell in
-/// the boot phase (itself fanned across the worker pool) instead of
-/// inside every measured run.
+/// [`fig5_with_workers`] in the warm-start regime: each cell boots
+/// once, runs its warmup prefix, snapshots in memory, and the measured
+/// run resumes from that buffer inside the same worker task. Rows are
+/// byte-identical to the cold sweep (the snapshot resume contract);
+/// see [`run_workload_warm`] for why boot and measure are fused.
 pub fn fig5_warm_started(page_counts: &[usize], workers: usize, warmup: u64) -> Vec<Fig5Row> {
-    let cells: Vec<(usize, SystemConfig, Workload)> = page_counts
-        .iter()
-        .map(|&pages| {
-            let (cfg, workload) = fig5_cell(pages);
-            (pages, cfg, workload)
-        })
-        .collect();
-    let snaps = ise_par::par_map(&cells, workers, |_, (_, cfg, workload)| {
-        warm_boot(*cfg, workload, warmup)
-    });
-    let cells: Vec<_> = cells.into_iter().zip(snaps).collect();
-    ise_par::par_map(&cells, workers, |_, ((pages, cfg, workload), snap)| {
-        let stats = run_workload_from(*cfg, workload, snap.as_deref(), MAX_CYCLES);
-        fig5_row(*pages, &stats)
+    ise_par::par_map(page_counts, workers, |_, &pages| {
+        let (cfg, workload) = fig5_cell(pages);
+        let stats = run_workload_warm(cfg, &workload, warmup, MAX_CYCLES);
+        fig5_row(pages, &stats)
     })
 }
 
@@ -519,17 +507,16 @@ pub fn fig6_with_workers(scale: &Fig6Scale, workers: usize) -> Vec<Fig6Row> {
 }
 
 /// [`fig6_with_workers`] in the warm-start regime: every bar's baseline
-/// and imprecise systems boot once in the driver, snapshot after
-/// `warmup` cycles, and the ten measured runs fan out across the worker
-/// pool from those snapshots. The rows are byte-identical to the cold
-/// figure — the warmup (TLB fills, cache-hierarchy first touches) is
-/// simulated once per cell rather than inside every measured run, which
-/// is where sharded or repeated campaigns recover wall-clock.
+/// and imprecise cells are synthesized once in the driver, and each of
+/// the ten cells boots one system, warms it for `warmup` cycles,
+/// snapshots in memory, and measures from that buffer — boot and
+/// measure fused in one worker task ([`run_workload_warm`]). The rows
+/// are byte-identical to the cold figure; the warmup (TLB fills,
+/// cache-hierarchy first touches) is simulated once per cell, which is
+/// where sharded or repeated campaigns recover wall-clock.
 pub fn fig6_warm_started(scale: &Fig6Scale, workers: usize, warmup: u64) -> Vec<Fig6Row> {
     let mut cfg = SystemConfig::isca23();
     cfg.cores = scale.cores;
-    // Boot phase: synthesize each bar once and warm both of its cells,
-    // fanning the warmups across the worker pool.
     let mut workloads: Vec<Workload> = Vec::with_capacity(FIG6_BARS.len() * 2);
     for bar in FIG6_BARS {
         let faulting = fig6_bar_workload(bar, scale);
@@ -540,17 +527,14 @@ pub fn fig6_warm_started(scale: &Fig6Scale, workers: usize, warmup: u64) -> Vec<
         };
         workloads.extend([baseline, faulting]);
     }
-    let snaps = ise_par::par_map(&workloads, workers, |_, w| warm_boot(cfg, w, warmup));
-    let cells: Vec<(Workload, Option<Vec<u8>>)> = workloads.into_iter().zip(snaps).collect();
-    // Measurement phase: fan the cells out from their snapshots.
-    let stats = ise_par::par_map(&cells, workers, |_, (w, snap)| {
-        run_workload_from(cfg, w, snap.as_deref(), MAX_CYCLES)
+    let stats = ise_par::par_map(&workloads, workers, |_, w| {
+        run_workload_warm(cfg, w, warmup, MAX_CYCLES)
     });
     stats
         .chunks(2)
-        .zip(cells.chunks(2))
+        .zip(workloads.chunks(2))
         .map(|(pair, cell)| Fig6Row {
-            name: cell[1].0.name.clone(),
+            name: cell[1].name.clone(),
             baseline_cycles: pair[0].cycles,
             imprecise_cycles: pair[1].cycles,
             exceptions: pair[1].imprecise_exceptions,
@@ -605,6 +589,39 @@ pub fn warm_boot(cfg: SystemConfig, workload: &Workload, warmup: u64) -> Option<
         return None;
     }
     Some(sys.snapshot())
+}
+
+/// Runs one sweep cell in the fused warm-start regime: boot, warmup,
+/// one in-memory snapshot, restore into the *same* machine, and the
+/// measured run — a single [`System`] build per cell.
+///
+/// The earlier two-phase driver ([`warm_boot`] fan-out, barrier, then
+/// [`run_workload_from`] fan-out) built every cell's system twice —
+/// recomputing the identity fingerprint over the cell's full
+/// multi-megabyte traces each time — and re-deserialized each boot
+/// snapshot from scratch in the measure phase. That overhead made a
+/// single-shot `fig6 --warm` *slower* than the cold sweep (10.6 s vs
+/// 8.8 s, medians of three on the CI container). Fusing the phases
+/// loads each cell's image once and restores from the in-memory
+/// buffer, keeping only the cost the regime is actually about: the
+/// snapshot round trip that the resume contract requires every warm
+/// row to exercise. A cell that completes inside the warmup window
+/// skips the round trip and just runs to completion (the cold
+/// equivalent of [`warm_boot`] returning `None`).
+pub fn run_workload_warm(
+    cfg: SystemConfig,
+    workload: &Workload,
+    warmup: u64,
+    max_cycles: u64,
+) -> SystemStats {
+    let mut sys = System::new(cfg, workload);
+    let skip = ise_engine::cycle_skip_override().unwrap_or(!cfg.reference_clock);
+    if !sys.run_to(warmup, skip) {
+        let snap = sys.snapshot();
+        sys.restore_from(&snap)
+            .expect("a snapshot restores into its own system");
+    }
+    sys.run_clocked(max_cycles, skip)
 }
 
 /// Runs one sweep cell to completion, resuming from `snap` when present

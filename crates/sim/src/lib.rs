@@ -24,14 +24,23 @@
 //! onto this machine, so the differential fuzzing harness can use the
 //! timing simulator as its third oracle.
 
+//!
+//! [`guest`] runs real RV64 machine code (crate `ise-isa`) end to end:
+//! the frontend's functional pre-run lowers each retired guest
+//! instruction to one trace instruction, and the timing model replays
+//! the result — EInject store faults included — through the same
+//! FSB/handler recovery path every other workload uses.
+
 pub mod chaos;
 pub mod experiments;
+pub mod guest;
 pub mod invariants;
 pub mod litmus;
 pub mod report;
 pub mod system;
 
 pub use chaos::{ChaosCampaign, ChaosConfig, ChaosReport, ChaosRun};
+pub use guest::{run_guest_program, run_guest_program_with_cut, GuestRun};
 pub use litmus::{
     litmus_workload, loc_addr, run_litmus_case, run_litmus_on_sim, FaultOverlay, LitmusRun,
 };

@@ -68,6 +68,20 @@ pub enum TraceEventKind {
         /// The refilled page.
         page: u64,
     },
+    /// The guest frontend (crate `ise-isa`) took an architectural trap
+    /// during its functional pre-run; `cause` is the RISC-V mcause value.
+    GuestTrap {
+        /// The mcause encoding (interrupt bit in bit 63).
+        cause: u64,
+    },
+    /// The guest frontend touched a device window (UART/CLINT) — an
+    /// access that never reaches the timing hierarchy.
+    GuestMmio {
+        /// True for a store, false for a load.
+        write: bool,
+        /// The device address.
+        addr: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -85,6 +99,8 @@ impl TraceEventKind {
             TraceEventKind::FaultCleared { .. } => "fault_cleared",
             TraceEventKind::PageWalk { .. } => "page_walk",
             TraceEventKind::TlbRefill { .. } => "tlb_refill",
+            TraceEventKind::GuestTrap { .. } => "guest_trap",
+            TraceEventKind::GuestMmio { .. } => "guest_mmio",
         }
     }
 }
@@ -124,6 +140,13 @@ impl ToJson for TraceEvent {
             }
             TraceEventKind::PreciseException { code } => {
                 fields.push(("code".into(), Json::from(code)));
+            }
+            TraceEventKind::GuestTrap { cause } => {
+                fields.push(("cause".into(), Json::from(cause)));
+            }
+            TraceEventKind::GuestMmio { write, addr } => {
+                fields.push(("write".into(), Json::from(write)));
+                fields.push(("addr".into(), Json::from(addr)));
             }
             TraceEventKind::EarlyDrainChunk
             | TraceEventKind::InterruptDelivered
@@ -257,6 +280,15 @@ impl Persist for TraceEventKind {
                 w.u8(10);
                 w.u64(page);
             }
+            TraceEventKind::GuestTrap { cause } => {
+                w.u8(11);
+                w.u64(cause);
+            }
+            TraceEventKind::GuestMmio { write, addr } => {
+                w.u8(12);
+                w.bool(write);
+                w.u64(addr);
+            }
         }
     }
     fn restore(r: &mut Reader) -> Result<Self, PersistError> {
@@ -277,6 +309,11 @@ impl Persist for TraceEventKind {
             8 => TraceEventKind::FaultCleared { page: r.u64()? },
             9 => TraceEventKind::PageWalk { page: r.u64()? },
             10 => TraceEventKind::TlbRefill { page: r.u64()? },
+            11 => TraceEventKind::GuestTrap { cause: r.u64()? },
+            12 => TraceEventKind::GuestMmio {
+                write: r.bool()?,
+                addr: r.u64()?,
+            },
             _ => return Err(PersistError::Corrupt("TraceEventKind discriminant")),
         })
     }
@@ -372,6 +409,27 @@ mod tests {
             e.to_json().render(),
             r#"{"cycle":7,"core":1,"kind":"fsb_drain_end","applied":3,"cycles":120}"#
         );
+    }
+
+    #[test]
+    fn guest_events_render_and_round_trip() {
+        use ise_types::persist::{restore_container, save_container};
+        let mut t = TraceRing::new(4);
+        t.record(3, 0, TraceEventKind::GuestTrap { cause: 1 << 63 | 7 });
+        t.record(
+            4,
+            1,
+            TraceEventKind::GuestMmio {
+                write: true,
+                addr: 0x1000_0000,
+            },
+        );
+        let json = t.to_json().render();
+        assert!(json.contains("\"guest_trap\""));
+        assert!(json.contains("\"guest_mmio\""));
+        assert!(json.contains("\"write\":true"));
+        let back: TraceRing = restore_container(&save_container(&t)).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -207,6 +207,55 @@ impl fmt::Display for ByteMask {
     }
 }
 
+/// Width of one guest memory access, as issued by the RV64 frontend's
+/// load/store/AMO instructions. Sub-word granularities exist so byte-
+/// and half-word guest accesses merge into their containing 8-byte word
+/// instead of silently clobbering it (the FSB entry granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessSize {
+    /// 1 byte (`lb`/`lbu`/`sb`).
+    Byte,
+    /// 2 bytes (`lh`/`lhu`/`sh`).
+    Half,
+    /// 4 bytes (`lw`/`lwu`/`sw`, `amoadd.w`).
+    Word,
+    /// 8 bytes (`ld`/`sd`, `amoadd.d`).
+    Double,
+}
+
+impl AccessSize {
+    /// The access width in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            AccessSize::Byte => 1,
+            AccessSize::Half => 2,
+            AccessSize::Word => 4,
+            AccessSize::Double => 8,
+        }
+    }
+
+    /// The byte-enable mask of an access of this size landing at `addr`
+    /// (which must be aligned; callers check with [`Addr::is_aligned`]).
+    pub fn mask_at(self, addr: Addr) -> ByteMask {
+        ByteMask::span((addr.raw() % 8) as u8, self.bytes() as u8)
+    }
+}
+
+impl fmt::Display for AccessSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+impl Addr {
+    /// Whether this address is naturally aligned for an access of
+    /// `size` (the RV64 frontend traps misaligned accesses rather than
+    /// splitting them).
+    pub const fn is_aligned(self, size: AccessSize) -> bool {
+        self.0.is_multiple_of(size.bytes())
+    }
+}
+
 /// Identifier of a core in the simulated multicore (0-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub usize);

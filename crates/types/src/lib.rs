@@ -38,8 +38,9 @@ pub mod json;
 pub mod model;
 pub mod persist;
 pub mod stats;
+pub mod trap;
 
-pub use addr::{Addr, ByteMask, CoreId, PageId};
+pub use addr::{AccessSize, Addr, ByteMask, CoreId, PageId};
 pub use config::{RecoveryHardening, SystemConfig};
 pub use error::SimError;
 pub use exception::{ExceptionClass, ExceptionKind};
@@ -48,3 +49,4 @@ pub use faults::{FaultKind, FaultSpec};
 pub use instr::{InstrKind, Instruction};
 pub use json::{Json, ToJson};
 pub use model::{ConsistencyModel, DrainPolicy};
+pub use trap::Trap;

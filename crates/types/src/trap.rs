@@ -1,0 +1,352 @@
+//! RISC-V machine-mode trap taxonomy and CSR numbers.
+//!
+//! The RV64 execution frontend (crate `ise-isa`) fetches and executes
+//! real guest code; anything that goes architecturally wrong — a
+//! misaligned store, an illegal encoding, an `ecall` — is a [`Trap`].
+//! The taxonomy follows the RISC-V privileged specification (the same
+//! subset `Assasans/mizu` models): each variant carries the address or
+//! encoding that caused it, exposes its `mcause` code, and maps onto the
+//! simulated system's [`ExceptionKind`] vocabulary so guest traps and
+//! hierarchy-detected store exceptions share one reporting surface.
+
+use crate::addr::{AccessSize, Addr};
+use crate::exception::ExceptionKind;
+use std::fmt;
+
+/// Machine-mode CSR numbers the frontend implements (privileged spec
+/// table 3.2; machine trap setup/handling plus identity and counters).
+pub mod csr {
+    /// Machine status (MIE/MPIE bits).
+    pub const MSTATUS: u16 = 0x300;
+    /// Machine ISA (read-only description; RV64IA here).
+    pub const MISA: u16 = 0x301;
+    /// Machine interrupt-enable (MSIE/MTIE bits).
+    pub const MIE: u16 = 0x304;
+    /// Machine trap vector base.
+    pub const MTVEC: u16 = 0x305;
+    /// Machine scratch.
+    pub const MSCRATCH: u16 = 0x340;
+    /// Machine exception program counter.
+    pub const MEPC: u16 = 0x341;
+    /// Machine trap cause.
+    pub const MCAUSE: u16 = 0x342;
+    /// Machine trap value (faulting address or encoding).
+    pub const MTVAL: u16 = 0x343;
+    /// Machine interrupt-pending (MSIP/MTIP bits).
+    pub const MIP: u16 = 0x344;
+    /// Hart id (read-only).
+    pub const MHARTID: u16 = 0xf14;
+    /// Cycle counter (read-only shadow).
+    pub const CYCLE: u16 = 0xc00;
+    /// Retired-instruction counter (read-only shadow).
+    pub const INSTRET: u16 = 0xc02;
+}
+
+/// `mstatus` bit positions the frontend models.
+pub mod mstatus {
+    /// Machine interrupt enable.
+    pub const MIE: u64 = 1 << 3;
+    /// Previous MIE (stacked on trap entry).
+    pub const MPIE: u64 = 1 << 7;
+    /// Previous privilege mode (always M here; bits 11:12).
+    pub const MPP_M: u64 = 0b11 << 11;
+}
+
+/// `mie`/`mip` bit positions (machine software/timer interrupts).
+pub mod mip {
+    /// Machine software interrupt (CLINT `msip`).
+    pub const MSIP: u64 = 1 << 3;
+    /// Machine timer interrupt (CLINT `mtime >= mtimecmp`).
+    pub const MTIP: u64 = 1 << 7;
+}
+
+/// A machine-mode trap: synchronous exceptions raised by the executing
+/// instruction, plus the two CLINT-sourced interrupts.
+///
+/// Synchronous variants carry their `mtval` payload (faulting address,
+/// or the offending encoding for [`Trap::IllegalInstruction`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// Fetch from a misaligned PC.
+    InstructionAddrMisaligned(Addr),
+    /// Fetch from unmapped/device memory.
+    InstructionAccessFault(Addr),
+    /// An encoding the decoder rejected (payload: the raw word).
+    IllegalInstruction(u64),
+    /// `ebreak`.
+    Breakpoint(Addr),
+    /// Load from an address not aligned to its access size.
+    LoadAccessMisaligned(Addr),
+    /// Load from unmapped memory.
+    LoadAccessFault(Addr),
+    /// Store or AMO to an address not aligned to its access size.
+    StoreAMOAddrMisaligned(Addr),
+    /// Store or AMO to unmapped memory.
+    StoreAMOAccessFault(Addr),
+    /// `ecall` from machine mode.
+    EnvironmentCallFromMMode(Addr),
+    /// Machine software interrupt (CLINT `msip`).
+    MachineSoftwareInterrupt,
+    /// Machine timer interrupt (CLINT timer).
+    MachineTimerInterrupt,
+}
+
+/// Interrupt bit of `mcause` (bit 63 on RV64).
+const INTERRUPT_BIT: u64 = 1 << 63;
+
+impl Trap {
+    /// Whether this is an (asynchronous) interrupt rather than a
+    /// synchronous exception.
+    pub fn is_interrupt(self) -> bool {
+        matches!(
+            self,
+            Trap::MachineSoftwareInterrupt | Trap::MachineTimerInterrupt
+        )
+    }
+
+    /// The `mcause` value written on trap entry (privileged spec
+    /// table 3.6; interrupts have bit 63 set).
+    pub fn mcause(self) -> u64 {
+        match self {
+            Trap::InstructionAddrMisaligned(_) => 0,
+            Trap::InstructionAccessFault(_) => 1,
+            Trap::IllegalInstruction(_) => 2,
+            Trap::Breakpoint(_) => 3,
+            Trap::LoadAccessMisaligned(_) => 4,
+            Trap::LoadAccessFault(_) => 5,
+            Trap::StoreAMOAddrMisaligned(_) => 6,
+            Trap::StoreAMOAccessFault(_) => 7,
+            Trap::EnvironmentCallFromMMode(_) => 11,
+            Trap::MachineSoftwareInterrupt => INTERRUPT_BIT | 3,
+            Trap::MachineTimerInterrupt => INTERRUPT_BIT | 7,
+        }
+    }
+
+    /// The `mtval` value written on trap entry: the faulting address,
+    /// the offending encoding for illegal instructions, zero for
+    /// interrupts and environment calls.
+    pub fn mtval(self) -> u64 {
+        match self {
+            Trap::InstructionAddrMisaligned(a)
+            | Trap::InstructionAccessFault(a)
+            | Trap::Breakpoint(a)
+            | Trap::LoadAccessMisaligned(a)
+            | Trap::LoadAccessFault(a)
+            | Trap::StoreAMOAddrMisaligned(a)
+            | Trap::StoreAMOAccessFault(a) => a.raw(),
+            Trap::IllegalInstruction(word) => word,
+            Trap::EnvironmentCallFromMMode(_)
+            | Trap::MachineSoftwareInterrupt
+            | Trap::MachineTimerInterrupt => 0,
+        }
+    }
+
+    /// Maps this trap onto the simulated system's exception vocabulary
+    /// (DESIGN.md §17's taxonomy table): access faults against device or
+    /// unmapped space surface as bus errors, misalignment and illegal
+    /// encodings are irrecoverable in a machine-mode-only guest, and the
+    /// benign control-flow traps (ecall/ebreak/interrupts) carry no
+    /// hierarchy-side exception at all.
+    pub fn to_exception_kind(self) -> Option<ExceptionKind> {
+        match self {
+            Trap::InstructionAccessFault(_)
+            | Trap::LoadAccessFault(_)
+            | Trap::StoreAMOAccessFault(_) => Some(ExceptionKind::BusError),
+            Trap::InstructionAddrMisaligned(_)
+            | Trap::IllegalInstruction(_)
+            | Trap::LoadAccessMisaligned(_)
+            | Trap::StoreAMOAddrMisaligned(_) => Some(ExceptionKind::SegmentationFault),
+            Trap::Breakpoint(_)
+            | Trap::EnvironmentCallFromMMode(_)
+            | Trap::MachineSoftwareInterrupt
+            | Trap::MachineTimerInterrupt => None,
+        }
+    }
+
+    /// The misaligned-access trap for a load of `size` at `addr`.
+    pub fn misaligned_load(addr: Addr, _size: AccessSize) -> Trap {
+        Trap::LoadAccessMisaligned(addr)
+    }
+
+    /// The misaligned-access trap for a store/AMO of `size` at `addr`.
+    pub fn misaligned_store(addr: Addr, _size: AccessSize) -> Trap {
+        Trap::StoreAMOAddrMisaligned(addr)
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::InstructionAddrMisaligned(a) => {
+                write!(f, "instruction address misaligned {a}")
+            }
+            Trap::InstructionAccessFault(a) => write!(f, "instruction access fault {a}"),
+            Trap::IllegalInstruction(w) => write!(f, "illegal instruction {w:#010x}"),
+            Trap::Breakpoint(a) => write!(f, "breakpoint {a}"),
+            Trap::LoadAccessMisaligned(a) => write!(f, "load address misaligned {a}"),
+            Trap::LoadAccessFault(a) => write!(f, "load access fault {a}"),
+            Trap::StoreAMOAddrMisaligned(a) => {
+                write!(f, "store/AMO address misaligned {a}")
+            }
+            Trap::StoreAMOAccessFault(a) => write!(f, "store/AMO access fault {a}"),
+            Trap::EnvironmentCallFromMMode(a) => {
+                write!(f, "environment call from M-mode at {a}")
+            }
+            Trap::MachineSoftwareInterrupt => write!(f, "machine software interrupt"),
+            Trap::MachineTimerInterrupt => write!(f, "machine timer interrupt"),
+        }
+    }
+}
+
+mod persist_impls {
+    use super::*;
+    use crate::persist::{Persist, PersistError, Reader, Writer};
+
+    impl Persist for Trap {
+        fn save(&self, w: &mut Writer) {
+            match self {
+                Trap::InstructionAddrMisaligned(a) => {
+                    w.u8(0);
+                    a.save(w);
+                }
+                Trap::InstructionAccessFault(a) => {
+                    w.u8(1);
+                    a.save(w);
+                }
+                Trap::IllegalInstruction(word) => {
+                    w.u8(2);
+                    w.u64(*word);
+                }
+                Trap::Breakpoint(a) => {
+                    w.u8(3);
+                    a.save(w);
+                }
+                Trap::LoadAccessMisaligned(a) => {
+                    w.u8(4);
+                    a.save(w);
+                }
+                Trap::LoadAccessFault(a) => {
+                    w.u8(5);
+                    a.save(w);
+                }
+                Trap::StoreAMOAddrMisaligned(a) => {
+                    w.u8(6);
+                    a.save(w);
+                }
+                Trap::StoreAMOAccessFault(a) => {
+                    w.u8(7);
+                    a.save(w);
+                }
+                Trap::EnvironmentCallFromMMode(a) => {
+                    w.u8(8);
+                    a.save(w);
+                }
+                Trap::MachineSoftwareInterrupt => w.u8(9),
+                Trap::MachineTimerInterrupt => w.u8(10),
+            }
+        }
+        fn restore(r: &mut Reader) -> Result<Self, PersistError> {
+            Ok(match r.u8()? {
+                0 => Trap::InstructionAddrMisaligned(Persist::restore(r)?),
+                1 => Trap::InstructionAccessFault(Persist::restore(r)?),
+                2 => Trap::IllegalInstruction(r.u64()?),
+                3 => Trap::Breakpoint(Persist::restore(r)?),
+                4 => Trap::LoadAccessMisaligned(Persist::restore(r)?),
+                5 => Trap::LoadAccessFault(Persist::restore(r)?),
+                6 => Trap::StoreAMOAddrMisaligned(Persist::restore(r)?),
+                7 => Trap::StoreAMOAccessFault(Persist::restore(r)?),
+                8 => Trap::EnvironmentCallFromMMode(Persist::restore(r)?),
+                9 => Trap::MachineSoftwareInterrupt,
+                10 => Trap::MachineTimerInterrupt,
+                _ => return Err(PersistError::Corrupt("Trap discriminant")),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcause_codes_match_privileged_spec() {
+        assert_eq!(Trap::InstructionAddrMisaligned(Addr::new(0)).mcause(), 0);
+        assert_eq!(Trap::IllegalInstruction(0xdead).mcause(), 2);
+        assert_eq!(Trap::LoadAccessMisaligned(Addr::new(1)).mcause(), 4);
+        assert_eq!(Trap::StoreAMOAddrMisaligned(Addr::new(2)).mcause(), 6);
+        assert_eq!(Trap::EnvironmentCallFromMMode(Addr::new(0)).mcause(), 11);
+        assert_eq!(Trap::MachineSoftwareInterrupt.mcause(), (1 << 63) | 3);
+        assert_eq!(Trap::MachineTimerInterrupt.mcause(), (1 << 63) | 7);
+    }
+
+    #[test]
+    fn interrupts_are_interrupts() {
+        assert!(Trap::MachineTimerInterrupt.is_interrupt());
+        assert!(Trap::MachineSoftwareInterrupt.is_interrupt());
+        assert!(!Trap::IllegalInstruction(0).is_interrupt());
+    }
+
+    #[test]
+    fn mtval_carries_address_or_encoding() {
+        assert_eq!(Trap::LoadAccessFault(Addr::new(0x40)).mtval(), 0x40);
+        assert_eq!(Trap::IllegalInstruction(0xffff_ffff).mtval(), 0xffff_ffff);
+        assert_eq!(Trap::MachineTimerInterrupt.mtval(), 0);
+    }
+
+    #[test]
+    fn exception_kind_mapping() {
+        assert_eq!(
+            Trap::StoreAMOAccessFault(Addr::new(0)).to_exception_kind(),
+            Some(ExceptionKind::BusError)
+        );
+        assert_eq!(
+            Trap::StoreAMOAddrMisaligned(Addr::new(0)).to_exception_kind(),
+            Some(ExceptionKind::SegmentationFault)
+        );
+        assert_eq!(Trap::MachineTimerInterrupt.to_exception_kind(), None);
+        assert_eq!(
+            Trap::EnvironmentCallFromMMode(Addr::new(0)).to_exception_kind(),
+            None
+        );
+    }
+
+    #[test]
+    fn persist_round_trip() {
+        use crate::persist::{Reader, Writer};
+        let traps = [
+            Trap::InstructionAddrMisaligned(Addr::new(3)),
+            Trap::InstructionAccessFault(Addr::new(0x999)),
+            Trap::IllegalInstruction(0x1234_5678),
+            Trap::Breakpoint(Addr::new(8)),
+            Trap::LoadAccessMisaligned(Addr::new(5)),
+            Trap::LoadAccessFault(Addr::new(6)),
+            Trap::StoreAMOAddrMisaligned(Addr::new(7)),
+            Trap::StoreAMOAccessFault(Addr::new(9)),
+            Trap::EnvironmentCallFromMMode(Addr::new(0x100)),
+            Trap::MachineSoftwareInterrupt,
+            Trap::MachineTimerInterrupt,
+        ];
+        use crate::persist::Persist;
+        let mut w = Writer::container();
+        for t in traps {
+            t.save(&mut w);
+        }
+        let bytes = w.finish();
+        let mut r = Reader::container(&bytes).unwrap();
+        for t in traps {
+            assert_eq!(Trap::restore(&mut r).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn display_names_follow_the_taxonomy() {
+        assert_eq!(
+            Trap::StoreAMOAddrMisaligned(Addr::new(0x11)).to_string(),
+            "store/AMO address misaligned 0x11"
+        );
+        assert_eq!(
+            Trap::IllegalInstruction(0xbad).to_string(),
+            "illegal instruction 0x00000bad"
+        );
+    }
+}
